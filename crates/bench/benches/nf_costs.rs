@@ -1,0 +1,69 @@
+//! Criterion benches for the NF library — the per-packet processing cost
+//! ladder behind Table 4 / the Placer's profiles. Each bench processes one
+//! pre-built packet through one NF (matching the profiler's per-packet
+//! accounting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lemur_bess::profiler::{generate_traffic, TrafficPattern};
+use lemur_nf::{build_nf, NfCtx, NfKind, NfParams, ParamValue};
+
+fn bench_nfs(c: &mut Criterion) {
+    let traffic = generate_traffic(TrafficPattern::LongLived, 256, 1024);
+    let mut group = c.benchmark_group("nf_per_packet");
+    group.throughput(Throughput::Elements(traffic.len() as u64));
+    for kind in NfKind::ALL {
+        let mut params = NfParams::new();
+        if kind == NfKind::Acl {
+            params.set("num_rules", ParamValue::Int(1024));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter_batched(
+                || (build_nf(k, &params), traffic.clone()),
+                |(mut nf, mut batch)| {
+                    let ctx = NfCtx { now_ns: 0 };
+                    for pkt in batch.iter_mut() {
+                        let _ = nf.process(&ctx, pkt);
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    use lemur_nf::crypto::{cbc_encrypt, Aes128, ChaCha20};
+    let data = vec![0xabu8; 1400];
+    let aes = Aes128::new(b"0123456789abcdef");
+    let chacha = ChaCha20::new(&[7u8; 32], &[1u8; 12]);
+    let mut group = c.benchmark_group("crypto_1400B");
+    group.throughput(Throughput::Bytes(1400));
+    group.bench_function("aes128_cbc", |b| {
+        b.iter(|| cbc_encrypt(&aes, &[0u8; 16], &data));
+    });
+    group.bench_function("chacha20", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| chacha.apply(1, &mut d),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist to regenerate the
+/// paper's cost comparisons, not to chase nanosecond precision.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_nfs, bench_crypto
+}
+criterion_main!(benches);

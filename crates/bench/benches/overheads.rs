@@ -1,0 +1,107 @@
+//! Criterion benches for the §5.3 coordination overheads: NSH encap/decap
+//! ("about 220 cycles"), demux steering ("about 180 cycles to load-balance
+//! packets"), and the end-to-end testbed hop costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lemur_bess::demux::{Demux, DemuxKey};
+use lemur_packet::builder::{nsh_decap, nsh_encap, udp_packet, vlan_pop, vlan_push};
+use lemur_packet::{ethernet, ipv4, PacketBuf};
+
+fn base_packet() -> PacketBuf {
+    udp_packet(
+        ethernet::Address([2, 0, 0, 0, 0, 1]),
+        ethernet::Address([2, 0, 0, 0, 0, 2]),
+        ipv4::Address::new(10, 0, 0, 1),
+        ipv4::Address::new(10, 0, 0, 2),
+        1000,
+        2000,
+        &[0u8; 1400],
+    )
+}
+
+fn bench_nsh(c: &mut Criterion) {
+    let pkt = base_packet();
+    let mut group = c.benchmark_group("coordination");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("nsh_encap_decap", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |mut p| {
+                nsh_encap(&mut p, 1, 250);
+                nsh_decap(&mut p)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("vlan_push_pop", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |mut p| {
+                vlan_push(&mut p, 42);
+                vlan_pop(&mut p)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    let mut demux = Demux::new();
+    demux.add_entry(DemuxKey { spi: 1, si: 249 }, 0, 4);
+    let mut enc = pkt.clone();
+    nsh_encap(&mut enc, 1, 249);
+    group.bench_function("demux_steer_4way", |b| {
+        b.iter_batched(
+            || enc.clone(),
+            |mut p| demux.steer(&mut p),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_switch_pipeline(c: &mut Criterion) {
+    // Full generated-P4 switch traversal for chain 5's ingress visit.
+    use lemur_bench::{build_problem, Scheme};
+    use lemur_core::chains::CanonicalChain::Chain5;
+    use lemur_placer::topology::Topology;
+    let (p, _) = build_problem(&[Chain5], 0.5, Topology::testbed());
+    let oracle = lemur_bench::compiler_oracle();
+    let e = lemur_bench::place(Scheme::Lemur, &p, &oracle).unwrap();
+    let plan = lemur_metacompiler::routing::plan(&p, &e.assignment);
+    let synth =
+        lemur_metacompiler::p4gen::synthesize(&p, &e.assignment, &plan, Default::default())
+            .unwrap();
+    let mut sw =
+        lemur_p4sim::Switch::new(synth.program.clone(), *p.topology.pisa().unwrap()).unwrap();
+    synth.install(&mut sw);
+    let fresh = udp_packet(
+        ethernet::Address([2, 0, 0, 0, 0, 1]),
+        ethernet::Address([2, 0, 0, 0, 0, 2]),
+        ipv4::Address::new(10, 1, 0, 1),
+        ipv4::Address::new(10, 200, 0, 1),
+        1234,
+        80,
+        &[0u8; 256],
+    );
+    c.bench_function("switch_ingress_visit", |b| {
+        b.iter_batched(
+            || fresh.clone(),
+            |mut p| sw.process(&mut p),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Short measurement windows: these benches exist to regenerate the
+/// paper's cost comparisons, not to chase nanosecond precision.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_nsh, bench_switch_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the Placer (§5.3 "Scaling Placer Computation").
+//!
+//! Regenerates the heuristic-vs-brute-force comparison as statistically
+//! sound microbenchmarks: the paper reports 3.5 s for the heuristic on the
+//! 4-chain / 34-NF-instance configuration vs 14 901 s for exhaustive brute
+//! force; our ranked brute force bounds the exhaustive search, and the
+//! per-candidate evaluation cost lets `exp_placer_scaling` project the
+//! full-enumeration time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemur_bench::{build_problem, compiler_oracle};
+use lemur_core::chains::CanonicalChain::{self, *};
+use lemur_placer::brute::BruteConfig;
+use lemur_placer::oracle::ModelOracle;
+use lemur_placer::topology::Topology;
+
+fn sets() -> Vec<(&'static str, Vec<CanonicalChain>)> {
+    vec![
+        ("1chain", vec![Chain3]),
+        ("2chains", vec![Chain2, Chain3]),
+        ("4chains", vec![Chain1, Chain2, Chain3, Chain4]),
+    ]
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placer_heuristic");
+    group.sample_size(10);
+    let oracle = compiler_oracle();
+    for (label, chains) in sets() {
+        let (p, _) = build_problem(&chains, 1.0, Topology::testbed());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter(|| lemur_placer::heuristic::place(p, &oracle).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placer_brute_ranked");
+    group.sample_size(10);
+    let oracle = compiler_oracle();
+    for (label, chains) in sets() {
+        let (p, _) = build_problem(&chains, 1.0, Topology::testbed());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter(|| {
+                lemur_placer::brute::optimal(p, &oracle, BruteConfig::default()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_oracle(c: &mut Criterion) {
+    // The cost of one stage-feasibility check: the real compiler vs the
+    // analytic model — the gap the heuristic's pruning saves.
+    let (p, _) = build_problem(&[Chain1, Chain2, Chain3, Chain4], 1.0, Topology::testbed());
+    let a = lemur_placer::baselines::hw_preferred_assignment(&p);
+    let real = compiler_oracle();
+    let model = ModelOracle::default();
+    let mut group = c.benchmark_group("stage_oracle");
+    group.bench_function("compiler", |b| {
+        b.iter(|| lemur_placer::oracle::StageOracle::check(&real, &p, &a));
+    });
+    group.bench_function("model", |b| {
+        b.iter(|| lemur_placer::oracle::StageOracle::check(&model, &p, &a));
+    });
+    group.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    // The marginal-throughput LP plus core allocation (§3.2 step 3).
+    let (p, _) = build_problem(&[Chain1, Chain2, Chain3, Chain4], 1.0, Topology::testbed());
+    let a = lemur_placer::baselines::hw_preferred_assignment(&p);
+    c.bench_function("placement_evaluate_lp", |b| {
+        b.iter(|| {
+            p.evaluate(&a, lemur_placer::corealloc::CoreStrategy::WaterFill)
+                .unwrap()
+        });
+    });
+}
+
+/// Short measurement windows: these benches exist to regenerate the
+/// paper's cost comparisons, not to chase nanosecond precision.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_heuristic, bench_brute, bench_stage_oracle, bench_lp
+}
+criterion_main!(benches);

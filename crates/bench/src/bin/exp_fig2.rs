@@ -1,0 +1,68 @@
+//! Figure 2 (a–f): scheme comparison across chain sets and δ sweeps, plus
+//! the Figure 2f component ablations.
+//!
+//! Usage: `exp_fig2 [--set a|b|c|d|e|f|all] [--quick]`
+//!
+//! Output: one table per set — a bar per (scheme, δ) with the aggregate
+//! Σt_min (the hashed rectangle), the Placer prediction (◇), and the
+//! measured aggregate throughput; missing bars are infeasible placements.
+
+use lemur_bench::{figure2_set, print_rows, run_cell, write_json, Row, Scheme};
+use lemur_placer::topology::Topology;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let set_arg = args
+        .iter()
+        .position(|a| a == "--set")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let deltas: Vec<f64> = if quick {
+        vec![0.5, 1.0, 1.5, 2.0]
+    } else {
+        vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+    };
+    let sim_s = if quick { 0.004 } else { 0.01 };
+    let sets: Vec<char> = match set_arg {
+        "all" => vec!['a', 'b', 'c', 'd', 'e', 'f'],
+        s => vec![s.chars().next().unwrap_or('a')],
+    };
+
+    let oracle = lemur_bench::compiler_oracle();
+    for set in sets {
+        let chains = figure2_set(set).expect("known set");
+        let schemes: &[Scheme] = if set == 'f' {
+            &Scheme::ABLATIONS
+        } else {
+            &Scheme::COMPARISON
+        };
+        let mut rows: Vec<Row> = Vec::new();
+        for &delta in &deltas {
+            for &scheme in schemes {
+                rows.push(run_cell(
+                    scheme,
+                    &chains,
+                    delta,
+                    Topology::testbed(),
+                    &oracle,
+                    sim_s,
+                ));
+            }
+        }
+        let title = format!(
+            "Figure 2{set}: chains {:?}",
+            chains.iter().map(|c| c.index()).collect::<Vec<_>>()
+        );
+        print_rows(&title, &rows);
+        // Feasibility summary (the paper's "Lemur is the only one that
+        // produces a feasible solution" observation).
+        for &scheme in schemes {
+            let feas = rows.iter().filter(|r| r.scheme == scheme && r.feasible).count();
+            let total = rows.iter().filter(|r| r.scheme == scheme).count();
+            println!("  {scheme}: feasible {feas}/{total}");
+        }
+        write_json(&format!("fig2{set}"), &rows);
+    }
+}

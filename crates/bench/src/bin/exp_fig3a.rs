@@ -1,0 +1,44 @@
+//! Figure 3a: placement across multiple servers (§5.3).
+//!
+//! Chains {1, 2, 3} placed on (a) one 8-core server and (b) two 8-core
+//! servers. At δ = 0.5 the single server delivers less than half the
+//! 2-server aggregate; at δ = 1.5 the single-server case becomes
+//! infeasible (Chain 3's Dedup/Limiter scaling exhausts its cores).
+
+use lemur_bench::{print_rows, run_cell, write_json, Row, Scheme};
+use lemur_core::chains::CanonicalChain::*;
+use lemur_placer::topology::Topology;
+
+fn main() {
+    let chains = [Chain1, Chain2, Chain3];
+    let oracle = lemur_bench::compiler_oracle();
+    let mut rows: Vec<(usize, Row)> = Vec::new();
+    for delta in [0.5, 1.0, 1.5] {
+        for n_servers in [1usize, 2] {
+            let row = run_cell(
+                Scheme::Lemur,
+                &chains,
+                delta,
+                Topology::with_servers(n_servers),
+                &oracle,
+                0.008,
+            );
+            rows.push((n_servers, row));
+        }
+    }
+    println!("\n=== Figure 3a: Lemur on 1 vs 2 eight-core servers, chains {{1,2,3}} ===");
+    for (n, r) in &rows {
+        println!(
+            "  servers={n} δ={:.1}: {}",
+            r.delta,
+            if r.feasible {
+                format!("measured {:.2} G (predicted {:.2} G)", r.measured_gbps, r.predicted_gbps)
+            } else {
+                "INFEASIBLE".to_string()
+            }
+        );
+    }
+    let flat: Vec<Row> = rows.iter().map(|(_, r)| r.clone()).collect();
+    print_rows("Figure 3a rows", &flat);
+    write_json("fig3a", &rows.iter().map(|(n, r)| (n, r.clone())).collect::<Vec<_>>());
+}

@@ -1,0 +1,49 @@
+//! Figure 3b: SmartNIC offload (§5.3).
+//!
+//! Chain 5 (`ACL -> UrlFilter -> FastEncrypt -> IPv4Fwd`) with and without
+//! a 40 G Netronome-class SmartNIC. The eBPF ChaCha offload is >10× faster
+//! than the server implementation, so with the NIC Lemur sustains rates a
+//! server-only placement cannot; at high δ the server-only topology has no
+//! feasible solution at all.
+
+use lemur_bench::{print_rows, run_cell, write_json, Row, Scheme};
+use lemur_core::chains::CanonicalChain::Chain5;
+use lemur_placer::topology::Topology;
+
+/// The SmartNIC experiment's server: a single 8-core box, so ChaCha's
+/// server cost actually binds (the 16-core testbed hides the offload win).
+fn topo(with_nic: bool) -> Topology {
+    let mut t = Topology::with_servers(1);
+    if with_nic {
+        t.smartnics.push(lemur_placer::topology::SmartNicSpec::agilio_cx_40g(0));
+    }
+    t
+}
+
+fn main() {
+    let oracle = lemur_bench::compiler_oracle();
+    let mut rows: Vec<(bool, Row)> = Vec::new();
+    for delta in [0.5, 1.0, 2.0, 4.0] {
+        for with_nic in [false, true] {
+            let topo = topo(with_nic);
+            let row = run_cell(Scheme::Lemur, &[Chain5], delta, topo, &oracle, 0.008);
+            rows.push((with_nic, row));
+        }
+    }
+    println!("\n=== Figure 3b: Chain 5 (ChaCha) with/without SmartNIC ===");
+    for (nic, r) in &rows {
+        println!(
+            "  smartnic={} δ={:.1}: {}",
+            if *nic { "yes" } else { " no" },
+            r.delta,
+            if r.feasible {
+                format!("measured {:.2} G (predicted {:.2} G)", r.measured_gbps, r.predicted_gbps)
+            } else {
+                "INFEASIBLE".to_string()
+            }
+        );
+    }
+    let flat: Vec<Row> = rows.iter().map(|(_, r)| r.clone()).collect();
+    print_rows("Figure 3b rows", &flat);
+    write_json("fig3b", &rows);
+}

@@ -1,0 +1,169 @@
+//! The shared NSH demultiplexer and muxer (§A.1.2).
+//!
+//! In a generated BESS pipeline, a single-core demux pulls packets from the
+//! NIC, strips the NSH header (BESS NFs are NSH-oblivious), and steers each
+//! packet to a subgroup instance: the (SPI, SI) pair selects the subgroup,
+//! and the symmetric flow hash selects the replica so replicated subgroups
+//! see per-flow sharded traffic. The mux re-inserts the NSH header with the
+//! *next* service index before the packet returns to the NIC.
+
+use lemur_packet::builder::{nsh_decap, nsh_encap};
+use lemur_packet::flow::FiveTuple;
+use lemur_packet::PacketBuf;
+use std::collections::HashMap;
+
+/// Key identifying a position in a service path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DemuxKey {
+    pub spi: u32,
+    pub si: u8,
+}
+
+/// Steering target: subgroup id plus its replica instances.
+#[derive(Debug, Clone)]
+struct Target {
+    subgroup: usize,
+    replicas: usize,
+}
+
+/// The demultiplexer: (SPI, SI) → (subgroup, replica).
+#[derive(Debug, Default)]
+pub struct Demux {
+    table: HashMap<DemuxKey, Target>,
+    /// Packets that arrived without NSH or with an unknown (SPI, SI).
+    pub unmatched: u64,
+}
+
+impl Demux {
+    /// An empty demux.
+    pub fn new() -> Demux {
+        Demux::default()
+    }
+
+    /// Install a steering entry.
+    pub fn add_entry(&mut self, key: DemuxKey, subgroup: usize, replicas: usize) {
+        assert!(replicas >= 1);
+        self.table.insert(key, Target { subgroup, replicas });
+    }
+
+    /// Number of installed entries.
+    pub fn num_entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Decapsulate and steer one packet. On success the NSH header has been
+    /// removed and `(subgroup, replica, key)` identifies the worker. On
+    /// failure the packet is left untouched.
+    pub fn steer(&mut self, pkt: &mut PacketBuf) -> Option<(usize, usize, DemuxKey)> {
+        let Some((spi, si)) = lemur_packet::builder::nsh_peek(pkt.as_slice()) else {
+            self.unmatched += 1;
+            return None;
+        };
+        let key = DemuxKey { spi, si };
+        let Some(target) = self.table.get(&key) else {
+            self.unmatched += 1;
+            return None;
+        };
+        let replica = if target.replicas == 1 {
+            0
+        } else {
+            // Hash the inner frame's flow; fall back to replica 0 for
+            // unparseable payloads.
+            let inner_off =
+                lemur_packet::ethernet::HEADER_LEN + lemur_packet::nsh::HEADER_LEN;
+            FiveTuple::parse(&pkt.as_slice()[inner_off..])
+                .map(|t| (t.symmetric_hash() % target.replicas as u64) as usize)
+                .unwrap_or(0)
+        };
+        let (subgroup, _) = (target.subgroup, target.replicas);
+        nsh_decap(pkt).expect("peeked NSH must decap");
+        Some((subgroup, replica, key))
+    }
+}
+
+/// The muxer: re-encapsulate with the service path's next hop.
+pub fn mux(pkt: &mut PacketBuf, spi: u32, next_si: u8) {
+    nsh_encap(pkt, spi, next_si);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::{nsh_peek, udp_packet};
+    use lemur_packet::{ethernet, ipv4};
+
+    fn encapped(spi: u32, si: u8, sport: u16) -> PacketBuf {
+        let mut p = udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 0, 0, 1),
+            ipv4::Address::new(10, 0, 0, 2),
+            sport,
+            80,
+            b"x",
+        );
+        nsh_encap(&mut p, spi, si);
+        p
+    }
+
+    #[test]
+    fn steer_by_spi_si() {
+        let mut d = Demux::new();
+        d.add_entry(DemuxKey { spi: 1, si: 250 }, 0, 1);
+        d.add_entry(DemuxKey { spi: 2, si: 250 }, 1, 1);
+        let mut a = encapped(1, 250, 1000);
+        let mut b = encapped(2, 250, 1000);
+        assert_eq!(d.steer(&mut a).map(|x| x.0), Some(0));
+        assert_eq!(d.steer(&mut b).map(|x| x.0), Some(1));
+        // NSH removed after steering.
+        assert_eq!(nsh_peek(a.as_slice()), None);
+    }
+
+    #[test]
+    fn unknown_path_counted_and_untouched() {
+        let mut d = Demux::new();
+        let mut p = encapped(9, 9, 1);
+        assert!(d.steer(&mut p).is_none());
+        assert_eq!(d.unmatched, 1);
+        assert_eq!(nsh_peek(p.as_slice()), Some((9, 9)));
+        // Plain packets (no NSH) are unmatched too.
+        let mut plain = udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(1, 1, 1, 1),
+            ipv4::Address::new(2, 2, 2, 2),
+            1,
+            2,
+            b"x",
+        );
+        assert!(d.steer(&mut plain).is_none());
+        assert_eq!(d.unmatched, 2);
+    }
+
+    #[test]
+    fn replica_sharding_is_per_flow_and_covers_replicas() {
+        let mut d = Demux::new();
+        d.add_entry(DemuxKey { spi: 1, si: 200 }, 0, 4);
+        let mut seen = [0usize; 4];
+        for sport in 1000..1200u16 {
+            let mut p = encapped(1, 200, sport);
+            let (_, replica, _) = d.steer(&mut p).unwrap();
+            seen[replica] += 1;
+            // Same flow → same replica.
+            let mut p2 = encapped(1, 200, sport);
+            let (_, replica2, _) = d.steer(&mut p2).unwrap();
+            assert_eq!(replica, replica2);
+        }
+        assert!(seen.iter().all(|&c| c > 20), "imbalanced sharding: {seen:?}");
+    }
+
+    #[test]
+    fn mux_restores_nsh_for_next_hop() {
+        let mut d = Demux::new();
+        d.add_entry(DemuxKey { spi: 3, si: 100 }, 0, 1);
+        let mut p = encapped(3, 100, 1);
+        let (_, _, key) = d.steer(&mut p).unwrap();
+        mux(&mut p, key.spi, key.si - 1);
+        assert_eq!(nsh_peek(p.as_slice()), Some((3, 99)));
+    }
+}

@@ -1,0 +1,196 @@
+//! NF profiling (§3.2, Table 4).
+//!
+//! "To estimate the throughput of an NF chain, Placer precomputes profiles
+//! for each NF … NF B's profile is the CPU cycle count c to execute it."
+//!
+//! This profiler measures the *actual* Rust NF implementations in
+//! `lemur-nf` by timing them over generated worst-case traffic and
+//! converting wall time to cycles at a nominal clock. The paper's two
+//! traffic patterns (footnote 6) are both provided:
+//!
+//! * long-lived: 30–50 uniformly distributed long-lived flows;
+//! * short-lived: high flow churn (10 000 new flows/s shape).
+
+use crate::machine::ServerSpec;
+use lemur_nf::{build_nf, NfCtx, NfKind, NfParams};
+use lemur_packet::builder::udp_packet;
+use lemur_packet::{ethernet, ipv4, PacketBuf};
+use std::time::Instant;
+
+/// Which worst-case workload to profile under (paper footnote 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// 30–50 uniformly distributed long-lived flows.
+    LongLived,
+    /// Short-lived flows with high churn.
+    ShortLived,
+}
+
+/// Profile statistics over repeated runs (Table 4's Mean/Min/Max shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileStats {
+    pub mean_cycles: f64,
+    pub min_cycles: f64,
+    pub max_cycles: f64,
+    /// Number of timed runs.
+    pub runs: usize,
+}
+
+impl ProfileStats {
+    /// Worst-case cycles — what the Placer provisions with ("when we
+    /// profile an NF, we pick the worst-case cycle count").
+    pub fn worst_case(&self) -> f64 {
+        self.max_cycles
+    }
+
+    /// Max deviation of the worst case from the mean (the paper observes
+    /// ≤ 6.5% across Table 4).
+    pub fn spread(&self) -> f64 {
+        (self.max_cycles - self.mean_cycles) / self.mean_cycles
+    }
+}
+
+/// Deterministic traffic for a pattern: `n` packets with `payload` bytes.
+pub fn generate_traffic(pattern: TrafficPattern, n: usize, payload_len: usize) -> Vec<PacketBuf> {
+    let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+    (0..n)
+        .map(|i| {
+            let (src_ip, sport) = match pattern {
+                // ~40 stable flows.
+                TrafficPattern::LongLived => {
+                    (ipv4::Address::new(10, 0, 1, (i % 40) as u8), 10_000 + (i % 40) as u16)
+                }
+                // Every packet a fresh flow.
+                TrafficPattern::ShortLived => (
+                    ipv4::Address::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+                    (1024 + (i % 60_000)) as u16,
+                ),
+            };
+            udp_packet(
+                ethernet::Address([2, 0, 0, 0, 0, 1]),
+                ethernet::Address([2, 0, 0, 0, 0, 2]),
+                src_ip,
+                ipv4::Address::new(10, 99, 0, 1),
+                sport,
+                80,
+                &payload,
+            )
+        })
+        .collect()
+}
+
+/// Measure one NF's cycles/packet on this machine, reported in cycles of
+/// the given server's clock. `runs` independent timing runs of
+/// `packets_per_run` packets each.
+pub fn profile_nf(
+    kind: NfKind,
+    params: &NfParams,
+    pattern: TrafficPattern,
+    server: &ServerSpec,
+    runs: usize,
+    packets_per_run: usize,
+) -> ProfileStats {
+    assert!(runs > 0 && packets_per_run > 0);
+    let traffic = generate_traffic(pattern, packets_per_run, 512);
+    // One untimed warm-up run primes caches, branch predictors, and lazy
+    // tables (e.g. the AES S-box) so timed runs measure steady state.
+    {
+        let mut nf = build_nf(kind, params);
+        let mut batch: Vec<PacketBuf> = traffic.clone();
+        let ctx = NfCtx { now_ns: 0 };
+        for pkt in batch.iter_mut() {
+            let _ = nf.process(&ctx, pkt);
+        }
+    }
+    let mut per_run = Vec::with_capacity(runs);
+    for run in 0..runs {
+        // Fresh NF per run: state effects (table fill, fingerprint stores)
+        // are part of the measured worst case, not carried across runs.
+        let mut nf = build_nf(kind, params);
+        // Warm up allocations outside the timed section.
+        let mut batch: Vec<PacketBuf> = traffic.clone();
+        let ctx = NfCtx { now_ns: run as u64 };
+        let start = Instant::now();
+        for pkt in batch.iter_mut() {
+            let _ = nf.process(&ctx, pkt);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let cycles = elapsed * server.clock_hz / packets_per_run as f64;
+        per_run.push(cycles);
+    }
+    let mean = per_run.iter().sum::<f64>() / runs as f64;
+    let min = per_run.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_run.iter().cloned().fold(0.0f64, f64::max);
+    ProfileStats { mean_cycles: mean, min_cycles: min, max_cycles: max, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: NfKind, pattern: TrafficPattern) -> ProfileStats {
+        profile_nf(
+            kind,
+            &NfParams::new(),
+            pattern,
+            &ServerSpec::lemur_testbed(),
+            3,
+            200,
+        )
+    }
+
+    #[test]
+    fn stats_are_ordered_and_positive() {
+        let s = quick(NfKind::Acl, TrafficPattern::LongLived);
+        assert!(s.min_cycles > 0.0);
+        assert!(s.min_cycles <= s.mean_cycles);
+        assert!(s.mean_cycles <= s.max_cycles);
+        assert_eq!(s.runs, 3);
+        assert!(s.worst_case() >= s.mean_cycles);
+    }
+
+    #[test]
+    fn encrypt_costs_more_than_tunnel() {
+        // AES over a 512-byte payload vs a 4-byte tag splice: the gap is
+        // enormous and robust to timer noise.
+        let enc = quick(NfKind::Encrypt, TrafficPattern::LongLived);
+        let tun = quick(NfKind::Tunnel, TrafficPattern::LongLived);
+        assert!(
+            enc.mean_cycles > tun.mean_cycles * 3.0,
+            "encrypt {:.0} vs tunnel {:.0}",
+            enc.mean_cycles,
+            tun.mean_cycles
+        );
+    }
+
+    #[test]
+    fn traffic_patterns_have_expected_flow_structure() {
+        use lemur_packet::flow::FiveTuple;
+        use std::collections::HashSet;
+        let long = generate_traffic(TrafficPattern::LongLived, 200, 64);
+        let flows: HashSet<_> = long
+            .iter()
+            .map(|p| FiveTuple::parse(p.as_slice()).unwrap())
+            .collect();
+        assert!(flows.len() <= 50, "long-lived must reuse flows: {}", flows.len());
+        let short = generate_traffic(TrafficPattern::ShortLived, 200, 64);
+        let churn: HashSet<_> = short
+            .iter()
+            .map(|p| FiveTuple::parse(p.as_slice()).unwrap())
+            .collect();
+        assert_eq!(churn.len(), 200, "short-lived must be all-new flows");
+    }
+
+    #[test]
+    fn chacha_faster_than_aes_on_server() {
+        // Table 3 calls it "Fast Enc." for a reason.
+        let fast = quick(NfKind::FastEncrypt, TrafficPattern::LongLived);
+        let slow = quick(NfKind::Encrypt, TrafficPattern::LongLived);
+        assert!(
+            fast.mean_cycles < slow.mean_cycles,
+            "chacha {:.0} vs aes {:.0}",
+            fast.mean_cycles,
+            slow.mean_cycles
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Run-to-completion subgroups.
+//!
+//! A subgroup is a maximal run of consecutive server NFs in one chain,
+//! executed to completion on one core: "a packet batch is fully processed
+//! by both NFs before B starts processing the next batch" (§3.2). Packets
+//! move between the subgroup's NFs by reference — no copies, no queues, no
+//! cross-core traffic.
+
+use lemur_nf::{NetworkFunction, NfCtx, Verdict};
+use lemur_packet::{Batch, PacketBuf};
+
+/// Output of processing a batch: surviving packets with the gate each one
+/// exited on. Gate 0 is the normal "next hop"; other gates appear only when
+/// the subgroup's final NF is a branching `Match`.
+#[derive(Debug, Default)]
+pub struct SubgroupOutput {
+    pub packets: Vec<(PacketBuf, usize)>,
+    pub dropped: usize,
+}
+
+/// A run-to-completion subgroup instance (one replica on one core).
+pub struct Subgroup {
+    name: String,
+    nfs: Vec<Box<dyn NetworkFunction>>,
+    packets_in: u64,
+    packets_dropped: u64,
+}
+
+impl Subgroup {
+    /// Build from NF instances (must be non-empty).
+    pub fn new(name: &str, nfs: Vec<Box<dyn NetworkFunction>>) -> Subgroup {
+        assert!(!nfs.is_empty(), "subgroup needs at least one NF");
+        Subgroup { name: name.to_string(), nfs, packets_in: 0, packets_dropped: 0 }
+    }
+
+    /// The subgroup's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of NFs coalesced into this subgroup.
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// True if the subgroup has no NFs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+
+    /// True if any member NF is stateful (non-replicable, §3.2).
+    pub fn is_stateful(&self) -> bool {
+        self.nfs.iter().any(|nf| nf.is_stateful())
+    }
+
+    /// Replicate onto another core: fresh state, same configuration.
+    /// Callers must check [`Subgroup::is_stateful`] first; the Placer never
+    /// replicates stateful subgroups.
+    pub fn clone_fresh(&self) -> Subgroup {
+        Subgroup {
+            name: self.name.clone(),
+            nfs: self.nfs.iter().map(|nf| nf.clone_fresh()).collect(),
+            packets_in: 0,
+            packets_dropped: 0,
+        }
+    }
+
+    /// Process one packet through the whole subgroup. Returns the exit gate
+    /// or `None` if dropped.
+    pub fn process_packet(&mut self, ctx: &NfCtx, pkt: &mut PacketBuf) -> Option<usize> {
+        self.packets_in += 1;
+        let last = self.nfs.len() - 1;
+        for (i, nf) in self.nfs.iter_mut().enumerate() {
+            match nf.process(ctx, pkt) {
+                Verdict::Forward => {}
+                Verdict::Drop => {
+                    self.packets_dropped += 1;
+                    return None;
+                }
+                Verdict::Gate(g) => {
+                    if i == last {
+                        return Some(g);
+                    }
+                    // A branching verdict mid-subgroup means the
+                    // meta-compiler put a Match in a non-terminal slot;
+                    // gate 0 continues the run (all other traffic was
+                    // already split upstream).
+                    if g != 0 {
+                        self.packets_dropped += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(0)
+    }
+
+    /// Run a batch to completion, collecting survivors per exit gate.
+    pub fn process_batch(&mut self, ctx: &NfCtx, batch: Batch) -> SubgroupOutput {
+        let mut out = SubgroupOutput::default();
+        for mut pkt in batch {
+            match self.process_packet(ctx, &mut pkt) {
+                Some(gate) => out.packets.push((pkt, gate)),
+                None => out.dropped += 1,
+            }
+        }
+        out
+    }
+
+    /// Packets seen so far.
+    pub fn packets_in(&self) -> u64 {
+        self.packets_in
+    }
+
+    /// Packets dropped so far.
+    pub fn packets_dropped(&self) -> u64 {
+        self.packets_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_nf::{build_nf, NfKind, NfParams, ParamValue};
+    use lemur_packet::builder::udp_packet;
+    use lemur_packet::{ethernet, ipv4};
+
+    fn pkt(dst: ipv4::Address) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(203, 0, 113, 1),
+            dst,
+            1111,
+            80,
+            b"subgroup payload",
+        )
+    }
+
+    fn acl_allowing(prefix: &str) -> Box<dyn NetworkFunction> {
+        let mut params = NfParams::new();
+        let mut d = std::collections::BTreeMap::new();
+        d.insert("dst_ip".to_string(), ParamValue::Str(prefix.into()));
+        d.insert("drop".to_string(), ParamValue::Bool(false));
+        params.set("rules", ParamValue::List(vec![ParamValue::Dict(d)]));
+        build_nf(NfKind::Acl, &params)
+    }
+
+    #[test]
+    fn batch_runs_all_nfs_in_order() {
+        // ACL (allow 10/8) -> Monitor -> IPv4Fwd: an in-prefix packet
+        // survives, an out-of-prefix one is dropped by the ACL.
+        let nfs = vec![
+            acl_allowing("10.0.0.0/8"),
+            build_nf(NfKind::Monitor, &NfParams::new()),
+            build_nf(NfKind::Ipv4Fwd, &NfParams::new()),
+        ];
+        let mut sg = Subgroup::new("sg0", nfs);
+        assert_eq!(sg.len(), 3);
+        let ctx = NfCtx::default();
+        let batch =
+            Batch::from_packets(vec![pkt(ipv4::Address::new(10, 1, 1, 1)), pkt(ipv4::Address::new(99, 1, 1, 1))]);
+        let out = sg.process_batch(&ctx, batch);
+        assert_eq!(out.packets.len(), 1);
+        assert_eq!(out.dropped, 1);
+        assert_eq!(sg.packets_in(), 2);
+        assert_eq!(sg.packets_dropped(), 1);
+    }
+
+    #[test]
+    fn terminal_match_reports_gate() {
+        let mut params = NfParams::new();
+        params.set("split", ParamValue::Int(3));
+        let nfs = vec![
+            build_nf(NfKind::Monitor, &NfParams::new()),
+            build_nf(NfKind::Match, &params),
+        ];
+        let mut sg = Subgroup::new("brancher", nfs);
+        let ctx = NfCtx::default();
+        let mut gates = std::collections::HashSet::new();
+        for i in 0..50u16 {
+            let mut p = udp_packet(
+                ethernet::Address([2, 0, 0, 0, 0, 1]),
+                ethernet::Address([2, 0, 0, 0, 0, 2]),
+                ipv4::Address::new(10, 0, 0, 1),
+                ipv4::Address::new(10, 0, 0, 2),
+                1000 + i,
+                80,
+                b"x",
+            );
+            gates.insert(sg.process_packet(&ctx, &mut p).unwrap());
+        }
+        assert!(gates.len() >= 2, "split must use several gates: {gates:?}");
+        assert!(gates.iter().all(|g| *g < 3));
+    }
+
+    #[test]
+    fn stateful_detection() {
+        let stateless = Subgroup::new(
+            "s",
+            vec![
+                build_nf(NfKind::Acl, &NfParams::new()),
+                build_nf(NfKind::Ipv4Fwd, &NfParams::new()),
+            ],
+        );
+        assert!(!stateless.is_stateful());
+        let stateful = Subgroup::new(
+            "t",
+            vec![
+                build_nf(NfKind::Acl, &NfParams::new()),
+                build_nf(NfKind::Limiter, &NfParams::new()),
+            ],
+        );
+        assert!(stateful.is_stateful());
+    }
+
+    #[test]
+    fn clone_fresh_replicates_config_not_state() {
+        let mut sg = Subgroup::new("m", vec![build_nf(NfKind::Monitor, &NfParams::new())]);
+        let ctx = NfCtx::default();
+        let mut p = pkt(ipv4::Address::new(10, 0, 0, 1));
+        sg.process_packet(&ctx, &mut p);
+        assert_eq!(sg.packets_in(), 1);
+        let replica = sg.clone_fresh();
+        assert_eq!(replica.packets_in(), 0);
+        assert_eq!(replica.len(), 1);
+        assert_eq!(replica.name(), "m");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NF")]
+    fn empty_subgroup_panics() {
+        Subgroup::new("x", vec![]);
+    }
+}

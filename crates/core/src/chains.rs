@@ -1,0 +1,277 @@
+//! The canonical NF chains of Table 2, plus the §5.2 "extreme" chain.
+//!
+//! "Our experiments use five different canonical chains … selected from
+//! [the IETF SFC data-center use cases] and from our discussions with
+//! ISPs." Subchains 6–8 are shared building blocks:
+//!
+//! * Subchain 6: `LB -> Limiter -> ACL`
+//! * Subchain 7: `ACL -> Limiter`
+//! * Subchain 8: `Detunnel -> Encrypt -> IPv4Fwd`
+
+use crate::graph::{NfGraph, NodeId};
+use lemur_nf::{NfKind, NfParams, ParamValue};
+
+/// The five evaluation chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanonicalChain {
+    Chain1,
+    Chain2,
+    Chain3,
+    Chain4,
+    Chain5,
+}
+
+impl CanonicalChain {
+    /// All five, in Table 2 order.
+    pub const ALL: [CanonicalChain; 5] = [
+        CanonicalChain::Chain1,
+        CanonicalChain::Chain2,
+        CanonicalChain::Chain3,
+        CanonicalChain::Chain4,
+        CanonicalChain::Chain5,
+    ];
+
+    /// Chain index (1-based, as the paper numbers them).
+    pub fn index(&self) -> usize {
+        match self {
+            CanonicalChain::Chain1 => 1,
+            CanonicalChain::Chain2 => 2,
+            CanonicalChain::Chain3 => 3,
+            CanonicalChain::Chain4 => 4,
+            CanonicalChain::Chain5 => 5,
+        }
+    }
+}
+
+fn split_params(n: i64, salt: i64) -> NfParams {
+    let mut p = NfParams::new();
+    p.set("split", ParamValue::Int(n));
+    // Distinct per-branch hash seeds: successive splits must decorrelate
+    // (see `lemur_packet::flow::salted_hash`).
+    p.set("salt", ParamValue::Int(salt));
+    p
+}
+
+/// Canonical Limiters enforce the 100 Gbps experiment `t_max`, not the
+/// NF-library default of 10 Gbps (the paper sets `t_max` = 100 Gbps in
+/// all experiments, §5.1).
+fn limiter_params() -> NfParams {
+    let mut p = NfParams::new();
+    p.set("rate_bps", ParamValue::Float(100e9));
+    p.set("burst_bytes", ParamValue::Float(16.0 * 1024.0 * 1024.0));
+    p
+}
+
+/// Subchain 7 (`ACL -> Limiter`) appended after `head` on `gate` with
+/// `fraction`; returns the tail.
+fn subchain7(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction: f64) -> NodeId {
+    let acl = g.add_named(&format!("{prefix}_acl"), NfKind::Acl, NfParams::new());
+    let lim = g.add_named(&format!("{prefix}_limiter"), NfKind::Limiter, limiter_params());
+    g.connect_branch(head, acl, gate, fraction);
+    g.connect(acl, lim);
+    lim
+}
+
+/// Subchain 8 (`Detunnel -> Encrypt -> IPv4Fwd`) appended after `head` on
+/// `gate` with `fraction`; returns the tail (the chain sink).
+fn subchain8(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction: f64) -> NodeId {
+    let det = g.add_named(&format!("{prefix}_detunnel"), NfKind::Detunnel, NfParams::new());
+    let enc = g.add_named(&format!("{prefix}_encrypt"), NfKind::Encrypt, NfParams::new());
+    let fwd = g.add_named(&format!("{prefix}_fwd"), NfKind::Ipv4Fwd, NfParams::new());
+    g.connect_branch(head, det, gate, fraction);
+    g.connect(det, enc);
+    g.connect(enc, fwd);
+    fwd
+}
+
+/// Subchain 6 (`LB -> Limiter -> ACL`) appended after `head` on `gate`;
+/// returns the tail.
+fn subchain6(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction: f64) -> NodeId {
+    let lb = g.add_named(&format!("{prefix}_lb"), NfKind::Lb, NfParams::new());
+    let lim = g.add_named(&format!("{prefix}_limiter"), NfKind::Limiter, limiter_params());
+    let acl = g.add_named(&format!("{prefix}_acl"), NfKind::Acl, NfParams::new());
+    g.connect_branch(head, lb, gate, fraction);
+    g.connect(lb, lim);
+    g.connect(lim, acl);
+    acl
+}
+
+/// Build a canonical chain's NF graph.
+pub fn canonical_chain(which: CanonicalChain) -> NfGraph {
+    let mut g = NfGraph::new();
+    match which {
+        // Chain 1: BPF -> Subchain7 -> BPF -> UrlFilter -> Subchain8, with
+        // side branches from each BPF to their own Subchain 8 instances.
+        CanonicalChain::Chain1 => {
+            let bpf1 = g.add_named("bpf1", NfKind::Match, split_params(2, 1));
+            // Gate 1 of bpf1: straight to a Subchain 8 (half the traffic).
+            subchain8(&mut g, "sc8a", bpf1, 1, 0.5);
+            // Gate 0: Subchain 7, then the second BPF.
+            let sc7_lim = subchain7(&mut g, "sc7", bpf1, 0, 0.5);
+            let bpf2 = g.add_named("bpf2", NfKind::Match, split_params(2, 2));
+            g.connect(sc7_lim, bpf2);
+            // Gate 1 of bpf2: its own Subchain 8.
+            subchain8(&mut g, "sc8b", bpf2, 1, 0.5);
+            // Gate 0: UrlFilter then the final Subchain 8.
+            let url = g.add_named("urlfilter", NfKind::UrlFilter, NfParams::new());
+            g.connect_branch(bpf2, url, 0, 0.5);
+            subchain8(&mut g, "sc8c", url, 0, 1.0);
+        }
+        // Chain 2: Encrypt -> LB -> 3x NAT (branched) -> IPv4Fwd.
+        CanonicalChain::Chain2 => {
+            let enc = g.add_named("encrypt", NfKind::Encrypt, NfParams::new());
+            let lb = g.add_named("lb", NfKind::Lb, NfParams::new());
+            g.connect(enc, lb);
+            let split = g.add_named("split", NfKind::Match, split_params(3, 1));
+            g.connect(lb, split);
+            let fwd = g.add_named("fwd", NfKind::Ipv4Fwd, NfParams::new());
+            for i in 0..3 {
+                let nat =
+                    g.add_named(&format!("nat{i}"), NfKind::Nat, NfParams::new());
+                g.connect_branch(split, nat, i, 1.0 / 3.0);
+                g.connect(nat, fwd);
+            }
+        }
+        // Chain 3: Dedup -> ACL -> Limiter -> LB -> IPv4Fwd.
+        CanonicalChain::Chain3 => {
+            let d = g.add_named("dedup", NfKind::Dedup, NfParams::new());
+            let a = g.add_named("acl", NfKind::Acl, NfParams::new());
+            let l = g.add_named("limiter", NfKind::Limiter, limiter_params());
+            let b = g.add_named("lb", NfKind::Lb, NfParams::new());
+            let f = g.add_named("fwd", NfKind::Ipv4Fwd, NfParams::new());
+            g.connect(d, a);
+            g.connect(a, l);
+            g.connect(l, b);
+            g.connect(b, f);
+        }
+        // Chain 4: Dedup -> ACL -> Monitor -> Tunnel -> BPF ->
+        //          3x Subchain6 (branched) -> IPv4Fwd.
+        CanonicalChain::Chain4 => {
+            let d = g.add_named("dedup", NfKind::Dedup, NfParams::new());
+            let a = g.add_named("acl", NfKind::Acl, NfParams::new());
+            let m = g.add_named("monitor", NfKind::Monitor, NfParams::new());
+            let t = g.add_named("tunnel", NfKind::Tunnel, NfParams::new());
+            let bpf = g.add_named("bpf", NfKind::Match, split_params(3, 1));
+            g.connect(d, a);
+            g.connect(a, m);
+            g.connect(m, t);
+            g.connect(t, bpf);
+            let fwd = g.add_named("fwd", NfKind::Ipv4Fwd, NfParams::new());
+            for i in 0..3 {
+                let tail = subchain6(&mut g, &format!("sc6_{i}"), bpf, i, 1.0 / 3.0);
+                g.connect(tail, fwd);
+            }
+        }
+        // Chain 5: ACL -> UrlFilter -> Fast Encrypt -> IPv4Fwd.
+        CanonicalChain::Chain5 => {
+            let a = g.add_named("acl", NfKind::Acl, NfParams::new());
+            let u = g.add_named("urlfilter", NfKind::UrlFilter, NfParams::new());
+            let fe = g.add_named("fastenc", NfKind::FastEncrypt, NfParams::new());
+            let f = g.add_named("fwd", NfKind::Ipv4Fwd, NfParams::new());
+            g.connect(a, u);
+            g.connect(u, fe);
+            g.connect(fe, f);
+        }
+    }
+    g
+}
+
+/// The §5.2 extreme configuration: `BPF -> N x NAT (branched) -> IPv4Fwd`
+/// (the paper uses N = 11 to blow the switch's stages, and shows 10 fit).
+pub fn extreme_nat_chain(n_nats: usize) -> NfGraph {
+    let mut g = NfGraph::new();
+    let bpf = g.add_named("bpf", NfKind::Match, split_params(n_nats as i64, 1));
+    let fwd = g.add_named("fwd", NfKind::Ipv4Fwd, NfParams::new());
+    for i in 0..n_nats {
+        let nat = g.add_named(&format!("nat{i}"), NfKind::Nat, NfParams::new());
+        g.connect_branch(bpf, nat, i, 1.0 / n_nats as f64);
+        g.connect(nat, fwd);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_chains_validate() {
+        for which in CanonicalChain::ALL {
+            let g = canonical_chain(which);
+            g.validate()
+                .unwrap_or_else(|e| panic!("chain {which:?} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn chain_node_counts() {
+        // Chain 1: bpf1 + sc8a(3) + sc7(2) + bpf2 + sc8b(3) + url + sc8c(3) = 14
+        assert_eq!(canonical_chain(CanonicalChain::Chain1).num_nodes(), 14);
+        // Chain 2: encrypt, lb, split, 3 nat, fwd = 7
+        assert_eq!(canonical_chain(CanonicalChain::Chain2).num_nodes(), 7);
+        assert_eq!(canonical_chain(CanonicalChain::Chain3).num_nodes(), 5);
+        // Chain 4: 5 head + bpf? = dedup,acl,monitor,tunnel,bpf + 3*3 + fwd = 15
+        assert_eq!(canonical_chain(CanonicalChain::Chain4).num_nodes(), 15);
+        assert_eq!(canonical_chain(CanonicalChain::Chain5).num_nodes(), 4);
+    }
+
+    #[test]
+    fn chain1_decomposes_into_three_paths() {
+        let g = canonical_chain(CanonicalChain::Chain1);
+        let chains = g.decompose();
+        assert_eq!(chains.len(), 3);
+        let total: f64 = chains.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Weights 0.5, 0.25, 0.25.
+        let mut w: Vec<f64> = chains.iter().map(|c| c.weight).collect();
+        w.sort_by(f64::total_cmp);
+        assert!((w[0] - 0.25).abs() < 1e-9);
+        assert!((w[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain2_merges_at_fwd() {
+        let g = canonical_chain(CanonicalChain::Chain2);
+        let sinks = g.sinks();
+        assert_eq!(sinks.len(), 1);
+        assert!(g.is_merge(sinks[0]));
+        assert_eq!(g.decompose().len(), 3);
+    }
+
+    #[test]
+    fn chain3_is_linear() {
+        let g = canonical_chain(CanonicalChain::Chain3);
+        let chains = g.decompose();
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].weight, 1.0);
+        let kinds: Vec<NfKind> =
+            chains[0].nodes.iter().map(|id| g.node(*id).kind).collect();
+        assert_eq!(
+            kinds,
+            vec![NfKind::Dedup, NfKind::Acl, NfKind::Limiter, NfKind::Lb, NfKind::Ipv4Fwd]
+        );
+    }
+
+    #[test]
+    fn chain4_has_three_branches() {
+        let g = canonical_chain(CanonicalChain::Chain4);
+        assert_eq!(g.decompose().len(), 3);
+        // Each path: dedup,acl,monitor,tunnel,bpf,lb,limiter,acl,fwd = 9 nodes
+        for c in g.decompose() {
+            assert_eq!(c.nodes.len(), 9);
+        }
+    }
+
+    #[test]
+    fn extreme_chain_shape() {
+        let g = extreme_nat_chain(11);
+        g.validate().unwrap();
+        assert_eq!(g.num_nodes(), 13);
+        assert_eq!(g.decompose().len(), 11);
+        let nats = g
+            .nodes()
+            .filter(|(_, n)| n.kind == NfKind::Nat)
+            .count();
+        assert_eq!(nats, 11);
+    }
+}

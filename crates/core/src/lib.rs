@@ -1,0 +1,40 @@
+//! # lemur-core
+//!
+//! The heart of the Lemur reproduction: NF chain specifications, the
+//! NF-graph intermediate representation, the SLO model, and the canonical
+//! evaluation chains.
+//!
+//! * [`slo`] — service-level objectives: `t_min`, `t_max`, `d_max`, and the
+//!   Table 1 use-case taxonomy (bulk … infinite pipe).
+//! * [`graph`] — the NF-graph: a DAG of NF instances with branch edges
+//!   carrying traffic-split fractions, plus the §3.2 decomposition of
+//!   branchy chains into weighted linear chains.
+//! * [`spec`] — the BESS-inspired dataflow specification language
+//!   (`ACL -> Encrypt -> IPv4Fwd`, instance definitions, parameters, and
+//!   `[{'vlan_tag': 0x1, Encrypt}]` branch syntax) with a hand-written
+//!   lexer/parser standing in for the paper's ANTLR grammar.
+//! * [`chains`] — the five canonical chains of Table 2 (plus subchains 6–8
+//!   and the §5.2 "extreme" NAT chain), as both builder calls and spec
+//!   text.
+//!
+//! ```
+//! use lemur_core::spec::parse_spec;
+//!
+//! let spec = "
+//! c1 = ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}]) -> Encrypt -> IPv4Fwd
+//! slo(c1, t_min='1G', t_max='10G')
+//! ";
+//! let parsed = parse_spec(spec).unwrap();
+//! assert_eq!(parsed.chains.len(), 1);
+//! assert_eq!(parsed.chains[0].graph.num_nodes(), 3);
+//! assert_eq!(parsed.chains[0].slo.unwrap().t_min_bps, 1e9);
+//! ```
+
+pub mod chains;
+pub mod graph;
+pub mod slo;
+pub mod spec;
+
+pub use chains::{canonical_chain, extreme_nat_chain, CanonicalChain};
+pub use graph::{ChainSpec, LinearChain, NfGraph, NfNode, NodeId};
+pub use slo::{Slo, UseCase};

@@ -1,0 +1,157 @@
+//! Service-level objectives (§2, Table 1).
+
+use core::fmt;
+
+/// An SLO for one chain/traffic-aggregate pair: a minimum guaranteed rate,
+/// a burst ceiling, and an optional latency bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slo {
+    /// Minimum rate the operator must provision for (bits/second).
+    pub t_min_bps: f64,
+    /// Maximum rate the customer may burst to (bits/second);
+    /// `f64::INFINITY` means uncapped.
+    pub t_max_bps: f64,
+    /// Maximum chain-imposed delay in nanoseconds, if contracted.
+    pub d_max_ns: Option<f64>,
+}
+
+/// Table 1's use-case taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseCase {
+    /// `t_min = 0, t_max = ∞`: best effort.
+    Bulk,
+    /// `t_min = 0, t_max = α`: best effort capped at α.
+    MeteredBulk,
+    /// `t_min = t_max = α`: exactly α guaranteed.
+    VirtualPipe,
+    /// `α ≤ rate ≤ β`: at least α with bursts up to β.
+    ElasticPipe,
+    /// `t_min = α, t_max = ∞`: at least α.
+    InfinitePipe,
+}
+
+impl Slo {
+    /// Best-effort traffic.
+    pub fn bulk() -> Slo {
+        Slo { t_min_bps: 0.0, t_max_bps: f64::INFINITY, d_max_ns: None }
+    }
+
+    /// Best effort capped at `alpha`.
+    pub fn metered_bulk(alpha: f64) -> Slo {
+        Slo { t_min_bps: 0.0, t_max_bps: alpha, d_max_ns: None }
+    }
+
+    /// Exactly `alpha` guaranteed.
+    pub fn virtual_pipe(alpha: f64) -> Slo {
+        Slo { t_min_bps: alpha, t_max_bps: alpha, d_max_ns: None }
+    }
+
+    /// At least `alpha`, bursts up to `beta`.
+    pub fn elastic_pipe(alpha: f64, beta: f64) -> Slo {
+        assert!(beta >= alpha, "elastic pipe burst below guarantee");
+        Slo { t_min_bps: alpha, t_max_bps: beta, d_max_ns: None }
+    }
+
+    /// At least `alpha`, uncapped.
+    pub fn infinite_pipe(alpha: f64) -> Slo {
+        Slo { t_min_bps: alpha, t_max_bps: f64::INFINITY, d_max_ns: None }
+    }
+
+    /// Add a latency bound (builder style).
+    pub fn with_latency_ns(mut self, d_max_ns: f64) -> Slo {
+        self.d_max_ns = Some(d_max_ns);
+        self
+    }
+
+    /// Classify into the Table 1 use case.
+    pub fn use_case(&self) -> UseCase {
+        let capped = self.t_max_bps.is_finite();
+        if self.t_min_bps == 0.0 {
+            if capped {
+                UseCase::MeteredBulk
+            } else {
+                UseCase::Bulk
+            }
+        } else if !capped {
+            UseCase::InfinitePipe
+        } else if self.t_min_bps == self.t_max_bps {
+            UseCase::VirtualPipe
+        } else {
+            UseCase::ElasticPipe
+        }
+    }
+
+    /// Marginal (revenue-generating) rate of an achieved throughput: the
+    /// amount above `t_min`, clamped at the burst cap.
+    pub fn marginal_bps(&self, achieved_bps: f64) -> f64 {
+        (achieved_bps.min(self.t_max_bps) - self.t_min_bps).max(0.0)
+    }
+
+    /// True if an achieved rate meets the minimum guarantee.
+    pub fn satisfied_by(&self, achieved_bps: f64) -> bool {
+        achieved_bps + 1e-6 >= self.t_min_bps
+    }
+}
+
+impl fmt::Display for Slo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gbps = |v: f64| {
+            if v.is_finite() {
+                format!("{:.2}G", v / 1e9)
+            } else {
+                "∞".to_string()
+            }
+        };
+        write!(f, "t_min={} t_max={}", gbps(self.t_min_bps), gbps(self.t_max_bps))?;
+        if let Some(d) = self.d_max_ns {
+            write!(f, " d_max={:.0}us", d / 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_taxonomy() {
+        assert_eq!(Slo::bulk().use_case(), UseCase::Bulk);
+        assert_eq!(Slo::metered_bulk(1e9).use_case(), UseCase::MeteredBulk);
+        assert_eq!(Slo::virtual_pipe(1e9).use_case(), UseCase::VirtualPipe);
+        assert_eq!(Slo::elastic_pipe(1e9, 4e9).use_case(), UseCase::ElasticPipe);
+        assert_eq!(Slo::infinite_pipe(1e9).use_case(), UseCase::InfinitePipe);
+    }
+
+    #[test]
+    fn marginal_throughput() {
+        let slo = Slo::elastic_pipe(2e9, 10e9);
+        assert_eq!(slo.marginal_bps(5e9), 3e9);
+        assert_eq!(slo.marginal_bps(1e9), 0.0); // below t_min
+        assert_eq!(slo.marginal_bps(20e9), 8e9); // clamped at t_max
+    }
+
+    #[test]
+    fn satisfaction() {
+        let slo = Slo::virtual_pipe(1e9);
+        assert!(slo.satisfied_by(1e9));
+        assert!(slo.satisfied_by(2e9));
+        assert!(!slo.satisfied_by(0.5e9));
+        assert!(Slo::bulk().satisfied_by(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst below guarantee")]
+    fn invalid_elastic_pipe() {
+        Slo::elastic_pipe(4e9, 1e9);
+    }
+
+    #[test]
+    fn latency_builder_and_display() {
+        let slo = Slo::virtual_pipe(1e9).with_latency_ns(45_000.0);
+        assert_eq!(slo.d_max_ns, Some(45_000.0));
+        let s = slo.to_string();
+        assert!(s.contains("45us"), "{s}");
+        assert!(Slo::bulk().to_string().contains('∞'));
+    }
+}

@@ -1,0 +1,867 @@
+//! The NF chain specification language (§2, §A.1.1).
+//!
+//! A BESS-inspired dataflow language with a hand-written lexer and
+//! recursive-descent parser (standing in for the paper's 120 lines of
+//! ANTLR). Supported forms:
+//!
+//! ```text
+//! # comments
+//! acl0 = ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}])   # instance
+//! sub8 = Detunnel -> Encrypt -> IPv4Fwd                         # sub-chain
+//! c1 = acl0 -> [{'vlan_tag': 0x1, Encrypt}, {}] -> sub8          # branches
+//! slo(c1, t_min='1G', t_max='10G', d_max='45us')                 # SLO
+//! aggregate(c1, src='203.0.113.0/24')                            # traffic
+//! ```
+//!
+//! Branch lists follow the paper's `[{'vlan_tag': 0x1, Encryption}]`
+//! syntax: each `{}` is one branch whose key/value pairs are match filters
+//! (plus an optional `frac` weight) and whose trailing bare element is the
+//! branch body. Branching is realized by an implicit `BPF` (Match) node,
+//! matching §A.2.2 ("traffic is split into downstream subgroups with a set
+//! of BPF rules"). Referencing a previously defined sub-chain splices in a
+//! fresh copy with prefixed instance names.
+
+use crate::graph::{ChainSpec, NfGraph, NodeId};
+use crate::slo::Slo;
+use lemur_nf::{NfKind, NfParams, ParamValue};
+use lemur_packet::TrafficAggregate;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed specification.
+#[derive(Debug, Default)]
+pub struct Spec {
+    /// Top-level chains, in definition order (sub-chains that were only
+    /// spliced into others are not listed).
+    pub chains: Vec<ChainSpec>,
+}
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Arrow,
+    Eq,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Newline,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, message: message.into() }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    out.push((Tok::Newline, self.line));
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'#' => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'-' => {
+                    if self.src.get(self.pos + 1) == Some(&b'>') {
+                        out.push((Tok::Arrow, self.line));
+                        self.pos += 2;
+                    } else if self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit) {
+                        let t = self.number()?;
+                        out.push((t, self.line));
+                    } else {
+                        return Err(self.error("unexpected '-'"));
+                    }
+                }
+                b'=' => {
+                    out.push((Tok::Eq, self.line));
+                    self.pos += 1;
+                }
+                b'(' => {
+                    out.push((Tok::LParen, self.line));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((Tok::RParen, self.line));
+                    self.pos += 1;
+                }
+                b'[' => {
+                    out.push((Tok::LBracket, self.line));
+                    self.pos += 1;
+                }
+                b']' => {
+                    out.push((Tok::RBracket, self.line));
+                    self.pos += 1;
+                }
+                b'{' => {
+                    out.push((Tok::LBrace, self.line));
+                    self.pos += 1;
+                }
+                b'}' => {
+                    out.push((Tok::RBrace, self.line));
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((Tok::Comma, self.line));
+                    self.pos += 1;
+                }
+                b':' => {
+                    out.push((Tok::Colon, self.line));
+                    self.pos += 1;
+                }
+                b'\'' | b'"' => {
+                    let quote = c;
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(self.error("unterminated string"));
+                    }
+                    let s = String::from_utf8_lossy(&self.src[start..self.pos]).to_string();
+                    self.pos += 1;
+                    out.push((Tok::Str(s), self.line));
+                }
+                b'0'..=b'9' => {
+                    let t = self.number()?;
+                    out.push((t, self.line));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_alphanumeric()
+                            || self.src[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let s = String::from_utf8_lossy(&self.src[start..self.pos]).to_string();
+                    out.push((Tok::Ident(s), self.line));
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
+            }
+        }
+        out.push((Tok::Newline, self.line));
+        Ok(out)
+    }
+
+    fn number(&mut self) -> Result<Tok, ParseError> {
+        let start = self.pos;
+        if self.src[self.pos] == b'-' {
+            self.pos += 1;
+        }
+        // Hex literal (0x...).
+        if self.src[self.pos] == b'0' && self.src.get(self.pos + 1) == Some(&b'x') {
+            self.pos += 2;
+            let hs = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[hs..self.pos]).unwrap();
+            let v = i64::from_str_radix(text, 16)
+                .map_err(|_| self.error("bad hex literal"))?;
+            return Ok(Tok::Int(v));
+        }
+        let mut is_float = false;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if self.src.get(self.pos) == Some(&b'-') {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>().map(Tok::Float).map_err(|_| self.error("bad float"))
+        } else {
+            text.parse::<i64>().map(Tok::Int).map_err(|_| self.error("bad integer"))
+        }
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+/// Parse a rate like `'10G'`, `'500M'`, `'1.5G'`, or a plain bps number.
+pub fn parse_rate(v: &ParamValue) -> Option<f64> {
+    match v {
+        ParamValue::Int(i) => Some(*i as f64),
+        ParamValue::Float(f) => Some(*f),
+        ParamValue::Str(s) => {
+            let s = s.trim();
+            let (num, mult) = match s.chars().last()? {
+                'K' | 'k' => (&s[..s.len() - 1], 1e3),
+                'M' | 'm' => (&s[..s.len() - 1], 1e6),
+                'G' | 'g' => (&s[..s.len() - 1], 1e9),
+                'T' | 't' => (&s[..s.len() - 1], 1e12),
+                _ => (s, 1.0),
+            };
+            num.parse::<f64>().ok().map(|n| n * mult)
+        }
+        _ => None,
+    }
+}
+
+/// Parse a delay like `'45us'`, `'1ms'`, `'2s'` into nanoseconds.
+pub fn parse_delay_ns(v: &ParamValue) -> Option<f64> {
+    match v {
+        ParamValue::Int(i) => Some(*i as f64),
+        ParamValue::Float(f) => Some(*f),
+        ParamValue::Str(s) => {
+            let s = s.trim();
+            for (suffix, mult) in [("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9)] {
+                if let Some(num) = s.strip_suffix(suffix) {
+                    return num.parse::<f64>().ok().map(|n| n * mult);
+                }
+            }
+            s.parse::<f64>().ok()
+        }
+        _ => None,
+    }
+}
+
+/// An expression fragment: the sub-graph plus its entry node and exits
+/// (tail nodes with the gate+fraction that must connect onward).
+#[derive(Debug, Clone)]
+struct Fragment {
+    entry: NodeId,
+    exits: Vec<(NodeId, usize, f64)>,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    graph: NfGraph,
+    /// name → defined sub-chain (as a graph to splice).
+    defs: BTreeMap<String, DefChain>,
+    /// Names of definitions referenced (spliced) by later chains.
+    used_defs: std::collections::BTreeSet<String>,
+    /// name → value macro.
+    macros: BTreeMap<String, ParamValue>,
+    splice_counter: usize,
+}
+
+#[derive(Debug, Clone)]
+struct DefChain {
+    graph: NfGraph,
+    entry: NodeId,
+    exits: Vec<(NodeId, usize, f64)>,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map(|(_, l)| *l).unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&Tok::Newline) {}
+    }
+
+    // value := INT | FLOAT | STRING | True | False | list | dict | macro-ref
+    fn value(&mut self) -> Result<ParamValue, ParseError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(ParamValue::Int(i)),
+            Some(Tok::Float(f)) => Ok(ParamValue::Float(f)),
+            Some(Tok::Str(s)) => Ok(ParamValue::Str(s)),
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "True" | "true" => Ok(ParamValue::Bool(true)),
+                "False" | "false" => Ok(ParamValue::Bool(false)),
+                name => self
+                    .macros
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("unknown value identifier {name}"))),
+            },
+            Some(Tok::LBracket) => {
+                let mut items = Vec::new();
+                loop {
+                    self.skip_newlines();
+                    if self.eat(&Tok::RBracket) {
+                        break;
+                    }
+                    items.push(self.value()?);
+                    self.skip_newlines();
+                    if !self.eat(&Tok::Comma) {
+                        self.skip_newlines();
+                        self.expect(Tok::RBracket)?;
+                        break;
+                    }
+                }
+                Ok(ParamValue::List(items))
+            }
+            Some(Tok::LBrace) => {
+                let mut map = BTreeMap::new();
+                loop {
+                    self.skip_newlines();
+                    if self.eat(&Tok::RBrace) {
+                        break;
+                    }
+                    let key = match self.next() {
+                        Some(Tok::Str(s)) => s,
+                        Some(Tok::Ident(s)) => s,
+                        other => return Err(self.err(format!("bad dict key {other:?}"))),
+                    };
+                    self.expect(Tok::Colon)?;
+                    let v = self.value()?;
+                    map.insert(key, v);
+                    if !self.eat(&Tok::Comma) {
+                        self.skip_newlines();
+                        self.expect(Tok::RBrace)?;
+                        break;
+                    }
+                }
+                Ok(ParamValue::Dict(map))
+            }
+            other => Err(self.err(format!("expected value, found {other:?}"))),
+        }
+    }
+
+    // kwargs := (IDENT '=' value),*
+    fn kwargs(&mut self) -> Result<NfParams, ParseError> {
+        let mut params = NfParams::new();
+        loop {
+            self.skip_newlines();
+            if self.peek() == Some(&Tok::RParen) {
+                break;
+            }
+            let Some(Tok::Ident(key)) = self.next() else {
+                return Err(self.err("expected parameter name"));
+            };
+            self.expect(Tok::Eq)?;
+            let v = self.value()?;
+            params.set(&key, v);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    /// Splice a defined sub-chain into the working graph with fresh names.
+    fn splice(&mut self, def: &DefChain) -> Fragment {
+        self.splice_counter += 1;
+        let prefix = format!("s{}_", self.splice_counter);
+        let mut mapping = Vec::with_capacity(def.graph.num_nodes());
+        for (_, node) in def.graph.nodes() {
+            let id = self.graph.add_named(
+                &format!("{prefix}{}", node.name),
+                node.kind,
+                node.params.clone(),
+            );
+            mapping.push(id);
+        }
+        for e in def.graph.edges() {
+            self.graph
+                .connect_branch(mapping[e.from.0], mapping[e.to.0], e.gate, e.fraction);
+        }
+        Fragment {
+            entry: mapping[def.entry.0],
+            exits: def.exits.iter().map(|(n, g, f)| (mapping[n.0], *g, *f)).collect(),
+        }
+    }
+
+    // atom := IDENT params? — an NF kind, an instance def reference, or a
+    //          defined sub-chain reference.
+    fn atom(&mut self) -> Result<Fragment, ParseError> {
+        let Some(Tok::Ident(name)) = self.next() else {
+            return Err(self.err("expected NF or chain name"));
+        };
+        // Defined sub-chain?
+        if let Some(def) = self.defs.get(&name).cloned() {
+            if self.peek() == Some(&Tok::LParen) {
+                return Err(self.err(format!("{name} is a chain, not parameterizable")));
+            }
+            self.used_defs.insert(name);
+            return Ok(self.splice(&def));
+        }
+        // NF kind (with optional params).
+        let kind: NfKind = name
+            .parse()
+            .map_err(|_| self.err(format!("unknown NF or chain: {name}")))?;
+        let params = if self.eat(&Tok::LParen) {
+            let p = self.kwargs()?;
+            self.expect(Tok::RParen)?;
+            p
+        } else {
+            NfParams::new()
+        };
+        let id = self.graph.add(kind, params);
+        Ok(Fragment { entry: id, exits: vec![(id, 0, 1.0)] })
+    }
+
+    // branch list: '[' '{' filters..., body? '}' , ... ']'
+    // Returns (fragments per branch with their fractions, filters).
+    fn branches(
+        &mut self,
+        upstream: &Fragment,
+    ) -> Result<Fragment, ParseError> {
+        // Insert the implicit BPF/Match branch node (§A.2.2).
+        self.expect(Tok::LBracket)?;
+        let mut arms: Vec<(BTreeMap<String, ParamValue>, Option<Fragment>)> = Vec::new();
+        loop {
+            self.skip_newlines();
+            self.expect(Tok::LBrace)?;
+            let mut filters = BTreeMap::new();
+            let mut body: Option<Fragment> = None;
+            loop {
+                self.skip_newlines();
+                if self.eat(&Tok::RBrace) {
+                    break;
+                }
+                // A filter pair starts with a string key; a body is a chain
+                // expression starting with an identifier.
+                match self.peek() {
+                    Some(Tok::Str(_)) => {
+                        let Some(Tok::Str(key)) = self.next() else { unreachable!() };
+                        self.expect(Tok::Colon)?;
+                        let v = self.value()?;
+                        filters.insert(key, v);
+                    }
+                    Some(Tok::Ident(_)) => {
+                        if body.is_some() {
+                            return Err(self.err("branch has two bodies"));
+                        }
+                        body = Some(self.chain_expr_no_branch()?);
+                    }
+                    other => return Err(self.err(format!("bad branch element {other:?}"))),
+                }
+                if !self.eat(&Tok::Comma) {
+                    self.skip_newlines();
+                    self.expect(Tok::RBrace)?;
+                    break;
+                }
+            }
+            arms.push((filters, body));
+            self.skip_newlines();
+            if !self.eat(&Tok::Comma) {
+                self.skip_newlines();
+                self.expect(Tok::RBracket)?;
+                break;
+            }
+        }
+
+        // Build the Match node with per-arm entries.
+        let n = arms.len();
+        let mut match_params = NfParams::new();
+        let has_filters = arms.iter().any(|(f, _)| !f.is_empty());
+        match_params.set(
+            "salt",
+            ParamValue::Int((self.graph.num_nodes() % 250) as i64 + 1),
+        );
+        if has_filters {
+            let entries: Vec<ParamValue> = arms
+                .iter()
+                .enumerate()
+                .map(|(gate, (filters, _))| {
+                    let mut d = filters.clone();
+                    d.insert("gate".to_string(), ParamValue::Int(gate as i64));
+                    ParamValue::Dict(d)
+                })
+                .collect();
+            match_params.set("entries", ParamValue::List(entries));
+        } else {
+            match_params.set("split", ParamValue::Int(n as i64));
+        }
+        let branch_node = self.graph.add(NfKind::Match, match_params);
+        for (exit, gate, frac) in &upstream.exits {
+            self.graph.connect_branch(*exit, branch_node, *gate, *frac);
+        }
+
+        // Wire each arm.
+        let mut exits = Vec::new();
+        for (gate, (filters, body)) in arms.into_iter().enumerate() {
+            let frac = filters
+                .get("frac")
+                .and_then(ParamValue::as_float)
+                .unwrap_or(1.0 / n as f64);
+            match body {
+                Some(frag) => {
+                    self.graph.connect_branch(branch_node, frag.entry, gate, frac);
+                    exits.extend(frag.exits);
+                }
+                None => {
+                    // Empty branch: the branch node's gate exits directly.
+                    exits.push((branch_node, gate, frac));
+                }
+            }
+        }
+        Ok(Fragment { entry: upstream.entry, exits })
+    }
+
+    // chain without branch lists (used inside branch bodies).
+    fn chain_expr_no_branch(&mut self) -> Result<Fragment, ParseError> {
+        let mut frag = self.atom()?;
+        while self.eat(&Tok::Arrow) {
+            self.skip_newlines();
+            let next = self.atom()?;
+            for (exit, gate, frac) in &frag.exits {
+                self.graph.connect_branch(*exit, next.entry, *gate, *frac);
+            }
+            frag = Fragment { entry: frag.entry, exits: next.exits };
+        }
+        Ok(frag)
+    }
+
+    // chain := atom ('->' (atom | branch_list))*
+    fn chain_expr(&mut self) -> Result<Fragment, ParseError> {
+        let mut frag = self.atom()?;
+        while self.eat(&Tok::Arrow) {
+            self.skip_newlines();
+            if self.peek() == Some(&Tok::LBracket) {
+                frag = self.branches(&frag)?;
+            } else {
+                let next = self.atom()?;
+                for (exit, gate, frac) in &frag.exits {
+                    self.graph.connect_branch(*exit, next.entry, *gate, *frac);
+                }
+                frag = Fragment { entry: frag.entry, exits: next.exits };
+            }
+        }
+        Ok(frag)
+    }
+}
+
+/// Parse a complete specification.
+pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        graph: NfGraph::new(),
+        defs: BTreeMap::new(),
+        used_defs: std::collections::BTreeSet::new(),
+        macros: BTreeMap::new(),
+        splice_counter: 0,
+    };
+    // name → chain definition order for output; SLOs/aggregates attach later.
+    let mut chain_names: Vec<String> = Vec::new();
+    let mut slos: BTreeMap<String, Slo> = BTreeMap::new();
+    let mut aggregates: BTreeMap<String, TrafficAggregate> = BTreeMap::new();
+
+    loop {
+        p.skip_newlines();
+        if p.peek().is_none() {
+            break;
+        }
+        let Some(Tok::Ident(first)) = p.peek().cloned() else {
+            return Err(p.err("expected statement"));
+        };
+        // slo(...) / aggregate(...) statements.
+        if (first == "slo" || first == "aggregate")
+            && p.toks.get(p.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen)
+        {
+            p.next();
+            p.expect(Tok::LParen)?;
+            let Some(Tok::Ident(chain)) = p.next() else {
+                return Err(p.err("expected chain name"));
+            };
+            p.expect(Tok::Comma)?;
+            let kw = p.kwargs()?;
+            p.expect(Tok::RParen)?;
+            if first == "slo" {
+                let t_min = kw.get("t_min").and_then(parse_rate).unwrap_or(0.0);
+                let t_max = kw.get("t_max").and_then(parse_rate).unwrap_or(f64::INFINITY);
+                let mut slo = Slo { t_min_bps: t_min, t_max_bps: t_max, d_max_ns: None };
+                if let Some(d) = kw.get("d_max").and_then(parse_delay_ns) {
+                    slo.d_max_ns = Some(d);
+                }
+                slos.insert(chain, slo);
+            } else {
+                let mut agg = TrafficAggregate::any();
+                if let Some(srcp) = kw.get("src").and_then(ParamValue::as_str) {
+                    agg.src = srcp.parse().ok();
+                }
+                if let Some(dstp) = kw.get("dst").and_then(ParamValue::as_str) {
+                    agg.dst = dstp.parse().ok();
+                }
+                aggregates.insert(chain, agg);
+            }
+            continue;
+        }
+        // Assignment or bare chain.
+        if p.toks.get(p.pos + 1).map(|(t, _)| t) == Some(&Tok::Eq) {
+            p.next(); // name
+            p.expect(Tok::Eq)?;
+            // Macro value or chain definition? Chain defs start with an
+            // identifier that is an NF kind or defined chain.
+            let is_chain = matches!(p.peek(), Some(Tok::Ident(id))
+                if id.parse::<NfKind>().is_ok() || p.defs.contains_key(id));
+            if is_chain {
+                // Parse into a temporary graph so the definition can be
+                // spliced multiple times.
+                let saved = std::mem::take(&mut p.graph);
+                let frag = p.chain_expr()?;
+                let sub = std::mem::replace(&mut p.graph, saved);
+                p.defs.insert(
+                    first.clone(),
+                    DefChain { graph: sub, entry: frag.entry, exits: frag.exits },
+                );
+                chain_names.push(first.clone());
+            } else {
+                let v = p.value()?;
+                p.macros.insert(first.clone(), v);
+            }
+        } else {
+            // A bare chain expression: anonymous chain.
+            let saved = std::mem::take(&mut p.graph);
+            let frag = p.chain_expr()?;
+            let sub = std::mem::replace(&mut p.graph, saved);
+            let name = format!("chain{}", chain_names.len() + 1);
+            p.defs.insert(name.clone(), DefChain { graph: sub, entry: frag.entry, exits: frag.exits });
+            chain_names.push(name);
+        }
+        // Statement must end at a newline.
+        if !(p.eat(&Tok::Newline) || p.peek().is_none()) {
+            return Err(p.err(format!("unexpected token {:?} after statement", p.peek())));
+        }
+    }
+
+    // Emit top-level chains: definitions never spliced into another chain
+    // (a spliced definition is a pure sub-chain), unless an SLO explicitly
+    // marks them as deployable.
+    let mut chains = Vec::new();
+    for name in &chain_names {
+        let def = &p.defs[name];
+        let used_elsewhere = p.used_defs.contains(name);
+        if used_elsewhere && !slos.contains_key(name) {
+            continue; // pure sub-chain
+        }
+        chains.push(ChainSpec {
+            name: name.clone(),
+            graph: def.graph.clone(),
+            slo: slos.get(name).copied(),
+            aggregate: aggregates.get(name).copied(),
+        });
+    }
+    Ok(Spec { chains })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_nf::NfKind;
+
+    #[test]
+    fn linear_chain() {
+        let spec = parse_spec("c = ACL -> Encrypt -> IPv4Fwd\n").unwrap();
+        assert_eq!(spec.chains.len(), 1);
+        let g = &spec.chains[0].graph;
+        assert_eq!(g.num_nodes(), 3);
+        let kinds: Vec<NfKind> = g.nodes().map(|(_, n)| n.kind).collect();
+        assert_eq!(kinds, vec![NfKind::Acl, NfKind::Encrypt, NfKind::Ipv4Fwd]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn parameters_parse() {
+        let spec = parse_spec(
+            "c = ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}]) -> IPv4Fwd\n",
+        )
+        .unwrap();
+        let g = &spec.chains[0].graph;
+        let (_, acl) = g.nodes().next().unwrap();
+        let rules = acl.params.get("rules").unwrap().as_list().unwrap();
+        assert_eq!(rules.len(), 1);
+        let d = rules[0].as_dict().unwrap();
+        assert_eq!(d["dst_ip"].as_str(), Some("10.0.0.0/8"));
+        assert_eq!(d["drop"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn paper_branch_example() {
+        // ACL -> [{'vlan_tag': 0x1, Encrypt}] -> IPv4Fwd
+        let spec =
+            parse_spec("c = ACL -> [{'vlan_tag': 0x1, Encrypt}, {}] -> IPv4Fwd\n").unwrap();
+        let g = &spec.chains[0].graph;
+        g.validate().unwrap();
+        // ACL, implicit BPF, Encrypt, IPv4Fwd.
+        assert_eq!(g.num_nodes(), 4);
+        let kinds: Vec<NfKind> = g.nodes().map(|(_, n)| n.kind).collect();
+        assert!(kinds.contains(&NfKind::Match));
+        let chains = g.decompose();
+        assert_eq!(chains.len(), 2); // through Encrypt, and bypass
+        let lens: Vec<usize> = chains.iter().map(|c| c.nodes.len()).collect();
+        assert!(lens.contains(&4) && lens.contains(&3));
+    }
+
+    #[test]
+    fn subchain_splicing() {
+        let spec = parse_spec(
+            "sub8 = Detunnel -> Encrypt -> IPv4Fwd\n\
+             c = BPF -> sub8\n\
+             slo(c, t_min='1G')\n",
+        )
+        .unwrap();
+        // sub8 is spliced, not a top-level chain.
+        assert_eq!(spec.chains.len(), 1);
+        assert_eq!(spec.chains[0].name, "c");
+        assert_eq!(spec.chains[0].graph.num_nodes(), 4);
+        assert_eq!(spec.chains[0].slo.unwrap().t_min_bps, 1e9);
+    }
+
+    #[test]
+    fn subchain_spliced_twice_gets_fresh_names() {
+        let spec = parse_spec(
+            "sub = Encrypt -> IPv4Fwd\n\
+             c = BPF -> [{sub}, {sub}]\n",
+        )
+        .unwrap();
+        let g = &spec.chains[0].graph;
+        g.validate().unwrap(); // unique names
+        assert_eq!(g.num_nodes(), 1 + 1 + 4); // BPF + implicit match + 2×2
+    }
+
+    #[test]
+    fn slo_units() {
+        let spec = parse_spec(
+            "c = ACL -> IPv4Fwd\nslo(c, t_min='500M', t_max='40G', d_max='45us')\n",
+        )
+        .unwrap();
+        let slo = spec.chains[0].slo.unwrap();
+        assert_eq!(slo.t_min_bps, 500e6);
+        assert_eq!(slo.t_max_bps, 40e9);
+        assert_eq!(slo.d_max_ns, Some(45_000.0));
+    }
+
+    #[test]
+    fn aggregate_statement() {
+        let spec = parse_spec(
+            "c = ACL -> IPv4Fwd\naggregate(c, src='203.0.113.0/24')\n",
+        )
+        .unwrap();
+        let agg = spec.chains[0].aggregate.unwrap();
+        assert!(agg.src.is_some());
+    }
+
+    #[test]
+    fn macros_substitute() {
+        let spec = parse_spec(
+            "myrules = [{'dst_ip': '10.0.0.0/8'}]\n\
+             c = ACL(rules=myrules) -> IPv4Fwd\n",
+        )
+        .unwrap();
+        let (_, acl) = spec.chains[0].graph.nodes().next().unwrap();
+        assert!(acl.params.get("rules").is_some());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let spec = parse_spec(
+            "# top comment\n\n\
+             c = ACL -> IPv4Fwd  # trailing comment\n\n",
+        )
+        .unwrap();
+        assert_eq!(spec.chains.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_spec("c = ACL ->\nd = WAT -> IPv4Fwd\n").unwrap_err();
+        assert!(err.line >= 1);
+        let err2 = parse_spec("c = Bogus -> IPv4Fwd\n").unwrap_err();
+        assert!(err2.message.contains("Bogus"));
+    }
+
+    #[test]
+    fn branch_fractions() {
+        let spec = parse_spec(
+            "c = BPF -> [{'frac': 0.8, Encrypt}, {'frac': 0.2, Monitor}] -> IPv4Fwd\n",
+        )
+        .unwrap();
+        let chains = spec.chains[0].graph.decompose();
+        let weights: Vec<f64> = chains.iter().map(|c| c.weight).collect();
+        assert!(weights.iter().any(|w| (w - 0.8).abs() < 1e-9));
+        assert!(weights.iter().any(|w| (w - 0.2).abs() < 1e-9));
+    }
+
+    #[test]
+    fn rate_parsing() {
+        assert_eq!(parse_rate(&ParamValue::Str("10G".into())), Some(10e9));
+        assert_eq!(parse_rate(&ParamValue::Str("1.5M".into())), Some(1.5e6));
+        assert_eq!(parse_rate(&ParamValue::Int(42)), Some(42.0));
+        assert_eq!(parse_rate(&ParamValue::Bool(true)), None);
+        assert_eq!(parse_delay_ns(&ParamValue::Str("45us".into())), Some(45_000.0));
+        assert_eq!(parse_delay_ns(&ParamValue::Str("1ms".into())), Some(1e6));
+    }
+}

@@ -1,0 +1,68 @@
+//! Measurement results.
+
+/// Per-chain measurements.
+#[derive(Debug, Clone, Default)]
+pub struct ChainStats {
+    pub offered_bps: f64,
+    /// Goodput: ingress bits of packets that completed the chain, per
+    /// second of measurement window.
+    pub delivered_bps: f64,
+    pub delivered_packets: u64,
+    pub dropped_packets: u64,
+    /// Mean end-to-end latency of delivered packets (ns).
+    pub mean_latency_ns: f64,
+    /// Maximum observed latency (ns).
+    pub max_latency_ns: f64,
+}
+
+/// A full simulation report.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    pub per_chain: Vec<ChainStats>,
+    /// Simulated measurement window (seconds).
+    pub duration_s: f64,
+}
+
+impl SimReport {
+    /// Σ delivered rates.
+    pub fn aggregate_bps(&self) -> f64 {
+        self.per_chain.iter().map(|c| c.delivered_bps).sum()
+    }
+
+    /// Aggregate marginal throughput against per-chain `t_min`s.
+    pub fn marginal_bps(&self, t_mins: &[f64]) -> f64 {
+        self.per_chain
+            .iter()
+            .zip(t_mins)
+            .map(|(c, t)| (c.delivered_bps - t).max(0.0))
+            .sum()
+    }
+
+    /// True if every chain met its minimum (within `tol` fraction).
+    pub fn slos_met(&self, t_mins: &[f64], tol: f64) -> bool {
+        self.per_chain
+            .iter()
+            .zip(t_mins)
+            .all(|(c, t)| c.delivered_bps >= t * (1.0 - tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let r = SimReport {
+            per_chain: vec![
+                ChainStats { delivered_bps: 2e9, ..Default::default() },
+                ChainStats { delivered_bps: 3e9, ..Default::default() },
+            ],
+            duration_s: 0.1,
+        };
+        assert_eq!(r.aggregate_bps(), 5e9);
+        assert_eq!(r.marginal_bps(&[1e9, 1e9]), 3e9);
+        assert!(r.slos_met(&[1e9, 2.9e9], 0.01));
+        assert!(!r.slos_met(&[2.5e9, 3e9], 0.01));
+    }
+}

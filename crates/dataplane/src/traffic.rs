@@ -1,0 +1,179 @@
+//! Deterministic traffic generation for the experiments.
+
+use lemur_packet::builder::udp_packet;
+use lemur_packet::{ethernet, ipv4, PacketBuf};
+use lemur_placer::PACKET_BYTES;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Offered load for one chain.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Offered rate in bits/second.
+    pub offered_bps: f64,
+    /// Source prefix the chain's aggregate classifies on.
+    pub src_prefix: ipv4::Cidr,
+    /// Number of long-lived flows (paper footnote 6 uses 30–50).
+    pub flows: usize,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Fraction of packets carrying a *redundant* payload (exercises
+    /// Dedup's redundancy elimination).
+    pub redundancy: f64,
+}
+
+impl TrafficSpec {
+    /// A default spec for a chain index: long-lived flows from
+    /// `10.(idx).0.0/16`. The flow count is high enough that hashing over
+    /// many subgroup replicas stays balanced (40-flow profiling traffic
+    /// per footnote 6 is available via [`TrafficSpec::flows`]).
+    pub fn for_chain(idx: usize, offered_bps: f64) -> TrafficSpec {
+        TrafficSpec {
+            offered_bps,
+            src_prefix: ipv4::Cidr::new(ipv4::Address::new(10, idx as u8, 0, 0), 16).unwrap(),
+            flows: 512,
+            payload_len: PACKET_BYTES as usize - 42, // eth+ip+udp headers
+            redundancy: 0.5,
+        }
+    }
+
+    /// The chain's traffic aggregate matching this spec.
+    pub fn aggregate(&self) -> lemur_packet::TrafficAggregate {
+        lemur_packet::TrafficAggregate {
+            src: Some(self.src_prefix),
+            ..lemur_packet::TrafficAggregate::any()
+        }
+    }
+}
+
+/// Generates packets for one chain at a steady rate.
+pub struct ChainSource {
+    spec: TrafficSpec,
+    rng: StdRng,
+    next_ns: u64,
+    interval_ns: f64,
+    carry: f64,
+    seq: u64,
+    redundant_payload: Vec<u8>,
+}
+
+impl ChainSource {
+    /// Create a source; `seed` controls flow/payload randomness.
+    pub fn new(spec: TrafficSpec, seed: u64) -> ChainSource {
+        let bits = (spec.payload_len + 42) as f64 * 8.0;
+        let interval_ns = bits / spec.offered_bps * 1e9;
+        let mut redundant = Vec::with_capacity(spec.payload_len);
+        while redundant.len() < spec.payload_len {
+            redundant.extend_from_slice(b"The quick brown fox jumps over the lazy dog. ");
+        }
+        redundant.truncate(spec.payload_len);
+        ChainSource {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            next_ns: 0,
+            interval_ns,
+            carry: 0.0,
+            seq: 0,
+            redundant_payload: redundant,
+        }
+    }
+
+    /// Timestamp of the next packet (ns).
+    pub fn peek_time(&self) -> u64 {
+        self.next_ns
+    }
+
+    /// Produce the next packet.
+    pub fn next_packet(&mut self) -> (u64, PacketBuf) {
+        let t = self.next_ns;
+        // Advance with sub-ns carry so long runs keep the exact rate.
+        self.carry += self.interval_ns;
+        let step = self.carry as u64;
+        self.carry -= step as f64;
+        self.next_ns += step.max(1);
+
+        let flow = (self.seq % self.spec.flows as u64) as u32;
+        self.seq += 1;
+        let base = self.spec.src_prefix.address().to_u32();
+        let src = ipv4::Address::from_u32(base | (flow + 1));
+        let sport = 10_000 + (flow as u16 % 40_000);
+        let payload: Vec<u8> = if self.rng.gen_bool(self.spec.redundancy) {
+            self.redundant_payload.clone()
+        } else {
+            (0..self.spec.payload_len)
+                .map(|_| self.rng.gen::<u8>())
+                .collect()
+        };
+        let pkt = udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 0x10]),
+            ethernet::Address([2, 0, 0, 0, 0, 0x20]),
+            src,
+            ipv4::Address::new(10, 200, (flow % 250) as u8, 1),
+            sport,
+            80,
+            &payload,
+        );
+        (t, pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::flow::FiveTuple;
+
+    #[test]
+    fn rate_is_honored() {
+        let spec = TrafficSpec::for_chain(1, 1e9); // 1 Gbps
+        let mut src = ChainSource::new(spec, 7);
+        let mut last = 0;
+        let mut bits = 0u64;
+        for _ in 0..1000 {
+            let (t, p) = src.next_packet();
+            bits += p.len() as u64 * 8;
+            last = t;
+        }
+        let rate = bits as f64 / (last as f64 / 1e9);
+        assert!((rate / 1e9 - 1.0).abs() < 0.02, "measured {rate}");
+    }
+
+    #[test]
+    fn flows_are_bounded_and_in_prefix() {
+        let spec = TrafficSpec::for_chain(3, 1e9);
+        let agg = spec.aggregate();
+        let mut src = ChainSource::new(spec, 7);
+        let mut flows = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let (_, p) = src.next_packet();
+            let t = FiveTuple::parse(p.as_slice()).unwrap();
+            assert!(agg.matches(&t), "packet outside aggregate");
+            flows.insert(t);
+        }
+        assert!(flows.len() <= 512, "{} flows", flows.len());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<_> = {
+            let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9), 42);
+            (0..50).map(|_| s.next_packet().1.as_slice().to_vec()).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9), 42);
+            (0..50).map(|_| s.next_packet().1.as_slice().to_vec()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn redundancy_mix() {
+        let mut spec = TrafficSpec::for_chain(1, 1e9);
+        spec.redundancy = 1.0;
+        let mut s = ChainSource::new(spec, 1);
+        let (_, p1) = s.next_packet();
+        let (_, p2) = s.next_packet();
+        // Fully redundant: payloads identical.
+        let off = p1.len() - 500;
+        assert_eq!(p1.as_slice()[off..], p2.as_slice()[off..]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Instruction set of the SmartNIC VM.
+//!
+//! A register machine in the shape of eBPF: eleven 64-bit registers, a
+//! byte-addressed stack, direct packet access with explicit widths, and
+//! forward-only conditional jumps.
+
+use core::fmt;
+
+/// Register names. `R0` carries the return value (XDP verdict); `R1` holds
+/// the packet length at entry; `R10` is the (read-only) stack base in real
+/// eBPF — here the stack is addressed by immediate offsets instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+}
+
+impl Reg {
+    /// All registers, for the verifier and tests.
+    pub const ALL: [Reg; 10] =
+        [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9];
+
+    /// Index into the register file.
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.idx())
+    }
+}
+
+/// ALU operations (64-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Lsh,
+    Rsh,
+}
+
+impl AluOp {
+    /// Apply the operation. Division/modulo by zero yields 0, matching
+    /// eBPF's defined semantics.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Mod => {
+                if b == 0 {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Lsh => a.wrapping_shl((b & 63) as u32),
+            AluOp::Rsh => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// Jump conditions. All jumps are *forward-only*; the verifier rejects
+/// back-edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JmpCond {
+    Always,
+    Eq,
+    Ne,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl JmpCond {
+    /// Evaluate the condition.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            JmpCond::Always => true,
+            JmpCond::Eq => a == b,
+            JmpCond::Ne => a != b,
+            JmpCond::Gt => a > b,
+            JmpCond::Ge => a >= b,
+            JmpCond::Lt => a < b,
+            JmpCond::Le => a <= b,
+        }
+    }
+}
+
+/// Second operand of ALU/jump instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(i64),
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `dst = imm`
+    LoadImm { dst: Reg, imm: i64 },
+    /// `dst = src`
+    Mov { dst: Reg, src: Operand },
+    /// `dst = dst OP src`
+    Alu { op: AluOp, dst: Reg, src: Operand },
+    /// `dst = packet[base? + offset .. +size]` big-endian; `size` ∈ {1,2,4,8}.
+    LoadPkt { dst: Reg, base: Option<Reg>, offset: u16, size: u8 },
+    /// `packet[base? + offset .. +size] = src` big-endian.
+    StorePkt { src: Reg, base: Option<Reg>, offset: u16, size: u8 },
+    /// `dst = stack[offset .. +size]` big-endian.
+    LoadStack { dst: Reg, offset: u16, size: u8 },
+    /// `stack[offset .. +size] = src` big-endian.
+    StoreStack { src: Reg, offset: u16, size: u8 },
+    /// Conditional forward jump: `if dst COND src goto pc+off+1`.
+    Jmp { cond: JmpCond, dst: Reg, src: Operand, off: u16 },
+    /// Function call — always rejected by the verifier on the SmartNIC
+    /// target (kept in the ISA so the rejection path is testable).
+    Call { func: u32 },
+    /// Return `r0` as the verdict.
+    Exit,
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn op(o: &Operand) -> String {
+            match o {
+                Operand::Reg(r) => r.to_string(),
+                Operand::Imm(i) => i.to_string(),
+            }
+        }
+        match self {
+            Insn::LoadImm { dst, imm } => write!(f, "{dst} = {imm}"),
+            Insn::Mov { dst, src } => write!(f, "{dst} = {}", op(src)),
+            Insn::Alu { op: o, dst, src } => write!(f, "{dst} {o:?}= {}", op(src)),
+            Insn::LoadPkt { dst, base, offset, size } => match base {
+                Some(b) => write!(f, "{dst} = pkt[{b}+{offset}:{size}]"),
+                None => write!(f, "{dst} = pkt[{offset}:{size}]"),
+            },
+            Insn::StorePkt { src, base, offset, size } => match base {
+                Some(b) => write!(f, "pkt[{b}+{offset}:{size}] = {src}"),
+                None => write!(f, "pkt[{offset}:{size}] = {src}"),
+            },
+            Insn::LoadStack { dst, offset, size } => write!(f, "{dst} = stack[{offset}:{size}]"),
+            Insn::StoreStack { src, offset, size } => write!(f, "stack[{offset}:{size}] = {src}"),
+            Insn::Jmp { cond, dst, src, off } => {
+                write!(f, "if {dst} {cond:?} {} goto +{off}", op(src))
+            }
+            Insn::Call { func } => write!(f, "call #{func}"),
+            Insn::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0); // wrapping
+        assert_eq!(AluOp::Div.apply(10, 3), 3);
+        assert_eq!(AluOp::Div.apply(10, 0), 0); // defined
+        assert_eq!(AluOp::Mod.apply(10, 0), 0);
+        assert_eq!(AluOp::Lsh.apply(1, 65), 2); // shift masked to 6 bits
+        assert_eq!(AluOp::Xor.apply(0xff, 0x0f), 0xf0);
+    }
+
+    #[test]
+    fn jump_conditions() {
+        assert!(JmpCond::Always.eval(0, 1));
+        assert!(JmpCond::Eq.eval(3, 3));
+        assert!(JmpCond::Ne.eval(3, 4));
+        assert!(JmpCond::Gt.eval(4, 3));
+        assert!(!JmpCond::Lt.eval(4, 3));
+        assert!(JmpCond::Ge.eval(3, 3));
+        assert!(JmpCond::Le.eval(3, 3));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Insn::LoadPkt { dst: Reg::R2, base: None, offset: 12, size: 2 };
+        assert_eq!(i.to_string(), "r2 = pkt[12:2]");
+        let j = Insn::Jmp {
+            cond: JmpCond::Ne,
+            dst: Reg::R2,
+            src: Operand::Imm(0x0800),
+            off: 3,
+        };
+        assert_eq!(j.to_string(), "if r2 Ne 2048 goto +3");
+    }
+
+    #[test]
+    fn register_indices_dense() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.idx(), i);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The interpreter: executes verified programs over packet buffers.
+
+use crate::insn::{Insn, Operand, Reg};
+use crate::program::Program;
+use crate::{MAX_STEPS, STACK_SIZE};
+use core::fmt;
+
+/// XDP-style verdicts carried in `r0` at exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XdpVerdict {
+    Aborted = 0,
+    Drop = 1,
+    Pass = 2,
+    Tx = 3,
+    Redirect = 4,
+}
+
+impl XdpVerdict {
+    /// Decode from the `r0` value; unknown codes abort, as XDP does.
+    pub fn from_r0(v: u64) -> XdpVerdict {
+        match v {
+            1 => XdpVerdict::Drop,
+            2 => XdpVerdict::Pass,
+            3 => XdpVerdict::Tx,
+            4 => XdpVerdict::Redirect,
+            _ => XdpVerdict::Aborted,
+        }
+    }
+}
+
+/// Runtime execution errors (all map to an aborted packet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A packet access was out of bounds for this packet.
+    PacketOutOfBounds { pc: usize, offset: usize, len: usize },
+    /// The instruction budget was exhausted.
+    StepLimit,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PacketOutOfBounds { pc, offset, len } => {
+                write!(f, "packet access at pc {pc}: offset {offset} beyond {len}-byte packet")
+            }
+            ExecError::StepLimit => write!(f, "instruction budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecResult {
+    pub verdict: XdpVerdict,
+    /// Instructions executed — the dataplane's cost signal for SmartNIC NFs.
+    pub steps: u64,
+}
+
+/// The VM. Stateless between packets; all state is per-run.
+pub struct Vm;
+
+impl Vm {
+    /// Execute `program` over `packet`. The packet length is preloaded into
+    /// `r1`. The program must already have passed the verifier; running an
+    /// unverified program is memory-safe but may abort.
+    pub fn run(program: &Program, packet: &mut [u8]) -> Result<ExecResult, ExecError> {
+        let mut regs = [0u64; 10];
+        regs[Reg::R1.idx()] = packet.len() as u64;
+        let mut stack = [0u8; STACK_SIZE];
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+
+        loop {
+            if steps as usize >= MAX_STEPS {
+                return Err(ExecError::StepLimit);
+            }
+            let Some(insn) = program.insns.get(pc) else {
+                // Falling off the end: verifier prevents this; treat as abort.
+                return Ok(ExecResult { verdict: XdpVerdict::Aborted, steps });
+            };
+            steps += 1;
+            let operand = |o: &Operand, regs: &[u64; 10]| match o {
+                Operand::Reg(r) => regs[r.idx()],
+                Operand::Imm(i) => *i as u64,
+            };
+            match insn {
+                Insn::LoadImm { dst, imm } => regs[dst.idx()] = *imm as u64,
+                Insn::Mov { dst, src } => regs[dst.idx()] = operand(src, &regs),
+                Insn::Alu { op, dst, src } => {
+                    regs[dst.idx()] = op.apply(regs[dst.idx()], operand(src, &regs));
+                }
+                Insn::LoadPkt { dst, base, offset, size } => {
+                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0)
+                        + *offset as usize;
+                    let end = off + *size as usize;
+                    if end > packet.len() {
+                        return Err(ExecError::PacketOutOfBounds {
+                            pc,
+                            offset: end,
+                            len: packet.len(),
+                        });
+                    }
+                    let mut v = 0u64;
+                    for &b in &packet[off..end] {
+                        v = (v << 8) | b as u64;
+                    }
+                    regs[dst.idx()] = v;
+                }
+                Insn::StorePkt { src, base, offset, size } => {
+                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0)
+                        + *offset as usize;
+                    let end = off + *size as usize;
+                    if end > packet.len() {
+                        return Err(ExecError::PacketOutOfBounds {
+                            pc,
+                            offset: end,
+                            len: packet.len(),
+                        });
+                    }
+                    let bytes = regs[src.idx()].to_be_bytes();
+                    packet[off..end].copy_from_slice(&bytes[8 - *size as usize..]);
+                }
+                Insn::LoadStack { dst, offset, size } => {
+                    let off = *offset as usize;
+                    let end = off + *size as usize;
+                    let mut v = 0u64;
+                    for &b in &stack[off..end] {
+                        v = (v << 8) | b as u64;
+                    }
+                    regs[dst.idx()] = v;
+                }
+                Insn::StoreStack { src, offset, size } => {
+                    let off = *offset as usize;
+                    let end = off + *size as usize;
+                    let bytes = regs[src.idx()].to_be_bytes();
+                    stack[off..end].copy_from_slice(&bytes[8 - *size as usize..]);
+                }
+                Insn::Jmp { cond, dst, src, off } => {
+                    if cond.eval(regs[dst.idx()], operand(src, &regs)) {
+                        pc += *off as usize;
+                    }
+                }
+                Insn::Call { .. } => {
+                    // Verifier rejects these; defensively abort.
+                    return Ok(ExecResult { verdict: XdpVerdict::Aborted, steps });
+                }
+                Insn::Exit => {
+                    return Ok(ExecResult {
+                        verdict: XdpVerdict::from_r0(regs[Reg::R0.idx()]),
+                        steps,
+                    });
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, JmpCond};
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn arithmetic_program() {
+        // r0 = ((7 + 3) * 4) ^ 5 = 40 ^ 5 = 45 → unknown verdict → Aborted.
+        let mut b = ProgramBuilder::new("math");
+        b.load_imm(Reg::R0, 7)
+            .alu_imm(AluOp::Add, Reg::R0, 3)
+            .alu_imm(AluOp::Mul, Reg::R0, 4)
+            .alu_imm(AluOp::Xor, Reg::R0, 5)
+            .exit();
+        let p = b.build();
+        p.verify().unwrap();
+        let out = Vm::run(&p, &mut [0u8; 0]).unwrap();
+        assert_eq!(out.verdict, XdpVerdict::Aborted);
+        assert_eq!(out.steps, 5);
+    }
+
+    #[test]
+    fn packet_read_modify_write() {
+        // Increment byte 0 of the packet, then pass.
+        let mut b = ProgramBuilder::new("rmw");
+        b.load_pkt(Reg::R2, 0, 1)
+            .alu_imm(AluOp::Add, Reg::R2, 1)
+            .store_pkt(Reg::R2, 0, 1)
+            .load_imm(Reg::R0, XdpVerdict::Pass as i64)
+            .exit();
+        let p = b.build();
+        p.verify().unwrap();
+        let mut pkt = [41u8, 0, 0];
+        let out = Vm::run(&p, &mut pkt).unwrap();
+        assert_eq!(out.verdict, XdpVerdict::Pass);
+        assert_eq!(pkt[0], 42);
+    }
+
+    #[test]
+    fn multibyte_big_endian_access() {
+        let mut b = ProgramBuilder::new("be");
+        b.load_pkt(Reg::R2, 0, 4).mov(Reg::R0, Reg::R2).exit();
+        let p = b.build();
+        let mut pkt = [0x12, 0x34, 0x56, 0x78];
+        // Copy r2 into r0 and exit: r0 = 0x12345678 → Aborted (not a code),
+        // but we can still inspect via steps + a dedicated store.
+        let mut b2 = ProgramBuilder::new("be2");
+        b2.load_pkt(Reg::R2, 0, 4)
+            .store_stack(Reg::R2, 0, 8)
+            .load_stack(Reg::R3, 4, 4) // low 4 bytes of the stored value
+            .load_imm(Reg::R0, 2)
+            .exit();
+        let p2 = b2.build();
+        p2.verify().unwrap();
+        Vm::run(&p, &mut pkt).unwrap();
+        let out = Vm::run(&p2, &mut pkt).unwrap();
+        assert_eq!(out.verdict, XdpVerdict::Pass);
+    }
+
+    #[test]
+    fn out_of_bounds_read_errors() {
+        let mut b = ProgramBuilder::new("oob");
+        b.load_pkt(Reg::R2, 100, 4).load_imm(Reg::R0, 2).exit();
+        let p = b.build();
+        let err = Vm::run(&p, &mut [0u8; 50]).unwrap_err();
+        assert_eq!(err, ExecError::PacketOutOfBounds { pc: 0, offset: 104, len: 50 });
+    }
+
+    #[test]
+    fn length_guard_pattern() {
+        // The canonical XDP bounds check: if len < 34 drop, else read ip.
+        let mut b = ProgramBuilder::new("guard");
+        let too_short = b.label();
+        b.jmp_imm(JmpCond::Lt, Reg::R1, 34, too_short)
+            .load_pkt(Reg::R2, 30, 4) // dst ip
+            .load_imm(Reg::R0, XdpVerdict::Pass as i64)
+            .exit();
+        b.bind(too_short)
+            .load_imm(Reg::R0, XdpVerdict::Drop as i64)
+            .exit();
+        let p = b.build();
+        p.verify().unwrap();
+        let mut big = vec![0u8; 64];
+        assert_eq!(Vm::run(&p, &mut big).unwrap().verdict, XdpVerdict::Pass);
+        let mut small = vec![0u8; 20];
+        assert_eq!(Vm::run(&p, &mut small).unwrap().verdict, XdpVerdict::Drop);
+    }
+
+    #[test]
+    fn indirect_packet_access() {
+        // r3 = 2; read pkt[r3 + 1] (= pkt[3]).
+        let mut b = ProgramBuilder::new("ind");
+        b.load_imm(Reg::R3, 2)
+            .load_pkt_ind(Reg::R2, Reg::R3, 1, 1)
+            .mov(Reg::R0, Reg::R2)
+            .exit();
+        let p = b.build();
+        let mut pkt = [0u8, 0, 0, 2, 0];
+        let out = Vm::run(&p, &mut pkt).unwrap();
+        assert_eq!(out.verdict, XdpVerdict::Pass); // pkt[3] = 2 = Pass
+    }
+
+    #[test]
+    fn steps_counted_for_cost_model() {
+        let mut b = ProgramBuilder::new("cost");
+        for _ in 0..10 {
+            b.alu_imm(AluOp::Add, Reg::R4, 1);
+        }
+        b.load_imm(Reg::R0, 2).exit();
+        let p = b.build();
+        let out = Vm::run(&p, &mut [0u8; 0]).unwrap();
+        assert_eq!(out.steps, 12);
+    }
+
+    #[test]
+    fn r1_preloaded_with_packet_len() {
+        let mut b = ProgramBuilder::new("len");
+        b.mov(Reg::R0, Reg::R1).exit();
+        let p = b.build();
+        let out = Vm::run(&p, &mut [0u8; 2]).unwrap();
+        // len 2 == Pass code: cheeky but verifies the preload.
+        assert_eq!(out.verdict, XdpVerdict::Pass);
+    }
+}

@@ -1,0 +1,39 @@
+//! # lemur-ebpf
+//!
+//! An eBPF-style virtual machine standing in for the Netronome Agilio
+//! SmartNIC of the paper's testbed (§A.3).
+//!
+//! The paper documents the constraints that shaped Lemur's SmartNIC code
+//! generation, and this VM's [`verifier`] enforces exactly those:
+//!
+//! * only 512 bytes of stack;
+//! * a bounded instruction count (4096);
+//! * no function calls;
+//! * no back-edge jumps (`for`/`while` loops must be unrolled).
+//!
+//! The meta-compiler "solved these challenges by … using loop unrolling to
+//! avoid for (back-edge), and inlining all function calls" — generated
+//! programs that violate the rules are rejected here just as the real
+//! verifier would reject them at load time.
+//!
+//! [`interp`] executes verified programs over packet buffers with full
+//! bounds checking, returning XDP-style verdicts, and counts executed
+//! instructions so the dataplane can charge processing cost.
+
+pub mod insn;
+pub mod interp;
+pub mod program;
+pub mod verifier;
+
+pub use insn::{AluOp, Insn, JmpCond, Reg};
+pub use interp::{ExecError, ExecResult, Vm, XdpVerdict};
+pub use program::{Program, ProgramBuilder};
+pub use verifier::{verify, VerifierError};
+
+/// Stack size available to a program (bytes).
+pub const STACK_SIZE: usize = 512;
+/// Maximum number of instructions a program may load.
+pub const MAX_INSNS: usize = 4096;
+/// Per-run instruction budget (straight-line programs cannot loop, so this
+/// only guards against pathological unrolled code).
+pub const MAX_STEPS: usize = 1 << 20;

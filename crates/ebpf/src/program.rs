@@ -1,0 +1,243 @@
+//! Programs and a builder used by the meta-compiler's code generator.
+
+use crate::insn::{AluOp, Insn, JmpCond, Operand, Reg};
+use crate::verifier::{verify, VerifierError};
+
+/// A verified-or-not sequence of instructions.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub insns: Vec<Insn>,
+    /// Human-readable name for diagnostics and generated-code accounting.
+    pub name: String,
+}
+
+impl Program {
+    /// Wrap raw instructions.
+    pub fn new(name: &str, insns: Vec<Insn>) -> Program {
+        Program { insns: insns.to_vec(), name: name.to_string() }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Run the verifier.
+    pub fn verify(&self) -> Result<(), VerifierError> {
+        verify(self)
+    }
+
+    /// Assembly-like listing (one instruction per line), used when counting
+    /// auto-generated lines of code.
+    pub fn disassemble(&self) -> String {
+        self.insns
+            .iter()
+            .enumerate()
+            .map(|(i, insn)| format!("{i:4}: {insn}\n"))
+            .collect()
+    }
+}
+
+/// A small assembler with labels, so generated code can use forward jumps
+/// without manual offset arithmetic. Loops are impossible to express:
+/// a label must be *declared after* every jump that targets it.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insns: Vec<Insn>,
+    /// (insn index, label id) of jumps awaiting resolution.
+    fixups: Vec<(usize, usize)>,
+    /// label id → resolved pc.
+    labels: Vec<Option<usize>>,
+    name: String,
+}
+
+/// A forward-jump label handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+impl ProgramBuilder {
+    /// Start a program.
+    pub fn new(name: &str) -> ProgramBuilder {
+        ProgramBuilder { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Reserve a label to be bound later with [`ProgramBuilder::bind`].
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind a label to the current position.
+    pub fn bind(&mut self, l: Label) -> &mut Self {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.insns.len());
+        self
+    }
+
+    /// `dst = imm`
+    pub fn load_imm(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.insns.push(Insn::LoadImm { dst, imm });
+        self
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.insns.push(Insn::Mov { dst, src: Operand::Reg(src) });
+        self
+    }
+
+    /// `dst = dst OP src_reg`
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src: Reg) -> &mut Self {
+        self.insns.push(Insn::Alu { op, dst, src: Operand::Reg(src) });
+        self
+    }
+
+    /// `dst = dst OP imm`
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, imm: i64) -> &mut Self {
+        self.insns.push(Insn::Alu { op, dst, src: Operand::Imm(imm) });
+        self
+    }
+
+    /// `dst = pkt[offset..offset+size]`
+    pub fn load_pkt(&mut self, dst: Reg, offset: u16, size: u8) -> &mut Self {
+        self.insns.push(Insn::LoadPkt { dst, base: None, offset, size });
+        self
+    }
+
+    /// `dst = pkt[base+offset..+size]`
+    pub fn load_pkt_ind(&mut self, dst: Reg, base: Reg, offset: u16, size: u8) -> &mut Self {
+        self.insns.push(Insn::LoadPkt { dst, base: Some(base), offset, size });
+        self
+    }
+
+    /// `pkt[offset..+size] = src`
+    pub fn store_pkt(&mut self, src: Reg, offset: u16, size: u8) -> &mut Self {
+        self.insns.push(Insn::StorePkt { src, base: None, offset, size });
+        self
+    }
+
+    /// `pkt[base+offset..+size] = src`
+    pub fn store_pkt_ind(&mut self, src: Reg, base: Reg, offset: u16, size: u8) -> &mut Self {
+        self.insns.push(Insn::StorePkt { src, base: Some(base), offset, size });
+        self
+    }
+
+    /// `dst = stack[offset..+size]`
+    pub fn load_stack(&mut self, dst: Reg, offset: u16, size: u8) -> &mut Self {
+        self.insns.push(Insn::LoadStack { dst, offset, size });
+        self
+    }
+
+    /// `stack[offset..+size] = src`
+    pub fn store_stack(&mut self, src: Reg, offset: u16, size: u8) -> &mut Self {
+        self.insns.push(Insn::StoreStack { src, offset, size });
+        self
+    }
+
+    /// `if dst COND imm goto label` (forward only).
+    pub fn jmp_imm(&mut self, cond: JmpCond, dst: Reg, imm: i64, target: Label) -> &mut Self {
+        self.fixups.push((self.insns.len(), target.0));
+        self.insns.push(Insn::Jmp { cond, dst, src: Operand::Imm(imm), off: 0 });
+        self
+    }
+
+    /// `if dst COND src goto label` (forward only).
+    pub fn jmp_reg(&mut self, cond: JmpCond, dst: Reg, src: Reg, target: Label) -> &mut Self {
+        self.fixups.push((self.insns.len(), target.0));
+        self.insns.push(Insn::Jmp { cond, dst, src: Operand::Reg(src), off: 0 });
+        self
+    }
+
+    /// `goto label`
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.jmp_imm(JmpCond::Always, Reg::R0, 0, target)
+    }
+
+    /// `exit`
+    pub fn exit(&mut self) -> &mut Self {
+        self.insns.push(Insn::Exit);
+        self
+    }
+
+    /// Resolve labels and produce the program. Panics on an unbound label or
+    /// a backward jump — both are code-generator bugs, not runtime inputs.
+    pub fn build(mut self) -> Program {
+        for (at, label) in &self.fixups {
+            let target = self.labels[*label].expect("unbound label");
+            assert!(target > *at, "backward jump generated (loop?)");
+            let off = (target - *at - 1) as u16;
+            if let Insn::Jmp { off: o, .. } = &mut self.insns[*at] {
+                *o = off;
+            }
+        }
+        Program { insns: self.insns, name: self.name }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Vm, XdpVerdict};
+
+    #[test]
+    fn builder_resolves_forward_jumps() {
+        let mut b = ProgramBuilder::new("t");
+        let done = b.label();
+        b.load_imm(Reg::R0, XdpVerdict::Pass as i64)
+            .load_pkt(Reg::R2, 12, 2)
+            .jmp_imm(JmpCond::Eq, Reg::R2, 0x0800, done)
+            .load_imm(Reg::R0, XdpVerdict::Drop as i64)
+            .bind(done)
+            .exit();
+        let p = b.build();
+        p.verify().unwrap();
+        // IPv4 ethertype at offset 12 → Pass.
+        let mut frame = vec![0u8; 64];
+        frame[12] = 0x08;
+        let out = Vm::run(&p, &mut frame).unwrap();
+        assert_eq!(out.verdict, XdpVerdict::Pass);
+        // Non-IPv4 → Drop.
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        let out = Vm::run(&p, &mut arp).unwrap();
+        assert_eq!(out.verdict, XdpVerdict::Drop);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.jmp(l).exit();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "backward jump")]
+    fn backward_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.bind(l);
+        b.load_imm(Reg::R0, 0);
+        // Jump to an already-bound (earlier) label — a loop.
+        b.jmp(l).exit();
+        let _ = b.build();
+    }
+
+    #[test]
+    fn disassembly_lists_all_insns() {
+        let mut b = ProgramBuilder::new("d");
+        b.load_imm(Reg::R0, 2).exit();
+        let p = b.build();
+        let d = p.disassemble();
+        assert_eq!(d.lines().count(), 2);
+        assert!(d.contains("r0 = 2"));
+        assert!(d.contains("exit"));
+    }
+}

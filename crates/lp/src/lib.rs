@@ -1,0 +1,39 @@
+//! # lemur-lp
+//!
+//! A small, dependency-free linear-programming toolkit: a dense two-phase
+//! simplex solver and a branch-and-bound MILP layer.
+//!
+//! Lemur's Placer uses linear programs in two places (paper §3.2):
+//!
+//! * the *marginal throughput LP*: given a placement pattern and core
+//!   allocation, choose per-chain rates that maximize aggregate marginal
+//!   throughput subject to SLO minimums/maximums, per-subgroup capacity, and
+//!   link capacity constraints;
+//! * the *MILP formulation* the paper contrasts with ("we cast the placement
+//!   problem as an MILP, but for one key component..."), which we also ship
+//!   so the brute-force/optimal comparison can be reproduced end to end.
+//!
+//! The solver is deliberately simple — dense tableau, Bland's rule fallback
+//! for anti-cycling — because Placer LPs have tens of variables, not
+//! thousands.
+//!
+//! ```
+//! use lemur_lp::{Problem, Relation};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0
+//! let mut p = Problem::new();
+//! let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+//! let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective - 12.0).abs() < 1e-6);
+//! assert!((sol.value(x) - 4.0).abs() < 1e-6);
+//! ```
+
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+
+pub use milp::MilpProblem;
+pub use problem::{LpError, Problem, Relation, Solution, Var};

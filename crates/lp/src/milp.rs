@@ -1,0 +1,228 @@
+//! Branch-and-bound mixed-integer layer over the simplex solver.
+//!
+//! The paper notes the placement problem "lends itself to an optimization
+//! formulation... cast as an MILP" (§3.2); this module provides the MILP
+//! oracle used by that formulation (core counts and placement indicators are
+//! integral, rates are continuous).
+
+use crate::problem::{LpError, Problem, Relation, Solution, Var};
+
+/// A mixed-integer linear program: a [`Problem`] plus a set of variables
+/// constrained to integer values.
+#[derive(Debug, Clone, Default)]
+pub struct MilpProblem {
+    /// The LP relaxation.
+    pub lp: Problem,
+    integer_vars: Vec<Var>,
+}
+
+impl MilpProblem {
+    /// An empty MILP.
+    pub fn new() -> MilpProblem {
+        MilpProblem::default()
+    }
+
+    /// Add a continuous variable.
+    pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> Var {
+        self.lp.add_var(name, lower, upper, objective)
+    }
+
+    /// Add an integer variable.
+    pub fn add_int_var(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> Var {
+        let v = self.lp.add_var(name, lower, upper, objective);
+        self.integer_vars.push(v);
+        v
+    }
+
+    /// Add a binary (0/1) variable.
+    pub fn add_bin_var(&mut self, name: &str, objective: f64) -> Var {
+        self.add_int_var(name, 0.0, 1.0, objective)
+    }
+
+    /// Add a linear constraint.
+    pub fn add_constraint(&mut self, terms: &[(Var, f64)], relation: Relation, rhs: f64) {
+        self.lp.add_constraint(terms, relation, rhs);
+    }
+
+    /// Solve by branch and bound (best-first on the LP bound).
+    ///
+    /// Node limit guards against pathological instances; Placer MILPs are
+    /// small, so hitting the limit indicates a modelling bug and is surfaced
+    /// as [`LpError::IterationLimit`].
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        const INT_TOL: f64 = 1e-6;
+        const NODE_LIMIT: usize = 100_000;
+
+        // Each node narrows bounds on integer variables.
+        #[derive(Clone)]
+        struct Node {
+            bounds: Vec<(usize, f64, f64)>, // (var index, lower, upper)
+        }
+
+        let root = Node { bounds: Vec::new() };
+        let mut stack = vec![root];
+        let mut incumbent: Option<Solution> = None;
+        let mut nodes = 0usize;
+
+        while let Some(node) = stack.pop() {
+            nodes += 1;
+            if nodes > NODE_LIMIT {
+                return Err(LpError::IterationLimit);
+            }
+            // Build the node LP: base problem with tightened bounds.
+            let mut lp = self.lp.clone();
+            let mut conflict = false;
+            for &(vi, lo, hi) in &node.bounds {
+                if lo > hi + 1e-12 {
+                    conflict = true;
+                    break;
+                }
+                lp.vars[vi].lower = lp.vars[vi].lower.max(lo);
+                lp.vars[vi].upper = lp.vars[vi].upper.min(hi);
+                if lp.vars[vi].lower > lp.vars[vi].upper {
+                    conflict = true;
+                    break;
+                }
+            }
+            if conflict {
+                continue;
+            }
+            let relax = match lp.solve() {
+                Ok(s) => s,
+                Err(LpError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            // Bound: prune if the relaxation can't beat the incumbent.
+            if let Some(inc) = &incumbent {
+                if relax.objective <= inc.objective + 1e-9 {
+                    continue;
+                }
+            }
+            // Find a fractional integer variable.
+            let frac = self.integer_vars.iter().find_map(|&v| {
+                let val = relax.value(v);
+                let nearest = val.round();
+                if (val - nearest).abs() > INT_TOL {
+                    Some((v, val))
+                } else {
+                    None
+                }
+            });
+            match frac {
+                None => {
+                    // Integral: snap and accept as incumbent.
+                    let mut sol = relax;
+                    for &v in &self.integer_vars {
+                        sol.values[v.0] = sol.values[v.0].round();
+                    }
+                    sol.objective = self.lp.objective_at(sol.values());
+                    let better = incumbent
+                        .as_ref()
+                        .map(|inc| sol.objective > inc.objective + 1e-9)
+                        .unwrap_or(true);
+                    if better && self.lp.is_feasible(sol.values(), 1e-6) {
+                        incumbent = Some(sol);
+                    }
+                }
+                Some((v, val)) => {
+                    let floor = val.floor();
+                    // Branch down: v <= floor.
+                    let mut down = node.clone();
+                    down.bounds.push((v.0, f64::NEG_INFINITY, floor));
+                    // Branch up: v >= floor + 1.
+                    let mut up = node;
+                    up.bounds.push((v.0, floor + 1.0, f64::INFINITY));
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+        incumbent.ok_or(LpError::Infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary → a=0? Evaluate:
+        // {a,c}: 17 weight 5; {b,c}: 20 weight 6; {a,b}: 23 weight 7 no.
+        let mut m = MilpProblem::new();
+        let a = m.add_bin_var("a", 10.0);
+        let b = m.add_bin_var("b", 13.0);
+        let c = m.add_bin_var("c", 7.0);
+        m.add_constraint(&[(a, 3.0), (b, 4.0), (c, 2.0)], Relation::Le, 6.0);
+        let s = m.solve().unwrap();
+        approx(s.objective, 20.0);
+        approx(s.value(b), 1.0);
+        approx(s.value(c), 1.0);
+        approx(s.value(a), 0.0);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x s.t. 2x <= 7, x integer → 3 (LP relaxation gives 3.5).
+        let mut m = MilpProblem::new();
+        let x = m.add_int_var("x", 0.0, 100.0, 1.0);
+        m.add_constraint(&[(x, 2.0)], Relation::Le, 7.0);
+        let s = m.solve().unwrap();
+        approx(s.value(x), 3.0);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2k + r, k integer cores <= 4, rate r <= 3k (per-core capacity),
+        // r <= 10. Optimal: k=4, r=10 → 18.
+        let mut m = MilpProblem::new();
+        let k = m.add_int_var("k", 0.0, 4.0, 2.0);
+        let r = m.add_var("r", 0.0, 10.0, 1.0);
+        m.add_constraint(&[(r, 1.0), (k, -3.0)], Relation::Le, 0.0);
+        let s = m.solve().unwrap();
+        approx(s.value(k), 4.0);
+        approx(s.value(r), 10.0);
+        approx(s.objective, 18.0);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        // x binary, x >= 0.4, x <= 0.6 — no integer point.
+        let mut m = MilpProblem::new();
+        let x = m.add_bin_var("x", 1.0);
+        m.add_constraint(&[(x, 1.0)], Relation::Ge, 0.4);
+        m.add_constraint(&[(x, 1.0)], Relation::Le, 0.6);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn core_allocation_shape() {
+        // Mini placement MILP: two subgroups with per-core rates 5 and 2,
+        // total cores 6, chain rate = min of subgroup rates modeled via
+        // r <= 5·k1, r <= 2·k2; maximize r. Optimal: k1=2, k2=4 → r=8.
+        let mut m = MilpProblem::new();
+        let k1 = m.add_int_var("k1", 1.0, 6.0, 0.0);
+        let k2 = m.add_int_var("k2", 1.0, 6.0, 0.0);
+        let r = m.add_var("r", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(k1, 1.0), (k2, 1.0)], Relation::Le, 6.0);
+        m.add_constraint(&[(r, 1.0), (k1, -5.0)], Relation::Le, 0.0);
+        m.add_constraint(&[(r, 1.0), (k2, -2.0)], Relation::Le, 0.0);
+        let s = m.solve().unwrap();
+        approx(s.objective, 8.0);
+        approx(s.value(k1), 2.0);
+        approx(s.value(k2), 4.0);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        // No integer vars: identical to plain simplex.
+        let mut m = MilpProblem::new();
+        let x = m.add_var("x", 0.0, 4.0, 1.0);
+        let s = m.solve().unwrap();
+        approx(s.value(x), 4.0);
+    }
+}

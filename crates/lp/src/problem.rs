@@ -1,0 +1,215 @@
+//! LP problem construction API.
+
+use crate::simplex;
+use core::fmt;
+
+/// Handle to a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Errors a solve can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can grow without bound.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub coeffs: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program: maximize `c·x` subject to linear constraints and
+/// per-variable bounds.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+/// A solution to an LP.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    pub(crate) values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of a variable at the optimum.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.0]
+    }
+
+    /// All variable values, indexed by creation order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Problem {
+    /// An empty maximization problem.
+    pub fn new() -> Problem {
+        Problem::default()
+    }
+
+    /// Add a variable with bounds `[lower, upper]` and an objective
+    /// coefficient. `upper` may be `f64::INFINITY`. `lower` must be finite
+    /// (Placer LPs are rate allocations; every rate has a finite floor).
+    pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> Var {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(
+            upper >= lower,
+            "upper bound {upper} below lower bound {lower} for {name}"
+        );
+        self.vars.push(VarDef { name: name.to_string(), lower, upper, objective });
+        Var(self.vars.len() - 1)
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of explicit constraints (bounds not included).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Add a linear constraint `sum(coeff * var) REL rhs`.
+    ///
+    /// Repeated variables in `terms` are summed.
+    pub fn add_constraint(&mut self, terms: &[(Var, f64)], relation: Relation, rhs: f64) {
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            if let Some(slot) = coeffs.iter_mut().find(|(i, _)| *i == v.0) {
+                slot.1 += c;
+            } else {
+                coeffs.push((v.0, c));
+            }
+        }
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+    }
+
+    /// Solve with the two-phase simplex method.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        simplex::solve(self)
+    }
+
+    /// Check that an assignment satisfies all constraints and bounds within
+    /// `tol`. Useful for tests and for validating MILP incumbents.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, def) in values.iter().zip(&self.vars) {
+            if *v < def.lower - tol || *v > def.upper + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, co)| co * values[i]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluate the objective at an assignment.
+    pub fn objective_at(&self, values: &[f64]) -> f64 {
+        values
+            .iter()
+            .zip(&self.vars)
+            .map(|(v, def)| v * def.objective)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (x, 1.0)], Relation::Le, 10.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.value(x) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound")]
+    fn inverted_bounds_panic() {
+        let mut p = Problem::new();
+        p.add_var("x", 1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 5.0, 1.0);
+        let y = p.add_var("y", 0.0, 5.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
+        assert!(p.is_feasible(&[3.0, 3.0], 1e-9));
+        assert!(!p.is_feasible(&[4.0, 3.0], 1e-9));
+        assert!(!p.is_feasible(&[6.0, 0.0], 1e-9)); // bound violation
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_eval() {
+        let mut p = Problem::new();
+        let _x = p.add_var("x", 0.0, 5.0, 2.0);
+        let _y = p.add_var("y", 0.0, 5.0, -1.0);
+        assert_eq!(p.objective_at(&[2.0, 3.0]), 1.0);
+    }
+}

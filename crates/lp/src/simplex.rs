@@ -1,0 +1,438 @@
+//! Dense two-phase simplex.
+//!
+//! The implementation follows the textbook tableau method:
+//!
+//! 1. shift every variable by its lower bound so all variables are `>= 0`,
+//!    turning finite upper bounds into extra `<=` rows;
+//! 2. normalize rows to non-negative right-hand sides;
+//! 3. phase 1 maximizes `-Σ artificials` to find a basic feasible solution;
+//! 4. phase 2 maximizes the real objective.
+//!
+//! Dantzig pricing is used until an iteration threshold, after which the
+//! solver switches to Bland's rule, which guarantees termination.
+
+use crate::problem::{LpError, Problem, Relation, Solution};
+
+const EPS: f64 = 1e-9;
+const MAX_ITER: usize = 50_000;
+
+struct Tableau {
+    /// `rows × cols` coefficient matrix; the last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row (same width); coefficients stored as `-c_j`, RHS holds
+    /// the current objective value.
+    obj: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> f64 {
+        self.a[r][self.cols]
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        for r in 0..self.rows {
+            if r != row {
+                let factor = self.a[r][col];
+                if factor.abs() > EPS {
+                    for c in 0..=self.cols {
+                        self.a[r][c] -= factor * self.a[row][c];
+                    }
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > EPS {
+            for c in 0..=self.cols {
+                self.obj[c] -= factor * self.a[row][c];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run simplex iterations until optimal, unbounded, or iteration limit.
+    /// `allowed` marks columns eligible to enter the basis.
+    fn iterate(&mut self, allowed: &[bool]) -> Result<(), LpError> {
+        let bland_after = 20 * (self.rows + self.cols);
+        for iter in 0..MAX_ITER {
+            let use_bland = iter > bland_after;
+            // Entering column: most negative objective coefficient
+            // (Dantzig), or the first negative one (Bland).
+            let mut entering = None;
+            let mut best = -EPS;
+            for c in 0..self.cols {
+                if !allowed[c] {
+                    continue;
+                }
+                let v = self.obj[c];
+                if v < best {
+                    entering = Some(c);
+                    if use_bland {
+                        break;
+                    }
+                    best = v;
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(()); // optimal
+            };
+            // Leaving row: minimum ratio test; ties broken by smaller basic
+            // index for anti-cycling.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let coef = self.a[r][col];
+                if coef > EPS {
+                    let ratio = self.rhs(r) / coef;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leaving.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leaving else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solve `p` with two-phase simplex.
+pub fn solve(p: &Problem) -> Result<Solution, LpError> {
+    let n = p.vars.len();
+
+    // Shifted objective constant: c·lower.
+    let obj_offset: f64 = p.vars.iter().map(|v| v.objective * v.lower).sum();
+
+    // Collect all rows: user constraints with shifted RHS, plus upper-bound
+    // rows for finite upper bounds.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in &p.constraints {
+        let shift: f64 = c
+            .coeffs
+            .iter()
+            .map(|&(i, co)| co * p.vars[i].lower)
+            .sum();
+        rows.push(Row { coeffs: c.coeffs.clone(), relation: c.relation, rhs: c.rhs - shift });
+    }
+    for (i, v) in p.vars.iter().enumerate() {
+        if v.upper.is_finite() {
+            rows.push(Row {
+                coeffs: vec![(i, 1.0)],
+                relation: Relation::Le,
+                rhs: v.upper - v.lower,
+            });
+        }
+    }
+
+    // Normalize RHS >= 0.
+    for row in rows.iter_mut() {
+        if row.rhs < 0.0 {
+            for (_, co) in row.coeffs.iter_mut() {
+                *co = -*co;
+            }
+            row.rhs = -row.rhs;
+            row.relation = match row.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural n][slack/surplus][artificial], then RHS.
+    let num_slack = rows
+        .iter()
+        .filter(|r| matches!(r.relation, Relation::Le | Relation::Ge))
+        .count();
+    let num_art = rows
+        .iter()
+        .filter(|r| matches!(r.relation, Relation::Ge | Relation::Eq))
+        .count();
+    let cols = n + num_slack + num_art;
+
+    let mut a = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    let art_start = n + num_slack;
+
+    for (r, row) in rows.iter().enumerate() {
+        for &(i, co) in &row.coeffs {
+            a[r][i] += co;
+        }
+        a[r][cols] = row.rhs;
+        match row.relation {
+            Relation::Le => {
+                a[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                a[r][slack_idx] = -1.0;
+                slack_idx += 1;
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau { a, obj: vec![0.0; cols + 1], basis, rows: m, cols };
+
+    // ---- Phase 1: maximize -Σ artificials. Row stores -c ⇒ +1 on
+    // artificial columns; price out the artificial basics.
+    if num_art > 0 {
+        for c in art_start..cols {
+            t.obj[c] = 1.0;
+        }
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                for c in 0..=cols {
+                    let v = t.a[r][c];
+                    t.obj[c] -= v;
+                }
+            }
+        }
+        let allowed = vec![true; cols];
+        t.iterate(&allowed)?;
+        // Optimum of -Σ artificials is stored in the RHS of the obj row.
+        if t.obj[cols] < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any residual basic artificials out of the basis.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                if let Some(c) = (0..art_start).find(|&c| t.a[r][c].abs() > EPS) {
+                    t.pivot(r, c);
+                }
+                // If no pivot column exists the row is redundant (all-zero);
+                // leaving the artificial basic at value 0 is harmless.
+            }
+        }
+    }
+
+    // ---- Phase 2: real objective. Disallow artificial columns.
+    let mut allowed = vec![true; cols];
+    for slot in allowed.iter_mut().take(cols).skip(art_start) {
+        *slot = false;
+    }
+    for v in t.obj.iter_mut() {
+        *v = 0.0;
+    }
+    for (i, v) in p.vars.iter().enumerate() {
+        t.obj[i] = -v.objective;
+    }
+    // Price out basic variables.
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < cols {
+            let factor = t.obj[b];
+            if factor.abs() > EPS {
+                for c in 0..=cols {
+                    t.obj[c] -= factor * t.a[r][c];
+                }
+            }
+        }
+    }
+    t.iterate(&allowed)?;
+
+    // Extract structural values (shift back by lower bounds).
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            values[b] = t.rhs(r);
+        }
+    }
+    for (val, def) in values.iter_mut().zip(&p.vars) {
+        *val += def.lower;
+        // Clean tiny negative noise.
+        if (*val - def.lower).abs() < 1e-9 {
+            *val = def.lower;
+        }
+    }
+    let objective = t.obj[cols] + obj_offset;
+    Ok(Solution { objective, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, Problem, Relation};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 → (2, 6), obj 36.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 5.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 36.0);
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // max x + y s.t. x + y <= 10; x >= 2; y == 3 → x=7, obj 10.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Eq, 3.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 10.0);
+        approx(s.value(x), 7.0);
+        approx(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_bounds() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 0.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn lower_bounds_shift() {
+        // max -x s.t. x >= 5 (bound) → x = 5, obj -5.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 5.0, f64::INFINITY, -1.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, -5.0);
+        approx(s.value(x), 5.0);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // max x s.t. -x <= -2 (i.e. x >= 2), x <= 6.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 6.0, 1.0);
+        p.add_constraint(&[(x, -1.0)], Relation::Le, -2.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 6.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the origin.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 0.75);
+        let y = p.add_var("y", 0.0, f64::INFINITY, -150.0);
+        let z = p.add_var("z", 0.0, f64::INFINITY, 0.02);
+        let w = p.add_var("w", 0.0, f64::INFINITY, -6.0);
+        p.add_constraint(&[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Relation::Le, 0.0);
+        p.add_constraint(&[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Relation::Le, 0.0);
+        p.add_constraint(&[(z, 1.0)], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 0.05); // known optimum of Beale's example
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // max x + 2y s.t. x + y == 4, x - y == 0 → x=y=2, obj 6.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        let s = p.solve().unwrap();
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 2.0);
+        approx(s.objective, 6.0);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Eq, 3.0);
+        p.add_constraint(&[(x, 2.0)], Relation::Eq, 6.0); // redundant
+        let s = p.solve().unwrap();
+        approx(s.value(x), 3.0);
+    }
+
+    #[test]
+    fn marginal_throughput_shape() {
+        // A miniature of the Placer LP: two chains, rates r1, r2 with
+        // t_min/t_max bounds, shared link capacity; maximize marginal
+        // throughput Σ(r_i - t_min_i) ≡ max Σ r_i.
+        let mut p = Problem::new();
+        let r1 = p.add_var("r1", 2.0, 8.0, 1.0); // t_min=2, t_max=8
+        let r2 = p.add_var("r2", 3.0, 10.0, 1.0); // t_min=3, t_max=10
+        // Subgroup capacity: r1 <= 6 (from a 1-core allocation).
+        p.add_constraint(&[(r1, 1.0)], Relation::Le, 6.0);
+        // Chain 1 bounces twice over the 12-unit link; chain 2 once.
+        p.add_constraint(&[(r1, 2.0), (r2, 1.0)], Relation::Le, 12.0);
+        let s = p.solve().unwrap();
+        // r2 takes as much as possible (10), then r1 gets (12-10)/2 = 1 < 2?
+        // No: r1 >= 2 forces 2·2=4, leaving 8 for r2. obj = 2 + 8 = 10.
+        approx(s.value(r1), 2.0);
+        approx(s.value(r2), 8.0);
+        approx(s.objective, 10.0);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_problem() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, 4.0, 2.0);
+        let y = p.add_var("y", 0.0, 9.0, 1.0);
+        p.add_constraint(&[(x, 3.0), (y, 1.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        let s = p.solve().unwrap();
+        assert!(p.is_feasible(s.values(), 1e-6));
+    }
+}

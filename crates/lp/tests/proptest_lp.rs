@@ -1,0 +1,72 @@
+//! Property-based tests for the simplex solver.
+
+use lemur_lp::{Problem, Relation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Box LPs with non-negative objectives: the optimum is the upper-bound
+    /// corner, objective = Σ c_i · u_i.
+    #[test]
+    fn box_lp_optimum_at_corner(
+        bounds in prop::collection::vec((0.0f64..50.0, 0.0f64..100.0), 1..8),
+    ) {
+        let mut p = Problem::new();
+        let mut expected = 0.0;
+        let mut vars = Vec::new();
+        for (i, (c, u)) in bounds.iter().enumerate() {
+            let v = p.add_var(&format!("x{i}"), 0.0, *u, *c);
+            expected += c * u;
+            vars.push((v, *u));
+        }
+        let s = p.solve().unwrap();
+        prop_assert!((s.objective - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+        for (v, u) in vars {
+            prop_assert!((s.value(v) - u).abs() < 1e-6 * (1.0 + u.abs()));
+        }
+    }
+
+    /// Any solution the solver returns must satisfy the constraints it was
+    /// given (feasibility is checked independently of the tableau).
+    #[test]
+    fn solutions_are_feasible(
+        n_vars in 1usize..5,
+        rows in prop::collection::vec(
+            (prop::collection::vec(-3.0f64..3.0, 5), 1.0f64..20.0), 0..6),
+        objs in prop::collection::vec(-2.0f64..2.0, 5),
+    ) {
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n_vars)
+            .map(|i| p.add_var(&format!("x{i}"), 0.0, 10.0, objs[i]))
+            .collect();
+        for (coeffs, rhs) in &rows {
+            let terms: Vec<_> = vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)).collect();
+            // rhs > 0 with x=0 feasible ⇒ never infeasible, never unbounded
+            // (all vars boxed).
+            p.add_constraint(&terms, Relation::Le, *rhs);
+        }
+        let s = p.solve().unwrap();
+        prop_assert!(p.is_feasible(s.values(), 1e-6));
+        // Objective must be at least as good as the origin (always feasible).
+        prop_assert!(s.objective >= -1e-6);
+    }
+
+    /// Relaxing a constraint can never decrease the optimum.
+    #[test]
+    fn monotonic_in_rhs(
+        c1 in 0.1f64..5.0,
+        c2 in 0.1f64..5.0,
+        rhs in 1.0f64..20.0,
+        slack in 0.0f64..10.0,
+    ) {
+        let build = |r: f64| {
+            let mut p = Problem::new();
+            let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+            p.add_constraint(&[(x, c1), (y, c2)], Relation::Le, r);
+            p.solve().unwrap().objective
+        };
+        let tight = build(rhs);
+        let loose = build(rhs + slack);
+        prop_assert!(loose >= tight - 1e-7);
+    }
+}

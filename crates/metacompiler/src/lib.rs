@@ -1,0 +1,73 @@
+//! # lemur-metacompiler
+//!
+//! Lemur's meta-compiler (§4): takes NF chain specifications plus the
+//! Placer's placement and generates everything needed to execute the
+//! chains across platforms:
+//!
+//! * [`routing`] — NSH service-path synthesis: SPI/SI assignment per
+//!   decomposed path, encap/decap minimization (one encap at the head and
+//!   one decap at the tail of each service path), branch SPI-rewrite maps,
+//!   and the demux configuration for every server.
+//! * [`p4gen`] — P4 program synthesis for the PISA ToR: the standalone-NF
+//!   library, §A.2.1 parser-tree unification, §A.2.2 DAG→tree conversion
+//!   (branching nodes become exclusive `Switch` cases; merging nodes are
+//!   re-attached at a common ancestor behind metadata guards), and the
+//!   §4.2 dependency-elimination optimizations (a)–(d), each toggleable so
+//!   their stage cost can be measured.
+//! * [`bessgen`] — BESS pipeline generation per server: NSHdecap/demux,
+//!   run-to-completion subgroup instances with replica counts, NSHencap,
+//!   scheduler-tree core assignment, and the textual BESS script.
+//! * [`ebpfgen`] — eBPF program generation for SmartNIC-resident NFs with
+//!   loop unrolling and full inlining (§A.3).
+//! * [`ofgen`] — OpenFlow rules using the 12-bit VLAN VID as SPI/SI.
+//! * [`oracle`] — [`oracle::CompilerOracle`]: the production
+//!   `lemur_placer::StageOracle` that synthesizes the unified P4 program
+//!   and invokes the `lemur-p4sim` stage-packing compiler.
+//! * [`loc`] — generated-lines-of-code accounting for the §5.3
+//!   "meta-compiler benefits" experiment.
+
+pub mod bessgen;
+pub mod ebpfgen;
+pub mod loc;
+pub mod ofgen;
+pub mod oracle;
+pub mod p4gen;
+pub mod routing;
+
+pub use oracle::CompilerOracle;
+pub use p4gen::{P4GenOptions, SynthesizedP4};
+pub use routing::{Location, PathRoute, RoutingPlan, Segment};
+
+use lemur_placer::placement::{EvaluatedPlacement, PlacementProblem};
+
+/// Everything the meta-compiler produces for one placement.
+pub struct Deployment {
+    pub routing: RoutingPlan,
+    pub p4: SynthesizedP4,
+    pub bess: Vec<bessgen::ServerPipeline>,
+    pub ebpf: Vec<ebpfgen::NicProgram>,
+    pub stats: loc::CodegenStats,
+}
+
+/// Run the full meta-compilation pipeline.
+pub fn compile(
+    problem: &PlacementProblem,
+    placement: &EvaluatedPlacement,
+) -> Result<Deployment, String> {
+    compile_with_options(problem, placement, P4GenOptions::default())
+}
+
+/// Full pipeline with explicit P4 generation options (used by the stage
+/// optimization experiments).
+pub fn compile_with_options(
+    problem: &PlacementProblem,
+    placement: &EvaluatedPlacement,
+    p4_options: P4GenOptions,
+) -> Result<Deployment, String> {
+    let routing = routing::plan(problem, &placement.assignment);
+    let p4 = p4gen::synthesize(problem, &placement.assignment, &routing, p4_options)?;
+    let bess = bessgen::generate(problem, placement, &routing);
+    let ebpf = ebpfgen::generate(problem, placement, &routing)?;
+    let stats = loc::account(problem, &p4, &bess, &ebpf);
+    Ok(Deployment { routing, p4, bess, ebpf, stats })
+}

@@ -1,0 +1,221 @@
+//! OpenFlow rule generation (§5.3 "Placement on an OpenFlow switch").
+//!
+//! OpenFlow switches do not support NSH, so the 12-bit VLAN VID carries the
+//! service position instead (6-bit SPI, 6-bit SI via
+//! [`lemur_packet::vlan::VidServiceEncoding`]) — "this somewhat limits how
+//! many chains and how many NFs can be configured".
+
+use crate::routing::{Location, RoutingPlan};
+use lemur_openflow::{OfAction, OfMatch, OfRule, OfSwitch, OfTableType};
+use lemur_packet::vlan::VidServiceEncoding;
+use lemur_placer::placement::{Assignment, PlacementProblem};
+use lemur_placer::profiles::Platform;
+use lemur_nf::{NfKind, ParamValue};
+
+/// Error for service positions that overflow the VID encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VidOverflow {
+    pub spi: u32,
+    pub si: u8,
+}
+
+impl std::fmt::Display for VidOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "service position (spi={}, si={}) does not fit the 12-bit VID",
+            self.spi, self.si
+        )
+    }
+}
+
+impl std::error::Error for VidOverflow {}
+
+/// Map a wire (SPI, SI) onto the VID encoding: SIs count down from
+/// `INITIAL_SI`, so they are re-based into 6 bits.
+pub fn vid_for(spi: u32, si: u8) -> Result<u16, VidOverflow> {
+    let rebased = crate::routing::INITIAL_SI.saturating_sub(si);
+    if spi >= 64 || rebased >= 64 {
+        return Err(VidOverflow { spi, si });
+    }
+    VidServiceEncoding { spi: spi as u8, si: rebased }
+        .encode()
+        .map_err(|_| VidOverflow { spi, si })
+}
+
+/// Generated OpenFlow configuration.
+pub struct OfConfig {
+    pub rules: Vec<(OfTableType, OfRule)>,
+    /// Human-readable rule dump (for LoC accounting).
+    pub text: String,
+}
+
+impl OfConfig {
+    /// Install all rules into a switch.
+    pub fn install(&self, sw: &mut OfSwitch) {
+        for (table, rule) in &self.rules {
+            sw.add_rule(*table, rule.clone());
+        }
+    }
+}
+
+/// Generate OpenFlow rules for the OF-resident NFs of a placement.
+pub fn generate(
+    problem: &PlacementProblem,
+    assignment: &Assignment,
+    routing: &RoutingPlan,
+) -> Result<OfConfig, VidOverflow> {
+    let mut rules: Vec<(OfTableType, OfRule)> = Vec::new();
+
+    for (ci, chain) in problem.chains.iter().enumerate() {
+        for (id, node) in chain.graph.nodes() {
+            if assignment[ci].get(&id) != Some(&Platform::OpenFlow) {
+                continue;
+            }
+            // Which (spi, si) positions reach this node on the ToR.
+            let mut positions = Vec::new();
+            for path in routing.chain_paths(ci) {
+                for (k, seg) in path.segments.iter().enumerate() {
+                    if seg.location == Location::Tor && seg.nodes.contains(&id) {
+                        let spi = routing.canonical_spi(problem, path, k);
+                        if !positions.contains(&(spi, seg.si)) {
+                            positions.push((spi, seg.si));
+                        }
+                    }
+                }
+            }
+            for (spi, si) in positions {
+                let vid = vid_for(spi, si)?;
+                let m = OfMatch { vlan_vid: Some(vid), ..OfMatch::any() };
+                match node.kind {
+                    NfKind::Acl => {
+                        // Deny rules from params; matching traffic drops.
+                        if let Some(list) =
+                            node.params.get("rules").and_then(ParamValue::as_list)
+                        {
+                            for item in list {
+                                let Some(d) = item.as_dict() else { continue };
+                                if d.get("drop").and_then(ParamValue::as_bool)
+                                    == Some(true)
+                                {
+                                    let dst = d
+                                        .get("dst_ip")
+                                        .and_then(ParamValue::as_str)
+                                        .and_then(|s| s.parse().ok());
+                                    rules.push((
+                                        OfTableType::Acl,
+                                        OfRule::with_priority(
+                                            OfMatch {
+                                                vlan_vid: Some(vid),
+                                                ipv4_dst: dst,
+                                                ..OfMatch::any()
+                                            },
+                                            20,
+                                            vec![OfAction::Drop],
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                        // Permit-by-default for this position (continue).
+                    }
+                    NfKind::Detunnel => {
+                        rules.push((
+                            OfTableType::VlanPop,
+                            OfRule::with_priority(m.clone(), 10, vec![OfAction::PopVlan]),
+                        ));
+                    }
+                    NfKind::Tunnel => {
+                        let inner_vid =
+                            (node.params.int_or("vid", 1) as u16) & 0xfff;
+                        rules.push((
+                            OfTableType::VlanPush,
+                            OfRule::with_priority(
+                                m.clone(),
+                                10,
+                                vec![OfAction::PushVlan(inner_vid)],
+                            ),
+                        ));
+                    }
+                    NfKind::Monitor => {
+                        // Statistics come from table counters; install a
+                        // counting match that continues the pipeline.
+                        rules.push((
+                            OfTableType::Monitor,
+                            OfRule::with_priority(m.clone(), 10, vec![]),
+                        ));
+                    }
+                    NfKind::Ipv4Fwd => {
+                        rules.push((
+                            OfTableType::Forward,
+                            OfRule::with_priority(
+                                m.clone(),
+                                10,
+                                vec![OfAction::Output(crate::p4gen::OUT_PORT)],
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Steering: for every ToR segment followed by a server segment,
+        // rewrite the VID to the next SI and output toward the server.
+        for path in routing.chain_paths(ci) {
+            for (k, seg) in path.segments.iter().enumerate() {
+                if seg.location != Location::Tor {
+                    continue;
+                }
+                let Some(next) = path.segments.get(k + 1) else { continue };
+                let Location::Server(s) = next.location else { continue };
+                let spi = routing.canonical_spi(problem, path, k);
+                let vid_now = vid_for(spi, seg.si)?;
+                let vid_next = vid_for(spi, next.si)?;
+                rules.push((
+                    OfTableType::VlanPush,
+                    OfRule::with_priority(
+                        OfMatch { vlan_vid: Some(vid_now), ..OfMatch::any() },
+                        5,
+                        vec![OfAction::SetVlanVid(vid_next)],
+                    ),
+                ));
+                rules.push((
+                    OfTableType::Forward,
+                    OfRule::with_priority(
+                        OfMatch { vlan_vid: Some(vid_next), ..OfMatch::any() },
+                        5,
+                        vec![OfAction::Output(crate::p4gen::server_port(s))],
+                    ),
+                ));
+            }
+        }
+    }
+
+    let mut text = String::from("# Auto-generated OpenFlow rules (Lemur meta-compiler)\n");
+    for (table, rule) in &rules {
+        text.push_str(&format!("{table:?}: priority={} {:?} -> {:?}\n", rule.priority, rule.m, rule.actions));
+    }
+    Ok(OfConfig { rules, text })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vid_mapping_rebases_si() {
+        let v = vid_for(3, crate::routing::INITIAL_SI).unwrap();
+        let dec = VidServiceEncoding::decode(v);
+        assert_eq!(dec.spi, 3);
+        assert_eq!(dec.si, 0);
+        let v2 = vid_for(3, crate::routing::INITIAL_SI - 5).unwrap();
+        assert_eq!(VidServiceEncoding::decode(v2).si, 5);
+    }
+
+    #[test]
+    fn vid_overflow_detected() {
+        assert!(vid_for(64, crate::routing::INITIAL_SI).is_err());
+        assert!(vid_for(1, crate::routing::INITIAL_SI - 64).is_err());
+    }
+}

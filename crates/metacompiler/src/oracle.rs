@@ -1,0 +1,61 @@
+//! The production stage oracle: synthesize the unified P4 program and
+//! invoke the platform compiler (§3.2: "we then iteratively call a PISA
+//! compiler to find the highest-ranked placement within the switch's stage
+//! constraints").
+
+use crate::p4gen::{self, P4GenOptions};
+use crate::routing;
+use lemur_p4sim::compiler::{compile, CompileError, CompileOptions};
+use lemur_placer::oracle::{StageOracle, StageVerdict};
+use lemur_placer::placement::{Assignment, PlacementProblem};
+use lemur_placer::topology::Tor;
+
+/// A [`StageOracle`] backed by real code generation + stage packing.
+#[derive(Debug, Clone, Default)]
+pub struct CompilerOracle {
+    /// Code-generation options (the stage experiments toggle these).
+    pub options: P4GenOptions,
+}
+
+impl CompilerOracle {
+    /// Oracle with default (fully optimized) code generation.
+    pub fn new() -> CompilerOracle {
+        CompilerOracle::default()
+    }
+
+    /// Oracle generating naive (unoptimized) code.
+    pub fn naive() -> CompilerOracle {
+        CompilerOracle { options: P4GenOptions::naive() }
+    }
+}
+
+impl StageOracle for CompilerOracle {
+    fn check(&self, problem: &PlacementProblem, assignment: &Assignment) -> StageVerdict {
+        let Tor::Pisa(model) = &problem.topology.tor else {
+            // No PISA switch: nothing to fit.
+            return StageVerdict::Fits { stages: 0 };
+        };
+        let plan = routing::plan(problem, assignment);
+        let synthesized = match p4gen::synthesize(problem, assignment, &plan, self.options) {
+            Ok(s) => s,
+            Err(_) => {
+                // Parser conflicts and other synthesis failures reject the
+                // placement like an over-full pipeline would.
+                return StageVerdict::OutOfStages {
+                    required: model.num_stages + 1,
+                    available: model.num_stages,
+                };
+            }
+        };
+        match compile(&synthesized.program, model, CompileOptions::default()) {
+            Ok(out) => StageVerdict::Fits { stages: out.num_stages_used },
+            Err(CompileError::OutOfStages { required, available }) => {
+                StageVerdict::OutOfStages { required, available }
+            }
+            Err(CompileError::TableTooLarge(_)) => StageVerdict::OutOfStages {
+                required: model.num_stages + 1,
+                available: model.num_stages,
+            },
+        }
+    }
+}

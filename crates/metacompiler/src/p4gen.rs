@@ -1,0 +1,1151 @@
+//! P4 program synthesis for the PISA ToR (§4.2, §A.2).
+//!
+//! The generated program has this shape:
+//!
+//! ```text
+//! steer                      # one table: NSH (spi, si) resume + fresh
+//!                            # traffic classification (optimization (c))
+//! Exclusive per chain:       # a packet belongs to exactly one chain
+//!   per switch subgroup, topo order, branch subtrees in Exclusive blocks:
+//!     If reached { NF tables…; tail coordination }
+//!   merge subgroups re-attached at the chain level behind reach guards
+//!   pass-through units for empty ToR segments (pure coordination)
+//! ```
+//!
+//! Coordination uses per-subgroup "reached" metadata registers set by the
+//! steer table (for entries from the wire) or by tiny mark tables (for
+//! in-pipeline transitions), branch `Match` tables that select a gate and
+//! rewrite the NSH SPI, `to_server` tables (DecNshSi + egress to the
+//! server port) and `egress` tables (PopNsh + egress). The §4.2
+//! optimizations are individually toggleable via [`P4GenOptions`] so the
+//! stage-cost experiments can measure each.
+
+use crate::routing::{Location, RoutingPlan};
+use lemur_core::graph::NodeId;
+use lemur_nf::{NfKind, NfParams, ParamValue};
+use lemur_p4sim::parser::well_known;
+use lemur_p4sim::{
+    Action, CmpOp, Control, FieldRef, MatchKind, MatchValue, P4Program, ParserTree, Primitive,
+    Switch, Table, TableEntry, TableId,
+};
+use lemur_placer::placement::{Assignment, PlacementProblem};
+use lemur_placer::profiles::Platform;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Egress port used for traffic leaving the service chains.
+pub const OUT_PORT: u16 = 0;
+
+/// Switch port of a server.
+pub fn server_port(server: usize) -> u16 {
+    1 + server as u16
+}
+
+/// Switch port of a SmartNIC.
+pub fn nic_port(nic: usize) -> u16 {
+    100 + nic as u16
+}
+
+/// The §4.2 resource-aware code-generation optimizations.
+#[derive(Debug, Clone, Copy)]
+pub struct P4GenOptions {
+    /// (a) Skip NSH entirely for chains placed wholly on the switch.
+    pub skip_nsh_for_switch_only: bool,
+    /// (b) inverted: when true, generate the *naive* per-NF SI-decrement
+    /// tables instead of one update per platform visit.
+    pub si_update_per_nf: bool,
+    /// (c) Fold fresh-traffic classification into the first-stage steering
+    /// table instead of a dependent second table.
+    pub merge_steering: bool,
+    /// (d) Express branch exclusivity so the compiler can overlay parallel
+    /// branches onto the same stages.
+    pub express_exclusivity: bool,
+}
+
+impl Default for P4GenOptions {
+    fn default() -> Self {
+        P4GenOptions {
+            skip_nsh_for_switch_only: true,
+            si_update_per_nf: false,
+            merge_steering: true,
+            express_exclusivity: true,
+        }
+    }
+}
+
+impl P4GenOptions {
+    /// The naive generator the paper contrasts against ("without it, the
+    /// 10 NAT placement would have required 27 stages").
+    pub fn naive() -> P4GenOptions {
+        P4GenOptions {
+            skip_nsh_for_switch_only: false,
+            si_update_per_nf: true,
+            merge_steering: false,
+            express_exclusivity: false,
+        }
+    }
+}
+
+/// The synthesized unified P4 artifact.
+pub struct SynthesizedP4 {
+    pub program: P4Program,
+    pub entries: Vec<(TableId, TableEntry)>,
+    pub parser: ParserTree,
+    /// Generated P4-like source (for LoC accounting).
+    pub source: String,
+    /// Lines attributable to steering/coordination vs NF logic.
+    pub steering_lines: usize,
+    pub nf_lines: usize,
+}
+
+impl SynthesizedP4 {
+    /// Install all generated entries into a running switch.
+    pub fn install(&self, switch: &mut Switch) {
+        for (tid, e) in &self.entries {
+            switch.add_entry(*tid, e.clone());
+        }
+    }
+}
+
+/// Table categories for LoC accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TableRole {
+    Steering,
+    Nf,
+}
+
+struct Gen<'a> {
+    problem: &'a PlacementProblem,
+    assignment: &'a Assignment,
+    routing: &'a RoutingPlan,
+    opts: P4GenOptions,
+    program: P4Program,
+    entries: Vec<(TableId, TableEntry)>,
+    roles: Vec<TableRole>,
+    next_reg: u8,
+    parser: ParserTree,
+}
+
+/// One switch subgroup of a chain's switch sub-DAG.
+#[derive(Debug, Clone)]
+struct SwSub {
+    nodes: Vec<NodeId>,
+    reach_reg: u8,
+    /// In-DAG predecessors count.
+    in_degree: usize,
+    /// Out edges: (gate, target) where target is another subgroup, an
+    /// off-switch hop, or chain egress.
+    outs: Vec<(usize, SwTarget)>,
+    /// True if this subgroup is entered directly from the wire.
+    steer_entry: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SwTarget {
+    Sub(usize),
+    OffSwitch(u16 /* port */),
+    Egress,
+}
+
+/// Synthesize the unified P4 program for an assignment.
+pub fn synthesize(
+    problem: &PlacementProblem,
+    assignment: &Assignment,
+    routing: &RoutingPlan,
+    opts: P4GenOptions,
+) -> Result<SynthesizedP4, String> {
+    let mut gen = Gen {
+        problem,
+        assignment,
+        routing,
+        opts,
+        program: P4Program::new(),
+        entries: Vec::new(),
+        roles: Vec::new(),
+        next_reg: 1,
+        parser: well_known::base_tree(),
+    };
+    gen.merge_parsers()?;
+    gen.build()
+}
+
+impl<'a> Gen<'a> {
+    fn alloc_reg(&mut self) -> u8 {
+        let r = self.next_reg;
+        assert!(r < 250, "metadata register space exhausted");
+        self.next_reg += 1;
+        r
+    }
+
+    fn add_table(&mut self, table: Table, role: TableRole) -> TableId {
+        let id = self.program.add_table(table);
+        self.roles.push(role);
+        id
+    }
+
+    fn add_entry(&mut self, tid: TableId, entry: TableEntry) {
+        self.entries.push((tid, entry));
+    }
+
+    /// §A.2.1: merge the NF-local parser trees of every switch-resident
+    /// NF; a conflict rejects the placement.
+    fn merge_parsers(&mut self) -> Result<(), String> {
+        for (ci, chain) in self.problem.chains.iter().enumerate() {
+            for (id, node) in chain.graph.nodes() {
+                if self.assignment[ci].get(&id) == Some(&Platform::Pisa) {
+                    let local = nf_local_parser(node.kind);
+                    self.parser
+                        .merge(&local)
+                        .map_err(|e| format!("parser conflict for {}: {e}", node.name))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the chain use NSH? (Optimization (a) skips it for all-switch
+    /// chains.)
+    fn chain_uses_nsh(&self, chain: usize) -> bool {
+        if !self.opts.skip_nsh_for_switch_only {
+            return true;
+        }
+        self.routing.chain_paths(chain).any(|p| !p.all_on_tor())
+    }
+
+    fn build(mut self) -> Result<SynthesizedP4, String> {
+        // --- switch sub-DAGs per chain.
+        let mut chain_subs: Vec<Vec<SwSub>> = Vec::new();
+        let mut node_to_sub: Vec<HashMap<NodeId, usize>> = Vec::new();
+        for (ci, chain) in self.problem.chains.iter().enumerate() {
+            let (subs, map) = self.switch_subgroups(ci, chain);
+            chain_subs.push(subs);
+            node_to_sub.push(map);
+        }
+
+        // --- virtual pass-through units for empty ToR segments.
+        // Keyed (chain, canonical spi, segment idx) → (reach reg, target).
+        let mut virtual_units: BTreeMap<(usize, u32, usize), (u8, SwTarget)> = BTreeMap::new();
+        // --- steer entries to create: (spi, si, fresh, chain, EntryKind).
+        enum EntryKind {
+            Sub(usize),
+            Virtual(u32, usize),
+        }
+        let mut steer_plan: Vec<(u32, u8, bool, usize, EntryKind)> = Vec::new();
+        let mut seen_returning: HashSet<(u32, u8)> = HashSet::new();
+
+        for path in &self.routing.paths {
+            let ci = path.chain;
+            for (k, seg) in path.segments.iter().enumerate() {
+                if seg.location != Location::Tor {
+                    continue;
+                }
+                let fresh = k == 0;
+                let spi = self.routing.canonical_spi(self.problem, path, k);
+                if !fresh && !seen_returning.insert((spi, seg.si)) {
+                    continue;
+                }
+                if fresh && path.path_idx != 0 {
+                    // Fresh entries are per chain (canonical path 0 covers
+                    // the shared segment 0).
+                    continue;
+                }
+                let kind = if seg.nodes.is_empty() {
+                    // Pass-through: where next?
+                    let target = match path.segments.get(k + 1) {
+                        None => SwTarget::Egress,
+                        Some(next) => match next.location {
+                            Location::Server(s) => SwTarget::OffSwitch(server_port(s)),
+                            Location::Nic(n) => SwTarget::OffSwitch(nic_port(n)),
+                            Location::Tor => SwTarget::Egress,
+                        },
+                    };
+                    let reg = match virtual_units.get(&(ci, spi, k)) {
+                        Some((r, _)) => *r,
+                        None => {
+                            let r = self.alloc_reg();
+                            virtual_units.insert((ci, spi, k), (r, target));
+                            r
+                        }
+                    };
+                    let _ = reg;
+                    EntryKind::Virtual(spi, k)
+                } else {
+                    let sub = node_to_sub[ci][&seg.nodes[0]];
+                    chain_subs[ci][sub].steer_entry = true;
+                    EntryKind::Sub(sub)
+                };
+                steer_plan.push((spi, seg.si, fresh, ci, kind));
+            }
+        }
+
+        // --- the steer table (and optional separate classify table).
+        // Keys: [NshSpi exact, NshSi exact, Ipv4Src ternary, Ipv4Dst ternary].
+        // One action per entry point (set reach reg, optionally push NSH).
+        let steer_keys = vec![
+            (FieldRef::NshSpi, MatchKind::Exact),
+            (FieldRef::NshSi, MatchKind::Exact),
+            (FieldRef::Ipv4Src, MatchKind::Ternary),
+            (FieldRef::Ipv4Dst, MatchKind::Ternary),
+        ];
+        let mut steer_actions: Vec<Action> = Vec::new();
+        let mut classify_actions: Vec<Action> = Vec::new();
+        let mut steer_entries: Vec<TableEntry> = Vec::new();
+        let mut classify_entries: Vec<TableEntry> = Vec::new();
+        for (spi, si, fresh, ci, kind) in &steer_plan {
+            let reach = match kind {
+                EntryKind::Sub(s) => chain_subs[*ci][*s].reach_reg,
+                EntryKind::Virtual(spi, k) => virtual_units[&(*ci, *spi, *k)].0,
+            };
+            let uses_nsh = self.chain_uses_nsh(*ci);
+            let (actions, entries_list) = if *fresh && !self.opts.merge_steering {
+                (&mut classify_actions, &mut classify_entries)
+            } else {
+                (&mut steer_actions, &mut steer_entries)
+            };
+            let mut prims = vec![Primitive::SetFieldConst(FieldRef::Meta(reach), 1)];
+            let mut data = Vec::new();
+            if *fresh && uses_nsh {
+                prims.push(Primitive::PushNshFromData(0));
+                data = vec![*spi as u64, *si as u64];
+            }
+            let ai = actions.len();
+            actions.push(Action::new(&format!("enter_r{reach}"), prims));
+            let keys = if *fresh {
+                let agg = self.problem.chains[*ci].aggregate;
+                let (src, dst) = aggregate_masks(&agg);
+                vec![MatchValue::Exact(0), MatchValue::Exact(0), src, dst]
+            } else {
+                vec![
+                    MatchValue::Exact(*spi as u64),
+                    MatchValue::Exact(*si as u64),
+                    MatchValue::Any,
+                    MatchValue::Any,
+                ]
+            };
+            entries_list.push(TableEntry {
+                keys,
+                action: ai,
+                action_data: data,
+                priority: if *fresh { 10 } else { 20 },
+            });
+        }
+        let steer_tid = self.add_table(
+            Table {
+                name: "lemur_steer".into(),
+                keys: steer_keys.clone(),
+                actions: steer_actions,
+                default_action: None,
+                size: 256,
+            },
+            TableRole::Steering,
+        );
+        for e in steer_entries {
+            self.add_entry(steer_tid, e);
+        }
+        let classify_tid = if !self.opts.merge_steering {
+            let tid = self.add_table(
+                Table {
+                    name: "lemur_classify".into(),
+                    keys: steer_keys,
+                    actions: classify_actions,
+                    default_action: None,
+                    size: 256,
+                },
+                TableRole::Steering,
+            );
+            for e in classify_entries {
+                self.add_entry(tid, e);
+            }
+            Some(tid)
+        } else {
+            None
+        };
+
+        // --- per-chain control, with each chain's virtual pass-through
+        // units appended inside its (cross-chain exclusive) block so their
+        // NSH writes don't serialize against other chains' coordination.
+        let mut chain_controls = Vec::new();
+        for ci in 0..self.problem.chains.len() {
+            let control = self.gen_chain(ci, &mut chain_subs[ci])?;
+            let mut parts = vec![control];
+            for ((vci, _spi, _k), (reg, target)) in &virtual_units {
+                if *vci != ci {
+                    continue;
+                }
+                let coord = self.coordination_table(ci, *target, &format!("pass_r{reg}"));
+                parts.push(Control::If {
+                    field: FieldRef::Meta(*reg),
+                    op: CmpOp::Eq,
+                    value: 1,
+                    then_: Box::new(coord),
+                });
+            }
+            chain_controls.push(Control::Seq(parts));
+        }
+
+        let mut top = vec![Control::Apply(steer_tid)];
+        if let Some(tid) = classify_tid {
+            top.push(Control::Apply(tid));
+        }
+        top.push(Control::Exclusive(chain_controls));
+        self.program.control = Some(Control::Seq(top));
+
+        // --- source rendering and accounting.
+        let (source, steering_lines, nf_lines) = self.render();
+        Ok(SynthesizedP4 {
+            program: self.program,
+            entries: self.entries,
+            parser: self.parser,
+            source,
+            steering_lines,
+            nf_lines,
+        })
+    }
+
+    /// Form switch subgroups (union over ToR–ToR linear edges) plus their
+    /// inter-subgroup edges.
+    fn switch_subgroups(
+        &mut self,
+        ci: usize,
+        chain: &lemur_core::graph::ChainSpec,
+    ) -> (Vec<SwSub>, HashMap<NodeId, usize>) {
+        let g = &chain.graph;
+        let on_tor = |id: NodeId| {
+            !matches!(
+                self.assignment[ci].get(&id),
+                Some(Platform::Server(_)) | Some(Platform::SmartNic(_))
+            )
+        };
+        let n = g.num_nodes();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for e in g.edges() {
+            if on_tor(e.from)
+                && on_tor(e.to)
+                && g.out_edges(e.from).len() == 1
+                && g.in_degree(e.to) == 1
+            {
+                let (ra, rb) = (find(&mut parent, e.from.0), find(&mut parent, e.to.0));
+                parent[ra] = rb;
+            }
+        }
+        let order = g.topo_order().expect("validated");
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
+        let mut root_to_idx: HashMap<usize, usize> = HashMap::new();
+        let mut node_map: HashMap<NodeId, usize> = HashMap::new();
+        for id in &order {
+            if !on_tor(*id) {
+                continue;
+            }
+            let root = find(&mut parent, id.0);
+            let idx = *root_to_idx.entry(root).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[idx].push(*id);
+            node_map.insert(*id, idx);
+        }
+        let mut subs: Vec<SwSub> = groups
+            .into_iter()
+            .map(|nodes| SwSub {
+                nodes,
+                reach_reg: 0,
+                in_degree: 0,
+                outs: Vec::new(),
+                steer_entry: false,
+            })
+            .collect();
+        for i in 0..subs.len() {
+            subs[i].reach_reg = self.alloc_reg();
+        }
+        // Inter-subgroup edges from the tail node of each subgroup.
+        for i in 0..subs.len() {
+            let last = *subs[i].nodes.last().unwrap();
+            let mut outs = Vec::new();
+            for e in g.out_edges(last) {
+                let target = if on_tor(e.to) {
+                    let t = node_map[&e.to];
+                    SwTarget::Sub(t)
+                } else {
+                    match self.assignment[ci].get(&e.to) {
+                        Some(Platform::Server(s)) => SwTarget::OffSwitch(server_port(*s)),
+                        Some(Platform::SmartNic(nn)) => SwTarget::OffSwitch(nic_port(*nn)),
+                        _ => SwTarget::Egress,
+                    }
+                };
+                outs.push((e.gate, target));
+            }
+            if outs.is_empty() {
+                outs.push((0, SwTarget::Egress));
+            }
+            for (_, t) in &outs {
+                if let SwTarget::Sub(t) = t {
+                    subs[*t].in_degree += 1;
+                }
+            }
+            subs[i].outs = outs;
+        }
+        (subs, node_map)
+    }
+
+    /// Generate one chain's control tree (§A.2.2 DAG→tree conversion).
+    fn gen_chain(&mut self, ci: usize, subs: &mut [SwSub]) -> Result<Control, String> {
+        // A subgroup is *guarded* (emitted at chain level behind its reach
+        // register) if it's a steer entry or a merge; otherwise it's
+        // inlined into its unique predecessor.
+        let guarded: Vec<bool> = subs
+            .iter()
+            .map(|s| s.steer_entry || s.in_degree != 1)
+            .collect();
+        // Mark tables for guarded targets are created lazily.
+        let mut emitted = vec![false; subs.len()];
+        let mut blocks: Vec<Control> = Vec::new();
+        for i in 0..subs.len() {
+            if !guarded[i] || emitted[i] {
+                continue;
+            }
+            let body = self.gen_sub(ci, subs, i, &guarded, &mut emitted)?;
+            blocks.push(Control::If {
+                field: FieldRef::Meta(subs[i].reach_reg),
+                op: CmpOp::Eq,
+                value: 1,
+                then_: Box::new(body),
+            });
+        }
+        // Any unguarded, unemitted subgroup would be unreachable — that's
+        // a generator bug.
+        if let Some(idx) = emitted.iter().position(|e| !e) {
+            if !guarded[idx] {
+                return Err(format!("subgroup {idx} of chain {ci} unreachable"));
+            }
+        }
+        Ok(Control::Seq(blocks))
+    }
+
+    /// Generate one subgroup's body: NF tables then tail coordination.
+    fn gen_sub(
+        &mut self,
+        ci: usize,
+        subs: &[SwSub],
+        i: usize,
+        guarded: &[bool],
+        emitted: &mut [bool],
+    ) -> Result<Control, String> {
+        emitted[i] = true;
+        let sub = subs[i].clone();
+        let mut seq: Vec<Control> = Vec::new();
+        let mut branch_reg = None;
+        for (pos, id) in sub.nodes.iter().enumerate() {
+            let node = self.problem.chains[ci].graph.node(*id).clone();
+            let is_tail_branch = pos == sub.nodes.len() - 1 && sub.outs.len() > 1;
+            let reg = if is_tail_branch {
+                let r = self.alloc_reg();
+                branch_reg = Some(r);
+                Some(r)
+            } else {
+                None
+            };
+            let tables = self.gen_nf_tables(ci, *id, &node, reg)?;
+            seq.extend(tables.into_iter().map(Control::Apply));
+            if self.opts.si_update_per_nf && self.chain_uses_nsh(ci) {
+                // Naive SI maintenance: one decrement table per NF,
+                // serializing the pipeline on nsh.si.
+                let tid = self.add_table(
+                    Table {
+                        name: format!("c{ci}_{}_si_upd", node.name),
+                        keys: vec![],
+                        actions: vec![Action::new("upd", vec![Primitive::DecNshSi])],
+                        default_action: Some(0),
+                        size: 1,
+                    },
+                    TableRole::Steering,
+                );
+                seq.push(Control::Apply(tid));
+            }
+        }
+        // Tail coordination.
+        if sub.outs.len() == 1 {
+            let (_, target) = sub.outs[0];
+            seq.push(self.gen_target(ci, subs, target, i, guarded, emitted, None)?);
+        } else {
+            let br = branch_reg.ok_or_else(|| {
+                format!("chain {ci}: branch subgroup must end in a Match NF")
+            })?;
+            let mut cases = Vec::new();
+            for (gate, target) in sub.outs.clone() {
+                let c = self.gen_target(ci, subs, target, i, guarded, emitted, Some(gate))?;
+                cases.push((gate as u64, c));
+            }
+            let arms: Vec<Control> = cases
+                .iter()
+                .map(|(g, c)| Control::If {
+                    field: FieldRef::Meta(br),
+                    op: CmpOp::Eq,
+                    value: *g,
+                    then_: Box::new(c.clone()),
+                })
+                .collect();
+            if self.opts.express_exclusivity {
+                seq.push(Control::Exclusive(arms));
+            } else {
+                seq.push(Control::Seq(arms));
+            }
+        }
+        Ok(Control::Seq(seq))
+    }
+
+    /// Coordination for a tail edge: inline the successor, mark a guarded
+    /// successor, hop off-switch, or egress.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_target(
+        &mut self,
+        ci: usize,
+        subs: &[SwSub],
+        target: SwTarget,
+        from: usize,
+        guarded: &[bool],
+        emitted: &mut [bool],
+        gate: Option<usize>,
+    ) -> Result<Control, String> {
+        match target {
+            SwTarget::Sub(t) => {
+                if guarded[t] {
+                    // Mark table setting the successor's reach register.
+                    let tid = self.add_table(
+                        Table {
+                            name: format!(
+                                "c{ci}_mark_s{from}g{}_to_s{t}",
+                                gate.unwrap_or(0)
+                            ),
+                            keys: vec![],
+                            actions: vec![Action::new(
+                                "mark",
+                                vec![Primitive::SetFieldConst(
+                                    FieldRef::Meta(subs[t].reach_reg),
+                                    1,
+                                )],
+                            )],
+                            default_action: Some(0),
+                            size: 1,
+                        },
+                        TableRole::Steering,
+                    );
+                    Ok(Control::Apply(tid))
+                } else {
+                    self.gen_sub(ci, subs, t, guarded, emitted)
+                }
+            }
+            SwTarget::OffSwitch(port) => Ok(self.coordination_table(
+                ci,
+                SwTarget::OffSwitch(port),
+                &format!("c{ci}_to_port{port}_s{from}g{}", gate.unwrap_or(0)),
+            )),
+            SwTarget::Egress => Ok(self.coordination_table(
+                ci,
+                SwTarget::Egress,
+                &format!("c{ci}_egress_s{from}g{}", gate.unwrap_or(0)),
+            )),
+        }
+    }
+
+    /// A zero-key coordination table for off-switch hops and egress.
+    fn coordination_table(&mut self, ci: usize, target: SwTarget, name: &str) -> Control {
+        let uses_nsh = self.chain_uses_nsh(ci);
+        let (action, data) = match target {
+            SwTarget::OffSwitch(port) => {
+                let mut prims = Vec::new();
+                if uses_nsh {
+                    prims.push(Primitive::DecNshSi);
+                }
+                prims.push(Primitive::SetEgressFromData(0));
+                (Action::new("to_hop", prims), vec![port as u64])
+            }
+            _ => {
+                let mut prims = Vec::new();
+                if uses_nsh {
+                    prims.push(Primitive::PopNsh);
+                }
+                prims.push(Primitive::SetEgressConst(OUT_PORT));
+                (Action::new("egress", prims), vec![])
+            }
+        };
+        let tid = self.add_table(
+            Table {
+                name: name.to_string(),
+                keys: vec![],
+                actions: vec![action],
+                default_action: None,
+                size: 1,
+            },
+            TableRole::Steering,
+        );
+        self.add_entry(
+            tid,
+            TableEntry { keys: vec![], action: 0, action_data: data, priority: 1 },
+        );
+        Control::Apply(tid)
+    }
+
+    /// NF-specific tables + entries. `branch_reg` is set when this NF is a
+    /// branch point whose table must select a gate (and rewrite the SPI).
+    fn gen_nf_tables(
+        &mut self,
+        ci: usize,
+        id: NodeId,
+        node: &lemur_core::graph::NfNode,
+        branch_reg: Option<u8>,
+    ) -> Result<Vec<TableId>, String> {
+        let prefix = format!("c{ci}_{}", node.name);
+        let mut out = Vec::new();
+        match node.kind {
+            NfKind::Acl => {
+                let tid = self.add_table(
+                    Table {
+                        name: format!("{prefix}_acl"),
+                        keys: vec![
+                            (FieldRef::Ipv4Src, MatchKind::Ternary),
+                            (FieldRef::Ipv4Dst, MatchKind::Ternary),
+                            (FieldRef::L4Dport, MatchKind::Range),
+                            (FieldRef::Ipv4Proto, MatchKind::Ternary),
+                        ],
+                        actions: vec![
+                            Action::new("permit", vec![Primitive::NoOp]),
+                            Action::new("deny", vec![Primitive::Drop]),
+                        ],
+                        default_action: Some(1),
+                        size: acl_size(&node.params),
+                    },
+                    TableRole::Nf,
+                );
+                for e in acl_entries(&node.params) {
+                    self.add_entry(tid, e);
+                }
+                out.push(tid);
+            }
+            NfKind::Ipv4Fwd => {
+                let tid = self.add_table(
+                    Table {
+                        name: format!("{prefix}_lpm"),
+                        keys: vec![(FieldRef::Ipv4Dst, MatchKind::Lpm)],
+                        actions: vec![
+                            Action::new(
+                                "set_nhop",
+                                vec![Primitive::SetFieldFromData(FieldRef::EthDst, 0)],
+                            ),
+                            Action::new("drop", vec![Primitive::Drop]),
+                        ],
+                        default_action: Some(0),
+                        size: 1024,
+                    },
+                    TableRole::Nf,
+                );
+                // Default route entry (canonical chains forward everything).
+                self.add_entry(
+                    tid,
+                    TableEntry {
+                        keys: vec![MatchValue::Lpm { value: 0, prefix_len: 0, width: 32 }],
+                        action: 0,
+                        action_data: vec![0x0200_0000_0000],
+                        priority: 0,
+                    },
+                );
+                out.push(tid);
+            }
+            NfKind::Nat => {
+                let lookup = self.add_table(
+                    Table {
+                        name: format!("{prefix}_lookup"),
+                        keys: vec![
+                            (FieldRef::Ipv4Src, MatchKind::Exact),
+                            (FieldRef::L4Sport, MatchKind::Exact),
+                        ],
+                        actions: vec![Action::new(
+                            "set_binding",
+                            vec![Primitive::SetFieldFromData(FieldRef::Meta(200), 0)],
+                        )],
+                        // Miss → binding 0 (the default external mapping).
+                        default_action: Some(0),
+                        size: nat_size(&node.params),
+                    },
+                    TableRole::Nf,
+                );
+                let rewrite = self.add_table(
+                    Table {
+                        name: format!("{prefix}_rewrite"),
+                        keys: vec![(FieldRef::Meta(200), MatchKind::Exact)],
+                        actions: vec![Action::new(
+                            "snat",
+                            vec![Primitive::SetFieldFromData(FieldRef::Ipv4Src, 0)],
+                        )],
+                        default_action: None,
+                        size: nat_size(&node.params),
+                    },
+                    TableRole::Nf,
+                );
+                // Default binding: rewrite to the carrier external address.
+                let ext = lemur_packet::ipv4::Address::new(198, 18, 0, 1).to_u32() as u64;
+                self.add_entry(
+                    rewrite,
+                    TableEntry {
+                        keys: vec![MatchValue::Exact(0)],
+                        action: 0,
+                        action_data: vec![ext],
+                        priority: 1,
+                    },
+                );
+                out.push(lookup);
+                out.push(rewrite);
+            }
+            NfKind::Lb => {
+                let select = self.add_table(
+                    Table {
+                        name: format!("{prefix}_select"),
+                        keys: vec![(FieldRef::FlowHash(0), MatchKind::Ternary)],
+                        actions: vec![Action::new(
+                            "pick",
+                            vec![Primitive::SetFieldFromData(FieldRef::Meta(201), 0)],
+                        )],
+                        default_action: Some(0),
+                        size: 64,
+                    },
+                    TableRole::Nf,
+                );
+                let rewrite = self.add_table(
+                    Table {
+                        name: format!("{prefix}_rewrite"),
+                        keys: vec![(FieldRef::Meta(201), MatchKind::Exact)],
+                        actions: vec![Action::new(
+                            "to_backend",
+                            vec![
+                                Primitive::SetFieldFromData(FieldRef::Ipv4Dst, 0),
+                                Primitive::SetFieldFromData(FieldRef::EthDst, 1),
+                            ],
+                        )],
+                        default_action: None,
+                        size: 64,
+                    },
+                    TableRole::Nf,
+                );
+                let n = node.params.int_or("backends", 4).max(1) as u64;
+                let pow2 = n.next_power_of_two();
+                for b in 0..n {
+                    self.add_entry(
+                        select,
+                        TableEntry {
+                            keys: vec![MatchValue::Ternary { value: b, mask: pow2 - 1 }],
+                            action: 0,
+                            action_data: vec![b],
+                            priority: 1,
+                        },
+                    );
+                }
+                // Hash values mapping beyond n (non-power-of-two): fold
+                // onto backend 0 with a lower priority catch-all.
+                self.add_entry(
+                    select,
+                    TableEntry {
+                        keys: vec![MatchValue::Any],
+                        action: 0,
+                        action_data: vec![0],
+                        priority: 0,
+                    },
+                );
+                for b in 0..n {
+                    let ip = lemur_packet::ipv4::Address::new(192, 168, 100, (b + 1) as u8);
+                    self.add_entry(
+                        rewrite,
+                        TableEntry {
+                            keys: vec![MatchValue::Exact(b)],
+                            action: 0,
+                            action_data: vec![ip.to_u32() as u64, 0x0200_0064_0000 + b + 1],
+                            priority: 1,
+                        },
+                    );
+                }
+                out.push(select);
+                out.push(rewrite);
+            }
+            NfKind::Match => {
+                let reg = branch_reg.unwrap_or(202);
+                let uses_nsh = self.chain_uses_nsh(ci);
+                let mut prims = vec![Primitive::SetFieldFromData(FieldRef::Meta(reg), 0)];
+                if uses_nsh {
+                    prims.push(Primitive::SetFieldFromData(FieldRef::NshSpi, 1));
+                }
+                let tid = self.add_table(
+                    Table {
+                        name: format!("{prefix}_match"),
+                        keys: vec![
+                            (FieldRef::NshSpi, MatchKind::Ternary),
+                            (
+                                FieldRef::FlowHash(
+                                    node.params.int_or("salt", 0) as u8,
+                                ),
+                                MatchKind::Range,
+                            ),
+                            (FieldRef::VlanVid, MatchKind::Ternary),
+                        ],
+                        actions: vec![Action::new("set_gate", prims)],
+                        default_action: None,
+                        size: 64,
+                    },
+                    TableRole::Nf,
+                );
+                for e in self.match_entries(ci, id, node) {
+                    self.add_entry(tid, e);
+                }
+                out.push(tid);
+            }
+            NfKind::Tunnel => {
+                let tid = self.add_table(
+                    Table {
+                        name: format!("{prefix}_push"),
+                        keys: vec![],
+                        actions: vec![Action::new(
+                            "push_vlan",
+                            vec![Primitive::PushVlanFromData(0)],
+                        )],
+                        default_action: None,
+                        size: 1,
+                    },
+                    TableRole::Nf,
+                );
+                let vid = node.params.int_or("vid", 1) as u64 & 0xfff;
+                self.add_entry(
+                    tid,
+                    TableEntry { keys: vec![], action: 0, action_data: vec![vid], priority: 1 },
+                );
+                out.push(tid);
+            }
+            NfKind::Detunnel => {
+                let tid = self.add_table(
+                    Table {
+                        name: format!("{prefix}_pop"),
+                        keys: vec![],
+                        actions: vec![Action::new("pop_vlan", vec![Primitive::PopVlan])],
+                        default_action: Some(0),
+                        size: 1,
+                    },
+                    TableRole::Nf,
+                );
+                out.push(tid);
+            }
+            other => {
+                return Err(format!(
+                    "NF kind {other} has no P4 implementation (Table 3)"
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entries for a branch Match: per (canonical spi reaching this node,
+    /// gate): the hash range or VLAN filter, gate metadata, and the SPI
+    /// rewrite from the routing plan's branch map.
+    fn match_entries(
+        &self,
+        ci: usize,
+        id: NodeId,
+        node: &lemur_core::graph::NfNode,
+    ) -> Vec<TableEntry> {
+        let g = &self.problem.chains[ci].graph;
+        let gates: Vec<usize> = g.out_edges(id).iter().map(|e| e.gate).collect();
+        let n_gates = gates.len().max(1);
+        // SPI contexts at this node.
+        let mut spis: Vec<u32> = self
+            .routing
+            .branch_map
+            .keys()
+            .filter(|(_, b, _)| *b == id)
+            .map(|(spi, _, _)| *spi)
+            .collect();
+        spis.sort_unstable();
+        spis.dedup();
+        if spis.is_empty() {
+            spis.push(0);
+        }
+        let mut entries = Vec::new();
+        for spi in spis {
+            for (gi, gate) in gates.iter().enumerate() {
+                let spi_after = self
+                    .routing
+                    .branch_map
+                    .get(&(spi, id, *gate))
+                    .copied()
+                    .unwrap_or(spi);
+                // Filter: explicit vlan entries or an even hash split.
+                let (hash_match, vlan_match) = if let Some(list) =
+                    node.params.get("entries").and_then(ParamValue::as_list)
+                {
+                    let vlan = list.get(gi).and_then(|v| {
+                        v.as_dict()?.get("vlan_tag").and_then(ParamValue::as_int)
+                    });
+                    (
+                        MatchValue::Any,
+                        vlan.map(|v| MatchValue::Ternary { value: v as u64, mask: 0xfff })
+                            .unwrap_or(MatchValue::Any),
+                    )
+                } else {
+                    let lo = (u64::MAX / n_gates as u64).saturating_mul(gi as u64);
+                    let hi = if gi + 1 == n_gates {
+                        u64::MAX
+                    } else {
+                        (u64::MAX / n_gates as u64).saturating_mul(gi as u64 + 1) - 1
+                    };
+                    (MatchValue::Range { lo, hi }, MatchValue::Any)
+                };
+                let spi_key = if spi == 0 {
+                    MatchValue::Any
+                } else {
+                    MatchValue::Ternary { value: spi as u64, mask: 0x00ff_ffff }
+                };
+                entries.push(TableEntry {
+                    keys: vec![spi_key, hash_match, vlan_match],
+                    action: 0,
+                    action_data: vec![*gate as u64, spi_after as u64],
+                    priority: (n_gates - gi) as u32,
+                });
+            }
+        }
+        entries
+    }
+
+    /// Render generated source and count lines by role.
+    fn render(&self) -> (String, usize, usize) {
+        let mut src = String::new();
+        src.push_str("// Auto-generated by the Lemur meta-compiler. Do not edit.\n");
+        src.push_str(&self.parser.to_p4_source());
+        let mut steering = 0usize;
+        let mut nf = 0usize;
+        for (i, t) in self.program.tables.iter().enumerate() {
+            let mut block = String::new();
+            for a in &t.actions {
+                block.push_str(&format!("action {}_{} () {{\n", t.name, a.name));
+                for p in &a.primitives {
+                    block.push_str(&format!("    {p:?};\n"));
+                }
+                block.push_str("}\n");
+            }
+            block.push_str(&format!("table {} {{\n    reads {{\n", t.name));
+            for (f, k) in &t.keys {
+                block.push_str(&format!("        {f} : {k:?};\n"));
+            }
+            block.push_str("    }\n    actions {\n");
+            for a in &t.actions {
+                block.push_str(&format!("        {}_{};\n", t.name, a.name));
+            }
+            block.push_str(&format!("    }}\n    size : {};\n}}\n", t.size));
+            let lines = block.lines().count();
+            match self.roles[i] {
+                TableRole::Steering => steering += lines,
+                TableRole::Nf => nf += lines,
+            }
+            src.push_str(&block);
+        }
+        // Control block (attributed to steering: it is pure coordination).
+        let control = format!("control ingress {:#?}\n", self.program.control);
+        steering += control.lines().count();
+        src.push_str(&control);
+        (src, steering, nf)
+    }
+}
+
+fn aggregate_masks(agg: &Option<lemur_packet::TrafficAggregate>) -> (MatchValue, MatchValue) {
+    let to_match = |c: Option<lemur_packet::ipv4::Cidr>| match c {
+        Some(c) => MatchValue::Ternary {
+            value: c.address().to_u32() as u64 & c.mask() as u64,
+            mask: c.mask() as u64,
+        },
+        None => MatchValue::Any,
+    };
+    match agg {
+        Some(a) => (to_match(a.src), to_match(a.dst)),
+        None => (MatchValue::Any, MatchValue::Any),
+    }
+}
+
+fn acl_size(params: &NfParams) -> usize {
+    params
+        .get("rules")
+        .and_then(ParamValue::as_list)
+        .map(|l| l.len())
+        .filter(|l| *l > 0)
+        .unwrap_or_else(|| params.int_or("num_rules", 1024) as usize)
+        .max(1)
+}
+
+fn nat_size(params: &NfParams) -> usize {
+    params.int_or("entries", 12_000).max(1) as usize
+}
+
+fn acl_entries(params: &NfParams) -> Vec<TableEntry> {
+    let mut out = Vec::new();
+    if let Some(list) = params.get("rules").and_then(ParamValue::as_list) {
+        for (i, item) in list.iter().enumerate() {
+            let Some(d) = item.as_dict() else { continue };
+            let cidr = |key: &str| {
+                d.get(key)
+                    .and_then(ParamValue::as_str)
+                    .and_then(|s| s.parse::<lemur_packet::ipv4::Cidr>().ok())
+            };
+            let to_match = |c: Option<lemur_packet::ipv4::Cidr>| match c {
+                Some(c) => MatchValue::Ternary {
+                    value: c.address().to_u32() as u64 & c.mask() as u64,
+                    mask: c.mask() as u64,
+                },
+                None => MatchValue::Any,
+            };
+            let drop = d.get("drop").and_then(ParamValue::as_bool).unwrap_or(false);
+            out.push(TableEntry {
+                keys: vec![
+                    to_match(cidr("src_ip")),
+                    to_match(cidr("dst_ip")),
+                    MatchValue::Any,
+                    MatchValue::Any,
+                ],
+                action: usize::from(drop),
+                action_data: vec![],
+                priority: 100 - i as u32,
+            });
+        }
+    }
+    if out.is_empty() {
+        // Bare ACL: permit everything.
+        out.push(TableEntry {
+            keys: vec![MatchValue::Any; 4],
+            action: 0,
+            action_data: vec![],
+            priority: 0,
+        });
+    }
+    out
+}
+
+/// The NF-local parser tree each standalone P4 NF declares (§A.2.1).
+pub fn nf_local_parser(kind: NfKind) -> ParserTree {
+    use well_known::*;
+    let mut t = ParserTree::new("ethernet");
+    t.add_transition("ethernet", ETH_IPV4, "ipv4")
+        .add_transition("ethernet", ETH_NSH, "nsh")
+        .add_transition("nsh", ETH_IPV4, "ipv4");
+    match kind {
+        NfKind::Tunnel | NfKind::Detunnel | NfKind::Match => {
+            t.add_transition("ethernet", ETH_VLAN, "vlan")
+                .add_transition("vlan", ETH_IPV4, "ipv4");
+        }
+        _ => {}
+    }
+    match kind {
+        NfKind::Acl | NfKind::Nat | NfKind::Lb | NfKind::Match => {
+            t.add_transition("ipv4", IP_TCP, "tcp")
+                .add_transition("ipv4", IP_UDP, "udp");
+        }
+        _ => {}
+    }
+    t
+}

@@ -1,0 +1,399 @@
+//! NSH service-path synthesis (§4.1).
+//!
+//! Each decomposed linear chain becomes a *service path* with a unique SPI.
+//! A path is cut into *segments*: maximal runs of NFs on the same location,
+//! with (possibly empty) ToR segments interleaved — traffic always enters
+//! and leaves through the ToR. The SI counts down by one per segment, so
+//! coordination code only updates it once per platform visit ("instead of
+//! updating the SI values after each P4 NF, update it once at the end of a
+//! chain of sequential NFs", §4.2).
+//!
+//! Until a packet reaches a branch point, its final path is undecided; it
+//! carries the *canonical* SPI of its current prefix group (the smallest
+//! path index still reachable). Branch NFs rewrite the SPI to the chosen
+//! subgroup's canonical SPI — [`RoutingPlan::branch_map`] records those
+//! rewrites for every platform's generated code.
+
+use lemur_core::graph::NodeId;
+use lemur_placer::placement::{Assignment, PlacementProblem};
+use lemur_placer::profiles::Platform;
+use std::collections::HashMap;
+
+/// Where a segment executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    Tor,
+    Server(usize),
+    Nic(usize),
+}
+
+/// One segment of a service path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    pub location: Location,
+    /// NF nodes executed in this segment (may be empty for pass-through
+    /// ToR segments).
+    pub nodes: Vec<NodeId>,
+    /// The service index identifying this segment on the wire.
+    pub si: u8,
+}
+
+/// A routed service path (one decomposed linear chain).
+#[derive(Debug, Clone)]
+pub struct PathRoute {
+    pub chain: usize,
+    /// Index of this path within the chain's decomposition.
+    pub path_idx: usize,
+    /// This path's own SPI.
+    pub spi: u32,
+    /// Traffic fraction (from the decomposition weights).
+    pub weight: f64,
+    pub segments: Vec<Segment>,
+}
+
+impl PathRoute {
+    /// True if the whole path executes on the ToR (optimization (a): no
+    /// NSH header is inserted for such paths).
+    pub fn all_on_tor(&self) -> bool {
+        self.segments.iter().all(|s| s.location == Location::Tor)
+    }
+
+    /// Whether the packet carries an NSH header when it *enters* segment
+    /// `k`: true once any earlier segment was off-switch.
+    pub fn nsh_present_at(&self, k: usize) -> bool {
+        self.segments[..k].iter().any(|s| s.location != Location::Tor)
+    }
+}
+
+/// The complete routing plan.
+#[derive(Debug, Clone)]
+pub struct RoutingPlan {
+    pub paths: Vec<PathRoute>,
+    /// `(spi_at_branch, branch node, gate) → spi_after`: the SPI rewrite a
+    /// branch decision applies.
+    pub branch_map: HashMap<(u32, NodeId, usize), u32>,
+    /// `(chain, path set canonical spi)` of each chain's entry group.
+    pub entry_spi: Vec<u32>,
+}
+
+/// First SI value (segment 0). Decrements per segment.
+pub const INITIAL_SI: u8 = 250;
+
+/// Compute the routing plan for a placement assignment.
+pub fn plan(problem: &PlacementProblem, assignment: &Assignment) -> RoutingPlan {
+    let mut paths = Vec::new();
+    let mut branch_map = HashMap::new();
+    let mut entry_spi = Vec::new();
+    let mut next_spi = 1u32;
+
+    for (ci, chain) in problem.chains.iter().enumerate() {
+        let decomposed = chain.graph.decompose();
+        let base_spi = next_spi;
+        next_spi += decomposed.len() as u32;
+        entry_spi.push(base_spi);
+
+        // Segment every path.
+        for (pi, lc) in decomposed.iter().enumerate() {
+            let mut segments: Vec<Segment> = Vec::new();
+            // Start at the ToR.
+            segments.push(Segment { location: Location::Tor, nodes: Vec::new(), si: 0 });
+            for id in &lc.nodes {
+                let loc = match assignment[ci].get(id) {
+                    Some(Platform::Server(s)) => Location::Server(*s),
+                    Some(Platform::SmartNic(n)) => Location::Nic(*n),
+                    _ => Location::Tor,
+                };
+                if segments.last().unwrap().location == loc {
+                    segments.last_mut().unwrap().nodes.push(*id);
+                } else {
+                    // Between two off-switch segments, traffic transits the
+                    // ToR: insert an explicit (possibly empty) ToR segment.
+                    if loc != Location::Tor
+                        && segments.last().unwrap().location != Location::Tor
+                    {
+                        segments.push(Segment {
+                            location: Location::Tor,
+                            nodes: Vec::new(),
+                            si: 0,
+                        });
+                    }
+                    segments.push(Segment { location: loc, nodes: vec![*id], si: 0 });
+                }
+            }
+            // Always end at the ToR (egress).
+            if segments.last().unwrap().location != Location::Tor {
+                segments.push(Segment { location: Location::Tor, nodes: Vec::new(), si: 0 });
+            }
+            for (k, seg) in segments.iter_mut().enumerate() {
+                seg.si = INITIAL_SI - k as u8;
+            }
+            paths.push(PathRoute {
+                chain: ci,
+                path_idx: pi,
+                spi: base_spi + pi as u32,
+                weight: lc.weight,
+                segments,
+            });
+        }
+
+        // Branch map: for each branch node, group paths by their decision
+        // prefix up to that node.
+        let g = &chain.graph;
+        for (bid, _) in g.nodes() {
+            if !g.is_branch(bid) {
+                continue;
+            }
+            // Decision sequence of a path strictly *before* reaching `bid`.
+            let decisions_before = |lc: &lemur_core::graph::LinearChain| -> Option<Vec<(NodeId, usize)>> {
+                let mut out = Vec::new();
+                for w in lc.nodes.windows(2) {
+                    if w[0] == bid {
+                        return Some(out);
+                    }
+                    if g.is_branch(w[0]) {
+                        let gate = g
+                            .out_edges(w[0])
+                            .iter()
+                            .find(|e| e.to == w[1])
+                            .map(|e| e.gate)
+                            .unwrap_or(0);
+                        out.push((w[0], gate));
+                    }
+                }
+                None // path does not pass through bid (or bid is last)
+            };
+            let gate_at = |lc: &lemur_core::graph::LinearChain| -> Option<usize> {
+                lc.nodes.windows(2).find(|w| w[0] == bid).map(|w| {
+                    g.out_edges(bid)
+                        .iter()
+                        .find(|e| e.to == w[1])
+                        .map(|e| e.gate)
+                        .unwrap_or(0)
+                })
+            };
+            // Group by prefix decisions.
+            let mut groups: HashMap<Vec<(NodeId, usize)>, Vec<usize>> = HashMap::new();
+            for (pi, lc) in decomposed.iter().enumerate() {
+                if let Some(d) = decisions_before(lc) {
+                    groups.entry(d).or_default().push(pi);
+                }
+            }
+            for (_prefix, members) in groups {
+                let spi_here = base_spi + *members.iter().min().unwrap() as u32;
+                // Partition members by the gate they take at `bid`.
+                let mut by_gate: HashMap<usize, Vec<usize>> = HashMap::new();
+                for pi in members {
+                    if let Some(gate) = gate_at(&decomposed[pi]) {
+                        by_gate.entry(gate).or_default().push(pi);
+                    }
+                }
+                for (gate, group) in by_gate {
+                    let spi_after = base_spi + *group.iter().min().unwrap() as u32;
+                    branch_map.insert((spi_here, bid, gate), spi_after);
+                }
+            }
+        }
+    }
+    RoutingPlan { paths, branch_map, entry_spi }
+}
+
+impl RoutingPlan {
+    /// Paths of one chain.
+    pub fn chain_paths(&self, chain: usize) -> impl Iterator<Item = &PathRoute> {
+        self.paths.iter().filter(move |p| p.chain == chain)
+    }
+
+    /// Look up a path by SPI.
+    pub fn path_by_spi(&self, spi: u32) -> Option<&PathRoute> {
+        self.paths.iter().find(|p| p.spi == spi)
+    }
+
+    /// The canonical SPI a packet carries while *entering* segment `k` of
+    /// `path`: the minimum SPI among same-chain paths that agree on every
+    /// branch decision taken in segments `0..k`. (A branch decision is
+    /// applied — and the SPI rewritten — the moment the branch NF runs, so
+    /// between decisions the packet carries the canonical SPI of all still
+    /// -possible paths.)
+    pub fn canonical_spi(&self, problem: &PlacementProblem, path: &PathRoute, k: usize) -> u32 {
+        let my_key = decision_key(problem, path, k);
+        self.paths
+            .iter()
+            .filter(|p| p.chain == path.chain && decision_key(problem, p, k) == Some(my_key.clone().unwrap_or_default()))
+            .map(|p| p.spi)
+            .min()
+            .unwrap_or(path.spi)
+    }
+}
+
+/// The (branch node, gate) decisions a path has taken in segments `0..k`,
+/// or `None` when the path has fewer than `k` segments.
+fn decision_key(
+    problem: &PlacementProblem,
+    path: &PathRoute,
+    k: usize,
+) -> Option<Vec<(NodeId, usize)>> {
+    if path.segments.len() < k {
+        return None;
+    }
+    let g = &problem.chains[path.chain].graph;
+    // Node sequence of segments 0..k, then decisions at branch nodes —
+    // the successor node in the full path determines the gate.
+    let prefix_nodes: Vec<NodeId> = path.segments[..k]
+        .iter()
+        .flat_map(|s| s.nodes.iter().copied())
+        .collect();
+    let all_nodes: Vec<NodeId> = path
+        .segments
+        .iter()
+        .flat_map(|s| s.nodes.iter().copied())
+        .collect();
+    let mut key = Vec::new();
+    for (i, id) in prefix_nodes.iter().enumerate() {
+        if g.is_branch(*id) {
+            // Successor of this node in the full node sequence.
+            if let Some(next) = all_nodes.get(i + 1) {
+                let gate = g
+                    .out_edges(*id)
+                    .iter()
+                    .find(|e| e.to == *next)
+                    .map(|e| e.gate)
+                    .unwrap_or(0);
+                key.push((*id, gate));
+            }
+        }
+    }
+    Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_core::chains::{canonical_chain, CanonicalChain};
+    use lemur_core::graph::ChainSpec;
+    use lemur_core::Slo;
+    use lemur_nf::NfKind;
+    use lemur_placer::corealloc::CoreStrategy;
+    use lemur_placer::profiles::NfProfiles;
+    use lemur_placer::topology::Topology;
+
+    fn problem(which: CanonicalChain) -> PlacementProblem {
+        let mut p = PlacementProblem::new(
+            vec![ChainSpec {
+                name: format!("chain{}", which.index()),
+                graph: canonical_chain(which),
+                slo: None,
+                aggregate: None,
+            }],
+            Topology::testbed(),
+            NfProfiles::table4(),
+        );
+        let base = p.base_rate_bps(0);
+        p.chains[0].slo = Some(Slo::elastic_pipe(0.5 * base, 100e9));
+        p
+    }
+
+    fn hw_placement(p: &PlacementProblem) -> lemur_placer::placement::EvaluatedPlacement {
+        let a = lemur_placer::baselines::hw_preferred_assignment(p);
+        p.evaluate(&a, CoreStrategy::WaterFill).unwrap()
+    }
+
+    #[test]
+    fn chain3_segments_alternate() {
+        let p = problem(CanonicalChain::Chain3);
+        let placement = hw_placement(&p);
+        let plan = plan(&p, &placement.assignment);
+        assert_eq!(plan.paths.len(), 1);
+        let path = &plan.paths[0];
+        // HW preferred chain 3: Dedup(S) ACL(P4) Limiter(S) LB(P4) Fwd(P4)
+        // → Tor, Server, Tor, Server, Tor.
+        let locs: Vec<Location> = path.segments.iter().map(|s| s.location).collect();
+        assert_eq!(
+            locs,
+            vec![
+                Location::Tor,
+                Location::Server(0),
+                Location::Tor,
+                Location::Server(0),
+                Location::Tor
+            ]
+        );
+        // SI decrements by one per segment.
+        for (k, seg) in path.segments.iter().enumerate() {
+            assert_eq!(seg.si, INITIAL_SI - k as u8);
+        }
+        assert!(!path.all_on_tor());
+        assert!(!path.nsh_present_at(0));
+        assert!(!path.nsh_present_at(1));
+        assert!(path.nsh_present_at(2));
+    }
+
+    #[test]
+    fn chain2_paths_get_distinct_spis_and_branch_map() {
+        let p = problem(CanonicalChain::Chain2);
+        let placement = hw_placement(&p);
+        let plan = plan(&p, &placement.assignment);
+        assert_eq!(plan.paths.len(), 3);
+        let spis: Vec<u32> = plan.paths.iter().map(|p| p.spi).collect();
+        assert_eq!(spis, vec![1, 2, 3]);
+        // The split node maps the canonical SPI (1) to each branch's SPI.
+        let split = p.chains[0]
+            .graph
+            .nodes()
+            .find(|(_, n)| n.kind == NfKind::Match)
+            .unwrap()
+            .0;
+        assert_eq!(plan.branch_map.get(&(1, split, 0)), Some(&1));
+        assert_eq!(plan.branch_map.get(&(1, split, 1)), Some(&2));
+        assert_eq!(plan.branch_map.get(&(1, split, 2)), Some(&3));
+    }
+
+    #[test]
+    fn canonical_spi_shared_prefix() {
+        let p = problem(CanonicalChain::Chain2);
+        let placement = hw_placement(&p);
+        let plan = plan(&p, &placement.assignment);
+        // All three paths share segments 0 and 1 (Encrypt on server) with
+        // no decisions yet, so their canonical SPI there is path 1's.
+        for path in &plan.paths {
+            assert_eq!(plan.canonical_spi(&p, path, 0), 1);
+            assert_eq!(plan.canonical_spi(&p, path, 1), 1);
+        }
+        // The split runs *inside* the final switch segment, so even at its
+        // entry the packet still carries the shared canonical SPI; the
+        // rewrite happens mid-visit via the branch table.
+        for path in &plan.paths {
+            let last = path.segments.len() - 1;
+            assert_eq!(plan.canonical_spi(&p, path, last), 1);
+        }
+    }
+
+    #[test]
+    fn nested_branching_chain1() {
+        let p = problem(CanonicalChain::Chain1);
+        let placement = hw_placement(&p);
+        let plan = plan(&p, &placement.assignment);
+        assert_eq!(plan.paths.len(), 3);
+        // Weights 0.25/0.25/0.5 preserved.
+        let total: f64 = plan.paths.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Two branch nodes contribute branch-map entries.
+        assert!(plan.branch_map.len() >= 4, "{:?}", plan.branch_map);
+    }
+
+    #[test]
+    fn all_on_tor_detection() {
+        // Chain 2 with everything on the switch except Encrypt can't be
+        // all-tor; craft an artificial all-P4 single-NF chain instead.
+        let mut g = lemur_core::graph::NfGraph::new();
+        g.add_named("fwd", NfKind::Ipv4Fwd, lemur_nf::NfParams::new());
+        let p = PlacementProblem::new(
+            vec![ChainSpec { name: "t".into(), graph: g, slo: Some(Slo::bulk()), aggregate: None }],
+            Topology::testbed(),
+            NfProfiles::table4(),
+        );
+        let a = lemur_placer::baselines::hw_preferred_assignment(&p);
+        let placement = p.evaluate(&a, CoreStrategy::WaterFill).unwrap();
+        let plan = plan(&p, &placement.assignment);
+        assert!(plan.paths[0].all_on_tor());
+    }
+}

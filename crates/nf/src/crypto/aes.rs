@@ -1,0 +1,361 @@
+//! AES-128 block cipher and CBC mode, implemented from the FIPS-197 spec.
+//!
+//! Lemur's `Encrypt`/`Decrypt` NFs are specified as 128-bit AES-CBC
+//! (Table 3). We implement the cipher from scratch rather than pulling a
+//! crypto crate; the S-box and round constants are derived at first use from
+//! the GF(2⁸) arithmetic definition, which keeps the tables typo-proof.
+//!
+//! This is a reproduction artifact, not a hardened implementation: it is not
+//! constant-time and must not be used to protect real traffic.
+
+use std::sync::OnceLock;
+
+/// GF(2⁸) multiplication with the AES reduction polynomial x⁸+x⁴+x³+x+1.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸) (0 maps to 0), by exhaustive search —
+/// run once when building the S-box.
+fn ginv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    for b in 1..=255u8 {
+        if gmul(a, b) == 1 {
+            return b;
+        }
+    }
+    unreachable!("every nonzero element of GF(2^8) has an inverse")
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+    /// GF multiplication tables for the MixColumns constants.
+    mul: [[u8; 256]; 16],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Box<Tables>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for i in 0..256usize {
+            let x = ginv(i as u8);
+            // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+            let s = x
+                ^ x.rotate_left(1)
+                ^ x.rotate_left(2)
+                ^ x.rotate_left(3)
+                ^ x.rotate_left(4)
+                ^ 0x63;
+            sbox[i] = s;
+            inv_sbox[s as usize] = i as u8;
+        }
+        let mut mul = [[0u8; 256]; 16];
+        for c in [2usize, 3, 9, 11, 13, 14] {
+            for (b, slot) in mul[c].iter_mut().enumerate() {
+                *slot = gmul(c as u8, b as u8);
+            }
+        }
+        Box::new(Tables { sbox, inv_sbox, mul })
+    })
+}
+
+#[inline]
+fn m(t: &Tables, c: usize, b: u8) -> u8 {
+    t.mul[c][b as usize]
+}
+
+/// Number of 32-bit words in the key (AES-128).
+const NK: usize = 4;
+/// Number of rounds (AES-128).
+const NR: usize = 10;
+
+/// An expanded AES-128 key.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; NR + 1],
+}
+
+impl Aes128 {
+    /// Expand a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Aes128 {
+        let t = tables();
+        let mut w = [[0u8; 4]; 4 * (NR + 1)];
+        for i in 0..NK {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in NK..4 * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = t.sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gmul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        let t = tables();
+        for b in state.iter_mut() {
+            *b = t.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let t = tables();
+        for b in state.iter_mut() {
+            *b = t.inv_sbox[*b as usize];
+        }
+    }
+
+    /// State layout: byte `state[r + 4c]` is row r, column c (FIPS-197 §3.4).
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        let t = tables();
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = m(t, 2, col[0]) ^ m(t, 3, col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ m(t, 2, col[1]) ^ m(t, 3, col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ m(t, 2, col[2]) ^ m(t, 3, col[3]);
+            state[4 * c + 3] = m(t, 3, col[0]) ^ col[1] ^ col[2] ^ m(t, 2, col[3]);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        let t = tables();
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                m(t, 14, col[0]) ^ m(t, 11, col[1]) ^ m(t, 13, col[2]) ^ m(t, 9, col[3]);
+            state[4 * c + 1] =
+                m(t, 9, col[0]) ^ m(t, 14, col[1]) ^ m(t, 11, col[2]) ^ m(t, 13, col[3]);
+            state[4 * c + 2] =
+                m(t, 13, col[0]) ^ m(t, 9, col[1]) ^ m(t, 14, col[2]) ^ m(t, 11, col[3]);
+            state[4 * c + 3] =
+                m(t, 11, col[0]) ^ m(t, 13, col[1]) ^ m(t, 9, col[2]) ^ m(t, 14, col[3]);
+        }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for r in 1..NR {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[r]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[NR]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[NR]);
+        for r in (1..NR).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[r]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+/// Encrypt `data` with AES-128-CBC and PKCS#7 padding, returning the
+/// ciphertext (always a multiple of 16 bytes, ≥ data.len()+1).
+pub fn cbc_encrypt(key: &Aes128, iv: &[u8; 16], data: &[u8]) -> Vec<u8> {
+    let pad = 16 - data.len() % 16;
+    let mut out = Vec::with_capacity(data.len() + pad);
+    out.extend_from_slice(data);
+    out.extend(std::iter::repeat_n(pad as u8, pad));
+    let mut prev = *iv;
+    for chunk in out.chunks_exact_mut(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        for (b, p) in block.iter_mut().zip(&prev) {
+            *b ^= p;
+        }
+        key.encrypt_block(&mut block);
+        chunk.copy_from_slice(&block);
+        prev = block;
+    }
+    out
+}
+
+/// Decrypt AES-128-CBC ciphertext with PKCS#7 padding. Returns `None` on a
+/// malformed length or padding.
+pub fn cbc_decrypt(key: &Aes128, iv: &[u8; 16], data: &[u8]) -> Option<Vec<u8>> {
+    if data.is_empty() || !data.len().is_multiple_of(16) {
+        return None;
+    }
+    let mut out = data.to_vec();
+    let mut prev = *iv;
+    for chunk in out.chunks_exact_mut(16) {
+        let cipher: [u8; 16] = chunk.try_into().unwrap();
+        let mut block = cipher;
+        key.decrypt_block(&mut block);
+        for (b, p) in block.iter_mut().zip(&prev) {
+            *b ^= p;
+        }
+        chunk.copy_from_slice(&block);
+        prev = cipher;
+    }
+    let pad = *out.last()? as usize;
+    if pad == 0 || pad > 16 || pad > out.len() {
+        return None;
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b == pad as u8) {
+        return None;
+    }
+    out.truncate(out.len() - pad);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let t = tables();
+        // Spot checks from FIPS-197 Figure 7.
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.sbox[0xff], 0x16);
+        // Inverse is a true inverse.
+        for i in 0..256 {
+            assert_eq!(t.inv_sbox[t.sbox[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let mut block: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc_first_block() {
+        // SP 800-38A F.2.1 CBC-AES128.Encrypt, first block.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt = hex("6bc1bee22e409f96e93d7e117393172a");
+        let aes = Aes128::new(&key);
+        let ct = cbc_encrypt(&aes, &iv, &pt);
+        assert_eq!(&ct[..16], &hex("7649abac8119b246cee98e9b12e9197d")[..]);
+        // One block of plaintext + full-block PKCS#7 pad = 2 blocks total.
+        assert_eq!(ct.len(), 32);
+    }
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let key = Aes128::new(b"0123456789abcdef");
+        let iv = [7u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 100, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = cbc_encrypt(&key, &iv, &data);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > data.len());
+            let pt = cbc_decrypt(&key, &iv, &ct).unwrap();
+            assert_eq!(pt, data);
+        }
+    }
+
+    #[test]
+    fn cbc_decrypt_rejects_garbage() {
+        let key = Aes128::new(b"0123456789abcdef");
+        let iv = [0u8; 16];
+        assert!(cbc_decrypt(&key, &iv, &[]).is_none());
+        assert!(cbc_decrypt(&key, &iv, &[0u8; 15]).is_none());
+        // Random block: overwhelmingly likely to fail padding check.
+        let bogus = [0x5au8; 16];
+        assert!(cbc_decrypt(&key, &iv, &bogus).is_none());
+    }
+
+    #[test]
+    fn gf_arithmetic() {
+        // FIPS-197 §4.2: {57} · {83} = {c1}.
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(ginv(0x01), 0x01);
+        assert_eq!(gmul(0x53, ginv(0x53)), 0x01);
+    }
+}

@@ -1,0 +1,179 @@
+//! ChaCha20 stream cipher (RFC 8439), from scratch.
+//!
+//! Lemur's `Fast Encrypt` NF is 128-bit ChaCha in the paper's Table 3; we
+//! implement the standard ChaCha20 (256-bit key) from RFC 8439 — the NF
+//! derives its 32-byte key from the configured 16-byte key by repetition,
+//! which preserves the cost profile the experiments care about.
+//!
+//! Like the AES module, this is a reproduction artifact, not audited crypto.
+
+/// ChaCha20 keystream generator state.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Create a cipher from a 32-byte key and a 12-byte nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> ChaCha20 {
+        let mut k = [0u32; 8];
+        for (i, w) in k.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, w) in n.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Produce the 64-byte keystream block for a given counter.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        // "expand 32-byte k" constants.
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter,
+            self.nonce[0],
+            self.nonce[1],
+            self.nonce[2],
+        ];
+        let initial = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = state[i].wrapping_add(initial[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XOR `data` with the keystream starting at block `counter`
+    /// (encryption and decryption are the same operation).
+    pub fn apply(&self, counter: u32, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(counter.wrapping_add(i as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.split_whitespace().collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 §2.3.2.
+        let key = rfc_key();
+        let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
+        let cipher = ChaCha20::new(&key, &nonce);
+        let ks = cipher.block(1);
+        let expected = hex(
+            "10 f1 e7 e4 d1 3b 59 15 50 0f dd 1f a3 20 71 c4 \
+             c7 d1 f4 c7 33 c0 68 03 04 22 aa 9a c3 d4 6c 4e \
+             d2 82 64 46 07 9f aa 09 14 c2 d7 05 d9 8b 02 a2 \
+             b5 12 9c d1 de 16 4e b9 cb d0 83 e8 a2 50 3c 4e",
+        );
+        assert_eq!(ks.to_vec(), expected);
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        // RFC 8439 §2.4.2 (first 32 bytes of ciphertext asserted).
+        let key = rfc_key();
+        let nonce: [u8; 12] = hex("000000000000004a00000000").try_into().unwrap();
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        cipher.apply(1, &mut data);
+        let expected_prefix = hex(
+            "6e 2e 35 9a 25 68 f9 80 41 ba 07 28 dd 0d 69 81 \
+             e9 7e 7a ec 1d 43 60 c2 0a 27 af cc fd 9f ae 0b",
+        );
+        assert_eq!(&data[..32], &expected_prefix[..]);
+    }
+
+    #[test]
+    fn apply_is_involutive() {
+        let key = [0x42u8; 32];
+        let nonce = [7u8; 12];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let original: Vec<u8> = (0..200).map(|i| (i * 3) as u8).collect();
+        let mut data = original.clone();
+        cipher.apply(5, &mut data);
+        assert_ne!(data, original);
+        cipher.apply(5, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_counters_differ() {
+        let cipher = ChaCha20::new(&[1u8; 32], &[2u8; 12]);
+        assert_ne!(cipher.block(0).to_vec(), cipher.block(1).to_vec());
+    }
+
+    #[test]
+    fn multiblock_matches_per_block() {
+        let cipher = ChaCha20::new(&[9u8; 32], &[3u8; 12]);
+        let mut big = vec![0u8; 130];
+        cipher.apply(0, &mut big);
+        // First 64 bytes should equal block(0), next 64 block(1), etc.
+        assert_eq!(&big[..64], &cipher.block(0)[..]);
+        assert_eq!(&big[64..128], &cipher.block(1)[..]);
+        assert_eq!(&big[128..130], &cipher.block(2)[..2]);
+    }
+}

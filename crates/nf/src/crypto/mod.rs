@@ -1,0 +1,11 @@
+//! From-scratch cryptographic primitives for the crypto NFs.
+//!
+//! Reproduction-quality implementations validated against FIPS-197 /
+//! SP 800-38A (AES-128, CBC) and RFC 8439 (ChaCha20) test vectors. Not
+//! constant-time; not for production use.
+
+pub mod aes;
+pub mod chacha;
+
+pub use aes::{cbc_decrypt, cbc_encrypt, Aes128};
+pub use chacha::ChaCha20;

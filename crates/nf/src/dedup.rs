@@ -1,0 +1,374 @@
+//! Dedup NF: network redundancy elimination in the EndRE style (Table 3).
+//!
+//! The NF maintains a fingerprint store of recently seen payload chunks.
+//! Payloads are split at content-defined boundaries chosen by a Rabin-style
+//! rolling hash; chunks already in the store are replaced by an 8-byte
+//! fingerprint token. This reproduces the two properties the paper calls
+//! out (§5.2 "Data-dependent NFs"): per-packet cycles vary with content,
+//! and the egress byte rate is lower than the ingress rate on redundant
+//! traffic.
+
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, Verdict};
+use lemur_packet::ethernet::{self, EtherType};
+use lemur_packet::ipv4::Protocol;
+use lemur_packet::{ipv4, tcp, udp, vlan, PacketBuf};
+use std::collections::HashMap;
+
+/// Rolling-hash window size (bytes).
+const WINDOW: usize = 16;
+/// A boundary is declared when `hash % ANCHOR_MOD == ANCHOR_MOD - 1`,
+/// giving an expected chunk size of ANCHOR_MOD bytes.
+const ANCHOR_MOD: u64 = 64;
+/// Minimum chunk size worth deduplicating.
+const MIN_CHUNK: usize = 32;
+/// Escape byte marking a fingerprint token in the compressed payload.
+const TOKEN_ESCAPE: u8 = 0xF5;
+
+/// Content-defined chunk boundaries of `data` (end offsets, always ending
+/// with `data.len()`).
+pub fn chunk_boundaries(data: &[u8]) -> Vec<usize> {
+    let mut bounds = Vec::new();
+    if data.len() < WINDOW {
+        bounds.push(data.len());
+        return bounds;
+    }
+    let mut hash: u64 = 0;
+    // Polynomial rolling hash with multiplier; windowed by subtracting the
+    // outgoing byte's contribution.
+    const BASE: u64 = 257;
+    let mut base_pow: u64 = 1; // BASE^(WINDOW-1)
+    for _ in 0..WINDOW - 1 {
+        base_pow = base_pow.wrapping_mul(BASE);
+    }
+    for i in 0..data.len() {
+        if i >= WINDOW {
+            hash = hash.wrapping_sub((data[i - WINDOW] as u64).wrapping_mul(base_pow));
+        }
+        hash = hash.wrapping_mul(BASE).wrapping_add(data[i] as u64);
+        let last = *bounds.last().unwrap_or(&0);
+        if i + 1 - last >= MIN_CHUNK && hash % ANCHOR_MOD == ANCHOR_MOD - 1 {
+            bounds.push(i + 1);
+        }
+    }
+    if *bounds.last().unwrap_or(&0) != data.len() {
+        bounds.push(data.len());
+    }
+    bounds
+}
+
+/// 64-bit FNV-1a, used as the chunk fingerprint.
+pub fn fingerprint(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The Dedup NF.
+pub struct Dedup {
+    /// fingerprint → (insertion epoch). Bounded FIFO-ish store.
+    store: HashMap<u64, u64>,
+    capacity: usize,
+    epoch: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl Dedup {
+    /// Create with a fingerprint-store capacity.
+    pub fn new(capacity: usize) -> Dedup {
+        Dedup {
+            store: HashMap::with_capacity(capacity.min(1 << 20)),
+            capacity: capacity.max(16),
+            epoch: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        }
+    }
+
+    /// Build from spec parameters: `store=N` fingerprints (default 65536).
+    pub fn from_params(params: &NfParams) -> Dedup {
+        Dedup::new(params.int_or("store", 65_536).max(16) as usize)
+    }
+
+    /// Ratio of egress to ingress payload bytes observed so far (1.0 = no
+    /// redundancy removed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_in == 0 {
+            1.0
+        } else {
+            self.bytes_out as f64 / self.bytes_in as f64
+        }
+    }
+
+    /// Number of fingerprints currently stored.
+    pub fn store_size(&self) -> usize {
+        self.store.len()
+    }
+
+    fn remember(&mut self, fp: u64) {
+        if self.store.len() >= self.capacity {
+            // Evict the oldest ~1/8 of entries; coarse but O(n) only on
+            // saturation, keeping the hot path cheap.
+            let cutoff = self.epoch.saturating_sub((self.capacity as u64) * 7 / 8);
+            self.store.retain(|_, &mut e| e >= cutoff);
+        }
+        self.store.insert(fp, self.epoch);
+        self.epoch += 1;
+    }
+
+    /// Encode a payload: known chunks become `TOKEN_ESCAPE || fp(8B)`,
+    /// literal bytes equal to the escape are doubled.
+    fn encode(&mut self, payload: &[u8]) -> Vec<u8> {
+        let bounds = chunk_boundaries(payload);
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        let mut start = 0usize;
+        for &end in &bounds {
+            let chunk = &payload[start..end];
+            start = end;
+            if chunk.len() >= MIN_CHUNK {
+                let fp = fingerprint(chunk);
+                if self.store.contains_key(&fp) {
+                    out.push(TOKEN_ESCAPE);
+                    out.push(0x01); // token marker
+                    out.extend_from_slice(&fp.to_be_bytes());
+                    continue;
+                }
+                self.remember(fp);
+            }
+            for &b in chunk {
+                out.push(b);
+                if b == TOKEN_ESCAPE {
+                    out.push(0x00); // literal escape
+                }
+            }
+        }
+        out
+    }
+
+    fn payload_range(frame: &[u8]) -> Option<std::ops::Range<usize>> {
+        let eth = ethernet::Frame::new_checked(frame).ok()?;
+        let l3 = match eth.ethertype() {
+            EtherType::Ipv4 => ethernet::HEADER_LEN,
+            EtherType::Vlan => {
+                let tag = vlan::Tag::new_checked(eth.payload()).ok()?;
+                if tag.inner_ethertype() != EtherType::Ipv4 {
+                    return None;
+                }
+                ethernet::HEADER_LEN + vlan::TAG_LEN
+            }
+            _ => return None,
+        };
+        let ip = ipv4::Packet::new_checked(&frame[l3..]).ok()?;
+        let l4 = l3 + ip.header_len() as usize;
+        let start = match ip.protocol() {
+            Protocol::Udp => l4 + udp::HEADER_LEN,
+            Protocol::Tcp => {
+                let t = tcp::Packet::new_checked(&frame[l4..]).ok()?;
+                l4 + t.header_len() as usize
+            }
+            _ => return None,
+        };
+        (start <= frame.len()).then_some(start..frame.len())
+    }
+}
+
+impl NetworkFunction for Dedup {
+    fn kind(&self) -> NfKind {
+        NfKind::Dedup
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let Some(range) = Dedup::payload_range(pkt.as_slice()) else {
+            return Verdict::Forward;
+        };
+        let payload = pkt.as_slice()[range.clone()].to_vec();
+        self.bytes_in += payload.len() as u64;
+        let encoded = self.encode(&payload);
+        self.bytes_out += encoded.len() as u64;
+        if encoded.len() < payload.len() {
+            // Only rewrite when we actually shrink the packet; equal-size
+            // or grown encodings (escape doubling) are not worth it.
+            let l3 = {
+                let eth = ethernet::Frame::new_unchecked(pkt.as_slice());
+                match eth.ethertype() {
+                    EtherType::Vlan => ethernet::HEADER_LEN + vlan::TAG_LEN,
+                    _ => ethernet::HEADER_LEN,
+                }
+            };
+            pkt.truncate(range.start);
+            pkt.extend_tail(&encoded);
+            // Fix lengths/checksums.
+            let frame_len = pkt.len();
+            let data = pkt.as_mut_slice();
+            let (src, dst, l4, protocol) = {
+                let ip = ipv4::Packet::new_unchecked(&data[l3..]);
+                (ip.src(), ip.dst(), l3 + ip.header_len() as usize, ip.protocol())
+            };
+            {
+                let mut ip = ipv4::Packet::new_unchecked(&mut data[l3..]);
+                ip.set_total_len((frame_len - l3) as u16);
+                ip.fill_checksum();
+            }
+            match protocol {
+                Protocol::Udp => {
+                    let mut u = udp::Packet::new_unchecked(&mut data[l4..]);
+                    u.set_length((frame_len - l4) as u16);
+                    u.fill_checksum(src, dst);
+                }
+                Protocol::Tcp => {
+                    let mut t = tcp::Packet::new_unchecked(&mut data[l4..]);
+                    t.fill_checksum(src, dst);
+                }
+                _ => {}
+            }
+        }
+        Verdict::Forward
+    }
+
+    /// The fingerprint store shards by flow under the demux's flow hashing,
+    /// so Dedup is replicable (the paper replicates it on two cores, §5.3);
+    /// replicas just see lower hit rates.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Dedup::new(self.capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::udp_packet;
+
+    fn pkt(payload: &[u8]) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 0, 0, 1),
+            ipv4::Address::new(10, 0, 0, 2),
+            1,
+            2,
+            payload,
+        )
+    }
+
+    /// A payload long enough to contain several content-defined chunks.
+    fn redundant_payload() -> Vec<u8> {
+        // Repeating, content-rich text so anchors appear.
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.extend_from_slice(
+                format!("The quick brown fox {i} jumps over the lazy dog! ").as_bytes(),
+            );
+        }
+        v
+    }
+
+    #[test]
+    fn boundaries_cover_payload() {
+        let data = redundant_payload();
+        let bounds = chunk_boundaries(&data);
+        assert_eq!(*bounds.last().unwrap(), data.len());
+        let mut prev = 0;
+        for &b in &bounds {
+            assert!(b > prev || (b == 0 && prev == 0));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn boundaries_are_content_defined() {
+        // Shifting the data must keep interior boundaries aligned to
+        // content, so common chunks repeat.
+        let data = redundant_payload();
+        let b1 = chunk_boundaries(&data);
+        assert!(b1.len() > 2, "expected several chunks, got {b1:?}");
+    }
+
+    #[test]
+    fn second_copy_shrinks() {
+        let mut d = Dedup::new(1024);
+        let ctx = NfCtx::default();
+        let payload = redundant_payload();
+        let mut first = pkt(&payload);
+        let len_first = first.len();
+        d.process(&ctx, &mut first);
+        // First copy: nothing in store yet, no shrink (sizes may equal).
+        assert!(first.len() <= len_first);
+        let mut second = pkt(&payload);
+        d.process(&ctx, &mut second);
+        assert!(
+            second.len() < len_first,
+            "duplicate payload must compress: {} vs {}",
+            second.len(),
+            len_first
+        );
+        assert!(d.compression_ratio() < 1.0);
+    }
+
+    #[test]
+    fn compressed_packet_remains_valid() {
+        let mut d = Dedup::new(1024);
+        let ctx = NfCtx::default();
+        let payload = redundant_payload();
+        let mut a = pkt(&payload);
+        d.process(&ctx, &mut a);
+        let mut b = pkt(&payload);
+        d.process(&ctx, &mut b);
+        let eth = ethernet::Frame::new_checked(b.as_slice()).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let u = udp::Packet::new_checked(ip.payload()).unwrap();
+        assert!(u.verify_checksum(ip.src(), ip.dst()));
+    }
+
+    #[test]
+    fn unique_traffic_not_compressed() {
+        let mut d = Dedup::new(1024);
+        let ctx = NfCtx::default();
+        for i in 0u32..20 {
+            let payload: Vec<u8> = (0..400u32)
+                .map(|j| {
+                    (j.wrapping_mul(2654435761).wrapping_add(i.wrapping_mul(96557)) >> 13) as u8
+                })
+                .collect();
+            let mut p = pkt(&payload);
+            let before = p.len();
+            d.process(&ctx, &mut p);
+            assert_eq!(p.len(), before, "unique payloads must not shrink");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinct() {
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+    }
+
+    #[test]
+    fn store_capacity_bounded() {
+        let mut d = Dedup::new(32);
+        let ctx = NfCtx::default();
+        for i in 0u32..200 {
+            let payload: Vec<u8> =
+                (0..200u32).map(|j| ((j * 31 + i * 1009) % 251) as u8).collect();
+            d.process(&ctx, &mut pkt(&payload));
+        }
+        assert!(d.store_size() <= 64, "store grew to {}", d.store_size());
+    }
+
+    #[test]
+    fn short_payload_passthrough() {
+        let mut d = Dedup::new(64);
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"tiny");
+        let before = p.as_slice().to_vec();
+        assert_eq!(d.process(&ctx, &mut p), Verdict::Forward);
+        assert_eq!(p.as_slice(), &before[..]);
+    }
+}

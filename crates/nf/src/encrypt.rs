@@ -1,0 +1,386 @@
+//! Crypto NFs: `Encrypt`/`Decrypt` (AES-128-CBC) and `FastEncrypt` (ChaCha).
+//!
+//! All three operate on the L4 payload, leaving Ethernet/IP/L4 headers
+//! parseable so downstream NFs can still classify the traffic. Length
+//! changes (CBC padding, the prepended IV) are propagated into the IP
+//! total-length and UDP length fields, and checksums are recomputed.
+
+use crate::crypto::{cbc_decrypt, cbc_encrypt, Aes128, ChaCha20};
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, Verdict};
+use lemur_packet::ethernet::{self, EtherType};
+use lemur_packet::ipv4::Protocol;
+use lemur_packet::{ipv4, tcp, udp, vlan, PacketBuf};
+
+/// Byte offsets describing where the L3/L4 layers sit in a frame.
+struct Layout {
+    /// Offset of the IPv4 header within the frame.
+    l3: usize,
+    /// Offset of the L4 header.
+    l4: usize,
+    /// Offset of the L4 payload.
+    payload: usize,
+    protocol: Protocol,
+}
+
+fn layout(frame: &[u8]) -> Option<Layout> {
+    let eth = ethernet::Frame::new_checked(frame).ok()?;
+    let l3 = match eth.ethertype() {
+        EtherType::Ipv4 => ethernet::HEADER_LEN,
+        EtherType::Vlan => {
+            let tag = vlan::Tag::new_checked(eth.payload()).ok()?;
+            if tag.inner_ethertype() != EtherType::Ipv4 {
+                return None;
+            }
+            ethernet::HEADER_LEN + vlan::TAG_LEN
+        }
+        _ => return None,
+    };
+    let ip = ipv4::Packet::new_checked(&frame[l3..]).ok()?;
+    let l4 = l3 + ip.header_len() as usize;
+    let payload = match ip.protocol() {
+        Protocol::Udp => l4 + udp::HEADER_LEN,
+        Protocol::Tcp => {
+            let t = tcp::Packet::new_checked(&frame[l4..]).ok()?;
+            l4 + t.header_len() as usize
+        }
+        _ => return None,
+    };
+    if payload > frame.len() {
+        return None;
+    }
+    Some(Layout { l3, l4, payload, protocol: ip.protocol() })
+}
+
+/// Replace the L4 payload with `new_payload`, fixing lengths and checksums.
+fn replace_payload(pkt: &mut PacketBuf, lay: &Layout, new_payload: &[u8]) {
+    pkt.truncate(lay.payload);
+    pkt.extend_tail(new_payload);
+    fix_lengths_and_checksums(pkt, lay);
+}
+
+/// Recompute IP total length, UDP length, and L3/L4 checksums after the
+/// payload was modified in place or replaced.
+fn fix_lengths_and_checksums(pkt: &mut PacketBuf, lay: &Layout) {
+    let frame_len = pkt.len();
+    let ip_total = (frame_len - lay.l3) as u16;
+    let l4_len = (frame_len - lay.l4) as u16;
+    let (l3, l4, protocol) = (lay.l3, lay.l4, lay.protocol);
+    let data = pkt.as_mut_slice();
+    let (src, dst) = {
+        let ip = ipv4::Packet::new_unchecked(&data[l3..]);
+        (ip.src(), ip.dst())
+    };
+    {
+        let mut ip = ipv4::Packet::new_unchecked(&mut data[l3..]);
+        ip.set_total_len(ip_total);
+        ip.fill_checksum();
+    }
+    match protocol {
+        Protocol::Udp => {
+            let mut u = udp::Packet::new_unchecked(&mut data[l4..]);
+            u.set_length(l4_len);
+            u.fill_checksum(src, dst);
+        }
+        Protocol::Tcp => {
+            let mut t = tcp::Packet::new_unchecked(&mut data[l4..]);
+            t.fill_checksum(src, dst);
+        }
+        _ => {}
+    }
+}
+
+/// Derive a deterministic per-packet IV from header bytes and a counter.
+/// Real deployments would use random IVs; determinism keeps experiments
+/// reproducible.
+fn derive_iv(frame: &[u8], counter: u64) -> [u8; 16] {
+    let mut iv = [0u8; 16];
+    for (i, b) in frame.iter().take(8).enumerate() {
+        iv[i] = *b;
+    }
+    iv[8..16].copy_from_slice(&counter.to_be_bytes());
+    iv
+}
+
+/// AES-128-CBC payload encryption. The output payload is
+/// `IV (16 B) || ciphertext`, so the matching [`Decrypt`] NF is self-
+/// contained.
+pub struct Encrypt {
+    key: Aes128,
+    key_bytes: [u8; 16],
+    counter: u64,
+}
+
+impl Encrypt {
+    /// Create with an explicit 16-byte key.
+    pub fn new(key: [u8; 16]) -> Encrypt {
+        Encrypt { key: Aes128::new(&key), key_bytes: key, counter: 0 }
+    }
+
+    /// Build from spec parameters: `key` as a 32-hex-digit string.
+    pub fn from_params(params: &NfParams) -> Encrypt {
+        Encrypt::new(key_from_params(params))
+    }
+}
+
+fn key_from_params(params: &NfParams) -> [u8; 16] {
+    let hex = params.str_or("key", "000102030405060708090a0b0c0d0e0f");
+    let mut key = [0u8; 16];
+    if hex.len() == 32 {
+        for (i, b) in key.iter_mut().enumerate() {
+            if let Ok(v) = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16) {
+                *b = v;
+            }
+        }
+    }
+    key
+}
+
+impl NetworkFunction for Encrypt {
+    fn kind(&self) -> NfKind {
+        NfKind::Encrypt
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let Some(lay) = layout(pkt.as_slice()) else {
+            return Verdict::Drop;
+        };
+        let iv = derive_iv(pkt.as_slice(), self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        let plain = pkt.as_slice()[lay.payload..].to_vec();
+        let cipher = cbc_encrypt(&self.key, &iv, &plain);
+        let mut new_payload = Vec::with_capacity(16 + cipher.len());
+        new_payload.extend_from_slice(&iv);
+        new_payload.extend_from_slice(&cipher);
+        replace_payload(pkt, &lay, &new_payload);
+        Verdict::Forward
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Encrypt::new(self.key_bytes))
+    }
+}
+
+/// AES-128-CBC payload decryption, inverse of [`Encrypt`]. Packets whose
+/// payload does not decrypt (bad length or padding) are dropped.
+pub struct Decrypt {
+    key: Aes128,
+    key_bytes: [u8; 16],
+}
+
+impl Decrypt {
+    /// Create with an explicit 16-byte key.
+    pub fn new(key: [u8; 16]) -> Decrypt {
+        Decrypt { key: Aes128::new(&key), key_bytes: key }
+    }
+
+    /// Build from spec parameters (same `key` format as [`Encrypt`]).
+    pub fn from_params(params: &NfParams) -> Decrypt {
+        Decrypt::new(key_from_params(params))
+    }
+}
+
+impl NetworkFunction for Decrypt {
+    fn kind(&self) -> NfKind {
+        NfKind::Decrypt
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let Some(lay) = layout(pkt.as_slice()) else {
+            return Verdict::Drop;
+        };
+        let payload = &pkt.as_slice()[lay.payload..];
+        if payload.len() < 16 {
+            return Verdict::Drop;
+        }
+        let iv: [u8; 16] = payload[..16].try_into().unwrap();
+        let Some(plain) = cbc_decrypt(&self.key, &iv, &payload[16..]) else {
+            return Verdict::Drop;
+        };
+        replace_payload(pkt, &lay, &plain);
+        Verdict::Forward
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Decrypt::new(self.key_bytes))
+    }
+}
+
+/// ChaCha payload encryption (Table 3 "Fast Enc."): a length-preserving
+/// keystream XOR. Applying the NF twice restores the plaintext.
+pub struct FastEncrypt {
+    key: [u8; 32],
+}
+
+impl FastEncrypt {
+    /// Create from a 16-byte key (expanded by repetition, see module docs).
+    pub fn new(key16: [u8; 16]) -> FastEncrypt {
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&key16);
+        key[16..].copy_from_slice(&key16);
+        FastEncrypt { key }
+    }
+
+    /// Build from spec parameters (same `key` format as [`Encrypt`]).
+    pub fn from_params(params: &NfParams) -> FastEncrypt {
+        FastEncrypt::new(key_from_params(params))
+    }
+
+    /// Derive the per-packet nonce from IP identification + addresses so
+    /// both directions of the NF agree without shared state.
+    fn nonce_for(frame: &[u8], lay: &Layout) -> [u8; 12] {
+        let ip = ipv4::Packet::new_unchecked(&frame[lay.l3..]);
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&ip.src().0);
+        nonce[4..8].copy_from_slice(&ip.dst().0);
+        nonce[8..10].copy_from_slice(&ip.ident().to_be_bytes());
+        nonce
+    }
+}
+
+impl NetworkFunction for FastEncrypt {
+    fn kind(&self) -> NfKind {
+        NfKind::FastEncrypt
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let Some(lay) = layout(pkt.as_slice()) else {
+            return Verdict::Drop;
+        };
+        let nonce = Self::nonce_for(pkt.as_slice(), &lay);
+        let cipher = ChaCha20::new(&self.key, &nonce);
+        let start = lay.payload;
+        cipher.apply(1, &mut pkt.as_mut_slice()[start..]);
+        fix_lengths_and_checksums(pkt, &lay);
+        Verdict::Forward
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(FastEncrypt { key: self.key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::udp_packet;
+    use lemur_packet::flow::FiveTuple;
+
+    fn pkt(payload: &[u8]) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 0, 0, 1),
+            ipv4::Address::new(10, 0, 0, 2),
+            5555,
+            8080,
+            payload,
+        )
+    }
+
+    fn payload_of(p: &PacketBuf) -> Vec<u8> {
+        let lay = layout(p.as_slice()).unwrap();
+        p.as_slice()[lay.payload..].to_vec()
+    }
+
+    fn valid_at_all_layers(p: &PacketBuf) -> bool {
+        let eth = ethernet::Frame::new_checked(p.as_slice()).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        if !ip.verify_checksum() {
+            return false;
+        }
+        let u = udp::Packet::new_checked(ip.payload()).unwrap();
+        u.verify_checksum(ip.src(), ip.dst())
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = *b"lemur-secret-key";
+        let mut enc = Encrypt::new(key);
+        let mut dec = Decrypt::new(key);
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"confidential payload bytes");
+        assert_eq!(enc.process(&ctx, &mut p), Verdict::Forward);
+        assert_ne!(payload_of(&p), b"confidential payload bytes".to_vec());
+        assert!(valid_at_all_layers(&p), "encrypted packet must stay well-formed");
+        assert_eq!(dec.process(&ctx, &mut p), Verdict::Forward);
+        assert_eq!(payload_of(&p), b"confidential payload bytes".to_vec());
+        assert!(valid_at_all_layers(&p));
+    }
+
+    #[test]
+    fn encrypt_grows_packet_by_iv_and_padding() {
+        let mut enc = Encrypt::new([0u8; 16]);
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"0123456789"); // 10 bytes → 16-byte block + 16 IV
+        let before = p.len();
+        enc.process(&ctx, &mut p);
+        assert_eq!(p.len(), before - 10 + 16 + 16);
+    }
+
+    #[test]
+    fn decrypt_wrong_key_drops() {
+        let mut enc = Encrypt::new([1u8; 16]);
+        let mut dec = Decrypt::new([2u8; 16]);
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"some payload that is long enough to matter!");
+        enc.process(&ctx, &mut p);
+        // Overwhelmingly likely to fail the padding check.
+        assert_eq!(dec.process(&ctx, &mut p), Verdict::Drop);
+    }
+
+    #[test]
+    fn decrypt_short_payload_drops() {
+        let mut dec = Decrypt::new([0u8; 16]);
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"short");
+        assert_eq!(dec.process(&ctx, &mut p), Verdict::Drop);
+    }
+
+    #[test]
+    fn fast_encrypt_is_involutive_and_length_preserving() {
+        let mut fe = FastEncrypt::new(*b"fast-lemur-key!!");
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"stream cipher payload");
+        let before_len = p.len();
+        let before_payload = payload_of(&p);
+        fe.process(&ctx, &mut p);
+        assert_eq!(p.len(), before_len);
+        assert_ne!(payload_of(&p), before_payload);
+        assert!(valid_at_all_layers(&p));
+        fe.process(&ctx, &mut p);
+        assert_eq!(payload_of(&p), before_payload);
+    }
+
+    #[test]
+    fn headers_survive_encryption() {
+        let mut enc = Encrypt::new([3u8; 16]);
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"payload");
+        let before = FiveTuple::parse(p.as_slice()).unwrap();
+        enc.process(&ctx, &mut p);
+        let after = FiveTuple::parse(p.as_slice()).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn non_ip_dropped() {
+        let mut enc = Encrypt::new([0u8; 16]);
+        let ctx = NfCtx::default();
+        let mut garbage = PacketBuf::from_bytes(&[0u8; 40]);
+        assert_eq!(enc.process(&ctx, &mut garbage), Verdict::Drop);
+    }
+
+    #[test]
+    fn encrypt_through_vlan() {
+        let key = [9u8; 16];
+        let mut enc = Encrypt::new(key);
+        let mut dec = Decrypt::new(key);
+        let ctx = NfCtx::default();
+        let mut p = pkt(b"tagged payload");
+        lemur_packet::builder::vlan_push(&mut p, 42);
+        assert_eq!(enc.process(&ctx, &mut p), Verdict::Forward);
+        assert_eq!(dec.process(&ctx, &mut p), Verdict::Forward);
+        assert_eq!(payload_of(&p), b"tagged payload".to_vec());
+        assert_eq!(lemur_packet::builder::vlan_peek(p.as_slice()), Some(42));
+    }
+}

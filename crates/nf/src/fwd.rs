@@ -1,0 +1,279 @@
+//! IPv4 forwarding NF with a longest-prefix-match binary trie.
+
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, ParamValue, Verdict};
+use lemur_packet::ethernet::{self, EtherType};
+use lemur_packet::ipv4::{self, Cidr};
+use lemur_packet::{vlan, PacketBuf};
+
+/// A binary (bit-at-a-time) longest-prefix-match trie mapping IPv4 prefixes
+/// to values.
+#[derive(Debug, Clone, Default)]
+pub struct LpmTrie<V: Clone> {
+    nodes: Vec<Node<V>>,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [Option<usize>; 2],
+    value: Option<V>,
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node { children: [None, None], value: None }
+    }
+}
+
+impl<V: Clone> LpmTrie<V> {
+    /// An empty trie.
+    pub fn new() -> LpmTrie<V> {
+        LpmTrie { nodes: vec![Node::default()] }
+    }
+
+    /// Insert (or replace) a prefix→value mapping.
+    pub fn insert(&mut self, prefix: Cidr, value: V) {
+        let bits = prefix.address().to_u32();
+        let mut node = 0usize;
+        for i in 0..prefix.prefix_len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(n) => n,
+                None => {
+                    self.nodes.push(Node::default());
+                    let n = self.nodes.len() - 1;
+                    self.nodes[node].children[bit] = Some(n);
+                    n
+                }
+            };
+        }
+        self.nodes[node].value = Some(value);
+    }
+
+    /// Longest-prefix match for an address.
+    pub fn lookup(&self, addr: ipv4::Address) -> Option<&V> {
+        let bits = addr.to_u32();
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for i in 0..32 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(n) => {
+                    node = n;
+                    if let Some(v) = &self.nodes[node].value {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.value.is_some()).count()
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A forwarding entry: next-hop MAC and egress port index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    pub mac: ethernet::Address,
+    pub port: u8,
+}
+
+/// IPv4 forwarding NF ("IP Address match", Table 3): looks up the
+/// destination address and rewrites the destination MAC; packets with no
+/// route are dropped.
+pub struct Ipv4Fwd {
+    table: LpmTrie<NextHop>,
+}
+
+impl Ipv4Fwd {
+    /// Build from an explicit route table.
+    pub fn new(routes: Vec<(Cidr, NextHop)>) -> Ipv4Fwd {
+        let mut table = LpmTrie::new();
+        for (prefix, hop) in routes {
+            table.insert(prefix, hop);
+        }
+        Ipv4Fwd { table }
+    }
+
+    /// Build from spec parameters:
+    /// `routes=[{'prefix': '10.0.0.0/8', 'port': 1}]`. A bare `IPv4Fwd`
+    /// gets a default route on port 0 so canonical chains forward.
+    pub fn from_params(params: &NfParams) -> Ipv4Fwd {
+        let mut routes = Vec::new();
+        if let Some(list) = params.get("routes").and_then(ParamValue::as_list) {
+            for item in list {
+                let Some(d) = item.as_dict() else { continue };
+                let Some(prefix) = d
+                    .get("prefix")
+                    .and_then(ParamValue::as_str)
+                    .and_then(|s| s.parse::<Cidr>().ok())
+                else {
+                    continue;
+                };
+                let port = d.get("port").and_then(ParamValue::as_int).unwrap_or(0) as u8;
+                routes.push((
+                    prefix,
+                    NextHop { mac: ethernet::Address([2, 0, 0, 0, 0, port]), port },
+                ));
+            }
+        }
+        if routes.is_empty() {
+            routes.push((
+                Cidr::new(ipv4::Address::new(0, 0, 0, 0), 0).unwrap(),
+                NextHop { mac: ethernet::Address([2, 0, 0, 0, 0, 0]), port: 0 },
+            ));
+        }
+        Ipv4Fwd::new(routes)
+    }
+
+    fn dst_of(pkt: &PacketBuf) -> Option<ipv4::Address> {
+        let frame = pkt.as_slice();
+        let eth = ethernet::Frame::new_checked(frame).ok()?;
+        let l3_off = match eth.ethertype() {
+            EtherType::Ipv4 => ethernet::HEADER_LEN,
+            EtherType::Vlan => {
+                let tag = vlan::Tag::new_checked(eth.payload()).ok()?;
+                if tag.inner_ethertype() != EtherType::Ipv4 {
+                    return None;
+                }
+                ethernet::HEADER_LEN + vlan::TAG_LEN
+            }
+            _ => return None,
+        };
+        ipv4::Packet::new_checked(&frame[l3_off..]).ok().map(|p| p.dst())
+    }
+}
+
+impl NetworkFunction for Ipv4Fwd {
+    fn kind(&self) -> NfKind {
+        NfKind::Ipv4Fwd
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let Some(dst) = Self::dst_of(pkt) else {
+            return Verdict::Drop;
+        };
+        let Some(hop) = self.table.lookup(dst).copied() else {
+            return Verdict::Drop;
+        };
+        let mut eth = ethernet::Frame::new_unchecked(pkt.as_mut_slice());
+        eth.set_dst(hop.mac);
+        Verdict::Forward
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Ipv4Fwd { table: self.table.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::udp_packet;
+
+    fn hop(n: u8) -> NextHop {
+        NextHop { mac: ethernet::Address([2, 0, 0, 0, 0, n]), port: n }
+    }
+
+    #[test]
+    fn lpm_longest_wins() {
+        let mut t = LpmTrie::new();
+        t.insert("10.0.0.0/8".parse().unwrap(), 1);
+        t.insert("10.1.0.0/16".parse().unwrap(), 2);
+        t.insert("10.1.2.0/24".parse().unwrap(), 3);
+        assert_eq!(t.lookup(ipv4::Address::new(10, 9, 9, 9)), Some(&1));
+        assert_eq!(t.lookup(ipv4::Address::new(10, 1, 9, 9)), Some(&2));
+        assert_eq!(t.lookup(ipv4::Address::new(10, 1, 2, 9)), Some(&3));
+        assert_eq!(t.lookup(ipv4::Address::new(11, 0, 0, 1)), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn lpm_default_route() {
+        let mut t = LpmTrie::new();
+        t.insert("0.0.0.0/0".parse().unwrap(), 99);
+        t.insert("192.168.0.0/16".parse().unwrap(), 1);
+        assert_eq!(t.lookup(ipv4::Address::new(8, 8, 8, 8)), Some(&99));
+        assert_eq!(t.lookup(ipv4::Address::new(192, 168, 1, 1)), Some(&1));
+    }
+
+    #[test]
+    fn lpm_replace_value() {
+        let mut t = LpmTrie::new();
+        t.insert("10.0.0.0/8".parse().unwrap(), 1);
+        t.insert("10.0.0.0/8".parse().unwrap(), 2);
+        assert_eq!(t.lookup(ipv4::Address::new(10, 0, 0, 1)), Some(&2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lpm_host_route() {
+        let mut t = LpmTrie::new();
+        t.insert("192.0.2.7/32".parse().unwrap(), 7);
+        assert_eq!(t.lookup(ipv4::Address::new(192, 0, 2, 7)), Some(&7));
+        assert_eq!(t.lookup(ipv4::Address::new(192, 0, 2, 8)), None);
+    }
+
+    #[test]
+    fn fwd_rewrites_mac() {
+        let mut fwd = Ipv4Fwd::new(vec![
+            ("10.0.0.0/8".parse().unwrap(), hop(1)),
+            ("20.0.0.0/8".parse().unwrap(), hop(2)),
+        ]);
+        let ctx = NfCtx::default();
+        let mut pkt = udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 9]),
+            ethernet::Address([0xff; 6]),
+            ipv4::Address::new(1, 1, 1, 1),
+            ipv4::Address::new(20, 0, 0, 5),
+            1,
+            2,
+            b"x",
+        );
+        assert_eq!(fwd.process(&ctx, &mut pkt), Verdict::Forward);
+        let eth = ethernet::Frame::new_checked(pkt.as_slice()).unwrap();
+        assert_eq!(eth.dst(), hop(2).mac);
+    }
+
+    #[test]
+    fn fwd_drops_unroutable() {
+        let mut fwd = Ipv4Fwd::new(vec![("10.0.0.0/8".parse().unwrap(), hop(1))]);
+        let ctx = NfCtx::default();
+        let mut pkt = udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 9]),
+            ethernet::Address([0xff; 6]),
+            ipv4::Address::new(1, 1, 1, 1),
+            ipv4::Address::new(99, 0, 0, 5),
+            1,
+            2,
+            b"x",
+        );
+        assert_eq!(fwd.process(&ctx, &mut pkt), Verdict::Drop);
+    }
+
+    #[test]
+    fn fwd_through_vlan_tag() {
+        let mut fwd = Ipv4Fwd::from_params(&NfParams::new());
+        let ctx = NfCtx::default();
+        let mut pkt = udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 9]),
+            ethernet::Address([0xff; 6]),
+            ipv4::Address::new(1, 1, 1, 1),
+            ipv4::Address::new(2, 2, 2, 2),
+            1,
+            2,
+            b"x",
+        );
+        lemur_packet::builder::vlan_push(&mut pkt, 5);
+        assert_eq!(fwd.process(&ctx, &mut pkt), Verdict::Forward);
+    }
+}

@@ -1,0 +1,210 @@
+//! L4 load balancer NF.
+//!
+//! Selects a backend by consistent flow hashing and rewrites the destination
+//! IP (and MAC), keeping connections sticky without per-flow state in the
+//! common case; a small flow cache preserves stickiness if the backend set
+//! changes (the SilkRoad-style behaviour the paper's P4 LB emulates).
+
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, ParamValue, Verdict};
+use lemur_packet::ethernet::{self, EtherType};
+use lemur_packet::flow::FiveTuple;
+use lemur_packet::ipv4::{self, Protocol};
+use lemur_packet::{tcp, udp, vlan, PacketBuf};
+use std::collections::HashMap;
+
+/// A backend server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend {
+    pub ip: ipv4::Address,
+    pub mac: ethernet::Address,
+}
+
+/// The load balancer NF.
+pub struct LoadBalancer {
+    backends: Vec<Backend>,
+    /// Flow → backend index cache (bounded).
+    flow_cache: HashMap<FiveTuple, usize>,
+    max_cache: usize,
+}
+
+impl LoadBalancer {
+    /// Create with explicit backends (at least one).
+    pub fn new(backends: Vec<Backend>) -> LoadBalancer {
+        assert!(!backends.is_empty(), "LB needs at least one backend");
+        LoadBalancer { backends, flow_cache: HashMap::new(), max_cache: 65_536 }
+    }
+
+    /// Build from spec parameters: `backends=N` synthesizes N backends in
+    /// 192.168.100.0/24 (default 4).
+    pub fn from_params(params: &NfParams) -> LoadBalancer {
+        let n = params
+            .get("backends")
+            .and_then(ParamValue::as_int)
+            .unwrap_or(4)
+            .max(1) as usize;
+        let backends = (0..n)
+            .map(|i| Backend {
+                ip: ipv4::Address::new(192, 168, 100, (i + 1) as u8),
+                mac: ethernet::Address([2, 0, 0, 100, 0, (i + 1) as u8]),
+            })
+            .collect();
+        LoadBalancer::new(backends)
+    }
+
+    /// Number of configured backends.
+    pub fn num_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    fn pick(&mut self, tuple: &FiveTuple) -> usize {
+        if let Some(&idx) = self.flow_cache.get(tuple) {
+            return idx;
+        }
+        let idx = (tuple.symmetric_hash() % self.backends.len() as u64) as usize;
+        if self.flow_cache.len() < self.max_cache {
+            self.flow_cache.insert(*tuple, idx);
+        }
+        idx
+    }
+}
+
+impl NetworkFunction for LoadBalancer {
+    fn kind(&self) -> NfKind {
+        NfKind::Lb
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let Ok(tuple) = FiveTuple::parse(pkt.as_slice()) else {
+            return Verdict::Drop;
+        };
+        let idx = self.pick(&tuple);
+        let backend = self.backends[idx];
+        // Locate the IP header (possibly behind a VLAN tag).
+        let l3 = {
+            let eth = ethernet::Frame::new_unchecked(pkt.as_slice());
+            match eth.ethertype() {
+                EtherType::Vlan => ethernet::HEADER_LEN + vlan::TAG_LEN,
+                _ => ethernet::HEADER_LEN,
+            }
+        };
+        let data = pkt.as_mut_slice();
+        {
+            let mut eth = ethernet::Frame::new_unchecked(&mut data[..]);
+            eth.set_dst(backend.mac);
+        }
+        let (src, l4_off, protocol) = {
+            let mut ip = ipv4::Packet::new_unchecked(&mut data[l3..]);
+            ip.set_dst(backend.ip);
+            ip.fill_checksum();
+            (ip.src(), l3 + ip.header_len() as usize, ip.protocol())
+        };
+        match protocol {
+            Protocol::Udp => {
+                let mut u = udp::Packet::new_unchecked(&mut data[l4_off..]);
+                u.fill_checksum(src, backend.ip);
+            }
+            Protocol::Tcp => {
+                let mut t = tcp::Packet::new_unchecked(&mut data[l4_off..]);
+                t.fill_checksum(src, backend.ip);
+            }
+            _ => {}
+        }
+        Verdict::Forward
+    }
+
+    /// The LB's flow cache shards cleanly by flow (the demux hashes flows to
+    /// cores), so it is replicable despite holding state.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(LoadBalancer::new(self.backends.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::udp_packet;
+
+    fn pkt(src_port: u16) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(203, 0, 113, 5),
+            ipv4::Address::new(10, 0, 0, 100), // virtual IP
+            src_port,
+            80,
+            b"GET /",
+        )
+    }
+
+    fn dst_of(p: &PacketBuf) -> ipv4::Address {
+        let eth = ethernet::Frame::new_checked(p.as_slice()).unwrap();
+        ipv4::Packet::new_checked(eth.payload()).unwrap().dst()
+    }
+
+    #[test]
+    fn rewrites_to_backend_and_stays_valid() {
+        let mut lb = LoadBalancer::from_params(&NfParams::new());
+        let ctx = NfCtx::default();
+        let mut p = pkt(1000);
+        assert_eq!(lb.process(&ctx, &mut p), Verdict::Forward);
+        let dst = dst_of(&p);
+        assert_eq!(dst.0[..3], [192, 168, 100]);
+        // Checksums must be valid after the rewrite.
+        let eth = ethernet::Frame::new_checked(p.as_slice()).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let u = udp::Packet::new_checked(ip.payload()).unwrap();
+        assert!(u.verify_checksum(ip.src(), ip.dst()));
+    }
+
+    #[test]
+    fn flows_are_sticky() {
+        let mut lb = LoadBalancer::from_params(&NfParams::new());
+        let ctx = NfCtx::default();
+        for port in [1000u16, 2000, 3000] {
+            let mut a = pkt(port);
+            let mut b = pkt(port);
+            lb.process(&ctx, &mut a);
+            lb.process(&ctx, &mut b);
+            assert_eq!(dst_of(&a), dst_of(&b));
+        }
+    }
+
+    #[test]
+    fn spreads_across_backends() {
+        let mut lb = LoadBalancer::from_params(&NfParams::new());
+        let ctx = NfCtx::default();
+        let mut seen = std::collections::HashSet::new();
+        for port in 1000..1100 {
+            let mut p = pkt(port);
+            lb.process(&ctx, &mut p);
+            seen.insert(dst_of(&p));
+        }
+        assert!(seen.len() >= 3, "only {} backends used", seen.len());
+    }
+
+    #[test]
+    fn backend_count_param() {
+        let mut params = NfParams::new();
+        params.set("backends", ParamValue::Int(7));
+        assert_eq!(LoadBalancer::from_params(&params).num_backends(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_backends_panics() {
+        LoadBalancer::new(vec![]);
+    }
+
+    #[test]
+    fn non_ip_dropped() {
+        let mut lb = LoadBalancer::from_params(&NfParams::new());
+        let ctx = NfCtx::default();
+        let mut garbage = PacketBuf::from_bytes(&[0u8; 20]);
+        assert_eq!(lb.process(&ctx, &mut garbage), Verdict::Drop);
+    }
+}

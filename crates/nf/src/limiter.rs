@@ -1,0 +1,145 @@
+//! Token-bucket rate limiter NF.
+//!
+//! The Limiter is one of the two non-replicable NFs (Table 3, bold): its
+//! bucket is global state that cannot be split across cores without
+//! breaking the rate guarantee.
+
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, Verdict};
+use lemur_packet::PacketBuf;
+
+/// Token bucket limiter: admits packets while tokens (bytes) are available,
+/// refilling continuously at `rate_bps / 8` bytes per second up to `burst`.
+pub struct Limiter {
+    rate_bps: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill_ns: u64,
+}
+
+impl Limiter {
+    /// Create with a rate (bits/second) and burst (bytes).
+    pub fn new(rate_bps: f64, burst_bytes: f64) -> Limiter {
+        assert!(rate_bps > 0.0 && burst_bytes > 0.0);
+        Limiter { rate_bps, burst_bytes, tokens: burst_bytes, last_refill_ns: 0 }
+    }
+
+    /// Build from spec parameters: `rate_bps` (default 10 Gbps) and
+    /// `burst_bytes` (default 1 MiB).
+    pub fn from_params(params: &NfParams) -> Limiter {
+        Limiter::new(
+            params.float_or("rate_bps", 10e9),
+            params.float_or("burst_bytes", 1024.0 * 1024.0),
+        )
+    }
+
+    /// Configured rate in bits per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    fn refill(&mut self, now_ns: u64) {
+        if now_ns > self.last_refill_ns {
+            let dt = (now_ns - self.last_refill_ns) as f64 / 1e9;
+            self.tokens = (self.tokens + dt * self.rate_bps / 8.0).min(self.burst_bytes);
+            self.last_refill_ns = now_ns;
+        }
+    }
+}
+
+impl NetworkFunction for Limiter {
+    fn kind(&self) -> NfKind {
+        NfKind::Limiter
+    }
+
+    fn process(&mut self, ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        self.refill(ctx.now_ns);
+        let need = pkt.len() as f64;
+        if self.tokens >= need {
+            self.tokens -= need;
+            Verdict::Forward
+        } else {
+            Verdict::Drop
+        }
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Limiter::new(self.rate_bps, self.burst_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(len: usize) -> PacketBuf {
+        PacketBuf::zeroed(len)
+    }
+
+    #[test]
+    fn burst_admitted_then_dropped() {
+        // 8 kbps = 1000 bytes/s; burst 2000 bytes.
+        let mut l = Limiter::new(8_000.0, 2_000.0);
+        let ctx = NfCtx { now_ns: 0 };
+        assert_eq!(l.process(&ctx, &mut pkt(1500)), Verdict::Forward);
+        assert_eq!(l.process(&ctx, &mut pkt(400)), Verdict::Forward);
+        // 1900 bytes consumed; 200-byte packet exceeds the 100 remaining.
+        assert_eq!(l.process(&ctx, &mut pkt(200)), Verdict::Drop);
+    }
+
+    #[test]
+    fn refill_over_time() {
+        let mut l = Limiter::new(8_000.0, 1_000.0); // 1000 B/s
+        let mut ctx = NfCtx { now_ns: 0 };
+        assert_eq!(l.process(&ctx, &mut pkt(1000)), Verdict::Forward);
+        assert_eq!(l.process(&ctx, &mut pkt(1000)), Verdict::Drop);
+        // After one second, the bucket is full again.
+        ctx.now_ns = 1_000_000_000;
+        assert_eq!(l.process(&ctx, &mut pkt(1000)), Verdict::Forward);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut l = Limiter::new(8e9, 500.0);
+        let ctx = NfCtx { now_ns: 10_000_000_000 };
+        // Ten seconds at 1 GB/s would be 10 GB of tokens, but burst caps
+        // the bucket at 500 bytes.
+        assert_eq!(l.process(&ctx, &mut pkt(400)), Verdict::Forward);
+        assert_eq!(l.process(&ctx, &mut pkt(400)), Verdict::Drop);
+    }
+
+    #[test]
+    fn sustained_rate_converges() {
+        // 8 Mbps = 1 MB/s; send 1000-byte packets every 0.5 ms (2 MB/s
+        // offered) for one simulated second: about half should pass.
+        let mut l = Limiter::new(8e6, 10_000.0);
+        let mut admitted = 0usize;
+        let total = 2000usize;
+        for i in 0..total {
+            let ctx = NfCtx { now_ns: (i as u64) * 500_000 };
+            if l.process(&ctx, &mut pkt(1000)) == Verdict::Forward {
+                admitted += 1;
+            }
+        }
+        let ratio = admitted as f64 / total as f64;
+        assert!((0.45..=0.55).contains(&ratio), "admitted ratio {ratio}");
+    }
+
+    #[test]
+    fn is_stateful() {
+        assert!(Limiter::new(1e9, 1e6).is_stateful());
+    }
+
+    #[test]
+    fn clone_fresh_resets_bucket() {
+        let mut l = Limiter::new(8_000.0, 1_000.0);
+        let ctx = NfCtx { now_ns: 0 };
+        assert_eq!(l.process(&ctx, &mut pkt(1000)), Verdict::Forward);
+        let mut fresh = l.clone_fresh();
+        // Fresh clone has a full bucket again.
+        assert_eq!(fresh.process(&ctx, &mut pkt(1000)), Verdict::Forward);
+    }
+}

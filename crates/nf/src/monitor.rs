@@ -1,0 +1,165 @@
+//! Monitor NF: per-flow statistics (Table 3).
+
+use crate::{NetworkFunction, NfCtx, NfKind, Verdict};
+use lemur_packet::flow::FiveTuple;
+use lemur_packet::PacketBuf;
+use std::collections::HashMap;
+
+/// Statistics kept per flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    pub packets: u64,
+    pub bytes: u64,
+    pub first_seen_ns: u64,
+    pub last_seen_ns: u64,
+}
+
+/// Per-flow statistics collector. Unclassifiable packets are counted in an
+/// "other" bucket and forwarded — monitoring must never drop traffic.
+pub struct Monitor {
+    flows: HashMap<FiveTuple, FlowStats>,
+    other_packets: u64,
+    other_bytes: u64,
+}
+
+impl Monitor {
+    /// An empty monitor.
+    pub fn new() -> Monitor {
+        Monitor { flows: HashMap::new(), other_packets: 0, other_bytes: 0 }
+    }
+
+    /// Number of distinct flows observed.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Stats for one flow.
+    pub fn stats(&self, flow: &FiveTuple) -> Option<&FlowStats> {
+        self.flows.get(flow)
+    }
+
+    /// Total packets seen (classified + other).
+    pub fn total_packets(&self) -> u64 {
+        self.flows.values().map(|s| s.packets).sum::<u64>() + self.other_packets
+    }
+
+    /// Total bytes seen (classified + other).
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.values().map(|s| s.bytes).sum::<u64>() + self.other_bytes
+    }
+
+    /// Drop flow records idle since before `cutoff_ns` (periodic GC).
+    pub fn expire_idle(&mut self, cutoff_ns: u64) -> usize {
+        let before = self.flows.len();
+        self.flows.retain(|_, s| s.last_seen_ns >= cutoff_ns);
+        before - self.flows.len()
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new()
+    }
+}
+
+impl NetworkFunction for Monitor {
+    fn kind(&self) -> NfKind {
+        NfKind::Monitor
+    }
+
+    fn process(&mut self, ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let len = pkt.len() as u64;
+        match FiveTuple::parse(pkt.as_slice()) {
+            Ok(tuple) => {
+                let s = self.flows.entry(tuple).or_insert(FlowStats {
+                    first_seen_ns: ctx.now_ns,
+                    ..FlowStats::default()
+                });
+                s.packets += 1;
+                s.bytes += len;
+                s.last_seen_ns = ctx.now_ns;
+            }
+            Err(_) => {
+                self.other_packets += 1;
+                self.other_bytes += len;
+            }
+        }
+        Verdict::Forward
+    }
+
+    /// Monitoring state shards per flow, so the NF is replicable; merged
+    /// counters are an aggregation concern, not a correctness one.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Monitor::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::udp_packet;
+    use lemur_packet::{ethernet, ipv4};
+
+    fn pkt(port: u16, len: usize) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 0, 0, 1),
+            ipv4::Address::new(10, 0, 0, 2),
+            port,
+            80,
+            &vec![0u8; len],
+        )
+    }
+
+    #[test]
+    fn counts_per_flow() {
+        let mut m = Monitor::new();
+        for i in 0..5u64 {
+            let ctx = NfCtx { now_ns: i * 1000 };
+            assert_eq!(m.process(&ctx, &mut pkt(100, 10)), Verdict::Forward);
+        }
+        let ctx = NfCtx { now_ns: 99_999 };
+        m.process(&ctx, &mut pkt(200, 10));
+        assert_eq!(m.num_flows(), 2);
+        let t = FiveTuple::parse(pkt(100, 10).as_slice()).unwrap();
+        let s = m.stats(&t).unwrap();
+        assert_eq!(s.packets, 5);
+        assert_eq!(s.first_seen_ns, 0);
+        assert_eq!(s.last_seen_ns, 4000);
+        assert_eq!(m.total_packets(), 6);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut m = Monitor::new();
+        let ctx = NfCtx::default();
+        let mut p = pkt(1, 100);
+        let expect = p.len() as u64;
+        m.process(&ctx, &mut p);
+        assert_eq!(m.total_bytes(), expect);
+    }
+
+    #[test]
+    fn unparseable_counted_and_forwarded() {
+        let mut m = Monitor::new();
+        let ctx = NfCtx::default();
+        let mut garbage = PacketBuf::from_bytes(&[1u8; 30]);
+        assert_eq!(m.process(&ctx, &mut garbage), Verdict::Forward);
+        assert_eq!(m.num_flows(), 0);
+        assert_eq!(m.total_packets(), 1);
+    }
+
+    #[test]
+    fn idle_expiry() {
+        let mut m = Monitor::new();
+        m.process(&NfCtx { now_ns: 0 }, &mut pkt(1, 1));
+        m.process(&NfCtx { now_ns: 5_000 }, &mut pkt(2, 1));
+        assert_eq!(m.expire_idle(1_000), 1);
+        assert_eq!(m.num_flows(), 1);
+    }
+}

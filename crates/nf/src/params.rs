@@ -1,0 +1,204 @@
+//! NF parameter values carried from chain specifications to NF constructors.
+//!
+//! The spec language attaches parameters to NFs, e.g.
+//! `ACL(rules=[{'dst_ip':'10.0.0.0/8','drop': False}])` (§2). The parser in
+//! `lemur-core` lowers those literals into this crate-neutral representation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    List(Vec<ParamValue>),
+    /// A `{'key': value}` dictionary literal.
+    Dict(BTreeMap<String, ParamValue>),
+}
+
+impl ParamValue {
+    /// Integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float value (accepts `Int` too).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(v) => Some(*v),
+            ParamValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// List items, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[ParamValue]> {
+        match self {
+            ParamValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Dictionary entries, if this is a `Dict`.
+    pub fn as_dict(&self) -> Option<&BTreeMap<String, ParamValue>> {
+        match self {
+            ParamValue::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Str(s) => write!(f, "'{s}'"),
+            ParamValue::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            ParamValue::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            ParamValue::Dict(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "'{k}': {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Named parameters for one NF instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NfParams {
+    entries: BTreeMap<String, ParamValue>,
+}
+
+impl NfParams {
+    /// Empty parameter set.
+    pub fn new() -> NfParams {
+        NfParams::default()
+    }
+
+    /// Insert (replacing) a parameter.
+    pub fn set(&mut self, key: &str, value: ParamValue) -> &mut Self {
+        self.entries.insert(key.to_string(), value);
+        self
+    }
+
+    /// Look up a parameter.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.entries.get(key)
+    }
+
+    /// Convenience: integer parameter with default.
+    pub fn int_or(&self, key: &str, default: i64) -> i64 {
+        self.get(key).and_then(ParamValue::as_int).unwrap_or(default)
+    }
+
+    /// Convenience: float parameter with default.
+    pub fn float_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(ParamValue::as_float).unwrap_or(default)
+    }
+
+    /// Convenience: string parameter with default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).and_then(ParamValue::as_str).unwrap_or(default)
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True if no parameters were supplied.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for NfParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let mut p = NfParams::new();
+        p.set("rate", ParamValue::Int(42));
+        p.set("frac", ParamValue::Float(0.5));
+        p.set("name", ParamValue::Str("x".into()));
+        p.set("flag", ParamValue::Bool(true));
+        assert_eq!(p.int_or("rate", 0), 42);
+        assert_eq!(p.float_or("rate", 0.0), 42.0); // int coerces to float
+        assert_eq!(p.float_or("frac", 0.0), 0.5);
+        assert_eq!(p.str_or("name", ""), "x");
+        assert_eq!(p.get("flag").unwrap().as_bool(), Some(true));
+        assert_eq!(p.int_or("missing", 7), 7);
+    }
+
+    #[test]
+    fn display_is_spec_like() {
+        let mut p = NfParams::new();
+        let mut d = BTreeMap::new();
+        d.insert("dst_ip".to_string(), ParamValue::Str("10.0.0.0/8".into()));
+        d.insert("drop".to_string(), ParamValue::Bool(false));
+        p.set("rules", ParamValue::List(vec![ParamValue::Dict(d)]));
+        assert_eq!(
+            p.to_string(),
+            "rules=[{'drop': False, 'dst_ip': '10.0.0.0/8'}]"
+        );
+    }
+
+    #[test]
+    fn wrong_type_is_none() {
+        let mut p = NfParams::new();
+        p.set("x", ParamValue::Str("notanint".into()));
+        assert_eq!(p.get("x").unwrap().as_int(), None);
+        assert_eq!(p.int_or("x", 9), 9);
+    }
+}

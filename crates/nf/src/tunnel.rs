@@ -1,0 +1,128 @@
+//! Tunnel / Detunnel NFs: push and pop an 802.1Q VLAN tag (Table 3).
+
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, Verdict};
+use lemur_packet::builder::{vlan_pop, vlan_push};
+use lemur_packet::PacketBuf;
+
+/// Pushes a VLAN tag with a configured VID.
+pub struct Tunnel {
+    vid: u16,
+}
+
+impl Tunnel {
+    /// Create with an explicit VID.
+    pub fn new(vid: u16) -> Tunnel {
+        assert!(vid < 4096);
+        Tunnel { vid }
+    }
+
+    /// Build from spec parameters: `vid` (default 1).
+    pub fn from_params(params: &NfParams) -> Tunnel {
+        Tunnel::new((params.int_or("vid", 1) as u16) & 0x0fff)
+    }
+}
+
+impl NetworkFunction for Tunnel {
+    fn kind(&self) -> NfKind {
+        NfKind::Tunnel
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        vlan_push(pkt, self.vid);
+        Verdict::Forward
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Tunnel { vid: self.vid })
+    }
+}
+
+/// Pops the outer VLAN tag; untagged packets pass through unchanged.
+pub struct Detunnel;
+
+impl Detunnel {
+    /// Create a detunneler.
+    pub fn new() -> Detunnel {
+        Detunnel
+    }
+}
+
+impl Default for Detunnel {
+    fn default() -> Self {
+        Detunnel::new()
+    }
+}
+
+impl NetworkFunction for Detunnel {
+    fn kind(&self) -> NfKind {
+        NfKind::Detunnel
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let _ = vlan_pop(pkt);
+        Verdict::Forward
+    }
+
+    fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
+        Box::new(Detunnel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::{udp_packet, vlan_peek};
+    use lemur_packet::{ethernet, ipv4};
+
+    fn pkt() -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 0, 0, 1),
+            ipv4::Address::new(10, 0, 0, 2),
+            10,
+            20,
+            b"abc",
+        )
+    }
+
+    #[test]
+    fn tunnel_then_detunnel_restores_frame() {
+        let ctx = NfCtx::default();
+        let mut p = pkt();
+        let original = p.as_slice().to_vec();
+        let mut tun = Tunnel::new(0x123);
+        assert_eq!(tun.process(&ctx, &mut p), Verdict::Forward);
+        assert_eq!(vlan_peek(p.as_slice()), Some(0x123));
+        let mut det = Detunnel::new();
+        assert_eq!(det.process(&ctx, &mut p), Verdict::Forward);
+        assert_eq!(p.as_slice(), &original[..]);
+    }
+
+    #[test]
+    fn detunnel_untagged_is_noop() {
+        let ctx = NfCtx::default();
+        let mut p = pkt();
+        let original = p.as_slice().to_vec();
+        let mut det = Detunnel::new();
+        assert_eq!(det.process(&ctx, &mut p), Verdict::Forward);
+        assert_eq!(p.as_slice(), &original[..]);
+    }
+
+    #[test]
+    fn from_params_vid() {
+        let mut params = NfParams::new();
+        params.set("vid", crate::ParamValue::Int(77));
+        let ctx = NfCtx::default();
+        let mut tun = Tunnel::from_params(&params);
+        let mut p = pkt();
+        tun.process(&ctx, &mut p);
+        assert_eq!(vlan_peek(p.as_slice()), Some(77));
+    }
+
+    #[test]
+    fn stateless() {
+        assert!(!Tunnel::new(1).is_stateful());
+        assert!(!Detunnel::new().is_stateful());
+    }
+}

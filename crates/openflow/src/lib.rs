@@ -1,0 +1,95 @@
+//! # lemur-openflow
+//!
+//! An OpenFlow switch substrate, standing in for the Edgecore AS5712-54X in
+//! the paper's §5.3 experiment ("Placement on an OpenFlow switch").
+//!
+//! Two properties distinguish it from the PISA switch and shape the Placer:
+//!
+//! * **Fixed table order.** The pipeline is a fixed sequence of typed
+//!   tables; an NF sequence can be offloaded only if it is a subsequence of
+//!   that order ([`validate_nf_order`]). "Unlike a PISA switch, an OpenFlow
+//!   switch has fixed table order, so the Placer must check whether a
+//!   configuration violates the switch table order."
+//! * **No NSH.** Service-path steering uses the 12-bit VLAN VID
+//!   (`lemur_packet::vlan::VidServiceEncoding`) in place of SPI/SI, which
+//!   bounds how many chains and NFs can be configured.
+
+pub mod pipeline;
+pub mod rules;
+
+pub use pipeline::{OfSwitch, OfTableType, OfVerdict, FIXED_TABLE_ORDER};
+pub use rules::{OfAction, OfMatch, OfRule};
+
+use lemur_nf_kind::NfKind;
+
+/// Re-exported kind type used by [`supported_table`]/[`validate_nf_order`].
+pub mod lemur_nf_kind {
+    /// Minimal mirror of `lemur_nf::NfKind` names needed for order checks.
+    ///
+    /// The openflow crate deliberately depends only on `lemur-packet`; the
+    /// Placer converts from the full `NfKind` into this enum.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum NfKind {
+        Detunnel,
+        Acl,
+        Monitor,
+        Tunnel,
+        Ipv4Fwd,
+    }
+}
+
+/// The table an NF kind maps onto, if the switch supports it.
+pub fn supported_table(kind: NfKind) -> OfTableType {
+    match kind {
+        NfKind::Detunnel => OfTableType::VlanPop,
+        NfKind::Acl => OfTableType::Acl,
+        NfKind::Monitor => OfTableType::Monitor,
+        NfKind::Tunnel => OfTableType::VlanPush,
+        NfKind::Ipv4Fwd => OfTableType::Forward,
+    }
+}
+
+/// Check that a chain's OF-offloaded NF sequence respects the fixed table
+/// order: each successive NF must map to a strictly later table (a table
+/// cannot be revisited and packets flow forward only).
+pub fn validate_nf_order(kinds: &[NfKind]) -> bool {
+    let mut last = None::<usize>;
+    for kind in kinds {
+        let t = supported_table(*kind);
+        let pos = FIXED_TABLE_ORDER.iter().position(|x| *x == t).unwrap();
+        if let Some(prev) = last {
+            if pos <= prev {
+                return false;
+            }
+        }
+        last = Some(pos);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lemur_nf_kind::NfKind;
+    use super::*;
+
+    #[test]
+    fn in_order_sequences_accepted() {
+        assert!(validate_nf_order(&[NfKind::Detunnel, NfKind::Acl, NfKind::Ipv4Fwd]));
+        assert!(validate_nf_order(&[NfKind::Acl, NfKind::Monitor, NfKind::Tunnel]));
+        assert!(validate_nf_order(&[NfKind::Ipv4Fwd]));
+        assert!(validate_nf_order(&[]));
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        // Forwarding happens last in hardware; ACL after it is impossible.
+        assert!(!validate_nf_order(&[NfKind::Ipv4Fwd, NfKind::Acl]));
+        // Tunnel (vlan push) precedes forward but follows monitor.
+        assert!(!validate_nf_order(&[NfKind::Tunnel, NfKind::Monitor]));
+    }
+
+    #[test]
+    fn repeated_table_rejected() {
+        assert!(!validate_nf_order(&[NfKind::Acl, NfKind::Acl]));
+    }
+}

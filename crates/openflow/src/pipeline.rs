@@ -1,0 +1,266 @@
+//! The fixed-order OpenFlow pipeline.
+
+use crate::rules::{OfAction, OfRule};
+use lemur_packet::builder::{vlan_peek, vlan_pop, vlan_push};
+use lemur_packet::flow::FiveTuple;
+use lemur_packet::{vlan, PacketBuf};
+
+/// The typed tables, in their immutable hardware order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfTableType {
+    /// VLAN classification / pop (Detunnel lives here).
+    VlanPop,
+    /// ACL filtering.
+    Acl,
+    /// Per-flow statistics.
+    Monitor,
+    /// VLAN push / VID rewrite (Tunnel and service steering live here).
+    VlanPush,
+    /// L3 forwarding and output.
+    Forward,
+}
+
+/// Hardware table order — the constraint [`crate::validate_nf_order`]
+/// checks placements against.
+pub const FIXED_TABLE_ORDER: [OfTableType; 5] = [
+    OfTableType::VlanPop,
+    OfTableType::Acl,
+    OfTableType::Monitor,
+    OfTableType::VlanPush,
+    OfTableType::Forward,
+];
+
+/// Result of pipeline traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfVerdict {
+    pub out_port: Option<u16>,
+    pub dropped: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TableStats {
+    matched: u64,
+    missed: u64,
+}
+
+/// An OpenFlow switch: one rule list per typed table, flowed in fixed
+/// order. Table misses fall through to the next table (the controller
+/// pre-installs a default-continue behaviour).
+pub struct OfSwitch {
+    tables: Vec<(OfTableType, Vec<OfRule>)>,
+    stats: Vec<TableStats>,
+    /// Port line rate in bits per second (the AS5712 is a 10/40G switch).
+    pub port_rate_bps: f64,
+}
+
+impl Default for OfSwitch {
+    fn default() -> Self {
+        OfSwitch::new()
+    }
+}
+
+impl OfSwitch {
+    /// A switch with empty tables.
+    pub fn new() -> OfSwitch {
+        OfSwitch {
+            tables: FIXED_TABLE_ORDER.iter().map(|t| (*t, Vec::new())).collect(),
+            stats: vec![TableStats::default(); FIXED_TABLE_ORDER.len()],
+            port_rate_bps: 40e9,
+        }
+    }
+
+    /// Install a rule into a typed table, keeping priority order.
+    pub fn add_rule(&mut self, table: OfTableType, rule: OfRule) {
+        let list = &mut self
+            .tables
+            .iter_mut()
+            .find(|(t, _)| *t == table)
+            .expect("table exists")
+            .1;
+        let pos = list
+            .iter()
+            .position(|r| r.priority < rule.priority)
+            .unwrap_or(list.len());
+        list.insert(pos, rule);
+    }
+
+    /// Rules installed in a table.
+    pub fn num_rules(&self, table: OfTableType) -> usize {
+        self.tables.iter().find(|(t, _)| *t == table).map(|(_, r)| r.len()).unwrap_or(0)
+    }
+
+    /// (matched, missed) counters for a table.
+    pub fn table_stats(&self, table: OfTableType) -> (u64, u64) {
+        let i = FIXED_TABLE_ORDER.iter().position(|t| *t == table).unwrap();
+        (self.stats[i].matched, self.stats[i].missed)
+    }
+
+    /// Run one packet through the pipeline.
+    pub fn process(&mut self, in_port: u16, pkt: &mut PacketBuf) -> OfVerdict {
+        let mut out_port = None;
+        for i in 0..self.tables.len() {
+            let vid = vlan_peek(pkt.as_slice());
+            let tuple = FiveTuple::parse(pkt.as_slice()).ok();
+            let rule = self.tables[i]
+                .1
+                .iter()
+                .find(|r| r.m.matches(in_port, vid, tuple.as_ref()))
+                .cloned();
+            match rule {
+                None => {
+                    self.stats[i].missed += 1;
+                }
+                Some(rule) => {
+                    self.stats[i].matched += 1;
+                    for action in &rule.actions {
+                        match action {
+                            OfAction::Drop => return OfVerdict { out_port: None, dropped: true },
+                            OfAction::Output(p) => out_port = Some(*p),
+                            OfAction::PushVlan(v) => vlan_push(pkt, *v),
+                            OfAction::PopVlan => {
+                                let _ = vlan_pop(pkt);
+                            }
+                            OfAction::SetVlanVid(v) => {
+                                set_vid(pkt, *v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        OfVerdict { out_port, dropped: false }
+    }
+}
+
+fn set_vid(pkt: &mut PacketBuf, vid: u16) {
+    use lemur_packet::ethernet::{self, EtherType};
+    let is_tagged = matches!(
+        ethernet::Frame::new_checked(pkt.as_slice()).map(|e| e.ethertype()),
+        Ok(EtherType::Vlan)
+    );
+    if is_tagged {
+        let data = pkt.as_mut_slice();
+        let mut tag = vlan::Tag::new_unchecked(&mut data[ethernet::HEADER_LEN..]);
+        tag.set_vid(vid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::OfMatch;
+    use lemur_packet::builder::udp_packet;
+    use lemur_packet::vlan::VidServiceEncoding;
+    use lemur_packet::{ethernet, ipv4};
+
+    fn pkt(dst: ipv4::Address, dport: u16) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 0, 0, 1),
+            dst,
+            999,
+            dport,
+            b"x",
+        )
+    }
+
+    #[test]
+    fn acl_then_forward() {
+        let mut sw = OfSwitch::new();
+        // Drop telnet.
+        sw.add_rule(
+            OfTableType::Acl,
+            OfRule::new(
+                OfMatch { l4_dst: Some(23), ..OfMatch::any() },
+                vec![OfAction::Drop],
+            ),
+        );
+        // Forward 20/8 to port 3.
+        sw.add_rule(
+            OfTableType::Forward,
+            OfRule::new(
+                OfMatch { ipv4_dst: Some("20.0.0.0/8".parse().unwrap()), ..OfMatch::any() },
+                vec![OfAction::Output(3)],
+            ),
+        );
+        let mut ok = pkt(ipv4::Address::new(20, 1, 1, 1), 80);
+        assert_eq!(sw.process(0, &mut ok), OfVerdict { out_port: Some(3), dropped: false });
+        let mut telnet = pkt(ipv4::Address::new(20, 1, 1, 1), 23);
+        assert_eq!(sw.process(0, &mut telnet), OfVerdict { out_port: None, dropped: true });
+        let (matched, missed) = sw.table_stats(OfTableType::Acl);
+        assert_eq!((matched, missed), (1, 1));
+    }
+
+    #[test]
+    fn vlan_vid_service_steering() {
+        // The §5.3 pattern: VID encodes SPI/SI; the switch steers by VID
+        // and rewrites it for the next hop.
+        let enc_in = VidServiceEncoding { spi: 3, si: 2 }.encode().unwrap();
+        let enc_out = VidServiceEncoding { spi: 3, si: 1 }.encode().unwrap();
+        let mut sw = OfSwitch::new();
+        sw.add_rule(
+            OfTableType::VlanPush,
+            OfRule::new(
+                OfMatch { vlan_vid: Some(enc_in), ..OfMatch::any() },
+                vec![OfAction::SetVlanVid(enc_out)],
+            ),
+        );
+        sw.add_rule(
+            OfTableType::Forward,
+            OfRule::new(
+                OfMatch { vlan_vid: Some(enc_out), ..OfMatch::any() },
+                vec![OfAction::Output(7)],
+            ),
+        );
+        let mut p = pkt(ipv4::Address::new(20, 1, 1, 1), 80);
+        lemur_packet::builder::vlan_push(&mut p, enc_in);
+        let v = sw.process(1, &mut p);
+        assert_eq!(v.out_port, Some(7));
+        assert_eq!(lemur_packet::builder::vlan_peek(p.as_slice()), Some(enc_out));
+    }
+
+    #[test]
+    fn detunnel_in_vlan_pop_table() {
+        let mut sw = OfSwitch::new();
+        sw.add_rule(
+            OfTableType::VlanPop,
+            OfRule::new(
+                OfMatch { vlan_vid: Some(42), ..OfMatch::any() },
+                vec![OfAction::PopVlan],
+            ),
+        );
+        let mut p = pkt(ipv4::Address::new(1, 1, 1, 1), 80);
+        lemur_packet::builder::vlan_push(&mut p, 42);
+        sw.process(0, &mut p);
+        assert_eq!(lemur_packet::builder::vlan_peek(p.as_slice()), None);
+    }
+
+    #[test]
+    fn priority_order_within_table() {
+        let mut sw = OfSwitch::new();
+        sw.add_rule(
+            OfTableType::Forward,
+            OfRule::with_priority(OfMatch::any(), 1, vec![OfAction::Output(1)]),
+        );
+        sw.add_rule(
+            OfTableType::Forward,
+            OfRule::with_priority(
+                OfMatch { l4_dst: Some(80), ..OfMatch::any() },
+                10,
+                vec![OfAction::Output(2)],
+            ),
+        );
+        let mut http = pkt(ipv4::Address::new(1, 1, 1, 1), 80);
+        assert_eq!(sw.process(0, &mut http).out_port, Some(2));
+        let mut dns = pkt(ipv4::Address::new(1, 1, 1, 1), 53);
+        assert_eq!(sw.process(0, &mut dns).out_port, Some(1));
+    }
+
+    #[test]
+    fn empty_pipeline_floods_nowhere() {
+        let mut sw = OfSwitch::new();
+        let mut p = pkt(ipv4::Address::new(1, 1, 1, 1), 80);
+        assert_eq!(sw.process(0, &mut p), OfVerdict { out_port: None, dropped: false });
+    }
+}

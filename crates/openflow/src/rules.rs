@@ -1,0 +1,168 @@
+//! OpenFlow match fields, actions, and rules.
+
+use lemur_packet::flow::FiveTuple;
+use lemur_packet::ipv4::Cidr;
+
+/// A flow-rule match. `None` fields are wildcards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OfMatch {
+    pub in_port: Option<u16>,
+    pub vlan_vid: Option<u16>,
+    pub ipv4_src: Option<Cidr>,
+    pub ipv4_dst: Option<Cidr>,
+    pub l4_src: Option<u16>,
+    pub l4_dst: Option<u16>,
+    pub ip_proto: Option<u8>,
+}
+
+impl OfMatch {
+    /// A match-everything rule.
+    pub fn any() -> OfMatch {
+        OfMatch::default()
+    }
+
+    /// Evaluate against a packet's parsed view.
+    pub fn matches(&self, in_port: u16, vid: Option<u16>, tuple: Option<&FiveTuple>) -> bool {
+        if let Some(p) = self.in_port {
+            if p != in_port {
+                return false;
+            }
+        }
+        if let Some(v) = self.vlan_vid {
+            if vid != Some(v) {
+                return false;
+            }
+        }
+        let needs_tuple = self.ipv4_src.is_some()
+            || self.ipv4_dst.is_some()
+            || self.l4_src.is_some()
+            || self.l4_dst.is_some()
+            || self.ip_proto.is_some();
+        if needs_tuple {
+            let Some(t) = tuple else { return false };
+            if let Some(c) = &self.ipv4_src {
+                if !c.contains(t.src_ip) {
+                    return false;
+                }
+            }
+            if let Some(c) = &self.ipv4_dst {
+                if !c.contains(t.dst_ip) {
+                    return false;
+                }
+            }
+            if let Some(p) = self.l4_src {
+                if p != t.src_port {
+                    return false;
+                }
+            }
+            if let Some(p) = self.l4_dst {
+                if p != t.dst_port {
+                    return false;
+                }
+            }
+            if let Some(p) = self.ip_proto {
+                if p != t.protocol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of specified fields (drives default rule priority).
+    pub fn specificity(&self) -> u32 {
+        [
+            self.in_port.is_some(),
+            self.vlan_vid.is_some(),
+            self.ipv4_src.is_some(),
+            self.ipv4_dst.is_some(),
+            self.l4_src.is_some(),
+            self.l4_dst.is_some(),
+            self.ip_proto.is_some(),
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count() as u32
+    }
+}
+
+/// Actions a rule can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfAction {
+    /// Push a VLAN tag with this VID.
+    PushVlan(u16),
+    /// Pop the outer VLAN tag.
+    PopVlan,
+    /// Rewrite the VID of an existing tag.
+    SetVlanVid(u16),
+    /// Emit on a port.
+    Output(u16),
+    /// Drop the packet.
+    Drop,
+}
+
+/// A flow rule: match + priority + action list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfRule {
+    pub m: OfMatch,
+    pub priority: u32,
+    pub actions: Vec<OfAction>,
+}
+
+impl OfRule {
+    /// A rule with priority derived from the match's specificity.
+    pub fn new(m: OfMatch, actions: Vec<OfAction>) -> OfRule {
+        let priority = m.specificity();
+        OfRule { m, priority, actions }
+    }
+
+    /// Same, with an explicit priority.
+    pub fn with_priority(m: OfMatch, priority: u32, actions: Vec<OfAction>) -> OfRule {
+        OfRule { m, priority, actions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::ipv4::Address;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_ip: Address::new(10, 0, 0, 1),
+            dst_ip: Address::new(20, 0, 0, 2),
+            src_port: 1000,
+            dst_port: 80,
+            protocol: 6,
+        }
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(OfMatch::any().matches(0, None, None));
+        assert!(OfMatch::any().matches(5, Some(7), Some(&tuple())));
+    }
+
+    #[test]
+    fn field_filters() {
+        let m = OfMatch {
+            vlan_vid: Some(7),
+            ipv4_dst: Some("20.0.0.0/8".parse().unwrap()),
+            l4_dst: Some(80),
+            ..OfMatch::any()
+        };
+        assert!(m.matches(0, Some(7), Some(&tuple())));
+        assert!(!m.matches(0, Some(8), Some(&tuple())));
+        assert!(!m.matches(0, Some(7), None), "tuple-dependent match needs a tuple");
+        let other = FiveTuple { dst_port: 443, ..tuple() };
+        assert!(!m.matches(0, Some(7), Some(&other)));
+    }
+
+    #[test]
+    fn specificity_counts_fields() {
+        assert_eq!(OfMatch::any().specificity(), 0);
+        let m = OfMatch { in_port: Some(1), vlan_vid: Some(2), ..OfMatch::any() };
+        assert_eq!(m.specificity(), 2);
+        assert_eq!(OfRule::new(m, vec![OfAction::Drop]).priority, 2);
+    }
+}

@@ -1,0 +1,552 @@
+//! The stage-packing compiler.
+//!
+//! Mirrors the role of the Tofino compiler in the paper: given a unified P4
+//! program, decide whether it fits the pipeline's stages and, if so, how.
+//! The Placer treats this as a black-box feasibility oracle (§3.2).
+//!
+//! Dependency analysis follows the paper's two rules (§4.2): a table cannot
+//! be revisited, and two tables with a dependency cannot share a stage.
+//! Tables in *mutually exclusive* branches get no cross-edges, which lets
+//! first-fit packing place parallel branches into the same stages — the
+//! effect the meta-compiler's dependency-elimination optimizations unlock.
+
+use crate::ir::{Control, FieldRef, P4Program, TableId};
+use crate::resources::PisaModel;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Why compilation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program needs more stages than the pipeline has.
+    OutOfStages {
+        required: usize,
+        available: usize,
+    },
+    /// A single table exceeds per-stage resources and cannot be placed at
+    /// all (e.g. wider than one stage's SRAM).
+    TableTooLarge(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::OutOfStages { required, available } => {
+                write!(f, "program needs {required} stages, switch has {available}")
+            }
+            CompileError::TableTooLarge(name) => {
+                write!(f, "table {name} exceeds per-stage resources")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiler options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptions {
+    /// Permit a table's entries to be split across consecutive stages when
+    /// it does not fit one stage (real compilers do this for big exact
+    /// tables). Enabled by default via `Default`? No — explicit.
+    pub allow_table_splitting: bool,
+}
+
+/// The result of a successful compilation.
+#[derive(Debug, Clone)]
+pub struct StageAssignment {
+    /// Tables (or table slices) per stage, in stage order.
+    pub stages: Vec<Vec<TableId>>,
+    /// Stage index of each table (first slice for split tables).
+    pub table_stage: HashMap<TableId, usize>,
+    /// Total stages used.
+    pub num_stages_used: usize,
+    /// Pipeline latency implied by the occupancy.
+    pub latency_ns: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct DependencyGraph {
+    /// preds[t] = tables that must be in strictly earlier stages.
+    preds: HashMap<TableId, BTreeSet<TableId>>,
+    /// Tables in control order.
+    order: Vec<TableId>,
+}
+
+/// Build the table dependency graph for a program.
+fn analyze(program: &P4Program) -> DependencyGraph {
+    struct Ctx<'a> {
+        program: &'a P4Program,
+        graph: DependencyGraph,
+        /// Effective read set of each visited table (keys + guard fields).
+        reads: HashMap<TableId, BTreeSet<FieldRef>>,
+        writes: HashMap<TableId, BTreeSet<FieldRef>>,
+    }
+
+    impl Ctx<'_> {
+        /// Visit a control node. `before` holds tables that happen before
+        /// this node; `guards` are fields the node's execution depends on.
+        /// Returns the tables inside the node.
+        fn visit(
+            &mut self,
+            node: &Control,
+            before: &[TableId],
+            guards: &BTreeSet<FieldRef>,
+        ) -> Vec<TableId> {
+            match node {
+                Control::Nop => Vec::new(),
+                Control::Apply(t) => {
+                    let table = self.program.table(*t);
+                    let mut reads = table.read_fields();
+                    reads.extend(guards.iter().copied());
+                    let writes = table.written_fields();
+                    let mut preds = BTreeSet::new();
+                    for &a in before {
+                        let a_writes = &self.writes[&a];
+                        let a_reads = &self.reads[&a];
+                        let match_dep = a_writes.iter().any(|f| reads.contains(f));
+                        let action_dep = a_writes.iter().any(|f| writes.contains(f));
+                        let anti_dep = a_reads.iter().any(|f| writes.contains(f));
+                        if match_dep || action_dep || anti_dep {
+                            preds.insert(a);
+                        }
+                    }
+                    self.reads.insert(*t, reads);
+                    self.writes.insert(*t, writes);
+                    self.graph.preds.insert(*t, preds);
+                    self.graph.order.push(*t);
+                    vec![*t]
+                }
+                Control::Seq(items) => {
+                    let mut before = before.to_vec();
+                    let mut all = Vec::new();
+                    for item in items {
+                        let inner = self.visit(item, &before, guards);
+                        before.extend(inner.iter().copied());
+                        all.extend(inner);
+                    }
+                    all
+                }
+                Control::Switch { on, cases, default } => {
+                    let mut guards = guards.clone();
+                    guards.insert(*on);
+                    let mut all = Vec::new();
+                    // Each case sees the same `before` set — cases are
+                    // mutually exclusive, so no cross-case edges.
+                    for (_, c) in cases {
+                        all.extend(self.visit(c, before, &guards));
+                    }
+                    if let Some(d) = default {
+                        all.extend(self.visit(d, before, &guards));
+                    }
+                    all
+                }
+                Control::If { field, then_, .. } => {
+                    let mut guards = guards.clone();
+                    guards.insert(*field);
+                    self.visit(then_, before, &guards)
+                }
+                Control::Exclusive(items) => {
+                    // Mutually exclusive blocks: each sees the same
+                    // `before` set, so no cross-block edges are created
+                    // and the packer may overlay them.
+                    let mut all = Vec::new();
+                    for item in items {
+                        all.extend(self.visit(item, before, guards));
+                    }
+                    all
+                }
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        program,
+        graph: DependencyGraph::default(),
+        reads: HashMap::new(),
+        writes: HashMap::new(),
+    };
+    if let Some(control) = &program.control {
+        ctx.visit(control, &[], &BTreeSet::new());
+    }
+    ctx.graph
+}
+
+/// Longest-path dependency level of each table (0-based).
+fn levels(graph: &DependencyGraph) -> HashMap<TableId, usize> {
+    let mut level = HashMap::new();
+    for &t in &graph.order {
+        let l = graph.preds[&t]
+            .iter()
+            .map(|p| level[p] + 1)
+            .max()
+            .unwrap_or(0);
+        level.insert(t, l);
+    }
+    level
+}
+
+/// Compile a program against a hardware model: dependency analysis followed
+/// by first-fit stage packing. Packing uses as many *virtual* stages as
+/// needed, then errors if the count exceeds the model — this lets callers
+/// report "would have required N stages" for diagnostics (§5.2).
+pub fn compile(
+    program: &P4Program,
+    model: &PisaModel,
+    opts: CompileOptions,
+) -> Result<StageAssignment, CompileError> {
+    let graph = analyze(program);
+
+    #[derive(Clone, Default)]
+    struct StageUse {
+        sram: u32,
+        tcam: u32,
+        tables: u32,
+    }
+    let mut usage: Vec<StageUse> = Vec::new();
+    let mut stages: Vec<Vec<TableId>> = Vec::new();
+    let mut table_stage: HashMap<TableId, usize> = HashMap::new();
+
+    for &t in &graph.order {
+        let table = program.table(t);
+        let sram = model.sram_cost(table);
+        let tcam = model.tcam_cost(table);
+        let earliest = graph.preds[&t]
+            .iter()
+            .map(|p| table_stage[p] + 1)
+            .max()
+            .unwrap_or(0);
+
+        let fits_in_empty_stage =
+            sram <= model.sram_blocks_per_stage && tcam <= model.tcam_blocks_per_stage;
+        if !fits_in_empty_stage && !opts.allow_table_splitting {
+            return Err(CompileError::TableTooLarge(table.name.clone()));
+        }
+
+        if fits_in_empty_stage {
+            // First-fit: earliest stage with room.
+            let mut s = earliest;
+            loop {
+                while s >= usage.len() {
+                    usage.push(StageUse::default());
+                    stages.push(Vec::new());
+                }
+                let u = &usage[s];
+                if u.sram + sram <= model.sram_blocks_per_stage
+                    && u.tcam + tcam <= model.tcam_blocks_per_stage
+                    && u.tables + 1 <= model.tables_per_stage
+                {
+                    break;
+                }
+                s += 1;
+            }
+            usage[s].sram += sram;
+            usage[s].tcam += tcam;
+            usage[s].tables += 1;
+            stages[s].push(t);
+            table_stage.insert(t, s);
+        } else {
+            // Split the table's blocks across consecutive stages starting
+            // at the first stage with any room.
+            let mut remaining_sram = sram;
+            let mut remaining_tcam = tcam;
+            let mut s = earliest;
+            let mut first = None;
+            let mut last = earliest;
+            while remaining_sram > 0 || remaining_tcam > 0 {
+                while s >= usage.len() {
+                    usage.push(StageUse::default());
+                    stages.push(Vec::new());
+                }
+                let u = &mut usage[s];
+                if u.tables + 1 <= model.tables_per_stage
+                    && (u.sram < model.sram_blocks_per_stage
+                        || u.tcam < model.tcam_blocks_per_stage)
+                {
+                    let take_sram = remaining_sram.min(model.sram_blocks_per_stage - u.sram);
+                    let take_tcam = remaining_tcam.min(model.tcam_blocks_per_stage - u.tcam);
+                    if take_sram > 0 || take_tcam > 0 {
+                        u.sram += take_sram;
+                        u.tcam += take_tcam;
+                        u.tables += 1;
+                        remaining_sram -= take_sram;
+                        remaining_tcam -= take_tcam;
+                        stages[s].push(t);
+                        first.get_or_insert(s);
+                        last = s;
+                    }
+                }
+                if remaining_sram > 0 || remaining_tcam > 0 {
+                    s += 1;
+                }
+            }
+            table_stage.insert(t, first.unwrap_or(last));
+        }
+    }
+
+    let num_stages_used = stages.len();
+    if num_stages_used > model.num_stages {
+        return Err(CompileError::OutOfStages {
+            required: num_stages_used,
+            available: model.num_stages,
+        });
+    }
+    let latency_ns = model.pipeline_latency_ns(num_stages_used.max(1));
+    Ok(StageAssignment { stages, table_stage, num_stages_used, latency_ns })
+}
+
+/// The conservative analytic stage estimator the paper compares against
+/// (§5.2): group tables by dependency level and provision whole stages per
+/// level with first-fit *within* the level but no cross-level sharing.
+/// Dominates the compiled stage count, which can interleave levels ("such
+/// estimates were very conservative. For the 10 NAT placement, it
+/// estimated 14 stages, while the compiler could fit these into 12").
+pub fn estimate_conservative(program: &P4Program, model: &PisaModel) -> usize {
+    let graph = analyze(program);
+    let lv = levels(&graph);
+    let max_level = lv.values().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut total = 0usize;
+    for level in 0..max_level {
+        let tables: Vec<_> = graph
+            .order
+            .iter()
+            .filter(|t| lv[t] == level)
+            .map(|t| program.table(*t))
+            .collect();
+        // First-fit within the level only.
+        let mut stages: Vec<(u32, u32, u32)> = Vec::new(); // (sram, tcam, count)
+        for t in tables {
+            let (s, c) = (model.sram_cost(t), model.tcam_cost(t));
+            let slot = stages.iter_mut().find(|(us, uc, un)| {
+                us + s <= model.sram_blocks_per_stage
+                    && uc + c <= model.tcam_blocks_per_stage
+                    && un + 1 <= model.tables_per_stage
+            });
+            match slot {
+                Some((us, uc, un)) => {
+                    *us += s;
+                    *uc += c;
+                    *un += 1;
+                }
+                None => stages.push((s, c, 1)),
+            }
+        }
+        total += stages.len().max(1);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Action, MatchKind, Primitive, Table};
+
+    fn table(name: &str, reads: &[FieldRef], writes: &[FieldRef], size: usize) -> Table {
+        Table {
+            name: name.into(),
+            keys: reads.iter().map(|f| (*f, MatchKind::Exact)).collect(),
+            actions: vec![Action::new(
+                "act",
+                writes.iter().map(|f| Primitive::SetFieldConst(*f, 0)).collect(),
+            )],
+            default_action: None,
+            size,
+        }
+    }
+
+    fn seq_program(tables: Vec<Table>) -> P4Program {
+        let mut p = P4Program::new();
+        let ids: Vec<_> = tables.into_iter().map(|t| p.add_table(t)).collect();
+        p.control = Some(Control::Seq(ids.into_iter().map(Control::Apply).collect()));
+        p
+    }
+
+    #[test]
+    fn independent_tables_share_a_stage() {
+        let p = seq_program(vec![
+            table("a", &[FieldRef::Ipv4Src], &[FieldRef::Meta(1)], 10),
+            table("b", &[FieldRef::Ipv4Dst], &[FieldRef::Meta(2)], 10),
+            table("c", &[FieldRef::L4Sport], &[FieldRef::Meta(3)], 10),
+        ]);
+        let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        assert_eq!(out.num_stages_used, 1);
+    }
+
+    #[test]
+    fn match_dependency_chains_stages() {
+        // b matches the field a writes; c matches what b writes.
+        let p = seq_program(vec![
+            table("a", &[FieldRef::Ipv4Src], &[FieldRef::Meta(0)], 10),
+            table("b", &[FieldRef::Meta(0)], &[FieldRef::Meta(1)], 10),
+            table("c", &[FieldRef::Meta(1)], &[], 10),
+        ]);
+        let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        assert_eq!(out.num_stages_used, 3);
+        assert_eq!(out.table_stage[&TableId(0)], 0);
+        assert_eq!(out.table_stage[&TableId(1)], 1);
+        assert_eq!(out.table_stage[&TableId(2)], 2);
+    }
+
+    #[test]
+    fn action_dependency_serializes() {
+        // Both write the same field: write-write ordering.
+        let p = seq_program(vec![
+            table("a", &[], &[FieldRef::Ipv4Ttl], 10),
+            table("b", &[], &[FieldRef::Ipv4Ttl], 10),
+        ]);
+        let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        assert_eq!(out.num_stages_used, 2);
+    }
+
+    #[test]
+    fn anti_dependency_serializes() {
+        // a reads what b writes: b must come later.
+        let p = seq_program(vec![
+            table("a", &[FieldRef::Ipv4Dst], &[], 10),
+            table("b", &[], &[FieldRef::Ipv4Dst], 10),
+        ]);
+        let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        assert_eq!(out.num_stages_used, 2);
+    }
+
+    #[test]
+    fn exclusive_branches_pack_together() {
+        // A selector writes Meta(0); each branch holds a 2-table dependent
+        // chain. With exclusivity, both branches overlay onto 2 stages.
+        let mut p = P4Program::new();
+        let sel = p.add_table(table("sel", &[FieldRef::Ipv4Src], &[FieldRef::Meta(0)], 10));
+        let a1 = p.add_table(table("a1", &[FieldRef::Ipv4Dst], &[FieldRef::Meta(1)], 10));
+        let a2 = p.add_table(table("a2", &[FieldRef::Meta(1)], &[], 10));
+        let b1 = p.add_table(table("b1", &[FieldRef::Ipv4Dst], &[FieldRef::Meta(1)], 10));
+        let b2 = p.add_table(table("b2", &[FieldRef::Meta(1)], &[], 10));
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(sel),
+            Control::Switch {
+                on: FieldRef::Meta(0),
+                cases: vec![
+                    (0, Control::Seq(vec![Control::Apply(a1), Control::Apply(a2)])),
+                    (1, Control::Seq(vec![Control::Apply(b1), Control::Apply(b2)])),
+                ],
+                default: None,
+            },
+        ]));
+        let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        // sel in stage 0; a1/b1 share stage 1; a2/b2 share stage 2.
+        assert_eq!(out.num_stages_used, 3);
+        assert_eq!(out.table_stage[&a1], out.table_stage[&b1]);
+        assert_eq!(out.table_stage[&a2], out.table_stage[&b2]);
+    }
+
+    #[test]
+    fn guard_field_creates_control_dependency() {
+        // The branch tables read Meta(0) implicitly (guard), which `sel`
+        // writes — so they land after it even with disjoint key fields.
+        let mut p = P4Program::new();
+        let sel = p.add_table(table("sel", &[], &[FieldRef::Meta(0)], 10));
+        let x = p.add_table(table("x", &[FieldRef::L4Dport], &[], 10));
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(sel),
+            Control::Switch {
+                on: FieldRef::Meta(0),
+                cases: vec![(0, Control::Apply(x))],
+                default: None,
+            },
+        ]));
+        let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        assert!(out.table_stage[&x] > out.table_stage[&sel]);
+    }
+
+    #[test]
+    fn sram_spill_forces_new_stage() {
+        let model = PisaModel::default(); // 8 SRAM blocks/stage
+        // Three 12k-entry exact tables: 3 blocks each; two fit per stage
+        // (6 ≤ 8), the third starts stage 2? 3 × 3 = 9 > 8 → two stages.
+        let p = seq_program(vec![
+            table("n1", &[FieldRef::Ipv4Src], &[FieldRef::Meta(1)], 12_000),
+            table("n2", &[FieldRef::Ipv4Dst], &[FieldRef::Meta(2)], 12_000),
+            table("n3", &[FieldRef::L4Sport], &[FieldRef::Meta(3)], 12_000),
+        ]);
+        let out = compile(&p, &model, CompileOptions::default()).unwrap();
+        assert_eq!(out.num_stages_used, 2);
+    }
+
+    #[test]
+    fn out_of_stages_reports_requirement() {
+        // 14-deep dependency chain on a 12-stage pipeline.
+        let tables: Vec<Table> = (0..14)
+            .map(|i| {
+                table(
+                    &format!("t{i}"),
+                    &[FieldRef::Meta(i as u8)],
+                    &[FieldRef::Meta(i as u8 + 1)],
+                    10,
+                )
+            })
+            .collect();
+        let p = seq_program(tables);
+        let err = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap_err();
+        assert_eq!(err, CompileError::OutOfStages { required: 14, available: 12 });
+    }
+
+    #[test]
+    fn oversized_table_rejected_without_splitting() {
+        // 8 blocks/stage × 4096 entries = 32768 max; 50k entries won't fit.
+        let p = seq_program(vec![table("big", &[FieldRef::Ipv4Src], &[], 50_000)]);
+        let err = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap_err();
+        assert_eq!(err, CompileError::TableTooLarge("big".into()));
+        // With splitting allowed it compiles across stages.
+        let out = compile(
+            &p,
+            &PisaModel::default(),
+            CompileOptions { allow_table_splitting: true },
+        )
+        .unwrap();
+        assert!(out.num_stages_used >= 2);
+    }
+
+    #[test]
+    fn conservative_estimate_dominates_compiled() {
+        // Mixed program: selector + exclusive branches + big tables.
+        let mut p = P4Program::new();
+        let sel = p.add_table(table("sel", &[], &[FieldRef::Meta(0)], 10));
+        let mut cases = Vec::new();
+        for i in 0..4 {
+            let lookup = p.add_table(table(
+                &format!("nat{i}_lookup"),
+                &[FieldRef::Ipv4Src, FieldRef::L4Sport],
+                &[FieldRef::Meta(1)],
+                12_000,
+            ));
+            let rewrite = p.add_table(table(
+                &format!("nat{i}_rewrite"),
+                &[FieldRef::Meta(1)],
+                &[FieldRef::Ipv4Src, FieldRef::L4Sport],
+                12_000,
+            ));
+            cases.push((
+                i as u64,
+                Control::Seq(vec![Control::Apply(lookup), Control::Apply(rewrite)]),
+            ));
+        }
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(sel),
+            Control::Switch { on: FieldRef::Meta(0), cases, default: None },
+        ]));
+        let model = PisaModel::default();
+        let compiled = compile(&p, &model, CompileOptions::default())
+            .unwrap()
+            .num_stages_used;
+        let estimate = estimate_conservative(&p, &model);
+        assert!(
+            estimate >= compiled,
+            "estimate {estimate} must dominate compiled {compiled}"
+        );
+    }
+
+    #[test]
+    fn empty_program_compiles_to_zero_stages() {
+        let p = P4Program::new();
+        let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        assert_eq!(out.num_stages_used, 0);
+    }
+}

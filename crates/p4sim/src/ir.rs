@@ -1,0 +1,424 @@
+//! P4-like intermediate representation: fields, tables, actions, control.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A header or metadata field a table can match on or an action can write.
+///
+/// The vocabulary is fixed to what Lemur's NF library needs; `Meta(n)` slots
+/// are free-form per-packet metadata registers (branch decisions, drop
+/// flags, and similar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldRef {
+    EthSrc,
+    EthDst,
+    EtherType,
+    VlanVid,
+    Ipv4Src,
+    Ipv4Dst,
+    Ipv4Proto,
+    Ipv4Ttl,
+    L4Sport,
+    L4Dport,
+    NshSpi,
+    NshSi,
+    /// Symmetric flow hash with a per-table seed (switches expose multiple
+    /// hash seeds so successive splits decorrelate).
+    FlowHash(u8),
+    /// Per-packet metadata register.
+    Meta(u8),
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldRef::EthSrc => write!(f, "ethernet.srcAddr"),
+            FieldRef::EthDst => write!(f, "ethernet.dstAddr"),
+            FieldRef::EtherType => write!(f, "ethernet.etherType"),
+            FieldRef::VlanVid => write!(f, "vlan.vid"),
+            FieldRef::Ipv4Src => write!(f, "ipv4.srcAddr"),
+            FieldRef::Ipv4Dst => write!(f, "ipv4.dstAddr"),
+            FieldRef::Ipv4Proto => write!(f, "ipv4.protocol"),
+            FieldRef::Ipv4Ttl => write!(f, "ipv4.ttl"),
+            FieldRef::L4Sport => write!(f, "l4.srcPort"),
+            FieldRef::L4Dport => write!(f, "l4.dstPort"),
+            FieldRef::NshSpi => write!(f, "nsh.spi"),
+            FieldRef::NshSi => write!(f, "nsh.si"),
+            FieldRef::FlowHash(salt) => write!(f, "meta.flow_hash_s{salt}"),
+            FieldRef::Meta(n) => write!(f, "meta.r{n}"),
+        }
+    }
+}
+
+/// How a table matches a key field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchKind {
+    Exact,
+    Lpm,
+    Ternary,
+    Range,
+}
+
+/// A match value installed in a table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchValue {
+    /// Match any value (wildcard).
+    Any,
+    Exact(u64),
+    /// LPM over the low `width` bits: value, prefix length.
+    Lpm { value: u64, prefix_len: u8, width: u8 },
+    /// Ternary: value, mask.
+    Ternary { value: u64, mask: u64 },
+    /// Inclusive range.
+    Range { lo: u64, hi: u64 },
+}
+
+impl MatchValue {
+    /// True if `v` satisfies this match.
+    pub fn matches(&self, v: u64) -> bool {
+        match *self {
+            MatchValue::Any => true,
+            MatchValue::Exact(e) => v == e,
+            MatchValue::Lpm { value, prefix_len, width } => {
+                if prefix_len == 0 {
+                    return true;
+                }
+                let shift = width.saturating_sub(prefix_len);
+                (v >> shift) == (value >> shift)
+            }
+            MatchValue::Ternary { value, mask } => (v & mask) == (value & mask),
+            MatchValue::Range { lo, hi } => lo <= v && v <= hi,
+        }
+    }
+
+    /// Specificity used as a default priority (longer prefixes win).
+    pub fn specificity(&self) -> u32 {
+        match *self {
+            MatchValue::Any => 0,
+            MatchValue::Exact(_) => 64,
+            MatchValue::Lpm { prefix_len, .. } => prefix_len as u32,
+            MatchValue::Ternary { mask, .. } => mask.count_ones(),
+            MatchValue::Range { .. } => 32,
+        }
+    }
+}
+
+/// Primitive operations actions are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Write a constant to a field.
+    SetFieldConst(FieldRef, u64),
+    /// Write entry action-data word `n` to a field.
+    SetFieldFromData(FieldRef, u8),
+    /// Mark the packet dropped.
+    Drop,
+    /// Set the egress port from action-data word `n`.
+    SetEgressFromData(u8),
+    /// Set the egress port to a constant.
+    SetEgressConst(u16),
+    /// Push a VLAN tag with the VID from action-data word `n`.
+    PushVlanFromData(u8),
+    /// Pop the outer VLAN tag.
+    PopVlan,
+    /// Push an NSH header with SPI/SI from action-data words `n`, `n+1`.
+    PushNshFromData(u8),
+    /// Pop the NSH header.
+    PopNsh,
+    /// Decrement the NSH service index.
+    DecNshSi,
+    /// No operation.
+    NoOp,
+}
+
+impl Primitive {
+    /// The field this primitive writes, if any (for dependency analysis).
+    pub fn written_field(&self) -> Option<FieldRef> {
+        match *self {
+            Primitive::SetFieldConst(f, _) | Primitive::SetFieldFromData(f, _) => Some(f),
+            Primitive::PushVlanFromData(_) | Primitive::PopVlan => Some(FieldRef::VlanVid),
+            Primitive::PushNshFromData(_) | Primitive::PopNsh => Some(FieldRef::NshSpi),
+            Primitive::DecNshSi => Some(FieldRef::NshSi),
+            _ => None,
+        }
+    }
+}
+
+/// A named action: a list of primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    pub name: String,
+    pub primitives: Vec<Primitive>,
+}
+
+impl Action {
+    /// Construct an action.
+    pub fn new(name: &str, primitives: Vec<Primitive>) -> Action {
+        Action { name: name.to_string(), primitives }
+    }
+
+    /// All fields this action writes.
+    pub fn written_fields(&self) -> BTreeSet<FieldRef> {
+        self.primitives.iter().filter_map(Primitive::written_field).collect()
+    }
+}
+
+/// Identifies a table within a [`P4Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// A match-action table definition.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    /// Key fields with their match kinds.
+    pub keys: Vec<(FieldRef, MatchKind)>,
+    /// Actions entries can invoke (index = action id within the table).
+    pub actions: Vec<Action>,
+    /// Action applied when no entry matches (index into `actions`), or
+    /// `None` for no-op miss.
+    pub default_action: Option<usize>,
+    /// Provisioned entry capacity (drives SRAM/TCAM block usage).
+    pub size: usize,
+}
+
+impl Table {
+    /// All fields this table's actions may write.
+    pub fn written_fields(&self) -> BTreeSet<FieldRef> {
+        self.actions.iter().flat_map(|a| a.written_fields()).collect()
+    }
+
+    /// All fields this table matches.
+    pub fn read_fields(&self) -> BTreeSet<FieldRef> {
+        self.keys.iter().map(|(f, _)| *f).collect()
+    }
+
+    /// True if any key uses TCAM-backed matching.
+    pub fn uses_tcam(&self) -> bool {
+        self.keys
+            .iter()
+            .any(|(_, k)| matches!(k, MatchKind::Ternary | MatchKind::Lpm | MatchKind::Range))
+    }
+}
+
+/// A runtime table entry.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// One match value per table key.
+    pub keys: Vec<MatchValue>,
+    /// Index into the table's `actions`.
+    pub action: usize,
+    /// Action data words referenced by `*FromData` primitives.
+    pub action_data: Vec<u64>,
+    /// Higher wins; ties broken by insertion order (first wins).
+    pub priority: u32,
+}
+
+/// Control flow of the pipeline.
+#[derive(Debug, Clone)]
+pub enum Control {
+    /// Apply tables/blocks in sequence.
+    Seq(Vec<Control>),
+    /// Apply one table.
+    Apply(TableId),
+    /// Branch on a metadata field value: exactly one case executes. Cases
+    /// are *mutually exclusive*, which the compiler exploits to pack their
+    /// tables into the same stages.
+    Switch {
+        on: FieldRef,
+        cases: Vec<(u64, Control)>,
+        default: Option<Box<Control>>,
+    },
+    /// Conditional execution (on a comparison), used for merge-point guards.
+    If {
+        field: FieldRef,
+        op: CmpOp,
+        value: u64,
+        then_: Box<Control>,
+    },
+    /// Mutually exclusive blocks: at most one child processes any given
+    /// packet (each child carries its own guard). The compiler exploits
+    /// this to overlay the children onto the same stages — the property
+    /// Lemur's generated code "expresses explicitly" so the platform
+    /// compiler "can pack parallel branches into the same set of switch
+    /// stages" (§4.2). At runtime every child executes; internal guards
+    /// filter.
+    Exclusive(Vec<Control>),
+    /// Nothing.
+    Nop,
+}
+
+/// Comparison operators for [`Control::If`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison.
+    pub fn eval(&self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// A complete P4 program: tables plus a control tree.
+#[derive(Debug, Clone, Default)]
+pub struct P4Program {
+    pub tables: Vec<Table>,
+    pub control: Option<Control>,
+}
+
+impl P4Program {
+    /// An empty program.
+    pub fn new() -> P4Program {
+        P4Program::default()
+    }
+
+    /// Add a table, returning its id.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        self.tables.push(table);
+        TableId(self.tables.len() - 1)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0]
+    }
+
+    /// Total number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// All table ids in control-flow order (pre-order walk).
+    pub fn tables_in_order(&self) -> Vec<TableId> {
+        fn walk(c: &Control, out: &mut Vec<TableId>) {
+            match c {
+                Control::Seq(items) => items.iter().for_each(|i| walk(i, out)),
+                Control::Apply(t) => out.push(*t),
+                Control::Switch { cases, default, .. } => {
+                    cases.iter().for_each(|(_, c)| walk(c, out));
+                    if let Some(d) = default {
+                        walk(d, out);
+                    }
+                }
+                Control::If { then_, .. } => walk(then_, out),
+                Control::Exclusive(items) => items.iter().for_each(|i| walk(i, out)),
+                Control::Nop => {}
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(c) = &self.control {
+            walk(c, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_value_semantics() {
+        assert!(MatchValue::Any.matches(123));
+        assert!(MatchValue::Exact(5).matches(5));
+        assert!(!MatchValue::Exact(5).matches(6));
+        let lpm = MatchValue::Lpm { value: 0x0a000000, prefix_len: 8, width: 32 };
+        assert!(lpm.matches(0x0a123456));
+        assert!(!lpm.matches(0x0b000000));
+        let tern = MatchValue::Ternary { value: 0x80, mask: 0xf0 };
+        assert!(tern.matches(0x8f));
+        assert!(!tern.matches(0x7f));
+        let range = MatchValue::Range { lo: 10, hi: 20 };
+        assert!(range.matches(10) && range.matches(20) && !range.matches(21));
+    }
+
+    #[test]
+    fn lpm_zero_prefix_matches_all() {
+        let lpm = MatchValue::Lpm { value: 0, prefix_len: 0, width: 32 };
+        assert!(lpm.matches(u64::MAX));
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        assert!(MatchValue::Exact(0).specificity() > MatchValue::Any.specificity());
+        let short = MatchValue::Lpm { value: 0, prefix_len: 8, width: 32 };
+        let long = MatchValue::Lpm { value: 0, prefix_len: 24, width: 32 };
+        assert!(long.specificity() > short.specificity());
+    }
+
+    #[test]
+    fn action_written_fields() {
+        let a = Action::new(
+            "nat_rewrite",
+            vec![
+                Primitive::SetFieldFromData(FieldRef::Ipv4Src, 0),
+                Primitive::SetFieldFromData(FieldRef::L4Sport, 1),
+            ],
+        );
+        let w = a.written_fields();
+        assert!(w.contains(&FieldRef::Ipv4Src));
+        assert!(w.contains(&FieldRef::L4Sport));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn table_tcam_detection() {
+        let lpm_table = Table {
+            name: "fwd".into(),
+            keys: vec![(FieldRef::Ipv4Dst, MatchKind::Lpm)],
+            actions: vec![],
+            default_action: None,
+            size: 100,
+        };
+        assert!(lpm_table.uses_tcam());
+        let exact = Table {
+            name: "nat".into(),
+            keys: vec![(FieldRef::Ipv4Src, MatchKind::Exact)],
+            actions: vec![],
+            default_action: None,
+            size: 100,
+        };
+        assert!(!exact.uses_tcam());
+    }
+
+    #[test]
+    fn control_order_walk() {
+        let mut p = P4Program::new();
+        let mk = |name: &str| Table {
+            name: name.into(),
+            keys: vec![],
+            actions: vec![],
+            default_action: None,
+            size: 1,
+        };
+        let a = p.add_table(mk("a"));
+        let b = p.add_table(mk("b"));
+        let c = p.add_table(mk("c"));
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(a),
+            Control::Switch {
+                on: FieldRef::Meta(0),
+                cases: vec![(0, Control::Apply(b)), (1, Control::Apply(c))],
+                default: None,
+            },
+        ]));
+        assert_eq!(p.tables_in_order(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(1, 1));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+    }
+}

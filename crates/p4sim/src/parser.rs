@@ -1,0 +1,250 @@
+//! P4 parser trees and the §A.2.1 unification algorithm.
+//!
+//! Each standalone P4 NF declares an *NF-local parser*: an ordered tree
+//! rooted at Ethernet whose nodes are headers and whose edges are select
+//! transitions ("on etherType 0x0800, parse ipv4"). When the meta-compiler
+//! unifies NFs into one program it merges the local trees; a *conflicting*
+//! transition (same header, same select value, different next header) means
+//! the NFs cannot share the switch, and the placement is rejected.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parser tree: `header -> (select value -> next header)`.
+///
+/// Select values are abstract `u64`s (etherType, IP protocol, ports);
+/// `state` names are header names from the meta-compiler's header library.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParserTree {
+    /// Root header (usually "ethernet").
+    root: String,
+    transitions: BTreeMap<String, BTreeMap<u64, String>>,
+}
+
+/// A merge conflict: two NFs disagree about a transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    pub state: String,
+    pub select: u64,
+    pub existing: String,
+    pub incoming: String,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflicting parser transition at {} on {:#x}: {} vs {}",
+            self.state, self.select, self.existing, self.incoming
+        )
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl ParserTree {
+    /// A tree with only a root state.
+    pub fn new(root: &str) -> ParserTree {
+        ParserTree { root: root.to_string(), transitions: BTreeMap::new() }
+    }
+
+    /// The root header name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Add a transition `state --select--> next`.
+    pub fn add_transition(&mut self, state: &str, select: u64, next: &str) -> &mut Self {
+        self.transitions
+            .entry(state.to_string())
+            .or_default()
+            .insert(select, next.to_string());
+        self
+    }
+
+    /// Look up a transition.
+    pub fn next(&self, state: &str, select: u64) -> Option<&str> {
+        self.transitions.get(state)?.get(&select).map(String::as_str)
+    }
+
+    /// All states reachable from the root (including the root), in BFS
+    /// order.
+    pub fn states(&self) -> Vec<String> {
+        let mut seen = vec![self.root.clone()];
+        let mut queue = std::collections::VecDeque::from([self.root.clone()]);
+        while let Some(s) = queue.pop_front() {
+            if let Some(edges) = self.transitions.get(&s) {
+                for next in edges.values() {
+                    if !seen.contains(next) {
+                        seen.push(next.clone());
+                        queue.push_back(next.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.values().map(BTreeMap::len).sum()
+    }
+
+    /// Merge `other` into this tree (§A.2.1): visit every state of the
+    /// incoming tree and integrate non-existing transitions; a transition
+    /// that exists with a *different* target is a conflict and rejects the
+    /// merge (the unified tree is left unchanged on error).
+    pub fn merge(&mut self, other: &ParserTree) -> Result<(), MergeError> {
+        if self.transitions.is_empty() && self.root.is_empty() {
+            self.root = other.root.clone();
+        }
+        // Validate first so a failed merge has no side effects.
+        for (state, edges) in &other.transitions {
+            if let Some(mine) = self.transitions.get(state) {
+                for (select, next) in edges {
+                    if let Some(existing) = mine.get(select) {
+                        if existing != next {
+                            return Err(MergeError {
+                                state: state.clone(),
+                                select: *select,
+                                existing: existing.clone(),
+                                incoming: next.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (state, edges) in &other.transitions {
+            let mine = self.transitions.entry(state.clone()).or_default();
+            for (select, next) in edges {
+                mine.entry(*select).or_insert_with(|| next.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Render in a P4-like textual form (used by generated-code output).
+    pub fn to_p4_source(&self) -> String {
+        let mut out = String::new();
+        for state in self.states() {
+            out.push_str(&format!("parser parse_{state} {{\n"));
+            match self.transitions.get(&state) {
+                Some(edges) if !edges.is_empty() => {
+                    out.push_str("    select(next_header_field) {\n");
+                    for (sel, next) in edges {
+                        out.push_str(&format!("        {sel:#06x} : parse_{next};\n"));
+                    }
+                    out.push_str("        default : ingress;\n    }\n");
+                }
+                _ => out.push_str("    return ingress;\n"),
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Standard transitions used by the built-in header library.
+pub mod well_known {
+    use super::ParserTree;
+
+    /// EtherType values (also usable as select constants).
+    pub const ETH_IPV4: u64 = 0x0800;
+    pub const ETH_VLAN: u64 = 0x8100;
+    pub const ETH_NSH: u64 = 0x894f;
+    /// IP protocols.
+    pub const IP_TCP: u64 = 6;
+    pub const IP_UDP: u64 = 17;
+
+    /// The base tree every Lemur P4 program shares: ethernet → {nsh, vlan,
+    /// ipv4}, ipv4 → {tcp, udp}.
+    pub fn base_tree() -> ParserTree {
+        let mut t = ParserTree::new("ethernet");
+        t.add_transition("ethernet", ETH_IPV4, "ipv4")
+            .add_transition("ethernet", ETH_NSH, "nsh")
+            .add_transition("nsh", ETH_IPV4, "ipv4")
+            .add_transition("ipv4", IP_TCP, "tcp")
+            .add_transition("ipv4", IP_UDP, "udp");
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::well_known::*;
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let t = base_tree();
+        assert_eq!(t.next("ethernet", ETH_IPV4), Some("ipv4"));
+        assert_eq!(t.next("ipv4", IP_UDP), Some("udp"));
+        assert_eq!(t.next("ipv4", 99), None);
+        assert!(t.states().contains(&"tcp".to_string()));
+    }
+
+    #[test]
+    fn merge_disjoint_extends() {
+        let mut unified = base_tree();
+        let before = unified.num_transitions();
+        let mut vlan_nf = ParserTree::new("ethernet");
+        vlan_nf
+            .add_transition("ethernet", ETH_VLAN, "vlan")
+            .add_transition("vlan", ETH_IPV4, "ipv4");
+        unified.merge(&vlan_nf).unwrap();
+        assert_eq!(unified.num_transitions(), before + 2);
+        assert_eq!(unified.next("vlan", ETH_IPV4), Some("ipv4"));
+    }
+
+    #[test]
+    fn merge_identical_is_idempotent() {
+        let mut unified = base_tree();
+        let copy = unified.clone();
+        unified.merge(&copy).unwrap();
+        assert_eq!(unified, copy);
+    }
+
+    #[test]
+    fn merge_conflict_rejected_without_side_effects() {
+        let mut unified = base_tree();
+        let snapshot = unified.clone();
+        let mut conflicting = ParserTree::new("ethernet");
+        // Claims etherType 0x0800 parses a custom header, not ipv4.
+        conflicting.add_transition("ethernet", ETH_IPV4, "myproto");
+        let err = unified.merge(&conflicting).unwrap_err();
+        assert_eq!(err.state, "ethernet");
+        assert_eq!(err.existing, "ipv4");
+        assert_eq!(err.incoming, "myproto");
+        assert_eq!(unified, snapshot, "failed merge must not mutate the tree");
+    }
+
+    #[test]
+    fn merge_partial_overlap_ok() {
+        let mut unified = base_tree();
+        let mut nf = ParserTree::new("ethernet");
+        nf.add_transition("ethernet", ETH_IPV4, "ipv4") // same as existing
+            .add_transition("ipv4", 47, "gre"); // new
+        unified.merge(&nf).unwrap();
+        assert_eq!(unified.next("ipv4", 47), Some("gre"));
+    }
+
+    #[test]
+    fn states_bfs_from_root_only() {
+        let mut t = ParserTree::new("ethernet");
+        t.add_transition("orphan", 1, "nowhere"); // unreachable
+        t.add_transition("ethernet", ETH_IPV4, "ipv4");
+        let states = t.states();
+        assert!(states.contains(&"ipv4".to_string()));
+        assert!(!states.contains(&"orphan".to_string()));
+    }
+
+    #[test]
+    fn p4_source_rendering() {
+        let t = base_tree();
+        let src = t.to_p4_source();
+        assert!(src.contains("parser parse_ethernet"));
+        assert!(src.contains("parse_ipv4"));
+        assert!(src.contains("0x0800"));
+    }
+}

@@ -1,0 +1,114 @@
+//! PISA hardware resource model.
+//!
+//! Loosely dimensioned after a Tofino-class pipeline: 12 match-action
+//! stages, with per-stage SRAM blocks, TCAM blocks, and a logical-table
+//! limit. The paper's evaluation identifies stage count as "the constraint
+//! that is easiest to violate" (§4.2); the other resources exist so large
+//! exact-match tables (e.g. 12 000-entry NAT) spill across stages the way
+//! they do on real hardware.
+
+use crate::ir::Table;
+
+/// Dimensions of one pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PisaModel {
+    /// Number of match-action stages.
+    pub num_stages: usize,
+    /// SRAM blocks per stage (one block ≈ 4096 exact-match entries).
+    pub sram_blocks_per_stage: u32,
+    /// TCAM blocks per stage (one block ≈ 512 ternary entries).
+    pub tcam_blocks_per_stage: u32,
+    /// Maximum logical tables per stage.
+    pub tables_per_stage: u32,
+    /// Port line rate in bits per second (100 Gbps ports on our testbed
+    /// switch).
+    pub port_rate_bps: f64,
+    /// Per-stage pipeline latency in nanoseconds (used for the latency
+    /// experiments; PISA stages are fixed-latency).
+    pub stage_latency_ns: f64,
+}
+
+/// Entries per SRAM block.
+pub const SRAM_ENTRIES_PER_BLOCK: usize = 4096;
+/// Entries per TCAM block.
+pub const TCAM_ENTRIES_PER_BLOCK: usize = 512;
+
+impl Default for PisaModel {
+    fn default() -> Self {
+        PisaModel {
+            num_stages: 12,
+            sram_blocks_per_stage: 8,
+            tcam_blocks_per_stage: 8,
+            tables_per_stage: 16,
+            port_rate_bps: 100e9,
+            stage_latency_ns: 50.0,
+        }
+    }
+}
+
+impl PisaModel {
+    /// SRAM blocks a table consumes.
+    pub fn sram_cost(&self, table: &Table) -> u32 {
+        if table.uses_tcam() {
+            // Ternary tables keep action data in SRAM: charge one block.
+            1
+        } else {
+            (table.size.div_ceil(SRAM_ENTRIES_PER_BLOCK)).max(1) as u32
+        }
+    }
+
+    /// TCAM blocks a table consumes.
+    pub fn tcam_cost(&self, table: &Table) -> u32 {
+        if table.uses_tcam() {
+            (table.size.div_ceil(TCAM_ENTRIES_PER_BLOCK)).max(1) as u32
+        } else {
+            0
+        }
+    }
+
+    /// End-to-end pipeline latency for a program occupying `stages` stages.
+    pub fn pipeline_latency_ns(&self, stages: usize) -> f64 {
+        stages as f64 * self.stage_latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FieldRef, MatchKind};
+
+    fn table(size: usize, kind: MatchKind) -> Table {
+        Table {
+            name: "t".into(),
+            keys: vec![(FieldRef::Ipv4Dst, kind)],
+            actions: vec![],
+            default_action: None,
+            size,
+        }
+    }
+
+    #[test]
+    fn sram_cost_scales_with_entries() {
+        let m = PisaModel::default();
+        assert_eq!(m.sram_cost(&table(100, MatchKind::Exact)), 1);
+        assert_eq!(m.sram_cost(&table(4096, MatchKind::Exact)), 1);
+        assert_eq!(m.sram_cost(&table(4097, MatchKind::Exact)), 2);
+        assert_eq!(m.sram_cost(&table(12_000, MatchKind::Exact)), 3);
+    }
+
+    #[test]
+    fn tcam_cost_only_for_ternary_family() {
+        let m = PisaModel::default();
+        assert_eq!(m.tcam_cost(&table(100, MatchKind::Exact)), 0);
+        assert_eq!(m.tcam_cost(&table(100, MatchKind::Lpm)), 1);
+        assert_eq!(m.tcam_cost(&table(1024, MatchKind::Ternary)), 2);
+        // 8 TCAM blocks per stage fit four 1024-entry ternary tables.
+        assert_eq!(m.tcam_cost(&table(100, MatchKind::Range)), 1);
+    }
+
+    #[test]
+    fn latency_model() {
+        let m = PisaModel::default();
+        assert_eq!(m.pipeline_latency_ns(12), 600.0);
+    }
+}

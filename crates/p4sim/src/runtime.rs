@@ -1,0 +1,714 @@
+//! The PISA switch runtime: executes a compiled program on packets.
+//!
+//! One [`Switch`] instance models the ToR. Packets flow through the control
+//! tree; each applied table extracts its key fields, finds the highest-
+//! priority matching entry, and runs the entry's action primitives. PISA
+//! pipelines process at line rate, so the runtime charges no per-packet CPU
+//! cost — rate limits are enforced by port capacities in the dataplane.
+
+use crate::compiler::{compile, CompileOptions, StageAssignment};
+use crate::ir::*;
+use crate::resources::PisaModel;
+use lemur_packet::builder;
+use lemur_packet::ethernet::{self, EtherType};
+use lemur_packet::flow::FiveTuple;
+use lemur_packet::ipv4::Protocol;
+use lemur_packet::{ipv4, nsh, tcp, udp, vlan, PacketBuf};
+use std::collections::HashMap;
+
+/// Result of running one packet through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchVerdict {
+    /// Egress port, if the packet survived.
+    pub egress_port: Option<u16>,
+    /// True if the packet was dropped.
+    pub dropped: bool,
+}
+
+/// Per-packet execution state.
+#[derive(Debug, Default)]
+struct ExecState {
+    meta: HashMap<u8, u64>,
+    egress: Option<u16>,
+    dropped: bool,
+}
+
+/// A running PISA switch: program + entries + counters.
+pub struct Switch {
+    program: P4Program,
+    /// Entries per table, kept sorted by descending priority.
+    entries: Vec<Vec<TableEntry>>,
+    assignment: StageAssignment,
+    model: PisaModel,
+    packets_in: u64,
+    packets_dropped: u64,
+}
+
+impl Switch {
+    /// Compile `program` for `model` and instantiate a switch. Fails if the
+    /// program does not fit the pipeline.
+    pub fn new(
+        program: P4Program,
+        model: PisaModel,
+    ) -> Result<Switch, crate::compiler::CompileError> {
+        let assignment = compile(&program, &model, CompileOptions::default())?;
+        let entries = vec![Vec::new(); program.num_tables()];
+        Ok(Switch {
+            program,
+            entries,
+            assignment,
+            model,
+            packets_in: 0,
+            packets_dropped: 0,
+        })
+    }
+
+    /// The stage assignment produced at compile time.
+    pub fn assignment(&self) -> &StageAssignment {
+        &self.assignment
+    }
+
+    /// Pipeline latency for this program.
+    pub fn latency_ns(&self) -> f64 {
+        self.assignment.latency_ns
+    }
+
+    /// The hardware model.
+    pub fn model(&self) -> &PisaModel {
+        &self.model
+    }
+
+    /// Install an entry; entries are matched in priority order.
+    pub fn add_entry(&mut self, table: TableId, entry: TableEntry) {
+        let list = &mut self.entries[table.0];
+        let pos = list
+            .iter()
+            .position(|e| e.priority < entry.priority)
+            .unwrap_or(list.len());
+        list.insert(pos, entry);
+    }
+
+    /// Packets processed so far.
+    pub fn packets_in(&self) -> u64 {
+        self.packets_in
+    }
+
+    /// Packets dropped so far.
+    pub fn packets_dropped(&self) -> u64 {
+        self.packets_dropped
+    }
+
+    /// Run one packet through the pipeline.
+    pub fn process(&mut self, pkt: &mut PacketBuf) -> SwitchVerdict {
+        self.packets_in += 1;
+        let mut state = ExecState::default();
+        if let Some(control) = self.program.control.clone() {
+            self.exec(&control, pkt, &mut state);
+        }
+        if state.dropped {
+            self.packets_dropped += 1;
+            SwitchVerdict { egress_port: None, dropped: true }
+        } else {
+            SwitchVerdict { egress_port: state.egress, dropped: false }
+        }
+    }
+
+    fn exec(&mut self, node: &Control, pkt: &mut PacketBuf, state: &mut ExecState) {
+        if state.dropped {
+            return;
+        }
+        match node {
+            Control::Nop => {}
+            Control::Seq(items) => {
+                for item in items {
+                    self.exec(item, pkt, state);
+                    if state.dropped {
+                        return;
+                    }
+                }
+            }
+            Control::Apply(t) => self.apply_table(*t, pkt, state),
+            Control::Switch { on, cases, default } => {
+                let v = read_field(pkt, *on, state).unwrap_or(0);
+                let case = cases.iter().find(|(k, _)| *k == v);
+                match case {
+                    Some((_, c)) => self.exec(c, pkt, state),
+                    None => {
+                        if let Some(d) = default {
+                            self.exec(d, pkt, state);
+                        }
+                    }
+                }
+            }
+            Control::If { field, op, value, then_ } => {
+                let v = read_field(pkt, *field, state).unwrap_or(0);
+                if op.eval(v, *value) {
+                    self.exec(then_, pkt, state);
+                }
+            }
+            Control::Exclusive(items) => {
+                for item in items {
+                    self.exec(item, pkt, state);
+                    if state.dropped {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_table(&mut self, id: TableId, pkt: &mut PacketBuf, state: &mut ExecState) {
+        let table = &self.program.tables[id.0];
+        let keys: Vec<u64> = table
+            .keys
+            .iter()
+            .map(|(f, _)| read_field(pkt, *f, state).unwrap_or(0))
+            .collect();
+        let hit = self.entries[id.0]
+            .iter()
+            .find(|e| {
+                e.keys.len() == keys.len()
+                    && e.keys.iter().zip(&keys).all(|(m, v)| m.matches(*v))
+            })
+            .cloned();
+        let (action_idx, data) = match hit {
+            Some(e) => (Some(e.action), e.action_data),
+            None => (table.default_action, Vec::new()),
+        };
+        let Some(ai) = action_idx else { return };
+        let action = table.actions[ai].clone();
+        for prim in &action.primitives {
+            run_primitive(*prim, &data, pkt, state);
+            if state.dropped {
+                return;
+            }
+        }
+    }
+}
+
+fn run_primitive(p: Primitive, data: &[u64], pkt: &mut PacketBuf, state: &mut ExecState) {
+    let word = |n: u8| data.get(n as usize).copied().unwrap_or(0);
+    match p {
+        Primitive::NoOp => {}
+        Primitive::Drop => state.dropped = true,
+        Primitive::SetEgressConst(port) => state.egress = Some(port),
+        Primitive::SetEgressFromData(n) => state.egress = Some(word(n) as u16),
+        Primitive::SetFieldConst(f, v) => write_field(pkt, f, v, state),
+        Primitive::SetFieldFromData(f, n) => write_field(pkt, f, word(n), state),
+        Primitive::PushVlanFromData(n) => {
+            // The tag belongs to the inner (service-payload) frame, behind
+            // any NSH encapsulation.
+            let off = inner_frame_offset(pkt.as_slice());
+            builder::vlan_push_at(pkt, off, (word(n) & 0x0fff) as u16);
+        }
+        Primitive::PopVlan => {
+            let off = inner_frame_offset(pkt.as_slice());
+            let _ = builder::vlan_pop_at(pkt, off);
+        }
+        Primitive::PushNshFromData(n) => {
+            builder::nsh_encap(pkt, word(n) as u32 & 0x00ff_ffff, word(n + 1) as u8);
+        }
+        Primitive::PopNsh => {
+            let _ = builder::nsh_decap(pkt);
+        }
+        Primitive::DecNshSi => {
+            let frame = pkt.as_mut_slice();
+            if let Ok(eth) = ethernet::Frame::new_checked(&frame[..]) {
+                if eth.ethertype() == EtherType::Nsh {
+                    let mut h = nsh::Header::new_unchecked(&mut frame[ethernet::HEADER_LEN..]);
+                    if h.decrement_si().is_err() {
+                        state.dropped = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Offset of the "effective" (inner) Ethernet frame: behind the outer
+/// Ethernet+NSH headers for service-chained packets, 0 otherwise.
+fn inner_frame_offset(frame: &[u8]) -> usize {
+    if let Ok(eth) = ethernet::Frame::new_checked(frame) {
+        if eth.ethertype() == EtherType::Nsh && nsh::Header::new_checked(eth.payload()).is_ok()
+        {
+            return ethernet::HEADER_LEN + nsh::HEADER_LEN;
+        }
+    }
+    0
+}
+
+/// L3 offset within the inner frame, looking through one VLAN tag.
+fn l3_offset(frame: &[u8]) -> Option<usize> {
+    let eth = ethernet::Frame::new_checked(frame).ok()?;
+    match eth.ethertype() {
+        EtherType::Ipv4 => Some(ethernet::HEADER_LEN),
+        EtherType::Vlan => {
+            let tag = vlan::Tag::new_checked(eth.payload()).ok()?;
+            (tag.inner_ethertype() == EtherType::Ipv4)
+                .then_some(ethernet::HEADER_LEN + vlan::TAG_LEN)
+        }
+        _ => None,
+    }
+}
+
+fn read_field(pkt: &PacketBuf, f: FieldRef, state: &ExecState) -> Option<u64> {
+    let whole = pkt.as_slice();
+    if let FieldRef::Meta(n) = f {
+        return Some(state.meta.get(&n).copied().unwrap_or(0));
+    }
+    if matches!(f, FieldRef::NshSpi | FieldRef::NshSi) {
+        let eth = ethernet::Frame::new_checked(whole).ok()?;
+        if eth.ethertype() != EtherType::Nsh {
+            return None;
+        }
+        let h = nsh::Header::new_checked(eth.payload()).ok()?;
+        return Some(match f {
+            FieldRef::NshSpi => h.spi() as u64,
+            _ => h.si() as u64,
+        });
+    }
+    let frame = &whole[inner_frame_offset(whole)..];
+    match f {
+        FieldRef::EthSrc => {
+            let eth = ethernet::Frame::new_checked(frame).ok()?;
+            Some(mac_to_u64(eth.src()))
+        }
+        FieldRef::EthDst => {
+            let eth = ethernet::Frame::new_checked(frame).ok()?;
+            Some(mac_to_u64(eth.dst()))
+        }
+        FieldRef::EtherType => {
+            let eth = ethernet::Frame::new_checked(frame).ok()?;
+            Some(u16::from(eth.ethertype()) as u64)
+        }
+        FieldRef::VlanVid => {
+            Some(builder::vlan_peek(frame)? as u64)
+        }
+        FieldRef::FlowHash(salt) => FiveTuple::parse(frame)
+            .ok()
+            .map(|t| lemur_packet::flow::salted_hash(t.symmetric_hash(), salt)),
+        FieldRef::Ipv4Src | FieldRef::Ipv4Dst | FieldRef::Ipv4Proto | FieldRef::Ipv4Ttl => {
+            let l3 = l3_offset(frame)?;
+            let ip = ipv4::Packet::new_checked(&frame[l3..]).ok()?;
+            Some(match f {
+                FieldRef::Ipv4Src => ip.src().to_u32() as u64,
+                FieldRef::Ipv4Dst => ip.dst().to_u32() as u64,
+                FieldRef::Ipv4Proto => u8::from(ip.protocol()) as u64,
+                _ => ip.ttl() as u64,
+            })
+        }
+        FieldRef::L4Sport | FieldRef::L4Dport => {
+            let l3 = l3_offset(frame)?;
+            let ip = ipv4::Packet::new_checked(&frame[l3..]).ok()?;
+            let l4 = l3 + ip.header_len() as usize;
+            let (s, d) = match ip.protocol() {
+                Protocol::Udp => {
+                    let u = udp::Packet::new_checked(&frame[l4..]).ok()?;
+                    (u.src_port(), u.dst_port())
+                }
+                Protocol::Tcp => {
+                    let t = tcp::Packet::new_checked(&frame[l4..]).ok()?;
+                    (t.src_port(), t.dst_port())
+                }
+                _ => return None,
+            };
+            Some(if f == FieldRef::L4Sport { s as u64 } else { d as u64 })
+        }
+        FieldRef::NshSpi | FieldRef::NshSi | FieldRef::Meta(_) => unreachable!(),
+    }
+}
+
+fn write_field(pkt: &mut PacketBuf, f: FieldRef, v: u64, state: &mut ExecState) {
+    if let FieldRef::Meta(n) = f {
+        state.meta.insert(n, v);
+        return;
+    }
+    let whole_len = pkt.len();
+    let whole = pkt.as_mut_slice();
+    if matches!(f, FieldRef::NshSpi | FieldRef::NshSi) {
+        if let Ok(eth) = ethernet::Frame::new_checked(&whole[..]) {
+            if eth.ethertype() == EtherType::Nsh
+                && whole_len >= ethernet::HEADER_LEN + nsh::HEADER_LEN
+            {
+                let mut h = nsh::Header::new_unchecked(&mut whole[ethernet::HEADER_LEN..]);
+                match f {
+                    FieldRef::NshSpi => h.set_spi(v as u32 & 0x00ff_ffff),
+                    _ => h.set_si(v as u8),
+                }
+            }
+        }
+        return;
+    }
+    let off = inner_frame_offset(whole);
+    let frame = &mut whole[off..];
+    match f {
+        FieldRef::EthSrc | FieldRef::EthDst => {
+            if frame.len() >= ethernet::HEADER_LEN {
+                let mut eth = ethernet::Frame::new_unchecked(frame);
+                let mac = u64_to_mac(v);
+                if f == FieldRef::EthSrc {
+                    eth.set_src(mac);
+                } else {
+                    eth.set_dst(mac);
+                }
+            }
+        }
+        FieldRef::EtherType => {
+            if frame.len() >= ethernet::HEADER_LEN {
+                let mut eth = ethernet::Frame::new_unchecked(frame);
+                eth.set_ethertype(EtherType::from((v & 0xffff) as u16));
+            }
+        }
+        FieldRef::VlanVid => {
+            if let Ok(eth) = ethernet::Frame::new_checked(&frame[..]) {
+                if eth.ethertype() == EtherType::Vlan {
+                    let mut tag =
+                        vlan::Tag::new_unchecked(&mut frame[ethernet::HEADER_LEN..]);
+                    tag.set_vid((v & 0x0fff) as u16);
+                }
+            }
+        }
+        FieldRef::Ipv4Src | FieldRef::Ipv4Dst | FieldRef::Ipv4Ttl => {
+            if let Some(l3) = l3_offset(frame) {
+                let mut ip = ipv4::Packet::new_unchecked(&mut frame[l3..]);
+                match f {
+                    FieldRef::Ipv4Src => ip.set_src(ipv4::Address::from_u32(v as u32)),
+                    FieldRef::Ipv4Dst => ip.set_dst(ipv4::Address::from_u32(v as u32)),
+                    _ => ip.set_ttl(v as u8),
+                }
+                ip.fill_checksum();
+            }
+        }
+        FieldRef::L4Sport | FieldRef::L4Dport => {
+            if let Some(l3) = l3_offset(frame) {
+                let (l4, protocol) = {
+                    let ip = ipv4::Packet::new_unchecked(&frame[l3..]);
+                    (l3 + ip.header_len() as usize, ip.protocol())
+                };
+                match protocol {
+                    Protocol::Udp => {
+                        let mut u = udp::Packet::new_unchecked(&mut frame[l4..]);
+                        if f == FieldRef::L4Sport {
+                            u.set_src_port(v as u16);
+                        } else {
+                            u.set_dst_port(v as u16);
+                        }
+                    }
+                    Protocol::Tcp => {
+                        let mut t = tcp::Packet::new_unchecked(&mut frame[l4..]);
+                        if f == FieldRef::L4Sport {
+                            t.set_src_port(v as u16);
+                        } else {
+                            t.set_dst_port(v as u16);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        FieldRef::Ipv4Proto | FieldRef::FlowHash(_) => {
+            // Not writable on this pipeline.
+        }
+        FieldRef::NshSpi | FieldRef::NshSi | FieldRef::Meta(_) => unreachable!(),
+    }
+}
+
+fn mac_to_u64(a: ethernet::Address) -> u64 {
+    let mut v = 0u64;
+    for b in a.0 {
+        v = (v << 8) | b as u64;
+    }
+    v
+}
+
+fn u64_to_mac(v: u64) -> ethernet::Address {
+    let b = v.to_be_bytes();
+    ethernet::Address([b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_packet::builder::udp_packet;
+
+    fn sample_pkt(dst: ipv4::Address, dport: u16) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 1, 2, 3),
+            dst,
+            4000,
+            dport,
+            b"payload",
+        )
+    }
+
+    /// A forwarding table: LPM on ipv4.dst → set egress port.
+    fn fwd_program() -> (P4Program, TableId) {
+        let mut p = P4Program::new();
+        let t = p.add_table(Table {
+            name: "ipv4_fwd".into(),
+            keys: vec![(FieldRef::Ipv4Dst, MatchKind::Lpm)],
+            actions: vec![
+                Action::new("set_port", vec![Primitive::SetEgressFromData(0)]),
+                Action::new("drop", vec![Primitive::Drop]),
+            ],
+            default_action: Some(1),
+            size: 1024,
+        });
+        p.control = Some(Control::Apply(t));
+        (p, t)
+    }
+
+    #[test]
+    fn lpm_forwarding() {
+        let (p, t) = fwd_program();
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        sw.add_entry(
+            t,
+            TableEntry {
+                keys: vec![MatchValue::Lpm {
+                    value: u64::from(ipv4::Address::new(20, 0, 0, 0).to_u32()),
+                    prefix_len: 8,
+                    width: 32,
+                }],
+                action: 0,
+                action_data: vec![7],
+                priority: 8,
+            },
+        );
+        let mut hit = sample_pkt(ipv4::Address::new(20, 9, 9, 9), 80);
+        assert_eq!(
+            sw.process(&mut hit),
+            SwitchVerdict { egress_port: Some(7), dropped: false }
+        );
+        let mut miss = sample_pkt(ipv4::Address::new(30, 0, 0, 1), 80);
+        assert_eq!(sw.process(&mut miss), SwitchVerdict { egress_port: None, dropped: true });
+        assert_eq!(sw.packets_in(), 2);
+        assert_eq!(sw.packets_dropped(), 1);
+    }
+
+    #[test]
+    fn priority_longest_prefix_wins() {
+        let (p, t) = fwd_program();
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        for (prefix, len, port) in [
+            (ipv4::Address::new(20, 0, 0, 0), 8u8, 1u64),
+            (ipv4::Address::new(20, 1, 0, 0), 16, 2),
+        ] {
+            sw.add_entry(
+                t,
+                TableEntry {
+                    keys: vec![MatchValue::Lpm {
+                        value: u64::from(prefix.to_u32()),
+                        prefix_len: len,
+                        width: 32,
+                    }],
+                    action: 0,
+                    action_data: vec![port],
+                    priority: len as u32,
+                },
+            );
+        }
+        let mut specific = sample_pkt(ipv4::Address::new(20, 1, 5, 5), 80);
+        assert_eq!(sw.process(&mut specific).egress_port, Some(2));
+        let mut general = sample_pkt(ipv4::Address::new(20, 7, 5, 5), 80);
+        assert_eq!(sw.process(&mut general).egress_port, Some(1));
+    }
+
+    #[test]
+    fn acl_ternary_drop() {
+        let mut p = P4Program::new();
+        let t = p.add_table(Table {
+            name: "acl".into(),
+            keys: vec![
+                (FieldRef::Ipv4Dst, MatchKind::Ternary),
+                (FieldRef::L4Dport, MatchKind::Range),
+            ],
+            actions: vec![
+                Action::new("permit", vec![Primitive::NoOp]),
+                Action::new("deny", vec![Primitive::Drop]),
+            ],
+            default_action: Some(0),
+            size: 512,
+        });
+        p.control = Some(Control::Apply(t));
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        // Deny dport 23 (telnet) to anywhere.
+        sw.add_entry(
+            t,
+            TableEntry {
+                keys: vec![MatchValue::Any, MatchValue::Range { lo: 23, hi: 23 }],
+                action: 1,
+                action_data: vec![],
+                priority: 10,
+            },
+        );
+        let mut telnet = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 23);
+        assert!(sw.process(&mut telnet).dropped);
+        let mut http = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 80);
+        assert!(!sw.process(&mut http).dropped);
+    }
+
+    #[test]
+    fn nat_rewrite_via_action_data() {
+        let mut p = P4Program::new();
+        let t = p.add_table(Table {
+            name: "nat".into(),
+            keys: vec![(FieldRef::Ipv4Src, MatchKind::Exact)],
+            actions: vec![Action::new(
+                "snat",
+                vec![
+                    Primitive::SetFieldFromData(FieldRef::Ipv4Src, 0),
+                    Primitive::SetFieldFromData(FieldRef::L4Sport, 1),
+                ],
+            )],
+            default_action: None,
+            size: 12_000,
+        });
+        p.control = Some(Control::Apply(t));
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        let internal = ipv4::Address::new(10, 1, 2, 3);
+        let external = ipv4::Address::new(198, 18, 0, 1);
+        sw.add_entry(
+            t,
+            TableEntry {
+                keys: vec![MatchValue::Exact(internal.to_u32() as u64)],
+                action: 0,
+                action_data: vec![external.to_u32() as u64, 7777],
+                priority: 1,
+            },
+        );
+        let mut pkt = sample_pkt(ipv4::Address::new(8, 8, 8, 8), 53);
+        sw.process(&mut pkt);
+        let tpl = FiveTuple::parse(pkt.as_slice()).unwrap();
+        assert_eq!(tpl.src_ip, external);
+        assert_eq!(tpl.src_port, 7777);
+        // IP checksum must have been refreshed by the write.
+        let eth = ethernet::Frame::new_checked(pkt.as_slice()).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn switch_branching_on_metadata() {
+        let mut p = P4Program::new();
+        let classify = p.add_table(Table {
+            name: "classify".into(),
+            keys: vec![(FieldRef::L4Dport, MatchKind::Exact)],
+            actions: vec![Action::new(
+                "set_class",
+                vec![Primitive::SetFieldFromData(FieldRef::Meta(0), 0)],
+            )],
+            default_action: None,
+            size: 16,
+        });
+        let web = p.add_table(Table {
+            name: "web_path".into(),
+            keys: vec![],
+            actions: vec![Action::new("mark", vec![Primitive::SetEgressConst(1)])],
+            default_action: Some(0),
+            size: 1,
+        });
+        let other = p.add_table(Table {
+            name: "other_path".into(),
+            keys: vec![],
+            actions: vec![Action::new("mark", vec![Primitive::SetEgressConst(2)])],
+            default_action: Some(0),
+            size: 1,
+        });
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(classify),
+            Control::Switch {
+                on: FieldRef::Meta(0),
+                cases: vec![(1, Control::Apply(web))],
+                default: Some(Box::new(Control::Apply(other))),
+            },
+        ]));
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        sw.add_entry(
+            classify,
+            TableEntry {
+                keys: vec![MatchValue::Exact(80)],
+                action: 0,
+                action_data: vec![1],
+                priority: 1,
+            },
+        );
+        let mut http = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 80);
+        assert_eq!(sw.process(&mut http).egress_port, Some(1));
+        let mut dns = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 53);
+        assert_eq!(sw.process(&mut dns).egress_port, Some(2));
+    }
+
+    #[test]
+    fn nsh_coordination_primitives() {
+        // Encap, decrement, read back, decap — the ToR coordinator ops.
+        let mut p = P4Program::new();
+        let t = p.add_table(Table {
+            name: "encap".into(),
+            keys: vec![],
+            actions: vec![Action::new(
+                "push",
+                vec![Primitive::PushNshFromData(0), Primitive::DecNshSi],
+            )],
+            default_action: Some(0),
+            size: 1,
+        });
+        p.control = Some(Control::Apply(t));
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        let mut pkt = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 80);
+        sw.add_entry(
+            t,
+            TableEntry { keys: vec![], action: 0, action_data: vec![5, 255], priority: 1 },
+        );
+        sw.process(&mut pkt);
+        assert_eq!(builder::nsh_peek(pkt.as_slice()), Some((5, 254)));
+        // Fields of the inner packet remain readable through the encap.
+        let state = ExecState::default();
+        assert_eq!(
+            read_field(&pkt, FieldRef::L4Dport, &state),
+            Some(80),
+            "inner fields must be visible through NSH"
+        );
+    }
+
+    #[test]
+    fn flow_hash_field_reads() {
+        let pkt = sample_pkt(ipv4::Address::new(1, 2, 3, 4), 80);
+        let state = ExecState::default();
+        let h = read_field(&pkt, FieldRef::FlowHash(0), &state).unwrap();
+        let expect = FiveTuple::parse(pkt.as_slice()).unwrap().symmetric_hash();
+        assert_eq!(h, expect);
+        // Salted reads decorrelate.
+        let h7 = read_field(&pkt, FieldRef::FlowHash(7), &state).unwrap();
+        assert_ne!(h, h7);
+        assert_eq!(
+            h7,
+            lemur_packet::flow::salted_hash(expect, 7)
+        );
+    }
+
+    #[test]
+    fn mac_u64_roundtrip() {
+        let a = ethernet::Address([1, 2, 3, 4, 5, 6]);
+        assert_eq!(u64_to_mac(mac_to_u64(a)), a);
+    }
+
+    #[test]
+    fn si_underflow_drops_packet() {
+        let mut p = P4Program::new();
+        let t = p.add_table(Table {
+            name: "dec".into(),
+            keys: vec![],
+            actions: vec![Action::new("dec", vec![Primitive::DecNshSi])],
+            default_action: Some(0),
+            size: 1,
+        });
+        p.control = Some(Control::Apply(t));
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        let mut pkt = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 80);
+        builder::nsh_encap(&mut pkt, 1, 0); // SI already 0: mis-programmed
+        assert!(sw.process(&mut pkt).dropped);
+    }
+}

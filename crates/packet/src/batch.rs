@@ -1,0 +1,297 @@
+//! Owned packet buffers and BESS-style batches.
+//!
+//! [`PacketBuf`] keeps headroom in front of the frame so that pushing an
+//! encapsulation header (NSH at the server edge, a VLAN tag at the Tunnel NF)
+//! is a copy of the header bytes only, mirroring how DPDK mbufs prepend
+//! headers. [`Batch`] groups packets the way BESS modules process them:
+//! a run-to-completion subgroup fully processes one batch before pulling the
+//! next (§3.2).
+
+/// Default headroom reserved in front of a packet, enough for several
+/// levels of encapsulation (Ethernet 14 + NSH 8 + VLAN 4, with slack).
+pub const DEFAULT_HEADROOM: usize = 64;
+
+/// The batch size BESS uses for run-to-completion processing.
+pub const BATCH_SIZE: usize = 32;
+
+/// An owned packet with prepend headroom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketBuf {
+    storage: Vec<u8>,
+    start: usize,
+}
+
+impl PacketBuf {
+    /// Create a packet from frame bytes, reserving [`DEFAULT_HEADROOM`].
+    pub fn from_bytes(frame: &[u8]) -> PacketBuf {
+        let mut storage = vec![0u8; DEFAULT_HEADROOM + frame.len()];
+        storage[DEFAULT_HEADROOM..].copy_from_slice(frame);
+        PacketBuf { storage, start: DEFAULT_HEADROOM }
+    }
+
+    /// Create an all-zero packet of `len` bytes.
+    pub fn zeroed(len: usize) -> PacketBuf {
+        PacketBuf { storage: vec![0u8; DEFAULT_HEADROOM + len], start: DEFAULT_HEADROOM }
+    }
+
+    /// Current frame length.
+    pub fn len(&self) -> usize {
+        self.storage.len() - self.start
+    }
+
+    /// True if the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining headroom available for [`PacketBuf::push_front`].
+    pub fn headroom(&self) -> usize {
+        self.start
+    }
+
+    /// The frame bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.storage[self.start..]
+    }
+
+    /// Mutable frame bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.storage[self.start..]
+    }
+
+    /// Prepend `bytes` to the frame. Falls back to reallocating with fresh
+    /// headroom if the existing headroom is exhausted.
+    pub fn push_front(&mut self, bytes: &[u8]) {
+        if bytes.len() <= self.start {
+            self.start -= bytes.len();
+            self.storage[self.start..self.start + bytes.len()].copy_from_slice(bytes);
+        } else {
+            let mut storage = vec![0u8; DEFAULT_HEADROOM + bytes.len() + self.len()];
+            storage[DEFAULT_HEADROOM..DEFAULT_HEADROOM + bytes.len()].copy_from_slice(bytes);
+            storage[DEFAULT_HEADROOM + bytes.len()..].copy_from_slice(self.as_slice());
+            self.storage = storage;
+            self.start = DEFAULT_HEADROOM;
+        }
+    }
+
+    /// Remove `n` bytes from the front of the frame, returning them as an
+    /// owned vector. Panics if the frame is shorter than `n`.
+    pub fn pull_front(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "pull_front past end of frame");
+        let removed = self.storage[self.start..self.start + n].to_vec();
+        self.start += n;
+        removed
+    }
+
+    /// Insert `bytes` at `offset` within the frame (used to splice a VLAN tag
+    /// after the Ethernet addresses). If `offset` is small and headroom is
+    /// available, the bytes before the offset are shifted left so the
+    /// operation costs `offset` bytes of copying, not the packet length.
+    pub fn insert_at(&mut self, offset: usize, bytes: &[u8]) {
+        assert!(offset <= self.len(), "insert_at past end of frame");
+        if bytes.len() <= self.start {
+            let new_start = self.start - bytes.len();
+            // Shift [start, start+offset) left by bytes.len().
+            self.storage.copy_within(self.start..self.start + offset, new_start);
+            self.storage[new_start + offset..new_start + offset + bytes.len()]
+                .copy_from_slice(bytes);
+            self.start = new_start;
+        } else {
+            let mut v = self.as_slice().to_vec();
+            v.splice(offset..offset, bytes.iter().copied());
+            *self = PacketBuf::from_bytes(&v);
+        }
+    }
+
+    /// Remove `len` bytes starting at `offset` within the frame, shifting the
+    /// prefix right (cheap removal of a spliced tag).
+    pub fn remove_at(&mut self, offset: usize, len: usize) -> Vec<u8> {
+        assert!(offset + len <= self.len(), "remove_at past end of frame");
+        let removed = self.storage[self.start + offset..self.start + offset + len].to_vec();
+        self.storage
+            .copy_within(self.start..self.start + offset, self.start + len);
+        self.start += len;
+        removed
+    }
+
+    /// Truncate the frame to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.storage.truncate(self.start + len);
+        }
+    }
+
+    /// Extend the frame at the tail with `bytes`.
+    pub fn extend_tail(&mut self, bytes: &[u8]) {
+        self.storage.extend_from_slice(bytes);
+    }
+}
+
+/// A batch of packets, processed together by one subgroup invocation.
+#[derive(Debug, Default, Clone)]
+pub struct Batch {
+    packets: Vec<PacketBuf>,
+}
+
+impl Batch {
+    /// An empty batch with [`BATCH_SIZE`] capacity.
+    pub fn new() -> Batch {
+        Batch { packets: Vec::with_capacity(BATCH_SIZE) }
+    }
+
+    /// Build a batch from packets.
+    pub fn from_packets(packets: Vec<PacketBuf>) -> Batch {
+        Batch { packets }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Sum of frame lengths in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.packets.iter().map(|p| p.len()).sum()
+    }
+
+    /// Append a packet.
+    pub fn push(&mut self, p: PacketBuf) {
+        self.packets.push(p);
+    }
+
+    /// Iterate over packets.
+    pub fn iter(&self) -> impl Iterator<Item = &PacketBuf> {
+        self.packets.iter()
+    }
+
+    /// Iterate mutably over packets.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut PacketBuf> {
+        self.packets.iter_mut()
+    }
+
+    /// Drain all packets out of the batch.
+    pub fn drain(&mut self) -> impl Iterator<Item = PacketBuf> + '_ {
+        self.packets.drain(..)
+    }
+
+    /// Retain packets matching a predicate (drop the rest).
+    pub fn retain(&mut self, f: impl FnMut(&PacketBuf) -> bool) {
+        self.packets.retain(f);
+    }
+
+    /// Take the packets, leaving the batch empty.
+    pub fn take(&mut self) -> Vec<PacketBuf> {
+        std::mem::take(&mut self.packets)
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = PacketBuf;
+    type IntoIter = std::vec::IntoIter<PacketBuf>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.into_iter()
+    }
+}
+
+impl FromIterator<PacketBuf> for Batch {
+    fn from_iter<I: IntoIterator<Item = PacketBuf>>(iter: I) -> Batch {
+        Batch { packets: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let p = PacketBuf::from_bytes(b"hello");
+        assert_eq!(p.as_slice(), b"hello");
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.headroom(), DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn push_pull_front() {
+        let mut p = PacketBuf::from_bytes(b"payload");
+        p.push_front(b"hdr:");
+        assert_eq!(p.as_slice(), b"hdr:payload");
+        let removed = p.pull_front(4);
+        assert_eq!(removed, b"hdr:");
+        assert_eq!(p.as_slice(), b"payload");
+    }
+
+    #[test]
+    fn push_front_exhausts_headroom_and_reallocates() {
+        let mut p = PacketBuf::from_bytes(b"x");
+        let big = vec![0xaa; DEFAULT_HEADROOM + 10];
+        p.push_front(&big);
+        assert_eq!(p.len(), big.len() + 1);
+        assert_eq!(&p.as_slice()[..big.len()], &big[..]);
+        assert_eq!(p.as_slice()[big.len()], b'x');
+    }
+
+    #[test]
+    fn insert_and_remove_at() {
+        // Simulate splicing a VLAN tag after a 12-byte Ethernet address pair.
+        let mut p = PacketBuf::from_bytes(b"AAAAAAAAAAAArest-of-frame");
+        p.insert_at(12, b"TAG!");
+        assert_eq!(&p.as_slice()[..16], b"AAAAAAAAAAAATAG!");
+        assert_eq!(&p.as_slice()[16..], b"rest-of-frame");
+        let tag = p.remove_at(12, 4);
+        assert_eq!(tag, b"TAG!");
+        assert_eq!(p.as_slice(), b"AAAAAAAAAAAArest-of-frame");
+    }
+
+    #[test]
+    fn insert_at_without_headroom() {
+        let mut p = PacketBuf::from_bytes(b"abcdef");
+        p.pull_front(0);
+        // Exhaust headroom first.
+        let big = vec![1u8; DEFAULT_HEADROOM];
+        p.push_front(&big);
+        p.insert_at(2, b"ZZ");
+        assert_eq!(p.len(), DEFAULT_HEADROOM + 6 + 2);
+        assert_eq!(&p.as_slice()[2..4], b"ZZ");
+    }
+
+    #[test]
+    #[should_panic(expected = "pull_front past end")]
+    fn pull_front_past_end_panics() {
+        let mut p = PacketBuf::from_bytes(b"ab");
+        p.pull_front(3);
+    }
+
+    #[test]
+    fn truncate_and_extend() {
+        let mut p = PacketBuf::from_bytes(b"abcdef");
+        p.truncate(3);
+        assert_eq!(p.as_slice(), b"abc");
+        p.extend_tail(b"XY");
+        assert_eq!(p.as_slice(), b"abcXY");
+        // Truncate longer than current length is a no-op.
+        p.truncate(100);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let mut b = Batch::new();
+        assert!(b.is_empty());
+        b.push(PacketBuf::from_bytes(&[0u8; 100]));
+        b.push(PacketBuf::from_bytes(&[0u8; 50]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_bytes(), 150);
+        b.retain(|p| p.len() > 60);
+        assert_eq!(b.len(), 1);
+        let taken = b.take();
+        assert_eq!(taken.len(), 1);
+        assert!(b.is_empty());
+    }
+}

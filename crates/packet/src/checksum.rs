@@ -1,0 +1,82 @@
+//! Internet checksum (RFC 1071) helpers used by IPv4, UDP, and TCP.
+
+/// Incremental ones-complement sum over a byte slice.
+///
+/// The slice may have odd length; the final odd byte is treated as the
+/// high-order byte of a 16-bit word, per RFC 1071.
+pub fn ones_complement_sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into a 16-bit ones-complement checksum.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Compute the RFC 1071 checksum of `data` with an initial accumulator.
+pub fn checksum(init: u32, data: &[u8]) -> u16 {
+    fold(ones_complement_sum(init, data))
+}
+
+/// Pseudo-header sum for UDP/TCP over IPv4 (RFC 768 / RFC 793).
+pub fn pseudo_header_v4(src: [u8; 4], dst: [u8; 4], protocol: u8, length: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = ones_complement_sum(acc, &src);
+    acc = ones_complement_sum(acc, &dst);
+    acc += u32::from(protocol);
+    acc += u32::from(length);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: {00 01, f2 03, f4 f5, f6 f7}.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = ones_complement_sum(0, &data);
+        // Accumulated sum per the RFC is 0x2ddf0; folded is !0xddf2.
+        assert_eq!(sum, 0x2ddf0);
+        assert_eq!(fold(sum), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(
+            ones_complement_sum(0, &[0xab]),
+            u32::from(u16::from_be_bytes([0xab, 0x00]))
+        );
+    }
+
+    #[test]
+    fn empty_slice_is_identity() {
+        assert_eq!(ones_complement_sum(42, &[]), 42);
+    }
+
+    #[test]
+    fn checksum_of_zeroes_is_all_ones() {
+        assert_eq!(checksum(0, &[0u8; 20]), 0xffff);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        // Insert a computed checksum into the data; re-summing the whole
+        // buffer must then fold to zero.
+        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06];
+        let c = checksum(0, &data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(checksum(0, &data), 0);
+    }
+}

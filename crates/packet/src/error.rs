@@ -1,0 +1,35 @@
+//! Error type shared by all wire-format views in this crate.
+
+use core::fmt;
+
+/// Errors produced while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short to contain the protocol header.
+    Truncated,
+    /// A length field disagrees with the buffer (e.g. IPv4 `total_len`
+    /// larger than the underlying slice, or a header length below the
+    /// protocol minimum).
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+    /// A field holds a value the protocol does not permit (e.g. IPv4
+    /// version != 4, NSH with an unsupported MD type).
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer too short for header"),
+            Error::Malformed => write!(f, "length field inconsistent with buffer"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+            Error::Unsupported => write!(f, "unsupported field value"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout `lemur-packet`.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,221 @@
+//! Ethernet II frame view.
+
+use crate::error::{Error, Result};
+use core::fmt;
+
+/// A MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Address(pub [u8; 6]);
+
+impl Address {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: Address = Address([0xff; 6]);
+
+    /// True if the least-significant bit of the first octet is set
+    /// (multicast or broadcast).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for the all-ones broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for a unicast address (not multicast, not all-zero).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && self.0 != [0; 6]
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values Lemur's dataplane understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    /// 802.1Q VLAN tag.
+    Vlan,
+    /// Network Service Header (RFC 8300 allocates 0x894F).
+    Nsh,
+    Arp,
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x8100 => EtherType::Vlan,
+            0x894f => EtherType::Nsh,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Vlan => 0x8100,
+            EtherType::Nsh => 0x894f,
+            EtherType::Arp => 0x0806,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+mod field {
+    use core::ops::Range;
+    pub const DST: Range<usize> = 0..6;
+    pub const SRC: Range<usize> = 6..12;
+    pub const ETHERTYPE: Range<usize> = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// A read (or read/write) view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without checking its length.
+    ///
+    /// Accessors panic if the buffer is shorter than [`HEADER_LEN`]; prefer
+    /// [`Frame::new_checked`].
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, verifying it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> Address {
+        let mut a = [0; 6];
+        a.copy_from_slice(&self.buffer.as_ref()[field::DST]);
+        Address(a)
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> Address {
+        let mut a = [0; 6];
+        a.copy_from_slice(&self.buffer.as_ref()[field::SRC]);
+        Address(a)
+    }
+
+    /// EtherType of the encapsulated payload.
+    pub fn ethertype(&self) -> EtherType {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::ETHERTYPE.start], d[field::ETHERTYPE.start + 1]]).into()
+    }
+
+    /// Immutable view of the frame payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst(&mut self, addr: Address) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&addr.0);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src(&mut self, addr: Address) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&addr.0);
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&u16::from(ty).to_be_bytes());
+    }
+
+    /// Mutable view of the frame payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut f = vec![0u8; HEADER_LEN + 4];
+        {
+            let mut frame = Frame::new_unchecked(&mut f[..]);
+            frame.set_dst(Address([1, 2, 3, 4, 5, 6]));
+            frame.set_src(Address([7, 8, 9, 10, 11, 12]));
+            frame.set_ethertype(EtherType::Ipv4);
+            frame.payload_mut().copy_from_slice(b"abcd");
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample();
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.dst(), Address([1, 2, 3, 4, 5, 6]));
+        assert_eq!(frame.src(), Address([7, 8, 9, 10, 11, 12]));
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), b"abcd");
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert_eq!(Frame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
+        assert!(Frame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn ethertype_codes() {
+        assert_eq!(u16::from(EtherType::Nsh), 0x894f);
+        assert_eq!(EtherType::from(0x8100), EtherType::Vlan);
+        assert_eq!(EtherType::from(0x1234), EtherType::Unknown(0x1234));
+        assert_eq!(u16::from(EtherType::Unknown(0x4321)), 0x4321);
+    }
+
+    #[test]
+    fn address_classes() {
+        assert!(Address::BROADCAST.is_broadcast());
+        assert!(Address::BROADCAST.is_multicast());
+        assert!(Address([0x01, 0, 0, 0, 0, 0]).is_multicast());
+        assert!(Address([0x02, 0, 0, 0, 0, 1]).is_unicast());
+        assert!(!Address([0; 6]).is_unicast());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            Address([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+}

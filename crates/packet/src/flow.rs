@@ -1,0 +1,264 @@
+//! Flow identification: 5-tuples and traffic aggregates.
+//!
+//! A Lemur NF chain processes one or more *traffic aggregates* — combinations
+//! of flow 5-tuple values, e.g. "all traffic from customer prefix
+//! 203.0.113.0/24" (§2). The dataplane classifies each packet into an
+//! aggregate at the ToR switch to select the chain (and thus SPI) to apply.
+
+use crate::error::{Error, Result};
+use crate::ethernet::{self, EtherType};
+use crate::ipv4::{self, Cidr, Protocol};
+use crate::{tcp, udp, vlan};
+
+/// A flow 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    pub src_ip: ipv4::Address,
+    pub dst_ip: ipv4::Address,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: u8,
+}
+
+impl FiveTuple {
+    /// Extract the 5-tuple from an Ethernet frame, looking through at most
+    /// one VLAN tag. Non-IPv4 and non-TCP/UDP packets yield `Err`.
+    pub fn parse(frame: &[u8]) -> Result<FiveTuple> {
+        let eth = ethernet::Frame::new_checked(frame)?;
+        let (ethertype, l3) = match eth.ethertype() {
+            EtherType::Vlan => {
+                let tag = vlan::Tag::new_checked(eth.payload())?;
+                (tag.inner_ethertype(), &eth.payload()[vlan::TAG_LEN..])
+            }
+            other => (other, eth.payload()),
+        };
+        if ethertype != EtherType::Ipv4 {
+            return Err(Error::Unsupported);
+        }
+        let ip = ipv4::Packet::new_checked(l3)?;
+        let (src_port, dst_port) = match ip.protocol() {
+            Protocol::Tcp => {
+                let t = tcp::Packet::new_checked(ip.payload())?;
+                (t.src_port(), t.dst_port())
+            }
+            Protocol::Udp => {
+                let u = udp::Packet::new_checked(ip.payload())?;
+                (u.src_port(), u.dst_port())
+            }
+            _ => return Err(Error::Unsupported),
+        };
+        Ok(FiveTuple {
+            src_ip: ip.src(),
+            dst_ip: ip.dst(),
+            src_port,
+            dst_port,
+            protocol: ip.protocol().into(),
+        })
+    }
+
+    /// A symmetric hash that maps both directions of a flow to one value.
+    /// Used by the L4 load balancer to keep connections sticky.
+    pub fn symmetric_hash(&self) -> u64 {
+        let a = (u64::from(self.src_ip.to_u32()) << 16) | u64::from(self.src_port);
+        let b = (u64::from(self.dst_ip.to_u32()) << 16) | u64::from(self.dst_port);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Fibonacci-style mix; determinism matters more than quality here.
+        let mut h = lo
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(hi.wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        h ^= u64::from(self.protocol) << 32;
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// Decorrelate a flow hash for use at a specific branch stage: successive
+/// traffic splits must not reuse the same hash, or a downstream splitter
+/// only ever sees the keys its upstream already filtered (every gate but
+/// one starves). Switches implement this with per-table hash seeds; `salt`
+/// plays that role here.
+pub fn salted_hash(h: u64, salt: u8) -> u64 {
+    if salt == 0 {
+        return h;
+    }
+    let mut x = h ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(salt as u64 + 1);
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// A range of ports, inclusive on both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRange {
+    pub start: u16,
+    pub end: u16,
+}
+
+impl PortRange {
+    /// The full port range (matches anything).
+    pub const ANY: PortRange = PortRange { start: 0, end: u16::MAX };
+
+    /// A single-port range.
+    pub const fn single(p: u16) -> PortRange {
+        PortRange { start: p, end: p }
+    }
+
+    /// True if `p` is inside the range.
+    pub fn contains(&self, p: u16) -> bool {
+        self.start <= p && p <= self.end
+    }
+}
+
+/// A traffic aggregate: a 5-tuple pattern with prefix/range/wildcard fields.
+///
+/// In Lemur's setting an aggregate typically represents a customer (§2):
+/// "an aggregate specifies a combination of flow 5-tuple values".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficAggregate {
+    pub src: Option<Cidr>,
+    pub dst: Option<Cidr>,
+    pub src_ports: PortRange,
+    pub dst_ports: PortRange,
+    /// `None` matches any protocol.
+    pub protocol: Option<u8>,
+}
+
+impl TrafficAggregate {
+    /// An aggregate that matches everything.
+    pub const fn any() -> TrafficAggregate {
+        TrafficAggregate {
+            src: None,
+            dst: None,
+            src_ports: PortRange::ANY,
+            dst_ports: PortRange::ANY,
+            protocol: None,
+        }
+    }
+
+    /// Aggregate for a customer source prefix.
+    pub fn from_src_prefix(cidr: Cidr) -> TrafficAggregate {
+        TrafficAggregate { src: Some(cidr), ..TrafficAggregate::any() }
+    }
+
+    /// True if `t` matches this aggregate.
+    pub fn matches(&self, t: &FiveTuple) -> bool {
+        if let Some(src) = &self.src {
+            if !src.contains(t.src_ip) {
+                return false;
+            }
+        }
+        if let Some(dst) = &self.dst {
+            if !dst.contains(t.dst_ip) {
+                return false;
+            }
+        }
+        if !self.src_ports.contains(t.src_port) || !self.dst_ports.contains(t.dst_port) {
+            return false;
+        }
+        if let Some(p) = self.protocol {
+            if p != t.protocol {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_ip: ipv4::Address::new(203, 0, 113, 9),
+            dst_ip: ipv4::Address::new(10, 1, 2, 3),
+            src_port: 40000,
+            dst_port: 443,
+            protocol: 6,
+        }
+    }
+
+    #[test]
+    fn aggregate_any_matches_all() {
+        assert!(TrafficAggregate::any().matches(&tuple()));
+    }
+
+    #[test]
+    fn aggregate_prefix_filtering() {
+        let agg = TrafficAggregate::from_src_prefix("203.0.113.0/24".parse().unwrap());
+        assert!(agg.matches(&tuple()));
+        let other = TrafficAggregate::from_src_prefix("198.51.100.0/24".parse().unwrap());
+        assert!(!other.matches(&tuple()));
+    }
+
+    #[test]
+    fn aggregate_port_and_proto() {
+        let mut agg = TrafficAggregate::any();
+        agg.dst_ports = PortRange::single(443);
+        agg.protocol = Some(6);
+        assert!(agg.matches(&tuple()));
+        agg.protocol = Some(17);
+        assert!(!agg.matches(&tuple()));
+        agg.protocol = Some(6);
+        agg.dst_ports = PortRange::single(80);
+        assert!(!agg.matches(&tuple()));
+    }
+
+    #[test]
+    fn parse_from_udp_packet() {
+        let pkt = builder::udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(1, 2, 3, 4),
+            ipv4::Address::new(5, 6, 7, 8),
+            1111,
+            2222,
+            b"x",
+        );
+        let t = FiveTuple::parse(pkt.as_slice()).unwrap();
+        assert_eq!(t.src_ip, ipv4::Address::new(1, 2, 3, 4));
+        assert_eq!(t.dst_ip, ipv4::Address::new(5, 6, 7, 8));
+        assert_eq!(t.src_port, 1111);
+        assert_eq!(t.dst_port, 2222);
+        assert_eq!(t.protocol, 17);
+    }
+
+    #[test]
+    fn symmetric_hash_is_symmetric() {
+        let fwd = tuple();
+        let rev = FiveTuple {
+            src_ip: fwd.dst_ip,
+            dst_ip: fwd.src_ip,
+            src_port: fwd.dst_port,
+            dst_port: fwd.src_port,
+            protocol: fwd.protocol,
+        };
+        assert_eq!(fwd.symmetric_hash(), rev.symmetric_hash());
+        // And differs for a different flow.
+        let other = FiveTuple { src_port: 40001, ..fwd };
+        assert_ne!(fwd.symmetric_hash(), other.symmetric_hash());
+    }
+
+    #[test]
+    fn parse_rejects_non_ip() {
+        let mut frame = vec![0u8; 60];
+        {
+            let mut f = ethernet::Frame::new_unchecked(&mut frame[..]);
+            f.set_ethertype(EtherType::Arp);
+        }
+        assert_eq!(FiveTuple::parse(&frame).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn port_range_bounds() {
+        let r = PortRange { start: 10, end: 20 };
+        assert!(r.contains(10));
+        assert!(r.contains(20));
+        assert!(!r.contains(9));
+        assert!(!r.contains(21));
+    }
+}

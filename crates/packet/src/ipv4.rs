@@ -1,0 +1,429 @@
+//! IPv4 header view, addresses, and CIDR prefixes.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use core::fmt;
+use core::str::FromStr;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Address(pub [u8; 4]);
+
+impl Address {
+    /// Construct from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Address {
+        Address([a, b, c, d])
+    }
+
+    /// The address as a host-order `u32`.
+    pub fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Build from a host-order `u32`.
+    pub fn from_u32(v: u32) -> Address {
+        Address(v.to_be_bytes())
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl FromStr for Address {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Address> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or(Error::Malformed)?;
+            *octet = part.parse().map_err(|_| Error::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(Error::Malformed);
+        }
+        Ok(Address(octets))
+    }
+}
+
+/// An IPv4 CIDR prefix such as `10.0.0.0/8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    address: Address,
+    prefix_len: u8,
+}
+
+impl Cidr {
+    /// Create a prefix; `prefix_len` must be `<= 32`.
+    pub fn new(address: Address, prefix_len: u8) -> Result<Cidr> {
+        if prefix_len > 32 {
+            return Err(Error::Malformed);
+        }
+        Ok(Cidr { address, prefix_len })
+    }
+
+    /// The base address of the prefix.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// The prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// The network mask as a host-order `u32`.
+    pub fn mask(&self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len)
+        }
+    }
+
+    /// True if `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Address) -> bool {
+        (addr.to_u32() & self.mask()) == (self.address.to_u32() & self.mask())
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.address, self.prefix_len)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Cidr> {
+        let (addr, len) = s.split_once('/').ok_or(Error::Malformed)?;
+        let address: Address = addr.parse()?;
+        let prefix_len: u8 = len.parse().map_err(|_| Error::Malformed)?;
+        Cidr::new(address, prefix_len)
+    }
+}
+
+/// IP protocol numbers Lemur's NFs classify on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    Icmp,
+    Tcp,
+    Udp,
+    Unknown(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Unknown(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(v: Protocol) -> u8 {
+        match v {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Unknown(other) => other,
+        }
+    }
+}
+
+/// Minimum IPv4 header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+mod field {
+    use core::ops::Range;
+    pub const VER_IHL: usize = 0;
+    pub const DSCP_ECN: usize = 1;
+    pub const TOTAL_LEN: Range<usize> = 2..4;
+    pub const IDENT: Range<usize> = 4..6;
+    pub const FLAGS_FRAG: Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: Range<usize> = 10..12;
+    pub const SRC: Range<usize> = 12..16;
+    pub const DST: Range<usize> = 16..20;
+}
+
+/// A view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer, validating version, header length, and total length.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = Packet { buffer };
+        if packet.version() != 4 {
+            return Err(Error::Unsupported);
+        }
+        let header_len = packet.header_len() as usize;
+        if header_len < HEADER_LEN || header_len > len {
+            return Err(Error::Malformed);
+        }
+        let total_len = packet.total_len() as usize;
+        if total_len < header_len || total_len > len {
+            return Err(Error::Malformed);
+        }
+        Ok(packet)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version (must be 4).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VER_IHL] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::VER_IHL] & 0x0f) * 4
+    }
+
+    /// DSCP/ECN byte.
+    pub fn dscp_ecn(&self) -> u8 {
+        self.buffer.as_ref()[field::DSCP_ECN]
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::TOTAL_LEN.start], d[field::TOTAL_LEN.start + 1]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::IDENT.start], d[field::IDENT.start + 1]])
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// Encapsulated protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.buffer.as_ref()[field::PROTOCOL].into()
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::CHECKSUM.start], d[field::CHECKSUM.start + 1]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Address {
+        let mut a = [0; 4];
+        a.copy_from_slice(&self.buffer.as_ref()[field::SRC]);
+        Address(a)
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Address {
+        let mut a = [0; 4];
+        a.copy_from_slice(&self.buffer.as_ref()[field::DST]);
+        Address(a)
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        let header = &self.buffer.as_ref()[..self.header_len() as usize];
+        checksum::checksum(0, header) == 0
+    }
+
+    /// Payload (bytes between the header and `total_len`).
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len() as usize;
+        let tl = self.total_len() as usize;
+        &self.buffer.as_ref()[hl..tl]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set version to 4 and header length (bytes, multiple of 4).
+    pub fn set_version_and_len(&mut self, header_len: u8) {
+        debug_assert_eq!(header_len % 4, 0);
+        self.buffer.as_mut()[field::VER_IHL] = 0x40 | (header_len / 4);
+    }
+
+    /// Set the DSCP/ECN byte.
+    pub fn set_dscp_ecn(&mut self, v: u8) {
+        self.buffer.as_mut()[field::DSCP_ECN] = v;
+    }
+
+    /// Set the total length field.
+    pub fn set_total_len(&mut self, v: u16) {
+        self.buffer.as_mut()[field::TOTAL_LEN].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, v: u16) {
+        self.buffer.as_mut()[field::IDENT].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Clear flags and fragment offset (Lemur does not fragment).
+    pub fn clear_flags(&mut self) {
+        self.buffer.as_mut()[field::FLAGS_FRAG].copy_from_slice(&[0, 0]);
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, v: u8) {
+        self.buffer.as_mut()[field::TTL] = v;
+    }
+
+    /// Set the protocol field.
+    pub fn set_protocol(&mut self, v: Protocol) {
+        self.buffer.as_mut()[field::PROTOCOL] = v.into();
+    }
+
+    /// Set the source address.
+    pub fn set_src(&mut self, a: Address) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&a.0);
+    }
+
+    /// Set the destination address.
+    pub fn set_dst(&mut self, a: Address) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&a.0);
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let hl = self.header_len() as usize;
+        let sum = checksum::checksum(0, &self.buffer.as_ref()[..hl]);
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable payload view.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len() as usize;
+        let tl = self.total_len() as usize;
+        &mut self.buffer.as_mut()[hl..tl]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        {
+            let mut p = Packet::new_unchecked(&mut buf[..]);
+            p.set_version_and_len(20);
+            p.set_total_len((HEADER_LEN + payload.len()) as u16);
+            p.set_ident(0x1234);
+            p.clear_flags();
+            p.set_ttl(64);
+            p.set_protocol(Protocol::Udp);
+            p.set_src(Address::new(192, 168, 1, 1));
+            p.set_dst(Address::new(10, 0, 0, 1));
+            p.payload_mut().copy_from_slice(payload);
+            p.fill_checksum();
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = build(b"payload");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.protocol(), Protocol::Udp);
+        assert_eq!(p.src(), Address::new(192, 168, 1, 1));
+        assert_eq!(p.dst(), Address::new(10, 0, 0, 1));
+        assert_eq!(p.payload(), b"payload");
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = build(b"x");
+        buf[field::TTL] = 63; // mutate without re-checksumming
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn version_must_be_4() {
+        let mut buf = build(b"");
+        buf[0] = 0x65; // version 6
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn bad_total_len_rejected() {
+        let mut buf = build(b"abc");
+        let n = buf.len();
+        buf[field::TOTAL_LEN] .copy_from_slice(&((n + 10) as u16).to_be_bytes());
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn short_header_len_rejected() {
+        let mut buf = build(b"");
+        buf[0] = 0x43; // IHL = 3 words = 12 bytes < 20
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn address_parse_and_display() {
+        let a: Address = "172.16.254.3".parse().unwrap();
+        assert_eq!(a, Address::new(172, 16, 254, 3));
+        assert_eq!(a.to_string(), "172.16.254.3");
+        assert!("1.2.3".parse::<Address>().is_err());
+        assert!("1.2.3.4.5".parse::<Address>().is_err());
+        assert!("1.2.3.256".parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn cidr_contains() {
+        let c: Cidr = "10.0.0.0/8".parse().unwrap();
+        assert!(c.contains(Address::new(10, 255, 1, 2)));
+        assert!(!c.contains(Address::new(11, 0, 0, 1)));
+        let all: Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(all.contains(Address::new(203, 0, 113, 7)));
+        let host: Cidr = "192.0.2.1/32".parse().unwrap();
+        assert!(host.contains(Address::new(192, 0, 2, 1)));
+        assert!(!host.contains(Address::new(192, 0, 2, 2)));
+    }
+
+    #[test]
+    fn cidr_rejects_long_prefix() {
+        assert!(Cidr::new(Address::new(0, 0, 0, 0), 33).is_err());
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let a = Address::new(1, 2, 3, 4);
+        assert_eq!(Address::from_u32(a.to_u32()), a);
+        assert_eq!(a.to_u32(), 0x01020304);
+    }
+}

@@ -1,0 +1,209 @@
+//! Network Service Header (NSH, RFC 8300) view.
+//!
+//! Lemur tags packets with an NSH carrying a Service Path Index (SPI, the
+//! linear chain identifier) and a Service Index (SI, the position within the
+//! chain). The ToR PISA switch sets the initial SPI/SI; platform-generated
+//! coordination code decrements the SI as the packet traverses NFs (§4.1).
+//!
+//! We implement the fixed-size MD type 2 header with no metadata TLVs:
+//! 8 bytes = base header (4) + service path header (4).
+
+use crate::error::{Error, Result};
+
+/// Length of the NSH base + service path headers (MD type 2, no TLVs).
+pub const HEADER_LEN: usize = 8;
+
+/// Next-protocol values (RFC 8300 §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextProtocol {
+    Ipv4,
+    Ethernet,
+    Unknown(u8),
+}
+
+impl From<u8> for NextProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            0x01 => NextProtocol::Ipv4,
+            0x03 => NextProtocol::Ethernet,
+            other => NextProtocol::Unknown(other),
+        }
+    }
+}
+
+impl From<NextProtocol> for u8 {
+    fn from(v: NextProtocol) -> u8 {
+        match v {
+            NextProtocol::Ipv4 => 0x01,
+            NextProtocol::Ethernet => 0x03,
+            NextProtocol::Unknown(other) => other,
+        }
+    }
+}
+
+/// A view of an NSH header.
+#[derive(Debug, Clone)]
+pub struct Header<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Header<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Header<T> {
+        Header { buffer }
+    }
+
+    /// Wrap a buffer, validating version, length, and MD type.
+    pub fn new_checked(buffer: T) -> Result<Header<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let h = Header { buffer };
+        if h.version() != 0 {
+            return Err(Error::Unsupported);
+        }
+        // Length field is in 4-byte words; MD type 2 with no TLVs is 2 words.
+        if h.length_words() < 2 || (h.length_words() as usize) * 4 > h.buffer.as_ref().len() {
+            return Err(Error::Malformed);
+        }
+        if h.md_type() != 2 {
+            return Err(Error::Unsupported);
+        }
+        Ok(h)
+    }
+
+    /// NSH version (2 bits; must be 0).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 6
+    }
+
+    /// Header length in 4-byte words.
+    pub fn length_words(&self) -> u8 {
+        self.buffer.as_ref()[1] & 0x3f
+    }
+
+    /// Metadata type (4 bits).
+    pub fn md_type(&self) -> u8 {
+        self.buffer.as_ref()[2] & 0x0f
+    }
+
+    /// Next protocol after NSH.
+    pub fn next_protocol(&self) -> NextProtocol {
+        self.buffer.as_ref()[3].into()
+    }
+
+    /// Service Path Identifier (24 bits).
+    pub fn spi(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([0, d[4], d[5], d[6]])
+    }
+
+    /// Service Index (8 bits).
+    pub fn si(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Payload following the NSH header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[(self.length_words() as usize) * 4..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Header<T> {
+    /// Initialize an MD-type-2, zero-TLV header in place.
+    pub fn init(&mut self, next: NextProtocol) {
+        let d = self.buffer.as_mut();
+        d[0] = 0; // version 0, no O/U bits
+        d[1] = 2; // length = 2 words
+        d[2] = 0x02; // MD type 2
+        d[3] = next.into();
+    }
+
+    /// Set the Service Path Identifier (24 bits; high byte ignored).
+    pub fn set_spi(&mut self, spi: u32) {
+        debug_assert!(spi < (1 << 24));
+        let b = spi.to_be_bytes();
+        self.buffer.as_mut()[4..7].copy_from_slice(&b[1..4]);
+    }
+
+    /// Set the Service Index.
+    pub fn set_si(&mut self, si: u8) {
+        self.buffer.as_mut()[7] = si;
+    }
+
+    /// Decrement the Service Index, as each service-plane hop must (RFC 8300
+    /// §2.3). Returns the new value, or `Err` if the SI would underflow — an
+    /// underflow means the chain was mis-programmed and the packet must drop.
+    pub fn decrement_si(&mut self) -> Result<u8> {
+        let si = self.buffer.as_ref()[7];
+        if si == 0 {
+            return Err(Error::Malformed);
+        }
+        self.buffer.as_mut()[7] = si - 1;
+        Ok(si - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(spi: u32, si: u8) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + 3];
+        {
+            let mut h = Header::new_unchecked(&mut buf[..]);
+            h.init(NextProtocol::Ipv4);
+            h.set_spi(spi);
+            h.set_si(si);
+        }
+        buf[HEADER_LEN..].copy_from_slice(b"abc");
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = build(0x00ab_cdef, 7);
+        let h = Header::new_checked(&buf[..]).unwrap();
+        assert_eq!(h.version(), 0);
+        assert_eq!(h.md_type(), 2);
+        assert_eq!(h.next_protocol(), NextProtocol::Ipv4);
+        assert_eq!(h.spi(), 0x00ab_cdef);
+        assert_eq!(h.si(), 7);
+        assert_eq!(h.payload(), b"abc");
+    }
+
+    #[test]
+    fn decrement_si() {
+        let mut buf = build(1, 2);
+        let mut h = Header::new_unchecked(&mut buf[..]);
+        assert_eq!(h.decrement_si().unwrap(), 1);
+        assert_eq!(h.decrement_si().unwrap(), 0);
+        assert_eq!(h.decrement_si().unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = build(1, 1);
+        buf[0] = 0x40; // version 1
+        assert_eq!(Header::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn bad_md_type_rejected() {
+        let mut buf = build(1, 1);
+        buf[2] = 0x01;
+        assert_eq!(Header::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Header::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn spi_is_24_bits() {
+        let buf = build(0x00ff_ffff, 1);
+        let h = Header::new_checked(&buf[..]).unwrap();
+        assert_eq!(h.spi(), 0x00ff_ffff);
+    }
+}

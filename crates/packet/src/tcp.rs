@@ -1,0 +1,272 @@
+//! TCP segment view (header fields only; Lemur's NFs classify and rewrite
+//! ports/flags but never terminate connections).
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::ipv4;
+
+/// Minimum TCP header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const SEQ: Range<usize> = 4..8;
+    pub const ACK: Range<usize> = 8..12;
+    pub const DATA_OFF: usize = 12;
+    pub const FLAGS: usize = 13;
+    pub const WINDOW: Range<usize> = 14..16;
+    pub const CHECKSUM: Range<usize> = 16..18;
+    pub const URGENT: Range<usize> = 18..20;
+}
+
+/// Minimal bitflags macro to avoid an external dependency.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident : $ty:ty {
+            $(const $flag:ident = $value:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $(pub const $flag: $name = $name($value);)*
+
+            /// True if all bits of `other` are set in `self`.
+            pub fn contains(self, other: $name) -> bool {
+                (self.0 & other.0) == other.0
+            }
+
+            /// Bitwise-or of two flag sets.
+            pub fn union(self, other: $name) -> $name {
+                $name(self.0 | other.0)
+            }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP flag bits (subset of RFC 793 + ECN bits ignored).
+    pub struct Flags: u8 {
+        const FIN = 0x01;
+        const SYN = 0x02;
+        const RST = 0x04;
+        const PSH = 0x08;
+        const ACK = 0x10;
+        const URG = 0x20;
+    }
+}
+
+/// A view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer, validating the data offset.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = Packet { buffer };
+        let hl = packet.header_len() as usize;
+        if hl < HEADER_LEN || hl > len {
+            return Err(Error::Malformed);
+        }
+        Ok(packet)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[4], d[5], d[6], d[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[8], d[9], d[10], d[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::DATA_OFF] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> Flags {
+        Flags(self.buffer.as_ref()[field::FLAGS] & 0x3f)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[14], d[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[16], d[17]])
+    }
+
+    /// Segment payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len() as usize..]
+    }
+
+    /// Verify the checksum against an IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: ipv4::Address, dst: ipv4::Address) -> bool {
+        let data = self.buffer.as_ref();
+        let init = checksum::pseudo_header_v4(src.0, dst.0, 6, data.len() as u16);
+        checksum::checksum(init, data) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, v: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, v: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, v: u32) {
+        self.buffer.as_mut()[field::SEQ].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the acknowledgement number.
+    pub fn set_ack(&mut self, v: u32) {
+        self.buffer.as_mut()[field::ACK].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the header length in bytes (must be a multiple of 4).
+    pub fn set_header_len(&mut self, bytes: u8) {
+        debug_assert_eq!(bytes % 4, 0);
+        self.buffer.as_mut()[field::DATA_OFF] = (bytes / 4) << 4;
+    }
+
+    /// Set the flag bits.
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.buffer.as_mut()[field::FLAGS] = flags.0;
+    }
+
+    /// Set the receive window.
+    pub fn set_window(&mut self, v: u16) {
+        self.buffer.as_mut()[field::WINDOW].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the urgent pointer (Lemur ignores urgent data; kept for fidelity).
+    pub fn set_urgent(&mut self, v: u16) {
+        self.buffer.as_mut()[field::URGENT].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Recompute and store the checksum.
+    pub fn fill_checksum(&mut self, src: ipv4::Address, dst: ipv4::Address) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let sum = {
+            let data = self.buffer.as_ref();
+            let init = checksum::pseudo_header_v4(src.0, dst.0, 6, data.len() as u16);
+            checksum::checksum(init, data)
+        };
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable payload view.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len() as usize;
+        &mut self.buffer.as_mut()[hl..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: ipv4::Address = ipv4::Address::new(192, 0, 2, 1);
+    const DST: ipv4::Address = ipv4::Address::new(198, 51, 100, 1);
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        {
+            let mut t = Packet::new_unchecked(&mut buf[..]);
+            t.set_src_port(443);
+            t.set_dst_port(51000);
+            t.set_seq(0xdead_beef);
+            t.set_ack(0x0102_0304);
+            t.set_header_len(20);
+            t.set_flags(Flags::SYN.union(Flags::ACK));
+            t.set_window(65535);
+            t.set_urgent(0);
+            t.payload_mut().copy_from_slice(payload);
+            t.fill_checksum(SRC, DST);
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = build(b"data");
+        let t = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(t.src_port(), 443);
+        assert_eq!(t.dst_port(), 51000);
+        assert_eq!(t.seq(), 0xdead_beef);
+        assert_eq!(t.ack(), 0x0102_0304);
+        assert!(t.flags().contains(Flags::SYN));
+        assert!(t.flags().contains(Flags::ACK));
+        assert!(!t.flags().contains(Flags::FIN));
+        assert_eq!(t.window(), 65535);
+        assert_eq!(t.payload(), b"data");
+        assert!(t.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corrupt_fails_checksum() {
+        let mut buf = build(b"data");
+        buf[4] ^= 1;
+        let t = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!t.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut buf = build(b"");
+        buf[field::DATA_OFF] = 3 << 4; // 12 bytes < minimum
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        let mut buf2 = build(b"");
+        buf2[field::DATA_OFF] = 15 << 4; // 60 bytes > buffer
+        assert_eq!(Packet::new_checked(&buf2[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Packet::new_checked(&[0u8; 19][..]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,162 @@
+//! 802.1Q VLAN tag view.
+//!
+//! Lemur uses VLAN tags in two roles: the `Tunnel`/`Detunnel` NFs push and
+//! pop customer VLAN tags, and when an OpenFlow switch replaces the PISA ToR,
+//! the 12-bit VID carries the SPI/SI pair in place of NSH (§5.3).
+
+use crate::error::{Error, Result};
+use crate::ethernet::EtherType;
+
+/// Length of the 802.1Q tag (TCI + inner EtherType).
+pub const TAG_LEN: usize = 4;
+
+/// A view of the 4 bytes following the outer EtherType: TCI + inner type.
+#[derive(Debug, Clone)]
+pub struct Tag<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Tag<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Tag<T> {
+        Tag { buffer }
+    }
+
+    /// Wrap a buffer, verifying it is long enough.
+    pub fn new_checked(buffer: T) -> Result<Tag<T>> {
+        if buffer.as_ref().len() < TAG_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Tag { buffer })
+    }
+
+    /// Priority code point (3 bits).
+    pub fn pcp(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 5
+    }
+
+    /// Drop eligible indicator.
+    pub fn dei(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x10 != 0
+    }
+
+    /// VLAN identifier (12 bits).
+    pub fn vid(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]]) & 0x0fff
+    }
+
+    /// EtherType of the encapsulated payload.
+    pub fn inner_ethertype(&self) -> EtherType {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]]).into()
+    }
+
+    /// Payload following the tag.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[TAG_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Tag<T> {
+    /// Set PCP, DEI, and VID in one write.
+    pub fn set_tci(&mut self, pcp: u8, dei: bool, vid: u16) {
+        debug_assert!(pcp < 8 && vid < 4096);
+        let tci = (u16::from(pcp) << 13) | (u16::from(dei) << 12) | (vid & 0x0fff);
+        self.buffer.as_mut()[0..2].copy_from_slice(&tci.to_be_bytes());
+    }
+
+    /// Set only the VID, preserving PCP/DEI.
+    pub fn set_vid(&mut self, vid: u16) {
+        debug_assert!(vid < 4096);
+        let d = self.buffer.as_mut();
+        let tci = (u16::from_be_bytes([d[0], d[1]]) & 0xf000) | (vid & 0x0fff);
+        d[0..2].copy_from_slice(&tci.to_be_bytes());
+    }
+
+    /// Set the inner EtherType.
+    pub fn set_inner_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&u16::from(ty).to_be_bytes());
+    }
+}
+
+/// Encoding of an SPI/SI pair into a 12-bit VID for OpenFlow steering.
+///
+/// The paper dedicates the VID to demultiplexing subgroups: we split it as
+/// 6 bits of service path index and 6 bits of service index, bounding an
+/// OpenFlow deployment to 63 paths × 63 indices ("this somewhat limits how
+/// many chains and how many NFs can be configured", §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VidServiceEncoding {
+    /// Service path index, 1..=63.
+    pub spi: u8,
+    /// Service index, 0..=63.
+    pub si: u8,
+}
+
+impl VidServiceEncoding {
+    /// Pack into a VID. Returns `Err` if either component overflows 6 bits.
+    pub fn encode(self) -> Result<u16> {
+        if self.spi >= 64 || self.si >= 64 {
+            return Err(Error::Unsupported);
+        }
+        Ok((u16::from(self.spi) << 6) | u16::from(self.si))
+    }
+
+    /// Unpack from a VID.
+    pub fn decode(vid: u16) -> VidServiceEncoding {
+        VidServiceEncoding {
+            spi: ((vid >> 6) & 0x3f) as u8,
+            si: (vid & 0x3f) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tci_roundtrip() {
+        let mut buf = [0u8; TAG_LEN];
+        {
+            let mut tag = Tag::new_unchecked(&mut buf[..]);
+            tag.set_tci(5, true, 0x123);
+            tag.set_inner_ethertype(EtherType::Ipv4);
+        }
+        let tag = Tag::new_checked(&buf[..]).unwrap();
+        assert_eq!(tag.pcp(), 5);
+        assert!(tag.dei());
+        assert_eq!(tag.vid(), 0x123);
+        assert_eq!(tag.inner_ethertype(), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn set_vid_preserves_pcp() {
+        let mut buf = [0u8; TAG_LEN];
+        let mut tag = Tag::new_unchecked(&mut buf[..]);
+        tag.set_tci(7, false, 1);
+        tag.set_vid(0xfff);
+        assert_eq!(tag.pcp(), 7);
+        assert_eq!(tag.vid(), 0xfff);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(Tag::new_checked(&[0u8; 3][..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn vid_service_encoding_roundtrip() {
+        let e = VidServiceEncoding { spi: 17, si: 42 };
+        let vid = e.encode().unwrap();
+        assert_eq!(VidServiceEncoding::decode(vid), e);
+    }
+
+    #[test]
+    fn vid_service_encoding_overflow() {
+        assert!(VidServiceEncoding { spi: 64, si: 0 }.encode().is_err());
+        assert!(VidServiceEncoding { spi: 0, si: 64 }.encode().is_err());
+        assert!(VidServiceEncoding { spi: 63, si: 63 }.encode().is_ok());
+    }
+}

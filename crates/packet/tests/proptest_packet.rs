@@ -1,0 +1,106 @@
+//! Property-based tests for the wire formats and packet buffers.
+
+use lemur_packet::builder::{
+    nsh_decap, nsh_encap, nsh_peek, udp_packet, vlan_pop, vlan_push,
+};
+use lemur_packet::flow::{salted_hash, FiveTuple};
+use lemur_packet::{ethernet, ipv4, udp, PacketBuf};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = PacketBuf> {
+    (
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop::collection::vec(any::<u8>(), 0..600),
+    )
+        .prop_map(|(src, dst, sport, dport, payload)| {
+            udp_packet(
+                ethernet::Address([2, 0, 0, 0, 0, 1]),
+                ethernet::Address([2, 0, 0, 0, 0, 2]),
+                ipv4::Address(src),
+                ipv4::Address(dst),
+                sport,
+                dport,
+                &payload,
+            )
+        })
+}
+
+proptest! {
+    /// Builders always produce packets that validate at every layer with
+    /// correct checksums, whatever the field values.
+    #[test]
+    fn built_packets_always_valid(pkt in arb_packet()) {
+        let eth = ethernet::Frame::new_checked(pkt.as_slice()).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let u = udp::Packet::new_checked(ip.payload()).unwrap();
+        prop_assert!(u.verify_checksum(ip.src(), ip.dst()));
+    }
+
+    /// NSH encap/decap is lossless for any packet, SPI, and SI.
+    #[test]
+    fn nsh_roundtrip(pkt in arb_packet(), spi in 0u32..(1 << 24), si: u8) {
+        let original = pkt.as_slice().to_vec();
+        let mut p = pkt;
+        nsh_encap(&mut p, spi, si);
+        prop_assert_eq!(nsh_peek(p.as_slice()), Some((spi, si)));
+        prop_assert_eq!(nsh_decap(&mut p), Some((spi, si)));
+        prop_assert_eq!(p.as_slice(), &original[..]);
+    }
+
+    /// VLAN push/pop is lossless and keeps the 5-tuple classifiable.
+    #[test]
+    fn vlan_roundtrip(pkt in arb_packet(), vid in 0u16..4096) {
+        let original = pkt.as_slice().to_vec();
+        let before = FiveTuple::parse(&original).unwrap();
+        let mut p = pkt;
+        vlan_push(&mut p, vid);
+        prop_assert_eq!(FiveTuple::parse(p.as_slice()).unwrap(), before);
+        prop_assert_eq!(vlan_pop(&mut p), Some(vid));
+        prop_assert_eq!(p.as_slice(), &original[..]);
+    }
+
+    /// Arbitrary byte soup never panics the checked parsers; they either
+    /// parse or return an error.
+    #[test]
+    fn parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = ethernet::Frame::new_checked(&bytes[..]);
+        let _ = ipv4::Packet::new_checked(&bytes[..]);
+        let _ = udp::Packet::new_checked(&bytes[..]);
+        let _ = FiveTuple::parse(&bytes);
+        let _ = nsh_peek(&bytes);
+    }
+
+    /// PacketBuf front operations invert each other at any headroom state.
+    #[test]
+    fn pushfront_pullfront_inverse(
+        base in prop::collection::vec(any::<u8>(), 1..200),
+        hdr in prop::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let mut p = PacketBuf::from_bytes(&base);
+        p.push_front(&hdr);
+        prop_assert_eq!(p.len(), base.len() + hdr.len());
+        let taken = p.pull_front(hdr.len());
+        prop_assert_eq!(taken, hdr);
+        prop_assert_eq!(p.as_slice(), &base[..]);
+    }
+
+    /// Salted hashes stay deterministic and decorrelate across salts: two
+    /// distinct salts must not produce identical low-bit splits for a
+    /// varied flow population (the branch-starvation bug this guards).
+    #[test]
+    fn salted_hash_decorrelates(seeds in prop::collection::vec(any::<u64>(), 64..128)) {
+        let mut same = 0usize;
+        for h in &seeds {
+            prop_assert_eq!(salted_hash(*h, 3), salted_hash(*h, 3));
+            if salted_hash(*h, 1) % 2 == salted_hash(*h, 2) % 2 {
+                same += 1;
+            }
+        }
+        // Perfectly correlated splits would give same == len.
+        prop_assert!(same < seeds.len());
+    }
+}

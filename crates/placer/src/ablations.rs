@@ -1,0 +1,96 @@
+//! The §5.3 component ablations (Figure 2f).
+
+use crate::corealloc::CoreStrategy;
+use crate::oracle::StageOracle;
+use crate::placement::{EvaluatedPlacement, PlacementError, PlacementProblem};
+use crate::profiles::NfProfiles;
+
+/// "No Profiling": the placement (and its core allocation) is decided as
+/// if every NF had the same cycle cost; the reported rates are then
+/// recomputed under the *true* profiles. "Because this variant is unable
+/// to distinguish between expensive and cheap NFs, it generally has lower
+/// marginal throughput, and becomes infeasible for higher values of δ."
+pub fn no_profiling(
+    problem: &PlacementProblem,
+    oracle: &dyn StageOracle,
+) -> Result<EvaluatedPlacement, PlacementError> {
+    let blind = PlacementProblem::new(
+        problem.chains.clone(),
+        problem.topology.clone(),
+        NfProfiles::uniform(),
+    );
+    let decided = crate::heuristic::place(&blind, oracle)?;
+    // Re-evaluate the blind decision under real profiles, keeping both the
+    // assignment and the (mis-)allocated cores.
+    let cores: Vec<usize> = decided.subgroups.iter().map(|sg| sg.cores).collect();
+    let mut out = problem.evaluate_with_cores(&decided.assignment, &cores)?;
+    out.stages_used = decided.stages_used;
+    Ok(out)
+}
+
+/// "No Core Allocation": no extra cores beyond one per subgroup.
+/// "This variant can only satisfy SLOs at δ = 0.5."
+pub fn no_core_allocation(
+    problem: &PlacementProblem,
+    oracle: &dyn StageOracle,
+) -> Result<EvaluatedPlacement, PlacementError> {
+    crate::heuristic::place_with_strategy(problem, oracle, CoreStrategy::MinimalOnly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::AlwaysFits;
+    use crate::topology::Topology;
+    use lemur_core::chains::{canonical_chain, CanonicalChain};
+    use lemur_core::graph::ChainSpec;
+    use lemur_core::Slo;
+
+    fn problem(delta: f64) -> PlacementProblem {
+        let chains = [CanonicalChain::Chain2, CanonicalChain::Chain3]
+            .iter()
+            .map(|w| ChainSpec {
+                name: format!("chain{}", w.index()),
+                graph: canonical_chain(*w),
+                slo: None,
+                aggregate: None,
+            })
+            .collect::<Vec<_>>();
+        let mut p =
+            PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+        for i in 0..p.chains.len() {
+            let base = p.base_rate_bps(i);
+            p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
+        }
+        p
+    }
+
+    #[test]
+    fn ablations_work_at_low_delta() {
+        let p = problem(0.5);
+        assert!(no_profiling(&p, &AlwaysFits).is_ok());
+        assert!(no_core_allocation(&p, &AlwaysFits).is_ok());
+    }
+
+    #[test]
+    fn no_core_allocation_fails_when_scaling_needed() {
+        // δ=2 needs Dedup replication, which this ablation cannot do.
+        let p = problem(2.0);
+        assert!(no_core_allocation(&p, &AlwaysFits).is_err());
+        assert!(crate::heuristic::place(&p, &AlwaysFits).is_ok());
+    }
+
+    #[test]
+    fn no_profiling_never_beats_full_lemur() {
+        let p = problem(1.0);
+        let full = crate::heuristic::place(&p, &AlwaysFits).unwrap();
+        if let Ok(blind) = no_profiling(&p, &AlwaysFits) {
+            assert!(
+                blind.marginal_bps <= full.marginal_bps + 1e6,
+                "blind {:.3}G > full {:.3}G",
+                blind.marginal_bps / 1e9,
+                full.marginal_bps / 1e9
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! NF profiles: platform capabilities (Table 3) and cycle costs (Table 4).
+
+use lemur_nf::{NfKind, NfParams, ParamValue};
+
+/// Where an NF instance can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// The PISA ToR switch.
+    Pisa,
+    /// A server (index into the topology's server list).
+    Server(usize),
+    /// A SmartNIC (index into the topology's NIC list).
+    SmartNic(usize),
+    /// The OpenFlow switch.
+    OpenFlow,
+}
+
+impl Platform {
+    /// True for any server platform.
+    pub fn is_server(&self) -> bool {
+        matches!(self, Platform::Server(_))
+    }
+}
+
+/// Platform *classes* for the capability matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformClass {
+    Server,
+    Pisa,
+    SmartNic,
+    OpenFlow,
+}
+
+impl Platform {
+    /// The class of a concrete platform.
+    pub fn class(&self) -> PlatformClass {
+        match self {
+            Platform::Pisa => PlatformClass::Pisa,
+            Platform::Server(_) => PlatformClass::Server,
+            Platform::SmartNic(_) => PlatformClass::SmartNic,
+            Platform::OpenFlow => PlatformClass::OpenFlow,
+        }
+    }
+}
+
+/// Table 3: which implementations exist per NF.
+///
+/// "We artificially limit IPv4Fwd as P4-only for the sake of evaluation" —
+/// reproduced here by restricting IPv4Fwd to `Pisa` in the default
+/// matrix (the C++/eBPF/OF implementations exist in the library, but the
+/// Placer treats IPv4Fwd as P4-only to match the paper's experiments).
+pub fn capabilities(kind: NfKind) -> &'static [PlatformClass] {
+    use PlatformClass::*;
+    match kind {
+        NfKind::Encrypt => &[Server],
+        NfKind::Decrypt => &[Server],
+        NfKind::FastEncrypt => &[Server, SmartNic],
+        NfKind::Dedup => &[Server],
+        NfKind::Tunnel => &[Server, Pisa, SmartNic, OpenFlow],
+        NfKind::Detunnel => &[Server, Pisa, SmartNic, OpenFlow],
+        // Artificially P4-only (Table 3 footnote).
+        NfKind::Ipv4Fwd => &[Pisa],
+        NfKind::Limiter => &[Server],
+        NfKind::UrlFilter => &[Server],
+        NfKind::Monitor => &[Server, OpenFlow],
+        NfKind::Nat => &[Server, Pisa],
+        NfKind::Lb => &[Server, Pisa, SmartNic],
+        NfKind::Match => &[Server, Pisa, SmartNic],
+        NfKind::Acl => &[Server, Pisa, SmartNic, OpenFlow],
+    }
+}
+
+/// The full Table 3 availability (used outside the evaluation-parity
+/// setting): IPv4Fwd everywhere.
+pub fn capabilities_full(kind: NfKind) -> &'static [PlatformClass] {
+    use PlatformClass::*;
+    match kind {
+        NfKind::Ipv4Fwd => &[Server, Pisa, SmartNic, OpenFlow],
+        other => capabilities(other),
+    }
+}
+
+/// The two NFs Table 3 bolds as non-replicable.
+pub fn is_replicable(kind: NfKind) -> bool {
+    !matches!(kind, NfKind::Limiter | NfKind::Nat)
+}
+
+/// Where cycle costs come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// Table 4-derived defaults plus calibrated costs for the remaining
+    /// NFs (worst-case, as the Placer provisions).
+    PaperTable4,
+    /// Same shape but every NF charged the mean cost — the §5.3
+    /// "No Profiling" ablation input.
+    Uniform,
+}
+
+/// Cycle-cost profiles for server (and SmartNIC) execution.
+#[derive(Debug, Clone)]
+pub struct NfProfiles {
+    source: ProfileSource,
+    /// Multiplier applied to all costs — the §5.2 profiling-error
+    /// experiment scales profiles down by 1–10%.
+    pub error_factor: f64,
+    /// Use the full Table 3 capability matrix instead of the evaluation
+    /// variant that artificially limits IPv4Fwd to P4 (the OpenFlow
+    /// experiment needs IPv4Fwd's OF implementation, §5.3).
+    pub full_capabilities: bool,
+}
+
+impl NfProfiles {
+    /// Default (paper-faithful) profiles.
+    pub fn table4() -> NfProfiles {
+        NfProfiles {
+            source: ProfileSource::PaperTable4,
+            error_factor: 1.0,
+            full_capabilities: false,
+        }
+    }
+
+    /// Table 4 profiles with the *full* capability matrix (no artificial
+    /// IPv4Fwd restriction).
+    pub fn table4_full_caps() -> NfProfiles {
+        NfProfiles { full_capabilities: true, ..NfProfiles::table4() }
+    }
+
+    /// The No-Profiling ablation: every NF appears equally expensive.
+    pub fn uniform() -> NfProfiles {
+        NfProfiles {
+            source: ProfileSource::Uniform,
+            error_factor: 1.0,
+            full_capabilities: false,
+        }
+    }
+
+    /// The capability matrix in effect for this profile configuration.
+    pub fn capabilities(&self, kind: NfKind) -> &'static [PlatformClass] {
+        if self.full_capabilities {
+            capabilities_full(kind)
+        } else {
+            capabilities(kind)
+        }
+    }
+
+    /// Scale all profiled costs (e.g. `0.92` = 8% under-estimate).
+    pub fn with_error(mut self, factor: f64) -> NfProfiles {
+        self.error_factor = factor;
+        self
+    }
+
+    /// Worst-case server cycles per packet for an NF instance.
+    ///
+    /// Parameter-sensitive models follow §3.2: ACL cost is linear in table
+    /// size ("we profile cycle counts for different sizes and use a linear
+    /// model"), NAT in pool size; Dedup uses a worst-case constant.
+    pub fn server_cycles(&self, kind: NfKind, params: &NfParams) -> f64 {
+        let base = match self.source {
+            ProfileSource::Uniform => {
+                // Mean of the Table 4-derived costs over the 14 NFs.
+                return 4000.0 * self.error_factor;
+            }
+            ProfileSource::PaperTable4 => match kind {
+                // Table 4 worst cases (same-NUMA Max column).
+                NfKind::Encrypt => 8777.0,
+                NfKind::Dedup => 30867.0,
+                NfKind::Acl => {
+                    // Linear model fit through Table 4's 1024-rule point.
+                    let rules = acl_rules(params);
+                    300.0 + 3.46 * rules as f64
+                }
+                NfKind::Nat => {
+                    // Linear model fit through Table 4's 12000-entry point.
+                    let entries =
+                        params.int_or("entries", 12_000).max(1) as f64;
+                    417.0 + 0.005 * entries
+                }
+                // Calibrated costs for NFs Table 4 omits.
+                NfKind::Decrypt => 8600.0,
+                NfKind::FastEncrypt => 2800.0,
+                NfKind::Tunnel => 170.0,
+                NfKind::Detunnel => 160.0,
+                NfKind::Ipv4Fwd => 200.0,
+                NfKind::Limiter => 180.0,
+                NfKind::UrlFilter => 2500.0,
+                NfKind::Monitor => 450.0,
+                NfKind::Lb => 550.0,
+                NfKind::Match => 220.0,
+            },
+        };
+        base * self.error_factor
+    }
+
+    /// SmartNIC cycles per packet, if the NF has an eBPF implementation.
+    /// The ChaCha offload is "more than 10× faster than on the server"
+    /// (§5.3).
+    pub fn smartnic_cycles(&self, kind: NfKind, params: &NfParams) -> Option<f64> {
+        if !capabilities(kind).contains(&PlatformClass::SmartNic) {
+            return None;
+        }
+        let server = self.server_cycles(kind, params);
+        let factor = match kind {
+            NfKind::FastEncrypt => 12.0, // >10× faster
+            _ => 1.5,                    // modest offload win for simple NFs
+        };
+        Some(server / factor)
+    }
+}
+
+fn acl_rules(params: &NfParams) -> i64 {
+    if let Some(list) = params.get("rules").and_then(ParamValue::as_list) {
+        if !list.is_empty() {
+            return list.len() as i64;
+        }
+    }
+    params.int_or("num_rules", 1024).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_table3() {
+        use PlatformClass::*;
+        assert_eq!(capabilities(NfKind::Encrypt), &[Server]);
+        assert!(capabilities(NfKind::Acl).contains(&Pisa));
+        assert!(capabilities(NfKind::Acl).contains(&OpenFlow));
+        assert!(capabilities(NfKind::FastEncrypt).contains(&SmartNic));
+        assert!(!capabilities(NfKind::FastEncrypt).contains(&Pisa));
+        assert_eq!(capabilities(NfKind::Ipv4Fwd), &[Pisa]); // artificial limit
+        assert!(capabilities_full(NfKind::Ipv4Fwd).contains(&Server));
+        assert!(capabilities(NfKind::Dedup) == &[Server]);
+        assert!(capabilities(NfKind::Nat).contains(&Pisa));
+        assert!(!capabilities(NfKind::Nat).contains(&SmartNic));
+    }
+
+    #[test]
+    fn replicability_bold_nfs() {
+        assert!(!is_replicable(NfKind::Limiter));
+        assert!(!is_replicable(NfKind::Nat));
+        assert!(is_replicable(NfKind::Dedup));
+        assert!(is_replicable(NfKind::Encrypt));
+    }
+
+    #[test]
+    fn table4_anchor_points() {
+        let p = NfProfiles::table4();
+        let none = NfParams::new();
+        assert_eq!(p.server_cycles(NfKind::Encrypt, &none), 8777.0);
+        assert_eq!(p.server_cycles(NfKind::Dedup, &none), 30867.0);
+        // ACL at 1024 rules ≈ Table 4's 3841–4008 band.
+        let acl = p.server_cycles(NfKind::Acl, &none);
+        assert!((3700.0..4100.0).contains(&acl), "{acl}");
+        // NAT at 12000 entries ≈ 463–507 band.
+        let nat = p.server_cycles(NfKind::Nat, &none);
+        assert!((450.0..510.0).contains(&nat), "{nat}");
+    }
+
+    #[test]
+    fn acl_linear_in_rules() {
+        let p = NfProfiles::table4();
+        let mut small = NfParams::new();
+        small.set("num_rules", ParamValue::Int(64));
+        let mut big = NfParams::new();
+        big.set("num_rules", ParamValue::Int(4096));
+        let cs = p.server_cycles(NfKind::Acl, &small);
+        let cb = p.server_cycles(NfKind::Acl, &big);
+        assert!(cb > cs * 4.0, "linear growth expected: {cs} vs {cb}");
+        // Rules list length takes precedence over num_rules default.
+        let mut listed = NfParams::new();
+        listed.set(
+            "rules",
+            ParamValue::List(vec![ParamValue::Dict(Default::default()); 10]),
+        );
+        assert!(p.server_cycles(NfKind::Acl, &listed) < cs);
+    }
+
+    #[test]
+    fn uniform_profile_flattens() {
+        let p = NfProfiles::uniform();
+        let none = NfParams::new();
+        assert_eq!(
+            p.server_cycles(NfKind::Dedup, &none),
+            p.server_cycles(NfKind::Tunnel, &none)
+        );
+    }
+
+    #[test]
+    fn error_factor_scales() {
+        let p = NfProfiles::table4().with_error(0.9);
+        let none = NfParams::new();
+        assert!((p.server_cycles(NfKind::Encrypt, &none) - 8777.0 * 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smartnic_chacha_speedup() {
+        let p = NfProfiles::table4();
+        let none = NfParams::new();
+        let server = p.server_cycles(NfKind::FastEncrypt, &none);
+        let nic = p.smartnic_cycles(NfKind::FastEncrypt, &none).unwrap();
+        assert!(server / nic > 10.0, "must be >10x faster: {server} vs {nic}");
+        assert!(p.smartnic_cycles(NfKind::Dedup, &none).is_none());
+    }
+}

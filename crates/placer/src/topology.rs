@@ -1,0 +1,156 @@
+//! The rack topology the Placer plans against (§3.1).
+//!
+//! "A single PISA switch connected to several servers each of which may
+//! have one or more attached smart NICs." The OpenFlow variant (§5.3)
+//! replaces the PISA ToR.
+
+use lemur_bess::ServerSpec;
+use lemur_p4sim::PisaModel;
+
+/// A SmartNIC attached to a server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmartNicSpec {
+    /// Port rate in bits/second (Netronome Agilio CX 1x40G).
+    pub rate_bps: f64,
+    /// Aggregate packet-processing capacity in cycles/second.
+    pub clock_hz: f64,
+    /// Server this NIC is attached to.
+    pub server: usize,
+}
+
+impl SmartNicSpec {
+    /// The testbed's Agilio CX 40G NIC.
+    pub fn agilio_cx_40g(server: usize) -> SmartNicSpec {
+        SmartNicSpec { rate_bps: 40e9, clock_hz: 1.7e9, server }
+    }
+}
+
+/// Which ToR coordinates the rack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tor {
+    Pisa(PisaModel),
+    OpenFlow {
+        /// Port rate of the OF switch.
+        rate_bps: f64,
+    },
+}
+
+/// The rack.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub tor: Tor,
+    pub servers: Vec<ServerSpec>,
+    pub smartnics: Vec<SmartNicSpec>,
+    /// Number of cores per server reserved for the NSH demultiplexer
+    /// ("the demultiplexer runs on a single core", §4.2).
+    pub demux_cores: usize,
+}
+
+impl Topology {
+    /// The paper's main testbed: Tofino ToR + one dual-socket 16-core
+    /// server (no SmartNIC).
+    pub fn testbed() -> Topology {
+        Topology {
+            tor: Tor::Pisa(PisaModel::default()),
+            servers: vec![ServerSpec::lemur_testbed()],
+            smartnics: Vec::new(),
+            demux_cores: 1,
+        }
+    }
+
+    /// §5.3 multi-server variants: `n` single-socket 8-core servers.
+    pub fn with_servers(n: usize) -> Topology {
+        Topology {
+            tor: Tor::Pisa(PisaModel::default()),
+            servers: (0..n).map(|_| ServerSpec::eight_core()).collect(),
+            smartnics: Vec::new(),
+            demux_cores: 1,
+        }
+    }
+
+    /// §5.3 SmartNIC experiment: testbed plus an Agilio on server 0.
+    pub fn with_smartnic() -> Topology {
+        let mut t = Topology::testbed();
+        t.smartnics.push(SmartNicSpec::agilio_cx_40g(0));
+        t
+    }
+
+    /// §5.3 OpenFlow experiment: OF ToR instead of PISA.
+    pub fn with_openflow_tor() -> Topology {
+        Topology {
+            tor: Tor::OpenFlow { rate_bps: 40e9 },
+            servers: vec![ServerSpec::lemur_testbed()],
+            smartnics: Vec::new(),
+            demux_cores: 1,
+        }
+    }
+
+    /// True if the ToR is a PISA switch.
+    pub fn has_pisa(&self) -> bool {
+        matches!(self.tor, Tor::Pisa(_))
+    }
+
+    /// The PISA model, if present.
+    pub fn pisa(&self) -> Option<&PisaModel> {
+        match &self.tor {
+            Tor::Pisa(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Worker cores available on a server (total minus demux reservation).
+    pub fn worker_cores(&self, server: usize) -> usize {
+        self.servers[server].num_cores().saturating_sub(self.demux_cores)
+    }
+
+    /// Total worker cores across servers.
+    pub fn total_worker_cores(&self) -> usize {
+        (0..self.servers.len()).map(|s| self.worker_cores(s)).sum()
+    }
+
+    /// NIC link rate (bits/s, per direction) of a server.
+    pub fn server_link_bps(&self, server: usize) -> f64 {
+        self.servers[server]
+            .nics
+            .first()
+            .map(|n| n.rate_bps)
+            .unwrap_or(40e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shape() {
+        let t = Topology::testbed();
+        assert!(t.has_pisa());
+        assert_eq!(t.servers.len(), 1);
+        assert_eq!(t.worker_cores(0), 15); // 16 minus demux core
+        assert_eq!(t.server_link_bps(0), 40e9);
+    }
+
+    #[test]
+    fn multi_server() {
+        let t = Topology::with_servers(2);
+        assert_eq!(t.servers.len(), 2);
+        assert_eq!(t.worker_cores(0), 7);
+        assert_eq!(t.total_worker_cores(), 14);
+    }
+
+    #[test]
+    fn smartnic_attached() {
+        let t = Topology::with_smartnic();
+        assert_eq!(t.smartnics.len(), 1);
+        assert_eq!(t.smartnics[0].server, 0);
+        assert_eq!(t.smartnics[0].rate_bps, 40e9);
+    }
+
+    #[test]
+    fn openflow_tor() {
+        let t = Topology::with_openflow_tor();
+        assert!(!t.has_pisa());
+        assert!(t.pisa().is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! ISP point-of-presence scenario: the paper's intro use case.
+//!
+//! Four customer aggregates share one rack (PISA ToR + a 16-core server),
+//! each processed by one of the Table 2 canonical chains with a different
+//! Table 1 SLO class — a virtual pipe, two elastic pipes, and metered
+//! bulk. Lemur places all four, and the run shows where every NF landed,
+//! how cores were split, and that every contracted minimum held on the
+//! executed dataplane.
+//!
+//! ```sh
+//! cargo run --release --example isp_pop
+//! ```
+
+use lemur::core::chains::{canonical_chain, CanonicalChain};
+use lemur::core::graph::ChainSpec;
+use lemur::core::Slo;
+use lemur::dataplane::{SimConfig, Testbed, TrafficSpec};
+use lemur::placer::placement::PlacementProblem;
+use lemur::placer::profiles::{NfProfiles, Platform};
+use lemur::placer::topology::Topology;
+
+fn main() {
+    // Customer SLO book: (chain, SLO class).
+    let customers: Vec<(CanonicalChain, &str)> = vec![
+        (CanonicalChain::Chain1, "enterprise elastic pipe"),
+        (CanonicalChain::Chain2, "VPN virtual pipe"),
+        (CanonicalChain::Chain3, "WAN-optimized elastic pipe"),
+        (CanonicalChain::Chain4, "residential metered bulk"),
+    ];
+
+    let mut specs = Vec::new();
+    let chains: Vec<ChainSpec> = customers
+        .iter()
+        .enumerate()
+        .map(|(i, (which, _))| {
+            let traffic = TrafficSpec::for_chain(i + 1, 1e9);
+            let aggregate = traffic.aggregate();
+            specs.push(traffic);
+            ChainSpec {
+                name: format!("customer{}", i + 1),
+                graph: canonical_chain(*which),
+                slo: None,
+                aggregate: Some(aggregate),
+            }
+        })
+        .collect();
+    let mut problem =
+        PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+
+    // Assign SLOs from each chain's base rate (§5.1's δ methodology).
+    for i in 0..problem.chains.len() {
+        let base = problem.base_rate_bps(i);
+        problem.chains[i].slo = Some(match i {
+            0 => Slo::elastic_pipe(base, 100e9),
+            1 => Slo::virtual_pipe((2.0 * base).min(10e9)),
+            2 => Slo::elastic_pipe(0.5 * base, 100e9),
+            _ => Slo::metered_bulk(20e9),
+        });
+        println!(
+            "customer {} ({}): base {:.2} G, SLO {}",
+            i + 1,
+            customers[i].1,
+            base / 1e9,
+            problem.chains[i].slo.unwrap()
+        );
+    }
+
+    // Place with the real compiler oracle.
+    let oracle = lemur::metacompiler::CompilerOracle::new();
+    let placement = lemur::placer::heuristic::place(&problem, &oracle).expect("feasible");
+    println!(
+        "\nplacement found: predicted aggregate {:.2} G over {} stages",
+        placement.aggregate_bps / 1e9,
+        placement.stages_used.unwrap_or(0)
+    );
+    for (ci, chain) in problem.chains.iter().enumerate() {
+        let mut on_switch = Vec::new();
+        let mut on_server = Vec::new();
+        for (id, n) in chain.graph.nodes() {
+            match placement.assignment[ci][&id] {
+                Platform::Pisa => on_switch.push(n.name.clone()),
+                Platform::Server(_) => on_server.push(n.name.clone()),
+                other => on_server.push(format!("{}@{other:?}", n.name)),
+            }
+        }
+        println!(
+            "  customer {}: switch[{}] server[{}] predicted {:.2} G (bounces {:.1})",
+            ci + 1,
+            on_switch.join(","),
+            on_server.join(","),
+            placement.chain_rates_bps[ci] / 1e9,
+            placement.bounces[ci]
+        );
+    }
+
+    // Meta-compile and execute.
+    let deployment = lemur::metacompiler::compile(&problem, &placement).expect("codegen");
+    let mut testbed = Testbed::build(&problem, &placement, deployment).expect("testbed");
+    for (i, s) in specs.iter_mut().enumerate() {
+        s.offered_bps = (placement.chain_rates_bps[i] * 1.1).max(1e8);
+    }
+    let report = testbed.run(&specs, SimConfig { duration_s: 0.02, ..SimConfig::default() });
+
+    println!("\nmeasured on the executed dataplane:");
+    let mut all_met = true;
+    for (i, c) in report.per_chain.iter().enumerate() {
+        let slo = problem.chains[i].slo.unwrap();
+        let met = slo.satisfied_by(c.delivered_bps * 1.02);
+        all_met &= met;
+        println!(
+            "  customer {}: {:.2} G delivered, marginal {:.2} G, latency {:.0} us — SLO {}",
+            i + 1,
+            c.delivered_bps / 1e9,
+            slo.marginal_bps(c.delivered_bps) / 1e9,
+            c.mean_latency_ns / 1e3,
+            if met { "MET" } else { "VIOLATED" }
+        );
+    }
+    println!(
+        "\naggregate {:.2} G; every contracted minimum {}",
+        report.aggregate_bps() / 1e9,
+        if all_met { "held" } else { "DID NOT hold" }
+    );
+}

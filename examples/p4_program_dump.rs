@@ -1,0 +1,85 @@
+//! Inspect the meta-compiler's P4 synthesis: parser-tree unification
+//! (§A.2.1), the DAG→tree conversion with exclusive branches (§A.2.2), and
+//! the stage packing the platform compiler produces. Prints the generated
+//! P4-like source and the per-stage table layout for Chain 2 under an
+//! HW-preferred placement.
+//!
+//! ```sh
+//! cargo run --release --example p4_program_dump
+//! ```
+
+use lemur::core::chains::{canonical_chain, CanonicalChain};
+use lemur::core::graph::ChainSpec;
+use lemur::core::Slo;
+use lemur::metacompiler::{p4gen, routing};
+use lemur::p4sim::compiler::{compile, CompileOptions};
+use lemur::placer::corealloc::CoreStrategy;
+use lemur::placer::placement::PlacementProblem;
+use lemur::placer::profiles::NfProfiles;
+use lemur::placer::topology::Topology;
+
+fn main() {
+    let mut p = PlacementProblem::new(
+        vec![ChainSpec {
+            name: "chain2".into(),
+            graph: canonical_chain(CanonicalChain::Chain2),
+            slo: None,
+            aggregate: None,
+        }],
+        Topology::testbed(),
+        NfProfiles::table4(),
+    );
+    let base = p.base_rate_bps(0);
+    p.chains[0].slo = Some(Slo::elastic_pipe(0.5 * base, 100e9));
+
+    let assignment = lemur::placer::baselines::hw_preferred_assignment(&p);
+    let _eval = p.evaluate(&assignment, CoreStrategy::WaterFill).expect("feasible");
+    let plan = routing::plan(&p, &assignment);
+
+    println!("=== service paths (NSH SPI/SI assignment) ===");
+    for path in &plan.paths {
+        let segs: Vec<String> = path
+            .segments
+            .iter()
+            .map(|s| {
+                let names: Vec<&str> = s
+                    .nodes
+                    .iter()
+                    .map(|id| p.chains[0].graph.node(*id).name.as_str())
+                    .collect();
+                format!("{:?}@si{}[{}]", s.location, s.si, names.join(","))
+            })
+            .collect();
+        println!("  spi={} weight={:.2}: {}", path.spi, path.weight, segs.join(" -> "));
+    }
+
+    let synth = p4gen::synthesize(&p, &assignment, &plan, p4gen::P4GenOptions::default())
+        .expect("synthesis");
+
+    println!("\n=== unified parser (merged from NF-local trees, §A.2.1) ===");
+    print!("{}", synth.parser.to_p4_source());
+
+    println!("=== generated P4 source ({} lines, {} steering) ===",
+        synth.source.lines().count(), synth.steering_lines);
+    for line in synth.source.lines().take(40) {
+        println!("{line}");
+    }
+    println!("... (truncated; full source in SynthesizedP4::source)");
+
+    println!("\n=== stage packing ===");
+    let model = *p.topology.pisa().unwrap();
+    let out = compile(&synth.program, &model, CompileOptions::default()).expect("fits");
+    println!("{} stages used of {}", out.num_stages_used, model.num_stages);
+    for (s, tables) in out.stages.iter().enumerate() {
+        let names: Vec<&str> = tables
+            .iter()
+            .map(|t| synth.program.table(*t).name.as_str())
+            .collect();
+        println!("  stage {s:>2}: {}", names.join(", "));
+    }
+    println!(
+        "\nExclusive NAT branches share stages — the §4.2 optimization (d) \
+         that lets 10 parallel NATs fit where naive generation needs ~2x \
+         the stages (run exp_stages for the full experiment)."
+    );
+}

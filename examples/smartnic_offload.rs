@@ -1,0 +1,84 @@
+//! SmartNIC offload scenario (the paper's §5.3 / Figure 3b): Chain 5's
+//! ChaCha encryption moves from server cores to an eBPF program on a 40 G
+//! Netronome-class NIC, and the placement difference shows up directly in
+//! achievable rate. Also dumps the generated (and verifier-checked) eBPF
+//! program.
+//!
+//! ```sh
+//! cargo run --release --example smartnic_offload
+//! ```
+
+use lemur::core::chains::{canonical_chain, CanonicalChain};
+use lemur::core::graph::ChainSpec;
+use lemur::core::Slo;
+use lemur::placer::placement::PlacementProblem;
+use lemur::placer::profiles::Platform;
+use lemur::placer::profiles::NfProfiles;
+use lemur::placer::topology::{SmartNicSpec, Topology};
+
+fn build_problem(with_nic: bool) -> PlacementProblem {
+    let mut topology = Topology::with_servers(1); // a single 8-core box
+    if with_nic {
+        topology.smartnics.push(SmartNicSpec::agilio_cx_40g(0));
+    }
+    let mut p = PlacementProblem::new(
+        vec![ChainSpec {
+            name: "chain5".into(),
+            graph: canonical_chain(CanonicalChain::Chain5),
+            slo: None,
+            aggregate: None,
+        }],
+        topology,
+        NfProfiles::table4(),
+    );
+    let base = p.base_rate_bps(0);
+    p.chains[0].slo = Some(Slo::elastic_pipe(base, 100e9));
+    p
+}
+
+fn main() {
+    let oracle = lemur::metacompiler::CompilerOracle::new();
+
+    for with_nic in [false, true] {
+        let p = build_problem(with_nic);
+        println!(
+            "\n=== {} ===",
+            if with_nic { "with 40G SmartNIC" } else { "server only" }
+        );
+        match lemur::placer::heuristic::place(&p, &oracle) {
+            Ok(e) => {
+                for (id, n) in p.chains[0].graph.nodes() {
+                    println!("  {:<12} -> {:?}", n.name, e.assignment[0][&id]);
+                }
+                println!("  predicted rate: {:.2} Gbps", e.chain_rates_bps[0] / 1e9);
+                let offloaded = p.chains[0]
+                    .graph
+                    .nodes()
+                    .any(|(id, _)| matches!(e.assignment[0][&id], Platform::SmartNic(_)));
+                if offloaded {
+                    // Show the generated eBPF program that would be loaded
+                    // onto the NIC (it has already passed the verifier with
+                    // its 512 B stack / 4096-insn / no-back-edge limits).
+                    let dep = lemur::metacompiler::compile(&p, &e).expect("codegen");
+                    let prog = &dep.ebpf[0];
+                    println!(
+                        "  generated eBPF: {} instructions, handles {:?}",
+                        prog.program.len(),
+                        prog.handled
+                    );
+                    let listing = prog.program.disassemble();
+                    for line in listing.lines().take(12) {
+                        println!("    {line}");
+                    }
+                    println!("    ... ({} more lines)", listing.lines().count().saturating_sub(12));
+                }
+            }
+            Err(err) => println!("  infeasible: {err}"),
+        }
+    }
+    println!(
+        "\nPaper shape (§5.3): the eBPF ChaCha is >10x faster than the server \
+         implementation, so the NIC placement approaches the 40 G line rate \
+         while the server-only placement saturates its cores first."
+    );
+}

@@ -1,0 +1,51 @@
+//! # lemur
+//!
+//! A from-scratch Rust reproduction of **Lemur** (CoNEXT 2020: *"Meeting
+//! SLOs in Cross-Platform NFV"*): SLO-aware placement and meta-compilation
+//! of network-function chains across heterogeneous hardware — a PISA ToR
+//! switch, commodity servers, SmartNICs, and OpenFlow switches — together
+//! with simulated substrates for every one of those platforms.
+//!
+//! This facade crate re-exports the workspace so applications can depend on
+//! a single crate:
+//!
+//! * [`packet`] — wire formats (Ethernet/VLAN/IPv4/UDP/TCP/NSH), buffers.
+//! * [`nf`] — the 14-NF software library (Table 3) with from-scratch
+//!   AES-128-CBC and ChaCha20.
+//! * [`core`] — the chain spec language, NF-graph IR, SLOs, and the
+//!   canonical Table 2 chains.
+//! * [`p4sim`] / [`ebpf`] / [`openflow`] / [`bess`] — platform substrates.
+//! * [`lp`] — simplex LP + branch-and-bound MILP.
+//! * [`placer`] — Lemur's Placer: heuristic, Optimal, baselines, ablations.
+//! * [`metacompiler`] — P4/BESS/eBPF/OpenFlow code generation + the real
+//!   stage oracle.
+//! * [`dataplane`] — the cross-platform execution engine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lemur::core::spec::parse_spec;
+//! use lemur::placer::{placement::PlacementProblem, profiles::NfProfiles,
+//!                     topology::Topology};
+//!
+//! let spec = parse_spec(
+//!     "c = ACL -> Encrypt -> IPv4Fwd\nslo(c, t_min='1G', t_max='10G')\n",
+//! ).unwrap();
+//! let problem = PlacementProblem::new(
+//!     spec.chains, Topology::testbed(), NfProfiles::table4());
+//! let oracle = lemur::metacompiler::CompilerOracle::new();
+//! let placement = lemur::placer::heuristic::place(&problem, &oracle).unwrap();
+//! assert!(placement.chain_rates_bps[0] >= 1e9);
+//! ```
+
+pub use lemur_bess as bess;
+pub use lemur_core as core;
+pub use lemur_dataplane as dataplane;
+pub use lemur_ebpf as ebpf;
+pub use lemur_lp as lp;
+pub use lemur_metacompiler as metacompiler;
+pub use lemur_nf as nf;
+pub use lemur_openflow as openflow;
+pub use lemur_p4sim as p4sim;
+pub use lemur_packet as packet;
+pub use lemur_placer as placer;

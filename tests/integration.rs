@@ -1,0 +1,262 @@
+//! Cross-crate integration tests: spec → Placer → meta-compiler →
+//! executed dataplane, plus the paper's headline comparative claims at a
+//! test-friendly scale. (The full sweeps live in the `exp_*` binaries.)
+
+use lemur::core::chains::{canonical_chain, extreme_nat_chain, CanonicalChain};
+use lemur::core::graph::ChainSpec;
+use lemur::core::spec::parse_spec;
+use lemur::core::Slo;
+use lemur::dataplane::{SimConfig, Testbed, TrafficSpec};
+use lemur::metacompiler::CompilerOracle;
+use lemur::placer::oracle::StageOracle;
+use lemur::placer::placement::PlacementProblem;
+use lemur::placer::profiles::NfProfiles;
+use lemur::placer::topology::Topology;
+
+fn delta_problem(
+    which: &[CanonicalChain],
+    delta: f64,
+) -> (PlacementProblem, Vec<TrafficSpec>) {
+    let mut specs = Vec::new();
+    let chains: Vec<ChainSpec> = which
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let t = TrafficSpec::for_chain(i + 1, 1e9);
+            let agg = t.aggregate();
+            specs.push(t);
+            ChainSpec {
+                name: format!("chain{}", w.index()),
+                graph: canonical_chain(*w),
+                slo: None,
+                aggregate: Some(agg),
+            }
+        })
+        .collect();
+    let mut p = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+    for i in 0..p.chains.len() {
+        let base = p.base_rate_bps(i);
+        p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
+    }
+    (p, specs)
+}
+
+/// The full pipeline on a spec-language chain: parse, place, compile,
+/// execute, and verify the SLO end to end.
+#[test]
+fn spec_to_measured_slo() {
+    let spec = parse_spec(
+        "c = ACL -> Encrypt -> IPv4Fwd\n\
+         slo(c, t_min='2G', t_max='100G')\n\
+         aggregate(c, src='10.1.0.0/16')\n",
+    )
+    .unwrap();
+    let problem = PlacementProblem::new(spec.chains, Topology::testbed(), NfProfiles::table4());
+    let oracle = CompilerOracle::new();
+    let placement = lemur::placer::heuristic::place(&problem, &oracle).unwrap();
+    assert!(placement.chain_rates_bps[0] >= 2e9, "prediction below t_min");
+    let deployment = lemur::metacompiler::compile(&problem, &placement).unwrap();
+    let mut testbed = Testbed::build(&problem, &placement, deployment).unwrap();
+    let mut traffic = TrafficSpec::for_chain(1, placement.chain_rates_bps[0] * 1.05);
+    traffic.src_prefix = "10.1.0.0/16".parse().unwrap();
+    let report = testbed.run(
+        &[traffic],
+        SimConfig { duration_s: 0.005, warmup_s: 0.001, ..SimConfig::default() },
+    );
+    assert!(
+        report.per_chain[0].delivered_bps >= 2e9 * 0.95,
+        "measured {} below t_min",
+        report.per_chain[0].delivered_bps
+    );
+}
+
+/// Every canonical chain places, compiles, and moves traffic end to end.
+#[test]
+fn all_canonical_chains_run_end_to_end() {
+    let oracle = CompilerOracle::new();
+    for which in CanonicalChain::ALL {
+        let (p, mut specs) = delta_problem(&[which], 0.5);
+        let placement = lemur::placer::heuristic::place(&p, &oracle)
+            .unwrap_or_else(|e| panic!("chain {which:?}: {e}"));
+        let deployment = lemur::metacompiler::compile(&p, &placement).unwrap();
+        let mut testbed = Testbed::build(&p, &placement, deployment).unwrap();
+        specs[0].offered_bps = (placement.chain_rates_bps[0] * 0.9).max(1e8);
+        let report = testbed.run(
+            &specs,
+            SimConfig { duration_s: 0.004, warmup_s: 0.001, ..SimConfig::default() },
+        );
+        let c = &report.per_chain[0];
+        assert!(c.delivered_packets > 50, "chain {which:?} delivered {c:?}");
+        let total = c.delivered_packets + c.dropped_packets;
+        assert!(
+            (c.dropped_packets as f64) < 0.3 * total as f64,
+            "chain {which:?}: excessive drops {c:?}"
+        );
+    }
+}
+
+/// Figure 2's comparative feasibility claims, at one δ per regime:
+/// all schemes feasible at δ=0.5; only Lemur-class at δ=1.5 (chain set b).
+#[test]
+fn comparison_feasibility_shape() {
+    use lemur::placer::{ablations, baselines, brute, heuristic};
+    let oracle = CompilerOracle::new();
+    let set = [CanonicalChain::Chain1, CanonicalChain::Chain2, CanonicalChain::Chain3];
+
+    let (p, _) = delta_problem(&set, 0.5);
+    assert!(heuristic::place(&p, &oracle).is_ok());
+    assert!(baselines::hw_preferred(&p, &oracle).is_ok());
+    assert!(baselines::sw_preferred(&p, &oracle).is_ok());
+    assert!(baselines::greedy(&p, &oracle).is_ok());
+    assert!(baselines::min_bounce(&p, &oracle).is_ok());
+
+    let (p, _) = delta_problem(&set, 1.5);
+    let lemur = heuristic::place(&p, &oracle).expect("Lemur feasible at δ=1.5");
+    assert!(baselines::sw_preferred(&p, &oracle).is_err(), "SW must fail at δ=1.5");
+    assert!(baselines::min_bounce(&p, &oracle).is_err(), "MinBounce must fail at δ=1.5");
+    // Lemur's marginal beats the surviving baselines.
+    for r in [baselines::hw_preferred(&p, &oracle), baselines::greedy(&p, &oracle)]
+        .into_iter()
+        .flatten()
+    {
+        assert!(
+            lemur.marginal_bps + 1e6 >= r.marginal_bps,
+            "Lemur {:.2}G below baseline {:.2}G",
+            lemur.marginal_bps / 1e9,
+            r.marginal_bps / 1e9
+        );
+    }
+    // Heuristic matches brute force.
+    let opt = brute::optimal(&p, &oracle, brute::BruteConfig::default()).unwrap();
+    let gap = (opt.marginal_bps - lemur.marginal_bps) / opt.marginal_bps.max(1.0);
+    assert!(gap < 0.02, "heuristic {gap:.3} away from optimal");
+    // Ablations are strictly weaker at this δ.
+    assert!(ablations::no_core_allocation(&p, &oracle).is_err());
+}
+
+/// The §5.2 stage experiment boundary: 10 NATs fit the 12-stage pipeline,
+/// 11 do not, and Lemur still places the 11-NAT chain.
+#[test]
+fn extreme_nat_boundary() {
+    use lemur::placer::oracle::StageVerdict;
+    let oracle = CompilerOracle::new();
+    for (n, fits) in [(10usize, true), (11, false)] {
+        let mut p = PlacementProblem::new(
+            vec![ChainSpec {
+                name: format!("x{n}"),
+                graph: extreme_nat_chain(n),
+                slo: Some(Slo::elastic_pipe(0.0, 100e9)),
+                aggregate: None,
+            }],
+            Topology::testbed(),
+            NfProfiles::table4(),
+        );
+        let base = p.base_rate_bps(0);
+        p.chains[0].slo = Some(Slo::elastic_pipe(base, 100e9));
+        let hw = lemur::placer::baselines::hw_preferred_assignment(&p);
+        match oracle.check(&p, &hw) {
+            StageVerdict::Fits { stages } => {
+                assert!(fits, "{n} NATs should overflow but fit in {stages}")
+            }
+            StageVerdict::OutOfStages { .. } => assert!(!fits, "{n} NATs should fit"),
+        }
+        assert!(
+            lemur::placer::heuristic::place(&p, &oracle).is_ok(),
+            "Lemur must place the {n}-NAT chain"
+        );
+    }
+}
+
+/// Multi-server scaling (Figure 3a): two 8-core servers roughly double
+/// one, and δ=1.5 is infeasible on a single 8-core box.
+#[test]
+fn multi_server_scaling() {
+    let oracle = CompilerOracle::new();
+    let set = [CanonicalChain::Chain1, CanonicalChain::Chain2, CanonicalChain::Chain3];
+    let place_on = |n_servers: usize, delta: f64| {
+        let mut specs = Vec::new();
+        let chains: Vec<ChainSpec> = set
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let t = TrafficSpec::for_chain(i + 1, 1e9);
+                let agg = t.aggregate();
+                specs.push(t);
+                ChainSpec {
+                    name: format!("chain{}", w.index()),
+                    graph: canonical_chain(*w),
+                    slo: None,
+                    aggregate: Some(agg),
+                }
+            })
+            .collect();
+        let mut p =
+            PlacementProblem::new(chains, Topology::with_servers(n_servers), NfProfiles::table4());
+        for i in 0..p.chains.len() {
+            let base = p.base_rate_bps(i);
+            p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
+        }
+        lemur::placer::heuristic::place(&p, &oracle)
+    };
+    let one = place_on(1, 0.5).expect("1 server at δ=0.5");
+    let two = place_on(2, 0.5).expect("2 servers at δ=0.5");
+    assert!(
+        two.aggregate_bps > 1.8 * one.aggregate_bps,
+        "2 servers {:.2}G should ~double 1 server {:.2}G",
+        two.aggregate_bps / 1e9,
+        one.aggregate_bps / 1e9
+    );
+    assert!(place_on(1, 1.5).is_err(), "single 8-core box infeasible at δ=1.5");
+    assert!(place_on(2, 1.5).is_ok(), "two servers feasible at δ=1.5");
+}
+
+/// Latency SLOs are honored by the placement (and tightening them first
+/// costs throughput, then feasibility).
+#[test]
+fn latency_bounds_trade_throughput() {
+    let oracle = CompilerOracle::new();
+    let mut rates = Vec::new();
+    for d_max_us in [90.0f64, 45.0] {
+        let mut topo = Topology::testbed();
+        topo.servers[0].cores_per_socket = 6;
+        let (mut p, _) = {
+            let mut specs = Vec::new();
+            let chains: Vec<ChainSpec> = [CanonicalChain::Chain1, CanonicalChain::Chain4]
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let t = TrafficSpec::for_chain(i + 1, 1e9);
+                    let agg = t.aggregate();
+                    specs.push(t);
+                    ChainSpec {
+                        name: format!("chain{}", w.index()),
+                        graph: canonical_chain(*w),
+                        slo: None,
+                        aggregate: Some(agg),
+                    }
+                })
+                .collect();
+            (PlacementProblem::new(chains, topo, NfProfiles::table4()), specs)
+        };
+        for i in 0..p.chains.len() {
+            let base = p.base_rate_bps(i);
+            p.chains[i].slo =
+                Some(Slo::elastic_pipe(0.75 * base, 100e9).with_latency_ns(d_max_us * 1e3));
+        }
+        let e = lemur::placer::heuristic::place(&p, &oracle)
+            .unwrap_or_else(|err| panic!("d_max={d_max_us}: {err}"));
+        for (ci, lat) in e.latency_ns.iter().enumerate() {
+            assert!(
+                *lat <= d_max_us * 1e3,
+                "chain {ci} latency {lat} over bound"
+            );
+        }
+        rates.push(e.aggregate_bps);
+    }
+    assert!(
+        rates[0] > rates[1],
+        "loose bound {:.2}G must beat tight bound {:.2}G",
+        rates[0] / 1e9,
+        rates[1] / 1e9
+    );
+}
