@@ -20,7 +20,14 @@ fn main() {
         "NF", "NUMA", "Mean", "Min", "Max", "spread"
     );
 
-    let paper: &[(&str, NfKind, Option<(&str, i64)>, (u32, u32, u32), TrafficPattern)] = &[
+    type PaperRow = (
+        &'static str,
+        NfKind,
+        Option<(&'static str, i64)>,
+        (u32, u32, u32),
+        TrafficPattern,
+    );
+    let paper: &[PaperRow] = &[
         ("Encrypt", NfKind::Encrypt, None, (8593, 8405, 8777), TrafficPattern::LongLived),
         ("Dedup", NfKind::Dedup, None, (30182, 29202, 30867), TrafficPattern::LongLived),
         (

@@ -22,7 +22,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// The placement schemes compared in Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     Lemur,
     Optimal,
@@ -47,6 +47,12 @@ impl Scheme {
 
     /// The Figure 2f variants.
     pub const ABLATIONS: [Scheme; 3] = [Scheme::Lemur, Scheme::NoProfiling, Scheme::NoCoreAlloc];
+}
+
+impl serde::Serialize for Scheme {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(format!("{self:?}"))
+    }
 }
 
 impl fmt::Display for Scheme {
@@ -125,6 +131,40 @@ pub fn compiler_oracle() -> CompilerOracle {
     CompilerOracle::new()
 }
 
+/// Why a measurement run could not start: each stage of the
+/// placer → meta-compiler → dataplane pipeline surfaces its own typed
+/// error instead of a panic or a stringly-typed one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// The meta-compiler rejected the placement.
+    Compile(lemur_metacompiler::CompileError),
+    /// The simulated testbed could not be built from the deployment.
+    Build(lemur_dataplane::BuildError),
+}
+
+impl From<lemur_metacompiler::CompileError> for MeasureError {
+    fn from(e: lemur_metacompiler::CompileError) -> Self {
+        MeasureError::Compile(e)
+    }
+}
+
+impl From<lemur_dataplane::BuildError> for MeasureError {
+    fn from(e: lemur_dataplane::BuildError) -> Self {
+        MeasureError::Build(e)
+    }
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::Compile(e) => write!(f, "meta-compilation failed: {e}"),
+            MeasureError::Build(e) => write!(f, "testbed build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// Meta-compile and execute a feasible placement on the simulated
 /// testbed; offered load = 110% of each chain's predicted rate.
 pub fn measure(
@@ -132,7 +172,7 @@ pub fn measure(
     placement: &EvaluatedPlacement,
     specs: &[TrafficSpec],
     duration_s: f64,
-) -> Result<lemur_dataplane::SimReport, String> {
+) -> Result<lemur_dataplane::SimReport, MeasureError> {
     let deployment = lemur_metacompiler::compile(problem, placement)?;
     let mut testbed = Testbed::build(problem, placement, deployment)?;
     let mut offered: Vec<TrafficSpec> = specs.to_vec();
@@ -147,8 +187,33 @@ pub fn measure(
     Ok(testbed.run(&offered, config))
 }
 
+/// Like [`measure`], but injecting a [`FaultPlan`] mid-run with the SLO
+/// guard armed (per-chain SLOs from the problem), so the report carries a
+/// fault/violation timeline and per-window samples.
+pub fn measure_with_faults(
+    problem: &PlacementProblem,
+    placement: &EvaluatedPlacement,
+    specs: &[TrafficSpec],
+    duration_s: f64,
+    plan: &lemur_dataplane::FaultPlan,
+) -> Result<lemur_dataplane::SimReport, MeasureError> {
+    let deployment = lemur_metacompiler::compile(problem, placement)?;
+    let mut testbed = Testbed::build(problem, placement, deployment)?;
+    let mut offered: Vec<TrafficSpec> = specs.to_vec();
+    for (i, s) in offered.iter_mut().enumerate() {
+        s.offered_bps = (placement.chain_rates_bps[i] * 1.1).max(1e8);
+    }
+    let config = SimConfig {
+        duration_s,
+        warmup_s: duration_s / 5.0,
+        ..SimConfig::default()
+    };
+    let slos: Vec<Option<Slo>> = problem.chains.iter().map(|c| c.slo).collect();
+    Ok(testbed.run_with_faults(&offered, config, plan, &slos))
+}
+
 /// One result row of a comparison experiment.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     pub scheme: Scheme,
     pub delta: f64,
@@ -161,6 +226,21 @@ pub struct Row {
     pub measured_gbps: f64,
     pub marginal_gbps: f64,
     pub stages_used: Option<usize>,
+}
+
+impl serde::Serialize for Row {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("scheme".to_string(), self.scheme.to_value()),
+            ("delta".to_string(), self.delta.to_value()),
+            ("feasible".to_string(), self.feasible.to_value()),
+            ("aggregate_tmin_gbps".to_string(), self.aggregate_tmin_gbps.to_value()),
+            ("predicted_gbps".to_string(), self.predicted_gbps.to_value()),
+            ("measured_gbps".to_string(), self.measured_gbps.to_value()),
+            ("marginal_gbps".to_string(), self.marginal_gbps.to_value()),
+            ("stages_used".to_string(), self.stages_used.to_value()),
+        ])
+    }
 }
 
 /// Pretty-print rows grouped by δ.

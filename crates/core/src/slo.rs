@@ -13,6 +13,10 @@ pub struct Slo {
     pub t_max_bps: f64,
     /// Maximum chain-imposed delay in nanoseconds, if contracted.
     pub d_max_ns: Option<f64>,
+    /// Shedding priority under resource failures: when a degraded rack
+    /// cannot satisfy every `t_min`, chains are shed in *ascending*
+    /// priority (lowest first). Ties break toward the smaller `t_min`.
+    pub priority: u8,
 }
 
 /// Table 1's use-case taxonomy.
@@ -33,33 +37,40 @@ pub enum UseCase {
 impl Slo {
     /// Best-effort traffic.
     pub fn bulk() -> Slo {
-        Slo { t_min_bps: 0.0, t_max_bps: f64::INFINITY, d_max_ns: None }
+        Slo { t_min_bps: 0.0, t_max_bps: f64::INFINITY, d_max_ns: None, priority: 0 }
     }
 
     /// Best effort capped at `alpha`.
     pub fn metered_bulk(alpha: f64) -> Slo {
-        Slo { t_min_bps: 0.0, t_max_bps: alpha, d_max_ns: None }
+        Slo { t_min_bps: 0.0, t_max_bps: alpha, d_max_ns: None, priority: 0 }
     }
 
     /// Exactly `alpha` guaranteed.
     pub fn virtual_pipe(alpha: f64) -> Slo {
-        Slo { t_min_bps: alpha, t_max_bps: alpha, d_max_ns: None }
+        Slo { t_min_bps: alpha, t_max_bps: alpha, d_max_ns: None, priority: 0 }
     }
 
     /// At least `alpha`, bursts up to `beta`.
     pub fn elastic_pipe(alpha: f64, beta: f64) -> Slo {
         assert!(beta >= alpha, "elastic pipe burst below guarantee");
-        Slo { t_min_bps: alpha, t_max_bps: beta, d_max_ns: None }
+        Slo { t_min_bps: alpha, t_max_bps: beta, d_max_ns: None, priority: 0 }
     }
 
     /// At least `alpha`, uncapped.
     pub fn infinite_pipe(alpha: f64) -> Slo {
-        Slo { t_min_bps: alpha, t_max_bps: f64::INFINITY, d_max_ns: None }
+        Slo { t_min_bps: alpha, t_max_bps: f64::INFINITY, d_max_ns: None, priority: 0 }
     }
 
     /// Add a latency bound (builder style).
     pub fn with_latency_ns(mut self, d_max_ns: f64) -> Slo {
         self.d_max_ns = Some(d_max_ns);
+        self
+    }
+
+    /// Set the shedding priority (builder style). Higher survives longer
+    /// when a degraded rack forces load shedding.
+    pub fn with_priority(mut self, priority: u8) -> Slo {
+        self.priority = priority;
         self
     }
 
@@ -144,6 +155,12 @@ mod tests {
     #[should_panic(expected = "burst below guarantee")]
     fn invalid_elastic_pipe() {
         Slo::elastic_pipe(4e9, 1e9);
+    }
+
+    #[test]
+    fn priority_builder() {
+        assert_eq!(Slo::bulk().priority, 0);
+        assert_eq!(Slo::virtual_pipe(1e9).with_priority(3).priority, 3);
     }
 
     #[test]

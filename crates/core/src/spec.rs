@@ -642,7 +642,7 @@ pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
             if first == "slo" {
                 let t_min = kw.get("t_min").and_then(parse_rate).unwrap_or(0.0);
                 let t_max = kw.get("t_max").and_then(parse_rate).unwrap_or(f64::INFINITY);
-                let mut slo = Slo { t_min_bps: t_min, t_max_bps: t_max, d_max_ns: None };
+                let mut slo = Slo { t_min_bps: t_min, t_max_bps: t_max, d_max_ns: None, priority: 0 };
                 if let Some(d) = kw.get("d_max").and_then(parse_delay_ns) {
                     slo.d_max_ns = Some(d);
                 }

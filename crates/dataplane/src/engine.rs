@@ -1,8 +1,12 @@
 //! The discrete-event cross-platform execution engine.
 
-use crate::report::{ChainStats, SimReport};
+use crate::faults::{FaultKind, FaultPlan, FaultState};
+use crate::report::{
+    ChainStats, DropReason, SimReport, TimelineEvent, ViolationKind, WindowSample,
+};
 use crate::traffic::{ChainSource, TrafficSpec};
 use lemur_bess::CoreId;
+use lemur_core::Slo;
 use lemur_ebpf::{Vm, XdpVerdict};
 use lemur_metacompiler::Deployment;
 use lemur_nf::NfCtx;
@@ -23,6 +27,26 @@ const DEMUX_CYCLES: f64 = 300.0;
 /// otherwise).
 const MAX_HOPS: u8 = 64;
 
+/// Why a testbed could not be constructed from a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The topology's ToR is not the PISA switch this engine simulates.
+    UnsupportedTor(String),
+    /// The generated P4 program failed to compile/load on the switch.
+    SwitchLoad(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnsupportedTor(msg) => write!(f, "unsupported ToR: {msg}"),
+            BuildError::SwitchLoad(msg) => write!(f, "switch load: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -34,6 +58,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Queueing delay beyond which a station drops arrivals (overload).
     pub max_queue_ns: u64,
+    /// SLO-guard sampling window (ns of virtual time). The guard only
+    /// runs when `run_with_faults` is given per-chain SLOs.
+    pub window_ns: u64,
 }
 
 impl Default for SimConfig {
@@ -43,6 +70,7 @@ impl Default for SimConfig {
             warmup_s: 0.002,
             seed: 42,
             max_queue_ns: 3_000_000, // 3 ms
+            window_ns: 1_000_000,    // 1 ms
         }
     }
 }
@@ -98,6 +126,9 @@ struct SimPacket {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Hop {
+    /// Apply fault-plan event `i`. Declared first so that at equal
+    /// `(time, id)` a fault applies before any packet hop.
+    Fault(usize),
     Inject(usize),
     AtTor,
     AtServer(usize),
@@ -134,15 +165,17 @@ impl Testbed {
         problem: &PlacementProblem,
         placement: &EvaluatedPlacement,
         deployment: Deployment,
-    ) -> Result<Testbed, String> {
+    ) -> Result<Testbed, BuildError> {
         let pisa = match &problem.topology.tor {
             Tor::Pisa(m) => *m,
             Tor::OpenFlow { .. } => {
-                return Err("OpenFlow testbeds use OfTestbed (see exp_fig3c)".to_string())
+                return Err(BuildError::UnsupportedTor(
+                    "OpenFlow testbeds use OfTestbed (see exp_fig3c)".to_string(),
+                ))
             }
         };
-        let mut switch =
-            Switch::new(deployment.p4.program.clone(), pisa).map_err(|e| e.to_string())?;
+        let mut switch = Switch::new(deployment.p4.program.clone(), pisa)
+            .map_err(|e| BuildError::SwitchLoad(e.to_string()))?;
         deployment.p4.install(&mut switch);
 
         let n_servers = problem.topology.servers.len();
@@ -205,7 +238,29 @@ impl Testbed {
     /// chains (and the chains' aggregates must match the specs' prefixes —
     /// classification happens in the generated P4).
     pub fn run(&mut self, specs: &[TrafficSpec], config: SimConfig) -> SimReport {
+        self.run_with_faults(specs, config, &FaultPlan::empty(), &[])
+    }
+
+    /// Run the workload while replaying a [`FaultPlan`] and (optionally)
+    /// watching per-chain SLOs. `slos` is index-aligned with the chains;
+    /// an empty slice disables the guard. When enabled, the guard closes a
+    /// window every `config.window_ns` of virtual time after warm-up and
+    /// emits a [`TimelineEvent::SloViolation`] whenever a chain's windowed
+    /// delivered rate falls below its `t_min` or its windowed mean latency
+    /// exceeds its `d_max`. An empty plan with no SLOs is byte-identical
+    /// to [`Testbed::run`].
+    pub fn run_with_faults(
+        &mut self,
+        specs: &[TrafficSpec],
+        config: SimConfig,
+        plan: &FaultPlan,
+        slos: &[Option<Slo>],
+    ) -> SimReport {
         assert_eq!(specs.len(), self.n_chains, "one spec per chain");
+        assert!(
+            slos.is_empty() || slos.len() == self.n_chains,
+            "SLO guard needs one (optional) SLO per chain"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1e307);
         let horizon_ns = ((config.warmup_s + config.duration_s) * 1e9) as u64;
         let warmup_ns = (config.warmup_s * 1e9) as u64;
@@ -217,7 +272,9 @@ impl Testbed {
             .collect();
         let mut heap: BinaryHeap<Reverse<(u64, u64, Hop)>> = BinaryHeap::new();
         let mut packets: HashMap<u64, SimPacket> = HashMap::new();
-        let mut next_id: u64 = 0;
+        // Packet ids start at 1: id 0 is reserved for fault events so a
+        // fault at the same instant as a packet hop applies first.
+        let mut next_id: u64 = 1;
         // Event ids double as FIFO tie-breakers; Hop carried inline except
         // packet identity which rides in the id→packet map keyed by the
         // event's second component.
@@ -225,6 +282,13 @@ impl Testbed {
         for (ci, src) in sources.iter().enumerate() {
             heap.push(Reverse((src.peek_time(), u64::MAX - ci as u64, Hop::Inject(ci))));
         }
+        for (fi, ev) in plan.events().iter().enumerate() {
+            if ev.at_ns < horizon_ns {
+                heap.push(Reverse((ev.at_ns, 0, Hop::Fault(fi))));
+            }
+        }
+        let mut fault_state = FaultState::healthy(self.servers.len());
+        let mut timeline: Vec<TimelineEvent> = Vec::new();
 
         let mut stats: Vec<ChainStats> = specs
             .iter()
@@ -232,8 +296,102 @@ impl Testbed {
             .collect();
         let mut latency_sum = vec![0f64; self.n_chains];
 
+        // SLO-guard window state.
+        let guard_on = !slos.is_empty();
+        let window_ns = config.window_ns.max(1);
+        let mut window_acc: Vec<WindowAcc> = vec![WindowAcc::default(); self.n_chains];
+        let mut window_start = warmup_ns;
+        let mut windows: Vec<WindowSample> = Vec::new();
+        let close_window = |end_ns: u64,
+                                start_ns: u64,
+                                acc: &mut Vec<WindowAcc>,
+                                windows: &mut Vec<WindowSample>,
+                                timeline: &mut Vec<TimelineEvent>| {
+            let span_s = (end_ns - start_ns) as f64 / 1e9;
+            for (ci, a) in acc.iter_mut().enumerate() {
+                let delivered_bps = if span_s > 0.0 { a.bits / span_s } else { 0.0 };
+                let mean_latency_ns =
+                    if a.packets > 0 { a.lat_sum / a.packets as f64 } else { 0.0 };
+                windows.push(WindowSample {
+                    start_ns,
+                    end_ns,
+                    chain: ci,
+                    delivered_bps,
+                    delivered_packets: a.packets,
+                    dropped_packets: a.drops,
+                    mean_latency_ns,
+                });
+                if let Some(Some(slo)) = slos.get(ci) {
+                    if delivered_bps < slo.t_min_bps {
+                        timeline.push(TimelineEvent::SloViolation {
+                            at_ns: end_ns,
+                            chain: ci,
+                            kind: ViolationKind::RateBelowMin,
+                            observed: delivered_bps,
+                            bound: slo.t_min_bps,
+                        });
+                    }
+                    if let Some(d_max) = slo.d_max_ns {
+                        if a.packets > 0 && mean_latency_ns > d_max {
+                            timeline.push(TimelineEvent::SloViolation {
+                                at_ns: end_ns,
+                                chain: ci,
+                                kind: ViolationKind::LatencyAboveMax,
+                                observed: mean_latency_ns,
+                                bound: d_max,
+                            });
+                        }
+                    }
+                }
+                *a = WindowAcc::default();
+            }
+        };
+
         while let Some(Reverse((now, id, hop))) = heap.pop() {
+            // Close any SLO-guard windows that ended before this event.
+            if guard_on {
+                while window_start + window_ns <= now && window_start + window_ns <= horizon_ns {
+                    let end = window_start + window_ns;
+                    close_window(end, window_start, &mut window_acc, &mut windows, &mut timeline);
+                    window_start = end;
+                }
+            }
             match hop {
+                Hop::Fault(fi) => {
+                    let ev = &plan.events()[fi];
+                    match ev.kind {
+                        FaultKind::LinkDown { server } => {
+                            if let Some(up) = fault_state.link_up.get_mut(server) {
+                                *up = false;
+                            }
+                        }
+                        FaultKind::LinkUp { server } => {
+                            if let Some(up) = fault_state.link_up.get_mut(server) {
+                                *up = true;
+                            }
+                        }
+                        FaultKind::CoreFail { server, core } => {
+                            fault_state.failed_cores.insert((server, core));
+                        }
+                        FaultKind::NfCrash { subgroup } => {
+                            fault_state.crashed_subgroups.insert(subgroup);
+                        }
+                        FaultKind::NfRecover { subgroup } => {
+                            fault_state.crashed_subgroups.remove(&subgroup);
+                        }
+                        FaultKind::ProfileDrift { subgroup, factor } => {
+                            if let Some(c) = self.subgroup_cycles.get_mut(subgroup) {
+                                *c *= factor;
+                            }
+                        }
+                        FaultKind::TrafficSurge { chain, factor } => {
+                            if let Some(src) = sources.get_mut(chain) {
+                                src.set_rate_factor(factor);
+                            }
+                        }
+                    }
+                    timeline.push(TimelineEvent::Fault { at_ns: now, kind: ev.kind.clone() });
+                }
                 Hop::Inject(ci) => {
                     let (t, buf) = sources[ci].next_packet();
                     debug_assert_eq!(t, now);
@@ -270,13 +428,20 @@ impl Testbed {
                         let lat = (now - p.t_in) as f64;
                         latency_sum[p.chain] += lat;
                         s.max_latency_ns = s.max_latency_ns.max(lat);
+                        let w = &mut window_acc[p.chain];
+                        w.bits += p.ingress_bits as f64;
+                        w.packets += 1;
+                        w.lat_sum += lat;
                     }
                 }
                 Hop::AtTor => {
                     let Some(p) = packets.get_mut(&id) else { continue };
                     p.hops += 1;
                     if p.hops > MAX_HOPS {
-                        drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns);
+                        drop_packet(
+                            &mut packets, &mut stats, &mut window_acc, id,
+                            DropReason::MaxHops, warmup_ns, horizon_ns,
+                        );
                         continue;
                     }
                     let bits = p.buf.len() as f64 * 8.0;
@@ -285,13 +450,17 @@ impl Testbed {
                         self.switch.assignment().num_stages_used.max(1),
                     ) as u64;
                     if verdict.dropped {
-                        drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns);
+                        drop_packet(
+                            &mut packets, &mut stats, &mut window_acc, id,
+                            DropReason::Verdict, warmup_ns, horizon_ns,
+                        );
                         continue;
                     }
                     match verdict.egress_port {
-                        None => {
-                            drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns)
-                        }
+                        None => drop_packet(
+                            &mut packets, &mut stats, &mut window_acc, id,
+                            DropReason::Verdict, warmup_ns, horizon_ns,
+                        ),
                         Some(0) => {
                             // Out port: serialize on the ToR uplink.
                             let ser = (bits / self.tor_rate_bps * 1e9) as u64;
@@ -300,14 +469,25 @@ impl Testbed {
                                     heap.push(Reverse((done + PROP_NS, id, Hop::Deliver)))
                                 }
                                 None => drop_packet(
-                                    &mut packets, &mut stats, id, warmup_ns, horizon_ns,
+                                    &mut packets, &mut stats, &mut window_acc, id,
+                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
                                 ),
                             }
                         }
                         Some(port) if (1..100).contains(&port) => {
                             let s = (port - 1) as usize;
                             if s >= self.tor_to_server.len() {
-                                drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns);
+                                drop_packet(
+                                    &mut packets, &mut stats, &mut window_acc, id,
+                                    DropReason::Verdict, warmup_ns, horizon_ns,
+                                );
+                                continue;
+                            }
+                            if !fault_state.link_is_up(s) {
+                                drop_packet(
+                                    &mut packets, &mut stats, &mut window_acc, id,
+                                    DropReason::Fault, warmup_ns, horizon_ns,
+                                );
                                 continue;
                             }
                             let ser = (bits / self.link_bps[s] * 1e9) as u64;
@@ -320,14 +500,18 @@ impl Testbed {
                                     heap.push(Reverse((done + PROP_NS, id, Hop::AtServer(s))))
                                 }
                                 None => drop_packet(
-                                    &mut packets, &mut stats, id, warmup_ns, horizon_ns,
+                                    &mut packets, &mut stats, &mut window_acc, id,
+                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
                                 ),
                             }
                         }
                         Some(port) => {
                             let n = (port - 100) as usize;
                             let Some(Some(nic)) = self.nics.get_mut(n) else {
-                                drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns);
+                                drop_packet(
+                                    &mut packets, &mut stats, &mut window_acc, id,
+                                    DropReason::Verdict, warmup_ns, horizon_ns,
+                                );
                                 continue;
                             };
                             let ser = (bits / nic.link_bps * 1e9) as u64;
@@ -336,7 +520,8 @@ impl Testbed {
                                     heap.push(Reverse((done + PROP_NS, id, Hop::AtNic(n))))
                                 }
                                 None => drop_packet(
-                                    &mut packets, &mut stats, id, warmup_ns, horizon_ns,
+                                    &mut packets, &mut stats, &mut window_acc, id,
+                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
                                 ),
                             }
                         }
@@ -345,52 +530,69 @@ impl Testbed {
                 Hop::AtServer(s) => {
                     let outcome = {
                         let Some(server) = self.servers[s].as_mut() else {
-                            drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns);
+                            drop_packet(
+                                &mut packets, &mut stats, &mut window_acc, id,
+                                DropReason::Verdict, warmup_ns, horizon_ns,
+                            );
                             continue;
                         };
                         let Some(p) = packets.get_mut(&id) else { continue };
                         server_hop(
                             server,
+                            s,
                             p,
                             now,
                             &config,
                             &self.subgroup_cycles,
+                            &fault_state,
                             &mut rng,
                         )
                     };
                     match outcome {
-                        Some(done_at) => {
+                        Ok(done_at) => {
                             heap.push(Reverse((done_at, id, Hop::ServerEgress(s))));
                         }
-                        None => {
-                            drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns)
-                        }
+                        Err(reason) => drop_packet(
+                            &mut packets, &mut stats, &mut window_acc, id,
+                            reason, warmup_ns, horizon_ns,
+                        ),
                     }
                 }
                 Hop::ServerEgress(s) => {
                     // Back over the server→ToR link, reserved at the moment
                     // the core actually finished.
                     let Some(p) = packets.get(&id) else { continue };
+                    if !fault_state.link_is_up(s) {
+                        drop_packet(
+                            &mut packets, &mut stats, &mut window_acc, id,
+                            DropReason::Fault, warmup_ns, horizon_ns,
+                        );
+                        continue;
+                    }
                     let bits = p.buf.len() as f64 * 8.0;
                     let ser = (bits / self.link_bps[s] * 1e9) as u64;
                     match self.server_to_tor[s].serve(now, ser, config.max_queue_ns) {
                         Some(done) => heap.push(Reverse((done + PROP_NS, id, Hop::AtTor))),
-                        None => {
-                            drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns)
-                        }
+                        None => drop_packet(
+                            &mut packets, &mut stats, &mut window_acc, id,
+                            DropReason::QueueOverflow, warmup_ns, horizon_ns,
+                        ),
                     }
                 }
                 Hop::AtNic(n) => {
                     let outcome = {
                         let Some(nic) = self.nics[n].as_mut() else {
-                            drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns);
+                            drop_packet(
+                                &mut packets, &mut stats, &mut window_acc, id,
+                                DropReason::Verdict, warmup_ns, horizon_ns,
+                            );
                             continue;
                         };
                         let Some(p) = packets.get_mut(&id) else { continue };
                         nic_hop(nic, p, now, &config)
                     };
                     match outcome {
-                        Some(done_at) => {
+                        Ok(done_at) => {
                             let Some(p) = packets.get(&id) else { continue };
                             let bits = p.buf.len() as f64 * 8.0;
                             let nic = self.nics[n].as_mut().unwrap();
@@ -400,15 +602,26 @@ impl Testbed {
                                     heap.push(Reverse((done + PROP_NS, id, Hop::AtTor)))
                                 }
                                 None => drop_packet(
-                                    &mut packets, &mut stats, id, warmup_ns, horizon_ns,
+                                    &mut packets, &mut stats, &mut window_acc, id,
+                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
                                 ),
                             }
                         }
-                        None => {
-                            drop_packet(&mut packets, &mut stats, id, warmup_ns, horizon_ns)
-                        }
+                        Err(reason) => drop_packet(
+                            &mut packets, &mut stats, &mut window_acc, id,
+                            reason, warmup_ns, horizon_ns,
+                        ),
                     }
                 }
+            }
+        }
+
+        // Flush any windows still open at the horizon.
+        if guard_on {
+            while window_start + window_ns <= horizon_ns {
+                let end = window_start + window_ns;
+                close_window(end, window_start, &mut window_acc, &mut windows, &mut timeline);
+                window_start = end;
             }
         }
 
@@ -443,23 +656,44 @@ impl Testbed {
                 s.mean_latency_ns = latency_sum[ci] / s.delivered_packets as f64;
             }
         }
-        SimReport { per_chain: stats, duration_s: config.duration_s }
+        SimReport {
+            per_chain: stats,
+            duration_s: config.duration_s,
+            timeline,
+            windows,
+        }
     }
 }
 
+/// Per-chain accumulator for one SLO-guard window.
+#[derive(Debug, Default, Clone)]
+struct WindowAcc {
+    bits: f64,
+    packets: u64,
+    drops: u64,
+    lat_sum: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn drop_packet(
     packets: &mut HashMap<u64, SimPacket>,
     stats: &mut [ChainStats],
+    window_acc: &mut [WindowAcc],
     id: u64,
+    reason: DropReason,
     warmup_ns: u64,
     horizon_ns: u64,
 ) {
     if let Some(p) = packets.remove(&id) {
         if std::env::var("LEMUR_DBG").is_ok() {
-            eprintln!("DROP chain={} hops={} t_in={}us", p.chain, p.hops, p.t_in / 1000);
+            eprintln!(
+                "DROP chain={} hops={} t_in={}us reason={reason:?}",
+                p.chain, p.hops, p.t_in / 1000
+            );
         }
         if p.t_in >= warmup_ns && p.t_in < horizon_ns {
-            stats[p.chain].dropped_packets += 1;
+            stats[p.chain].record_drop(reason);
+            window_acc[p.chain].drops += 1;
         }
     }
 }
@@ -467,28 +701,48 @@ fn drop_packet(
 /// Demux → subgroup instance(s) → mux. Consecutive same-server subgroups
 /// (created by branch points) chain *inside* the pipeline, one core hop
 /// each, before the packet re-encapsulates — one server visit on the wire.
-/// Returns the time the packet is ready to leave the server, or `None` on
-/// drop.
+/// Returns the time the packet is ready to leave the server, or the drop
+/// reason.
+#[allow(clippy::too_many_arguments)]
 fn server_hop(
     server: &mut ServerSim,
+    server_idx: usize,
     p: &mut SimPacket,
     now: u64,
     config: &SimConfig,
     subgroup_cycles: &[f64],
+    faults: &FaultState,
     rng: &mut StdRng,
-) -> Option<u64> {
+) -> Result<u64, DropReason> {
     // Demux core.
     let demux_ns = (DEMUX_CYCLES / server.clock_hz * 1e9) as u64;
-    let after_demux = server.demux.serve(now, demux_ns, config.max_queue_ns)?;
-    let (first_sg, first_replica, key) = server.pipeline.demux.steer(&mut p.buf)?;
+    let after_demux = server
+        .demux
+        .serve(now, demux_ns, config.max_queue_ns)
+        .ok_or(DropReason::QueueOverflow)?;
+    let (first_sg, first_replica, key) = server
+        .pipeline
+        .demux
+        .steer(&mut p.buf)
+        .ok_or(DropReason::Verdict)?;
 
     let mut sg_idx = first_sg;
     let mut replica = first_replica;
     let mut spi = key.spi;
     let mut at = after_demux;
     for _chained in 0..16 {
-        let inst_idx = *server.pipeline.instance_map.get(&(sg_idx, replica))?;
+        if faults.crashed_subgroups.contains(&sg_idx) {
+            return Err(DropReason::Fault);
+        }
+        let inst_idx = *server
+            .pipeline
+            .instance_map
+            .get(&(sg_idx, replica))
+            .ok_or(DropReason::Verdict)?;
         let core = server.pipeline.instances[inst_idx].core;
+        if faults.failed_cores.contains(&(server_idx, core)) {
+            return Err(DropReason::Fault);
+        }
 
         // Effective service time: worst-case profile cycles, discounted
         // for same-socket placement and sampled over the Table 4 min–max
@@ -502,14 +756,17 @@ fn server_hop(
         let sample = 0.94 + 0.06 * rng.gen::<f64>();
         let service_ns = (base * numa * sample / server.clock_hz * 1e9) as u64;
         let station = server.cores.entry(core).or_default();
-        let done = station.serve(at, service_ns, config.max_queue_ns)?;
+        let done = station
+            .serve(at, service_ns, config.max_queue_ns)
+            .ok_or(DropReason::QueueOverflow)?;
         at = done;
 
         // Functional execution.
         let ctx = NfCtx { now_ns: done };
         let gate = server.pipeline.instances[inst_idx]
             .runtime
-            .process_packet(&ctx, &mut p.buf)?;
+            .process_packet(&ctx, &mut p.buf)
+            .ok_or(DropReason::Verdict)?;
 
         // Branch decision: rewrite the SPI per the routing plan.
         if let Some(rule) = server.pipeline.mux_rules.get(&sg_idx) {
@@ -536,21 +793,29 @@ fn server_hop(
     }
 
     // Mux: re-encapsulate for the next on-wire segment.
-    lemur_bess::demux::mux(&mut p.buf, spi, key.si.checked_sub(1)?);
-    Some(at)
+    let si = key.si.checked_sub(1).ok_or(DropReason::Verdict)?;
+    lemur_bess::demux::mux(&mut p.buf, spi, si);
+    Ok(at)
 }
 
 /// SmartNIC execution.
-fn nic_hop(nic: &mut NicSim, p: &mut SimPacket, now: u64, config: &SimConfig) -> Option<u64> {
+fn nic_hop(
+    nic: &mut NicSim,
+    p: &mut SimPacket,
+    now: u64,
+    config: &SimConfig,
+) -> Result<u64, DropReason> {
     let mut frame = p.buf.as_slice().to_vec();
-    let result = Vm::run(&nic.program, &mut frame).ok()?;
+    let result = Vm::run(&nic.program, &mut frame).map_err(|_| DropReason::Verdict)?;
     if result.verdict != XdpVerdict::Tx {
-        return None;
+        return Err(DropReason::Verdict);
     }
     p.buf = PacketBuf::from_bytes(&frame);
     // One VM step ≈ one NFP cycle.
     let service_ns = (result.steps as f64 / nic.clock_hz * 1e9) as u64;
-    nic.proc.serve(now, service_ns, config.max_queue_ns)
+    nic.proc
+        .serve(now, service_ns, config.max_queue_ns)
+        .ok_or(DropReason::QueueOverflow)
 }
 
 #[cfg(test)]
@@ -667,6 +932,127 @@ mod tests {
             let mut tb = Testbed::build(&p, &e, dep).unwrap();
             let r = tb.run(&specs, quick());
             (r.per_chain[0].delivered_packets, r.per_chain[0].dropped_packets)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_run() {
+        let (p, e, specs) = setup(&[CanonicalChain::Chain3], 0.5);
+        let dep = lemur_metacompiler::compile(&p, &e).unwrap();
+        let mut tb = Testbed::build(&p, &e, dep).unwrap();
+        let plain = tb.run(&specs, quick());
+        let dep = lemur_metacompiler::compile(&p, &e).unwrap();
+        let mut tb = Testbed::build(&p, &e, dep).unwrap();
+        let faulted = tb.run_with_faults(&specs, quick(), &FaultPlan::empty(), &[]);
+        assert_eq!(plain, faulted);
+        assert!(faulted.timeline.is_empty());
+        assert!(faulted.windows.is_empty());
+    }
+
+    #[test]
+    fn link_down_triggers_guard_within_a_window() {
+        let (p, e, specs) = setup(&[CanonicalChain::Chain3], 1.0);
+        let server = e.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server).unwrap();
+        let dep = lemur_metacompiler::compile(&p, &e).unwrap();
+        let mut tb = Testbed::build(&p, &e, dep).unwrap();
+        let config = quick(); // warmup 1 ms, duration 4 ms, window 1 ms
+        let fault_ns = 2_000_000;
+        let plan = FaultPlan::empty().with(fault_ns, FaultKind::LinkDown { server });
+        let slos: Vec<Option<Slo>> = p.chains.iter().map(|c| c.slo).collect();
+        let report = tb.run_with_faults(&specs, config, &plan, &slos);
+
+        // The fault landed on the timeline.
+        assert!(report
+            .timeline
+            .iter()
+            .any(|ev| matches!(ev, TimelineEvent::Fault { .. })));
+        // Fault-reason drops were recorded, and distinguished from others.
+        assert!(report.per_chain[0].drops_fault > 0, "{:?}", report.per_chain[0]);
+        // The guard flagged the starved chain no later than two windows
+        // after injection (one full window must elapse below t_min).
+        let detected = report.first_violation_ns(0).expect("no SLO violation detected");
+        assert!(
+            detected >= fault_ns && detected <= fault_ns + 2 * config.window_ns,
+            "detected at {detected} for fault at {fault_ns}"
+        );
+    }
+
+    #[test]
+    fn link_flap_recovers_goodput() {
+        let (p, e, specs) = setup(&[CanonicalChain::Chain3], 1.0);
+        let server = e.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server).unwrap();
+        let dep = lemur_metacompiler::compile(&p, &e).unwrap();
+        let mut tb = Testbed::build(&p, &e, dep).unwrap();
+        // Down for 1 ms mid-run, then back.
+        let plan = FaultPlan::empty().link_flap(server, 2_000_000, 3_000_000);
+        let slos: Vec<Option<Slo>> = p.chains.iter().map(|c| c.slo).collect();
+        let report = tb.run_with_faults(&specs, quick(), &plan, &slos);
+        // Traffic resumed after the flap: the last window delivers again.
+        let last = report
+            .windows
+            .iter()
+            .rfind(|w| w.chain == 0)
+            .expect("guard produced windows");
+        assert!(
+            last.delivered_packets > 0,
+            "no recovery after link came back: {last:?}"
+        );
+        assert!(report.per_chain[0].drops_fault > 0);
+    }
+
+    #[test]
+    fn traffic_surge_raises_arrivals() {
+        let (p, e, specs) = setup(&[CanonicalChain::Chain5], 0.5);
+        let run_with = |plan: &FaultPlan| {
+            let dep = lemur_metacompiler::compile(&p, &e).unwrap();
+            let mut tb = Testbed::build(&p, &e, dep).unwrap();
+            let r = tb.run_with_faults(&specs, quick(), plan, &[]);
+            r.per_chain[0].delivered_packets + r.per_chain[0].dropped_packets
+        };
+        let baseline = run_with(&FaultPlan::empty());
+        let surged = run_with(
+            &FaultPlan::empty().with(1_000_000, FaultKind::TrafficSurge { chain: 0, factor: 3.0 }),
+        );
+        assert!(
+            surged > baseline + baseline / 2,
+            "surge did not raise arrivals: {surged} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn profile_drift_slows_service() {
+        let (p, e, specs) = setup(&[CanonicalChain::Chain5], 0.5);
+        let mean_latency = |plan: &FaultPlan| {
+            let dep = lemur_metacompiler::compile(&p, &e).unwrap();
+            let mut tb = Testbed::build(&p, &e, dep).unwrap();
+            tb.run_with_faults(&specs, quick(), plan, &[]).per_chain[0].mean_latency_ns
+        };
+        let healthy = mean_latency(&FaultPlan::empty());
+        // Inflate every subgroup's cycle cost 4× right at start.
+        let mut plan = FaultPlan::empty();
+        for sg in 0..e.subgroups.len() {
+            plan = plan.with(0, FaultKind::ProfileDrift { subgroup: sg, factor: 4.0 });
+        }
+        let drifted = mean_latency(&plan);
+        assert!(
+            drifted > healthy,
+            "drift did not slow the chain: {drifted} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let (p, e, specs) = setup(&[CanonicalChain::Chain3], 1.0);
+        let server = e.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server).unwrap();
+        let slos: Vec<Option<Slo>> = p.chains.iter().map(|c| c.slo).collect();
+        let run = || {
+            let dep = lemur_metacompiler::compile(&p, &e).unwrap();
+            let mut tb = Testbed::build(&p, &e, dep).unwrap();
+            let plan = FaultPlan::empty()
+                .link_flap(server, 1_500_000, 2_500_000)
+                .with(3_000_000, FaultKind::TrafficSurge { chain: 0, factor: 1.5 });
+            tb.run_with_faults(&specs, quick(), &plan, &slos)
         };
         assert_eq!(run(), run());
     }

@@ -1,0 +1,204 @@
+//! Deterministic fault injection for the simulated testbed.
+//!
+//! A [`FaultPlan`] schedules events in *virtual* time: the engine replays
+//! them from its event heap exactly like packet hops, so a run with a
+//! given `(SimConfig, FaultPlan)` pair is bit-for-bit reproducible. An
+//! empty plan leaves the engine's behavior byte-identical to a run without
+//! fault support — the plan only exists in the heap if it has events.
+
+use std::collections::BTreeSet;
+
+/// One kind of injected fault (or recovery).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The ToR↔server link for `server` goes down: packets routed over it
+    /// in either direction are dropped until a matching [`FaultKind::LinkUp`].
+    LinkDown { server: usize },
+    /// The ToR↔server link for `server` comes back.
+    LinkUp { server: usize },
+    /// A worker core on `server` fails: every packet steered to an NF
+    /// instance pinned to that core is dropped for the rest of the run.
+    CoreFail { server: usize, core: usize },
+    /// The NF subgroup (global index into the placement's subgroup list)
+    /// crashes: its traffic is dropped until [`FaultKind::NfRecover`].
+    NfCrash { subgroup: usize },
+    /// The crashed subgroup finishes restarting.
+    NfRecover { subgroup: usize },
+    /// The subgroup's per-packet cycle cost is multiplied by `factor`
+    /// (> 1.0 models drift away from the profiled cost, e.g. a cache-
+    /// hostile traffic mix).
+    ProfileDrift { subgroup: usize, factor: f64 },
+    /// The chain's offered rate is multiplied by `factor` from this point
+    /// on (> 1.0 is a surge, < 1.0 a lull).
+    TrafficSurge { chain: usize, factor: f64 },
+}
+
+impl FaultKind {
+    /// Short human-readable tag used in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown { .. } => "link_down",
+            FaultKind::LinkUp { .. } => "link_up",
+            FaultKind::CoreFail { .. } => "core_fail",
+            FaultKind::NfCrash { .. } => "nf_crash",
+            FaultKind::NfRecover { .. } => "nf_recover",
+            FaultKind::ProfileDrift { .. } => "profile_drift",
+            FaultKind::TrafficSurge { .. } => "traffic_surge",
+        }
+    }
+}
+
+/// A scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time of injection (ns from simulation start; the warm-up
+    /// period counts, so plans usually schedule after `warmup_s`).
+    pub at_ns: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events, sorted by injection time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no events — running with it is identical to running
+    /// without fault injection.
+    pub fn empty() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Build a plan from events (sorted by time on construction; ties keep
+    /// their relative order, so e.g. a `LinkDown` listed before a `LinkUp`
+    /// at the same instant applies first).
+    pub fn new(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at_ns);
+        FaultPlan { events }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events in injection order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Add an event, keeping the schedule sorted (builder style).
+    pub fn with(mut self, at_ns: u64, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at_ns, kind });
+        self.events.sort_by_key(|e| e.at_ns);
+        self
+    }
+
+    /// Convenience: a link flap on `server` over `[down_ns, up_ns)`.
+    pub fn link_flap(self, server: usize, down_ns: u64, up_ns: u64) -> FaultPlan {
+        assert!(up_ns > down_ns, "flap must recover after it fails");
+        self.with(down_ns, FaultKind::LinkDown { server })
+            .with(up_ns, FaultKind::LinkUp { server })
+    }
+
+    /// Convenience: crash subgroup for a repair interval `[at_ns, at_ns + repair_ns)`.
+    pub fn nf_crash(self, subgroup: usize, at_ns: u64, repair_ns: u64) -> FaultPlan {
+        self.with(at_ns, FaultKind::NfCrash { subgroup })
+            .with(at_ns + repair_ns, FaultKind::NfRecover { subgroup })
+    }
+
+    /// The set of servers whose links are down at the end of the plan
+    /// (useful for building a degraded-topology repair problem).
+    pub fn links_down_at_end(&self) -> BTreeSet<usize> {
+        let mut down = BTreeSet::new();
+        for e in &self.events {
+            match e.kind {
+                FaultKind::LinkDown { server } => {
+                    down.insert(server);
+                }
+                FaultKind::LinkUp { server } => {
+                    down.remove(&server);
+                }
+                _ => {}
+            }
+        }
+        down
+    }
+
+    /// `(server, core)` pairs failed by the plan (core failures are
+    /// permanent for the run).
+    pub fn cores_failed(&self) -> BTreeSet<(usize, usize)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::CoreFail { server, core } => Some((server, core)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Live fault state the engine consults on the per-packet fast path.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    /// Per-server ToR↔server link up/down.
+    pub link_up: Vec<bool>,
+    /// `(server, core)` pairs that have failed.
+    pub failed_cores: BTreeSet<(usize, usize)>,
+    /// Global subgroup indices currently offline.
+    pub crashed_subgroups: BTreeSet<usize>,
+}
+
+impl FaultState {
+    pub fn healthy(n_servers: usize) -> FaultState {
+        FaultState {
+            link_up: vec![true; n_servers],
+            failed_cores: BTreeSet::new(),
+            crashed_subgroups: BTreeSet::new(),
+        }
+    }
+
+    pub fn link_is_up(&self, server: usize) -> bool {
+        self.link_up.get(server).copied().unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_sort_and_track_end_state() {
+        let plan = FaultPlan::empty()
+            .with(500, FaultKind::CoreFail { server: 1, core: 3 })
+            .link_flap(0, 100, 400)
+            .with(200, FaultKind::LinkDown { server: 2 });
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![100, 200, 400, 500]);
+        // Server 0 flapped back up; server 2 stays down.
+        assert_eq!(plan.links_down_at_end().into_iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            plan.cores_failed().into_iter().collect::<Vec<_>>(),
+            vec![(1, 3)]
+        );
+    }
+
+    #[test]
+    fn crash_recover_pairing() {
+        let plan = FaultPlan::empty().nf_crash(4, 1_000, 2_000);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].kind, FaultKind::NfCrash { subgroup: 4 });
+        assert_eq!(plan.events()[1].at_ns, 3_000);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::empty().is_empty());
+        assert!(FaultPlan::default().is_empty());
+        assert_eq!(FaultPlan::empty(), FaultPlan::new(vec![]));
+    }
+}

@@ -21,9 +21,13 @@
 //! effect the paper reports (§5.2 "Predictions are conservative").
 
 pub mod engine;
+pub mod faults;
 pub mod report;
 pub mod traffic;
 
-pub use engine::{SimConfig, Testbed};
-pub use report::{ChainStats, SimReport};
+pub use engine::{BuildError, SimConfig, Testbed};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use report::{
+    ChainStats, DropReason, SimReport, TimelineEvent, ViolationKind, WindowSample,
+};
 pub use traffic::TrafficSpec;

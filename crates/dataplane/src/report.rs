@@ -1,26 +1,119 @@
 //! Measurement results.
 
+use crate::faults::FaultKind;
+
+/// Why a packet was dropped — split out so overload, mis-programming, NF
+/// policy, and injected faults are distinguishable in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// A station's queueing delay exceeded `SimConfig::max_queue_ns`.
+    QueueOverflow,
+    /// The per-packet hop cap tripped (mis-programmed steering loop).
+    MaxHops,
+    /// A platform verdict: P4 drop / no egress, unmatched demux, an NF
+    /// gate drop, or an eBPF verdict other than TX.
+    Verdict,
+    /// An injected fault (downed link, failed core, crashed subgroup).
+    Fault,
+}
+
 /// Per-chain measurements.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChainStats {
     pub offered_bps: f64,
     /// Goodput: ingress bits of packets that completed the chain, per
     /// second of measurement window.
     pub delivered_bps: f64,
     pub delivered_packets: u64,
+    /// Total drops (the sum of the per-reason counters below).
     pub dropped_packets: u64,
+    /// Drops from queueing delay past the overload bound.
+    pub drops_queue: u64,
+    /// Drops from the MAX_HOPS safety cap.
+    pub drops_hops: u64,
+    /// Drops from platform verdicts (P4/demux/NF/eBPF).
+    pub drops_verdict: u64,
+    /// Drops caused by injected faults.
+    pub drops_fault: u64,
     /// Mean end-to-end latency of delivered packets (ns).
     pub mean_latency_ns: f64,
     /// Maximum observed latency (ns).
     pub max_latency_ns: f64,
 }
 
+impl ChainStats {
+    /// Record one drop under its reason (also bumps the total).
+    pub fn record_drop(&mut self, reason: DropReason) {
+        self.dropped_packets += 1;
+        match reason {
+            DropReason::QueueOverflow => self.drops_queue += 1,
+            DropReason::MaxHops => self.drops_hops += 1,
+            DropReason::Verdict => self.drops_verdict += 1,
+            DropReason::Fault => self.drops_fault += 1,
+        }
+    }
+}
+
+/// Which SLO bound a violation tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Windowed delivered rate fell below `t_min`.
+    RateBelowMin,
+    /// Windowed mean latency exceeded `d_max`.
+    LatencyAboveMax,
+}
+
+/// One entry of the run's event timeline, in virtual-time order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent {
+    /// A fault from the plan was applied.
+    Fault { at_ns: u64, kind: FaultKind },
+    /// The SLO guard flagged a chain at the close of a window.
+    SloViolation {
+        /// Close time of the offending window.
+        at_ns: u64,
+        chain: usize,
+        kind: ViolationKind,
+        /// The observed windowed value (bps or ns, per `kind`).
+        observed: f64,
+        /// The bound it violated (t_min_bps or d_max_ns).
+        bound: f64,
+    },
+}
+
+impl TimelineEvent {
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            TimelineEvent::Fault { at_ns, .. } => *at_ns,
+            TimelineEvent::SloViolation { at_ns, .. } => *at_ns,
+        }
+    }
+}
+
+/// Per-chain measurements over one SLO-guard window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub chain: usize,
+    /// Delivered rate within the window.
+    pub delivered_bps: f64,
+    pub delivered_packets: u64,
+    pub dropped_packets: u64,
+    /// Mean latency of packets delivered in the window (0 if none).
+    pub mean_latency_ns: f64,
+}
+
 /// A full simulation report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     pub per_chain: Vec<ChainStats>,
     /// Simulated measurement window (seconds).
     pub duration_s: f64,
+    /// Faults applied and SLO violations detected, in virtual-time order.
+    pub timeline: Vec<TimelineEvent>,
+    /// SLO-guard window samples (empty when the guard is off).
+    pub windows: Vec<WindowSample>,
 }
 
 impl SimReport {
@@ -45,6 +138,21 @@ impl SimReport {
             .zip(t_mins)
             .all(|(c, t)| c.delivered_bps >= t * (1.0 - tol))
     }
+
+    /// The SLO violations in the timeline.
+    pub fn violations(&self) -> impl Iterator<Item = &TimelineEvent> {
+        self.timeline
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::SloViolation { .. }))
+    }
+
+    /// Virtual time of the first SLO violation for `chain`, if any.
+    pub fn first_violation_ns(&self, chain: usize) -> Option<u64> {
+        self.timeline.iter().find_map(|e| match e {
+            TimelineEvent::SloViolation { at_ns, chain: c, .. } if *c == chain => Some(*at_ns),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -59,10 +167,46 @@ mod tests {
                 ChainStats { delivered_bps: 3e9, ..Default::default() },
             ],
             duration_s: 0.1,
+            ..Default::default()
         };
         assert_eq!(r.aggregate_bps(), 5e9);
         assert_eq!(r.marginal_bps(&[1e9, 1e9]), 3e9);
         assert!(r.slos_met(&[1e9, 2.9e9], 0.01));
         assert!(!r.slos_met(&[2.5e9, 3e9], 0.01));
+    }
+
+    #[test]
+    fn drop_reasons_sum_to_total() {
+        let mut s = ChainStats::default();
+        s.record_drop(DropReason::QueueOverflow);
+        s.record_drop(DropReason::Fault);
+        s.record_drop(DropReason::Fault);
+        s.record_drop(DropReason::Verdict);
+        assert_eq!(s.dropped_packets, 4);
+        assert_eq!(
+            s.drops_queue + s.drops_hops + s.drops_verdict + s.drops_fault,
+            s.dropped_packets
+        );
+        assert_eq!(s.drops_fault, 2);
+    }
+
+    #[test]
+    fn first_violation_lookup() {
+        let r = SimReport {
+            timeline: vec![
+                TimelineEvent::Fault { at_ns: 100, kind: FaultKind::LinkDown { server: 0 } },
+                TimelineEvent::SloViolation {
+                    at_ns: 1_100,
+                    chain: 1,
+                    kind: ViolationKind::RateBelowMin,
+                    observed: 1e8,
+                    bound: 2e9,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.first_violation_ns(1), Some(1_100));
+        assert_eq!(r.first_violation_ns(0), None);
+        assert_eq!(r.violations().count(), 1);
     }
 }

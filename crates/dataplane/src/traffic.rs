@@ -52,6 +52,9 @@ pub struct ChainSource {
     rng: StdRng,
     next_ns: u64,
     interval_ns: f64,
+    /// Nominal inter-packet gap at the spec's offered rate; `interval_ns`
+    /// is this divided by the current rate factor.
+    base_interval_ns: f64,
     carry: f64,
     seq: u64,
     redundant_payload: Vec<u8>,
@@ -72,6 +75,7 @@ impl ChainSource {
             rng: StdRng::seed_from_u64(seed),
             next_ns: 0,
             interval_ns,
+            base_interval_ns: interval_ns,
             carry: 0.0,
             seq: 0,
             redundant_payload: redundant,
@@ -81,6 +85,14 @@ impl ChainSource {
     /// Timestamp of the next packet (ns).
     pub fn peek_time(&self) -> u64 {
         self.next_ns
+    }
+
+    /// Scale the offered rate by `factor` (relative to the spec's nominal
+    /// rate, not cumulative) from the next packet on. Used by the fault
+    /// injector's traffic surges.
+    pub fn set_rate_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "rate factor must be positive");
+        self.interval_ns = self.base_interval_ns / factor;
     }
 
     /// Produce the next packet.

@@ -63,20 +63,8 @@ impl AluOp {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
-            AluOp::Mod => {
-                if b == 0 {
-                    0
-                } else {
-                    a % b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or(0),
+            AluOp::Mod => a.checked_rem(b).unwrap_or(0),
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,

@@ -69,8 +69,8 @@ impl Tableau {
             // (Dantzig), or the first negative one (Bland).
             let mut entering = None;
             let mut best = -EPS;
-            for c in 0..self.cols {
-                if !allowed[c] {
+            for (c, &ok) in allowed.iter().enumerate().take(self.cols) {
+                if !ok {
                     continue;
                 }
                 let v = self.obj[c];

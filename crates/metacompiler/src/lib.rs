@@ -49,11 +49,31 @@ pub struct Deployment {
     pub stats: loc::CodegenStats,
 }
 
+/// Why meta-compilation of a placement failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// P4 synthesis rejected the switch program.
+    P4(String),
+    /// eBPF generation rejected a SmartNIC assignment.
+    Ebpf(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::P4(msg) => write!(f, "p4 synthesis: {msg}"),
+            CompileError::Ebpf(msg) => write!(f, "ebpf generation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 /// Run the full meta-compilation pipeline.
 pub fn compile(
     problem: &PlacementProblem,
     placement: &EvaluatedPlacement,
-) -> Result<Deployment, String> {
+) -> Result<Deployment, CompileError> {
     compile_with_options(problem, placement, P4GenOptions::default())
 }
 
@@ -63,11 +83,13 @@ pub fn compile_with_options(
     problem: &PlacementProblem,
     placement: &EvaluatedPlacement,
     p4_options: P4GenOptions,
-) -> Result<Deployment, String> {
+) -> Result<Deployment, CompileError> {
     let routing = routing::plan(problem, &placement.assignment);
-    let p4 = p4gen::synthesize(problem, &placement.assignment, &routing, p4_options)?;
+    let p4 = p4gen::synthesize(problem, &placement.assignment, &routing, p4_options)
+        .map_err(CompileError::P4)?;
     let bess = bessgen::generate(problem, placement, &routing);
-    let ebpf = ebpfgen::generate(problem, placement, &routing)?;
+    let ebpf =
+        ebpfgen::generate(problem, placement, &routing).map_err(CompileError::Ebpf)?;
     let stats = loc::account(problem, &p4, &bess, &ebpf);
     Ok(Deployment { routing, p4, bess, ebpf, stats })
 }

@@ -364,8 +364,8 @@ impl<'a> Gen<'a> {
         // units appended inside its (cross-chain exclusive) block so their
         // NSH writes don't serialize against other chains' coordination.
         let mut chain_controls = Vec::new();
-        for ci in 0..self.problem.chains.len() {
-            let control = self.gen_chain(ci, &mut chain_subs[ci])?;
+        for (ci, subs) in chain_subs.iter_mut().enumerate() {
+            let control = self.gen_chain(ci, subs)?;
             let mut parts = vec![control];
             for ((vci, _spi, _k), (reg, target)) in &virtual_units {
                 if *vci != ci {
@@ -460,8 +460,8 @@ impl<'a> Gen<'a> {
                 steer_entry: false,
             })
             .collect();
-        for i in 0..subs.len() {
-            subs[i].reach_reg = self.alloc_reg();
+        for sub in subs.iter_mut() {
+            sub.reach_reg = self.alloc_reg();
         }
         // Inter-subgroup edges from the tail node of each subgroup.
         for i in 0..subs.len() {

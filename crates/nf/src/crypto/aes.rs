@@ -53,7 +53,7 @@ fn tables() -> &'static Tables {
     TABLES.get_or_init(|| {
         let mut sbox = [0u8; 256];
         let mut inv_sbox = [0u8; 256];
-        for i in 0..256usize {
+        for (i, slot) in sbox.iter_mut().enumerate() {
             let x = ginv(i as u8);
             // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
             let s = x
@@ -62,7 +62,7 @@ fn tables() -> &'static Tables {
                 ^ x.rotate_left(3)
                 ^ x.rotate_left(4)
                 ^ 0x63;
-            sbox[i] = s;
+            *slot = s;
             inv_sbox[s as usize] = i as u8;
         }
         let mut mul = [[0u8; 256]; 16];

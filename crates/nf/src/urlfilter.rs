@@ -55,10 +55,10 @@ impl AhoCorasick {
         let n = children.len();
         let mut fail = vec![0u32; n];
         let mut queue = VecDeque::new();
-        for b in 0..256 {
-            let c = children[0][b];
+        for slot in children[0].iter_mut() {
+            let c = *slot;
             if c == NONE {
-                children[0][b] = 0;
+                *slot = 0;
             } else {
                 fail[c as usize] = 0;
                 queue.push_back(c);
@@ -69,12 +69,13 @@ impl AhoCorasick {
             if terminal[f] {
                 terminal[node as usize] = true;
             }
-            for b in 0..256 {
-                let c = children[node as usize][b];
+            let frow = children[f];
+            for (b, slot) in children[node as usize].iter_mut().enumerate() {
+                let c = *slot;
                 if c == NONE {
-                    children[node as usize][b] = children[f][b];
+                    *slot = frow[b];
                 } else {
-                    fail[c as usize] = children[f][b];
+                    fail[c as usize] = frow[b];
                     queue.push_back(c);
                 }
             }

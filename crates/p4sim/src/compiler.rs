@@ -234,7 +234,7 @@ pub fn compile(
                 let u = &usage[s];
                 if u.sram + sram <= model.sram_blocks_per_stage
                     && u.tcam + tcam <= model.tcam_blocks_per_stage
-                    && u.tables + 1 <= model.tables_per_stage
+                    && u.tables < model.tables_per_stage
                 {
                     break;
                 }
@@ -259,7 +259,7 @@ pub fn compile(
                     stages.push(Vec::new());
                 }
                 let u = &mut usage[s];
-                if u.tables + 1 <= model.tables_per_stage
+                if u.tables < model.tables_per_stage
                     && (u.sram < model.sram_blocks_per_stage
                         || u.tcam < model.tcam_blocks_per_stage)
                 {
@@ -320,7 +320,7 @@ pub fn estimate_conservative(program: &P4Program, model: &PisaModel) -> usize {
             let slot = stages.iter_mut().find(|(us, uc, un)| {
                 us + s <= model.sram_blocks_per_stage
                     && uc + c <= model.tcam_blocks_per_stage
-                    && un + 1 <= model.tables_per_stage
+                    && *un < model.tables_per_stage
             });
             match slot {
                 Some((us, uc, un)) => {

@@ -68,8 +68,8 @@ proptest! {
     fn compilation_respects_resources_and_estimator_dominates(
         program in arb_program(),
     ) {
-        let mut model = PisaModel::default();
-        model.num_stages = 64; // roomy: we check internal consistency
+        // Roomy stage budget: we check internal consistency.
+        let model = PisaModel { num_stages: 64, ..Default::default() };
         let Ok(out) = compile(&program, &model, CompileOptions::default()) else {
             // Oversized single tables legitimately fail.
             return Ok(());

@@ -38,12 +38,14 @@ pub mod heuristic;
 pub mod oracle;
 pub mod placement;
 pub mod profiles;
+pub mod repair;
 pub mod topology;
 
 pub use oracle::{ModelOracle, StageOracle};
 pub use placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};
 pub use profiles::{NfProfiles, Platform, ProfileSource};
-pub use topology::{SmartNicSpec, Topology};
+pub use repair::{repair, RepairMode, RepairResult};
+pub use topology::{ResourceMask, SmartNicSpec, Topology};
 
 /// Default simulated packet size used to convert packets/s to bits/s.
 pub const PACKET_BYTES: f64 = 1500.0;

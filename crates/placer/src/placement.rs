@@ -27,6 +27,9 @@ pub type Assignment = Vec<HashMap<NodeId, Platform>>;
 /// Why a placement is infeasible.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlacementError {
+    /// A chain's NF graph failed validation (see
+    /// [`PlacementProblem::try_new`]).
+    InvalidChain { chain: usize, reason: String },
     /// An NF was assigned to a platform it has no implementation for.
     NoCapability { chain: usize, node: String, platform: Platform },
     /// Not enough cores / rate to satisfy every `t_min`.
@@ -42,6 +45,9 @@ pub enum PlacementError {
 impl fmt::Display for PlacementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PlacementError::InvalidChain { chain, reason } => {
+                write!(f, "chain {chain}: invalid NF graph: {reason}")
+            }
             PlacementError::NoCapability { chain, node, platform } => {
                 write!(f, "chain {chain}: {node} cannot run on {platform:?}")
             }
@@ -134,12 +140,26 @@ pub struct PlacementProblem {
 }
 
 impl PlacementProblem {
-    /// Create a problem. Chains must validate.
+    /// Create a problem. Panics if a chain graph fails validation; use
+    /// [`PlacementProblem::try_new`] to get the error instead.
     pub fn new(chains: Vec<ChainSpec>, topology: Topology, profiles: NfProfiles) -> Self {
-        for c in &chains {
-            c.graph.validate().expect("chain graph must validate");
+        Self::try_new(chains, topology, profiles)
+            .unwrap_or_else(|e| panic!("chain graph must validate: {e}"))
+    }
+
+    /// Create a problem, surfacing chain-graph validation failures as a
+    /// typed [`PlacementError::InvalidChain`].
+    pub fn try_new(
+        chains: Vec<ChainSpec>,
+        topology: Topology,
+        profiles: NfProfiles,
+    ) -> Result<Self, PlacementError> {
+        for (i, c) in chains.iter().enumerate() {
+            c.graph
+                .validate()
+                .map_err(|e| PlacementError::InvalidChain { chain: i, reason: e.to_string() })?;
         }
-        PlacementProblem { chains, topology, profiles }
+        Ok(PlacementProblem { chains, topology, profiles })
     }
 
     /// Traffic fraction through each node of a chain.

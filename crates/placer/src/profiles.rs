@@ -230,7 +230,7 @@ mod tests {
         assert!(!capabilities(NfKind::FastEncrypt).contains(&Pisa));
         assert_eq!(capabilities(NfKind::Ipv4Fwd), &[Pisa]); // artificial limit
         assert!(capabilities_full(NfKind::Ipv4Fwd).contains(&Server));
-        assert!(capabilities(NfKind::Dedup) == &[Server]);
+        assert_eq!(capabilities(NfKind::Dedup), &[Server]);
         assert!(capabilities(NfKind::Nat).contains(&Pisa));
         assert!(!capabilities(NfKind::Nat).contains(&SmartNic));
     }

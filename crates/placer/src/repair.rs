@@ -1,0 +1,379 @@
+//! Placement repair after resource failures.
+//!
+//! When the dataplane's SLO guard flags a violation caused by a downed
+//! link, failed cores, or a dead server, the operator re-plans against the
+//! *degraded* rack: the physical topology with a [`ResourceMask`] applied.
+//! The repair is incremental — chains whose subgroups never touched a
+//! failed resource keep their assignment verbatim ("pinned"), only the
+//! affected chains are re-homed — and falls back to a full heuristic
+//! re-placement before it starts shedding.
+//!
+//! Shedding is graceful: when the degraded rack cannot satisfy every
+//! chain's `t_min`, whole chains are dropped in *ascending*
+//! [`Slo::priority`] order (ties toward the smaller `t_min`, then the
+//! lower index), so the highest-priority survivors keep their full
+//! guarantee rather than every chain degrading a little.
+
+use std::collections::BTreeSet;
+
+use lemur_core::Slo;
+
+use crate::corealloc::CoreStrategy;
+use crate::oracle::StageOracle;
+use crate::placement::{
+    Assignment, EvaluatedPlacement, PlacementError, PlacementProblem,
+};
+use crate::profiles::Platform;
+use crate::topology::ResourceMask;
+
+/// How a surviving placement was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairMode {
+    /// Unaffected chains kept their old assignment; only affected chains
+    /// were re-homed.
+    Incremental,
+    /// The pinned attempt was infeasible; every kept chain was re-placed
+    /// from scratch on the degraded topology.
+    FullReplace,
+}
+
+/// Outcome of a repair pass.
+#[derive(Debug)]
+pub struct RepairResult {
+    /// The repaired placement, evaluated against the degraded topology.
+    /// Chain indices are positions in `kept`.
+    pub placement: EvaluatedPlacement,
+    /// The degraded problem the placement solves (its chain `i` is the
+    /// original chain `kept[i]`).
+    pub problem: PlacementProblem,
+    /// Original chain indices still served, ascending.
+    pub kept: Vec<usize>,
+    /// Original chain indices shed, in shedding order.
+    pub shed: Vec<usize>,
+    /// Original chain indices that had NFs on a failed resource.
+    pub affected: Vec<usize>,
+    /// Whether the surviving placement is incremental or a full re-place.
+    pub mode: RepairMode,
+}
+
+impl RepairResult {
+    /// Predicted rate for an *original* chain index (0 if shed).
+    pub fn rate_bps(&self, original_chain: usize) -> f64 {
+        self.kept
+            .iter()
+            .position(|&c| c == original_chain)
+            .map(|i| self.placement.chain_rates_bps[i])
+            .unwrap_or(0.0)
+    }
+}
+
+fn slo_of(problem: &PlacementProblem, chain: usize) -> Slo {
+    problem.chains[chain].slo.unwrap_or(Slo::bulk())
+}
+
+/// Chains with at least one NF on a masked-down server (or on a SmartNIC
+/// whose host server is down).
+fn affected_chains(
+    problem: &PlacementProblem,
+    assignment: &Assignment,
+    mask: &ResourceMask,
+) -> Vec<usize> {
+    let down = &mask.servers_down;
+    assignment
+        .iter()
+        .enumerate()
+        .filter(|(_, nodes)| {
+            nodes.values().any(|p| match p {
+                Platform::Server(s) => down.contains(s),
+                Platform::SmartNic(n) => {
+                    down.contains(&problem.topology.smartnics[*n].server)
+                }
+                _ => false,
+            })
+        })
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// Re-home one chain's dead-platform NFs onto `replacement`.
+fn rehome(
+    problem: &PlacementProblem,
+    nodes: &mut std::collections::HashMap<lemur_core::NodeId, Platform>,
+    down: &BTreeSet<usize>,
+    replacement: usize,
+) {
+    for p in nodes.values_mut() {
+        let dead = match p {
+            Platform::Server(s) => down.contains(s),
+            Platform::SmartNic(n) => {
+                down.contains(&problem.topology.smartnics[*n].server)
+            }
+            _ => false,
+        };
+        if dead {
+            *p = Platform::Server(replacement);
+        }
+    }
+}
+
+/// Build the degraded sub-problem over `kept` chains.
+fn sub_problem(
+    problem: &PlacementProblem,
+    mask: &ResourceMask,
+    kept: &[usize],
+) -> PlacementProblem {
+    PlacementProblem {
+        chains: kept.iter().map(|&c| problem.chains[c].clone()).collect(),
+        topology: problem.topology.degraded(mask.clone()),
+        profiles: problem.profiles.clone(),
+    }
+}
+
+/// The pinned-incremental candidate assignment for `kept` chains: old
+/// assignments verbatim, except dead-platform NFs of affected chains move
+/// to the healthy server with the most estimated headroom.
+fn pinned_assignment(
+    problem: &PlacementProblem,
+    old: &Assignment,
+    mask: &ResourceMask,
+    kept: &[usize],
+    sub: &PlacementProblem,
+) -> Assignment {
+    let down = &mask.servers_down;
+    // Estimated headroom: degraded worker cores minus the node count each
+    // surviving server already hosts (same proxy choose_server_per_chain
+    // uses on the healthy rack).
+    let n_servers = sub.topology.servers.len();
+    let mut free: Vec<isize> = (0..n_servers)
+        .map(|s| sub.topology.worker_cores(s) as isize)
+        .collect();
+    for &c in kept {
+        for p in old[c].values() {
+            if let Platform::Server(s) = p {
+                if !down.contains(s) {
+                    free[*s] -= 1;
+                }
+            }
+        }
+    }
+    kept.iter()
+        .map(|&c| {
+            let mut nodes = old[c].clone();
+            let displaced = nodes
+                .values()
+                .filter(|p| match p {
+                    Platform::Server(s) => down.contains(s),
+                    Platform::SmartNic(n) => {
+                        down.contains(&problem.topology.smartnics[*n].server)
+                    }
+                    _ => false,
+                })
+                .count();
+            if displaced > 0 {
+                let repl = (0..n_servers)
+                    .filter(|s| !down.contains(s))
+                    .max_by_key(|s| free[*s])
+                    .unwrap_or(0);
+                free[repl] -= displaced as isize;
+                rehome(problem, &mut nodes, down, repl);
+            }
+            nodes
+        })
+        .collect()
+}
+
+/// Chain to shed next from `kept`: ascending `(priority, t_min, index)`.
+fn shed_victim(problem: &PlacementProblem, kept: &[usize]) -> Option<usize> {
+    kept.iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let (sa, sb) = (slo_of(problem, a), slo_of(problem, b));
+            sa.priority
+                .cmp(&sb.priority)
+                .then(sa.t_min_bps.total_cmp(&sb.t_min_bps))
+                .then(a.cmp(&b))
+        })
+}
+
+/// Repair `old` after the failures in `mask`.
+///
+/// Tries, in order: (1) the pinned-incremental assignment, (2) a full
+/// heuristic re-placement of all kept chains on the degraded topology,
+/// (3) shedding the lowest-priority chain and retrying — until a
+/// placement satisfying every surviving `t_min` exists or no chains
+/// remain.
+pub fn repair(
+    problem: &PlacementProblem,
+    old: &EvaluatedPlacement,
+    mask: ResourceMask,
+    oracle: &dyn StageOracle,
+) -> Result<RepairResult, PlacementError> {
+    let affected = affected_chains(problem, &old.assignment, &mask);
+    let mut kept: Vec<usize> = (0..problem.chains.len()).collect();
+    let mut shed: Vec<usize> = Vec::new();
+
+    loop {
+        if kept.is_empty() {
+            return Err(PlacementError::Infeasible(
+                "degraded topology cannot host any chain".into(),
+            ));
+        }
+        let sub = sub_problem(problem, &mask, &kept);
+
+        // (1) Pinned incremental: keep unaffected subgroups where they are.
+        let pinned = pinned_assignment(problem, &old.assignment, &mask, &kept, &sub);
+        if let Ok(ev) = sub.evaluate(&pinned, CoreStrategy::WaterFill) {
+            return Ok(RepairResult {
+                placement: ev,
+                problem: sub,
+                kept,
+                shed,
+                affected,
+                mode: RepairMode::Incremental,
+            });
+        }
+
+        // (2) Full re-place of the kept set on the degraded rack.
+        match crate::heuristic::place(&sub, oracle) {
+            Ok(ev) => {
+                return Ok(RepairResult {
+                    placement: ev,
+                    problem: sub,
+                    kept,
+                    shed,
+                    affected,
+                    mode: RepairMode::FullReplace,
+                });
+            }
+            Err(e) => {
+                // (3) Shed the lowest-priority chain and retry. If there
+                // is no victim, surface the placement error.
+                let Some(victim) = shed_victim(problem, &kept) else {
+                    return Err(e);
+                };
+                kept.retain(|&c| c != victim);
+                shed.push(victim);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::place;
+    use crate::oracle::AlwaysFits;
+    use crate::profiles::NfProfiles;
+    use crate::topology::Topology;
+    use lemur_core::chains::{canonical_chain, CanonicalChain};
+    use lemur_core::graph::ChainSpec;
+
+    fn problem(
+        which: &[CanonicalChain],
+        delta: f64,
+        topology: Topology,
+    ) -> PlacementProblem {
+        let chains = which
+            .iter()
+            .map(|w| ChainSpec {
+                name: format!("chain{}", w.index()),
+                graph: canonical_chain(*w),
+                slo: None,
+                aggregate: None,
+            })
+            .collect::<Vec<_>>();
+        let mut p = PlacementProblem::new(chains, topology, NfProfiles::table4());
+        for i in 0..p.chains.len() {
+            let base = p.base_rate_bps(i);
+            p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
+        }
+        p
+    }
+
+    #[test]
+    fn repair_rehomes_off_dead_server() {
+        let p = problem(
+            &[CanonicalChain::Chain3, CanonicalChain::Chain2],
+            0.5,
+            Topology::with_servers(3),
+        );
+        let old = place(&p, &AlwaysFits).unwrap();
+        let dead = old.subgroups[0].server;
+        let mask = ResourceMask::none().with_server_down(dead);
+        let r = repair(&p, &old, mask, &AlwaysFits).unwrap();
+        assert!(r.shed.is_empty(), "capacity is ample, nothing to shed");
+        assert_eq!(r.kept, vec![0, 1]);
+        assert!(!r.affected.is_empty());
+        for sg in &r.placement.subgroups {
+            assert_ne!(sg.server, dead, "subgroup still on the dead server");
+        }
+        // Survivors keep their guarantee.
+        for (i, &c) in r.kept.iter().enumerate() {
+            let t_min = p.chains[c].slo.unwrap().t_min_bps;
+            assert!(
+                r.placement.chain_rates_bps[i] + 1.0 >= t_min,
+                "chain {c}: {} < {}",
+                r.placement.chain_rates_bps[i],
+                t_min
+            );
+        }
+    }
+
+    #[test]
+    fn unaffected_chains_stay_pinned() {
+        let p = problem(
+            &[CanonicalChain::Chain3, CanonicalChain::Chain2],
+            0.25,
+            Topology::with_servers(3),
+        );
+        let old = place(&p, &AlwaysFits).unwrap();
+        let s0 = old.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server);
+        let s1 = old.subgroups.iter().find(|sg| sg.chain == 1).map(|sg| sg.server);
+        let (Some(s0), Some(s1)) = (s0, s1) else {
+            return; // all-switch placement: nothing to pin
+        };
+        if s0 == s1 {
+            return; // both chains share the server; no unaffected chain
+        }
+        let mask = ResourceMask::none().with_server_down(s1);
+        let r = repair(&p, &old, mask, &AlwaysFits).unwrap();
+        assert_eq!(r.mode, RepairMode::Incremental);
+        assert_eq!(r.affected, vec![1]);
+        // Chain 0 kept its server.
+        let i0 = r.kept.iter().position(|&c| c == 0).unwrap();
+        for sg in r.placement.subgroups.iter().filter(|sg| sg.chain == i0) {
+            assert_eq!(sg.server, s0, "pinned chain moved");
+        }
+    }
+
+    #[test]
+    fn shedding_follows_ascending_priority() {
+        // Two heavy chains on a single small server; kill most cores so
+        // only one chain fits. The low-priority one must be shed.
+        let mut p = problem(
+            &[CanonicalChain::Chain3, CanonicalChain::Chain3],
+            1.0,
+            Topology::with_servers(1),
+        );
+        p.chains[0].slo = Some(p.chains[0].slo.unwrap().with_priority(5));
+        p.chains[1].slo = Some(p.chains[1].slo.unwrap().with_priority(1));
+        let old = place(&p, &AlwaysFits).unwrap();
+        let mask = ResourceMask::none().with_cores_down(0, 5);
+        let r = repair(&p, &old, mask, &AlwaysFits).unwrap();
+        assert_eq!(r.shed, vec![1], "low-priority chain shed first");
+        assert_eq!(r.kept, vec![0]);
+        let t_min = p.chains[0].slo.unwrap().t_min_bps;
+        assert!(r.placement.chain_rates_bps[0] + 1.0 >= t_min);
+        assert_eq!(r.rate_bps(1), 0.0);
+        assert!(r.rate_bps(0) > 0.0);
+    }
+
+    #[test]
+    fn all_servers_down_is_infeasible() {
+        let p = problem(&[CanonicalChain::Chain5], 0.5, Topology::with_servers(2));
+        let old = place(&p, &AlwaysFits).unwrap();
+        // Chain 5 needs server NFs; with every server down nothing fits.
+        let mask = ResourceMask::none().with_server_down(0).with_server_down(1);
+        assert!(repair(&p, &old, mask, &AlwaysFits).is_err());
+    }
+}

@@ -4,8 +4,45 @@
 //! have one or more attached smart NICs." The OpenFlow variant (§5.3)
 //! replaces the PISA ToR.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use lemur_bess::ServerSpec;
 use lemur_p4sim::PisaModel;
+
+/// Resources subtracted from the physical rack — the Placer's view of a
+/// *degraded* topology during failure repair. A default mask hides
+/// nothing, so healthy-rack planning is unchanged.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResourceMask {
+    /// Servers whose ToR↔server link (or the server itself) is down:
+    /// zero usable worker cores and zero link capacity.
+    pub servers_down: BTreeSet<usize>,
+    /// Per-server count of failed worker cores.
+    pub cores_down: BTreeMap<usize, usize>,
+}
+
+impl ResourceMask {
+    /// A mask that hides nothing.
+    pub fn none() -> ResourceMask {
+        ResourceMask::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.servers_down.is_empty() && self.cores_down.is_empty()
+    }
+
+    /// Mark a server (or its uplink) as down.
+    pub fn with_server_down(mut self, server: usize) -> ResourceMask {
+        self.servers_down.insert(server);
+        self
+    }
+
+    /// Mark `n` additional worker cores on `server` as failed.
+    pub fn with_cores_down(mut self, server: usize, n: usize) -> ResourceMask {
+        *self.cores_down.entry(server).or_insert(0) += n;
+        self
+    }
+}
 
 /// A SmartNIC attached to a server.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +81,8 @@ pub struct Topology {
     /// Number of cores per server reserved for the NSH demultiplexer
     /// ("the demultiplexer runs on a single core", §4.2).
     pub demux_cores: usize,
+    /// Failed resources hidden from the Placer (empty on a healthy rack).
+    pub mask: ResourceMask,
 }
 
 impl Topology {
@@ -55,6 +94,7 @@ impl Topology {
             servers: vec![ServerSpec::lemur_testbed()],
             smartnics: Vec::new(),
             demux_cores: 1,
+            mask: ResourceMask::none(),
         }
     }
 
@@ -65,6 +105,7 @@ impl Topology {
             servers: (0..n).map(|_| ServerSpec::eight_core()).collect(),
             smartnics: Vec::new(),
             demux_cores: 1,
+            mask: ResourceMask::none(),
         }
     }
 
@@ -82,6 +123,7 @@ impl Topology {
             servers: vec![ServerSpec::lemur_testbed()],
             smartnics: Vec::new(),
             demux_cores: 1,
+            mask: ResourceMask::none(),
         }
     }
 
@@ -98,9 +140,17 @@ impl Topology {
         }
     }
 
-    /// Worker cores available on a server (total minus demux reservation).
+    /// Worker cores available on a server (total minus demux reservation,
+    /// minus any masked failures; 0 when the server is masked down).
     pub fn worker_cores(&self, server: usize) -> usize {
-        self.servers[server].num_cores().saturating_sub(self.demux_cores)
+        if self.mask.servers_down.contains(&server) {
+            return 0;
+        }
+        let failed = self.mask.cores_down.get(&server).copied().unwrap_or(0);
+        self.servers[server]
+            .num_cores()
+            .saturating_sub(self.demux_cores)
+            .saturating_sub(failed)
     }
 
     /// Total worker cores across servers.
@@ -108,13 +158,26 @@ impl Topology {
         (0..self.servers.len()).map(|s| self.worker_cores(s)).sum()
     }
 
-    /// NIC link rate (bits/s, per direction) of a server.
+    /// NIC link rate (bits/s, per direction) of a server. Zero when the
+    /// mask has the server's uplink down.
     pub fn server_link_bps(&self, server: usize) -> f64 {
+        if self.mask.servers_down.contains(&server) {
+            return 0.0;
+        }
         self.servers[server]
             .nics
             .first()
             .map(|n| n.rate_bps)
             .unwrap_or(40e9)
+    }
+
+    /// This topology with `mask` applied — the degraded rack a repair
+    /// placement plans against. The physical inventory is unchanged; only
+    /// the capacity accessors above see less.
+    pub fn degraded(&self, mask: ResourceMask) -> Topology {
+        let mut t = self.clone();
+        t.mask = mask;
+        t
     }
 }
 
@@ -145,6 +208,27 @@ mod tests {
         assert_eq!(t.smartnics.len(), 1);
         assert_eq!(t.smartnics[0].server, 0);
         assert_eq!(t.smartnics[0].rate_bps, 40e9);
+    }
+
+    #[test]
+    fn mask_hides_resources() {
+        let t = Topology::with_servers(3);
+        let d = t.degraded(
+            ResourceMask::none().with_server_down(1).with_cores_down(2, 3),
+        );
+        // Physical inventory unchanged, capacity reduced.
+        assert_eq!(d.servers.len(), 3);
+        assert_eq!(d.worker_cores(0), 7);
+        assert_eq!(d.worker_cores(1), 0);
+        assert_eq!(d.worker_cores(2), 4);
+        assert_eq!(d.server_link_bps(1), 0.0);
+        assert!(d.server_link_bps(0) > 0.0);
+        assert_eq!(d.total_worker_cores(), 11);
+        // Masking more cores than exist saturates at zero.
+        let d2 = t.degraded(ResourceMask::none().with_cores_down(0, 100));
+        assert_eq!(d2.worker_cores(0), 0);
+        assert!(ResourceMask::none().is_empty());
+        assert!(!d.mask.is_empty());
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn main() {
         PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
 
     // Assign SLOs from each chain's base rate (§5.1's δ methodology).
-    for i in 0..problem.chains.len() {
+    for (i, (_, cname)) in customers.iter().enumerate().take(problem.chains.len()) {
         let base = problem.base_rate_bps(i);
         problem.chains[i].slo = Some(match i {
             0 => Slo::elastic_pipe(base, 100e9),
@@ -59,7 +59,7 @@ fn main() {
         println!(
             "customer {} ({}): base {:.2} G, SLO {}",
             i + 1,
-            customers[i].1,
+            cname,
             base / 1e9,
             problem.chains[i].slo.unwrap()
         );

@@ -1,0 +1,93 @@
+//! Determinism properties of the fault-injected dataplane.
+//!
+//! Two guarantees the fault subsystem must never lose:
+//!
+//! 1. A `(SimConfig seed, FaultPlan)` pair fully determines the run — two
+//!    executions produce bit-identical `SimReport`s (stats, timeline, and
+//!    window samples included).
+//! 2. An *empty* `FaultPlan` is not merely "no faults fired" but a no-op:
+//!    the report equals a plain `Testbed::run` byte for byte, so fault
+//!    support cannot perturb the pre-existing experiments.
+
+use lemur::core::chains::{canonical_chain, CanonicalChain};
+use lemur::core::graph::ChainSpec;
+use lemur::core::Slo;
+use lemur::dataplane::{FaultKind, FaultPlan, SimConfig, SimReport, Testbed, TrafficSpec};
+use lemur::placer::oracle::AlwaysFits;
+use lemur::placer::placement::PlacementProblem;
+use lemur::placer::profiles::NfProfiles;
+use lemur::placer::topology::Topology;
+use proptest::prelude::*;
+
+const DURATION_S: f64 = 0.003;
+
+/// Full pipeline for one Chain3 tenant; `plan: None` uses the plain
+/// `run()` entry point, `Some(plan)` goes through `run_with_faults` (with
+/// the SLO guard armed iff `guard`).
+fn run_once(seed: u64, plan: Option<&FaultPlan>, guard: bool) -> SimReport {
+    let spec = TrafficSpec::for_chain(1, 1e9);
+    let agg = spec.aggregate();
+    let chains = vec![ChainSpec {
+        name: "chain3".to_string(),
+        graph: canonical_chain(CanonicalChain::Chain3),
+        slo: None,
+        aggregate: Some(agg),
+    }];
+    let mut problem =
+        PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+    let base = problem.base_rate_bps(0);
+    problem.chains[0].slo = Some(Slo::elastic_pipe(0.5 * base, 100e9));
+    let placement = lemur::placer::heuristic::place(&problem, &AlwaysFits).unwrap();
+    let deployment = lemur::metacompiler::compile(&problem, &placement).unwrap();
+    let mut testbed = Testbed::build(&problem, &placement, deployment).unwrap();
+    let mut offered = vec![spec];
+    offered[0].offered_bps = placement.chain_rates_bps[0] * 1.1;
+    let config = SimConfig {
+        duration_s: DURATION_S,
+        warmup_s: DURATION_S / 5.0,
+        seed,
+        ..SimConfig::default()
+    };
+    match plan {
+        None => testbed.run(&offered, config),
+        Some(plan) => {
+            let slos: Vec<Option<Slo>> = if guard {
+                problem.chains.iter().map(|c| c.slo).collect()
+            } else {
+                Vec::new()
+            };
+            testbed.run_with_faults(&offered, config, plan, &slos)
+        }
+    }
+}
+
+proptest! {
+    #![cases = 3]
+
+    /// Same seed + same plan ⇒ bit-identical reports, faults and all.
+    #[test]
+    fn faulted_runs_bit_identical(
+        seed in 0u64..1_000_000,
+        down_at in 1_000_000u64..1_800_000,
+        flap_ns in 100_000u64..600_000,
+        surge in 1.1f64..3.0,
+    ) {
+        let plan = FaultPlan::empty()
+            .link_flap(0, down_at, down_at + flap_ns)
+            .with(900_000, FaultKind::TrafficSurge { chain: 0, factor: surge });
+        let a = run_once(seed, Some(&plan), true);
+        let b = run_once(seed, Some(&plan), true);
+        prop_assert!(!a.timeline.is_empty(), "plan should land in the timeline");
+        prop_assert_eq!(a, b);
+    }
+
+    /// An empty plan reproduces the plain `run()` report exactly.
+    #[test]
+    fn empty_plan_reproduces_plain_run(seed in 0u64..1_000_000) {
+        let with_empty = run_once(seed, Some(&FaultPlan::empty()), false);
+        let plain = run_once(seed, None, false);
+        prop_assert!(with_empty.timeline.is_empty());
+        prop_assert!(with_empty.windows.is_empty());
+        prop_assert_eq!(with_empty, plain);
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! supplies the subset of proptest's API used by this workspace's
+//! property tests: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! `any::<T>()`, numeric-range and tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug`
+//!   where available in the assertion message) and the case seed; re-run
+//!   with `PROPTEST_SEED=<seed>` to reproduce.
+//! * **Fixed case count** of 32 per test (env `PROPTEST_CASES`
+//!   overrides; `#![cases = N]` inside the macro block overrides both).
+//! * Generation is uniform, with none of proptest's bias toward edge
+//!   values — the tests here are invariant checks, not fuzzers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error type carried by `prop_assert*` failures.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree and no
+/// shrinking: a strategy simply samples a value from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool);
+
+impl<A: Arbitrary, const N: usize> Arbitrary for [A; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        core::array::from_fn(|_| A::arbitrary(rng))
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A> {
+    _marker: core::marker::PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for a type: uniform over its value space.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy { _marker: core::marker::PhantomData }
+}
+
+/// A strategy producing one fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Length spec for [`vec`]: an exact `usize` or a range, mirroring
+    /// proptest's `Into<SizeRange>` argument.
+    pub trait IntoSizeRange {
+        fn into_size_range(self) -> core::ops::Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> core::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn into_size_range(self) -> core::ops::Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn into_size_range(self) -> core::ops::Range<usize> {
+            *self.start()..*self.end() + 1
+        }
+    }
+
+    /// `prop::collection::vec(strategy, length)`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into_size_range() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform over `{false, true}`.
+    pub struct BoolAny;
+
+    /// `prop::bool::ANY`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = ::core::primitive::bool;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            rng.gen()
+        }
+    }
+}
+
+/// The `prop` namespace as tests reference it (`prop::collection::vec`).
+pub mod prop {
+    pub use super::bool;
+    pub use super::collection;
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Number of cases to run: `PROPTEST_CASES` env or the default.
+pub fn default_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Base seed: `PROPTEST_SEED` env or a fixed default.
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x1e3a_c0de)
+}
+
+/// Fresh RNG for one case.
+pub fn case_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generate one value and run the test body on it. Exists as a named fn so
+/// the closure's parameter type is pinned to `S::Value` — method calls
+/// inside the body then resolve without explicit annotations.
+pub fn run_one_case<S, F>(strategy: &S, rng: &mut StdRng, body: F) -> Result<(), TestCaseError>
+where
+    S: Strategy,
+    F: FnOnce(S::Value) -> Result<(), TestCaseError>,
+{
+    body(strategy.generate(rng))
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// The test-defining macro. Supports the two proptest parameter forms
+/// (`pattern in strategy` and `name: Type`, the latter meaning
+/// `any::<Type>()`), doc comments and attributes on each test, and an
+/// optional leading `#![cases = N]` applying to every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![cases = $cases:expr] $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: usize = $cases;
+                $crate::__proptest_case!(@munch [] [] [$($params)*] {cases} $body);
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: usize = $crate::default_cases();
+                $crate::__proptest_case!(@munch [] [] [$($params)*] {cases} $body);
+            }
+        )+
+    };
+}
+
+/// Internal: munch the parameter list into (patterns, strategies), then
+/// emit the case loop. Patterns are accumulated brace-wrapped so they can
+/// be re-expanded.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // `pattern in strategy, rest...`
+    (@munch [$($pats:tt)*] [$($strats:tt)*] [$p:pat_param in $s:expr, $($rest:tt)*] {$cases:expr} $body:block) => {
+        $crate::__proptest_case!(@munch [$($pats)* {$p}] [$($strats)* {$s}] [$($rest)*] {$cases} $body)
+    };
+    // `pattern in strategy` (final)
+    (@munch [$($pats:tt)*] [$($strats:tt)*] [$p:pat_param in $s:expr] {$cases:expr} $body:block) => {
+        $crate::__proptest_case!(@emit [$($pats)* {$p}] [$($strats)* {$s}] {$cases} $body)
+    };
+    // Trailing comma consumed: parameter list exhausted.
+    (@munch [$($pats:tt)*] [$($strats:tt)*] [] {$cases:expr} $body:block) => {
+        $crate::__proptest_case!(@emit [$($pats)*] [$($strats)*] {$cases} $body)
+    };
+    // `name: Type, rest...`
+    (@munch [$($pats:tt)*] [$($strats:tt)*] [$p:ident : $t:ty, $($rest:tt)*] {$cases:expr} $body:block) => {
+        $crate::__proptest_case!(@munch [$($pats)* {$p}] [$($strats)* {$crate::any::<$t>()}] [$($rest)*] {$cases} $body)
+    };
+    // `name: Type` (final)
+    (@munch [$($pats:tt)*] [$($strats:tt)*] [$p:ident : $t:ty] {$cases:expr} $body:block) => {
+        $crate::__proptest_case!(@emit [$($pats)* {$p}] [$($strats)* {$crate::any::<$t>()}] {$cases} $body)
+    };
+    (@emit [$({$p:pat_param})+] [$({$s:expr})+] {$cases:expr} $body:block) => {{
+        let strategy = ($($s,)+);
+        let base = $crate::base_seed();
+        for case in 0..$cases {
+            let seed = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = $crate::case_rng(seed);
+            #[allow(unreachable_code)]
+            let result = $crate::run_one_case(&strategy, &mut rng, |($($p,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(e) = result {
+                panic!(
+                    "proptest case {case} failed (re-run with PROPTEST_SEED={seed}): {}",
+                    e.message
+                );
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tuple_and_range_forms(x in 1u32..10, y: u8, v in prop::collection::vec(0i32..5, 0..8)) {
+            prop_assert!((1..10).contains(&x));
+            let _ = y;
+            prop_assert!(v.len() < 8);
+            for e in v {
+                prop_assert!((0..5).contains(&e), "element {e} out of range");
+            }
+        }
+
+        #[test]
+        fn map_and_bool(b in prop::bool::ANY, z in (0u8..4, 0u8..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(z <= 6);
+            prop_assert_eq!(u8::from(b) <= 1, true);
+        }
+    }
+
+    proptest! {
+        #![cases = 3]
+        #[test]
+        fn case_count_override(x: u64) {
+            // Runs exactly 3 times; nothing to assert beyond type checks.
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let mut a = crate::case_rng(42);
+        let mut b = crate::case_rng(42);
+        let s = crate::prop::collection::vec(crate::any::<u8>(), 0..32);
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+}
