@@ -66,9 +66,8 @@ fn bench_switch_pipeline(c: &mut Criterion) {
     let oracle = lemur_bench::compiler_oracle();
     let e = lemur_bench::place(Scheme::Lemur, &p, &oracle).unwrap();
     let plan = lemur_metacompiler::routing::plan(&p, &e.assignment);
-    let synth =
-        lemur_metacompiler::p4gen::synthesize(&p, &e.assignment, &plan, Default::default())
-            .unwrap();
+    let synth = lemur_metacompiler::p4gen::synthesize(&p, &e.assignment, &plan, Default::default())
+        .unwrap();
     let mut sw =
         lemur_p4sim::Switch::new(synth.program.clone(), *p.topology.pisa().unwrap()).unwrap();
     synth.install(&mut sw);

@@ -42,9 +42,7 @@ fn bench_brute(c: &mut Criterion) {
     for (label, chains) in sets() {
         let (p, _) = build_problem(&chains, 1.0, Topology::testbed());
         group.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
-            b.iter(|| {
-                lemur_placer::brute::optimal(p, &oracle, BruteConfig::default()).unwrap()
-            });
+            b.iter(|| lemur_placer::brute::optimal(p, &oracle, BruteConfig::default()).unwrap());
         });
     }
     group.finish();

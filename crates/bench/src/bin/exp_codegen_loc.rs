@@ -19,7 +19,10 @@ fn main() {
     println!("=== §5.3 meta-compiler code accounting, chains {{1,2,3,4}} ===\n");
     println!("  auto-generated P4 lines:        {:>6}", s.p4_generated);
     println!("    of which packet steering:     {:>6}", s.p4_steering);
-    println!("    of which NF logic:            {:>6}", s.p4_generated - s.p4_steering.min(s.p4_generated));
+    println!(
+        "    of which NF logic:            {:>6}",
+        s.p4_generated - s.p4_steering.min(s.p4_generated)
+    );
     println!("  auto-generated BESS lines:      {:>6}", s.bess_generated);
     println!("  auto-generated eBPF insns:      {:>6}", s.ebpf_generated);
     println!("  hand-written NF library lines:  {:>6}", s.library_lines);

@@ -59,7 +59,10 @@ fn main() {
         // Feasibility summary (the paper's "Lemur is the only one that
         // produces a feasible solution" observation).
         for &scheme in schemes {
-            let feas = rows.iter().filter(|r| r.scheme == scheme && r.feasible).count();
+            let feas = rows
+                .iter()
+                .filter(|r| r.scheme == scheme && r.feasible)
+                .count();
             let total = rows.iter().filter(|r| r.scheme == scheme).count();
             println!("  {scheme}: feasible {feas}/{total}");
         }

@@ -32,7 +32,10 @@ fn main() {
             "  servers={n} δ={:.1}: {}",
             r.delta,
             if r.feasible {
-                format!("measured {:.2} G (predicted {:.2} G)", r.measured_gbps, r.predicted_gbps)
+                format!(
+                    "measured {:.2} G (predicted {:.2} G)",
+                    r.measured_gbps, r.predicted_gbps
+                )
             } else {
                 "INFEASIBLE".to_string()
             }
@@ -40,5 +43,8 @@ fn main() {
     }
     let flat: Vec<Row> = rows.iter().map(|(_, r)| r.clone()).collect();
     print_rows("Figure 3a rows", &flat);
-    write_json("fig3a", &rows.iter().map(|(n, r)| (n, r.clone())).collect::<Vec<_>>());
+    write_json(
+        "fig3a",
+        &rows.iter().map(|(n, r)| (n, r.clone())).collect::<Vec<_>>(),
+    );
 }

@@ -15,7 +15,8 @@ use lemur_placer::topology::Topology;
 fn topo(with_nic: bool) -> Topology {
     let mut t = Topology::with_servers(1);
     if with_nic {
-        t.smartnics.push(lemur_placer::topology::SmartNicSpec::agilio_cx_40g(0));
+        t.smartnics
+            .push(lemur_placer::topology::SmartNicSpec::agilio_cx_40g(0));
     }
     t
 }
@@ -37,7 +38,10 @@ fn main() {
             if *nic { "yes" } else { " no" },
             r.delta,
             if r.feasible {
-                format!("measured {:.2} G (predicted {:.2} G)", r.measured_gbps, r.predicted_gbps)
+                format!(
+                    "measured {:.2} G (predicted {:.2} G)",
+                    r.measured_gbps, r.predicted_gbps
+                )
             } else {
                 "INFEASIBLE".to_string()
             }

@@ -61,14 +61,19 @@ fn main() {
             Ok(e) => {
                 println!(
                     "  ACL on {}: chain rate {:.0} Mbps ({} subgroups, Dedup cores {})",
-                    if acl_on_of { "OpenFlow switch" } else { "server        " },
+                    if acl_on_of {
+                        "OpenFlow switch"
+                    } else {
+                        "server        "
+                    },
                     e.chain_rates_bps[0] / 1e6,
                     e.subgroups.len(),
                     e.subgroups
                         .iter()
-                        .find(|sg| sg.nodes.iter().any(|id| {
-                            p.chains[0].graph.node(*id).kind == NfKind::Dedup
-                        }))
+                        .find(|sg| sg
+                            .nodes
+                            .iter()
+                            .any(|id| { p.chains[0].graph.node(*id).kind == NfKind::Dedup }))
                         .map(|sg| sg.cores)
                         .unwrap_or(0),
                 );

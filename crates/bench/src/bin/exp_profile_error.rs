@@ -17,8 +17,7 @@ use lemur_placer::topology::Topology;
 fn main() {
     let oracle = lemur_bench::compiler_oracle();
     let (truth, _) = build_problem(&[Chain1, Chain2, Chain3, Chain4], 1.0, Topology::testbed());
-    let baseline = lemur_placer::heuristic::place(&truth, &oracle)
-        .expect("baseline placement");
+    let baseline = lemur_placer::heuristic::place(&truth, &oracle).expect("baseline placement");
     println!("=== §5.2 profiling-error sensitivity (chains {{1,2,3,4}}, δ=1.0) ===\n");
     println!(
         "  error  0%: marginal {:.2} G (baseline)",

@@ -33,9 +33,21 @@ struct Scenario {
 }
 
 const SCENARIOS: [Scenario; 3] = [
-    Scenario { name: "link-down", servers_down: 1, cores_down: 0 },
-    Scenario { name: "link+cores", servers_down: 1, cores_down: 3 },
-    Scenario { name: "two-links", servers_down: 2, cores_down: 0 },
+    Scenario {
+        name: "link-down",
+        servers_down: 1,
+        cores_down: 0,
+    },
+    Scenario {
+        name: "link+cores",
+        servers_down: 1,
+        cores_down: 3,
+    },
+    Scenario {
+        name: "two-links",
+        servers_down: 2,
+        cores_down: 0,
+    },
 ];
 
 struct RecoveryRow {
@@ -61,13 +73,22 @@ impl serde::Serialize for RecoveryRow {
             ("cores_down".to_string(), self.cores_down.to_value()),
             ("detect_us".to_string(), self.detect_us.to_value()),
             ("replan_us".to_string(), self.replan_us.to_value()),
-            ("time_to_recover_us".to_string(), self.time_to_recover_us.to_value()),
+            (
+                "time_to_recover_us".to_string(),
+                self.time_to_recover_us.to_value(),
+            ),
             ("mode".to_string(), self.mode.to_value()),
             ("shed".to_string(), self.shed.to_value()),
             ("baseline_gbps".to_string(), self.baseline_gbps.to_value()),
             ("recovered_gbps".to_string(), self.recovered_gbps.to_value()),
-            ("goodput_retained".to_string(), self.goodput_retained.to_value()),
-            ("survivors_meet_tmin".to_string(), self.survivors_meet_tmin.to_value()),
+            (
+                "goodput_retained".to_string(),
+                self.goodput_retained.to_value(),
+            ),
+            (
+                "survivors_meet_tmin".to_string(),
+                self.survivors_meet_tmin.to_value(),
+            ),
         ])
     }
 }
@@ -94,7 +115,10 @@ fn main() {
     // Descending shedding priority by chain index: chain 0 survives longest.
     let n_chains = problem.chains.len();
     for i in 0..n_chains {
-        let slo = problem.chains[i].slo.unwrap().with_priority((n_chains - i) as u8);
+        let slo = problem.chains[i]
+            .slo
+            .unwrap()
+            .with_priority((n_chains - i) as u8);
         problem.chains[i].slo = Some(slo);
     }
 
@@ -118,7 +142,13 @@ fn main() {
         if sc.cores_down > 0 {
             let victim = ranked[sc.servers_down];
             for core in 1..=sc.cores_down {
-                plan = plan.with(FAULT_NS, FaultKind::CoreFail { server: victim, core });
+                plan = plan.with(
+                    FAULT_NS,
+                    FaultKind::CoreFail {
+                        server: victim,
+                        core,
+                    },
+                );
             }
         }
 
@@ -145,8 +175,7 @@ fn main() {
 
         let row = match repaired {
             Ok(r) => {
-                let kept_specs: Vec<_> =
-                    r.kept.iter().map(|&c| specs[c].clone()).collect();
+                let kept_specs: Vec<_> = r.kept.iter().map(|&c| specs[c].clone()).collect();
                 let report = measure(&r.problem, &r.placement, &kept_specs, DURATION_S)
                     .expect("repaired run");
                 let recovered = report.aggregate_bps();
@@ -198,8 +227,17 @@ fn main() {
 
     println!(
         "\n{:>11} {:>7} {:>6} {:>10} {:>10} {:>12} {:>13} {:>6} {:>9} {:>9} {:>7}",
-        "scenario", "links", "cores", "detect_us", "replan_us", "recover_us", "mode", "shed",
-        "base(G)", "rec(G)", "kept%"
+        "scenario",
+        "links",
+        "cores",
+        "detect_us",
+        "replan_us",
+        "recover_us",
+        "mode",
+        "shed",
+        "base(G)",
+        "rec(G)",
+        "kept%"
     );
     for r in &rows {
         println!(

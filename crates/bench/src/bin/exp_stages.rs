@@ -48,10 +48,7 @@ fn main() {
         let plan = routing::plan(&p, &hw);
         let estimate = p4gen::synthesize(&p, &hw, &plan, p4gen::P4GenOptions::default())
             .map(|s| {
-                lemur_p4sim::compiler::estimate_conservative(
-                    &s.program,
-                    p.topology.pisa().unwrap(),
-                )
+                lemur_p4sim::compiler::estimate_conservative(&s.program, p.topology.pisa().unwrap())
             })
             .unwrap_or(0);
         // Naive (no dependency elimination) generation.
@@ -88,10 +85,17 @@ fn main() {
             .unwrap_or(0);
         println!(
             "      Lemur: {} ({} NAT(s) moved to server) | HW Preferred: {} | SW Preferred: {}",
-            lemur.as_ref().map(|e| format!("feasible, {:.1}G", e.aggregate_bps / 1e9)).unwrap_or_else(|e| format!("infeasible ({e})")),
+            lemur
+                .as_ref()
+                .map(|e| format!("feasible, {:.1}G", e.aggregate_bps / 1e9))
+                .unwrap_or_else(|e| format!("infeasible ({e})")),
             nats_on_server,
-            hw_res.map(|_| "feasible".to_string()).unwrap_or_else(|e| format!("infeasible ({e})")),
-            sw_res.map(|_| "feasible".to_string()).unwrap_or_else(|e| format!("infeasible ({e})")),
+            hw_res
+                .map(|_| "feasible".to_string())
+                .unwrap_or_else(|e| format!("infeasible ({e})")),
+            sw_res
+                .map(|_| "feasible".to_string())
+                .unwrap_or_else(|e| format!("infeasible ({e})")),
         );
     }
     write_json("stages", &summary);

@@ -23,7 +23,11 @@ fn main() {
             mark(has(kind, PlatformClass::Pisa)),
             mark(has(kind, PlatformClass::SmartNic)),
             mark(has(kind, PlatformClass::OpenFlow)),
-            if is_replicable(kind) { "yes" } else { "NO (bold)" },
+            if is_replicable(kind) {
+                "yes"
+            } else {
+                "NO (bold)"
+            },
             if nf.is_stateful() { "yes" } else { "no" },
         );
     }

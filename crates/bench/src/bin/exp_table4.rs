@@ -28,8 +28,20 @@ fn main() {
         TrafficPattern,
     );
     let paper: &[PaperRow] = &[
-        ("Encrypt", NfKind::Encrypt, None, (8593, 8405, 8777), TrafficPattern::LongLived),
-        ("Dedup", NfKind::Dedup, None, (30182, 29202, 30867), TrafficPattern::LongLived),
+        (
+            "Encrypt",
+            NfKind::Encrypt,
+            None,
+            (8593, 8405, 8777),
+            TrafficPattern::LongLived,
+        ),
+        (
+            "Dedup",
+            NfKind::Dedup,
+            None,
+            (30182, 29202, 30867),
+            TrafficPattern::LongLived,
+        ),
         (
             "ACL (1024 rules)",
             NfKind::Acl,

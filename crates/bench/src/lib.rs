@@ -234,7 +234,10 @@ impl serde::Serialize for Row {
             ("scheme".to_string(), self.scheme.to_value()),
             ("delta".to_string(), self.delta.to_value()),
             ("feasible".to_string(), self.feasible.to_value()),
-            ("aggregate_tmin_gbps".to_string(), self.aggregate_tmin_gbps.to_value()),
+            (
+                "aggregate_tmin_gbps".to_string(),
+                self.aggregate_tmin_gbps.to_value(),
+            ),
             ("predicted_gbps".to_string(), self.predicted_gbps.to_value()),
             ("measured_gbps".to_string(), self.measured_gbps.to_value()),
             ("marginal_gbps".to_string(), self.marginal_gbps.to_value()),
@@ -257,8 +260,16 @@ pub fn print_rows(title: &str, rows: &[Row]) {
             r.delta,
             if r.feasible { "yes" } else { "NO" },
             r.aggregate_tmin_gbps,
-            if r.feasible { r.predicted_gbps } else { f64::NAN },
-            if r.feasible { r.measured_gbps } else { f64::NAN },
+            if r.feasible {
+                r.predicted_gbps
+            } else {
+                f64::NAN
+            },
+            if r.feasible {
+                r.measured_gbps
+            } else {
+                f64::NAN
+            },
             r.stages_used.map(|s| s.to_string()).unwrap_or_default(),
         );
     }
@@ -266,10 +277,9 @@ pub fn print_rows(title: &str, rows: &[Row]) {
 
 /// Write a JSON result artifact under `target/experiments/`.
 pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {

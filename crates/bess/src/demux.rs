@@ -69,8 +69,7 @@ impl Demux {
         } else {
             // Hash the inner frame's flow; fall back to replica 0 for
             // unparseable payloads.
-            let inner_off =
-                lemur_packet::ethernet::HEADER_LEN + lemur_packet::nsh::HEADER_LEN;
+            let inner_off = lemur_packet::ethernet::HEADER_LEN + lemur_packet::nsh::HEADER_LEN;
             FiveTuple::parse(&pkt.as_slice()[inner_off..])
                 .map(|t| (t.symmetric_hash() % target.replicas as u64) as usize)
                 .unwrap_or(0)
@@ -154,7 +153,10 @@ mod tests {
             let (_, replica2, _) = d.steer(&mut p2).unwrap();
             assert_eq!(replica, replica2);
         }
-        assert!(seen.iter().all(|&c| c > 20), "imbalanced sharding: {seen:?}");
+        assert!(
+            seen.iter().all(|&c| c > 20),
+            "imbalanced sharding: {seen:?}"
+        );
     }
 
     #[test]

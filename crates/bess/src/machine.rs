@@ -42,7 +42,10 @@ impl ServerSpec {
             sockets: 2,
             cores_per_socket: 8,
             clock_hz: 1.7e9,
-            nics: vec![NicSpec { rate_bps: 40e9, socket: SocketId(0) }],
+            nics: vec![NicSpec {
+                rate_bps: 40e9,
+                socket: SocketId(0),
+            }],
             cross_socket_penalty: 1.05,
         }
     }
@@ -54,7 +57,10 @@ impl ServerSpec {
             sockets: 1,
             cores_per_socket: 8,
             clock_hz: 1.7e9,
-            nics: vec![NicSpec { rate_bps: 40e9, socket: SocketId(0) }],
+            nics: vec![NicSpec {
+                rate_bps: 40e9,
+                socket: SocketId(0),
+            }],
             cross_socket_penalty: 1.05,
         }
     }

@@ -57,9 +57,10 @@ pub fn generate_traffic(pattern: TrafficPattern, n: usize, payload_len: usize) -
         .map(|i| {
             let (src_ip, sport) = match pattern {
                 // ~40 stable flows.
-                TrafficPattern::LongLived => {
-                    (ipv4::Address::new(10, 0, 1, (i % 40) as u8), 10_000 + (i % 40) as u16)
-                }
+                TrafficPattern::LongLived => (
+                    ipv4::Address::new(10, 0, 1, (i % 40) as u8),
+                    10_000 + (i % 40) as u16,
+                ),
                 // Every packet a fresh flow.
                 TrafficPattern::ShortLived => (
                     ipv4::Address::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
@@ -121,7 +122,12 @@ pub fn profile_nf(
     let mean = per_run.iter().sum::<f64>() / runs as f64;
     let min = per_run.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per_run.iter().cloned().fold(0.0f64, f64::max);
-    ProfileStats { mean_cycles: mean, min_cycles: min, max_cycles: max, runs }
+    ProfileStats {
+        mean_cycles: mean,
+        min_cycles: min,
+        max_cycles: max,
+        runs,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +178,11 @@ mod tests {
             .iter()
             .map(|p| FiveTuple::parse(p.as_slice()).unwrap())
             .collect();
-        assert!(flows.len() <= 50, "long-lived must reuse flows: {}", flows.len());
+        assert!(
+            flows.len() <= 50,
+            "long-lived must reuse flows: {}",
+            flows.len()
+        );
         let short = generate_traffic(TrafficPattern::ShortLived, 200, 64);
         let churn: HashSet<_> = short
             .iter()

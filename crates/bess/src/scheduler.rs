@@ -18,7 +18,13 @@ enum Node {
     /// Round-robin over children.
     RoundRobin { children: Vec<Node>, next: usize },
     /// Rate limit (bits/sec with a burst) over a single child.
-    RateLimit { rate_bps: f64, burst_bits: f64, tokens: f64, last_ns: u64, child: Box<Node> },
+    RateLimit {
+        rate_bps: f64,
+        burst_bits: f64,
+        tokens: f64,
+        last_ns: u64,
+        child: Box<Node>,
+    },
     /// A leaf task.
     Leaf(TaskId),
 }
@@ -35,7 +41,10 @@ impl SchedulerTree {
     /// A tree with an empty round-robin root.
     pub fn new() -> SchedulerTree {
         SchedulerTree {
-            root: Node::RoundRobin { children: Vec::new(), next: 0 },
+            root: Node::RoundRobin {
+                children: Vec::new(),
+                next: 0,
+            },
             consumed: HashMap::new(),
         }
     }
@@ -81,7 +90,13 @@ impl SchedulerTree {
         fn try_node(n: &mut Node, now_ns: u64, batch_bits: f64) -> Option<TaskId> {
             match n {
                 Node::Leaf(t) => Some(*t),
-                Node::RateLimit { rate_bps, burst_bits, tokens, last_ns, child } => {
+                Node::RateLimit {
+                    rate_bps,
+                    burst_bits,
+                    tokens,
+                    last_ns,
+                    child,
+                } => {
                     if now_ns > *last_ns {
                         let dt = (now_ns - *last_ns) as f64 / 1e9;
                         *tokens = (*tokens + dt * *rate_bps).min(*burst_bits);

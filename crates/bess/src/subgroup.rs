@@ -30,7 +30,12 @@ impl Subgroup {
     /// Build from NF instances (must be non-empty).
     pub fn new(name: &str, nfs: Vec<Box<dyn NetworkFunction>>) -> Subgroup {
         assert!(!nfs.is_empty(), "subgroup needs at least one NF");
-        Subgroup { name: name.to_string(), nfs, packets_in: 0, packets_dropped: 0 }
+        Subgroup {
+            name: name.to_string(),
+            nfs,
+            packets_in: 0,
+            packets_dropped: 0,
+        }
     }
 
     /// The subgroup's display name.
@@ -158,8 +163,10 @@ mod tests {
         let mut sg = Subgroup::new("sg0", nfs);
         assert_eq!(sg.len(), 3);
         let ctx = NfCtx::default();
-        let batch =
-            Batch::from_packets(vec![pkt(ipv4::Address::new(10, 1, 1, 1)), pkt(ipv4::Address::new(99, 1, 1, 1))]);
+        let batch = Batch::from_packets(vec![
+            pkt(ipv4::Address::new(10, 1, 1, 1)),
+            pkt(ipv4::Address::new(99, 1, 1, 1)),
+        ]);
         let out = sg.process_batch(&ctx, batch);
         assert_eq!(out.packets.len(), 1);
         assert_eq!(out.dropped, 1);

@@ -1,0 +1,305 @@
+//! Seeded chaos-plan generation for soak tests.
+//!
+//! Produces a [`FaultPlan`] that is adversarial but *survivable*: faults
+//! are drawn from every [`FaultKind`], a link-flap burst is always
+//! included (to exercise the supervisor's hold-down damping), link and
+//! subgroup outages are paired with recoveries, and permanent damage is
+//! bounded so at least one server stays intact. The same
+//! [`ChaosConfig`] always yields byte-identical plans.
+
+use lemur_dataplane::{FaultEvent, FaultKind, FaultPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated chaos plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed; same seed → identical plan.
+    pub seed: u64,
+    /// Minimum number of fault events to emit (pairs count as two).
+    pub n_faults: usize,
+    /// Earliest injection time (schedule after engine warm-up).
+    pub start_ns: u64,
+    /// Latest injection time. Leave a tail before the simulation horizon
+    /// so the supervisor can converge after the last fault.
+    pub end_ns: u64,
+    /// Rack shape the plan must stay inside.
+    pub n_servers: usize,
+    pub cores_per_server: usize,
+    pub n_subgroups: usize,
+    pub n_chains: usize,
+    /// Per-server ceiling on permanent core failures (keeps the rack
+    /// repairable).
+    pub max_core_fails_per_server: usize,
+    /// Servers ranked busiest-first (most hosted subgroups). Link faults
+    /// are biased toward these so the storm actually displaces chains;
+    /// empty means uniform.
+    pub hot_servers: Vec<usize>,
+}
+
+impl ChaosConfig {
+    /// A soak sized for the default 4-server rack.
+    pub fn soak(seed: u64, n_subgroups: usize, n_chains: usize) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            n_faults: 20,
+            start_ns: 4_000_000,
+            end_ns: 28_000_000,
+            n_servers: 4,
+            cores_per_server: 16,
+            n_subgroups,
+            n_chains,
+            max_core_fails_per_server: 2,
+            hot_servers: Vec::new(),
+        }
+    }
+
+    /// Bias link faults toward `servers` (busiest-first).
+    pub fn with_hot_servers(mut self, servers: Vec<usize>) -> ChaosConfig {
+        self.hot_servers = servers;
+        self
+    }
+}
+
+/// A link-fault victim: hot servers ~70% of the time when known.
+fn pick_server(rng: &mut StdRng, cfg: &ChaosConfig) -> usize {
+    if !cfg.hot_servers.is_empty() && rng.gen_bool(0.7) {
+        cfg.hot_servers[rng.gen_range(0..cfg.hot_servers.len().min(2))]
+    } else {
+        rng.gen_range(0..cfg.n_servers)
+    }
+}
+
+/// Gap between a flap-burst down and its up (well inside hold-down).
+const FLAP_UP_NS: u64 = 150_000;
+/// Gap between consecutive flaps in the burst.
+const FLAP_PERIOD_NS: u64 = 400_000;
+/// Flaps in the guaranteed burst.
+const FLAP_COUNT: usize = 3;
+
+/// Generate a seeded chaos plan. Panics if the config leaves no room to
+/// schedule (`end_ns` too close to `start_ns`) or describes an empty rack.
+pub fn chaos_plan(cfg: &ChaosConfig) -> FaultPlan {
+    assert!(
+        cfg.n_servers > 0 && cfg.cores_per_server > 1,
+        "rack too small for chaos"
+    );
+    assert!(
+        cfg.end_ns > cfg.start_ns + 2 * FLAP_COUNT as u64 * FLAP_PERIOD_NS,
+        "chaos window too short"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc4a0_5e5e);
+    let mut events: Vec<FaultEvent> = Vec::new();
+    let span = cfg.end_ns - cfg.start_ns;
+
+    // Per-server "busy until" cursors keep link outages on one server
+    // disjoint, so every LinkUp matches exactly one open LinkDown.
+    let mut link_free_at = vec![cfg.start_ns; cfg.n_servers];
+    let mut sg_free_at = vec![cfg.start_ns; cfg.n_subgroups.max(1)];
+    let mut core_fails = vec![0usize; cfg.n_servers];
+
+    // The guaranteed link-flap burst: rapid down/up pairs on one server,
+    // early in the window so its aftermath is also exercised.
+    let flap_server = pick_server(&mut rng, cfg);
+    let mut t = cfg.start_ns + rng.gen_range(0..span / 4);
+    for _ in 0..FLAP_COUNT {
+        events.push(FaultEvent {
+            at_ns: t,
+            kind: FaultKind::LinkDown {
+                server: flap_server,
+            },
+        });
+        events.push(FaultEvent {
+            at_ns: t + FLAP_UP_NS,
+            kind: FaultKind::LinkUp {
+                server: flap_server,
+            },
+        });
+        t += FLAP_PERIOD_NS;
+    }
+    link_free_at[flap_server] = t + FLAP_PERIOD_NS;
+
+    // One guaranteed *sustained* outage on the busiest server — long
+    // enough (span/4) that riding it out is not an option and the
+    // supervisor must repair.
+    let victim = *cfg.hot_servers.first().unwrap_or(&flap_server);
+    let start = link_free_at[victim].max(cfg.start_ns + span / 3);
+    let up = start + span / 4;
+    if up < cfg.end_ns {
+        events.push(FaultEvent {
+            at_ns: start,
+            kind: FaultKind::LinkDown { server: victim },
+        });
+        events.push(FaultEvent {
+            at_ns: up,
+            kind: FaultKind::LinkUp { server: victim },
+        });
+        link_free_at[victim] = up + FLAP_PERIOD_NS;
+    }
+
+    while events.len() < cfg.n_faults {
+        let at_ns = cfg.start_ns + rng.gen_range(0..span);
+        match rng.gen_range(0..5u32) {
+            // Paired link outage: down for 1–5 ms, then back up.
+            0 => {
+                let server = pick_server(&mut rng, cfg);
+                let start = at_ns.max(link_free_at[server]);
+                let up = start + rng.gen_range(1_000_000..5_000_000u64);
+                if up >= cfg.end_ns {
+                    continue;
+                }
+                events.push(FaultEvent {
+                    at_ns: start,
+                    kind: FaultKind::LinkDown { server },
+                });
+                events.push(FaultEvent {
+                    at_ns: up,
+                    kind: FaultKind::LinkUp { server },
+                });
+                link_free_at[server] = up + FLAP_PERIOD_NS;
+            }
+            // Permanent core failure, budgeted per server.
+            1 => {
+                let server = rng.gen_range(0..cfg.n_servers);
+                if core_fails[server] >= cfg.max_core_fails_per_server {
+                    continue;
+                }
+                // Core 0 is the demux; fail workers only, each at most once.
+                let core = 1 + core_fails[server];
+                if core >= cfg.cores_per_server {
+                    continue;
+                }
+                core_fails[server] += 1;
+                events.push(FaultEvent {
+                    at_ns,
+                    kind: FaultKind::CoreFail { server, core },
+                });
+            }
+            // Paired subgroup crash/restart (0.5–2 ms outage).
+            2 if cfg.n_subgroups > 0 => {
+                let subgroup = rng.gen_range(0..cfg.n_subgroups);
+                let start = at_ns.max(sg_free_at[subgroup]);
+                let up = start + rng.gen_range(500_000..2_000_000u64);
+                if up >= cfg.end_ns {
+                    continue;
+                }
+                events.push(FaultEvent {
+                    at_ns: start,
+                    kind: FaultKind::NfCrash { subgroup },
+                });
+                events.push(FaultEvent {
+                    at_ns: up,
+                    kind: FaultKind::NfRecover { subgroup },
+                });
+                sg_free_at[subgroup] = up + FLAP_PERIOD_NS;
+            }
+            // Profile drift: the subgroup gets 10–60% more expensive.
+            3 if cfg.n_subgroups > 0 => {
+                let subgroup = rng.gen_range(0..cfg.n_subgroups);
+                let factor = rng.gen_range(1.1..1.6);
+                events.push(FaultEvent {
+                    at_ns,
+                    kind: FaultKind::ProfileDrift { subgroup, factor },
+                });
+            }
+            // Traffic surge: 5–50% extra offered load. (Never a lull —
+            // a lull manufactures an unfixable rate violation.)
+            4 => {
+                let chain = rng.gen_range(0..cfg.n_chains.max(1));
+                let factor = rng.gen_range(1.05..1.5);
+                events.push(FaultEvent {
+                    at_ns,
+                    kind: FaultKind::TrafficSurge { chain, factor },
+                });
+            }
+            _ => continue,
+        }
+    }
+
+    FaultPlan::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_placer::topology::Topology;
+
+    fn cfg(seed: u64) -> ChaosConfig {
+        ChaosConfig::soak(seed, 6, 3)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = chaos_plan(&cfg(7));
+        let b = chaos_plan(&cfg(7));
+        assert_eq!(a.events(), b.events());
+        let c = chaos_plan(&cfg(8));
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn meets_fault_budget_and_validates() {
+        for seed in 0..20 {
+            let plan = chaos_plan(&cfg(seed));
+            assert!(plan.len() >= 20, "seed {seed}: only {} events", plan.len());
+            plan.validate(&Topology::with_servers(4), 6, 3)
+                .unwrap_or_else(|e| panic!("seed {seed}: invalid plan: {e}"));
+        }
+    }
+
+    #[test]
+    fn contains_a_link_flap_burst() {
+        let plan = chaos_plan(&cfg(3));
+        // Find ≥ FLAP_COUNT down/up pairs on one server, each shorter
+        // than the default hold-down.
+        let mut down_at: std::collections::BTreeMap<usize, u64> = Default::default();
+        let mut fast_flaps: std::collections::BTreeMap<usize, usize> = Default::default();
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::LinkDown { server } => {
+                    down_at.insert(server, e.at_ns);
+                }
+                FaultKind::LinkUp { server } => {
+                    if let Some(t0) = down_at.remove(&server) {
+                        if e.at_ns - t0 < crate::SupervisorConfig::default().hold_down_ns {
+                            *fast_flaps.entry(server).or_insert(0) += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            fast_flaps.values().any(|&n| n >= FLAP_COUNT),
+            "no flap burst: {fast_flaps:?}"
+        );
+    }
+
+    #[test]
+    fn damage_is_bounded() {
+        for seed in 0..20 {
+            let plan = chaos_plan(&cfg(seed));
+            let mut links_down = std::collections::BTreeSet::new();
+            let mut core_fails = std::collections::BTreeMap::new();
+            for e in plan.events() {
+                match e.kind {
+                    FaultKind::LinkDown { server } => {
+                        links_down.insert(server);
+                    }
+                    FaultKind::LinkUp { server } => {
+                        links_down.remove(&server);
+                    }
+                    FaultKind::CoreFail { server, core } => {
+                        assert!(core >= 1, "demux core must never fail");
+                        *core_fails.entry(server).or_insert(0usize) += 1;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(links_down.is_empty(), "seed {seed}: a link never recovered");
+            for (s, n) in core_fails {
+                assert!(n <= 2, "seed {seed}: server {s} lost {n} cores");
+            }
+        }
+    }
+}

@@ -1,0 +1,987 @@
+//! # lemur-control
+//!
+//! The online supervisor: a control plane that runs *inside* the
+//! dataplane's discrete-event simulation (via
+//! [`lemur_dataplane::ControlHook`]) and drives transactional hitless
+//! reconfiguration when faults push chains out of their SLOs.
+//!
+//! The state machine:
+//!
+//! ```text
+//!             clean window                     K violated windows
+//!   Converged <────────────> Monitoring ───────────────────────────┐
+//!       ▲                        ▲                                 ▼
+//!       │ probation clean        │ rollback committed,        Replanning
+//!       │                        │ or backoff expired clean   (repair +
+//!       │                        │                             validate)
+//!   Probation <── EpochCommit ── Draining <── StageCommit ────────┤
+//!       │                                                         │
+//!       │ violated window → stage rollback (→ Draining)           │ infeasible /
+//!       ▼                                                         ▼ no-op candidate
+//!   (rollback)                                   Backoff ── exp. backoff with
+//!                                                   │        seeded jitter
+//!                                                   ▼ attempts > max
+//!                                            GracefulDegraded
+//! ```
+//!
+//! * **Detection** is hysteretic: only `hysteresis_k` *consecutive*
+//!   violated guard windows trigger a replan, so a single noisy window
+//!   does not thrash the dataplane.
+//! * **Replanning** calls [`lemur_placer::repair_assignment`] against the
+//!   fault-masked topology; surviving chains keep their original service-
+//!   path identifiers via [`lemur_metacompiler::compile_repair`], so a
+//!   live swap only rewrites the tables that must change.
+//! * **Validation** is a dry run: the candidate is rejected unless every
+//!   surviving chain's predicted rate clears its `t_min` (within
+//!   `validation_tol`).
+//! * **Commit** is two-phase: the engine emits `DrainStart`, runs the old
+//!   epoch for `drain_ns`, then atomically swaps — in-flight packets lost
+//!   to the swap are the *update-time loss*.
+//! * **Probation**: a fresh epoch must survive `probation_windows` clean
+//!   windows before it is promoted to last-known-good; a violation during
+//!   probation stages a *rollback* to the previous last-known-good.
+//! * **Backoff** is exponential with deterministic seeded jitter;
+//!   exhausting `max_attempts` parks the supervisor in
+//!   [`SupervisorState::GracefulDegraded`] (serve what still works, stop
+//!   churning).
+//! * **Flap damping**: a link that comes back up is not trusted until it
+//!   stays up for `hold_down_ns`, so a flapping link cannot drag chains
+//!   back and forth.
+
+pub mod chaos;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lemur_core::Slo;
+use lemur_dataplane::{
+    ControlAction, ControlHook, FaultKind, StagedConfig, TimelineEvent, WindowSample,
+};
+use lemur_metacompiler::{compile_repair, Deployment};
+use lemur_placer::corealloc::CoreStrategy;
+use lemur_placer::oracle::StageOracle;
+use lemur_placer::placement::{Assignment, EvaluatedPlacement, PlacementProblem};
+use lemur_placer::repair_assignment;
+use lemur_placer::topology::ResourceMask;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunables for the online supervisor. Times are virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Consecutive violated guard windows before a replan is attempted.
+    pub hysteresis_k: u32,
+    /// Drain time between `DrainStart` and the atomic epoch swap.
+    pub drain_ns: u64,
+    /// How long a recovered link must stay up before it is trusted again.
+    pub hold_down_ns: u64,
+    /// First backoff interval; doubles per failed attempt (capped shift).
+    pub backoff_base_ns: u64,
+    /// Failed replan attempts tolerated before giving up
+    /// ([`SupervisorState::GracefulDegraded`]).
+    pub max_attempts: u32,
+    /// Clean windows a fresh epoch must survive before promotion to
+    /// last-known-good. The window containing the commit itself is grace.
+    pub probation_windows: u32,
+    /// Fractional slack when validating a candidate's predicted rates
+    /// against `t_min` (0.05 = accept 95% of the guarantee).
+    pub validation_tol: f64,
+    /// Seed for backoff jitter. Same seed → bit-identical decisions.
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            hysteresis_k: 2,
+            drain_ns: 200_000,       // 200 µs
+            hold_down_ns: 4_000_000, // 4 ms ≈ 4 guard windows
+            backoff_base_ns: 2_000_000,
+            max_attempts: 6,
+            probation_windows: 2,
+            validation_tol: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Where the supervisor's state machine currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorState {
+    /// Watching the guard; violations accumulate toward the hysteresis
+    /// threshold.
+    Monitoring,
+    /// Monitoring after a clean window — the healthy terminal state.
+    Converged,
+    /// A replan failed (or produced nothing actionable); retry at
+    /// `until_ns`.
+    Backoff { until_ns: u64 },
+    /// A staged configuration is draining; waiting for the epoch swap.
+    Draining,
+    /// A fresh epoch is on trial. `grace` skips the window that contains
+    /// the commit itself (its stats straddle both epochs).
+    Probation { windows_left: u32, grace: bool },
+    /// Replanning gave up; serve the current (possibly shed) placement
+    /// without further churn. Terminal.
+    GracefulDegraded,
+}
+
+/// One entry of the supervisor's decision log, in virtual-time order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupervisorEvent {
+    /// Hysteresis threshold crossed; replanning started.
+    Detected { at_ns: u64, streak: u32 },
+    /// A repair candidate passed validation and was staged.
+    Staged {
+        at_ns: u64,
+        shed: Vec<usize>,
+        moved_nodes: usize,
+        rollback: bool,
+    },
+    /// The engine committed the staged epoch.
+    Committed {
+        at_ns: u64,
+        epoch: u64,
+        packets_lost: u64,
+        rollback: bool,
+    },
+    /// Replan failed or was a no-op; retrying at `until_ns`.
+    BackedOff {
+        at_ns: u64,
+        until_ns: u64,
+        attempt: u32,
+    },
+    /// Probation completed clean; epoch promoted to last-known-good.
+    Promoted { at_ns: u64 },
+    /// A recovered link survived its hold-down and was unmasked.
+    LinkTrusted { at_ns: u64, server: usize },
+    /// Attempts exhausted; parked.
+    Degraded { at_ns: u64 },
+}
+
+impl SupervisorEvent {
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            SupervisorEvent::Detected { at_ns, .. }
+            | SupervisorEvent::Staged { at_ns, .. }
+            | SupervisorEvent::Committed { at_ns, .. }
+            | SupervisorEvent::BackedOff { at_ns, .. }
+            | SupervisorEvent::Promoted { at_ns }
+            | SupervisorEvent::LinkTrusted { at_ns, .. }
+            | SupervisorEvent::Degraded { at_ns } => *at_ns,
+        }
+    }
+}
+
+/// Why a replan was kicked off — changes what a no-op candidate means.
+#[derive(Clone, Copy, PartialEq)]
+enum ReplanReason {
+    /// The guard said chains are hurting. A candidate identical to the
+    /// running config means repair cannot help → backoff.
+    Violation,
+    /// A masked resource came back; try to re-admit / re-home. A no-op
+    /// candidate just means nothing was displaced → stay put.
+    Improve,
+}
+
+/// Bookkeeping for a staged-but-not-yet-committed configuration.
+struct PendingCommit {
+    /// Original-chain-indexed assignment after the swap (shed chains keep
+    /// their stale entry as a re-admission hint).
+    assignment: Assignment,
+    admitted: Vec<bool>,
+}
+
+/// The online control plane. Implements [`ControlHook`]; hand it to
+/// [`lemur_dataplane::Testbed::run_supervised`].
+pub struct Supervisor<'a> {
+    cfg: SupervisorConfig,
+    /// The original (healthy-rack) problem; repairs degrade its topology.
+    problem: PlacementProblem,
+    oracle: &'a dyn StageOracle,
+    /// Original base SPIs per chain, so survivors keep their identifiers.
+    entry_spi: Vec<u32>,
+
+    /// What the dataplane is running right now (original-chain indexed).
+    current_assignment: Assignment,
+    current_admitted: Vec<bool>,
+    /// Last configuration that survived probation.
+    lkg_assignment: Assignment,
+    lkg_admitted: Vec<bool>,
+
+    /// Fault mask the supervisor believes in.
+    servers_down: BTreeSet<usize>,
+    failed_cores: BTreeSet<(usize, usize)>,
+    /// Recovered links serving their hold-down: server → trust time.
+    link_trust_at: BTreeMap<usize, u64>,
+
+    state: SupervisorState,
+    streak: u32,
+    attempts: u32,
+    /// Set when the mask shrank (hold-down expiry); prompts an
+    /// opportunistic re-admission replan.
+    improve_pending: bool,
+    pending: Option<PendingCommit>,
+    rng: StdRng,
+    events: Vec<SupervisorEvent>,
+}
+
+impl<'a> Supervisor<'a> {
+    /// Build a supervisor for a deployed placement. Call *before*
+    /// [`lemur_dataplane::Testbed::build`] consumes the deployment — the
+    /// supervisor only copies the routing plan's entry SPIs out of it.
+    pub fn new(
+        problem: &PlacementProblem,
+        placement: &EvaluatedPlacement,
+        deployment: &Deployment,
+        oracle: &'a dyn StageOracle,
+        cfg: SupervisorConfig,
+    ) -> Supervisor<'a> {
+        let n = problem.chains.len();
+        Supervisor {
+            cfg,
+            problem: problem.clone(),
+            oracle,
+            entry_spi: deployment.routing.entry_spi.clone(),
+            current_assignment: placement.assignment.clone(),
+            current_admitted: vec![true; n],
+            lkg_assignment: placement.assignment.clone(),
+            lkg_admitted: vec![true; n],
+            servers_down: BTreeSet::new(),
+            failed_cores: BTreeSet::new(),
+            link_trust_at: BTreeMap::new(),
+            state: SupervisorState::Converged,
+            streak: 0,
+            attempts: 0,
+            improve_pending: false,
+            pending: None,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x5157_e501),
+            events: Vec::new(),
+        }
+    }
+
+    pub fn state(&self) -> SupervisorState {
+        self.state
+    }
+
+    /// True in the states a chaos soak is allowed to end in.
+    pub fn is_settled(&self) -> bool {
+        matches!(
+            self.state,
+            SupervisorState::Converged | SupervisorState::GracefulDegraded
+        )
+    }
+
+    /// Chains currently admitted (original indices).
+    pub fn admitted(&self) -> &[bool] {
+        &self.current_admitted
+    }
+
+    /// Failed replan attempts since the last promotion.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The decision log, in virtual-time order.
+    pub fn events(&self) -> &[SupervisorEvent] {
+        &self.events
+    }
+
+    /// The fault mask the supervisor currently distrusts.
+    pub fn mask(&self) -> ResourceMask {
+        let mut mask = ResourceMask::none();
+        for &s in &self.servers_down {
+            mask = mask.with_server_down(s);
+        }
+        let mut per_server: BTreeMap<usize, usize> = BTreeMap::new();
+        for &(s, _) in &self.failed_cores {
+            *per_server.entry(s).or_insert(0) += 1;
+        }
+        for (s, n) in per_server {
+            mask = mask.with_cores_down(s, n);
+        }
+        mask
+    }
+
+    /// Unmask links whose hold-down elapsed by `now`.
+    fn expire_hold_downs(&mut self, now: u64) {
+        let ready: Vec<usize> = self
+            .link_trust_at
+            .iter()
+            .filter(|&(_, &at)| now >= at)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in ready {
+            self.link_trust_at.remove(&s);
+            if self.servers_down.remove(&s) {
+                self.improve_pending = true;
+                self.events.push(SupervisorEvent::LinkTrusted {
+                    at_ns: now,
+                    server: s,
+                });
+            }
+        }
+    }
+
+    fn backoff(&mut self, now: u64) -> ControlAction {
+        self.attempts += 1;
+        if self.attempts > self.cfg.max_attempts {
+            self.state = SupervisorState::GracefulDegraded;
+            self.events.push(SupervisorEvent::Degraded { at_ns: now });
+            return ControlAction::Continue;
+        }
+        let base = self.cfg.backoff_base_ns << (self.attempts - 1).min(10);
+        let jitter = self.rng.gen_range(0..base / 2 + 1);
+        let until_ns = now + base + jitter;
+        self.state = SupervisorState::Backoff { until_ns };
+        self.events.push(SupervisorEvent::BackedOff {
+            at_ns: now,
+            until_ns,
+            attempt: self.attempts,
+        });
+        ControlAction::Continue
+    }
+
+    /// Full admitted/SLO vectors (original-chain indexed) for a kept set.
+    fn admission_vectors(&self, kept: &[usize]) -> (Vec<bool>, Vec<Option<Slo>>) {
+        let n = self.problem.chains.len();
+        let mut admitted = vec![false; n];
+        let mut slos = vec![None; n];
+        for &c in kept {
+            admitted[c] = true;
+            slos[c] = self.problem.chains[c].slo;
+        }
+        (admitted, slos)
+    }
+
+    /// Repair against the current mask, validate, and stage a commit.
+    fn try_replan(&mut self, now: u64, reason: ReplanReason) -> ControlAction {
+        self.streak = 0;
+        self.improve_pending = false;
+        let fail = |s: &mut Self| match reason {
+            ReplanReason::Violation => s.backoff(now),
+            ReplanReason::Improve => ControlAction::Continue,
+        };
+
+        let mask = self.mask();
+        let r = match repair_assignment(&self.problem, &self.current_assignment, mask, self.oracle)
+        {
+            Ok(r) => r,
+            Err(_) => return fail(self),
+        };
+
+        let (admitted, slos) = self.admission_vectors(&r.kept);
+        let unchanged = admitted == self.current_admitted
+            && r.kept
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| r.placement.assignment[i] == self.current_assignment[c]);
+        if unchanged {
+            // Repair has nothing to offer (e.g. the violation is a traffic
+            // lull or an unmaskable crash): backing off is all we can do.
+            return fail(self);
+        }
+
+        // Dry-run validation: every survivor must still clear its t_min.
+        let valid = r.kept.iter().enumerate().all(|(i, &c)| {
+            let t_min = self.problem.chains[c].slo.map_or(0.0, |s| s.t_min_bps);
+            r.placement.chain_rates_bps[i] >= t_min * (1.0 - self.cfg.validation_tol)
+        });
+        if !valid {
+            return fail(self);
+        }
+
+        let bases: Vec<u32> = r.kept.iter().map(|&c| self.entry_spi[c]).collect();
+        let deployment = match compile_repair(&r.problem, &r.placement, &bases) {
+            Ok(d) => d,
+            Err(_) => return fail(self),
+        };
+        let staged = match StagedConfig::build(
+            &r.problem,
+            &r.placement,
+            deployment,
+            admitted.clone(),
+            slos,
+            false,
+        ) {
+            Ok(s) => s,
+            Err(_) => return fail(self),
+        };
+
+        let moved = r.moved_nodes(&self.current_assignment);
+        let mut assignment = self.current_assignment.clone();
+        for (i, &c) in r.kept.iter().enumerate() {
+            assignment[c] = r.placement.assignment[i].clone();
+        }
+        self.pending = Some(PendingCommit {
+            assignment,
+            admitted,
+        });
+        self.state = SupervisorState::Draining;
+        self.events.push(SupervisorEvent::Staged {
+            at_ns: now,
+            shed: r.shed.clone(),
+            moved_nodes: moved,
+            rollback: false,
+        });
+        ControlAction::StageCommit {
+            staged: Box::new(staged),
+            drain_ns: self.cfg.drain_ns,
+        }
+    }
+
+    /// Stage a return to the last-known-good placement (on the degraded
+    /// topology). Falls back to backoff → fresh repair if LKG no longer
+    /// fits the surviving rack.
+    fn stage_rollback(&mut self, now: u64) -> ControlAction {
+        let kept: Vec<usize> = (0..self.problem.chains.len())
+            .filter(|&c| self.lkg_admitted[c])
+            .collect();
+        let sub = PlacementProblem {
+            chains: kept
+                .iter()
+                .map(|&c| self.problem.chains[c].clone())
+                .collect(),
+            topology: self.problem.topology.degraded(self.mask()),
+            profiles: self.problem.profiles.clone(),
+        };
+        let sub_assignment: Assignment = kept
+            .iter()
+            .map(|&c| self.lkg_assignment[c].clone())
+            .collect();
+        let evaluated = match sub.evaluate(&sub_assignment, CoreStrategy::WaterFill) {
+            Ok(ev) => ev,
+            Err(_) => return self.backoff(now),
+        };
+        let bases: Vec<u32> = kept.iter().map(|&c| self.entry_spi[c]).collect();
+        let deployment = match compile_repair(&sub, &evaluated, &bases) {
+            Ok(d) => d,
+            Err(_) => return self.backoff(now),
+        };
+        let (admitted, slos) = self.admission_vectors(&kept);
+        let staged =
+            match StagedConfig::build(&sub, &evaluated, deployment, admitted.clone(), slos, true) {
+                Ok(s) => s,
+                Err(_) => return self.backoff(now),
+            };
+
+        let mut assignment = self.current_assignment.clone();
+        for &c in &kept {
+            assignment[c] = self.lkg_assignment[c].clone();
+        }
+        self.pending = Some(PendingCommit {
+            assignment,
+            admitted,
+        });
+        self.state = SupervisorState::Draining;
+        self.events.push(SupervisorEvent::Staged {
+            at_ns: now,
+            shed: Vec::new(),
+            moved_nodes: 0,
+            rollback: true,
+        });
+        ControlAction::StageCommit {
+            staged: Box::new(staged),
+            drain_ns: self.cfg.drain_ns,
+        }
+    }
+}
+
+impl ControlHook for Supervisor<'_> {
+    fn on_fault(&mut self, at_ns: u64, kind: &FaultKind) -> ControlAction {
+        match *kind {
+            FaultKind::LinkDown { server } => {
+                // Distrust is immediate; any pending re-trust is void.
+                self.servers_down.insert(server);
+                self.link_trust_at.remove(&server);
+            }
+            FaultKind::LinkUp { server } => {
+                // Trust is slow: start the hold-down clock.
+                if self.servers_down.contains(&server) {
+                    self.link_trust_at
+                        .insert(server, at_ns + self.cfg.hold_down_ns);
+                }
+            }
+            FaultKind::CoreFail { server, core } => {
+                self.failed_cores.insert((server, core));
+            }
+            // Crashes, drift, and surges don't map onto rack resources;
+            // the guard decides whether they hurt enough to act on.
+            FaultKind::NfCrash { .. }
+            | FaultKind::NfRecover { .. }
+            | FaultKind::ProfileDrift { .. }
+            | FaultKind::TrafficSurge { .. } => {}
+        }
+        if self.state == SupervisorState::Converged {
+            self.state = SupervisorState::Monitoring;
+        }
+        ControlAction::Continue
+    }
+
+    fn on_window(
+        &mut self,
+        end_ns: u64,
+        _samples: &[WindowSample],
+        violations: &[TimelineEvent],
+    ) -> ControlAction {
+        if self.state == SupervisorState::GracefulDegraded {
+            return ControlAction::Continue;
+        }
+        self.expire_hold_downs(end_ns);
+        let violated = !violations.is_empty();
+
+        match self.state {
+            SupervisorState::Monitoring | SupervisorState::Converged => {
+                if violated {
+                    self.streak += 1;
+                    self.state = SupervisorState::Monitoring;
+                } else {
+                    self.streak = 0;
+                    self.state = SupervisorState::Converged;
+                }
+                if self.streak >= self.cfg.hysteresis_k {
+                    self.events.push(SupervisorEvent::Detected {
+                        at_ns: end_ns,
+                        streak: self.streak,
+                    });
+                    return self.try_replan(end_ns, ReplanReason::Violation);
+                }
+                if self.improve_pending {
+                    return self.try_replan(end_ns, ReplanReason::Improve);
+                }
+                ControlAction::Continue
+            }
+            SupervisorState::Backoff { until_ns } => {
+                if end_ns < until_ns {
+                    return ControlAction::Continue;
+                }
+                if violated {
+                    return self.try_replan(end_ns, ReplanReason::Violation);
+                }
+                // The episode resolved itself while we waited.
+                self.attempts = 0;
+                self.streak = 0;
+                self.state = SupervisorState::Monitoring;
+                if self.improve_pending {
+                    return self.try_replan(end_ns, ReplanReason::Improve);
+                }
+                ControlAction::Continue
+            }
+            SupervisorState::Draining => ControlAction::Continue,
+            SupervisorState::Probation {
+                windows_left,
+                grace,
+            } => {
+                if grace {
+                    // This window straddles the swap; its stats mix epochs.
+                    self.state = SupervisorState::Probation {
+                        windows_left,
+                        grace: false,
+                    };
+                    return ControlAction::Continue;
+                }
+                if violated {
+                    return self.stage_rollback(end_ns);
+                }
+                let left = windows_left.saturating_sub(1);
+                if left == 0 {
+                    self.lkg_assignment = self.current_assignment.clone();
+                    self.lkg_admitted = self.current_admitted.clone();
+                    self.attempts = 0;
+                    self.streak = 0;
+                    self.state = SupervisorState::Converged;
+                    self.events
+                        .push(SupervisorEvent::Promoted { at_ns: end_ns });
+                } else {
+                    self.state = SupervisorState::Probation {
+                        windows_left: left,
+                        grace: false,
+                    };
+                }
+                ControlAction::Continue
+            }
+            SupervisorState::GracefulDegraded => ControlAction::Continue,
+        }
+    }
+
+    fn on_commit(&mut self, at_ns: u64, epoch: u64, packets_lost: u64, rollback: bool) {
+        if let Some(pending) = self.pending.take() {
+            self.current_assignment = pending.assignment;
+            self.current_admitted = pending.admitted;
+        }
+        self.events.push(SupervisorEvent::Committed {
+            at_ns,
+            epoch,
+            packets_lost,
+            rollback,
+        });
+        self.streak = 0;
+        self.state = if rollback {
+            // Back on known-good ground; monitor rather than re-trial.
+            SupervisorState::Monitoring
+        } else if self.cfg.probation_windows == 0 {
+            self.lkg_assignment = self.current_assignment.clone();
+            self.lkg_admitted = self.current_admitted.clone();
+            self.attempts = 0;
+            SupervisorState::Converged
+        } else {
+            SupervisorState::Probation {
+                windows_left: self.cfg.probation_windows,
+                grace: true,
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_core::chains::{canonical_chain, CanonicalChain};
+    use lemur_core::graph::ChainSpec;
+    use lemur_dataplane::{SimConfig, Testbed, TrafficSpec, ViolationKind};
+    use lemur_metacompiler::compile;
+    use lemur_placer::heuristic::place;
+    use lemur_placer::oracle::AlwaysFits;
+    use lemur_placer::profiles::NfProfiles;
+    use lemur_placer::topology::Topology;
+
+    fn problem(n_servers: usize, delta: f64) -> (PlacementProblem, Vec<TrafficSpec>) {
+        let mut specs = Vec::new();
+        let chains = [CanonicalChain::Chain3, CanonicalChain::Chain2]
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let spec = TrafficSpec::for_chain(i + 1, 1e9);
+                let agg = spec.aggregate();
+                specs.push(spec);
+                ChainSpec {
+                    name: format!("chain{}", w.index()),
+                    graph: canonical_chain(*w),
+                    slo: None,
+                    aggregate: Some(agg),
+                }
+            })
+            .collect::<Vec<_>>();
+        let mut p = PlacementProblem::new(
+            chains,
+            Topology::with_servers(n_servers),
+            NfProfiles::table4(),
+        );
+        for i in 0..p.chains.len() {
+            let base = p.base_rate_bps(i);
+            p.chains[i].slo =
+                Some(Slo::elastic_pipe(delta * base, 100e9).with_priority((2 - i) as u8));
+        }
+        (p, specs)
+    }
+
+    fn deployed(p: &PlacementProblem) -> (EvaluatedPlacement, Deployment) {
+        let placement = place(p, &AlwaysFits).unwrap();
+        let deployment = compile(p, &placement).unwrap();
+        (placement, deployment)
+    }
+
+    fn violation(at_ns: u64) -> TimelineEvent {
+        TimelineEvent::SloViolation {
+            at_ns,
+            chain: 0,
+            kind: ViolationKind::RateBelowMin,
+            observed: 0.0,
+            bound: 1e9,
+        }
+    }
+
+    const WIN: u64 = 1_000_000;
+
+    /// Feed `sup` a violated window at window-grid time `w`.
+    fn violated_window(sup: &mut Supervisor<'_>, w: u64) -> ControlAction {
+        sup.on_window(w * WIN, &[], &[violation(w * WIN)])
+    }
+
+    fn clean_window(sup: &mut Supervisor<'_>, w: u64) -> ControlAction {
+        sup.on_window(w * WIN, &[], &[])
+    }
+
+    #[test]
+    fn hysteresis_delays_action() {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p);
+        let cfg = SupervisorConfig {
+            hysteresis_k: 3,
+            ..Default::default()
+        };
+        let mut sup = Supervisor::new(&p, &placement, &deployment, &AlwaysFits, cfg);
+
+        let dead = placement.subgroups[0].server;
+        sup.on_fault(100, &FaultKind::LinkDown { server: dead });
+        assert_eq!(sup.state(), SupervisorState::Monitoring);
+
+        // K-1 violated windows: still only watching.
+        for w in 1..3 {
+            assert!(matches!(
+                violated_window(&mut sup, w),
+                ControlAction::Continue
+            ));
+        }
+        // A clean window resets the streak; the next violation starts over.
+        clean_window(&mut sup, 3);
+        assert!(matches!(
+            violated_window(&mut sup, 4),
+            ControlAction::Continue
+        ));
+        assert!(matches!(
+            violated_window(&mut sup, 5),
+            ControlAction::Continue
+        ));
+        // Third consecutive violation crosses the threshold and stages.
+        let action = violated_window(&mut sup, 6);
+        assert!(matches!(action, ControlAction::StageCommit { .. }));
+        assert_eq!(sup.state(), SupervisorState::Draining);
+        match action {
+            ControlAction::StageCommit { staged, .. } => assert!(!staged.is_rollback()),
+            ControlAction::Continue => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn commit_probation_promotion_flow() {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p);
+        let mut sup = Supervisor::new(
+            &p,
+            &placement,
+            &deployment,
+            &AlwaysFits,
+            SupervisorConfig::default(),
+        );
+
+        let dead = placement.subgroups[0].server;
+        sup.on_fault(100, &FaultKind::LinkDown { server: dead });
+        violated_window(&mut sup, 1);
+        assert!(matches!(
+            violated_window(&mut sup, 2),
+            ControlAction::StageCommit { .. }
+        ));
+
+        // Engine swaps; epoch 1 goes live.
+        sup.on_commit(2 * WIN + 200_000, 1, 17, false);
+        assert!(matches!(
+            sup.state(),
+            SupervisorState::Probation { grace: true, .. }
+        ));
+
+        // Grace window (straddles the swap), then two clean windows.
+        clean_window(&mut sup, 3);
+        clean_window(&mut sup, 4);
+        assert!(matches!(sup.state(), SupervisorState::Probation { .. }));
+        clean_window(&mut sup, 5);
+        assert_eq!(sup.state(), SupervisorState::Converged);
+        assert_eq!(sup.attempts(), 0);
+        assert!(sup
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::Promoted { .. })));
+        // The promoted placement is now last-known-good.
+        assert_eq!(sup.lkg_assignment, sup.current_assignment);
+    }
+
+    #[test]
+    fn probation_violation_stages_rollback() {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p);
+        let mut sup = Supervisor::new(
+            &p,
+            &placement,
+            &deployment,
+            &AlwaysFits,
+            SupervisorConfig::default(),
+        );
+
+        let dead = placement.subgroups[0].server;
+        sup.on_fault(100, &FaultKind::LinkDown { server: dead });
+        violated_window(&mut sup, 1);
+        assert!(matches!(
+            violated_window(&mut sup, 2),
+            ControlAction::StageCommit { .. }
+        ));
+        sup.on_commit(2 * WIN + 200_000, 1, 9, false);
+
+        // Hold-down expires mid-probation: the link is trusted again, so
+        // the LKG (which used that server) is feasible for rollback.
+        sup.on_fault(2 * WIN + 300_000, &FaultKind::LinkUp { server: dead });
+        clean_window(&mut sup, 3); // grace
+        let action = sup.on_window(9 * WIN, &[], &[violation(9 * WIN)]);
+        match action {
+            ControlAction::StageCommit { staged, .. } => {
+                assert!(
+                    staged.is_rollback(),
+                    "probation violation must stage a rollback"
+                )
+            }
+            ControlAction::Continue => panic!("expected a rollback commit"),
+        }
+        sup.on_commit(9 * WIN + 200_000, 2, 3, true);
+        assert_eq!(sup.state(), SupervisorState::Monitoring);
+        // All chains re-admitted by the rollback.
+        assert!(sup.admitted().iter().all(|&a| a));
+    }
+
+    #[test]
+    fn unfixable_violation_backs_off_then_degrades() {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p);
+        let cfg = SupervisorConfig {
+            max_attempts: 2,
+            ..Default::default()
+        };
+        let mut sup = Supervisor::new(&p, &placement, &deployment, &AlwaysFits, cfg);
+
+        // No mask, but the guard screams (e.g. a traffic lull): repair
+        // returns the identical placement, so all we can do is back off.
+        violated_window(&mut sup, 1);
+        violated_window(&mut sup, 2);
+        let SupervisorState::Backoff { until_ns } = sup.state() else {
+            panic!("expected backoff, got {:?}", sup.state());
+        };
+        assert_eq!(sup.attempts(), 1);
+
+        // Still violating at expiry → second attempt → still nothing.
+        let w = until_ns / WIN + 1;
+        violated_window(&mut sup, w);
+        assert!(matches!(sup.state(), SupervisorState::Backoff { .. }));
+        let SupervisorState::Backoff { until_ns } = sup.state() else {
+            unreachable!()
+        };
+        violated_window(&mut sup, until_ns / WIN + 1);
+        assert_eq!(sup.state(), SupervisorState::GracefulDegraded);
+
+        // Parked: further windows do nothing.
+        assert!(matches!(
+            violated_window(&mut sup, w + 50),
+            ControlAction::Continue
+        ));
+        assert_eq!(sup.state(), SupervisorState::GracefulDegraded);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p);
+        let mk = || {
+            Supervisor::new(
+                &p,
+                &placement,
+                &deployment,
+                &AlwaysFits,
+                SupervisorConfig {
+                    seed: 42,
+                    ..Default::default()
+                },
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for sup in [&mut a, &mut b] {
+            violated_window(sup, 1);
+            violated_window(sup, 2);
+        }
+        assert_eq!(a.state(), b.state());
+        assert!(matches!(a.state(), SupervisorState::Backoff { .. }));
+        // Different seed → different jitter (with overwhelming probability).
+        let mut c = Supervisor::new(
+            &p,
+            &placement,
+            &deployment,
+            &AlwaysFits,
+            SupervisorConfig {
+                seed: 43,
+                ..Default::default()
+            },
+        );
+        violated_window(&mut c, 1);
+        violated_window(&mut c, 2);
+        assert_ne!(a.state(), c.state());
+    }
+
+    #[test]
+    fn flap_damping_holds_the_mask() {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p);
+        let cfg = SupervisorConfig {
+            hold_down_ns: 5 * WIN,
+            ..Default::default()
+        };
+        let mut sup = Supervisor::new(&p, &placement, &deployment, &AlwaysFits, cfg);
+
+        sup.on_fault(WIN / 2, &FaultKind::LinkDown { server: 1 });
+        sup.on_fault(WIN / 2 + 1000, &FaultKind::LinkUp { server: 1 });
+        // The link is "up" but on probationary hold-down: still masked.
+        clean_window(&mut sup, 1);
+        assert!(sup.mask().servers_down.contains(&1));
+
+        // A re-flap voids the pending trust entirely.
+        sup.on_fault(2 * WIN, &FaultKind::LinkDown { server: 1 });
+        clean_window(&mut sup, 8);
+        assert!(
+            sup.mask().servers_down.contains(&1),
+            "re-flap must reset hold-down"
+        );
+
+        // Up again; only after a full quiet hold-down does trust return.
+        sup.on_fault(8 * WIN + 1000, &FaultKind::LinkUp { server: 1 });
+        clean_window(&mut sup, 9);
+        assert!(sup.mask().servers_down.contains(&1));
+        clean_window(&mut sup, 14);
+        assert!(!sup.mask().servers_down.contains(&1), "hold-down elapsed");
+        assert!(sup
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::LinkTrusted { server: 1, .. })));
+    }
+
+    /// End-to-end: a link failure inside the simulation drives the full
+    /// detect → repair → drain → commit → probation → promote loop.
+    #[test]
+    fn supervised_run_commits_and_settles() {
+        let (p, mut specs) = problem(3, 0.3);
+        let (placement, deployment) = deployed(&p);
+        let slos: Vec<Option<Slo>> = p.chains.iter().map(|c| c.slo).collect();
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.offered_bps = (placement.chain_rates_bps[i] * 1.1).max(1e8);
+        }
+
+        let mut sup = Supervisor::new(
+            &p,
+            &placement,
+            &deployment,
+            &AlwaysFits,
+            SupervisorConfig::default(),
+        );
+        let dead = placement.subgroups[0].server;
+        let plan = lemur_dataplane::FaultPlan::new(vec![lemur_dataplane::FaultEvent {
+            at_ns: 6_000_000,
+            kind: FaultKind::LinkDown { server: dead },
+        }]);
+        let config = SimConfig {
+            duration_s: 0.04,
+            warmup_s: 0.002,
+            seed: 11,
+            window_ns: WIN,
+            ..Default::default()
+        };
+        let mut testbed = Testbed::build(&p, &placement, deployment).unwrap();
+        let report = testbed.run_supervised(&specs, config, &plan, &slos, &mut sup);
+
+        assert!(report.commits() >= 1, "the repair must reach the dataplane");
+        assert!(
+            report.ledger.balanced(),
+            "packet conservation: {:?}",
+            report.ledger
+        );
+        assert!(
+            sup.is_settled(),
+            "soak must end settled, got {:?} (events: {:?})",
+            sup.state(),
+            sup.events()
+        );
+        assert!(report.update_time_loss() > 0 || report.ledger.drops_reconfig == 0);
+    }
+}

@@ -66,7 +66,11 @@ fn limiter_params() -> NfParams {
 /// `fraction`; returns the tail.
 fn subchain7(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction: f64) -> NodeId {
     let acl = g.add_named(&format!("{prefix}_acl"), NfKind::Acl, NfParams::new());
-    let lim = g.add_named(&format!("{prefix}_limiter"), NfKind::Limiter, limiter_params());
+    let lim = g.add_named(
+        &format!("{prefix}_limiter"),
+        NfKind::Limiter,
+        limiter_params(),
+    );
     g.connect_branch(head, acl, gate, fraction);
     g.connect(acl, lim);
     lim
@@ -75,8 +79,16 @@ fn subchain7(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction:
 /// Subchain 8 (`Detunnel -> Encrypt -> IPv4Fwd`) appended after `head` on
 /// `gate` with `fraction`; returns the tail (the chain sink).
 fn subchain8(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction: f64) -> NodeId {
-    let det = g.add_named(&format!("{prefix}_detunnel"), NfKind::Detunnel, NfParams::new());
-    let enc = g.add_named(&format!("{prefix}_encrypt"), NfKind::Encrypt, NfParams::new());
+    let det = g.add_named(
+        &format!("{prefix}_detunnel"),
+        NfKind::Detunnel,
+        NfParams::new(),
+    );
+    let enc = g.add_named(
+        &format!("{prefix}_encrypt"),
+        NfKind::Encrypt,
+        NfParams::new(),
+    );
     let fwd = g.add_named(&format!("{prefix}_fwd"), NfKind::Ipv4Fwd, NfParams::new());
     g.connect_branch(head, det, gate, fraction);
     g.connect(det, enc);
@@ -88,7 +100,11 @@ fn subchain8(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction:
 /// returns the tail.
 fn subchain6(g: &mut NfGraph, prefix: &str, head: NodeId, gate: usize, fraction: f64) -> NodeId {
     let lb = g.add_named(&format!("{prefix}_lb"), NfKind::Lb, NfParams::new());
-    let lim = g.add_named(&format!("{prefix}_limiter"), NfKind::Limiter, limiter_params());
+    let lim = g.add_named(
+        &format!("{prefix}_limiter"),
+        NfKind::Limiter,
+        limiter_params(),
+    );
     let acl = g.add_named(&format!("{prefix}_acl"), NfKind::Acl, NfParams::new());
     g.connect_branch(head, lb, gate, fraction);
     g.connect(lb, lim);
@@ -126,8 +142,7 @@ pub fn canonical_chain(which: CanonicalChain) -> NfGraph {
             g.connect(lb, split);
             let fwd = g.add_named("fwd", NfKind::Ipv4Fwd, NfParams::new());
             for i in 0..3 {
-                let nat =
-                    g.add_named(&format!("nat{i}"), NfKind::Nat, NfParams::new());
+                let nat = g.add_named(&format!("nat{i}"), NfKind::Nat, NfParams::new());
                 g.connect_branch(split, nat, i, 1.0 / 3.0);
                 g.connect(nat, fwd);
             }
@@ -244,11 +259,16 @@ mod tests {
         let chains = g.decompose();
         assert_eq!(chains.len(), 1);
         assert_eq!(chains[0].weight, 1.0);
-        let kinds: Vec<NfKind> =
-            chains[0].nodes.iter().map(|id| g.node(*id).kind).collect();
+        let kinds: Vec<NfKind> = chains[0].nodes.iter().map(|id| g.node(*id).kind).collect();
         assert_eq!(
             kinds,
-            vec![NfKind::Dedup, NfKind::Acl, NfKind::Limiter, NfKind::Lb, NfKind::Ipv4Fwd]
+            vec![
+                NfKind::Dedup,
+                NfKind::Acl,
+                NfKind::Limiter,
+                NfKind::Lb,
+                NfKind::Ipv4Fwd
+            ]
         );
     }
 
@@ -268,10 +288,7 @@ mod tests {
         g.validate().unwrap();
         assert_eq!(g.num_nodes(), 13);
         assert_eq!(g.decompose().len(), 11);
-        let nats = g
-            .nodes()
-            .filter(|(_, n)| n.kind == NfKind::Nat)
-            .count();
+        let nats = g.nodes().filter(|(_, n)| n.kind == NfKind::Nat).count();
         assert_eq!(nats, 11);
     }
 }

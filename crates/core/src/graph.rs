@@ -78,18 +78,32 @@ impl NfGraph {
 
     /// Add a node with an explicit instance name.
     pub fn add_named(&mut self, name: &str, kind: NfKind, params: NfParams) -> NodeId {
-        self.nodes.push(NfNode { name: name.to_string(), kind, params });
+        self.nodes.push(NfNode {
+            name: name.to_string(),
+            kind,
+            params,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
     /// Connect `from` (gate 0, full traffic) to `to`.
     pub fn connect(&mut self, from: NodeId, to: NodeId) {
-        self.edges.push(Edge { from, to, gate: 0, fraction: 1.0 });
+        self.edges.push(Edge {
+            from,
+            to,
+            gate: 0,
+            fraction: 1.0,
+        });
     }
 
     /// Connect a branch edge with a gate and traffic fraction.
     pub fn connect_branch(&mut self, from: NodeId, to: NodeId, gate: usize, fraction: f64) {
-        self.edges.push(Edge { from, to, gate, fraction });
+        self.edges.push(Edge {
+            from,
+            to,
+            gate,
+            fraction,
+        });
     }
 
     /// Node accessor.
@@ -114,7 +128,12 @@ impl NfGraph {
 
     /// Outgoing edges of a node, sorted by gate.
     pub fn out_edges(&self, id: NodeId) -> Vec<Edge> {
-        let mut v: Vec<Edge> = self.edges.iter().filter(|e| e.from == id).copied().collect();
+        let mut v: Vec<Edge> = self
+            .edges
+            .iter()
+            .filter(|e| e.from == id)
+            .copied()
+            .collect();
         v.sort_by_key(|e| e.gate);
         v
     }
@@ -176,8 +195,7 @@ impl NfGraph {
         for e in &self.edges {
             indeg[e.to.0] += 1;
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|i| indeg[*i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|i| indeg[*i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(NodeId(i));
@@ -211,7 +229,10 @@ impl NfGraph {
     fn walk(&self, at: NodeId, path: &mut Vec<NodeId>, weight: f64, out: &mut Vec<LinearChain>) {
         let edges = self.out_edges(at);
         if edges.is_empty() {
-            out.push(LinearChain { nodes: path.clone(), weight });
+            out.push(LinearChain {
+                nodes: path.clone(),
+                weight,
+            });
             return;
         }
         for e in edges {
@@ -226,9 +247,16 @@ impl NfGraph {
     pub fn to_spec_string(&self) -> String {
         let mut parts = Vec::new();
         for chain in self.decompose() {
-            let names: Vec<&str> =
-                chain.nodes.iter().map(|id| self.node(*id).name.as_str()).collect();
-            parts.push(format!("# weight {:.3}\n{}", chain.weight, names.join(" -> ")));
+            let names: Vec<&str> = chain
+                .nodes
+                .iter()
+                .map(|id| self.node(*id).name.as_str())
+                .collect();
+            parts.push(format!(
+                "# weight {:.3}\n{}",
+                chain.weight,
+                names.join(" -> ")
+            ));
         }
         parts.join("\n")
     }

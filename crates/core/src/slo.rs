@@ -37,28 +37,53 @@ pub enum UseCase {
 impl Slo {
     /// Best-effort traffic.
     pub fn bulk() -> Slo {
-        Slo { t_min_bps: 0.0, t_max_bps: f64::INFINITY, d_max_ns: None, priority: 0 }
+        Slo {
+            t_min_bps: 0.0,
+            t_max_bps: f64::INFINITY,
+            d_max_ns: None,
+            priority: 0,
+        }
     }
 
     /// Best effort capped at `alpha`.
     pub fn metered_bulk(alpha: f64) -> Slo {
-        Slo { t_min_bps: 0.0, t_max_bps: alpha, d_max_ns: None, priority: 0 }
+        Slo {
+            t_min_bps: 0.0,
+            t_max_bps: alpha,
+            d_max_ns: None,
+            priority: 0,
+        }
     }
 
     /// Exactly `alpha` guaranteed.
     pub fn virtual_pipe(alpha: f64) -> Slo {
-        Slo { t_min_bps: alpha, t_max_bps: alpha, d_max_ns: None, priority: 0 }
+        Slo {
+            t_min_bps: alpha,
+            t_max_bps: alpha,
+            d_max_ns: None,
+            priority: 0,
+        }
     }
 
     /// At least `alpha`, bursts up to `beta`.
     pub fn elastic_pipe(alpha: f64, beta: f64) -> Slo {
         assert!(beta >= alpha, "elastic pipe burst below guarantee");
-        Slo { t_min_bps: alpha, t_max_bps: beta, d_max_ns: None, priority: 0 }
+        Slo {
+            t_min_bps: alpha,
+            t_max_bps: beta,
+            d_max_ns: None,
+            priority: 0,
+        }
     }
 
     /// At least `alpha`, uncapped.
     pub fn infinite_pipe(alpha: f64) -> Slo {
-        Slo { t_min_bps: alpha, t_max_bps: f64::INFINITY, d_max_ns: None, priority: 0 }
+        Slo {
+            t_min_bps: alpha,
+            t_max_bps: f64::INFINITY,
+            d_max_ns: None,
+            priority: 0,
+        }
     }
 
     /// Add a latency bound (builder style).
@@ -113,7 +138,12 @@ impl fmt::Display for Slo {
                 "∞".to_string()
             }
         };
-        write!(f, "t_min={} t_max={}", gbps(self.t_min_bps), gbps(self.t_max_bps))?;
+        write!(
+            f,
+            "t_min={} t_max={}",
+            gbps(self.t_min_bps),
+            gbps(self.t_max_bps)
+        )?;
         if let Some(d) = self.d_max_ns {
             write!(f, " d_max={:.0}us", d / 1e3)?;
         }

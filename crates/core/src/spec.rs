@@ -80,11 +80,18 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, message: message.into() }
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn tokens(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
@@ -201,8 +208,7 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
             }
             let text = std::str::from_utf8(&self.src[hs..self.pos]).unwrap();
-            let v = i64::from_str_radix(text, 16)
-                .map_err(|_| self.error("bad hex literal"))?;
+            let v = i64::from_str_radix(text, 16).map_err(|_| self.error("bad hex literal"))?;
             return Ok(Tok::Int(v));
         }
         let mut is_float = false;
@@ -221,9 +227,13 @@ impl<'a> Lexer<'a> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if is_float {
-            text.parse::<f64>().map(Tok::Float).map_err(|_| self.error("bad float"))
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| self.error("bad float"))
         } else {
-            text.parse::<i64>().map(Tok::Int).map_err(|_| self.error("bad integer"))
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| self.error("bad integer"))
         }
     }
 }
@@ -302,7 +312,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: msg.into() }
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -437,7 +450,11 @@ impl Parser {
         }
         Fragment {
             entry: mapping[def.entry.0],
-            exits: def.exits.iter().map(|(n, g, f)| (mapping[n.0], *g, *f)).collect(),
+            exits: def
+                .exits
+                .iter()
+                .map(|(n, g, f)| (mapping[n.0], *g, *f))
+                .collect(),
         }
     }
 
@@ -467,15 +484,15 @@ impl Parser {
             NfParams::new()
         };
         let id = self.graph.add(kind, params);
-        Ok(Fragment { entry: id, exits: vec![(id, 0, 1.0)] })
+        Ok(Fragment {
+            entry: id,
+            exits: vec![(id, 0, 1.0)],
+        })
     }
 
     // branch list: '[' '{' filters..., body? '}' , ... ']'
     // Returns (fragments per branch with their fractions, filters).
-    fn branches(
-        &mut self,
-        upstream: &Fragment,
-    ) -> Result<Fragment, ParseError> {
+    fn branches(&mut self, upstream: &Fragment) -> Result<Fragment, ParseError> {
         // Insert the implicit BPF/Match branch node (§A.2.2).
         self.expect(Tok::LBracket)?;
         let mut arms: Vec<(BTreeMap<String, ParamValue>, Option<Fragment>)> = Vec::new();
@@ -493,7 +510,9 @@ impl Parser {
                 // expression starting with an identifier.
                 match self.peek() {
                     Some(Tok::Str(_)) => {
-                        let Some(Tok::Str(key)) = self.next() else { unreachable!() };
+                        let Some(Tok::Str(key)) = self.next() else {
+                            unreachable!()
+                        };
                         self.expect(Tok::Colon)?;
                         let v = self.value()?;
                         filters.insert(key, v);
@@ -557,7 +576,8 @@ impl Parser {
                 .unwrap_or(1.0 / n as f64);
             match body {
                 Some(frag) => {
-                    self.graph.connect_branch(branch_node, frag.entry, gate, frac);
+                    self.graph
+                        .connect_branch(branch_node, frag.entry, gate, frac);
                     exits.extend(frag.exits);
                 }
                 None => {
@@ -566,7 +586,10 @@ impl Parser {
                 }
             }
         }
-        Ok(Fragment { entry: upstream.entry, exits })
+        Ok(Fragment {
+            entry: upstream.entry,
+            exits,
+        })
     }
 
     // chain without branch lists (used inside branch bodies).
@@ -578,7 +601,10 @@ impl Parser {
             for (exit, gate, frac) in &frag.exits {
                 self.graph.connect_branch(*exit, next.entry, *gate, *frac);
             }
-            frag = Fragment { entry: frag.entry, exits: next.exits };
+            frag = Fragment {
+                entry: frag.entry,
+                exits: next.exits,
+            };
         }
         Ok(frag)
     }
@@ -595,7 +621,10 @@ impl Parser {
                 for (exit, gate, frac) in &frag.exits {
                     self.graph.connect_branch(*exit, next.entry, *gate, *frac);
                 }
-                frag = Fragment { entry: frag.entry, exits: next.exits };
+                frag = Fragment {
+                    entry: frag.entry,
+                    exits: next.exits,
+                };
             }
         }
         Ok(frag)
@@ -641,8 +670,16 @@ pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
             p.expect(Tok::RParen)?;
             if first == "slo" {
                 let t_min = kw.get("t_min").and_then(parse_rate).unwrap_or(0.0);
-                let t_max = kw.get("t_max").and_then(parse_rate).unwrap_or(f64::INFINITY);
-                let mut slo = Slo { t_min_bps: t_min, t_max_bps: t_max, d_max_ns: None, priority: 0 };
+                let t_max = kw
+                    .get("t_max")
+                    .and_then(parse_rate)
+                    .unwrap_or(f64::INFINITY);
+                let mut slo = Slo {
+                    t_min_bps: t_min,
+                    t_max_bps: t_max,
+                    d_max_ns: None,
+                    priority: 0,
+                };
                 if let Some(d) = kw.get("d_max").and_then(parse_delay_ns) {
                     slo.d_max_ns = Some(d);
                 }
@@ -675,7 +712,11 @@ pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
                 let sub = std::mem::replace(&mut p.graph, saved);
                 p.defs.insert(
                     first.clone(),
-                    DefChain { graph: sub, entry: frag.entry, exits: frag.exits },
+                    DefChain {
+                        graph: sub,
+                        entry: frag.entry,
+                        exits: frag.exits,
+                    },
                 );
                 chain_names.push(first.clone());
             } else {
@@ -688,7 +729,14 @@ pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
             let frag = p.chain_expr()?;
             let sub = std::mem::replace(&mut p.graph, saved);
             let name = format!("chain{}", chain_names.len() + 1);
-            p.defs.insert(name.clone(), DefChain { graph: sub, entry: frag.entry, exits: frag.exits });
+            p.defs.insert(
+                name.clone(),
+                DefChain {
+                    graph: sub,
+                    entry: frag.entry,
+                    exits: frag.exits,
+                },
+            );
             chain_names.push(name);
         }
         // Statement must end at a newline.
@@ -735,10 +783,9 @@ mod tests {
 
     #[test]
     fn parameters_parse() {
-        let spec = parse_spec(
-            "c = ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}]) -> IPv4Fwd\n",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("c = ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}]) -> IPv4Fwd\n")
+                .unwrap();
         let g = &spec.chains[0].graph;
         let (_, acl) = g.nodes().next().unwrap();
         let rules = acl.params.get("rules").unwrap().as_list().unwrap();
@@ -751,8 +798,7 @@ mod tests {
     #[test]
     fn paper_branch_example() {
         // ACL -> [{'vlan_tag': 0x1, Encrypt}] -> IPv4Fwd
-        let spec =
-            parse_spec("c = ACL -> [{'vlan_tag': 0x1, Encrypt}, {}] -> IPv4Fwd\n").unwrap();
+        let spec = parse_spec("c = ACL -> [{'vlan_tag': 0x1, Encrypt}, {}] -> IPv4Fwd\n").unwrap();
         let g = &spec.chains[0].graph;
         g.validate().unwrap();
         // ACL, implicit BPF, Encrypt, IPv4Fwd.
@@ -794,10 +840,9 @@ mod tests {
 
     #[test]
     fn slo_units() {
-        let spec = parse_spec(
-            "c = ACL -> IPv4Fwd\nslo(c, t_min='500M', t_max='40G', d_max='45us')\n",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("c = ACL -> IPv4Fwd\nslo(c, t_min='500M', t_max='40G', d_max='45us')\n")
+                .unwrap();
         let slo = spec.chains[0].slo.unwrap();
         assert_eq!(slo.t_min_bps, 500e6);
         assert_eq!(slo.t_max_bps, 40e9);
@@ -806,10 +851,7 @@ mod tests {
 
     #[test]
     fn aggregate_statement() {
-        let spec = parse_spec(
-            "c = ACL -> IPv4Fwd\naggregate(c, src='203.0.113.0/24')\n",
-        )
-        .unwrap();
+        let spec = parse_spec("c = ACL -> IPv4Fwd\naggregate(c, src='203.0.113.0/24')\n").unwrap();
         let agg = spec.chains[0].aggregate.unwrap();
         assert!(agg.src.is_some());
     }
@@ -845,10 +887,9 @@ mod tests {
 
     #[test]
     fn branch_fractions() {
-        let spec = parse_spec(
-            "c = BPF -> [{'frac': 0.8, Encrypt}, {'frac': 0.2, Monitor}] -> IPv4Fwd\n",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("c = BPF -> [{'frac': 0.8, Encrypt}, {'frac': 0.2, Monitor}] -> IPv4Fwd\n")
+                .unwrap();
         let chains = spec.chains[0].graph.decompose();
         let weights: Vec<f64> = chains.iter().map(|c| c.weight).collect();
         assert!(weights.iter().any(|w| (w - 0.8).abs() < 1e-9));
@@ -861,7 +902,10 @@ mod tests {
         assert_eq!(parse_rate(&ParamValue::Str("1.5M".into())), Some(1.5e6));
         assert_eq!(parse_rate(&ParamValue::Int(42)), Some(42.0));
         assert_eq!(parse_rate(&ParamValue::Bool(true)), None);
-        assert_eq!(parse_delay_ns(&ParamValue::Str("45us".into())), Some(45_000.0));
+        assert_eq!(
+            parse_delay_ns(&ParamValue::Str("45us".into())),
+            Some(45_000.0)
+        );
         assert_eq!(parse_delay_ns(&ParamValue::Str("1ms".into())), Some(1e6));
     }
 }

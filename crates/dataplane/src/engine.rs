@@ -2,7 +2,8 @@
 
 use crate::faults::{FaultKind, FaultPlan, FaultState};
 use crate::report::{
-    ChainStats, DropReason, SimReport, TimelineEvent, ViolationKind, WindowSample,
+    ChainStats, ConservationLedger, DropReason, SimReport, TimelineEvent, ViolationKind,
+    WindowSample,
 };
 use crate::traffic::{ChainSource, TrafficSpec};
 use lemur_bess::CoreId;
@@ -139,7 +140,104 @@ enum Hop {
     ServerEgress(usize),
     AtNic(usize),
     Deliver,
+    /// End of a drain window: swap the staged configuration in. Declared
+    /// last so that at an equal `(time, id)` every fault and packet hop
+    /// settles before the epoch changes.
+    EpochSwap,
 }
+
+/// A pre-built configuration waiting to be swapped in at the end of a
+/// drain window (phase one of the two-phase commit). Compiling and
+/// loading happen here, off the "live" path, so the swap itself is
+/// atomic from the dataplane's point of view.
+pub struct StagedConfig {
+    switch: Switch,
+    servers: Vec<Option<ServerSim>>,
+    nics: Vec<Option<NicSim>>,
+    subgroup_cycles: Vec<f64>,
+    /// Per *original* chain: is it admitted in the new epoch? Shed
+    /// chains have their packets refused at inject ([`DropReason::Shed`]).
+    admitted: Vec<bool>,
+    /// Replacement SLO-guard bounds, indexed by original chain (shed
+    /// chains should carry `None` so the guard stops flagging them).
+    slos: Vec<Option<Slo>>,
+    /// True when this config restores a last-known-good placement.
+    rollback: bool,
+}
+
+impl StagedConfig {
+    /// Pre-stage a deployment for a (possibly repaired sub-)problem.
+    /// `admitted` and `slos` are indexed by the *original* problem's
+    /// chains — the engine keeps original chain numbering across epochs.
+    pub fn build(
+        problem: &PlacementProblem,
+        placement: &EvaluatedPlacement,
+        deployment: Deployment,
+        admitted: Vec<bool>,
+        slos: Vec<Option<Slo>>,
+        rollback: bool,
+    ) -> Result<StagedConfig, BuildError> {
+        let parts = build_parts(problem, placement, deployment)?;
+        Ok(StagedConfig {
+            switch: parts.switch,
+            servers: parts.servers,
+            nics: parts.nics,
+            subgroup_cycles: parts.subgroup_cycles,
+            admitted,
+            slos,
+            rollback,
+        })
+    }
+
+    pub fn is_rollback(&self) -> bool {
+        self.rollback
+    }
+}
+
+/// What a [`ControlHook`] tells the engine to do after a callback.
+pub enum ControlAction {
+    /// Keep running the current epoch.
+    Continue,
+    /// Begin the two-phase commit: emit [`TimelineEvent::DrainStart`] now
+    /// and swap `staged` in after `drain_ns` of virtual time. Ignored if
+    /// a swap is already pending.
+    StageCommit {
+        staged: Box<StagedConfig>,
+        drain_ns: u64,
+    },
+}
+
+/// Control-plane logic running *inside* the simulation. The engine calls
+/// back at guard-window closes and fault applications; the hook may
+/// respond with a staged reconfiguration. All timing is virtual, so a
+/// hooked run is exactly as deterministic as a plain one.
+pub trait ControlHook {
+    /// A fault-plan event was just applied.
+    fn on_fault(&mut self, _at_ns: u64, _kind: &FaultKind) -> ControlAction {
+        ControlAction::Continue
+    }
+
+    /// An SLO-guard window closed. `samples` holds this window's
+    /// per-chain measurements; `violations` the violation events it
+    /// produced (empty when all admitted chains met their bounds).
+    fn on_window(
+        &mut self,
+        _end_ns: u64,
+        _samples: &[WindowSample],
+        _violations: &[TimelineEvent],
+    ) -> ControlAction {
+        ControlAction::Continue
+    }
+
+    /// An epoch swap committed (`packets_lost` = update-time loss).
+    fn on_commit(&mut self, _at_ns: u64, _epoch: u64, _packets_lost: u64, _rollback: bool) {}
+}
+
+/// The do-nothing hook: [`Testbed::run_with_faults`] uses it, keeping
+/// un-supervised runs byte-identical to the pre-control-loop engine.
+pub struct NoopHook;
+
+impl ControlHook for NoopHook {}
 
 /// The executable testbed.
 pub struct Testbed {
@@ -166,71 +264,23 @@ impl Testbed {
         placement: &EvaluatedPlacement,
         deployment: Deployment,
     ) -> Result<Testbed, BuildError> {
-        let pisa = match &problem.topology.tor {
-            Tor::Pisa(m) => *m,
-            Tor::OpenFlow { .. } => {
-                return Err(BuildError::UnsupportedTor(
-                    "OpenFlow testbeds use OfTestbed (see exp_fig3c)".to_string(),
-                ))
-            }
-        };
-        let mut switch = Switch::new(deployment.p4.program.clone(), pisa)
-            .map_err(|e| BuildError::SwitchLoad(e.to_string()))?;
-        deployment.p4.install(&mut switch);
-
+        let parts = build_parts(problem, placement, deployment)?;
         let n_servers = problem.topology.servers.len();
-        let mut servers: Vec<Option<ServerSim>> = (0..n_servers).map(|_| None).collect();
-        for pipe in deployment.bess {
-            let s = pipe.server;
-            let spec = problem.topology.servers[s].clone();
-            let nic_socket = spec.nics.first().map(|n| n.socket).unwrap_or(lemur_bess::SocketId(0));
-            servers[s] = Some(ServerSim {
-                pipeline: pipe,
-                demux: Station::default(),
-                cores: HashMap::new(),
-                clock_hz: spec.clock_hz,
-                same_socket_factor: 1.0 / spec.cross_socket_penalty,
-                nic_socket,
-                spec,
-            });
-        }
-        let mut nics: Vec<Option<NicSim>> =
-            (0..problem.topology.smartnics.len()).map(|_| None).collect();
-        for np in deployment.ebpf {
-            let spec = &problem.topology.smartnics[np.nic];
-            nics[np.nic] = Some(NicSim {
-                program: np.program,
-                proc: Station::default(),
-                link_in: Station::default(),
-                link_out: Station::default(),
-                clock_hz: spec.clock_hz,
-                link_bps: spec.rate_bps,
-            });
-        }
-        let link_bps: Vec<f64> =
-            (0..n_servers).map(|s| problem.topology.server_link_bps(s)).collect();
+        let link_bps: Vec<f64> = (0..n_servers)
+            .map(|s| problem.topology.server_link_bps(s))
+            .collect();
         Ok(Testbed {
-            switch,
-            servers,
-            nics,
+            switch: parts.switch,
+            servers: parts.servers,
+            nics: parts.nics,
             n_chains: problem.chains.len(),
-            pisa,
+            pisa: parts.pisa,
             tor_to_server: vec![Station::default(); n_servers],
             server_to_tor: vec![Station::default(); n_servers],
             tor_out: Station::default(),
             link_bps,
-            tor_rate_bps: pisa.port_rate_bps,
-            subgroup_cycles: placement
-                .subgroups
-                .iter()
-                .map(|sg| {
-                    let mut c = sg.cycles;
-                    if sg.cores > 1 {
-                        c += lemur_placer::REPLICATION_OVERHEAD_CYCLES;
-                    }
-                    c
-                })
-                .collect(),
+            tor_rate_bps: parts.pisa.port_rate_bps,
+            subgroup_cycles: parts.subgroup_cycles,
         })
     }
 
@@ -256,6 +306,25 @@ impl Testbed {
         plan: &FaultPlan,
         slos: &[Option<Slo>],
     ) -> SimReport {
+        self.run_supervised(specs, config, plan, slos, &mut NoopHook)
+    }
+
+    /// [`Testbed::run_with_faults`] plus a live control plane: `hook` is
+    /// called back at guard-window closes and fault applications and may
+    /// stage a transactional reconfiguration ([`ControlAction::StageCommit`]).
+    /// The engine then emits [`TimelineEvent::DrainStart`], lets the old
+    /// epoch run for the drain window, and atomically swaps the staged
+    /// configuration in — dropping whatever is still in flight as
+    /// [`DropReason::Reconfig`] (the update-time-loss metric) in sorted
+    /// packet-id order, so supervised runs stay bit-for-bit reproducible.
+    pub fn run_supervised(
+        &mut self,
+        specs: &[TrafficSpec],
+        config: SimConfig,
+        plan: &FaultPlan,
+        slos: &[Option<Slo>],
+        hook: &mut dyn ControlHook,
+    ) -> SimReport {
         assert_eq!(specs.len(), self.n_chains, "one spec per chain");
         assert!(
             slos.is_empty() || slos.len() == self.n_chains,
@@ -280,7 +349,11 @@ impl Testbed {
         // event's second component.
         // (One packet = one in-flight event at a time.)
         for (ci, src) in sources.iter().enumerate() {
-            heap.push(Reverse((src.peek_time(), u64::MAX - ci as u64, Hop::Inject(ci))));
+            heap.push(Reverse((
+                src.peek_time(),
+                u64::MAX - ci as u64,
+                Hop::Inject(ci),
+            )));
         }
         for (fi, ev) in plan.events().iter().enumerate() {
             if ev.at_ns < horizon_ns {
@@ -289,12 +362,24 @@ impl Testbed {
         }
         let mut fault_state = FaultState::healthy(self.servers.len());
         let mut timeline: Vec<TimelineEvent> = Vec::new();
+        let mut ledger = ConservationLedger::default();
 
         let mut stats: Vec<ChainStats> = specs
             .iter()
-            .map(|s| ChainStats { offered_bps: s.offered_bps, ..Default::default() })
+            .map(|s| ChainStats {
+                offered_bps: s.offered_bps,
+                ..Default::default()
+            })
             .collect();
         let mut latency_sum = vec![0f64; self.n_chains];
+
+        // Epoch state for live reconfiguration.
+        let mut epoch: u64 = 0;
+        let mut pending_swap: Option<Box<StagedConfig>> = None;
+        let mut admitted: Vec<bool> = vec![true; self.n_chains];
+        // The guard bounds are swappable (a commit replaces them so shed
+        // chains stop being flagged), so keep a local copy.
+        let mut slos_live: Vec<Option<Slo>> = slos.to_vec();
 
         // SLO-guard window state.
         let guard_on = !slos.is_empty();
@@ -302,16 +387,22 @@ impl Testbed {
         let mut window_acc: Vec<WindowAcc> = vec![WindowAcc::default(); self.n_chains];
         let mut window_start = warmup_ns;
         let mut windows: Vec<WindowSample> = Vec::new();
-        let close_window = |end_ns: u64,
-                                start_ns: u64,
-                                acc: &mut Vec<WindowAcc>,
-                                windows: &mut Vec<WindowSample>,
-                                timeline: &mut Vec<TimelineEvent>| {
+        fn close_window(
+            end_ns: u64,
+            start_ns: u64,
+            acc: &mut [WindowAcc],
+            windows: &mut Vec<WindowSample>,
+            timeline: &mut Vec<TimelineEvent>,
+            slos: &[Option<Slo>],
+        ) {
             let span_s = (end_ns - start_ns) as f64 / 1e9;
             for (ci, a) in acc.iter_mut().enumerate() {
                 let delivered_bps = if span_s > 0.0 { a.bits / span_s } else { 0.0 };
-                let mean_latency_ns =
-                    if a.packets > 0 { a.lat_sum / a.packets as f64 } else { 0.0 };
+                let mean_latency_ns = if a.packets > 0 {
+                    a.lat_sum / a.packets as f64
+                } else {
+                    0.0
+                };
                 windows.push(WindowSample {
                     start_ns,
                     end_ns,
@@ -345,15 +436,45 @@ impl Testbed {
                 }
                 *a = WindowAcc::default();
             }
-        };
+        }
+
+        // Apply a hook's verdict: stage at most one pending swap.
+        macro_rules! handle_action {
+            ($action:expr, $now:expr) => {
+                if let ControlAction::StageCommit { staged, drain_ns } = $action {
+                    if pending_swap.is_none() {
+                        debug_assert_eq!(staged.admitted.len(), self.n_chains);
+                        debug_assert_eq!(staged.slos.len(), self.n_chains);
+                        timeline.push(TimelineEvent::DrainStart {
+                            at_ns: $now,
+                            epoch,
+                            rollback: staged.rollback,
+                        });
+                        heap.push(Reverse(($now + drain_ns, 0, Hop::EpochSwap)));
+                        pending_swap = Some(staged);
+                    }
+                }
+            };
+        }
 
         while let Some(Reverse((now, id, hop))) = heap.pop() {
             // Close any SLO-guard windows that ended before this event.
             if guard_on {
                 while window_start + window_ns <= now && window_start + window_ns <= horizon_ns {
                     let end = window_start + window_ns;
-                    close_window(end, window_start, &mut window_acc, &mut windows, &mut timeline);
+                    let w0 = windows.len();
+                    let t0 = timeline.len();
+                    close_window(
+                        end,
+                        window_start,
+                        &mut window_acc,
+                        &mut windows,
+                        &mut timeline,
+                        &slos_live,
+                    );
                     window_start = end;
+                    let action = hook.on_window(end, &windows[w0..], &timeline[t0..]);
+                    handle_action!(action, now);
                 }
             }
             match hop {
@@ -390,24 +511,42 @@ impl Testbed {
                             }
                         }
                     }
-                    timeline.push(TimelineEvent::Fault { at_ns: now, kind: ev.kind.clone() });
+                    timeline.push(TimelineEvent::Fault {
+                        at_ns: now,
+                        kind: ev.kind.clone(),
+                    });
+                    let action = hook.on_fault(now, &ev.kind);
+                    handle_action!(action, now);
                 }
                 Hop::Inject(ci) => {
                     let (t, buf) = sources[ci].next_packet();
                     debug_assert_eq!(t, now);
-                    let pid = next_id;
-                    next_id += 1;
-                    packets.insert(
-                        pid,
-                        SimPacket {
-                            ingress_bits: buf.len() as u64 * 8,
-                            buf,
-                            chain: ci,
-                            t_in: now,
-                            hops: 0,
-                        },
-                    );
-                    heap.push(Reverse((now, pid, Hop::AtTor)));
+                    ledger.injected += 1;
+                    if !admitted[ci] {
+                        // The chain is shed in the current epoch: refuse
+                        // admission. The source still advances so the
+                        // arrival process is identical whether or not
+                        // (and when) the chain is re-admitted.
+                        ledger.record_drop(DropReason::Shed);
+                        if now >= warmup_ns && now < horizon_ns {
+                            stats[ci].record_drop(DropReason::Shed);
+                            window_acc[ci].drops += 1;
+                        }
+                    } else {
+                        let pid = next_id;
+                        next_id += 1;
+                        packets.insert(
+                            pid,
+                            SimPacket {
+                                ingress_bits: buf.len() as u64 * 8,
+                                buf,
+                                chain: ci,
+                                t_in: now,
+                                hops: 0,
+                            },
+                        );
+                        heap.push(Reverse((now, pid, Hop::AtTor)));
+                    }
                     if sources[ci].peek_time() < horizon_ns {
                         heap.push(Reverse((
                             sources[ci].peek_time(),
@@ -417,7 +556,14 @@ impl Testbed {
                     }
                 }
                 Hop::Deliver => {
-                    let p = packets.remove(&id).expect("packet exists");
+                    // A stale event (its packet was dropped at an epoch
+                    // swap) is skipped, not a panic: post-swap heaps
+                    // legitimately hold hops for packets that no longer
+                    // exist.
+                    let Some(p) = packets.remove(&id) else {
+                        continue;
+                    };
+                    ledger.delivered += 1;
                     // Egress-rate accounting: count packets *exiting* within
                     // the measurement window, so measured throughput is a
                     // true rate even before queues reach steady state.
@@ -435,31 +581,53 @@ impl Testbed {
                     }
                 }
                 Hop::AtTor => {
-                    let Some(p) = packets.get_mut(&id) else { continue };
+                    let Some(p) = packets.get_mut(&id) else {
+                        continue;
+                    };
                     p.hops += 1;
                     if p.hops > MAX_HOPS {
                         drop_packet(
-                            &mut packets, &mut stats, &mut window_acc, id,
-                            DropReason::MaxHops, warmup_ns, horizon_ns,
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            DropReason::MaxHops,
+                            warmup_ns,
+                            horizon_ns,
                         );
                         continue;
                     }
                     let bits = p.buf.len() as f64 * 8.0;
                     let verdict = self.switch.process(&mut p.buf);
-                    let after_pipe = now + self.pisa.pipeline_latency_ns(
-                        self.switch.assignment().num_stages_used.max(1),
-                    ) as u64;
+                    let after_pipe = now
+                        + self
+                            .pisa
+                            .pipeline_latency_ns(self.switch.assignment().num_stages_used.max(1))
+                            as u64;
                     if verdict.dropped {
                         drop_packet(
-                            &mut packets, &mut stats, &mut window_acc, id,
-                            DropReason::Verdict, warmup_ns, horizon_ns,
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            DropReason::Verdict,
+                            warmup_ns,
+                            horizon_ns,
                         );
                         continue;
                     }
                     match verdict.egress_port {
                         None => drop_packet(
-                            &mut packets, &mut stats, &mut window_acc, id,
-                            DropReason::Verdict, warmup_ns, horizon_ns,
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            DropReason::Verdict,
+                            warmup_ns,
+                            horizon_ns,
                         ),
                         Some(0) => {
                             // Out port: serialize on the ToR uplink.
@@ -469,8 +637,14 @@ impl Testbed {
                                     heap.push(Reverse((done + PROP_NS, id, Hop::Deliver)))
                                 }
                                 None => drop_packet(
-                                    &mut packets, &mut stats, &mut window_acc, id,
-                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
+                                    &mut packets,
+                                    &mut stats,
+                                    &mut window_acc,
+                                    &mut ledger,
+                                    id,
+                                    DropReason::QueueOverflow,
+                                    warmup_ns,
+                                    horizon_ns,
                                 ),
                             }
                         }
@@ -478,30 +652,45 @@ impl Testbed {
                             let s = (port - 1) as usize;
                             if s >= self.tor_to_server.len() {
                                 drop_packet(
-                                    &mut packets, &mut stats, &mut window_acc, id,
-                                    DropReason::Verdict, warmup_ns, horizon_ns,
+                                    &mut packets,
+                                    &mut stats,
+                                    &mut window_acc,
+                                    &mut ledger,
+                                    id,
+                                    DropReason::Verdict,
+                                    warmup_ns,
+                                    horizon_ns,
                                 );
                                 continue;
                             }
                             if !fault_state.link_is_up(s) {
                                 drop_packet(
-                                    &mut packets, &mut stats, &mut window_acc, id,
-                                    DropReason::Fault, warmup_ns, horizon_ns,
+                                    &mut packets,
+                                    &mut stats,
+                                    &mut window_acc,
+                                    &mut ledger,
+                                    id,
+                                    DropReason::Fault,
+                                    warmup_ns,
+                                    horizon_ns,
                                 );
                                 continue;
                             }
                             let ser = (bits / self.link_bps[s] * 1e9) as u64;
-                            match self.tor_to_server[s].serve(
-                                after_pipe,
-                                ser,
-                                config.max_queue_ns,
-                            ) {
+                            match self.tor_to_server[s].serve(after_pipe, ser, config.max_queue_ns)
+                            {
                                 Some(done) => {
                                     heap.push(Reverse((done + PROP_NS, id, Hop::AtServer(s))))
                                 }
                                 None => drop_packet(
-                                    &mut packets, &mut stats, &mut window_acc, id,
-                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
+                                    &mut packets,
+                                    &mut stats,
+                                    &mut window_acc,
+                                    &mut ledger,
+                                    id,
+                                    DropReason::QueueOverflow,
+                                    warmup_ns,
+                                    horizon_ns,
                                 ),
                             }
                         }
@@ -509,8 +698,14 @@ impl Testbed {
                             let n = (port - 100) as usize;
                             let Some(Some(nic)) = self.nics.get_mut(n) else {
                                 drop_packet(
-                                    &mut packets, &mut stats, &mut window_acc, id,
-                                    DropReason::Verdict, warmup_ns, horizon_ns,
+                                    &mut packets,
+                                    &mut stats,
+                                    &mut window_acc,
+                                    &mut ledger,
+                                    id,
+                                    DropReason::Verdict,
+                                    warmup_ns,
+                                    horizon_ns,
                                 );
                                 continue;
                             };
@@ -520,8 +715,14 @@ impl Testbed {
                                     heap.push(Reverse((done + PROP_NS, id, Hop::AtNic(n))))
                                 }
                                 None => drop_packet(
-                                    &mut packets, &mut stats, &mut window_acc, id,
-                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
+                                    &mut packets,
+                                    &mut stats,
+                                    &mut window_acc,
+                                    &mut ledger,
+                                    id,
+                                    DropReason::QueueOverflow,
+                                    warmup_ns,
+                                    horizon_ns,
                                 ),
                             }
                         }
@@ -531,12 +732,20 @@ impl Testbed {
                     let outcome = {
                         let Some(server) = self.servers[s].as_mut() else {
                             drop_packet(
-                                &mut packets, &mut stats, &mut window_acc, id,
-                                DropReason::Verdict, warmup_ns, horizon_ns,
+                                &mut packets,
+                                &mut stats,
+                                &mut window_acc,
+                                &mut ledger,
+                                id,
+                                DropReason::Verdict,
+                                warmup_ns,
+                                horizon_ns,
                             );
                             continue;
                         };
-                        let Some(p) = packets.get_mut(&id) else { continue };
+                        let Some(p) = packets.get_mut(&id) else {
+                            continue;
+                        };
                         server_hop(
                             server,
                             s,
@@ -553,8 +762,14 @@ impl Testbed {
                             heap.push(Reverse((done_at, id, Hop::ServerEgress(s))));
                         }
                         Err(reason) => drop_packet(
-                            &mut packets, &mut stats, &mut window_acc, id,
-                            reason, warmup_ns, horizon_ns,
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            reason,
+                            warmup_ns,
+                            horizon_ns,
                         ),
                     }
                 }
@@ -564,8 +779,14 @@ impl Testbed {
                     let Some(p) = packets.get(&id) else { continue };
                     if !fault_state.link_is_up(s) {
                         drop_packet(
-                            &mut packets, &mut stats, &mut window_acc, id,
-                            DropReason::Fault, warmup_ns, horizon_ns,
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            DropReason::Fault,
+                            warmup_ns,
+                            horizon_ns,
                         );
                         continue;
                     }
@@ -574,77 +795,170 @@ impl Testbed {
                     match self.server_to_tor[s].serve(now, ser, config.max_queue_ns) {
                         Some(done) => heap.push(Reverse((done + PROP_NS, id, Hop::AtTor))),
                         None => drop_packet(
-                            &mut packets, &mut stats, &mut window_acc, id,
-                            DropReason::QueueOverflow, warmup_ns, horizon_ns,
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            DropReason::QueueOverflow,
+                            warmup_ns,
+                            horizon_ns,
                         ),
                     }
                 }
                 Hop::AtNic(n) => {
+                    // Process on the NIC, then reserve its egress link —
+                    // both under one borrow so no post-hoc re-lookup (and
+                    // no unwrap) is needed.
                     let outcome = {
                         let Some(nic) = self.nics[n].as_mut() else {
                             drop_packet(
-                                &mut packets, &mut stats, &mut window_acc, id,
-                                DropReason::Verdict, warmup_ns, horizon_ns,
+                                &mut packets,
+                                &mut stats,
+                                &mut window_acc,
+                                &mut ledger,
+                                id,
+                                DropReason::Verdict,
+                                warmup_ns,
+                                horizon_ns,
                             );
                             continue;
                         };
-                        let Some(p) = packets.get_mut(&id) else { continue };
-                        nic_hop(nic, p, now, &config)
+                        let Some(p) = packets.get_mut(&id) else {
+                            continue;
+                        };
+                        nic_hop(nic, p, now, &config).map(|done_at| {
+                            let bits = p.buf.len() as f64 * 8.0;
+                            let ser = (bits / nic.link_bps * 1e9) as u64;
+                            nic.link_out.serve(done_at, ser, config.max_queue_ns)
+                        })
                     };
                     match outcome {
-                        Ok(done_at) => {
-                            let Some(p) = packets.get(&id) else { continue };
-                            let bits = p.buf.len() as f64 * 8.0;
-                            let nic = self.nics[n].as_mut().unwrap();
-                            let ser = (bits / nic.link_bps * 1e9) as u64;
-                            match nic.link_out.serve(done_at, ser, config.max_queue_ns) {
-                                Some(done) => {
-                                    heap.push(Reverse((done + PROP_NS, id, Hop::AtTor)))
-                                }
-                                None => drop_packet(
-                                    &mut packets, &mut stats, &mut window_acc, id,
-                                    DropReason::QueueOverflow, warmup_ns, horizon_ns,
-                                ),
-                            }
-                        }
+                        Ok(Some(done)) => heap.push(Reverse((done + PROP_NS, id, Hop::AtTor))),
+                        Ok(None) => drop_packet(
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            DropReason::QueueOverflow,
+                            warmup_ns,
+                            horizon_ns,
+                        ),
                         Err(reason) => drop_packet(
-                            &mut packets, &mut stats, &mut window_acc, id,
-                            reason, warmup_ns, horizon_ns,
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            id,
+                            reason,
+                            warmup_ns,
+                            horizon_ns,
                         ),
                     }
+                }
+                Hop::EpochSwap => {
+                    let Some(staged) = pending_swap.take().map(|b| *b) else {
+                        continue;
+                    };
+                    // Phase two of the commit: anything still in flight
+                    // missed the drain window and is charged to the swap
+                    // (update-time loss). Sorted id order keeps the drop
+                    // sequence — and thus the report — deterministic.
+                    let mut stale: Vec<u64> = packets.keys().copied().collect();
+                    stale.sort_unstable();
+                    let packets_lost = stale.len() as u64;
+                    for sid in stale {
+                        drop_packet(
+                            &mut packets,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                            sid,
+                            DropReason::Reconfig,
+                            warmup_ns,
+                            horizon_ns,
+                        );
+                    }
+                    // Atomic swap: compute state is replaced, physical
+                    // link stations (and their backlog) persist.
+                    self.switch = staged.switch;
+                    self.servers = staged.servers;
+                    self.nics = staged.nics;
+                    self.subgroup_cycles = staged.subgroup_cycles;
+                    admitted = staged.admitted;
+                    slos_live = staged.slos;
+                    epoch += 1;
+                    timeline.push(TimelineEvent::EpochCommit {
+                        at_ns: now,
+                        epoch,
+                        packets_lost,
+                        rollback: staged.rollback,
+                    });
+                    hook.on_commit(now, epoch, packets_lost, staged.rollback);
                 }
             }
         }
 
-        // Flush any windows still open at the horizon.
+        // Flush any windows still open at the horizon. (No hook calls:
+        // the run is over, nothing can be staged anymore.)
         if guard_on {
             while window_start + window_ns <= horizon_ns {
                 let end = window_start + window_ns;
-                close_window(end, window_start, &mut window_acc, &mut windows, &mut timeline);
+                close_window(
+                    end,
+                    window_start,
+                    &mut window_acc,
+                    &mut windows,
+                    &mut timeline,
+                    &slos_live,
+                );
                 window_start = end;
             }
         }
+        ledger.in_flight_at_end = packets.len() as u64;
 
         if std::env::var("LEMUR_DBG").is_ok() {
-            eprintln!("END tor_out backlog={}us", self.tor_out.free_at.saturating_sub(horizon_ns)/1000);
+            eprintln!(
+                "END tor_out backlog={}us",
+                self.tor_out.free_at.saturating_sub(horizon_ns) / 1000
+            );
             for (s, st) in self.tor_to_server.iter().enumerate() {
-                eprintln!("END tor_to_server[{s}] backlog={}us", st.free_at.saturating_sub(horizon_ns)/1000);
+                eprintln!(
+                    "END tor_to_server[{s}] backlog={}us",
+                    st.free_at.saturating_sub(horizon_ns) / 1000
+                );
             }
             for (s, st) in self.server_to_tor.iter().enumerate() {
-                eprintln!("END server_to_tor[{s}] backlog={}us", st.free_at.saturating_sub(horizon_ns)/1000);
+                eprintln!(
+                    "END server_to_tor[{s}] backlog={}us",
+                    st.free_at.saturating_sub(horizon_ns) / 1000
+                );
             }
             for (s, srv) in self.servers.iter().enumerate() {
                 if let Some(srv) = srv {
-                    eprintln!("END demux[{s}] backlog={}us unmatched={}", srv.demux.free_at.saturating_sub(horizon_ns)/1000, srv.pipeline.demux.unmatched);
+                    eprintln!(
+                        "END demux[{s}] backlog={}us unmatched={}",
+                        srv.demux.free_at.saturating_sub(horizon_ns) / 1000,
+                        srv.pipeline.demux.unmatched
+                    );
                     let mut cores: Vec<_> = srv.cores.iter().collect();
                     cores.sort_by_key(|(c, _)| **c);
                     for (c, st) in cores {
-                        eprintln!("END core[{c}] backlog={}us", st.free_at.saturating_sub(horizon_ns)/1000);
+                        eprintln!(
+                            "END core[{c}] backlog={}us",
+                            st.free_at.saturating_sub(horizon_ns) / 1000
+                        );
                     }
                     for inst in &srv.pipeline.instances {
-                        eprintln!("END inst sg{} r{} core{} in={} nf_drops={}",
-                            inst.subgroup_idx, inst.replica, inst.core,
-                            inst.runtime.packets_in(), inst.runtime.packets_dropped());
+                        eprintln!(
+                            "END inst sg{} r{} core{} in={} nf_drops={}",
+                            inst.subgroup_idx,
+                            inst.replica,
+                            inst.core,
+                            inst.runtime.packets_in(),
+                            inst.runtime.packets_dropped()
+                        );
                     }
                 }
             }
@@ -661,8 +975,90 @@ impl Testbed {
             duration_s: config.duration_s,
             timeline,
             windows,
+            ledger,
         }
     }
+}
+
+/// Compiled simulation state shared by [`Testbed::build`] and
+/// [`StagedConfig::build`].
+struct BuiltParts {
+    switch: Switch,
+    pisa: PisaModel,
+    servers: Vec<Option<ServerSim>>,
+    nics: Vec<Option<NicSim>>,
+    subgroup_cycles: Vec<f64>,
+}
+
+fn build_parts(
+    problem: &PlacementProblem,
+    placement: &EvaluatedPlacement,
+    deployment: Deployment,
+) -> Result<BuiltParts, BuildError> {
+    let pisa = match &problem.topology.tor {
+        Tor::Pisa(m) => *m,
+        Tor::OpenFlow { .. } => {
+            return Err(BuildError::UnsupportedTor(
+                "OpenFlow testbeds use OfTestbed (see exp_fig3c)".to_string(),
+            ))
+        }
+    };
+    let mut switch = Switch::new(deployment.p4.program.clone(), pisa)
+        .map_err(|e| BuildError::SwitchLoad(e.to_string()))?;
+    deployment.p4.install(&mut switch);
+
+    let n_servers = problem.topology.servers.len();
+    let mut servers: Vec<Option<ServerSim>> = (0..n_servers).map(|_| None).collect();
+    for pipe in deployment.bess {
+        let s = pipe.server;
+        let spec = problem.topology.servers[s].clone();
+        let nic_socket = spec
+            .nics
+            .first()
+            .map(|n| n.socket)
+            .unwrap_or(lemur_bess::SocketId(0));
+        servers[s] = Some(ServerSim {
+            pipeline: pipe,
+            demux: Station::default(),
+            cores: HashMap::new(),
+            clock_hz: spec.clock_hz,
+            same_socket_factor: 1.0 / spec.cross_socket_penalty,
+            nic_socket,
+            spec,
+        });
+    }
+    let mut nics: Vec<Option<NicSim>> = (0..problem.topology.smartnics.len())
+        .map(|_| None)
+        .collect();
+    for np in deployment.ebpf {
+        let spec = &problem.topology.smartnics[np.nic];
+        nics[np.nic] = Some(NicSim {
+            program: np.program,
+            proc: Station::default(),
+            link_in: Station::default(),
+            link_out: Station::default(),
+            clock_hz: spec.clock_hz,
+            link_bps: spec.rate_bps,
+        });
+    }
+    let subgroup_cycles = placement
+        .subgroups
+        .iter()
+        .map(|sg| {
+            let mut c = sg.cycles;
+            if sg.cores > 1 {
+                c += lemur_placer::REPLICATION_OVERHEAD_CYCLES;
+            }
+            c
+        })
+        .collect();
+    Ok(BuiltParts {
+        switch,
+        pisa,
+        servers,
+        nics,
+        subgroup_cycles,
+    })
 }
 
 /// Per-chain accumulator for one SLO-guard window.
@@ -679,16 +1075,22 @@ fn drop_packet(
     packets: &mut HashMap<u64, SimPacket>,
     stats: &mut [ChainStats],
     window_acc: &mut [WindowAcc],
+    ledger: &mut ConservationLedger,
     id: u64,
     reason: DropReason,
     warmup_ns: u64,
     horizon_ns: u64,
 ) {
     if let Some(p) = packets.remove(&id) {
+        // The ledger is unconditional — every injected packet lands in
+        // exactly one bucket regardless of warmup windows.
+        ledger.record_drop(reason);
         if std::env::var("LEMUR_DBG").is_ok() {
             eprintln!(
                 "DROP chain={} hops={} t_in={}us reason={reason:?}",
-                p.chain, p.hops, p.t_in / 1000
+                p.chain,
+                p.hops,
+                p.t_in / 1000
             );
         }
         if p.t_in >= warmup_ns && p.t_in < horizon_ns {
@@ -851,9 +1253,7 @@ mod tests {
         let mut p = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
         for i in 0..p.chains.len() {
             let base = p.base_rate_bps(i);
-            p.chains[i].slo = Some(
-                Slo::elastic_pipe(delta * base, 100e9),
-            );
+            p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
         }
         let a = lemur_placer::baselines::hw_preferred_assignment(&p);
         let e = p.evaluate(&a, CoreStrategy::WaterFill).unwrap();
@@ -867,7 +1267,11 @@ mod tests {
     /// Short window keeping debug-mode tests fast; the bench harness uses
     /// longer windows in release mode.
     fn quick() -> SimConfig {
-        SimConfig { duration_s: 0.004, warmup_s: 0.001, ..SimConfig::default() }
+        SimConfig {
+            duration_s: 0.004,
+            warmup_s: 0.001,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -896,12 +1300,15 @@ mod tests {
         let dep = lemur_metacompiler::compile(&p, &e).unwrap();
         let mut tb = Testbed::build(&p, &e, dep).unwrap();
         let report = tb.run(&specs, quick());
-        let t_mins: Vec<f64> =
-            p.chains.iter().map(|c| c.slo.unwrap().t_min_bps).collect();
+        let t_mins: Vec<f64> = p.chains.iter().map(|c| c.slo.unwrap().t_min_bps).collect();
         assert!(
             report.slos_met(&t_mins, 0.05),
             "SLOs unmet: {:?} vs {:?}",
-            report.per_chain.iter().map(|c| c.delivered_bps / 1e9).collect::<Vec<_>>(),
+            report
+                .per_chain
+                .iter()
+                .map(|c| c.delivered_bps / 1e9)
+                .collect::<Vec<_>>(),
             t_mins.iter().map(|t| t / 1e9).collect::<Vec<_>>()
         );
     }
@@ -931,7 +1338,10 @@ mod tests {
             let dep = lemur_metacompiler::compile(&p, &e).unwrap();
             let mut tb = Testbed::build(&p, &e, dep).unwrap();
             let r = tb.run(&specs, quick());
-            (r.per_chain[0].delivered_packets, r.per_chain[0].dropped_packets)
+            (
+                r.per_chain[0].delivered_packets,
+                r.per_chain[0].dropped_packets,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -953,7 +1363,12 @@ mod tests {
     #[test]
     fn link_down_triggers_guard_within_a_window() {
         let (p, e, specs) = setup(&[CanonicalChain::Chain3], 1.0);
-        let server = e.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server).unwrap();
+        let server = e
+            .subgroups
+            .iter()
+            .find(|sg| sg.chain == 0)
+            .map(|sg| sg.server)
+            .unwrap();
         let dep = lemur_metacompiler::compile(&p, &e).unwrap();
         let mut tb = Testbed::build(&p, &e, dep).unwrap();
         let config = quick(); // warmup 1 ms, duration 4 ms, window 1 ms
@@ -968,10 +1383,16 @@ mod tests {
             .iter()
             .any(|ev| matches!(ev, TimelineEvent::Fault { .. })));
         // Fault-reason drops were recorded, and distinguished from others.
-        assert!(report.per_chain[0].drops_fault > 0, "{:?}", report.per_chain[0]);
+        assert!(
+            report.per_chain[0].drops_fault > 0,
+            "{:?}",
+            report.per_chain[0]
+        );
         // The guard flagged the starved chain no later than two windows
         // after injection (one full window must elapse below t_min).
-        let detected = report.first_violation_ns(0).expect("no SLO violation detected");
+        let detected = report
+            .first_violation_ns(0)
+            .expect("no SLO violation detected");
         assert!(
             detected >= fault_ns && detected <= fault_ns + 2 * config.window_ns,
             "detected at {detected} for fault at {fault_ns}"
@@ -981,7 +1402,12 @@ mod tests {
     #[test]
     fn link_flap_recovers_goodput() {
         let (p, e, specs) = setup(&[CanonicalChain::Chain3], 1.0);
-        let server = e.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server).unwrap();
+        let server = e
+            .subgroups
+            .iter()
+            .find(|sg| sg.chain == 0)
+            .map(|sg| sg.server)
+            .unwrap();
         let dep = lemur_metacompiler::compile(&p, &e).unwrap();
         let mut tb = Testbed::build(&p, &e, dep).unwrap();
         // Down for 1 ms mid-run, then back.
@@ -1011,9 +1437,13 @@ mod tests {
             r.per_chain[0].delivered_packets + r.per_chain[0].dropped_packets
         };
         let baseline = run_with(&FaultPlan::empty());
-        let surged = run_with(
-            &FaultPlan::empty().with(1_000_000, FaultKind::TrafficSurge { chain: 0, factor: 3.0 }),
-        );
+        let surged = run_with(&FaultPlan::empty().with(
+            1_000_000,
+            FaultKind::TrafficSurge {
+                chain: 0,
+                factor: 3.0,
+            },
+        ));
         assert!(
             surged > baseline + baseline / 2,
             "surge did not raise arrivals: {surged} vs {baseline}"
@@ -1032,7 +1462,13 @@ mod tests {
         // Inflate every subgroup's cycle cost 4× right at start.
         let mut plan = FaultPlan::empty();
         for sg in 0..e.subgroups.len() {
-            plan = plan.with(0, FaultKind::ProfileDrift { subgroup: sg, factor: 4.0 });
+            plan = plan.with(
+                0,
+                FaultKind::ProfileDrift {
+                    subgroup: sg,
+                    factor: 4.0,
+                },
+            );
         }
         let drifted = mean_latency(&plan);
         assert!(
@@ -1044,14 +1480,25 @@ mod tests {
     #[test]
     fn faulted_runs_are_deterministic() {
         let (p, e, specs) = setup(&[CanonicalChain::Chain3], 1.0);
-        let server = e.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server).unwrap();
+        let server = e
+            .subgroups
+            .iter()
+            .find(|sg| sg.chain == 0)
+            .map(|sg| sg.server)
+            .unwrap();
         let slos: Vec<Option<Slo>> = p.chains.iter().map(|c| c.slo).collect();
         let run = || {
             let dep = lemur_metacompiler::compile(&p, &e).unwrap();
             let mut tb = Testbed::build(&p, &e, dep).unwrap();
             let plan = FaultPlan::empty()
                 .link_flap(server, 1_500_000, 2_500_000)
-                .with(3_000_000, FaultKind::TrafficSurge { chain: 0, factor: 1.5 });
+                .with(
+                    3_000_000,
+                    FaultKind::TrafficSurge {
+                        chain: 0,
+                        factor: 1.5,
+                    },
+                );
             tb.run_with_faults(&specs, quick(), &plan, &slos)
         };
         assert_eq!(run(), run());

@@ -8,6 +8,9 @@
 
 use std::collections::BTreeSet;
 
+use lemur_placer::Topology;
+use serde::{DeError, Deserialize, Serialize, Value};
+
 /// One kind of injected fault (or recovery).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
@@ -48,6 +51,71 @@ impl FaultKind {
     }
 }
 
+impl Serialize for FaultKind {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![("type".to_string(), Value::Str(self.tag().to_string()))];
+        match self {
+            FaultKind::LinkDown { server } | FaultKind::LinkUp { server } => {
+                entries.push(("server".to_string(), server.to_value()));
+            }
+            FaultKind::CoreFail { server, core } => {
+                entries.push(("server".to_string(), server.to_value()));
+                entries.push(("core".to_string(), core.to_value()));
+            }
+            FaultKind::NfCrash { subgroup } | FaultKind::NfRecover { subgroup } => {
+                entries.push(("subgroup".to_string(), subgroup.to_value()));
+            }
+            FaultKind::ProfileDrift { subgroup, factor } => {
+                entries.push(("subgroup".to_string(), subgroup.to_value()));
+                entries.push(("factor".to_string(), factor.to_value()));
+            }
+            FaultKind::TrafficSurge { chain, factor } => {
+                entries.push(("chain".to_string(), chain.to_value()));
+                entries.push(("factor".to_string(), factor.to_value()));
+            }
+        }
+        Value::object(entries)
+    }
+}
+
+/// Pull a typed field out of a JSON object, erroring if absent.
+fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    T::from_value(v.get(name).ok_or_else(|| DeError::missing(name))?)
+}
+
+impl Deserialize for FaultKind {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let tag: String = field(v, "type")?;
+        match tag.as_str() {
+            "link_down" => Ok(FaultKind::LinkDown {
+                server: field(v, "server")?,
+            }),
+            "link_up" => Ok(FaultKind::LinkUp {
+                server: field(v, "server")?,
+            }),
+            "core_fail" => Ok(FaultKind::CoreFail {
+                server: field(v, "server")?,
+                core: field(v, "core")?,
+            }),
+            "nf_crash" => Ok(FaultKind::NfCrash {
+                subgroup: field(v, "subgroup")?,
+            }),
+            "nf_recover" => Ok(FaultKind::NfRecover {
+                subgroup: field(v, "subgroup")?,
+            }),
+            "profile_drift" => Ok(FaultKind::ProfileDrift {
+                subgroup: field(v, "subgroup")?,
+                factor: field(v, "factor")?,
+            }),
+            "traffic_surge" => Ok(FaultKind::TrafficSurge {
+                chain: field(v, "chain")?,
+                factor: field(v, "factor")?,
+            }),
+            other => Err(DeError(format!("unknown fault kind `{other}`"))),
+        }
+    }
+}
+
 /// A scheduled fault.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
@@ -57,11 +125,136 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+impl Serialize for FaultEvent {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("at_ns".to_string(), self.at_ns.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(FaultEvent {
+            at_ns: field(v, "at_ns")?,
+            kind: field(v, "kind")?,
+        })
+    }
+}
+
 /// A deterministic schedule of fault events, sorted by injection time.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
 }
+
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> Value {
+        Value::object(vec![("events".to_string(), self.events.to_value())])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // `new` re-sorts, so hand-edited JSON need not be time-ordered.
+        Ok(FaultPlan::new(field(v, "events")?))
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A server index exceeds the topology.
+    ServerOutOfRange {
+        event: usize,
+        server: usize,
+        n_servers: usize,
+    },
+    /// A core index exceeds the server's core count.
+    CoreOutOfRange {
+        event: usize,
+        server: usize,
+        core: usize,
+        n_cores: usize,
+    },
+    /// A subgroup index exceeds the deployment's subgroup count.
+    SubgroupOutOfRange {
+        event: usize,
+        subgroup: usize,
+        n_subgroups: usize,
+    },
+    /// A chain index exceeds the problem's chain count.
+    ChainOutOfRange {
+        event: usize,
+        chain: usize,
+        n_chains: usize,
+    },
+    /// A drift/surge factor was non-positive or non-finite.
+    BadFactor { event: usize, factor: f64 },
+    /// A recovery (`LinkUp`/`NfRecover`) with no preceding matching fault.
+    RepairBeforeFault { event: usize, kind: FaultKind },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::ServerOutOfRange {
+                event,
+                server,
+                n_servers,
+            } => {
+                write!(
+                    f,
+                    "event {event}: server {server} out of range (topology has {n_servers})"
+                )
+            }
+            FaultPlanError::CoreOutOfRange {
+                event,
+                server,
+                core,
+                n_cores,
+            } => {
+                write!(
+                    f,
+                    "event {event}: core {core} out of range (server {server} has {n_cores})"
+                )
+            }
+            FaultPlanError::SubgroupOutOfRange {
+                event,
+                subgroup,
+                n_subgroups,
+            } => {
+                write!(
+                    f,
+                    "event {event}: subgroup {subgroup} out of range (deployment has {n_subgroups})"
+                )
+            }
+            FaultPlanError::ChainOutOfRange {
+                event,
+                chain,
+                n_chains,
+            } => {
+                write!(
+                    f,
+                    "event {event}: chain {chain} out of range (problem has {n_chains})"
+                )
+            }
+            FaultPlanError::BadFactor { event, factor } => {
+                write!(f, "event {event}: factor {factor} must be finite and > 0")
+            }
+            FaultPlanError::RepairBeforeFault { event, kind } => {
+                write!(
+                    f,
+                    "event {event}: {} has no preceding matching fault",
+                    kind.tag()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 impl FaultPlan {
     /// A plan with no events — running with it is identical to running
@@ -129,6 +322,110 @@ impl FaultPlan {
         down
     }
 
+    /// Check the plan against a topology (and the deployment's subgroup /
+    /// chain counts, which the topology does not know). Rejects
+    /// out-of-range indices, non-positive factors, and repairs that
+    /// precede any matching fault — all of which would otherwise simulate
+    /// silently as no-ops or nonsense.
+    pub fn validate(
+        &self,
+        topo: &Topology,
+        n_subgroups: usize,
+        n_chains: usize,
+    ) -> Result<(), FaultPlanError> {
+        let n_servers = topo.servers.len();
+        let check_server = |event: usize, server: usize| {
+            if server >= n_servers {
+                Err(FaultPlanError::ServerOutOfRange {
+                    event,
+                    server,
+                    n_servers,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_subgroup = |event: usize, subgroup: usize| {
+            if subgroup >= n_subgroups {
+                Err(FaultPlanError::SubgroupOutOfRange {
+                    event,
+                    subgroup,
+                    n_subgroups,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_factor = |event: usize, factor: f64| {
+            if !factor.is_finite() || factor <= 0.0 {
+                Err(FaultPlanError::BadFactor { event, factor })
+            } else {
+                Ok(())
+            }
+        };
+        // Events are time-sorted, so a linear scan sees faults before the
+        // repairs that reference them.
+        let mut links_down: BTreeSet<usize> = BTreeSet::new();
+        let mut crashed: BTreeSet<usize> = BTreeSet::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e.kind {
+                FaultKind::LinkDown { server } => {
+                    check_server(i, server)?;
+                    links_down.insert(server);
+                }
+                FaultKind::LinkUp { server } => {
+                    check_server(i, server)?;
+                    if !links_down.remove(&server) {
+                        return Err(FaultPlanError::RepairBeforeFault {
+                            event: i,
+                            kind: e.kind.clone(),
+                        });
+                    }
+                }
+                FaultKind::CoreFail { server, core } => {
+                    check_server(i, server)?;
+                    let n_cores = topo.servers[server].num_cores();
+                    if core >= n_cores {
+                        return Err(FaultPlanError::CoreOutOfRange {
+                            event: i,
+                            server,
+                            core,
+                            n_cores,
+                        });
+                    }
+                }
+                FaultKind::NfCrash { subgroup } => {
+                    check_subgroup(i, subgroup)?;
+                    crashed.insert(subgroup);
+                }
+                FaultKind::NfRecover { subgroup } => {
+                    check_subgroup(i, subgroup)?;
+                    if !crashed.remove(&subgroup) {
+                        return Err(FaultPlanError::RepairBeforeFault {
+                            event: i,
+                            kind: e.kind.clone(),
+                        });
+                    }
+                }
+                FaultKind::ProfileDrift { subgroup, factor } => {
+                    check_subgroup(i, subgroup)?;
+                    check_factor(i, factor)?;
+                }
+                FaultKind::TrafficSurge { chain, factor } => {
+                    if chain >= n_chains {
+                        return Err(FaultPlanError::ChainOutOfRange {
+                            event: i,
+                            chain,
+                            n_chains,
+                        });
+                    }
+                    check_factor(i, factor)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// `(server, core)` pairs failed by the plan (core failures are
     /// permanent for the run).
     pub fn cores_failed(&self) -> BTreeSet<(usize, usize)> {
@@ -180,7 +477,10 @@ mod tests {
         let times: Vec<u64> = plan.events().iter().map(|e| e.at_ns).collect();
         assert_eq!(times, vec![100, 200, 400, 500]);
         // Server 0 flapped back up; server 2 stays down.
-        assert_eq!(plan.links_down_at_end().into_iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            plan.links_down_at_end().into_iter().collect::<Vec<_>>(),
+            vec![2]
+        );
         assert_eq!(
             plan.cores_failed().into_iter().collect::<Vec<_>>(),
             vec![(1, 3)]
@@ -200,5 +500,132 @@ mod tests {
         assert!(FaultPlan::empty().is_empty());
         assert!(FaultPlan::default().is_empty());
         assert_eq!(FaultPlan::empty(), FaultPlan::new(vec![]));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let plan = FaultPlan::empty()
+            .link_flap(0, 100, 400)
+            .with(500, FaultKind::CoreFail { server: 1, core: 3 })
+            .nf_crash(2, 600, 100)
+            .with(
+                800,
+                FaultKind::ProfileDrift {
+                    subgroup: 1,
+                    factor: 1.5,
+                },
+            )
+            .with(
+                900,
+                FaultKind::TrafficSurge {
+                    chain: 0,
+                    factor: 2.0,
+                },
+            );
+        let text = serde_json::to_string_pretty(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn json_rejects_unknown_kind() {
+        let text = r#"{"events":[{"at_ns":1,"kind":{"type":"meteor_strike"}}]}"#;
+        assert!(serde_json::from_str::<FaultPlan>(text).is_err());
+        let missing = r#"{"events":[{"at_ns":1,"kind":{"type":"link_down"}}]}"#;
+        assert!(serde_json::from_str::<FaultPlan>(missing).is_err());
+    }
+
+    #[test]
+    fn json_resorts_on_load() {
+        let text = r#"{"events":[
+            {"at_ns":400,"kind":{"type":"link_up","server":0}},
+            {"at_ns":100,"kind":{"type":"link_down","server":0}}
+        ]}"#;
+        let plan: FaultPlan = serde_json::from_str(text).unwrap();
+        assert_eq!(plan.events()[0].at_ns, 100);
+    }
+
+    #[test]
+    fn validate_accepts_sane_plans() {
+        let topo = Topology::with_servers(2);
+        let plan = FaultPlan::empty()
+            .link_flap(1, 100, 400)
+            .with(500, FaultKind::CoreFail { server: 0, core: 2 })
+            .nf_crash(1, 600, 100)
+            .with(
+                800,
+                FaultKind::TrafficSurge {
+                    chain: 0,
+                    factor: 3.0,
+                },
+            );
+        assert_eq!(plan.validate(&topo, 2, 1), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let topo = Topology::with_servers(2);
+        let bad_server = FaultPlan::empty().with(1, FaultKind::LinkDown { server: 2 });
+        assert!(matches!(
+            bad_server.validate(&topo, 1, 1),
+            Err(FaultPlanError::ServerOutOfRange { server: 2, .. })
+        ));
+        let bad_core = FaultPlan::empty().with(
+            1,
+            FaultKind::CoreFail {
+                server: 0,
+                core: 99,
+            },
+        );
+        assert!(matches!(
+            bad_core.validate(&topo, 1, 1),
+            Err(FaultPlanError::CoreOutOfRange { core: 99, .. })
+        ));
+        let bad_sg = FaultPlan::empty().with(1, FaultKind::NfCrash { subgroup: 7 });
+        assert!(matches!(
+            bad_sg.validate(&topo, 3, 1),
+            Err(FaultPlanError::SubgroupOutOfRange { subgroup: 7, .. })
+        ));
+        let bad_chain = FaultPlan::empty().with(
+            1,
+            FaultKind::TrafficSurge {
+                chain: 4,
+                factor: 2.0,
+            },
+        );
+        assert!(matches!(
+            bad_chain.validate(&topo, 1, 2),
+            Err(FaultPlanError::ChainOutOfRange { chain: 4, .. })
+        ));
+        let bad_factor = FaultPlan::empty().with(
+            1,
+            FaultKind::ProfileDrift {
+                subgroup: 0,
+                factor: 0.0,
+            },
+        );
+        assert!(matches!(
+            bad_factor.validate(&topo, 1, 1),
+            Err(FaultPlanError::BadFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_repair_before_fault() {
+        let topo = Topology::with_servers(2);
+        let orphan_up = FaultPlan::empty().with(1, FaultKind::LinkUp { server: 0 });
+        assert!(matches!(
+            orphan_up.validate(&topo, 1, 1),
+            Err(FaultPlanError::RepairBeforeFault { .. })
+        ));
+        // A recover scheduled *before* its crash is the same bug even
+        // though both events exist.
+        let inverted = FaultPlan::empty()
+            .with(10, FaultKind::NfRecover { subgroup: 0 })
+            .with(20, FaultKind::NfCrash { subgroup: 0 });
+        assert!(matches!(
+            inverted.validate(&topo, 1, 1),
+            Err(FaultPlanError::RepairBeforeFault { .. })
+        ));
     }
 }

@@ -25,9 +25,12 @@ pub mod faults;
 pub mod report;
 pub mod traffic;
 
-pub use engine::{BuildError, SimConfig, Testbed};
-pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use engine::{
+    BuildError, ControlAction, ControlHook, NoopHook, SimConfig, StagedConfig, Testbed,
+};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use report::{
-    ChainStats, DropReason, SimReport, TimelineEvent, ViolationKind, WindowSample,
+    ChainStats, ConservationLedger, DropReason, SimReport, TimelineEvent, ViolationKind,
+    WindowSample,
 };
 pub use traffic::TrafficSpec;

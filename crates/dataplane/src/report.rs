@@ -15,6 +15,12 @@ pub enum DropReason {
     Verdict,
     /// An injected fault (downed link, failed core, crashed subgroup).
     Fault,
+    /// Lost during an epoch swap: still in flight when the drain window
+    /// expired, or injected into a draining epoch. This is the
+    /// update-time-loss metric of the reconfiguration literature.
+    Reconfig,
+    /// The chain was shed by the supervisor (admission denied at inject).
+    Shed,
 }
 
 /// Per-chain measurements.
@@ -35,6 +41,10 @@ pub struct ChainStats {
     pub drops_verdict: u64,
     /// Drops caused by injected faults.
     pub drops_fault: u64,
+    /// Drops during epoch swaps (update-time loss).
+    pub drops_reconfig: u64,
+    /// Packets refused at inject because the chain was shed.
+    pub drops_shed: u64,
     /// Mean end-to-end latency of delivered packets (ns).
     pub mean_latency_ns: f64,
     /// Maximum observed latency (ns).
@@ -50,7 +60,57 @@ impl ChainStats {
             DropReason::MaxHops => self.drops_hops += 1,
             DropReason::Verdict => self.drops_verdict += 1,
             DropReason::Fault => self.drops_fault += 1,
+            DropReason::Reconfig => self.drops_reconfig += 1,
+            DropReason::Shed => self.drops_shed += 1,
         }
+    }
+}
+
+/// Whole-run packet accounting, unconditioned by warmup or measurement
+/// windows: every packet ever injected must land in exactly one bucket.
+/// The chaos soak asserts `injected == delivered + drops + in_flight_at_end`
+/// exactly (integer arithmetic, no tolerance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservationLedger {
+    /// Packets handed to the simulation (including warmup and shed refusals).
+    pub injected: u64,
+    /// Packets that completed their chain.
+    pub delivered: u64,
+    /// Drops by reason, summed over all chains and the whole run.
+    pub drops_queue: u64,
+    pub drops_hops: u64,
+    pub drops_verdict: u64,
+    pub drops_fault: u64,
+    pub drops_reconfig: u64,
+    pub drops_shed: u64,
+    /// Packets still in flight when the simulation horizon was reached.
+    pub in_flight_at_end: u64,
+}
+
+impl ConservationLedger {
+    pub fn record_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::QueueOverflow => self.drops_queue += 1,
+            DropReason::MaxHops => self.drops_hops += 1,
+            DropReason::Verdict => self.drops_verdict += 1,
+            DropReason::Fault => self.drops_fault += 1,
+            DropReason::Reconfig => self.drops_reconfig += 1,
+            DropReason::Shed => self.drops_shed += 1,
+        }
+    }
+
+    pub fn total_drops(&self) -> u64 {
+        self.drops_queue
+            + self.drops_hops
+            + self.drops_verdict
+            + self.drops_fault
+            + self.drops_reconfig
+            + self.drops_shed
+    }
+
+    /// Exact conservation: injected = delivered + drops + in-flight.
+    pub fn balanced(&self) -> bool {
+        self.injected == self.delivered + self.total_drops() + self.in_flight_at_end
     }
 }
 
@@ -79,6 +139,25 @@ pub enum TimelineEvent {
         /// The bound it violated (t_min_bps or d_max_ns).
         bound: f64,
     },
+    /// The supervisor began draining the old epoch ahead of a swap.
+    DrainStart {
+        at_ns: u64,
+        /// Epoch being drained (the swap installs `epoch + 1`).
+        epoch: u64,
+        /// True when the staged configuration is a rollback to the
+        /// last-known-good placement rather than a fresh repair.
+        rollback: bool,
+    },
+    /// The atomic epoch swap completed (end of the drain window).
+    EpochCommit {
+        at_ns: u64,
+        /// The epoch now live.
+        epoch: u64,
+        /// In-flight + drain-window packets lost to the swap — the
+        /// update-time-loss metric for this reconfiguration.
+        packets_lost: u64,
+        rollback: bool,
+    },
 }
 
 impl TimelineEvent {
@@ -86,6 +165,8 @@ impl TimelineEvent {
         match self {
             TimelineEvent::Fault { at_ns, .. } => *at_ns,
             TimelineEvent::SloViolation { at_ns, .. } => *at_ns,
+            TimelineEvent::DrainStart { at_ns, .. } => *at_ns,
+            TimelineEvent::EpochCommit { at_ns, .. } => *at_ns,
         }
     }
 }
@@ -114,6 +195,8 @@ pub struct SimReport {
     pub timeline: Vec<TimelineEvent>,
     /// SLO-guard window samples (empty when the guard is off).
     pub windows: Vec<WindowSample>,
+    /// Whole-run packet accounting (exact, unconditioned by warmup).
+    pub ledger: ConservationLedger,
 }
 
 impl SimReport {
@@ -149,9 +232,30 @@ impl SimReport {
     /// Virtual time of the first SLO violation for `chain`, if any.
     pub fn first_violation_ns(&self, chain: usize) -> Option<u64> {
         self.timeline.iter().find_map(|e| match e {
-            TimelineEvent::SloViolation { at_ns, chain: c, .. } if *c == chain => Some(*at_ns),
+            TimelineEvent::SloViolation {
+                at_ns, chain: c, ..
+            } if *c == chain => Some(*at_ns),
             _ => None,
         })
+    }
+
+    /// Total packets lost across all epoch swaps (update-time loss).
+    pub fn update_time_loss(&self) -> u64 {
+        self.timeline
+            .iter()
+            .map(|e| match e {
+                TimelineEvent::EpochCommit { packets_lost, .. } => *packets_lost,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of committed epoch swaps (including rollbacks).
+    pub fn commits(&self) -> usize {
+        self.timeline
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::EpochCommit { .. }))
+            .count()
     }
 }
 
@@ -163,8 +267,14 @@ mod tests {
     fn aggregation() {
         let r = SimReport {
             per_chain: vec![
-                ChainStats { delivered_bps: 2e9, ..Default::default() },
-                ChainStats { delivered_bps: 3e9, ..Default::default() },
+                ChainStats {
+                    delivered_bps: 2e9,
+                    ..Default::default()
+                },
+                ChainStats {
+                    delivered_bps: 3e9,
+                    ..Default::default()
+                },
             ],
             duration_s: 0.1,
             ..Default::default()
@@ -182,19 +292,75 @@ mod tests {
         s.record_drop(DropReason::Fault);
         s.record_drop(DropReason::Fault);
         s.record_drop(DropReason::Verdict);
-        assert_eq!(s.dropped_packets, 4);
+        s.record_drop(DropReason::Reconfig);
+        s.record_drop(DropReason::Shed);
+        assert_eq!(s.dropped_packets, 6);
         assert_eq!(
-            s.drops_queue + s.drops_hops + s.drops_verdict + s.drops_fault,
+            s.drops_queue
+                + s.drops_hops
+                + s.drops_verdict
+                + s.drops_fault
+                + s.drops_reconfig
+                + s.drops_shed,
             s.dropped_packets
         );
         assert_eq!(s.drops_fault, 2);
+        assert_eq!(s.drops_reconfig, 1);
+        assert_eq!(s.drops_shed, 1);
+    }
+
+    #[test]
+    fn ledger_balances() {
+        let mut l = ConservationLedger {
+            injected: 10,
+            delivered: 6,
+            ..Default::default()
+        };
+        l.record_drop(DropReason::Reconfig);
+        l.record_drop(DropReason::Fault);
+        l.in_flight_at_end = 2;
+        assert!(l.balanced());
+        l.injected += 1;
+        assert!(!l.balanced());
+    }
+
+    #[test]
+    fn update_loss_sums_commits() {
+        let r = SimReport {
+            timeline: vec![
+                TimelineEvent::DrainStart {
+                    at_ns: 50,
+                    epoch: 0,
+                    rollback: false,
+                },
+                TimelineEvent::EpochCommit {
+                    at_ns: 100,
+                    epoch: 1,
+                    packets_lost: 3,
+                    rollback: false,
+                },
+                TimelineEvent::EpochCommit {
+                    at_ns: 200,
+                    epoch: 2,
+                    packets_lost: 4,
+                    rollback: true,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.update_time_loss(), 7);
+        assert_eq!(r.commits(), 2);
+        assert_eq!(r.timeline[0].at_ns(), 50);
     }
 
     #[test]
     fn first_violation_lookup() {
         let r = SimReport {
             timeline: vec![
-                TimelineEvent::Fault { at_ns: 100, kind: FaultKind::LinkDown { server: 0 } },
+                TimelineEvent::Fault {
+                    at_ns: 100,
+                    kind: FaultKind::LinkDown { server: 0 },
+                },
                 TimelineEvent::SloViolation {
                     at_ns: 1_100,
                     chain: 1,

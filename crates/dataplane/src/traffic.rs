@@ -30,7 +30,10 @@ impl TrafficSpec {
     pub fn for_chain(idx: usize, offered_bps: f64) -> TrafficSpec {
         TrafficSpec {
             offered_bps,
-            src_prefix: ipv4::Cidr::new(ipv4::Address::new(10, idx as u8, 0, 0), 16).unwrap(),
+            // Invariant: a /16 prefix length is always valid (0..=32), so
+            // `Cidr::new` cannot fail here for any `idx`.
+            src_prefix: ipv4::Cidr::new(ipv4::Address::new(10, idx as u8, 0, 0), 16)
+                .expect("/16 is a valid prefix length"),
             flows: 512,
             payload_len: PACKET_BYTES as usize - 42, // eth+ip+udp headers
             redundancy: 0.5,
@@ -168,11 +171,15 @@ mod tests {
     fn deterministic_across_runs() {
         let a: Vec<_> = {
             let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9), 42);
-            (0..50).map(|_| s.next_packet().1.as_slice().to_vec()).collect()
+            (0..50)
+                .map(|_| s.next_packet().1.as_slice().to_vec())
+                .collect()
         };
         let b: Vec<_> = {
             let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9), 42);
-            (0..50).map(|_| s.next_packet().1.as_slice().to_vec()).collect()
+            (0..50)
+                .map(|_| s.next_packet().1.as_slice().to_vec())
+                .collect()
         };
         assert_eq!(a, b);
     }

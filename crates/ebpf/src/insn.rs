@@ -25,8 +25,18 @@ pub enum Reg {
 
 impl Reg {
     /// All registers, for the verifier and tests.
-    pub const ALL: [Reg; 10] =
-        [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9];
+    pub const ALL: [Reg; 10] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+    ];
 
     /// Index into the register file.
     pub fn idx(self) -> usize {
@@ -119,15 +129,30 @@ pub enum Insn {
     /// `dst = dst OP src`
     Alu { op: AluOp, dst: Reg, src: Operand },
     /// `dst = packet[base? + offset .. +size]` big-endian; `size` ∈ {1,2,4,8}.
-    LoadPkt { dst: Reg, base: Option<Reg>, offset: u16, size: u8 },
+    LoadPkt {
+        dst: Reg,
+        base: Option<Reg>,
+        offset: u16,
+        size: u8,
+    },
     /// `packet[base? + offset .. +size] = src` big-endian.
-    StorePkt { src: Reg, base: Option<Reg>, offset: u16, size: u8 },
+    StorePkt {
+        src: Reg,
+        base: Option<Reg>,
+        offset: u16,
+        size: u8,
+    },
     /// `dst = stack[offset .. +size]` big-endian.
     LoadStack { dst: Reg, offset: u16, size: u8 },
     /// `stack[offset .. +size] = src` big-endian.
     StoreStack { src: Reg, offset: u16, size: u8 },
     /// Conditional forward jump: `if dst COND src goto pc+off+1`.
-    Jmp { cond: JmpCond, dst: Reg, src: Operand, off: u16 },
+    Jmp {
+        cond: JmpCond,
+        dst: Reg,
+        src: Operand,
+        off: u16,
+    },
     /// Function call — always rejected by the verifier on the SmartNIC
     /// target (kept in the ISA so the rejection path is testable).
     Call { func: u32 },
@@ -147,17 +172,32 @@ impl fmt::Display for Insn {
             Insn::LoadImm { dst, imm } => write!(f, "{dst} = {imm}"),
             Insn::Mov { dst, src } => write!(f, "{dst} = {}", op(src)),
             Insn::Alu { op: o, dst, src } => write!(f, "{dst} {o:?}= {}", op(src)),
-            Insn::LoadPkt { dst, base, offset, size } => match base {
+            Insn::LoadPkt {
+                dst,
+                base,
+                offset,
+                size,
+            } => match base {
                 Some(b) => write!(f, "{dst} = pkt[{b}+{offset}:{size}]"),
                 None => write!(f, "{dst} = pkt[{offset}:{size}]"),
             },
-            Insn::StorePkt { src, base, offset, size } => match base {
+            Insn::StorePkt {
+                src,
+                base,
+                offset,
+                size,
+            } => match base {
                 Some(b) => write!(f, "pkt[{b}+{offset}:{size}] = {src}"),
                 None => write!(f, "pkt[{offset}:{size}] = {src}"),
             },
             Insn::LoadStack { dst, offset, size } => write!(f, "{dst} = stack[{offset}:{size}]"),
             Insn::StoreStack { src, offset, size } => write!(f, "stack[{offset}:{size}] = {src}"),
-            Insn::Jmp { cond, dst, src, off } => {
+            Insn::Jmp {
+                cond,
+                dst,
+                src,
+                off,
+            } => {
                 write!(f, "if {dst} {cond:?} {} goto +{off}", op(src))
             }
             Insn::Call { func } => write!(f, "call #{func}"),
@@ -193,7 +233,12 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let i = Insn::LoadPkt { dst: Reg::R2, base: None, offset: 12, size: 2 };
+        let i = Insn::LoadPkt {
+            dst: Reg::R2,
+            base: None,
+            offset: 12,
+            size: 2,
+        };
         assert_eq!(i.to_string(), "r2 = pkt[12:2]");
         let j = Insn::Jmp {
             cond: JmpCond::Ne,

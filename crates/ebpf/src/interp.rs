@@ -32,7 +32,11 @@ impl XdpVerdict {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// A packet access was out of bounds for this packet.
-    PacketOutOfBounds { pc: usize, offset: usize, len: usize },
+    PacketOutOfBounds {
+        pc: usize,
+        offset: usize,
+        len: usize,
+    },
     /// The instruction budget was exhausted.
     StepLimit,
 }
@@ -41,7 +45,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::PacketOutOfBounds { pc, offset, len } => {
-                write!(f, "packet access at pc {pc}: offset {offset} beyond {len}-byte packet")
+                write!(
+                    f,
+                    "packet access at pc {pc}: offset {offset} beyond {len}-byte packet"
+                )
             }
             ExecError::StepLimit => write!(f, "instruction budget exceeded"),
         }
@@ -78,7 +85,10 @@ impl Vm {
             }
             let Some(insn) = program.insns.get(pc) else {
                 // Falling off the end: verifier prevents this; treat as abort.
-                return Ok(ExecResult { verdict: XdpVerdict::Aborted, steps });
+                return Ok(ExecResult {
+                    verdict: XdpVerdict::Aborted,
+                    steps,
+                });
             };
             steps += 1;
             let operand = |o: &Operand, regs: &[u64; 10]| match o {
@@ -91,9 +101,13 @@ impl Vm {
                 Insn::Alu { op, dst, src } => {
                     regs[dst.idx()] = op.apply(regs[dst.idx()], operand(src, &regs));
                 }
-                Insn::LoadPkt { dst, base, offset, size } => {
-                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0)
-                        + *offset as usize;
+                Insn::LoadPkt {
+                    dst,
+                    base,
+                    offset,
+                    size,
+                } => {
+                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0) + *offset as usize;
                     let end = off + *size as usize;
                     if end > packet.len() {
                         return Err(ExecError::PacketOutOfBounds {
@@ -108,9 +122,13 @@ impl Vm {
                     }
                     regs[dst.idx()] = v;
                 }
-                Insn::StorePkt { src, base, offset, size } => {
-                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0)
-                        + *offset as usize;
+                Insn::StorePkt {
+                    src,
+                    base,
+                    offset,
+                    size,
+                } => {
+                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0) + *offset as usize;
                     let end = off + *size as usize;
                     if end > packet.len() {
                         return Err(ExecError::PacketOutOfBounds {
@@ -137,14 +155,22 @@ impl Vm {
                     let bytes = regs[src.idx()].to_be_bytes();
                     stack[off..end].copy_from_slice(&bytes[8 - *size as usize..]);
                 }
-                Insn::Jmp { cond, dst, src, off } => {
+                Insn::Jmp {
+                    cond,
+                    dst,
+                    src,
+                    off,
+                } => {
                     if cond.eval(regs[dst.idx()], operand(src, &regs)) {
                         pc += *off as usize;
                     }
                 }
                 Insn::Call { .. } => {
                     // Verifier rejects these; defensively abort.
-                    return Ok(ExecResult { verdict: XdpVerdict::Aborted, steps });
+                    return Ok(ExecResult {
+                        verdict: XdpVerdict::Aborted,
+                        steps,
+                    });
                 }
                 Insn::Exit => {
                     return Ok(ExecResult {
@@ -224,7 +250,14 @@ mod tests {
         b.load_pkt(Reg::R2, 100, 4).load_imm(Reg::R0, 2).exit();
         let p = b.build();
         let err = Vm::run(&p, &mut [0u8; 50]).unwrap_err();
-        assert_eq!(err, ExecError::PacketOutOfBounds { pc: 0, offset: 104, len: 50 });
+        assert_eq!(
+            err,
+            ExecError::PacketOutOfBounds {
+                pc: 0,
+                offset: 104,
+                len: 50
+            }
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ pub struct Program {
 impl Program {
     /// Wrap raw instructions.
     pub fn new(name: &str, insns: Vec<Insn>) -> Program {
-        Program { insns: insns.to_vec(), name: name.to_string() }
+        Program {
+            insns: insns.to_vec(),
+            name: name.to_string(),
+        }
     }
 
     /// Number of instructions.
@@ -63,7 +66,10 @@ pub struct Label(usize);
 impl ProgramBuilder {
     /// Start a program.
     pub fn new(name: &str) -> ProgramBuilder {
-        ProgramBuilder { name: name.to_string(), ..Default::default() }
+        ProgramBuilder {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Reserve a label to be bound later with [`ProgramBuilder::bind`].
@@ -87,43 +93,74 @@ impl ProgramBuilder {
 
     /// `dst = src`
     pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
-        self.insns.push(Insn::Mov { dst, src: Operand::Reg(src) });
+        self.insns.push(Insn::Mov {
+            dst,
+            src: Operand::Reg(src),
+        });
         self
     }
 
     /// `dst = dst OP src_reg`
     pub fn alu(&mut self, op: AluOp, dst: Reg, src: Reg) -> &mut Self {
-        self.insns.push(Insn::Alu { op, dst, src: Operand::Reg(src) });
+        self.insns.push(Insn::Alu {
+            op,
+            dst,
+            src: Operand::Reg(src),
+        });
         self
     }
 
     /// `dst = dst OP imm`
     pub fn alu_imm(&mut self, op: AluOp, dst: Reg, imm: i64) -> &mut Self {
-        self.insns.push(Insn::Alu { op, dst, src: Operand::Imm(imm) });
+        self.insns.push(Insn::Alu {
+            op,
+            dst,
+            src: Operand::Imm(imm),
+        });
         self
     }
 
     /// `dst = pkt[offset..offset+size]`
     pub fn load_pkt(&mut self, dst: Reg, offset: u16, size: u8) -> &mut Self {
-        self.insns.push(Insn::LoadPkt { dst, base: None, offset, size });
+        self.insns.push(Insn::LoadPkt {
+            dst,
+            base: None,
+            offset,
+            size,
+        });
         self
     }
 
     /// `dst = pkt[base+offset..+size]`
     pub fn load_pkt_ind(&mut self, dst: Reg, base: Reg, offset: u16, size: u8) -> &mut Self {
-        self.insns.push(Insn::LoadPkt { dst, base: Some(base), offset, size });
+        self.insns.push(Insn::LoadPkt {
+            dst,
+            base: Some(base),
+            offset,
+            size,
+        });
         self
     }
 
     /// `pkt[offset..+size] = src`
     pub fn store_pkt(&mut self, src: Reg, offset: u16, size: u8) -> &mut Self {
-        self.insns.push(Insn::StorePkt { src, base: None, offset, size });
+        self.insns.push(Insn::StorePkt {
+            src,
+            base: None,
+            offset,
+            size,
+        });
         self
     }
 
     /// `pkt[base+offset..+size] = src`
     pub fn store_pkt_ind(&mut self, src: Reg, base: Reg, offset: u16, size: u8) -> &mut Self {
-        self.insns.push(Insn::StorePkt { src, base: Some(base), offset, size });
+        self.insns.push(Insn::StorePkt {
+            src,
+            base: Some(base),
+            offset,
+            size,
+        });
         self
     }
 
@@ -142,14 +179,24 @@ impl ProgramBuilder {
     /// `if dst COND imm goto label` (forward only).
     pub fn jmp_imm(&mut self, cond: JmpCond, dst: Reg, imm: i64, target: Label) -> &mut Self {
         self.fixups.push((self.insns.len(), target.0));
-        self.insns.push(Insn::Jmp { cond, dst, src: Operand::Imm(imm), off: 0 });
+        self.insns.push(Insn::Jmp {
+            cond,
+            dst,
+            src: Operand::Imm(imm),
+            off: 0,
+        });
         self
     }
 
     /// `if dst COND src goto label` (forward only).
     pub fn jmp_reg(&mut self, cond: JmpCond, dst: Reg, src: Reg, target: Label) -> &mut Self {
         self.fixups.push((self.insns.len(), target.0));
-        self.insns.push(Insn::Jmp { cond, dst, src: Operand::Reg(src), off: 0 });
+        self.insns.push(Insn::Jmp {
+            cond,
+            dst,
+            src: Operand::Reg(src),
+            off: 0,
+        });
         self
     }
 
@@ -175,7 +222,10 @@ impl ProgramBuilder {
                 *o = off;
             }
         }
-        Program { insns: self.insns, name: self.name }
+        Program {
+            insns: self.insns,
+            name: self.name,
+        }
     }
 }
 

@@ -43,7 +43,10 @@ impl fmt::Display for VerifierError {
                 write!(f, "call at {at}: function calls not supported")
             }
             VerifierError::StackOutOfBounds { at, offset } => {
-                write!(f, "stack access at {at} reaches offset {offset}, stack is {STACK_SIZE}")
+                write!(
+                    f,
+                    "stack access at {at} reaches offset {offset}, stack is {STACK_SIZE}"
+                )
             }
             VerifierError::BadAccessSize { at, size } => {
                 write!(f, "access at {at} has invalid size {size}")
@@ -122,7 +125,13 @@ mod tests {
 
     #[test]
     fn minimal_program_passes() {
-        let p = prog(vec![Insn::LoadImm { dst: Reg::R0, imm: 2 }, Insn::Exit]);
+        let p = prog(vec![
+            Insn::LoadImm {
+                dst: Reg::R0,
+                imm: 2,
+            },
+            Insn::Exit,
+        ]);
         assert!(verify(&p).is_ok());
     }
 
@@ -133,17 +142,31 @@ mod tests {
 
     #[test]
     fn too_long_rejected() {
-        let mut insns = vec![Insn::LoadImm { dst: Reg::R0, imm: 0 }; MAX_INSNS];
+        let mut insns = vec![
+            Insn::LoadImm {
+                dst: Reg::R0,
+                imm: 0
+            };
+            MAX_INSNS
+        ];
         insns.push(Insn::Exit);
         assert_eq!(
             verify(&prog(insns)).unwrap_err(),
-            VerifierError::TooManyInstructions { count: MAX_INSNS + 1 }
+            VerifierError::TooManyInstructions {
+                count: MAX_INSNS + 1
+            }
         );
     }
 
     #[test]
     fn exactly_max_insns_ok() {
-        let mut insns = vec![Insn::LoadImm { dst: Reg::R0, imm: 0 }; MAX_INSNS - 1];
+        let mut insns = vec![
+            Insn::LoadImm {
+                dst: Reg::R0,
+                imm: 0
+            };
+            MAX_INSNS - 1
+        ];
         insns.push(Insn::Exit);
         assert!(verify(&prog(insns)).is_ok());
     }
@@ -151,13 +174,21 @@ mod tests {
     #[test]
     fn call_rejected() {
         let p = prog(vec![Insn::Call { func: 1 }, Insn::Exit]);
-        assert_eq!(verify(&p).unwrap_err(), VerifierError::CallNotAllowed { at: 0 });
+        assert_eq!(
+            verify(&p).unwrap_err(),
+            VerifierError::CallNotAllowed { at: 0 }
+        );
     }
 
     #[test]
     fn jump_past_end_rejected() {
         let p = prog(vec![
-            Insn::Jmp { cond: JmpCond::Always, dst: Reg::R0, src: Operand::Imm(0), off: 5 },
+            Insn::Jmp {
+                cond: JmpCond::Always,
+                dst: Reg::R0,
+                src: Operand::Imm(0),
+                off: 5,
+            },
             Insn::Exit,
         ]);
         assert_eq!(
@@ -177,8 +208,16 @@ mod tests {
         // that insn exists. Verify the boundary: jump over one insn to the
         // exit at index 2.
         let p = prog(vec![
-            Insn::Jmp { cond: JmpCond::Always, dst: Reg::R0, src: Operand::Imm(0), off: 1 },
-            Insn::LoadImm { dst: Reg::R0, imm: 1 },
+            Insn::Jmp {
+                cond: JmpCond::Always,
+                dst: Reg::R0,
+                src: Operand::Imm(0),
+                off: 1,
+            },
+            Insn::LoadImm {
+                dst: Reg::R0,
+                imm: 1,
+            },
             Insn::Exit,
         ]);
         assert!(verify(&p).is_ok());
@@ -187,7 +226,11 @@ mod tests {
     #[test]
     fn stack_overflow_rejected() {
         let p = prog(vec![
-            Insn::StoreStack { src: Reg::R1, offset: 508, size: 8 },
+            Insn::StoreStack {
+                src: Reg::R1,
+                offset: 508,
+                size: 8,
+            },
             Insn::Exit,
         ]);
         assert_eq!(
@@ -196,7 +239,11 @@ mod tests {
         );
         // 504 + 8 = 512 exactly: fine.
         let ok = prog(vec![
-            Insn::StoreStack { src: Reg::R1, offset: 504, size: 8 },
+            Insn::StoreStack {
+                src: Reg::R1,
+                offset: 504,
+                size: 8,
+            },
             Insn::Exit,
         ]);
         assert!(verify(&ok).is_ok());
@@ -205,15 +252,26 @@ mod tests {
     #[test]
     fn bad_access_size_rejected() {
         let p = prog(vec![
-            Insn::LoadPkt { dst: Reg::R1, base: None, offset: 0, size: 3 },
+            Insn::LoadPkt {
+                dst: Reg::R1,
+                base: None,
+                offset: 0,
+                size: 3,
+            },
             Insn::Exit,
         ]);
-        assert_eq!(verify(&p).unwrap_err(), VerifierError::BadAccessSize { at: 0, size: 3 });
+        assert_eq!(
+            verify(&p).unwrap_err(),
+            VerifierError::BadAccessSize { at: 0, size: 3 }
+        );
     }
 
     #[test]
     fn missing_exit_rejected() {
-        let p = prog(vec![Insn::LoadImm { dst: Reg::R0, imm: 2 }]);
+        let p = prog(vec![Insn::LoadImm {
+            dst: Reg::R0,
+            imm: 2,
+        }]);
         assert_eq!(verify(&p).unwrap_err(), VerifierError::NoTerminalExit);
     }
 }

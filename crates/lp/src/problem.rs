@@ -99,7 +99,12 @@ impl Problem {
             upper >= lower,
             "upper bound {upper} below lower bound {lower} for {name}"
         );
-        self.vars.push(VarDef { name: name.to_string(), lower, upper, objective });
+        self.vars.push(VarDef {
+            name: name.to_string(),
+            lower,
+            upper,
+            objective,
+        });
         Var(self.vars.len() - 1)
     }
 
@@ -130,7 +135,11 @@ impl Problem {
                 coeffs.push((v.0, c));
             }
         }
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
     }
 
     /// Solve with the two-phase simplex method.

@@ -127,12 +127,12 @@ pub fn solve(p: &Problem) -> Result<Solution, LpError> {
     }
     let mut rows: Vec<Row> = Vec::new();
     for c in &p.constraints {
-        let shift: f64 = c
-            .coeffs
-            .iter()
-            .map(|&(i, co)| co * p.vars[i].lower)
-            .sum();
-        rows.push(Row { coeffs: c.coeffs.clone(), relation: c.relation, rhs: c.rhs - shift });
+        let shift: f64 = c.coeffs.iter().map(|&(i, co)| co * p.vars[i].lower).sum();
+        rows.push(Row {
+            coeffs: c.coeffs.clone(),
+            relation: c.relation,
+            rhs: c.rhs - shift,
+        });
     }
     for (i, v) in p.vars.iter().enumerate() {
         if v.upper.is_finite() {
@@ -203,7 +203,13 @@ pub fn solve(p: &Problem) -> Result<Solution, LpError> {
         }
     }
 
-    let mut t = Tableau { a, obj: vec![0.0; cols + 1], basis, rows: m, cols };
+    let mut t = Tableau {
+        a,
+        obj: vec![0.0; cols + 1],
+        basis,
+        rows: m,
+        cols,
+    };
 
     // ---- Phase 1: maximize -Σ artificials. Row stores -c ⇒ +1 on
     // artificial columns; price out the artificial basics.
@@ -374,8 +380,16 @@ mod tests {
         let y = p.add_var("y", 0.0, f64::INFINITY, -150.0);
         let z = p.add_var("z", 0.0, f64::INFINITY, 0.02);
         let w = p.add_var("w", 0.0, f64::INFINITY, -6.0);
-        p.add_constraint(&[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Relation::Le, 0.0);
-        p.add_constraint(&[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Relation::Le, 0.0);
+        p.add_constraint(
+            &[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Relation::Le,
+            0.0,
+        );
         p.add_constraint(&[(z, 1.0)], Relation::Le, 1.0);
         let s = p.solve().unwrap();
         approx(s.objective, 0.05); // known optimum of Beale's example
@@ -413,7 +427,7 @@ mod tests {
         let mut p = Problem::new();
         let r1 = p.add_var("r1", 2.0, 8.0, 1.0); // t_min=2, t_max=8
         let r2 = p.add_var("r2", 3.0, 10.0, 1.0); // t_min=3, t_max=10
-        // Subgroup capacity: r1 <= 6 (from a 1-core allocation).
+                                                  // Subgroup capacity: r1 <= 6 (from a 1-core allocation).
         p.add_constraint(&[(r1, 1.0)], Relation::Le, 6.0);
         // Chain 1 bounces twice over the 12-unit link; chain 2 once.
         p.add_constraint(&[(r1, 2.0), (r2, 1.0)], Relation::Le, 12.0);

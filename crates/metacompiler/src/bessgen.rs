@@ -113,11 +113,7 @@ pub fn generate(
             let sg = &placement.subgroups[si];
             let chain = &problem.chains[sg.chain];
             // Build the NF instances for replica 0, then clone fresh.
-            let name = format!(
-                "c{}_sg_{}",
-                sg.chain,
-                chain.graph.node(sg.nodes[0]).name
-            );
+            let name = format!("c{}_sg_{}", sg.chain, chain.graph.node(sg.nodes[0]).name);
             let nfs: Vec<_> = sg
                 .nodes
                 .iter()
@@ -302,11 +298,11 @@ mod tests {
         let e = p.evaluate(&a, CoreStrategy::WaterFill).unwrap();
         let routing = crate::routing::plan(&p, &e.assignment);
         let pipes = generate(&p, &e, &routing);
-        let has_gate_rules = pipes[0]
-            .mux_rules
-            .values()
-            .any(|r| !r.gate_spi.is_empty());
-        assert!(has_gate_rules, "server-side branch must produce SPI rewrites");
+        let has_gate_rules = pipes[0].mux_rules.values().any(|r| !r.gate_spi.is_empty());
+        assert!(
+            has_gate_rules,
+            "server-side branch must produce SPI rewrites"
+        );
     }
 
     #[test]

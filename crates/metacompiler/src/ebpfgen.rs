@@ -65,7 +65,9 @@ pub fn generate(
             continue;
         }
         let program = build_program(&handled)?;
-        program.verify().map_err(|e| format!("NIC {nic} program rejected: {e}"))?;
+        program
+            .verify()
+            .map_err(|e| format!("NIC {nic} program rejected: {e}"))?;
         out.push(NicProgram {
             nic,
             program,
@@ -85,7 +87,7 @@ fn build_program(handled: &[(u32, u8, NfKind)]) -> Result<Program, String> {
     // r2 = spi (3 bytes at NSH_SPI_OFF-? spi occupies bytes 4..7 of NSH).
     b.load_pkt(Reg::R2, NSH_SPI_OFF, 4);
     b.alu_imm(AluOp::Rsh, Reg::R2, 8); // top 3 bytes are the SPI
-    // r3 = si.
+                                       // r3 = si.
     b.load_pkt(Reg::R3, NSH_SI_OFF, 1);
 
     let done = b.label();
@@ -194,7 +196,10 @@ mod tests {
         let pkt = lemur_packet::PacketBuf::from_bytes(&frame);
         assert_eq!(nsh_peek(pkt.as_slice()), Some((5, 247)));
         // Payload transformed.
-        assert_ne!(frame[INNER_PAYLOAD_OFF as usize..][..64], before[INNER_PAYLOAD_OFF as usize..][..64]);
+        assert_ne!(
+            frame[INNER_PAYLOAD_OFF as usize..][..64],
+            before[INNER_PAYLOAD_OFF as usize..][..64]
+        );
     }
 
     #[test]
@@ -230,10 +235,7 @@ mod tests {
 
     #[test]
     fn multi_entry_dispatcher() {
-        let p = build_for(&[
-            (1, 248, NfKind::FastEncrypt),
-            (2, 246, NfKind::Acl),
-        ]);
+        let p = build_for(&[(1, 248, NfKind::FastEncrypt), (2, 246, NfKind::Acl)]);
         let mut a = encapped(1, 248);
         assert_eq!(Vm::run(&p, &mut a).unwrap().verdict, XdpVerdict::Tx);
         let mut b = encapped(2, 246);

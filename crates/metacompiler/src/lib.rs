@@ -84,12 +84,39 @@ pub fn compile_with_options(
     placement: &EvaluatedPlacement,
     p4_options: P4GenOptions,
 ) -> Result<Deployment, CompileError> {
-    let routing = routing::plan(problem, &placement.assignment);
+    compile_inner(problem, placement, p4_options, None)
+}
+
+/// Re-compile a *repaired sub-problem* without global renumbering:
+/// `spi_bases[i]` is the original base SPI of the sub-problem's chain `i`
+/// (take `routing.entry_spi[kept[i]]` from the pre-failure deployment).
+/// Surviving chains keep their original service-path identifiers, so a
+/// live epoch swap changes only the tables that actually must change.
+pub fn compile_repair(
+    problem: &PlacementProblem,
+    placement: &EvaluatedPlacement,
+    spi_bases: &[u32],
+) -> Result<Deployment, CompileError> {
+    compile_inner(problem, placement, P4GenOptions::default(), Some(spi_bases))
+}
+
+fn compile_inner(
+    problem: &PlacementProblem,
+    placement: &EvaluatedPlacement,
+    p4_options: P4GenOptions,
+    spi_bases: Option<&[u32]>,
+) -> Result<Deployment, CompileError> {
+    let routing = routing::plan_with_spi_bases(problem, &placement.assignment, spi_bases);
     let p4 = p4gen::synthesize(problem, &placement.assignment, &routing, p4_options)
         .map_err(CompileError::P4)?;
     let bess = bessgen::generate(problem, placement, &routing);
-    let ebpf =
-        ebpfgen::generate(problem, placement, &routing).map_err(CompileError::Ebpf)?;
+    let ebpf = ebpfgen::generate(problem, placement, &routing).map_err(CompileError::Ebpf)?;
     let stats = loc::account(problem, &p4, &bess, &ebpf);
-    Ok(Deployment { routing, p4, bess, ebpf, stats })
+    Ok(Deployment {
+        routing,
+        p4,
+        bess,
+        ebpf,
+        stats,
+    })
 }

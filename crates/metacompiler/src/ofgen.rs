@@ -6,11 +6,11 @@
 //! many chains and how many NFs can be configured".
 
 use crate::routing::{Location, RoutingPlan};
+use lemur_nf::{NfKind, ParamValue};
 use lemur_openflow::{OfAction, OfMatch, OfRule, OfSwitch, OfTableType};
 use lemur_packet::vlan::VidServiceEncoding;
 use lemur_placer::placement::{Assignment, PlacementProblem};
 use lemur_placer::profiles::Platform;
-use lemur_nf::{NfKind, ParamValue};
 
 /// Error for service positions that overflow the VID encoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,9 +38,12 @@ pub fn vid_for(spi: u32, si: u8) -> Result<u16, VidOverflow> {
     if spi >= 64 || rebased >= 64 {
         return Err(VidOverflow { spi, si });
     }
-    VidServiceEncoding { spi: spi as u8, si: rebased }
-        .encode()
-        .map_err(|_| VidOverflow { spi, si })
+    VidServiceEncoding {
+        spi: spi as u8,
+        si: rebased,
+    }
+    .encode()
+    .map_err(|_| VidOverflow { spi, si })
 }
 
 /// Generated OpenFlow configuration.
@@ -86,18 +89,17 @@ pub fn generate(
             }
             for (spi, si) in positions {
                 let vid = vid_for(spi, si)?;
-                let m = OfMatch { vlan_vid: Some(vid), ..OfMatch::any() };
+                let m = OfMatch {
+                    vlan_vid: Some(vid),
+                    ..OfMatch::any()
+                };
                 match node.kind {
                     NfKind::Acl => {
                         // Deny rules from params; matching traffic drops.
-                        if let Some(list) =
-                            node.params.get("rules").and_then(ParamValue::as_list)
-                        {
+                        if let Some(list) = node.params.get("rules").and_then(ParamValue::as_list) {
                             for item in list {
                                 let Some(d) = item.as_dict() else { continue };
-                                if d.get("drop").and_then(ParamValue::as_bool)
-                                    == Some(true)
-                                {
+                                if d.get("drop").and_then(ParamValue::as_bool) == Some(true) {
                                     let dst = d
                                         .get("dst_ip")
                                         .and_then(ParamValue::as_str)
@@ -126,8 +128,7 @@ pub fn generate(
                         ));
                     }
                     NfKind::Tunnel => {
-                        let inner_vid =
-                            (node.params.int_or("vid", 1) as u16) & 0xfff;
+                        let inner_vid = (node.params.int_or("vid", 1) as u16) & 0xfff;
                         rules.push((
                             OfTableType::VlanPush,
                             OfRule::with_priority(
@@ -167,15 +168,22 @@ pub fn generate(
                 if seg.location != Location::Tor {
                     continue;
                 }
-                let Some(next) = path.segments.get(k + 1) else { continue };
-                let Location::Server(s) = next.location else { continue };
+                let Some(next) = path.segments.get(k + 1) else {
+                    continue;
+                };
+                let Location::Server(s) = next.location else {
+                    continue;
+                };
                 let spi = routing.canonical_spi(problem, path, k);
                 let vid_now = vid_for(spi, seg.si)?;
                 let vid_next = vid_for(spi, next.si)?;
                 rules.push((
                     OfTableType::VlanPush,
                     OfRule::with_priority(
-                        OfMatch { vlan_vid: Some(vid_now), ..OfMatch::any() },
+                        OfMatch {
+                            vlan_vid: Some(vid_now),
+                            ..OfMatch::any()
+                        },
                         5,
                         vec![OfAction::SetVlanVid(vid_next)],
                     ),
@@ -183,7 +191,10 @@ pub fn generate(
                 rules.push((
                     OfTableType::Forward,
                     OfRule::with_priority(
-                        OfMatch { vlan_vid: Some(vid_next), ..OfMatch::any() },
+                        OfMatch {
+                            vlan_vid: Some(vid_next),
+                            ..OfMatch::any()
+                        },
                         5,
                         vec![OfAction::Output(crate::p4gen::server_port(s))],
                     ),
@@ -194,7 +205,10 @@ pub fn generate(
 
     let mut text = String::from("# Auto-generated OpenFlow rules (Lemur meta-compiler)\n");
     for (table, rule) in &rules {
-        text.push_str(&format!("{table:?}: priority={} {:?} -> {:?}\n", rule.priority, rule.m, rule.actions));
+        text.push_str(&format!(
+            "{table:?}: priority={} {:?} -> {:?}\n",
+            rule.priority, rule.m, rule.actions
+        ));
     }
     Ok(OfConfig { rules, text })
 }

@@ -25,7 +25,9 @@ impl CompilerOracle {
 
     /// Oracle generating naive (unoptimized) code.
     pub fn naive() -> CompilerOracle {
-        CompilerOracle { options: P4GenOptions::naive() }
+        CompilerOracle {
+            options: P4GenOptions::naive(),
+        }
     }
 }
 
@@ -48,10 +50,16 @@ impl StageOracle for CompilerOracle {
             }
         };
         match compile(&synthesized.program, model, CompileOptions::default()) {
-            Ok(out) => StageVerdict::Fits { stages: out.num_stages_used },
-            Err(CompileError::OutOfStages { required, available }) => {
-                StageVerdict::OutOfStages { required, available }
-            }
+            Ok(out) => StageVerdict::Fits {
+                stages: out.num_stages_used,
+            },
+            Err(CompileError::OutOfStages {
+                required,
+                available,
+            }) => StageVerdict::OutOfStages {
+                required,
+                available,
+            },
             Err(CompileError::TableTooLarge(_)) => StageVerdict::OutOfStages {
                 required: model.num_stages + 1,
                 available: model.num_stages,

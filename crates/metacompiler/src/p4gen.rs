@@ -573,9 +573,8 @@ impl<'a> Gen<'a> {
             let (_, target) = sub.outs[0];
             seq.push(self.gen_target(ci, subs, target, i, guarded, emitted, None)?);
         } else {
-            let br = branch_reg.ok_or_else(|| {
-                format!("chain {ci}: branch subgroup must end in a Match NF")
-            })?;
+            let br = branch_reg
+                .ok_or_else(|| format!("chain {ci}: branch subgroup must end in a Match NF"))?;
             let mut cases = Vec::new();
             for (gate, target) in sub.outs.clone() {
                 let c = self.gen_target(ci, subs, target, i, guarded, emitted, Some(gate))?;
@@ -618,10 +617,7 @@ impl<'a> Gen<'a> {
                     // Mark table setting the successor's reach register.
                     let tid = self.add_table(
                         Table {
-                            name: format!(
-                                "c{ci}_mark_s{from}g{}_to_s{t}",
-                                gate.unwrap_or(0)
-                            ),
+                            name: format!("c{ci}_mark_s{from}g{}_to_s{t}", gate.unwrap_or(0)),
                             keys: vec![],
                             actions: vec![Action::new(
                                 "mark",
@@ -686,7 +682,12 @@ impl<'a> Gen<'a> {
         );
         self.add_entry(
             tid,
-            TableEntry { keys: vec![], action: 0, action_data: data, priority: 1 },
+            TableEntry {
+                keys: vec![],
+                action: 0,
+                action_data: data,
+                priority: 1,
+            },
         );
         Control::Apply(tid)
     }
@@ -748,7 +749,11 @@ impl<'a> Gen<'a> {
                 self.add_entry(
                     tid,
                     TableEntry {
-                        keys: vec![MatchValue::Lpm { value: 0, prefix_len: 0, width: 32 }],
+                        keys: vec![MatchValue::Lpm {
+                            value: 0,
+                            prefix_len: 0,
+                            width: 32,
+                        }],
                         action: 0,
                         action_data: vec![0x0200_0000_0000],
                         priority: 0,
@@ -837,7 +842,10 @@ impl<'a> Gen<'a> {
                     self.add_entry(
                         select,
                         TableEntry {
-                            keys: vec![MatchValue::Ternary { value: b, mask: pow2 - 1 }],
+                            keys: vec![MatchValue::Ternary {
+                                value: b,
+                                mask: pow2 - 1,
+                            }],
                             action: 0,
                             action_data: vec![b],
                             priority: 1,
@@ -883,9 +891,7 @@ impl<'a> Gen<'a> {
                         keys: vec![
                             (FieldRef::NshSpi, MatchKind::Ternary),
                             (
-                                FieldRef::FlowHash(
-                                    node.params.int_or("salt", 0) as u8,
-                                ),
+                                FieldRef::FlowHash(node.params.int_or("salt", 0) as u8),
                                 MatchKind::Range,
                             ),
                             (FieldRef::VlanVid, MatchKind::Ternary),
@@ -918,7 +924,12 @@ impl<'a> Gen<'a> {
                 let vid = node.params.int_or("vid", 1) as u64 & 0xfff;
                 self.add_entry(
                     tid,
-                    TableEntry { keys: vec![], action: 0, action_data: vec![vid], priority: 1 },
+                    TableEntry {
+                        keys: vec![],
+                        action: 0,
+                        action_data: vec![vid],
+                        priority: 1,
+                    },
                 );
                 out.push(tid);
             }
@@ -979,30 +990,35 @@ impl<'a> Gen<'a> {
                     .copied()
                     .unwrap_or(spi);
                 // Filter: explicit vlan entries or an even hash split.
-                let (hash_match, vlan_match) = if let Some(list) =
-                    node.params.get("entries").and_then(ParamValue::as_list)
-                {
-                    let vlan = list.get(gi).and_then(|v| {
-                        v.as_dict()?.get("vlan_tag").and_then(ParamValue::as_int)
-                    });
-                    (
-                        MatchValue::Any,
-                        vlan.map(|v| MatchValue::Ternary { value: v as u64, mask: 0xfff })
+                let (hash_match, vlan_match) =
+                    if let Some(list) = node.params.get("entries").and_then(ParamValue::as_list) {
+                        let vlan = list.get(gi).and_then(|v| {
+                            v.as_dict()?.get("vlan_tag").and_then(ParamValue::as_int)
+                        });
+                        (
+                            MatchValue::Any,
+                            vlan.map(|v| MatchValue::Ternary {
+                                value: v as u64,
+                                mask: 0xfff,
+                            })
                             .unwrap_or(MatchValue::Any),
-                    )
-                } else {
-                    let lo = (u64::MAX / n_gates as u64).saturating_mul(gi as u64);
-                    let hi = if gi + 1 == n_gates {
-                        u64::MAX
+                        )
                     } else {
-                        (u64::MAX / n_gates as u64).saturating_mul(gi as u64 + 1) - 1
+                        let lo = (u64::MAX / n_gates as u64).saturating_mul(gi as u64);
+                        let hi = if gi + 1 == n_gates {
+                            u64::MAX
+                        } else {
+                            (u64::MAX / n_gates as u64).saturating_mul(gi as u64 + 1) - 1
+                        };
+                        (MatchValue::Range { lo, hi }, MatchValue::Any)
                     };
-                    (MatchValue::Range { lo, hi }, MatchValue::Any)
-                };
                 let spi_key = if spi == 0 {
                     MatchValue::Any
                 } else {
-                    MatchValue::Ternary { value: spi as u64, mask: 0x00ff_ffff }
+                    MatchValue::Ternary {
+                        value: spi as u64,
+                        mask: 0x00ff_ffff,
+                    }
                 };
                 entries.push(TableEntry {
                     keys: vec![spi_key, hash_match, vlan_match],

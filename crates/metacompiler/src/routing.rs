@@ -61,7 +61,9 @@ impl PathRoute {
     /// Whether the packet carries an NSH header when it *enters* segment
     /// `k`: true once any earlier segment was off-switch.
     pub fn nsh_present_at(&self, k: usize) -> bool {
-        self.segments[..k].iter().any(|s| s.location != Location::Tor)
+        self.segments[..k]
+            .iter()
+            .any(|s| s.location != Location::Tor)
     }
 }
 
@@ -79,8 +81,29 @@ pub struct RoutingPlan {
 /// First SI value (segment 0). Decrements per segment.
 pub const INITIAL_SI: u8 = 250;
 
-/// Compute the routing plan for a placement assignment.
+/// Compute the routing plan for a placement assignment. SPIs are assigned
+/// sequentially: chain `i`'s paths start where chain `i-1`'s ended.
 pub fn plan(problem: &PlacementProblem, assignment: &Assignment) -> RoutingPlan {
+    plan_with_spi_bases(problem, assignment, None)
+}
+
+/// [`plan`] with externally fixed per-chain SPI bases. A repaired
+/// sub-problem drops shed chains, which would renumber every surviving
+/// chain's service paths under sequential assignment; passing each kept
+/// chain's *original* base SPI instead keeps the wire format stable
+/// across a live reconfiguration (SPIs are opaque u32 keys everywhere
+/// downstream, so sparseness is free). `bases[i]` is the base SPI for
+/// problem chain `i`; bases must be spaced at least each chain's path
+/// count apart, which holds by construction when they come from a
+/// previous sequential [`plan`].
+pub fn plan_with_spi_bases(
+    problem: &PlacementProblem,
+    assignment: &Assignment,
+    bases: Option<&[u32]>,
+) -> RoutingPlan {
+    if let Some(bases) = bases {
+        assert_eq!(bases.len(), problem.chains.len(), "one SPI base per chain");
+    }
     let mut paths = Vec::new();
     let mut branch_map = HashMap::new();
     let mut entry_spi = Vec::new();
@@ -88,15 +111,22 @@ pub fn plan(problem: &PlacementProblem, assignment: &Assignment) -> RoutingPlan 
 
     for (ci, chain) in problem.chains.iter().enumerate() {
         let decomposed = chain.graph.decompose();
-        let base_spi = next_spi;
-        next_spi += decomposed.len() as u32;
+        let base_spi = match bases {
+            Some(b) => b[ci],
+            None => next_spi,
+        };
+        next_spi = next_spi.max(base_spi) + decomposed.len() as u32;
         entry_spi.push(base_spi);
 
         // Segment every path.
         for (pi, lc) in decomposed.iter().enumerate() {
             let mut segments: Vec<Segment> = Vec::new();
             // Start at the ToR.
-            segments.push(Segment { location: Location::Tor, nodes: Vec::new(), si: 0 });
+            segments.push(Segment {
+                location: Location::Tor,
+                nodes: Vec::new(),
+                si: 0,
+            });
             for id in &lc.nodes {
                 let loc = match assignment[ci].get(id) {
                     Some(Platform::Server(s)) => Location::Server(*s),
@@ -108,21 +138,27 @@ pub fn plan(problem: &PlacementProblem, assignment: &Assignment) -> RoutingPlan 
                 } else {
                     // Between two off-switch segments, traffic transits the
                     // ToR: insert an explicit (possibly empty) ToR segment.
-                    if loc != Location::Tor
-                        && segments.last().unwrap().location != Location::Tor
-                    {
+                    if loc != Location::Tor && segments.last().unwrap().location != Location::Tor {
                         segments.push(Segment {
                             location: Location::Tor,
                             nodes: Vec::new(),
                             si: 0,
                         });
                     }
-                    segments.push(Segment { location: loc, nodes: vec![*id], si: 0 });
+                    segments.push(Segment {
+                        location: loc,
+                        nodes: vec![*id],
+                        si: 0,
+                    });
                 }
             }
             // Always end at the ToR (egress).
             if segments.last().unwrap().location != Location::Tor {
-                segments.push(Segment { location: Location::Tor, nodes: Vec::new(), si: 0 });
+                segments.push(Segment {
+                    location: Location::Tor,
+                    nodes: Vec::new(),
+                    si: 0,
+                });
             }
             for (k, seg) in segments.iter_mut().enumerate() {
                 seg.si = INITIAL_SI - k as u8;
@@ -144,24 +180,25 @@ pub fn plan(problem: &PlacementProblem, assignment: &Assignment) -> RoutingPlan 
                 continue;
             }
             // Decision sequence of a path strictly *before* reaching `bid`.
-            let decisions_before = |lc: &lemur_core::graph::LinearChain| -> Option<Vec<(NodeId, usize)>> {
-                let mut out = Vec::new();
-                for w in lc.nodes.windows(2) {
-                    if w[0] == bid {
-                        return Some(out);
+            let decisions_before =
+                |lc: &lemur_core::graph::LinearChain| -> Option<Vec<(NodeId, usize)>> {
+                    let mut out = Vec::new();
+                    for w in lc.nodes.windows(2) {
+                        if w[0] == bid {
+                            return Some(out);
+                        }
+                        if g.is_branch(w[0]) {
+                            let gate = g
+                                .out_edges(w[0])
+                                .iter()
+                                .find(|e| e.to == w[1])
+                                .map(|e| e.gate)
+                                .unwrap_or(0);
+                            out.push((w[0], gate));
+                        }
                     }
-                    if g.is_branch(w[0]) {
-                        let gate = g
-                            .out_edges(w[0])
-                            .iter()
-                            .find(|e| e.to == w[1])
-                            .map(|e| e.gate)
-                            .unwrap_or(0);
-                        out.push((w[0], gate));
-                    }
-                }
-                None // path does not pass through bid (or bid is last)
-            };
+                    None // path does not pass through bid (or bid is last)
+                };
             let gate_at = |lc: &lemur_core::graph::LinearChain| -> Option<usize> {
                 lc.nodes.windows(2).find(|w| w[0] == bid).map(|w| {
                     g.out_edges(bid)
@@ -194,7 +231,11 @@ pub fn plan(problem: &PlacementProblem, assignment: &Assignment) -> RoutingPlan 
             }
         }
     }
-    RoutingPlan { paths, branch_map, entry_spi }
+    RoutingPlan {
+        paths,
+        branch_map,
+        entry_spi,
+    }
 }
 
 impl RoutingPlan {
@@ -218,7 +259,10 @@ impl RoutingPlan {
         let my_key = decision_key(problem, path, k);
         self.paths
             .iter()
-            .filter(|p| p.chain == path.chain && decision_key(problem, p, k) == Some(my_key.clone().unwrap_or_default()))
+            .filter(|p| {
+                p.chain == path.chain
+                    && decision_key(problem, p, k) == Some(my_key.clone().unwrap_or_default())
+            })
             .map(|p| p.spi)
             .min()
             .unwrap_or(path.spi)
@@ -381,13 +425,61 @@ mod tests {
     }
 
     #[test]
+    fn fixed_spi_bases_survive_chain_removal() {
+        // Two chains numbered sequentially; drop chain 0 and re-plan the
+        // survivor with its original base — no renumbering.
+        let mut p = PlacementProblem::new(
+            vec![
+                ChainSpec {
+                    name: "a".into(),
+                    graph: canonical_chain(CanonicalChain::Chain2),
+                    slo: None,
+                    aggregate: None,
+                },
+                ChainSpec {
+                    name: "b".into(),
+                    graph: canonical_chain(CanonicalChain::Chain3),
+                    slo: None,
+                    aggregate: None,
+                },
+            ],
+            Topology::testbed(),
+            NfProfiles::table4(),
+        );
+        for i in 0..2 {
+            let base = p.base_rate_bps(i);
+            p.chains[i].slo = Some(Slo::elastic_pipe(0.25 * base, 100e9));
+        }
+        let placement = hw_placement(&p);
+        let full = plan(&p, &placement.assignment);
+        assert_eq!(full.entry_spi, vec![1, 4]); // chain2 has 3 paths
+
+        let sub = PlacementProblem::new(
+            vec![p.chains[1].clone()],
+            Topology::testbed(),
+            NfProfiles::table4(),
+        );
+        let sub_placement = hw_placement(&sub);
+        let re = plan_with_spi_bases(&sub, &sub_placement.assignment, Some(&[full.entry_spi[1]]));
+        assert_eq!(re.entry_spi, vec![4]);
+        let spis: Vec<u32> = re.paths.iter().map(|p| p.spi).collect();
+        let original: Vec<u32> = full.chain_paths(1).map(|p| p.spi).collect();
+        assert_eq!(spis, original, "surviving chain was renumbered");
+    }
+
+    #[test]
     fn all_on_tor_detection() {
         // Chain 2 with everything on the switch except Encrypt can't be
         // all-tor; craft an artificial all-P4 single-NF chain instead.
         let mut g = lemur_core::graph::NfGraph::new();
         g.add_named("fwd", NfKind::Ipv4Fwd, lemur_nf::NfParams::new());
         let p = PlacementProblem::new(
-            vec![ChainSpec { name: "t".into(), graph: g, slo: Some(Slo::bulk()), aggregate: None }],
+            vec![ChainSpec {
+                name: "t".into(),
+                graph: g,
+                slo: Some(Slo::bulk()),
+                aggregate: None,
+            }],
             Topology::testbed(),
             NfProfiles::table4(),
         );

@@ -151,7 +151,11 @@ fn chain2_split_covers_all_gates() {
 #[test]
 fn multi_chain_program_fits_and_separates_traffic() {
     let mut p = problem(
-        &[CanonicalChain::Chain2, CanonicalChain::Chain3, CanonicalChain::Chain5],
+        &[
+            CanonicalChain::Chain2,
+            CanonicalChain::Chain3,
+            CanonicalChain::Chain5,
+        ],
         0.5,
     );
     // Distinct aggregates so classification separates the chains.
@@ -220,12 +224,18 @@ fn extreme_nat_ten_fits_eleven_does_not() {
     match build(10) {
         StageVerdict::Fits { stages } => {
             assert!(stages <= 12, "10 NATs must fit, used {stages}");
-            assert!(stages >= 8, "10 NATs should nearly fill the pipeline: {stages}");
+            assert!(
+                stages >= 8,
+                "10 NATs should nearly fill the pipeline: {stages}"
+            );
         }
         other => panic!("10 NATs must fit: {other:?}"),
     }
     match build(11) {
-        StageVerdict::OutOfStages { required, available } => {
+        StageVerdict::OutOfStages {
+            required,
+            available,
+        } => {
             assert_eq!(available, 12);
             assert!(required > 12);
         }
@@ -274,11 +284,7 @@ fn acl_rules_enforced_on_switch() {
          slo(c, t_min='0')\n",
     )
     .unwrap();
-    let p = PlacementProblem::new(
-        spec.chains,
-        Topology::testbed(),
-        NfProfiles::table4(),
-    );
+    let p = PlacementProblem::new(spec.chains, Topology::testbed(), NfProfiles::table4());
     let a = lemur_placer::baselines::hw_preferred_assignment(&p);
     let plan = routing::plan(&p, &a);
     let synth = p4gen::synthesize(&p, &a, &plan, P4GenOptions::default()).unwrap();
@@ -325,7 +331,11 @@ fn loc_accounting_reports_steering_majority() {
     let e = p.evaluate(&a, CoreStrategy::WaterFill).unwrap();
     let dep = lemur_metacompiler::compile(&p, &e).unwrap();
     let stats = dep.stats;
-    assert!(stats.p4_generated > 300, "substantial P4: {}", stats.p4_generated);
+    assert!(
+        stats.p4_generated > 300,
+        "substantial P4: {}",
+        stats.p4_generated
+    );
     assert!(stats.p4_steering > 0 && stats.p4_steering < stats.p4_generated);
     // The paper: ~1/3 of total code auto-generated, most of it steering.
     let frac = stats.generated_fraction();

@@ -66,7 +66,10 @@ pub struct Acl {
 impl Acl {
     /// Build from explicit rules.
     pub fn new(rules: Vec<AclRule>, default_drop: bool) -> Acl {
-        Acl { rules, default_drop }
+        Acl {
+            rules,
+            default_drop,
+        }
     }
 
     /// Number of installed rules (drives the linear cycle-cost model).
@@ -110,7 +113,10 @@ impl Acl {
             // when the operator provides rules out of band.
             rules.push(AclRule::any(false));
         }
-        Acl { rules, default_drop: true }
+        Acl {
+            rules,
+            default_drop: true,
+        }
     }
 }
 
@@ -123,9 +129,7 @@ pub fn synthetic_rules(n: usize) -> Vec<AclRule> {
             let c = (i & 0xff) as u8;
             AclRule {
                 src: None,
-                dst: Some(
-                    Cidr::new(lemur_packet::ipv4::Address::new(10, b, c, 0), 24).unwrap(),
-                ),
+                dst: Some(Cidr::new(lemur_packet::ipv4::Address::new(10, b, c, 0), 24).unwrap()),
                 src_ports: PortRange::ANY,
                 dst_ports: PortRange::ANY,
                 protocol: None,
@@ -147,7 +151,11 @@ impl NetworkFunction for Acl {
         };
         for rule in &self.rules {
             if rule.matches(&tuple) {
-                return if rule.drop { Verdict::Drop } else { Verdict::Forward };
+                return if rule.drop {
+                    Verdict::Drop
+                } else {
+                    Verdict::Forward
+                };
             }
         }
         if self.default_drop {
@@ -158,7 +166,10 @@ impl NetworkFunction for Acl {
     }
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
-        Box::new(Acl { rules: self.rules.clone(), default_drop: self.default_drop })
+        Box::new(Acl {
+            rules: self.rules.clone(),
+            default_drop: self.default_drop,
+        })
     }
 }
 
@@ -208,7 +219,10 @@ mod tests {
         ];
         let mut acl = Acl::new(rules, true);
         let ctx = NfCtx::default();
-        assert_eq!(acl.process(&ctx, &mut pkt(ipv4::Address::new(10, 0, 0, 1))), Verdict::Drop);
+        assert_eq!(
+            acl.process(&ctx, &mut pkt(ipv4::Address::new(10, 0, 0, 1))),
+            Verdict::Drop
+        );
         assert_eq!(
             acl.process(&ctx, &mut pkt(ipv4::Address::new(11, 0, 0, 1))),
             Verdict::Forward
@@ -219,7 +233,10 @@ mod tests {
     fn default_deny() {
         let mut acl = Acl::new(vec![], true);
         let ctx = NfCtx::default();
-        assert_eq!(acl.process(&ctx, &mut pkt(ipv4::Address::new(1, 1, 1, 1))), Verdict::Drop);
+        assert_eq!(
+            acl.process(&ctx, &mut pkt(ipv4::Address::new(1, 1, 1, 1))),
+            Verdict::Drop
+        );
     }
 
     #[test]

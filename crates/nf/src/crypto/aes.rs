@@ -71,7 +71,11 @@ fn tables() -> &'static Tables {
                 *slot = gmul(c as u8, b as u8);
             }
         }
-        Box::new(Tables { sbox, inv_sbox, mul })
+        Box::new(Tables {
+            sbox,
+            inv_sbox,
+            mul,
+        })
     })
 }
 
@@ -165,7 +169,12 @@ impl Aes128 {
     fn mix_columns(state: &mut [u8; 16]) {
         let t = tables();
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] = m(t, 2, col[0]) ^ m(t, 3, col[1]) ^ col[2] ^ col[3];
             state[4 * c + 1] = col[0] ^ m(t, 2, col[1]) ^ m(t, 3, col[2]) ^ col[3];
             state[4 * c + 2] = col[0] ^ col[1] ^ m(t, 2, col[2]) ^ m(t, 3, col[3]);
@@ -176,9 +185,13 @@ impl Aes128 {
     fn inv_mix_columns(state: &mut [u8; 16]) {
         let t = tables();
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-            state[4 * c] =
-                m(t, 14, col[0]) ^ m(t, 11, col[1]) ^ m(t, 13, col[2]) ^ m(t, 9, col[3]);
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = m(t, 14, col[0]) ^ m(t, 11, col[1]) ^ m(t, 13, col[2]) ^ m(t, 9, col[3]);
             state[4 * c + 1] =
                 m(t, 9, col[0]) ^ m(t, 14, col[1]) ^ m(t, 11, col[2]) ^ m(t, 13, col[3]);
             state[4 * c + 2] =

@@ -121,12 +121,10 @@ mod tests {
         let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
         let cipher = ChaCha20::new(&key, &nonce);
         let ks = cipher.block(1);
-        let expected = hex(
-            "10 f1 e7 e4 d1 3b 59 15 50 0f dd 1f a3 20 71 c4 \
+        let expected = hex("10 f1 e7 e4 d1 3b 59 15 50 0f dd 1f a3 20 71 c4 \
              c7 d1 f4 c7 33 c0 68 03 04 22 aa 9a c3 d4 6c 4e \
              d2 82 64 46 07 9f aa 09 14 c2 d7 05 d9 8b 02 a2 \
-             b5 12 9c d1 de 16 4e b9 cb d0 83 e8 a2 50 3c 4e",
-        );
+             b5 12 9c d1 de 16 4e b9 cb d0 83 e8 a2 50 3c 4e");
         assert_eq!(ks.to_vec(), expected);
     }
 
@@ -140,10 +138,8 @@ mod tests {
 only one tip for the future, sunscreen would be it."
             .to_vec();
         cipher.apply(1, &mut data);
-        let expected_prefix = hex(
-            "6e 2e 35 9a 25 68 f9 80 41 ba 07 28 dd 0d 69 81 \
-             e9 7e 7a ec 1d 43 60 c2 0a 27 af cc fd 9f ae 0b",
-        );
+        let expected_prefix = hex("6e 2e 35 9a 25 68 f9 80 41 ba 07 28 dd 0d 69 81 \
+             e9 7e 7a ec 1d 43 60 c2 0a 27 af cc fd 9f ae 0b");
         assert_eq!(&data[..32], &expected_prefix[..]);
     }
 

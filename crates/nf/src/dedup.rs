@@ -205,7 +205,12 @@ impl NetworkFunction for Dedup {
             let data = pkt.as_mut_slice();
             let (src, dst, l4, protocol) = {
                 let ip = ipv4::Packet::new_unchecked(&data[l3..]);
-                (ip.src(), ip.dst(), l3 + ip.header_len() as usize, ip.protocol())
+                (
+                    ip.src(),
+                    ip.dst(),
+                    l3 + ip.header_len() as usize,
+                    ip.protocol(),
+                )
             };
             {
                 let mut ip = ipv4::Packet::new_unchecked(&mut data[l3..]);
@@ -334,7 +339,9 @@ mod tests {
         for i in 0u32..20 {
             let payload: Vec<u8> = (0..400u32)
                 .map(|j| {
-                    (j.wrapping_mul(2654435761).wrapping_add(i.wrapping_mul(96557)) >> 13) as u8
+                    (j.wrapping_mul(2654435761)
+                        .wrapping_add(i.wrapping_mul(96557))
+                        >> 13) as u8
                 })
                 .collect();
             let mut p = pkt(&payload);
@@ -355,8 +362,9 @@ mod tests {
         let mut d = Dedup::new(32);
         let ctx = NfCtx::default();
         for i in 0u32..200 {
-            let payload: Vec<u8> =
-                (0..200u32).map(|j| ((j * 31 + i * 1009) % 251) as u8).collect();
+            let payload: Vec<u8> = (0..200u32)
+                .map(|j| ((j * 31 + i * 1009) % 251) as u8)
+                .collect();
             d.process(&ctx, &mut pkt(&payload));
         }
         assert!(d.store_size() <= 64, "store grew to {}", d.store_size());

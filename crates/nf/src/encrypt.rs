@@ -48,7 +48,12 @@ fn layout(frame: &[u8]) -> Option<Layout> {
     if payload > frame.len() {
         return None;
     }
-    Some(Layout { l3, l4, payload, protocol: ip.protocol() })
+    Some(Layout {
+        l3,
+        l4,
+        payload,
+        protocol: ip.protocol(),
+    })
 }
 
 /// Replace the L4 payload with `new_payload`, fixing lengths and checksums.
@@ -113,7 +118,11 @@ pub struct Encrypt {
 impl Encrypt {
     /// Create with an explicit 16-byte key.
     pub fn new(key: [u8; 16]) -> Encrypt {
-        Encrypt { key: Aes128::new(&key), key_bytes: key, counter: 0 }
+        Encrypt {
+            key: Aes128::new(&key),
+            key_bytes: key,
+            counter: 0,
+        }
     }
 
     /// Build from spec parameters: `key` as a 32-hex-digit string.
@@ -170,7 +179,10 @@ pub struct Decrypt {
 impl Decrypt {
     /// Create with an explicit 16-byte key.
     pub fn new(key: [u8; 16]) -> Decrypt {
-        Decrypt { key: Aes128::new(&key), key_bytes: key }
+        Decrypt {
+            key: Aes128::new(&key),
+            key_bytes: key,
+        }
     }
 
     /// Build from spec parameters (same `key` format as [`Encrypt`]).
@@ -301,7 +313,10 @@ mod tests {
         let mut p = pkt(b"confidential payload bytes");
         assert_eq!(enc.process(&ctx, &mut p), Verdict::Forward);
         assert_ne!(payload_of(&p), b"confidential payload bytes".to_vec());
-        assert!(valid_at_all_layers(&p), "encrypted packet must stay well-formed");
+        assert!(
+            valid_at_all_layers(&p),
+            "encrypted packet must stay well-formed"
+        );
         assert_eq!(dec.process(&ctx, &mut p), Verdict::Forward);
         assert_eq!(payload_of(&p), b"confidential payload bytes".to_vec());
         assert!(valid_at_all_layers(&p));

@@ -20,14 +20,19 @@ struct Node<V> {
 
 impl<V> Default for Node<V> {
     fn default() -> Self {
-        Node { children: [None, None], value: None }
+        Node {
+            children: [None, None],
+            value: None,
+        }
     }
 }
 
 impl<V: Clone> LpmTrie<V> {
     /// An empty trie.
     pub fn new() -> LpmTrie<V> {
-        LpmTrie { nodes: vec![Node::default()] }
+        LpmTrie {
+            nodes: vec![Node::default()],
+        }
     }
 
     /// Insert (or replace) a prefix→value mapping.
@@ -122,14 +127,20 @@ impl Ipv4Fwd {
                 let port = d.get("port").and_then(ParamValue::as_int).unwrap_or(0) as u8;
                 routes.push((
                     prefix,
-                    NextHop { mac: ethernet::Address([2, 0, 0, 0, 0, port]), port },
+                    NextHop {
+                        mac: ethernet::Address([2, 0, 0, 0, 0, port]),
+                        port,
+                    },
                 ));
             }
         }
         if routes.is_empty() {
             routes.push((
                 Cidr::new(ipv4::Address::new(0, 0, 0, 0), 0).unwrap(),
-                NextHop { mac: ethernet::Address([2, 0, 0, 0, 0, 0]), port: 0 },
+                NextHop {
+                    mac: ethernet::Address([2, 0, 0, 0, 0, 0]),
+                    port: 0,
+                },
             ));
         }
         Ipv4Fwd::new(routes)
@@ -149,7 +160,9 @@ impl Ipv4Fwd {
             }
             _ => return None,
         };
-        ipv4::Packet::new_checked(&frame[l3_off..]).ok().map(|p| p.dst())
+        ipv4::Packet::new_checked(&frame[l3_off..])
+            .ok()
+            .map(|p| p.dst())
     }
 }
 
@@ -171,7 +184,9 @@ impl NetworkFunction for Ipv4Fwd {
     }
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
-        Box::new(Ipv4Fwd { table: self.table.clone() })
+        Box::new(Ipv4Fwd {
+            table: self.table.clone(),
+        })
     }
 }
 
@@ -181,7 +196,10 @@ mod tests {
     use lemur_packet::builder::udp_packet;
 
     fn hop(n: u8) -> NextHop {
-        NextHop { mac: ethernet::Address([2, 0, 0, 0, 0, n]), port: n }
+        NextHop {
+            mac: ethernet::Address([2, 0, 0, 0, 0, n]),
+            port: n,
+        }
     }
 
     #[test]

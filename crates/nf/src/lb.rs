@@ -31,7 +31,11 @@ impl LoadBalancer {
     /// Create with explicit backends (at least one).
     pub fn new(backends: Vec<Backend>) -> LoadBalancer {
         assert!(!backends.is_empty(), "LB needs at least one backend");
-        LoadBalancer { backends, flow_cache: HashMap::new(), max_cache: 65_536 }
+        LoadBalancer {
+            backends,
+            flow_cache: HashMap::new(),
+            max_cache: 65_536,
+        }
     }
 
     /// Build from spec parameters: `backends=N` synthesizes N backends in

@@ -20,7 +20,12 @@ impl Limiter {
     /// Create with a rate (bits/second) and burst (bytes).
     pub fn new(rate_bps: f64, burst_bytes: f64) -> Limiter {
         assert!(rate_bps > 0.0 && burst_bytes > 0.0);
-        Limiter { rate_bps, burst_bytes, tokens: burst_bytes, last_refill_ns: 0 }
+        Limiter {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes,
+            last_refill_ns: 0,
+        }
     }
 
     /// Build from spec parameters: `rate_bps` (default 10 Gbps) and
@@ -104,7 +109,9 @@ mod tests {
     #[test]
     fn refill_caps_at_burst() {
         let mut l = Limiter::new(8e9, 500.0);
-        let ctx = NfCtx { now_ns: 10_000_000_000 };
+        let ctx = NfCtx {
+            now_ns: 10_000_000_000,
+        };
         // Ten seconds at 1 GB/s would be 10 GB of tokens, but burst caps
         // the bucket at 500 bytes.
         assert_eq!(l.process(&ctx, &mut pkt(400)), Verdict::Forward);
@@ -119,7 +126,9 @@ mod tests {
         let mut admitted = 0usize;
         let total = 2000usize;
         for i in 0..total {
-            let ctx = NfCtx { now_ns: (i as u64) * 500_000 };
+            let ctx = NfCtx {
+                now_ns: (i as u64) * 500_000,
+            };
             if l.process(&ctx, &mut pkt(1000)) == Verdict::Forward {
                 admitted += 1;
             }

@@ -60,7 +60,11 @@ pub struct Match {
 impl Match {
     /// Build from explicit entries.
     pub fn new(entries: Vec<MatchEntry>, default_gate: usize) -> Match {
-        Match { entries, default_gate, salt: 0 }
+        Match {
+            entries,
+            default_gate,
+            salt: 0,
+        }
     }
 
     /// Set the per-stage hash seed (builder style).
@@ -81,7 +85,11 @@ impl Match {
                 gate: g,
             })
             .collect();
-        Match { entries, default_gate: 0, salt: 0 }
+        Match {
+            entries,
+            default_gate: 0,
+            salt: 0,
+        }
     }
 
     /// Build from spec parameters:
@@ -98,7 +106,10 @@ impl Match {
                 let Some(d) = item.as_dict() else { continue };
                 entries.push(MatchEntry {
                     aggregate: None,
-                    vlan_tag: d.get("vlan_tag").and_then(ParamValue::as_int).map(|v| v as u16),
+                    vlan_tag: d
+                        .get("vlan_tag")
+                        .and_then(ParamValue::as_int)
+                        .map(|v| v as u16),
                     hash_split: None,
                     gate: d.get("gate").and_then(ParamValue::as_int).unwrap_or(0) as usize,
                 });
@@ -113,7 +124,11 @@ impl Match {
                 gate: 0,
             });
         }
-        Match { entries, default_gate: 0, salt }
+        Match {
+            entries,
+            default_gate: 0,
+            salt,
+        }
     }
 
     /// Number of distinct output gates referenced.

@@ -25,7 +25,11 @@ pub struct Monitor {
 impl Monitor {
     /// An empty monitor.
     pub fn new() -> Monitor {
-        Monitor { flows: HashMap::new(), other_packets: 0, other_bytes: 0 }
+        Monitor {
+            flows: HashMap::new(),
+            other_packets: 0,
+            other_bytes: 0,
+        }
     }
 
     /// Number of distinct flows observed.

@@ -141,7 +141,12 @@ impl NetworkFunction for Nat {
             let Ok(ip) = ipv4::Packet::new_checked(&pkt.as_slice()[l3..]) else {
                 return Verdict::Drop;
             };
-            (ip.src(), ip.dst(), ip.protocol(), l3 + ip.header_len() as usize)
+            (
+                ip.src(),
+                ip.dst(),
+                ip.protocol(),
+                l3 + ip.header_len() as usize,
+            )
         };
         if !matches!(protocol, Protocol::Udp | Protocol::Tcp) {
             return Verdict::Drop;
@@ -189,8 +194,13 @@ impl NetworkFunction for Nat {
                     self.dropped_no_ports += 1;
                     return Verdict::Drop;
                 };
-                self.forward
-                    .insert(key, Binding { external_port: port, last_used_ns: ctx.now_ns });
+                self.forward.insert(
+                    key,
+                    Binding {
+                        external_port: port,
+                        last_used_ns: ctx.now_ns,
+                    },
+                );
                 self.reverse.insert(port, key);
                 port
             }
@@ -350,7 +360,9 @@ mod tests {
         nat.process(&NfCtx { now_ns: 0 }, &mut outbound(1));
         nat.process(&NfCtx { now_ns: 0 }, &mut outbound(2));
         // 120 s later both are idle; a new flow evicts the oldest.
-        let late = NfCtx { now_ns: 120_000_000_000 };
+        let late = NfCtx {
+            now_ns: 120_000_000_000,
+        };
         assert_eq!(nat.process(&late, &mut outbound(3)), Verdict::Forward);
         assert_eq!(nat.active_bindings(), 2);
     }

@@ -126,17 +126,23 @@ impl NfParams {
 
     /// Convenience: integer parameter with default.
     pub fn int_or(&self, key: &str, default: i64) -> i64 {
-        self.get(key).and_then(ParamValue::as_int).unwrap_or(default)
+        self.get(key)
+            .and_then(ParamValue::as_int)
+            .unwrap_or(default)
     }
 
     /// Convenience: float parameter with default.
     pub fn float_or(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(ParamValue::as_float).unwrap_or(default)
+        self.get(key)
+            .and_then(ParamValue::as_float)
+            .unwrap_or(default)
     }
 
     /// Convenience: string parameter with default.
     pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
-        self.get(key).and_then(ParamValue::as_str).unwrap_or(default)
+        self.get(key)
+            .and_then(ParamValue::as_str)
+            .unwrap_or(default)
     }
 
     /// Iterate entries in key order.

@@ -80,7 +80,11 @@ impl AhoCorasick {
                 }
             }
         }
-        AhoCorasick { goto_fn: children, terminal, num_patterns: count }
+        AhoCorasick {
+            goto_fn: children,
+            terminal,
+            num_patterns: count,
+        }
     }
 
     /// True if any pattern occurs in `haystack`.
@@ -241,8 +245,13 @@ mod tests {
     fn aho_corasick_matches_naive_search() {
         let patterns = [b"lem".as_slice(), b"urf".as_slice(), b"xyz".as_slice()];
         let ac = AhoCorasick::new(&patterns);
-        let texts: [&[u8]; 5] =
-            [b"lemur filter", b"surf", b"surfing lemurs", b"nothing here", b"xy z"];
+        let texts: [&[u8]; 5] = [
+            b"lemur filter",
+            b"surf",
+            b"surfing lemurs",
+            b"nothing here",
+            b"xy z",
+        ];
         for text in texts {
             let expect = patterns
                 .iter()
@@ -271,7 +280,10 @@ mod tests {
         );
         let mut f = UrlFilter::from_params(&params);
         let ctx = NfCtx::default();
-        assert_eq!(f.process(&ctx, &mut http(b"this is forbidden text")), Verdict::Drop);
+        assert_eq!(
+            f.process(&ctx, &mut http(b"this is forbidden text")),
+            Verdict::Drop
+        );
         assert_eq!(
             f.process(&ctx, &mut http(b"GET malware.example")),
             Verdict::Forward,

@@ -7,9 +7,8 @@ use lemur_packet::ipv4::{Address, Cidr};
 use proptest::prelude::*;
 
 fn arb_cidr() -> impl Strategy<Value = Cidr> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
-        Cidr::new(Address::from_u32(addr), len).unwrap()
-    })
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(addr, len)| Cidr::new(Address::from_u32(addr), len).unwrap())
 }
 
 proptest! {

@@ -74,8 +74,16 @@ mod tests {
 
     #[test]
     fn in_order_sequences_accepted() {
-        assert!(validate_nf_order(&[NfKind::Detunnel, NfKind::Acl, NfKind::Ipv4Fwd]));
-        assert!(validate_nf_order(&[NfKind::Acl, NfKind::Monitor, NfKind::Tunnel]));
+        assert!(validate_nf_order(&[
+            NfKind::Detunnel,
+            NfKind::Acl,
+            NfKind::Ipv4Fwd
+        ]));
+        assert!(validate_nf_order(&[
+            NfKind::Acl,
+            NfKind::Monitor,
+            NfKind::Tunnel
+        ]));
         assert!(validate_nf_order(&[NfKind::Ipv4Fwd]));
         assert!(validate_nf_order(&[]));
     }

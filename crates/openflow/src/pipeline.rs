@@ -86,7 +86,11 @@ impl OfSwitch {
 
     /// Rules installed in a table.
     pub fn num_rules(&self, table: OfTableType) -> usize {
-        self.tables.iter().find(|(t, _)| *t == table).map(|(_, r)| r.len()).unwrap_or(0)
+        self.tables
+            .iter()
+            .find(|(t, _)| *t == table)
+            .map(|(_, r)| r.len())
+            .unwrap_or(0)
     }
 
     /// (matched, missed) counters for a table.
@@ -114,7 +118,12 @@ impl OfSwitch {
                     self.stats[i].matched += 1;
                     for action in &rule.actions {
                         match action {
-                            OfAction::Drop => return OfVerdict { out_port: None, dropped: true },
+                            OfAction::Drop => {
+                                return OfVerdict {
+                                    out_port: None,
+                                    dropped: true,
+                                }
+                            }
                             OfAction::Output(p) => out_port = Some(*p),
                             OfAction::PushVlan(v) => vlan_push(pkt, *v),
                             OfAction::PopVlan => {
@@ -128,7 +137,10 @@ impl OfSwitch {
                 }
             }
         }
-        OfVerdict { out_port, dropped: false }
+        OfVerdict {
+            out_port,
+            dropped: false,
+        }
     }
 }
 
@@ -172,7 +184,10 @@ mod tests {
         sw.add_rule(
             OfTableType::Acl,
             OfRule::new(
-                OfMatch { l4_dst: Some(23), ..OfMatch::any() },
+                OfMatch {
+                    l4_dst: Some(23),
+                    ..OfMatch::any()
+                },
                 vec![OfAction::Drop],
             ),
         );
@@ -180,14 +195,29 @@ mod tests {
         sw.add_rule(
             OfTableType::Forward,
             OfRule::new(
-                OfMatch { ipv4_dst: Some("20.0.0.0/8".parse().unwrap()), ..OfMatch::any() },
+                OfMatch {
+                    ipv4_dst: Some("20.0.0.0/8".parse().unwrap()),
+                    ..OfMatch::any()
+                },
                 vec![OfAction::Output(3)],
             ),
         );
         let mut ok = pkt(ipv4::Address::new(20, 1, 1, 1), 80);
-        assert_eq!(sw.process(0, &mut ok), OfVerdict { out_port: Some(3), dropped: false });
+        assert_eq!(
+            sw.process(0, &mut ok),
+            OfVerdict {
+                out_port: Some(3),
+                dropped: false
+            }
+        );
         let mut telnet = pkt(ipv4::Address::new(20, 1, 1, 1), 23);
-        assert_eq!(sw.process(0, &mut telnet), OfVerdict { out_port: None, dropped: true });
+        assert_eq!(
+            sw.process(0, &mut telnet),
+            OfVerdict {
+                out_port: None,
+                dropped: true
+            }
+        );
         let (matched, missed) = sw.table_stats(OfTableType::Acl);
         assert_eq!((matched, missed), (1, 1));
     }
@@ -202,14 +232,20 @@ mod tests {
         sw.add_rule(
             OfTableType::VlanPush,
             OfRule::new(
-                OfMatch { vlan_vid: Some(enc_in), ..OfMatch::any() },
+                OfMatch {
+                    vlan_vid: Some(enc_in),
+                    ..OfMatch::any()
+                },
                 vec![OfAction::SetVlanVid(enc_out)],
             ),
         );
         sw.add_rule(
             OfTableType::Forward,
             OfRule::new(
-                OfMatch { vlan_vid: Some(enc_out), ..OfMatch::any() },
+                OfMatch {
+                    vlan_vid: Some(enc_out),
+                    ..OfMatch::any()
+                },
                 vec![OfAction::Output(7)],
             ),
         );
@@ -217,7 +253,10 @@ mod tests {
         lemur_packet::builder::vlan_push(&mut p, enc_in);
         let v = sw.process(1, &mut p);
         assert_eq!(v.out_port, Some(7));
-        assert_eq!(lemur_packet::builder::vlan_peek(p.as_slice()), Some(enc_out));
+        assert_eq!(
+            lemur_packet::builder::vlan_peek(p.as_slice()),
+            Some(enc_out)
+        );
     }
 
     #[test]
@@ -226,7 +265,10 @@ mod tests {
         sw.add_rule(
             OfTableType::VlanPop,
             OfRule::new(
-                OfMatch { vlan_vid: Some(42), ..OfMatch::any() },
+                OfMatch {
+                    vlan_vid: Some(42),
+                    ..OfMatch::any()
+                },
                 vec![OfAction::PopVlan],
             ),
         );
@@ -246,7 +288,10 @@ mod tests {
         sw.add_rule(
             OfTableType::Forward,
             OfRule::with_priority(
-                OfMatch { l4_dst: Some(80), ..OfMatch::any() },
+                OfMatch {
+                    l4_dst: Some(80),
+                    ..OfMatch::any()
+                },
                 10,
                 vec![OfAction::Output(2)],
             ),
@@ -261,6 +306,12 @@ mod tests {
     fn empty_pipeline_floods_nowhere() {
         let mut sw = OfSwitch::new();
         let mut p = pkt(ipv4::Address::new(1, 1, 1, 1), 80);
-        assert_eq!(sw.process(0, &mut p), OfVerdict { out_port: None, dropped: false });
+        assert_eq!(
+            sw.process(0, &mut p),
+            OfVerdict {
+                out_port: None,
+                dropped: false
+            }
+        );
     }
 }

@@ -113,12 +113,20 @@ impl OfRule {
     /// A rule with priority derived from the match's specificity.
     pub fn new(m: OfMatch, actions: Vec<OfAction>) -> OfRule {
         let priority = m.specificity();
-        OfRule { m, priority, actions }
+        OfRule {
+            m,
+            priority,
+            actions,
+        }
     }
 
     /// Same, with an explicit priority.
     pub fn with_priority(m: OfMatch, priority: u32, actions: Vec<OfAction>) -> OfRule {
-        OfRule { m, priority, actions }
+        OfRule {
+            m,
+            priority,
+            actions,
+        }
     }
 }
 
@@ -153,15 +161,25 @@ mod tests {
         };
         assert!(m.matches(0, Some(7), Some(&tuple())));
         assert!(!m.matches(0, Some(8), Some(&tuple())));
-        assert!(!m.matches(0, Some(7), None), "tuple-dependent match needs a tuple");
-        let other = FiveTuple { dst_port: 443, ..tuple() };
+        assert!(
+            !m.matches(0, Some(7), None),
+            "tuple-dependent match needs a tuple"
+        );
+        let other = FiveTuple {
+            dst_port: 443,
+            ..tuple()
+        };
         assert!(!m.matches(0, Some(7), Some(&other)));
     }
 
     #[test]
     fn specificity_counts_fields() {
         assert_eq!(OfMatch::any().specificity(), 0);
-        let m = OfMatch { in_port: Some(1), vlan_vid: Some(2), ..OfMatch::any() };
+        let m = OfMatch {
+            in_port: Some(1),
+            vlan_vid: Some(2),
+            ..OfMatch::any()
+        };
         assert_eq!(m.specificity(), 2);
         assert_eq!(OfRule::new(m, vec![OfAction::Drop]).priority, 2);
     }

@@ -19,10 +19,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// The program needs more stages than the pipeline has.
-    OutOfStages {
-        required: usize,
-        available: usize,
-    },
+    OutOfStages { required: usize, available: usize },
     /// A single table exceeds per-stage resources and cannot be placed at
     /// all (e.g. wider than one stage's SRAM).
     TableTooLarge(String),
@@ -31,7 +28,10 @@ pub enum CompileError {
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CompileError::OutOfStages { required, available } => {
+            CompileError::OutOfStages {
+                required,
+                available,
+            } => {
                 write!(f, "program needs {required} stages, switch has {available}")
             }
             CompileError::TableTooLarge(name) => {
@@ -292,7 +292,12 @@ pub fn compile(
         });
     }
     let latency_ns = model.pipeline_latency_ns(num_stages_used.max(1));
-    Ok(StageAssignment { stages, table_stage, num_stages_used, latency_ns })
+    Ok(StageAssignment {
+        stages,
+        table_stage,
+        num_stages_used,
+        latency_ns,
+    })
 }
 
 /// The conservative analytic stage estimator the paper compares against
@@ -347,7 +352,10 @@ mod tests {
             keys: reads.iter().map(|f| (*f, MatchKind::Exact)).collect(),
             actions: vec![Action::new(
                 "act",
-                writes.iter().map(|f| Primitive::SetFieldConst(*f, 0)).collect(),
+                writes
+                    .iter()
+                    .map(|f| Primitive::SetFieldConst(*f, 0))
+                    .collect(),
             )],
             default_action: None,
             size,
@@ -424,8 +432,14 @@ mod tests {
             Control::Switch {
                 on: FieldRef::Meta(0),
                 cases: vec![
-                    (0, Control::Seq(vec![Control::Apply(a1), Control::Apply(a2)])),
-                    (1, Control::Seq(vec![Control::Apply(b1), Control::Apply(b2)])),
+                    (
+                        0,
+                        Control::Seq(vec![Control::Apply(a1), Control::Apply(a2)]),
+                    ),
+                    (
+                        1,
+                        Control::Seq(vec![Control::Apply(b1), Control::Apply(b2)]),
+                    ),
                 ],
                 default: None,
             },
@@ -459,8 +473,8 @@ mod tests {
     #[test]
     fn sram_spill_forces_new_stage() {
         let model = PisaModel::default(); // 8 SRAM blocks/stage
-        // Three 12k-entry exact tables: 3 blocks each; two fit per stage
-        // (6 ≤ 8), the third starts stage 2? 3 × 3 = 9 > 8 → two stages.
+                                          // Three 12k-entry exact tables: 3 blocks each; two fit per stage
+                                          // (6 ≤ 8), the third starts stage 2? 3 × 3 = 9 > 8 → two stages.
         let p = seq_program(vec![
             table("n1", &[FieldRef::Ipv4Src], &[FieldRef::Meta(1)], 12_000),
             table("n2", &[FieldRef::Ipv4Dst], &[FieldRef::Meta(2)], 12_000),
@@ -485,7 +499,13 @@ mod tests {
             .collect();
         let p = seq_program(tables);
         let err = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap_err();
-        assert_eq!(err, CompileError::OutOfStages { required: 14, available: 12 });
+        assert_eq!(
+            err,
+            CompileError::OutOfStages {
+                required: 14,
+                available: 12
+            }
+        );
     }
 
     #[test]
@@ -498,7 +518,9 @@ mod tests {
         let out = compile(
             &p,
             &PisaModel::default(),
-            CompileOptions { allow_table_splitting: true },
+            CompileOptions {
+                allow_table_splitting: true,
+            },
         )
         .unwrap();
         assert!(out.num_stages_used >= 2);
@@ -530,7 +552,11 @@ mod tests {
         }
         p.control = Some(Control::Seq(vec![
             Control::Apply(sel),
-            Control::Switch { on: FieldRef::Meta(0), cases, default: None },
+            Control::Switch {
+                on: FieldRef::Meta(0),
+                cases,
+                default: None,
+            },
         ]));
         let model = PisaModel::default();
         let compiled = compile(&p, &model, CompileOptions::default())

@@ -66,11 +66,21 @@ pub enum MatchValue {
     Any,
     Exact(u64),
     /// LPM over the low `width` bits: value, prefix length.
-    Lpm { value: u64, prefix_len: u8, width: u8 },
+    Lpm {
+        value: u64,
+        prefix_len: u8,
+        width: u8,
+    },
     /// Ternary: value, mask.
-    Ternary { value: u64, mask: u64 },
+    Ternary {
+        value: u64,
+        mask: u64,
+    },
     /// Inclusive range.
-    Range { lo: u64, hi: u64 },
+    Range {
+        lo: u64,
+        hi: u64,
+    },
 }
 
 impl MatchValue {
@@ -79,7 +89,11 @@ impl MatchValue {
         match *self {
             MatchValue::Any => true,
             MatchValue::Exact(e) => v == e,
-            MatchValue::Lpm { value, prefix_len, width } => {
+            MatchValue::Lpm {
+                value,
+                prefix_len,
+                width,
+            } => {
                 if prefix_len == 0 {
                     return true;
                 }
@@ -153,12 +167,18 @@ pub struct Action {
 impl Action {
     /// Construct an action.
     pub fn new(name: &str, primitives: Vec<Primitive>) -> Action {
-        Action { name: name.to_string(), primitives }
+        Action {
+            name: name.to_string(),
+            primitives,
+        }
     }
 
     /// All fields this action writes.
     pub fn written_fields(&self) -> BTreeSet<FieldRef> {
-        self.primitives.iter().filter_map(Primitive::written_field).collect()
+        self.primitives
+            .iter()
+            .filter_map(Primitive::written_field)
+            .collect()
     }
 }
 
@@ -184,7 +204,10 @@ pub struct Table {
 impl Table {
     /// All fields this table's actions may write.
     pub fn written_fields(&self) -> BTreeSet<FieldRef> {
-        self.actions.iter().flat_map(|a| a.written_fields()).collect()
+        self.actions
+            .iter()
+            .flat_map(|a| a.written_fields())
+            .collect()
     }
 
     /// All fields this table matches.
@@ -331,10 +354,17 @@ mod tests {
         assert!(MatchValue::Any.matches(123));
         assert!(MatchValue::Exact(5).matches(5));
         assert!(!MatchValue::Exact(5).matches(6));
-        let lpm = MatchValue::Lpm { value: 0x0a000000, prefix_len: 8, width: 32 };
+        let lpm = MatchValue::Lpm {
+            value: 0x0a000000,
+            prefix_len: 8,
+            width: 32,
+        };
         assert!(lpm.matches(0x0a123456));
         assert!(!lpm.matches(0x0b000000));
-        let tern = MatchValue::Ternary { value: 0x80, mask: 0xf0 };
+        let tern = MatchValue::Ternary {
+            value: 0x80,
+            mask: 0xf0,
+        };
         assert!(tern.matches(0x8f));
         assert!(!tern.matches(0x7f));
         let range = MatchValue::Range { lo: 10, hi: 20 };
@@ -343,15 +373,27 @@ mod tests {
 
     #[test]
     fn lpm_zero_prefix_matches_all() {
-        let lpm = MatchValue::Lpm { value: 0, prefix_len: 0, width: 32 };
+        let lpm = MatchValue::Lpm {
+            value: 0,
+            prefix_len: 0,
+            width: 32,
+        };
         assert!(lpm.matches(u64::MAX));
     }
 
     #[test]
     fn specificity_ordering() {
         assert!(MatchValue::Exact(0).specificity() > MatchValue::Any.specificity());
-        let short = MatchValue::Lpm { value: 0, prefix_len: 8, width: 32 };
-        let long = MatchValue::Lpm { value: 0, prefix_len: 24, width: 32 };
+        let short = MatchValue::Lpm {
+            value: 0,
+            prefix_len: 8,
+            width: 32,
+        };
+        let long = MatchValue::Lpm {
+            value: 0,
+            prefix_len: 24,
+            width: 32,
+        };
         assert!(long.specificity() > short.specificity());
     }
 

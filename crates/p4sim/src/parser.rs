@@ -45,7 +45,10 @@ impl std::error::Error for MergeError {}
 impl ParserTree {
     /// A tree with only a root state.
     pub fn new(root: &str) -> ParserTree {
-        ParserTree { root: root.to_string(), transitions: BTreeMap::new() }
+        ParserTree {
+            root: root.to_string(),
+            transitions: BTreeMap::new(),
+        }
     }
 
     /// The root header name.
@@ -64,7 +67,10 @@ impl ParserTree {
 
     /// Look up a transition.
     pub fn next(&self, state: &str, select: u64) -> Option<&str> {
-        self.transitions.get(state)?.get(&select).map(String::as_str)
+        self.transitions
+            .get(state)?
+            .get(&select)
+            .map(String::as_str)
     }
 
     /// All states reachable from the root (including the root), in BFS

@@ -107,9 +107,15 @@ impl Switch {
         }
         if state.dropped {
             self.packets_dropped += 1;
-            SwitchVerdict { egress_port: None, dropped: true }
+            SwitchVerdict {
+                egress_port: None,
+                dropped: true,
+            }
         } else {
-            SwitchVerdict { egress_port: state.egress, dropped: false }
+            SwitchVerdict {
+                egress_port: state.egress,
+                dropped: false,
+            }
         }
     }
 
@@ -140,7 +146,12 @@ impl Switch {
                     }
                 }
             }
-            Control::If { field, op, value, then_ } => {
+            Control::If {
+                field,
+                op,
+                value,
+                then_,
+            } => {
                 let v = read_field(pkt, *field, state).unwrap_or(0);
                 if op.eval(v, *value) {
                     self.exec(then_, pkt, state);
@@ -167,8 +178,7 @@ impl Switch {
         let hit = self.entries[id.0]
             .iter()
             .find(|e| {
-                e.keys.len() == keys.len()
-                    && e.keys.iter().zip(&keys).all(|(m, v)| m.matches(*v))
+                e.keys.len() == keys.len() && e.keys.iter().zip(&keys).all(|(m, v)| m.matches(*v))
             })
             .cloned();
         let (action_idx, data) = match hit {
@@ -229,8 +239,7 @@ fn run_primitive(p: Primitive, data: &[u64], pkt: &mut PacketBuf, state: &mut Ex
 /// Ethernet+NSH headers for service-chained packets, 0 otherwise.
 fn inner_frame_offset(frame: &[u8]) -> usize {
     if let Ok(eth) = ethernet::Frame::new_checked(frame) {
-        if eth.ethertype() == EtherType::Nsh && nsh::Header::new_checked(eth.payload()).is_ok()
-        {
+        if eth.ethertype() == EtherType::Nsh && nsh::Header::new_checked(eth.payload()).is_ok() {
             return ethernet::HEADER_LEN + nsh::HEADER_LEN;
         }
     }
@@ -281,9 +290,7 @@ fn read_field(pkt: &PacketBuf, f: FieldRef, state: &ExecState) -> Option<u64> {
             let eth = ethernet::Frame::new_checked(frame).ok()?;
             Some(u16::from(eth.ethertype()) as u64)
         }
-        FieldRef::VlanVid => {
-            Some(builder::vlan_peek(frame)? as u64)
-        }
+        FieldRef::VlanVid => Some(builder::vlan_peek(frame)? as u64),
         FieldRef::FlowHash(salt) => FiveTuple::parse(frame)
             .ok()
             .map(|t| lemur_packet::flow::salted_hash(t.symmetric_hash(), salt)),
@@ -312,7 +319,11 @@ fn read_field(pkt: &PacketBuf, f: FieldRef, state: &ExecState) -> Option<u64> {
                 }
                 _ => return None,
             };
-            Some(if f == FieldRef::L4Sport { s as u64 } else { d as u64 })
+            Some(if f == FieldRef::L4Sport {
+                s as u64
+            } else {
+                d as u64
+            })
         }
         FieldRef::NshSpi | FieldRef::NshSi | FieldRef::Meta(_) => unreachable!(),
     }
@@ -362,8 +373,7 @@ fn write_field(pkt: &mut PacketBuf, f: FieldRef, v: u64, state: &mut ExecState) 
         FieldRef::VlanVid => {
             if let Ok(eth) = ethernet::Frame::new_checked(&frame[..]) {
                 if eth.ethertype() == EtherType::Vlan {
-                    let mut tag =
-                        vlan::Tag::new_unchecked(&mut frame[ethernet::HEADER_LEN..]);
+                    let mut tag = vlan::Tag::new_unchecked(&mut frame[ethernet::HEADER_LEN..]);
                     tag.set_vid((v & 0x0fff) as u16);
                 }
             }
@@ -480,10 +490,19 @@ mod tests {
         let mut hit = sample_pkt(ipv4::Address::new(20, 9, 9, 9), 80);
         assert_eq!(
             sw.process(&mut hit),
-            SwitchVerdict { egress_port: Some(7), dropped: false }
+            SwitchVerdict {
+                egress_port: Some(7),
+                dropped: false
+            }
         );
         let mut miss = sample_pkt(ipv4::Address::new(30, 0, 0, 1), 80);
-        assert_eq!(sw.process(&mut miss), SwitchVerdict { egress_port: None, dropped: true });
+        assert_eq!(
+            sw.process(&mut miss),
+            SwitchVerdict {
+                egress_port: None,
+                dropped: true
+            }
+        );
         assert_eq!(sw.packets_in(), 2);
         assert_eq!(sw.packets_dropped(), 1);
     }
@@ -660,7 +679,12 @@ mod tests {
         let mut pkt = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 80);
         sw.add_entry(
             t,
-            TableEntry { keys: vec![], action: 0, action_data: vec![5, 255], priority: 1 },
+            TableEntry {
+                keys: vec![],
+                action: 0,
+                action_data: vec![5, 255],
+                priority: 1,
+            },
         );
         sw.process(&mut pkt);
         assert_eq!(builder::nsh_peek(pkt.as_slice()), Some((5, 254)));
@@ -683,10 +707,7 @@ mod tests {
         // Salted reads decorrelate.
         let h7 = read_field(&pkt, FieldRef::FlowHash(7), &state).unwrap();
         assert_ne!(h, h7);
-        assert_eq!(
-            h7,
-            lemur_packet::flow::salted_hash(expect, 7)
-        );
+        assert_eq!(h7, lemur_packet::flow::salted_hash(expect, 7));
     }
 
     #[test]

@@ -13,10 +13,10 @@ use std::collections::HashSet;
 /// with occasional exclusive branch blocks.
 fn arb_program() -> impl Strategy<Value = P4Program> {
     let table = (
-        prop::collection::vec(0u8..6, 0..3),  // read regs
-        prop::collection::vec(0u8..6, 0..3),  // written regs
-        1usize..6000,                          // entries
-        prop::bool::ANY,                       // ternary?
+        prop::collection::vec(0u8..6, 0..3), // read regs
+        prop::collection::vec(0u8..6, 0..3), // written regs
+        1usize..6000,                        // entries
+        prop::bool::ANY,                     // ternary?
     );
     (
         prop::collection::vec(table, 1..10),
@@ -31,7 +31,11 @@ fn arb_program() -> impl Strategy<Value = P4Program> {
                     .map(|r| {
                         (
                             FieldRef::Meta(*r),
-                            if ternary { MatchKind::Ternary } else { MatchKind::Exact },
+                            if ternary {
+                                MatchKind::Ternary
+                            } else {
+                                MatchKind::Exact
+                            },
                         )
                     })
                     .collect();

@@ -26,12 +26,18 @@ impl PacketBuf {
     pub fn from_bytes(frame: &[u8]) -> PacketBuf {
         let mut storage = vec![0u8; DEFAULT_HEADROOM + frame.len()];
         storage[DEFAULT_HEADROOM..].copy_from_slice(frame);
-        PacketBuf { storage, start: DEFAULT_HEADROOM }
+        PacketBuf {
+            storage,
+            start: DEFAULT_HEADROOM,
+        }
     }
 
     /// Create an all-zero packet of `len` bytes.
     pub fn zeroed(len: usize) -> PacketBuf {
-        PacketBuf { storage: vec![0u8; DEFAULT_HEADROOM + len], start: DEFAULT_HEADROOM }
+        PacketBuf {
+            storage: vec![0u8; DEFAULT_HEADROOM + len],
+            start: DEFAULT_HEADROOM,
+        }
     }
 
     /// Current frame length.
@@ -92,7 +98,8 @@ impl PacketBuf {
         if bytes.len() <= self.start {
             let new_start = self.start - bytes.len();
             // Shift [start, start+offset) left by bytes.len().
-            self.storage.copy_within(self.start..self.start + offset, new_start);
+            self.storage
+                .copy_within(self.start..self.start + offset, new_start);
             self.storage[new_start + offset..new_start + offset + bytes.len()]
                 .copy_from_slice(bytes);
             self.start = new_start;
@@ -136,7 +143,9 @@ pub struct Batch {
 impl Batch {
     /// An empty batch with [`BATCH_SIZE`] capacity.
     pub fn new() -> Batch {
-        Batch { packets: Vec::with_capacity(BATCH_SIZE) }
+        Batch {
+            packets: Vec::with_capacity(BATCH_SIZE),
+        }
     }
 
     /// Build a batch from packets.
@@ -201,7 +210,9 @@ impl IntoIterator for Batch {
 
 impl FromIterator<PacketBuf> for Batch {
     fn from_iter<I: IntoIterator<Item = PacketBuf>>(iter: I) -> Batch {
-        Batch { packets: iter.into_iter().collect() }
+        Batch {
+            packets: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -270,7 +270,10 @@ mod tests {
         let original = pkt.as_slice().to_vec();
         nsh_encap(&mut pkt, 42, 254);
         assert_eq!(nsh_peek(pkt.as_slice()), Some((42, 254)));
-        assert_eq!(pkt.len(), original.len() + ethernet::HEADER_LEN + nsh::HEADER_LEN);
+        assert_eq!(
+            pkt.len(),
+            original.len() + ethernet::HEADER_LEN + nsh::HEADER_LEN
+        );
         assert!(nsh_set_si(&mut pkt, 200));
         assert_eq!(nsh_decap(&mut pkt), Some((42, 200)));
         assert_eq!(pkt.as_slice(), &original[..]);

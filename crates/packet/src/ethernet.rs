@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn too_short_rejected() {
-        assert_eq!(Frame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Frame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
         assert!(Frame::new_checked(&[0u8; 14][..]).is_ok());
     }
 

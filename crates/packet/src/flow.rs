@@ -99,7 +99,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The full port range (matches anything).
-    pub const ANY: PortRange = PortRange { start: 0, end: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        start: 0,
+        end: u16::MAX,
+    };
 
     /// A single-port range.
     pub const fn single(p: u16) -> PortRange {
@@ -140,7 +143,10 @@ impl TrafficAggregate {
 
     /// Aggregate for a customer source prefix.
     pub fn from_src_prefix(cidr: Cidr) -> TrafficAggregate {
-        TrafficAggregate { src: Some(cidr), ..TrafficAggregate::any() }
+        TrafficAggregate {
+            src: Some(cidr),
+            ..TrafficAggregate::any()
+        }
     }
 
     /// True if `t` matches this aggregate.
@@ -239,7 +245,10 @@ mod tests {
         };
         assert_eq!(fwd.symmetric_hash(), rev.symmetric_hash());
         // And differs for a different flow.
-        let other = FiveTuple { src_port: 40001, ..fwd };
+        let other = FiveTuple {
+            src_port: 40001,
+            ..fwd
+        };
         assert_ne!(fwd.symmetric_hash(), other.symmetric_hash());
     }
 

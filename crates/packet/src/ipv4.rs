@@ -62,7 +62,10 @@ impl Cidr {
         if prefix_len > 32 {
             return Err(Error::Malformed);
         }
-        Ok(Cidr { address, prefix_len })
+        Ok(Cidr {
+            address,
+            prefix_len,
+        })
     }
 
     /// The base address of the prefix.
@@ -375,14 +378,17 @@ mod tests {
     fn version_must_be_4() {
         let mut buf = build(b"");
         buf[0] = 0x65; // version 6
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]
     fn bad_total_len_rejected() {
         let mut buf = build(b"abc");
         let n = buf.len();
-        buf[field::TOTAL_LEN] .copy_from_slice(&((n + 10) as u16).to_be_bytes());
+        buf[field::TOTAL_LEN].copy_from_slice(&((n + 10) as u16).to_be_bytes());
         assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
     }
 

@@ -185,19 +185,28 @@ mod tests {
     fn bad_version_rejected() {
         let mut buf = build(1, 1);
         buf[0] = 0x40; // version 1
-        assert_eq!(Header::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Header::new_checked(&buf[..]).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]
     fn bad_md_type_rejected() {
         let mut buf = build(1, 1);
         buf[2] = 0x01;
-        assert_eq!(Header::new_checked(&buf[..]).unwrap_err(), Error::Unsupported);
+        assert_eq!(
+            Header::new_checked(&buf[..]).unwrap_err(),
+            Error::Unsupported
+        );
     }
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(Header::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Header::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

@@ -262,11 +262,17 @@ mod tests {
         assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
         let mut buf2 = build(b"");
         buf2[field::DATA_OFF] = 15 << 4; // 60 bytes > buffer
-        assert_eq!(Packet::new_checked(&buf2[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Packet::new_checked(&buf2[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(Packet::new_checked(&[0u8; 19][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Packet::new_checked(&[0u8; 19][..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

@@ -169,12 +169,18 @@ mod tests {
 
     #[test]
     fn truncated_and_malformed() {
-        assert_eq!(Packet::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Packet::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
         let mut buf = build(b"abc");
         buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // length > buffer
         assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
         let mut buf2 = build(b"abc");
         buf2[4..6].copy_from_slice(&4u16.to_be_bytes()); // length < header
-        assert_eq!(Packet::new_checked(&buf2[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Packet::new_checked(&buf2[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 }

@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn short_buffer_rejected() {
-        assert_eq!(Tag::new_checked(&[0u8; 3][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Tag::new_checked(&[0u8; 3][..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

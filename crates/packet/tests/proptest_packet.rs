@@ -1,8 +1,6 @@
 //! Property-based tests for the wire formats and packet buffers.
 
-use lemur_packet::builder::{
-    nsh_decap, nsh_encap, nsh_peek, udp_packet, vlan_pop, vlan_push,
-};
+use lemur_packet::builder::{nsh_decap, nsh_encap, nsh_peek, udp_packet, vlan_pop, vlan_push};
 use lemur_packet::flow::{salted_hash, FiveTuple};
 use lemur_packet::{ethernet, ipv4, udp, PacketBuf};
 use proptest::prelude::*;

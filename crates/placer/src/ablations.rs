@@ -56,8 +56,7 @@ mod tests {
                 aggregate: None,
             })
             .collect::<Vec<_>>();
-        let mut p =
-            PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+        let mut p = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
         for i in 0..p.chains.len() {
             let base = p.base_rate_bps(i);
             p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));

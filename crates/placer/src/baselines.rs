@@ -47,7 +47,10 @@ pub fn hw_preferred_assignment(problem: &PlacementProblem) -> Assignment {
                 .nodes()
                 .filter(|(_, n)| {
                     !(problem.topology.has_pisa()
-                        && problem.profiles.capabilities(n.kind).contains(&PlatformClass::Pisa))
+                        && problem
+                            .profiles
+                            .capabilities(n.kind)
+                            .contains(&PlatformClass::Pisa))
                 })
                 .count()
         })
@@ -62,7 +65,10 @@ pub fn hw_preferred_assignment(problem: &PlacementProblem) -> Assignment {
                 .nodes()
                 .map(|(id, n)| {
                     let plat = if problem.topology.has_pisa()
-                        && problem.profiles.capabilities(n.kind).contains(&PlatformClass::Pisa)
+                        && problem
+                            .profiles
+                            .capabilities(n.kind)
+                            .contains(&PlatformClass::Pisa)
                     {
                         Platform::Pisa
                     } else {
@@ -85,7 +91,12 @@ pub fn sw_preferred_assignment(problem: &PlacementProblem) -> Assignment {
         .map(|c| {
             c.graph
                 .nodes()
-                .filter(|(_, n)| problem.profiles.capabilities(n.kind).contains(&PlatformClass::Server))
+                .filter(|(_, n)| {
+                    problem
+                        .profiles
+                        .capabilities(n.kind)
+                        .contains(&PlatformClass::Server)
+                })
                 .count()
         })
         .collect();
@@ -98,7 +109,11 @@ pub fn sw_preferred_assignment(problem: &PlacementProblem) -> Assignment {
             c.graph
                 .nodes()
                 .map(|(id, n)| {
-                    let plat = if problem.profiles.capabilities(n.kind).contains(&PlatformClass::Server) {
+                    let plat = if problem
+                        .profiles
+                        .capabilities(n.kind)
+                        .contains(&PlatformClass::Server)
+                    {
                         Platform::Server(servers[ci])
                     } else {
                         Platform::Pisa
@@ -117,9 +132,13 @@ fn check_stages(
 ) -> Result<usize, PlacementError> {
     match oracle.check(problem, assignment) {
         StageVerdict::Fits { stages } => Ok(stages),
-        StageVerdict::OutOfStages { required, available } => {
-            Err(PlacementError::OutOfStages { required, available })
-        }
+        StageVerdict::OutOfStages {
+            required,
+            available,
+        } => Err(PlacementError::OutOfStages {
+            required,
+            available,
+        }),
     }
 }
 
@@ -169,11 +188,7 @@ pub fn min_bounce(
     // Per chain, enumerate patterns and keep the min-bounce one. Patterns
     // come from the same generator as brute force.
     let per_chain = crate::brute::per_chain_patterns(problem, 4096);
-    let server_nodes: Vec<usize> = problem
-        .chains
-        .iter()
-        .map(|c| c.graph.num_nodes())
-        .collect();
+    let server_nodes: Vec<usize> = problem.chains.iter().map(|c| c.graph.num_nodes()).collect();
     let servers = choose_server_per_chain(problem, &server_nodes);
     let mut assignment: Assignment = Vec::new();
     for (ci, patterns) in per_chain.iter().enumerate() {
@@ -227,8 +242,7 @@ mod tests {
                 aggregate: None,
             })
             .collect::<Vec<_>>();
-        let mut p =
-            PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+        let mut p = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
         for i in 0..p.chains.len() {
             let base = p.base_rate_bps(i);
             p.chains[i].slo = Some(Slo::elastic_pipe(t_min_factor * base, 100e9));

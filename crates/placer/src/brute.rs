@@ -42,7 +42,11 @@ pub struct BruteConfig {
 
 impl Default for BruteConfig {
     fn default() -> Self {
-        BruteConfig { max_patterns_per_chain: 4096, beam_width: 64, candidates: 40 }
+        BruteConfig {
+            max_patterns_per_chain: 4096,
+            beam_width: 64,
+            candidates: 40,
+        }
     }
 }
 
@@ -144,7 +148,10 @@ pub fn optimal(
         assignment: Assignment,
         score: f64,
     }
-    let mut beam: Vec<Partial> = vec![Partial { assignment: Vec::new(), score: 0.0 }];
+    let mut beam: Vec<Partial> = vec![Partial {
+        assignment: Vec::new(),
+        score: 0.0,
+    }];
     for (ci, patterns) in per_chain.iter().enumerate() {
         let mut next: Vec<Partial> = Vec::new();
         for partial in &beam {
@@ -191,8 +198,14 @@ pub fn optimal(
                         best = Some(out);
                     }
                 }
-                StageVerdict::OutOfStages { required, available } => {
-                    last_err = PlacementError::OutOfStages { required, available };
+                StageVerdict::OutOfStages {
+                    required,
+                    available,
+                } => {
+                    last_err = PlacementError::OutOfStages {
+                        required,
+                        available,
+                    };
                 }
             },
             Err(e) => last_err = e,
@@ -221,8 +234,7 @@ mod tests {
                 aggregate: None,
             })
             .collect::<Vec<_>>();
-        let mut p =
-            PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+        let mut p = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
         for i in 0..p.chains.len() {
             let base = p.base_rate_bps(i);
             p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
@@ -258,9 +270,9 @@ mod tests {
             .subgroups
             .iter()
             .find(|sg| {
-                sg.nodes.iter().any(|id| {
-                    p.chains[0].graph.node(*id).kind == lemur_nf::NfKind::Dedup
-                })
+                sg.nodes
+                    .iter()
+                    .any(|id| p.chains[0].graph.node(*id).kind == lemur_nf::NfKind::Dedup)
             })
             .unwrap();
         assert!(dedup_sg.cores >= 2);

@@ -22,11 +22,7 @@ pub enum CoreStrategy {
 
 /// Chain-rate capacity (bps) implied by the current allocation: min over
 /// the chain's subgroups.
-fn chain_capacity(
-    problem: &PlacementProblem,
-    subgroups: &[SubgroupPlan],
-    chain: usize,
-) -> f64 {
+fn chain_capacity(problem: &PlacementProblem, subgroups: &[SubgroupPlan], chain: usize) -> f64 {
     subgroups
         .iter()
         .filter(|sg| sg.chain == chain)
@@ -96,7 +92,10 @@ pub fn allocate(
     };
 
     // Phase 1 (all but EvenSpare/MinimalOnly): reach every t_min.
-    if matches!(strategy, CoreStrategy::WaterFill | CoreStrategy::SequentialGreedy) {
+    if matches!(
+        strategy,
+        CoreStrategy::WaterFill | CoreStrategy::SequentialGreedy
+    ) {
         loop {
             let mut progressed = false;
             let mut all_met = true;
@@ -312,7 +311,11 @@ mod tests {
                     .any(|id| p.chains[0].graph.node(*id).kind == NfKind::Dedup)
             })
             .unwrap();
-        assert!(dedup_sg.cores >= 2, "dedup must be replicated: {}", dedup_sg.cores);
+        assert!(
+            dedup_sg.cores >= 2,
+            "dedup must be replicated: {}",
+            dedup_sg.cores
+        );
     }
 
     #[test]
@@ -355,25 +358,27 @@ mod tests {
     fn sequential_greedy_favors_earlier_chains() {
         // Two copies of chain 3 under HW-preferred; chain 0 should end up
         // with at least as many Dedup cores as chain 1.
-        let p = problem(&[
-            (CanonicalChain::Chain3, 5e8),
-            (CanonicalChain::Chain3, 5e8),
-        ]);
+        let p = problem(&[(CanonicalChain::Chain3, 5e8), (CanonicalChain::Chain3, 5e8)]);
         let a = hw_assignment(&p);
         let mut sgs = p.form_subgroups(&a);
         allocate(&p, &mut sgs, CoreStrategy::SequentialGreedy).unwrap();
         let cores_of = |chain: usize| -> usize {
-            sgs.iter().filter(|sg| sg.chain == chain).map(|sg| sg.cores).sum()
+            sgs.iter()
+                .filter(|sg| sg.chain == chain)
+                .map(|sg| sg.cores)
+                .sum()
         };
-        assert!(cores_of(0) >= cores_of(1), "{} vs {}", cores_of(0), cores_of(1));
+        assert!(
+            cores_of(0) >= cores_of(1),
+            "{} vs {}",
+            cores_of(0),
+            cores_of(1)
+        );
     }
 
     #[test]
     fn core_budget_respected() {
-        let p = problem(&[
-            (CanonicalChain::Chain3, 5e8),
-            (CanonicalChain::Chain4, 5e8),
-        ]);
+        let p = problem(&[(CanonicalChain::Chain3, 5e8), (CanonicalChain::Chain4, 5e8)]);
         let a = hw_assignment(&p);
         for strategy in [
             CoreStrategy::WaterFill,

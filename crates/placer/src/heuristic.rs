@@ -56,10 +56,16 @@ pub fn place_with_strategy(
     let mut stages = loop {
         match oracle.check(problem, &assignment) {
             StageVerdict::Fits { stages } => break stages,
-            StageVerdict::OutOfStages { required, available } => {
+            StageVerdict::OutOfStages {
+                required,
+                available,
+            } => {
                 let candidates = demotion_candidates(problem, &assignment);
                 if candidates.is_empty() {
-                    return Err(PlacementError::OutOfStages { required, available });
+                    return Err(PlacementError::OutOfStages {
+                        required,
+                        available,
+                    });
                 }
                 let mut applied = false;
                 for &(ci, id, server) in &candidates {
@@ -174,7 +180,10 @@ pub fn place_with_strategy(
         .unwrap_or_else(|| baseline.clone());
     for _round in 0..24 {
         let mut improved = false;
-        let current_score = best.as_ref().map(|b| b.marginal_bps).unwrap_or(f64::NEG_INFINITY);
+        let current_score = best
+            .as_ref()
+            .map(|b| b.marginal_bps)
+            .unwrap_or(f64::NEG_INFINITY);
         let mut round_best: Option<(Assignment, EvaluatedPlacement)> = None;
         for (ci, id, server) in demotion_candidates(problem, &current) {
             let mut trial = current.clone();
@@ -216,10 +225,7 @@ pub fn place_with_strategy(
 /// SmartNIC offload variants: for each NIC, move every server-resident NF
 /// with an eBPF implementation and a substantial cycle cost onto it. Cheap
 /// NFs are not worth the extra link traversal.
-fn nic_offload_candidates(
-    problem: &PlacementProblem,
-    baseline: &Assignment,
-) -> Vec<Assignment> {
+fn nic_offload_candidates(problem: &PlacementProblem, baseline: &Assignment) -> Vec<Assignment> {
     const WORTH_OFFLOADING_CYCLES: f64 = 1_000.0;
     let mut out = Vec::new();
     for (ni, _nic) in problem.topology.smartnics.iter().enumerate() {
@@ -237,8 +243,7 @@ fn nic_offload_candidates(
                 {
                     continue;
                 }
-                if problem.profiles.server_cycles(node.kind, &node.params)
-                    < WORTH_OFFLOADING_CYCLES
+                if problem.profiles.server_cycles(node.kind, &node.params) < WORTH_OFFLOADING_CYCLES
                 {
                     continue;
                 }
@@ -273,7 +278,11 @@ fn demotion_candidates(
             if assignment[ci].get(&id) != Some(&Platform::Pisa) {
                 continue;
             }
-            if !problem.profiles.capabilities(node.kind).contains(&PlatformClass::Server) {
+            if !problem
+                .profiles
+                .capabilities(node.kind)
+                .contains(&PlatformClass::Server)
+            {
                 continue; // e.g. the artificially P4-only IPv4Fwd
             }
             let cycles = problem.profiles.server_cycles(node.kind, &node.params);
@@ -288,11 +297,7 @@ fn demotion_candidates(
 /// linear path (the `{A->B} -> C_p4 -> {D->E}` shape), decide whether to
 /// pull it down. *Strict* merges always apply; the rule parameter governs
 /// the remaining opportunities.
-fn coalesce(
-    problem: &PlacementProblem,
-    baseline: &Assignment,
-    rule: CoalesceRule,
-) -> Assignment {
+fn coalesce(problem: &PlacementProblem, baseline: &Assignment, rule: CoalesceRule) -> Assignment {
     let mut assignment = baseline.clone();
     for (ci, chain) in problem.chains.iter().enumerate() {
         let g = &chain.graph;
@@ -332,9 +337,10 @@ fn coalesce(
                 }) {
                     continue;
                 }
-                let (Some(Platform::Server(sa)), Some(Platform::Server(sb))) =
-                    (assignment[ci].get(&lc.nodes[start - 1]), assignment[ci].get(&lc.nodes[end]))
-                else {
+                let (Some(Platform::Server(sa)), Some(Platform::Server(sb))) = (
+                    assignment[ci].get(&lc.nodes[start - 1]),
+                    assignment[ci].get(&lc.nodes[end]),
+                ) else {
                     continue;
                 };
                 if sa != sb {
@@ -345,7 +351,9 @@ fn coalesce(
                 let ca = cyc(lc.nodes[start - 1]) + NSH_OVERHEAD_CYCLES;
                 let cb = cyc(lc.nodes[end]) + NSH_OVERHEAD_CYCLES;
                 let run_cycles: f64 = run.iter().map(|id| cyc(*id)).sum();
-                let cm = cyc(lc.nodes[start - 1]) + run_cycles + cyc(lc.nodes[end])
+                let cm = cyc(lc.nodes[start - 1])
+                    + run_cycles
+                    + cyc(lc.nodes[end])
                     + NSH_OVERHEAD_CYCLES;
                 // Strict rule: 2 cores on the merged group vs 1+1 separate.
                 let merged_2core = 2.0 / (cm + REPLICATION_OVERHEAD_CYCLES);
@@ -409,8 +417,7 @@ mod tests {
                 aggregate: None,
             })
             .collect::<Vec<_>>();
-        let mut p =
-            PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+        let mut p = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
         for i in 0..p.chains.len() {
             let base = p.base_rate_bps(i);
             p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
@@ -422,8 +429,7 @@ mod tests {
     fn heuristic_feasible_across_deltas_chain3() {
         for delta in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
             let p = problem(&[CanonicalChain::Chain3], delta);
-            let out = place(&p, &AlwaysFits)
-                .unwrap_or_else(|e| panic!("δ={delta}: {e}"));
+            let out = place(&p, &AlwaysFits).unwrap_or_else(|e| panic!("δ={delta}: {e}"));
             let t_min = p.chains[0].slo.unwrap().t_min_bps;
             assert!(
                 out.chain_rates_bps[0] + 1.0 >= t_min,
@@ -457,7 +463,10 @@ mod tests {
         // A tight oracle forces demotions; the heuristic must still find a
         // feasible placement with few switch NFs.
         let p = problem(&[CanonicalChain::Chain2], 0.5);
-        let tight = ModelOracle { overhead_stages: 3, available: 6 };
+        let tight = ModelOracle {
+            overhead_stages: 3,
+            available: 6,
+        };
         let out = place(&p, &tight).unwrap();
         assert!(out.stages_used.unwrap() <= 6);
     }

@@ -44,7 +44,7 @@ pub mod topology;
 pub use oracle::{ModelOracle, StageOracle};
 pub use placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};
 pub use profiles::{NfProfiles, Platform, ProfileSource};
-pub use repair::{repair, RepairMode, RepairResult};
+pub use repair::{repair, repair_assignment, RepairMode, RepairResult};
 pub use topology::{ResourceMask, SmartNicSpec, Topology};
 
 /// Default simulated packet size used to convert packets/s to bits/s.

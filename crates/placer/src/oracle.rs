@@ -43,15 +43,18 @@ pub struct ModelOracle {
 
 impl Default for ModelOracle {
     fn default() -> Self {
-        ModelOracle { overhead_stages: 3, available: 12 }
+        ModelOracle {
+            overhead_stages: 3,
+            available: 12,
+        }
     }
 }
 
 /// Analytic per-NF stage cost of a switch-resident NF.
 pub fn model_stage_cost(kind: NfKind) -> usize {
     match kind {
-        NfKind::Nat => 2,     // lookup + rewrite
-        NfKind::Lb => 2,      // hash-select + rewrite
+        NfKind::Nat => 2, // lookup + rewrite
+        NfKind::Lb => 2,  // hash-select + rewrite
         NfKind::Acl => 1,
         NfKind::Ipv4Fwd => 1,
         NfKind::Tunnel | NfKind::Detunnel => 1,
@@ -85,7 +88,10 @@ impl StageOracle for ModelOracle {
         if total <= self.available {
             StageVerdict::Fits { stages: total }
         } else {
-            StageVerdict::OutOfStages { required: total, available: self.available }
+            StageVerdict::OutOfStages {
+                required: total,
+                available: self.available,
+            }
         }
     }
 }

@@ -31,11 +31,19 @@ pub enum PlacementError {
     /// [`PlacementProblem::try_new`]).
     InvalidChain { chain: usize, reason: String },
     /// An NF was assigned to a platform it has no implementation for.
-    NoCapability { chain: usize, node: String, platform: Platform },
+    NoCapability {
+        chain: usize,
+        node: String,
+        platform: Platform,
+    },
     /// Not enough cores / rate to satisfy every `t_min`.
     Infeasible(String),
     /// A latency SLO cannot be met.
-    LatencyViolation { chain: usize, latency_ns: f64, d_max_ns: f64 },
+    LatencyViolation {
+        chain: usize,
+        latency_ns: f64,
+        d_max_ns: f64,
+    },
     /// The stage oracle rejected the switch program.
     OutOfStages { required: usize, available: usize },
     /// An OpenFlow table-order violation.
@@ -48,17 +56,28 @@ impl fmt::Display for PlacementError {
             PlacementError::InvalidChain { chain, reason } => {
                 write!(f, "chain {chain}: invalid NF graph: {reason}")
             }
-            PlacementError::NoCapability { chain, node, platform } => {
+            PlacementError::NoCapability {
+                chain,
+                node,
+                platform,
+            } => {
                 write!(f, "chain {chain}: {node} cannot run on {platform:?}")
             }
             PlacementError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
-            PlacementError::LatencyViolation { chain, latency_ns, d_max_ns } => write!(
+            PlacementError::LatencyViolation {
+                chain,
+                latency_ns,
+                d_max_ns,
+            } => write!(
                 f,
                 "chain {chain}: latency {:.1}us exceeds d_max {:.1}us",
                 latency_ns / 1e3,
                 d_max_ns / 1e3
             ),
-            PlacementError::OutOfStages { required, available } => {
+            PlacementError::OutOfStages {
+                required,
+                available,
+            } => {
                 write!(f, "switch needs {required} stages, has {available}")
             }
             PlacementError::TableOrder { chain } => {
@@ -157,9 +176,16 @@ impl PlacementProblem {
         for (i, c) in chains.iter().enumerate() {
             c.graph
                 .validate()
-                .map_err(|e| PlacementError::InvalidChain { chain: i, reason: e.to_string() })?;
+                .map_err(|e| PlacementError::InvalidChain {
+                    chain: i,
+                    reason: e.to_string(),
+                })?;
         }
-        Ok(PlacementProblem { chains, topology, profiles })
+        Ok(PlacementProblem {
+            chains,
+            topology,
+            profiles,
+        })
     }
 
     /// Traffic fraction through each node of a chain.
@@ -181,10 +207,13 @@ impl PlacementProblem {
         self.chains[chain]
             .graph
             .nodes()
-            .filter(|(_, n)| self.profiles.capabilities(n.kind).contains(&crate::profiles::PlatformClass::Server))
+            .filter(|(_, n)| {
+                self.profiles
+                    .capabilities(n.kind)
+                    .contains(&crate::profiles::PlatformClass::Server)
+            })
             .map(|(id, n)| {
-                let cycles = self.profiles.server_cycles(n.kind, &n.params)
-                    + NSH_OVERHEAD_CYCLES;
+                let cycles = self.profiles.server_cycles(n.kind, &n.params) + NSH_OVERHEAD_CYCLES;
                 let pps = clock / cycles;
                 pps * PACKET_BITS / fractions.get(&id).copied().unwrap_or(1.0).max(1e-12)
             })
@@ -202,7 +231,10 @@ impl PlacementProblem {
                         node.name
                     )));
                 };
-                let ok = self.profiles.capabilities(node.kind).contains(&platform.class())
+                let ok = self
+                    .profiles
+                    .capabilities(node.kind)
+                    .contains(&platform.class())
                     && match platform {
                         Platform::Pisa => self.topology.has_pisa(),
                         Platform::OpenFlow => matches!(self.topology.tor, Tor::OpenFlow { .. }),
@@ -243,10 +275,7 @@ impl PlacementProblem {
                 let pf = assignment[ci].get(&e.from);
                 let pt = assignment[ci].get(&e.to);
                 if let (Some(Platform::Server(a)), Some(Platform::Server(b))) = (pf, pt) {
-                    if a == b
-                        && g.out_edges(e.from).len() == 1
-                        && g.in_degree(e.to) == 1
-                    {
+                    if a == b && g.out_edges(e.from).len() == 1 && g.in_degree(e.to) == 1 {
                         let ra = find(&mut parent, e.from.0);
                         let rb = find(&mut parent, e.to.0);
                         parent[ra] = rb;
@@ -377,9 +406,7 @@ impl PlacementProblem {
                             }
                             match here {
                                 LocKind::Server(_) => {
-                                    ns += self
-                                        .profiles
-                                        .server_cycles(node.kind, &node.params)
+                                    ns += self.profiles.server_cycles(node.kind, &node.params)
                                         / clock
                                         * 1e9;
                                 }
@@ -448,9 +475,7 @@ impl PlacementProblem {
                     let seq: Vec<_> = lc
                         .nodes
                         .iter()
-                        .filter(|id| {
-                            matches!(assignment[ci].get(id), Some(Platform::OpenFlow))
-                        })
+                        .filter(|id| matches!(assignment[ci].get(id), Some(Platform::OpenFlow)))
                         .filter_map(|id| of_kind(chain.graph.node(*id).kind))
                         .collect();
                     if !lemur_openflow::validate_nf_order(&seq) {
@@ -544,9 +569,7 @@ impl PlacementProblem {
         // NIC-link constraints (per server, per direction).
         for s in 0..self.topology.servers.len() {
             let terms: Vec<_> = (0..self.chains.len())
-                .filter_map(|ci| {
-                    visits[ci].get(&s).map(|v| (vars[ci], *v))
-                })
+                .filter_map(|ci| visits[ci].get(&s).map(|v| (vars[ci], *v)))
                 .filter(|(_, v)| *v > 0.0)
                 .collect();
             if !terms.is_empty() {
@@ -570,9 +593,9 @@ impl PlacementProblem {
                 lp.add_constraint(&port_terms, Relation::Le, nic.rate_bps);
             }
         }
-        let sol = lp.solve().map_err(|e| {
-            PlacementError::Infeasible(format!("rate LP: {e}"))
-        })?;
+        let sol = lp
+            .solve()
+            .map_err(|e| PlacementError::Infeasible(format!("rate LP: {e}")))?;
 
         let chain_rates_bps: Vec<f64> = vars.iter().map(|v| sol.value(*v)).collect();
         let aggregate_bps: f64 = chain_rates_bps.iter().sum();
@@ -754,11 +777,7 @@ mod tests {
         let out = p.evaluate(&a, CoreStrategy::WaterFill).unwrap();
         assert_eq!(out.subgroups.len(), 2);
         // Dedup-only subgroup is replicable; Limiter one is not.
-        let dedup_sg = out
-            .subgroups
-            .iter()
-            .find(|sg| sg.nodes.len() == 1)
-            .unwrap();
+        let dedup_sg = out.subgroups.iter().find(|sg| sg.nodes.len() == 1).unwrap();
         assert!(dedup_sg.replicable);
         // More bounces than the single-subgroup placement.
         assert!(out.bounces[0] >= 4.0);
@@ -769,11 +788,7 @@ mod tests {
         let mut chain = spec(CanonicalChain::Chain3, 1e8);
         // Dedup alone is ~18µs of compute; 5µs is unmeetable.
         chain.slo = Some(Slo::elastic_pipe(1e8, 100e9).with_latency_ns(5_000.0));
-        let p = PlacementProblem::new(
-            vec![chain],
-            Topology::testbed(),
-            NfProfiles::table4(),
-        );
+        let p = PlacementProblem::new(vec![chain], Topology::testbed(), NfProfiles::table4());
         let a = sw_assignment(&p);
         assert!(matches!(
             p.evaluate(&a, CoreStrategy::WaterFill).unwrap_err(),
@@ -810,11 +825,7 @@ mod tests {
         // A cheap chain (5) bounced once should cap at the 40G NIC link.
         let mut chain = spec(CanonicalChain::Chain5, 1e8);
         chain.slo = Some(Slo::elastic_pipe(1e8, 200e9));
-        let p = PlacementProblem::new(
-            vec![chain],
-            Topology::testbed(),
-            NfProfiles::table4(),
-        );
+        let p = PlacementProblem::new(vec![chain], Topology::testbed(), NfProfiles::table4());
         let a = sw_assignment(&p);
         let out = p.evaluate(&a, CoreStrategy::WaterFill).unwrap();
         assert!(out.chain_rates_bps[0] <= 40e9 + 1.0);

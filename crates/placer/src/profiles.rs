@@ -122,7 +122,10 @@ impl NfProfiles {
     /// Table 4 profiles with the *full* capability matrix (no artificial
     /// IPv4Fwd restriction).
     pub fn table4_full_caps() -> NfProfiles {
-        NfProfiles { full_capabilities: true, ..NfProfiles::table4() }
+        NfProfiles {
+            full_capabilities: true,
+            ..NfProfiles::table4()
+        }
     }
 
     /// The No-Profiling ablation: every NF appears equally expensive.
@@ -171,8 +174,7 @@ impl NfProfiles {
                 }
                 NfKind::Nat => {
                     // Linear model fit through Table 4's 12000-entry point.
-                    let entries =
-                        params.int_or("entries", 12_000).max(1) as f64;
+                    let entries = params.int_or("entries", 12_000).max(1) as f64;
                     417.0 + 0.005 * entries
                 }
                 // Calibrated costs for NFs Table 4 omits.
@@ -299,7 +301,10 @@ mod tests {
         let none = NfParams::new();
         let server = p.server_cycles(NfKind::FastEncrypt, &none);
         let nic = p.smartnic_cycles(NfKind::FastEncrypt, &none).unwrap();
-        assert!(server / nic > 10.0, "must be >10x faster: {server} vs {nic}");
+        assert!(
+            server / nic > 10.0,
+            "must be >10x faster: {server} vs {nic}"
+        );
         assert!(p.smartnic_cycles(NfKind::Dedup, &none).is_none());
     }
 }

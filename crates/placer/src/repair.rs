@@ -20,9 +20,7 @@ use lemur_core::Slo;
 
 use crate::corealloc::CoreStrategy;
 use crate::oracle::StageOracle;
-use crate::placement::{
-    Assignment, EvaluatedPlacement, PlacementError, PlacementProblem,
-};
+use crate::placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};
 use crate::profiles::Platform;
 use crate::topology::ResourceMask;
 
@@ -65,6 +63,29 @@ impl RepairResult {
             .map(|i| self.placement.chain_rates_bps[i])
             .unwrap_or(0.0)
     }
+
+    /// Candidate cost: how many NF nodes changed platform relative to the
+    /// pre-failure assignment (`before`, indexed by original chains).
+    /// Shed chains count every node — tearing a chain down is maximal
+    /// churn for it. A supervisor can use this to prefer the cheaper of
+    /// two feasible candidates (and a rollback's cost is how far the
+    /// current state has drifted from last-known-good).
+    pub fn moved_nodes(&self, before: &Assignment) -> usize {
+        let mut moved = 0;
+        for (i, &orig) in self.kept.iter().enumerate() {
+            let old_nodes = &before[orig];
+            let new_nodes = &self.placement.assignment[i];
+            for (node, platform) in new_nodes {
+                if old_nodes.get(node) != Some(platform) {
+                    moved += 1;
+                }
+            }
+        }
+        for &orig in &self.shed {
+            moved += before[orig].len();
+        }
+        moved
+    }
 }
 
 fn slo_of(problem: &PlacementProblem, chain: usize) -> Slo {
@@ -85,9 +106,7 @@ fn affected_chains(
         .filter(|(_, nodes)| {
             nodes.values().any(|p| match p {
                 Platform::Server(s) => down.contains(s),
-                Platform::SmartNic(n) => {
-                    down.contains(&problem.topology.smartnics[*n].server)
-                }
+                Platform::SmartNic(n) => down.contains(&problem.topology.smartnics[*n].server),
                 _ => false,
             })
         })
@@ -105,9 +124,7 @@ fn rehome(
     for p in nodes.values_mut() {
         let dead = match p {
             Platform::Server(s) => down.contains(s),
-            Platform::SmartNic(n) => {
-                down.contains(&problem.topology.smartnics[*n].server)
-            }
+            Platform::SmartNic(n) => down.contains(&problem.topology.smartnics[*n].server),
             _ => false,
         };
         if dead {
@@ -163,9 +180,7 @@ fn pinned_assignment(
                 .values()
                 .filter(|p| match p {
                     Platform::Server(s) => down.contains(s),
-                    Platform::SmartNic(n) => {
-                        down.contains(&problem.topology.smartnics[*n].server)
-                    }
+                    Platform::SmartNic(n) => down.contains(&problem.topology.smartnics[*n].server),
                     _ => false,
                 })
                 .count();
@@ -184,15 +199,13 @@ fn pinned_assignment(
 
 /// Chain to shed next from `kept`: ascending `(priority, t_min, index)`.
 fn shed_victim(problem: &PlacementProblem, kept: &[usize]) -> Option<usize> {
-    kept.iter()
-        .copied()
-        .min_by(|&a, &b| {
-            let (sa, sb) = (slo_of(problem, a), slo_of(problem, b));
-            sa.priority
-                .cmp(&sb.priority)
-                .then(sa.t_min_bps.total_cmp(&sb.t_min_bps))
-                .then(a.cmp(&b))
-        })
+    kept.iter().copied().min_by(|&a, &b| {
+        let (sa, sb) = (slo_of(problem, a), slo_of(problem, b));
+        sa.priority
+            .cmp(&sb.priority)
+            .then(sa.t_min_bps.total_cmp(&sb.t_min_bps))
+            .then(a.cmp(&b))
+    })
 }
 
 /// Repair `old` after the failures in `mask`.
@@ -208,7 +221,20 @@ pub fn repair(
     mask: ResourceMask,
     oracle: &dyn StageOracle,
 ) -> Result<RepairResult, PlacementError> {
-    let affected = affected_chains(problem, &old.assignment, &mask);
+    repair_assignment(problem, &old.assignment, mask, oracle)
+}
+
+/// [`repair`] from a bare [`Assignment`] — all the repair pass needs from
+/// the previous state. A supervisor tracking last-known-good placements
+/// only has to retain assignments (cheap, original-chain indexed), not
+/// full evaluations whose chain numbering shifts with every shed.
+pub fn repair_assignment(
+    problem: &PlacementProblem,
+    old: &Assignment,
+    mask: ResourceMask,
+    oracle: &dyn StageOracle,
+) -> Result<RepairResult, PlacementError> {
+    let affected = affected_chains(problem, old, &mask);
     let mut kept: Vec<usize> = (0..problem.chains.len()).collect();
     let mut shed: Vec<usize> = Vec::new();
 
@@ -221,7 +247,7 @@ pub fn repair(
         let sub = sub_problem(problem, &mask, &kept);
 
         // (1) Pinned incremental: keep unaffected subgroups where they are.
-        let pinned = pinned_assignment(problem, &old.assignment, &mask, &kept, &sub);
+        let pinned = pinned_assignment(problem, old, &mask, &kept, &sub);
         if let Ok(ev) = sub.evaluate(&pinned, CoreStrategy::WaterFill) {
             return Ok(RepairResult {
                 placement: ev,
@@ -268,11 +294,7 @@ mod tests {
     use lemur_core::chains::{canonical_chain, CanonicalChain};
     use lemur_core::graph::ChainSpec;
 
-    fn problem(
-        which: &[CanonicalChain],
-        delta: f64,
-        topology: Topology,
-    ) -> PlacementProblem {
+    fn problem(which: &[CanonicalChain], delta: f64, topology: Topology) -> PlacementProblem {
         let chains = which
             .iter()
             .map(|w| ChainSpec {
@@ -327,8 +349,16 @@ mod tests {
             Topology::with_servers(3),
         );
         let old = place(&p, &AlwaysFits).unwrap();
-        let s0 = old.subgroups.iter().find(|sg| sg.chain == 0).map(|sg| sg.server);
-        let s1 = old.subgroups.iter().find(|sg| sg.chain == 1).map(|sg| sg.server);
+        let s0 = old
+            .subgroups
+            .iter()
+            .find(|sg| sg.chain == 0)
+            .map(|sg| sg.server);
+        let s1 = old
+            .subgroups
+            .iter()
+            .find(|sg| sg.chain == 1)
+            .map(|sg| sg.server);
         let (Some(s0), Some(s1)) = (s0, s1) else {
             return; // all-switch placement: nothing to pin
         };
@@ -344,6 +374,33 @@ mod tests {
         for sg in r.placement.subgroups.iter().filter(|sg| sg.chain == i0) {
             assert_eq!(sg.server, s0, "pinned chain moved");
         }
+        // Candidate cost: something moved (chain 1 re-homed), but the
+        // pinned chain contributes nothing.
+        let moved = r.moved_nodes(&old.assignment);
+        assert!(moved > 0, "re-homing must register as churn");
+        assert!(
+            moved <= old.assignment[1].len(),
+            "pinned chain 0 must not count toward churn ({moved})"
+        );
+    }
+
+    #[test]
+    fn shed_chains_count_fully_in_cost() {
+        let mut p = problem(
+            &[CanonicalChain::Chain3, CanonicalChain::Chain3],
+            1.0,
+            Topology::with_servers(1),
+        );
+        p.chains[0].slo = Some(p.chains[0].slo.unwrap().with_priority(5));
+        p.chains[1].slo = Some(p.chains[1].slo.unwrap().with_priority(1));
+        let old = place(&p, &AlwaysFits).unwrap();
+        let mask = ResourceMask::none().with_cores_down(0, 5);
+        let r = repair(&p, &old, mask, &AlwaysFits).unwrap();
+        assert_eq!(r.shed, vec![1]);
+        assert!(
+            r.moved_nodes(&old.assignment) >= old.assignment[1].len(),
+            "a shed chain counts all of its nodes as churn"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub struct SmartNicSpec {
 impl SmartNicSpec {
     /// The testbed's Agilio CX 40G NIC.
     pub fn agilio_cx_40g(server: usize) -> SmartNicSpec {
-        SmartNicSpec { rate_bps: 40e9, clock_hz: 1.7e9, server }
+        SmartNicSpec {
+            rate_bps: 40e9,
+            clock_hz: 1.7e9,
+            server,
+        }
     }
 }
 
@@ -214,7 +218,9 @@ mod tests {
     fn mask_hides_resources() {
         let t = Topology::with_servers(3);
         let d = t.degraded(
-            ResourceMask::none().with_server_down(1).with_cores_down(2, 3),
+            ResourceMask::none()
+                .with_server_down(1)
+                .with_cores_down(2, 3),
         );
         // Physical inventory unchanged, capacity reduced.
         assert_eq!(d.servers.len(), 3);

@@ -1,0 +1,105 @@
+//! Property tests for the repair pass's shedding contract.
+//!
+//! Whatever the failure pattern, shedding must be *predictable*: victims
+//! leave in strictly ascending `(Slo::priority, t_min, index)` order, no
+//! shed chain outranks a kept one, `RepairResult::rate_bps` is exactly 0
+//! for every shed chain, and every kept chain's predicted rate still
+//! clears its `t_min`.
+
+use lemur_core::chains::{canonical_chain, CanonicalChain};
+use lemur_core::graph::ChainSpec;
+use lemur_core::Slo;
+use lemur_placer::heuristic::place;
+use lemur_placer::oracle::AlwaysFits;
+use lemur_placer::placement::PlacementProblem;
+use lemur_placer::profiles::NfProfiles;
+use lemur_placer::repair_assignment;
+use lemur_placer::topology::{ResourceMask, Topology};
+use proptest::prelude::*;
+
+/// Build a problem with the given per-chain `(priority, delta)` knobs on
+/// a deliberately small rack, so aggressive masks force shedding.
+fn build_problem(params: &[(u8, f64)]) -> PlacementProblem {
+    let kinds = [CanonicalChain::Chain3, CanonicalChain::Chain5];
+    let chains: Vec<ChainSpec> = params
+        .iter()
+        .enumerate()
+        .map(|(i, _)| ChainSpec {
+            name: format!("chain{i}"),
+            graph: canonical_chain(kinds[i % kinds.len()]),
+            slo: None,
+            aggregate: None,
+        })
+        .collect();
+    let mut p = PlacementProblem::new(chains, Topology::with_servers(1), NfProfiles::table4());
+    for (i, &(priority, delta)) in params.iter().enumerate() {
+        let base = p.base_rate_bps(i);
+        p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9).with_priority(priority));
+    }
+    p
+}
+
+/// The shedding sort key for an original chain index.
+fn shed_key(p: &PlacementProblem, chain: usize) -> (u8, f64, usize) {
+    let slo = p.chains[chain].slo.expect("every chain gets an SLO");
+    (slo.priority, slo.t_min_bps, chain)
+}
+
+fn key_lt(a: &(u8, f64, usize), b: &(u8, f64, usize)) -> bool {
+    (a.0, a.2).cmp(&(b.0, b.2)) == std::cmp::Ordering::Less
+        || (a.0 == b.0 && a.1 < b.1)
+        || (a.0 == b.0 && a.1 == b.1 && a.2 < b.2)
+}
+
+proptest! {
+    #[test]
+    fn shed_order_and_rate_contract(
+        params in prop::collection::vec((0u8..4, 0.3f64..1.0), 2..5),
+        cores_down in 2usize..7,
+    ) {
+        let p = build_problem(&params);
+        let Ok(old) = place(&p, &AlwaysFits) else {
+            return Ok(()); // rack can't host the healthy workload: not our property
+        };
+        let mask = ResourceMask::none().with_cores_down(0, cores_down);
+        let Ok(r) = repair_assignment(&p, &old.assignment, mask, &AlwaysFits) else {
+            return Ok(()); // nothing survivable: shedding everything is an error, not a result
+        };
+
+        // Shedding order is strictly ascending by (priority, t_min, index).
+        for w in r.shed.windows(2) {
+            let (a, b) = (shed_key(&p, w[0]), shed_key(&p, w[1]));
+            prop_assert!(
+                key_lt(&a, &b),
+                "shed out of order: chain {} {:?} before chain {} {:?}",
+                w[0], a, w[1], b
+            );
+        }
+        // No shed chain outranks a kept one.
+        for &s in &r.shed {
+            for &k in &r.kept {
+                let (sk, kk) = (shed_key(&p, s), shed_key(&p, k));
+                prop_assert!(
+                    key_lt(&sk, &kk),
+                    "shed chain {s} {sk:?} outranks kept chain {k} {kk:?}"
+                );
+            }
+        }
+        // Rate contract: 0 for shed, >= t_min for kept.
+        for &s in &r.shed {
+            prop_assert_eq!(r.rate_bps(s), 0.0, "shed chain {} has a rate", s);
+        }
+        for &k in &r.kept {
+            let t_min = p.chains[k].slo.unwrap().t_min_bps;
+            prop_assert!(
+                r.rate_bps(k) + 1.0 >= t_min,
+                "kept chain {} below t_min: {} < {}",
+                k, r.rate_bps(k), t_min
+            );
+        }
+        // Bookkeeping: kept ∪ shed is exactly the original chain set.
+        let mut all: Vec<usize> = r.kept.iter().chain(r.shed.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..p.chains.len()).collect::<Vec<_>>());
+    }
+}

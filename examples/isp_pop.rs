@@ -44,8 +44,7 @@ fn main() {
             }
         })
         .collect();
-    let mut problem =
-        PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+    let mut problem = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
 
     // Assign SLOs from each chain's base rate (§5.1's δ methodology).
     for (i, (_, cname)) in customers.iter().enumerate().take(problem.chains.len()) {
@@ -99,7 +98,13 @@ fn main() {
     for (i, s) in specs.iter_mut().enumerate() {
         s.offered_bps = (placement.chain_rates_bps[i] * 1.1).max(1e8);
     }
-    let report = testbed.run(&specs, SimConfig { duration_s: 0.02, ..SimConfig::default() });
+    let report = testbed.run(
+        &specs,
+        SimConfig {
+            duration_s: 0.02,
+            ..SimConfig::default()
+        },
+    );
 
     println!("\nmeasured on the executed dataplane:");
     let mut all_met = true;

@@ -33,7 +33,9 @@ fn main() {
     p.chains[0].slo = Some(Slo::elastic_pipe(0.5 * base, 100e9));
 
     let assignment = lemur::placer::baselines::hw_preferred_assignment(&p);
-    let _eval = p.evaluate(&assignment, CoreStrategy::WaterFill).expect("feasible");
+    let _eval = p
+        .evaluate(&assignment, CoreStrategy::WaterFill)
+        .expect("feasible");
     let plan = routing::plan(&p, &assignment);
 
     println!("=== service paths (NSH SPI/SI assignment) ===");
@@ -50,7 +52,12 @@ fn main() {
                 format!("{:?}@si{}[{}]", s.location, s.si, names.join(","))
             })
             .collect();
-        println!("  spi={} weight={:.2}: {}", path.spi, path.weight, segs.join(" -> "));
+        println!(
+            "  spi={} weight={:.2}: {}",
+            path.spi,
+            path.weight,
+            segs.join(" -> ")
+        );
     }
 
     let synth = p4gen::synthesize(&p, &assignment, &plan, p4gen::P4GenOptions::default())
@@ -59,8 +66,11 @@ fn main() {
     println!("\n=== unified parser (merged from NF-local trees, §A.2.1) ===");
     print!("{}", synth.parser.to_p4_source());
 
-    println!("=== generated P4 source ({} lines, {} steering) ===",
-        synth.source.lines().count(), synth.steering_lines);
+    println!(
+        "=== generated P4 source ({} lines, {} steering) ===",
+        synth.source.lines().count(),
+        synth.steering_lines
+    );
     for line in synth.source.lines().take(40) {
         println!("{line}");
     }
@@ -69,7 +79,10 @@ fn main() {
     println!("\n=== stage packing ===");
     let model = *p.topology.pisa().unwrap();
     let out = compile(&synth.program, &model, CompileOptions::default()).expect("fits");
-    println!("{} stages used of {}", out.num_stages_used, model.num_stages);
+    println!(
+        "{} stages used of {}",
+        out.num_stages_used, model.num_stages
+    );
     for (s, tables) in out.stages.iter().enumerate() {
         let names: Vec<&str> = tables
             .iter()

@@ -29,7 +29,10 @@ fn main() {
     // 2. Build the placement problem: the rack topology (PISA ToR + one
     //    dual-socket server) and the Table 4 cycle-cost profiles.
     let problem = PlacementProblem::new(spec.chains, Topology::testbed(), NfProfiles::table4());
-    println!("chain base rate: {:.2} Gbps", problem.base_rate_bps(0) / 1e9);
+    println!(
+        "chain base rate: {:.2} Gbps",
+        problem.base_rate_bps(0) / 1e9
+    );
 
     // 3. Run Lemur's placement heuristic. Stage feasibility is checked by
     //    actually synthesizing the P4 program and invoking the stage-packing

@@ -12,8 +12,8 @@ use lemur::core::chains::{canonical_chain, CanonicalChain};
 use lemur::core::graph::ChainSpec;
 use lemur::core::Slo;
 use lemur::placer::placement::PlacementProblem;
-use lemur::placer::profiles::Platform;
 use lemur::placer::profiles::NfProfiles;
+use lemur::placer::profiles::Platform;
 use lemur::placer::topology::{SmartNicSpec, Topology};
 
 fn build_problem(with_nic: bool) -> PlacementProblem {
@@ -43,7 +43,11 @@ fn main() {
         let p = build_problem(with_nic);
         println!(
             "\n=== {} ===",
-            if with_nic { "with 40G SmartNIC" } else { "server only" }
+            if with_nic {
+                "with 40G SmartNIC"
+            } else {
+                "server only"
+            }
         );
         match lemur::placer::heuristic::place(&p, &oracle) {
             Ok(e) => {
@@ -70,7 +74,10 @@ fn main() {
                     for line in listing.lines().take(12) {
                         println!("    {line}");
                     }
-                    println!("    ... ({} more lines)", listing.lines().count().saturating_sub(12));
+                    println!(
+                        "    ... ({} more lines)",
+                        listing.lines().count().saturating_sub(12)
+                    );
                 }
             }
             Err(err) => println!("  infeasible: {err}"),

@@ -20,6 +20,8 @@
 //! * [`metacompiler`] — P4/BESS/eBPF/OpenFlow code generation + the real
 //!   stage oracle.
 //! * [`dataplane`] — the cross-platform execution engine.
+//! * [`control`] — the online supervisor: transactional hitless
+//!   reconfiguration, rollback, backoff, and chaos-plan generation.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 //! ```
 
 pub use lemur_bess as bess;
+pub use lemur_control as control;
 pub use lemur_core as core;
 pub use lemur_dataplane as dataplane;
 pub use lemur_ebpf as ebpf;

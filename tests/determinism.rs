@@ -33,8 +33,7 @@ fn run_once(seed: u64, plan: Option<&FaultPlan>, guard: bool) -> SimReport {
         slo: None,
         aggregate: Some(agg),
     }];
-    let mut problem =
-        PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
+    let mut problem = PlacementProblem::new(chains, Topology::testbed(), NfProfiles::table4());
     let base = problem.base_rate_bps(0);
     problem.chains[0].slo = Some(Slo::elastic_pipe(0.5 * base, 100e9));
     let placement = lemur::placer::heuristic::place(&problem, &AlwaysFits).unwrap();

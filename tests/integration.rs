@@ -13,10 +13,7 @@ use lemur::placer::placement::PlacementProblem;
 use lemur::placer::profiles::NfProfiles;
 use lemur::placer::topology::Topology;
 
-fn delta_problem(
-    which: &[CanonicalChain],
-    delta: f64,
-) -> (PlacementProblem, Vec<TrafficSpec>) {
+fn delta_problem(which: &[CanonicalChain], delta: f64) -> (PlacementProblem, Vec<TrafficSpec>) {
     let mut specs = Vec::new();
     let chains: Vec<ChainSpec> = which
         .iter()
@@ -54,14 +51,21 @@ fn spec_to_measured_slo() {
     let problem = PlacementProblem::new(spec.chains, Topology::testbed(), NfProfiles::table4());
     let oracle = CompilerOracle::new();
     let placement = lemur::placer::heuristic::place(&problem, &oracle).unwrap();
-    assert!(placement.chain_rates_bps[0] >= 2e9, "prediction below t_min");
+    assert!(
+        placement.chain_rates_bps[0] >= 2e9,
+        "prediction below t_min"
+    );
     let deployment = lemur::metacompiler::compile(&problem, &placement).unwrap();
     let mut testbed = Testbed::build(&problem, &placement, deployment).unwrap();
     let mut traffic = TrafficSpec::for_chain(1, placement.chain_rates_bps[0] * 1.05);
     traffic.src_prefix = "10.1.0.0/16".parse().unwrap();
     let report = testbed.run(
         &[traffic],
-        SimConfig { duration_s: 0.005, warmup_s: 0.001, ..SimConfig::default() },
+        SimConfig {
+            duration_s: 0.005,
+            warmup_s: 0.001,
+            ..SimConfig::default()
+        },
     );
     assert!(
         report.per_chain[0].delivered_bps >= 2e9 * 0.95,
@@ -83,7 +87,11 @@ fn all_canonical_chains_run_end_to_end() {
         specs[0].offered_bps = (placement.chain_rates_bps[0] * 0.9).max(1e8);
         let report = testbed.run(
             &specs,
-            SimConfig { duration_s: 0.004, warmup_s: 0.001, ..SimConfig::default() },
+            SimConfig {
+                duration_s: 0.004,
+                warmup_s: 0.001,
+                ..SimConfig::default()
+            },
         );
         let c = &report.per_chain[0];
         assert!(c.delivered_packets > 50, "chain {which:?} delivered {c:?}");
@@ -101,7 +109,11 @@ fn all_canonical_chains_run_end_to_end() {
 fn comparison_feasibility_shape() {
     use lemur::placer::{ablations, baselines, brute, heuristic};
     let oracle = CompilerOracle::new();
-    let set = [CanonicalChain::Chain1, CanonicalChain::Chain2, CanonicalChain::Chain3];
+    let set = [
+        CanonicalChain::Chain1,
+        CanonicalChain::Chain2,
+        CanonicalChain::Chain3,
+    ];
 
     let (p, _) = delta_problem(&set, 0.5);
     assert!(heuristic::place(&p, &oracle).is_ok());
@@ -112,12 +124,21 @@ fn comparison_feasibility_shape() {
 
     let (p, _) = delta_problem(&set, 1.5);
     let lemur = heuristic::place(&p, &oracle).expect("Lemur feasible at δ=1.5");
-    assert!(baselines::sw_preferred(&p, &oracle).is_err(), "SW must fail at δ=1.5");
-    assert!(baselines::min_bounce(&p, &oracle).is_err(), "MinBounce must fail at δ=1.5");
+    assert!(
+        baselines::sw_preferred(&p, &oracle).is_err(),
+        "SW must fail at δ=1.5"
+    );
+    assert!(
+        baselines::min_bounce(&p, &oracle).is_err(),
+        "MinBounce must fail at δ=1.5"
+    );
     // Lemur's marginal beats the surviving baselines.
-    for r in [baselines::hw_preferred(&p, &oracle), baselines::greedy(&p, &oracle)]
-        .into_iter()
-        .flatten()
+    for r in [
+        baselines::hw_preferred(&p, &oracle),
+        baselines::greedy(&p, &oracle),
+    ]
+    .into_iter()
+    .flatten()
     {
         assert!(
             lemur.marginal_bps + 1e6 >= r.marginal_bps,
@@ -172,7 +193,11 @@ fn extreme_nat_boundary() {
 #[test]
 fn multi_server_scaling() {
     let oracle = CompilerOracle::new();
-    let set = [CanonicalChain::Chain1, CanonicalChain::Chain2, CanonicalChain::Chain3];
+    let set = [
+        CanonicalChain::Chain1,
+        CanonicalChain::Chain2,
+        CanonicalChain::Chain3,
+    ];
     let place_on = |n_servers: usize, delta: f64| {
         let mut specs = Vec::new();
         let chains: Vec<ChainSpec> = set
@@ -190,8 +215,11 @@ fn multi_server_scaling() {
                 }
             })
             .collect();
-        let mut p =
-            PlacementProblem::new(chains, Topology::with_servers(n_servers), NfProfiles::table4());
+        let mut p = PlacementProblem::new(
+            chains,
+            Topology::with_servers(n_servers),
+            NfProfiles::table4(),
+        );
         for i in 0..p.chains.len() {
             let base = p.base_rate_bps(i);
             p.chains[i].slo = Some(Slo::elastic_pipe(delta * base, 100e9));
@@ -206,7 +234,10 @@ fn multi_server_scaling() {
         two.aggregate_bps / 1e9,
         one.aggregate_bps / 1e9
     );
-    assert!(place_on(1, 1.5).is_err(), "single 8-core box infeasible at δ=1.5");
+    assert!(
+        place_on(1, 1.5).is_err(),
+        "single 8-core box infeasible at δ=1.5"
+    );
     assert!(place_on(2, 1.5).is_ok(), "two servers feasible at δ=1.5");
 }
 
@@ -236,7 +267,10 @@ fn latency_bounds_trade_throughput() {
                     }
                 })
                 .collect();
-            (PlacementProblem::new(chains, topo, NfProfiles::table4()), specs)
+            (
+                PlacementProblem::new(chains, topo, NfProfiles::table4()),
+                specs,
+            )
         };
         for i in 0..p.chains.len() {
             let base = p.base_rate_bps(i);

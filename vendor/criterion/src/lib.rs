@@ -36,11 +36,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -72,7 +76,11 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(warm_up: Duration, measurement: Duration) -> Self {
-        Bencher { warm_up, measurement, recorded: None }
+        Bencher {
+            warm_up,
+            measurement,
+            recorded: None,
+        }
     }
 
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
@@ -143,7 +151,11 @@ fn report(name: &str, recorded: Option<(Duration, u64)>, throughput: Option<Thro
     };
     let per_iter = total / iters.max(1) as u32;
     let mut line = String::new();
-    let _ = write!(line, "{name:<40} {:>12}/iter  ({iters} iters)", format_duration(per_iter));
+    let _ = write!(
+        line,
+        "{name:<40} {:>12}/iter  ({iters} iters)",
+        format_duration(per_iter)
+    );
     if let Some(tp) = throughput {
         let secs = per_iter.as_secs_f64();
         if secs > 0.0 {
@@ -246,7 +258,11 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measurement);
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), b.recorded, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.recorded,
+            self.throughput,
+        );
         self
     }
 
@@ -259,7 +275,11 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measurement);
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), b.recorded, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.recorded,
+            self.throughput,
+        );
         self
     }
 

@@ -28,7 +28,9 @@ pub struct TestCaseError {
 
 impl TestCaseError {
     pub fn fail(message: impl Into<String>) -> TestCaseError {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -104,7 +106,9 @@ impl<A: Arbitrary> Strategy for AnyStrategy<A> {
 
 /// The canonical strategy for a type: uniform over its value space.
 pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
-    AnyStrategy { _marker: core::marker::PhantomData }
+    AnyStrategy {
+        _marker: core::marker::PhantomData,
+    }
 }
 
 /// A strategy producing one fixed (cloned) value.
@@ -201,7 +205,10 @@ pub mod collection {
 
     /// `prop::collection::vec(strategy, length)`.
     pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S> {
-        VecStrategy { element, len: len.into_size_range() }
+        VecStrategy {
+            element,
+            len: len.into_size_range(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -27,6 +27,81 @@ impl Value {
     pub fn object(entries: Vec<(String, Value)>) -> Value {
         Value::Object(entries)
     }
+
+    /// Object field lookup (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor: integers widen to f64, floats pass through.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+
+    pub fn missing(field: &str) -> DeError {
+        DeError(format!("missing field `{field}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion from a JSON [`Value`] — the stand-in for serde's
+/// `Deserialize` derive (types implement `from_value` by hand).
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
 /// Conversion to a JSON [`Value`].
@@ -118,15 +193,21 @@ impl<T: Serialize> Serialize for [T] {
 
 impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
 impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
         // Sort for deterministic output.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }
@@ -150,6 +231,61 @@ impl_serialize_tuple! {
     (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i128().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(i)
+                    .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,10 +297,7 @@ mod tests {
         assert_eq!(1.5f64.to_value(), Value::Float(1.5));
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("hi".to_value(), Value::Str("hi".into()));
-        assert_eq!(
-            Some(1u8).to_value(),
-            Value::Int(1)
-        );
+        assert_eq!(Some(1u8).to_value(), Value::Int(1));
         assert_eq!(None::<u8>.to_value(), Value::Null);
         assert_eq!(
             vec![1u8, 2].to_value(),
@@ -172,7 +305,39 @@ mod tests {
         );
         assert_eq!(
             (1u8, "a", 2.0f64).to_value(),
-            Value::Array(vec![Value::Int(1), Value::Str("a".into()), Value::Float(2.0)])
+            Value::Array(vec![
+                Value::Int(1),
+                Value::Str("a".into()),
+                Value::Float(2.0)
+            ])
         );
+    }
+
+    #[test]
+    fn deserialize_primitives() {
+        assert_eq!(u64::from_value(&Value::Int(42)), Ok(42));
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(f64::from_value(&Value::Int(2)), Ok(2.0));
+        assert_eq!(f64::from_value(&Value::Float(2.5)), Ok(2.5));
+        assert_eq!(
+            String::from_value(&Value::Str("x".into())),
+            Ok("x".to_string())
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u32>::from_value(&Value::Array(vec![Value::Int(1), Value::Int(2)])),
+            Ok(vec![1, 2])
+        );
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::object(vec![("k".to_string(), Value::Int(7))]);
+        assert_eq!(obj.get("k"), Some(&Value::Int(7)));
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(Value::Int(1).get("k"), None);
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::Int(3).as_i128(), Some(3));
     }
 }

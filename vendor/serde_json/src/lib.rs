@@ -5,10 +5,9 @@
 //! uses (values are any `serde::Serialize` expression; nested literals
 //! must be built with nested `json!` calls).
 
-pub use serde::{Serialize, Value};
+pub use serde::{Deserialize, Serialize, Value};
 
-/// Serialization error. Rendering a [`Value`] cannot fail; the type
-/// exists so call sites match the real serde_json signatures.
+/// Serialization/parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -37,6 +36,185 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parse JSON text into a typed value via its [`Deserialize`] impl.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing input at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), Error> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {pos}", want as char)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".to_string())),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect_byte(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out)
+                    .map_err(|_| Error("invalid UTF-8 in string".to_string()))
+            }
+            b'\\' => {
+                let esc = b
+                    .get(*pos)
+                    .ok_or_else(|| Error("truncated escape".to_string()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".to_string()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("invalid \\u escape".to_string()))?;
+                        *pos += 4;
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| Error("invalid codepoint".to_string()))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(Error(format!("unknown escape at byte {pos}"))),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err(Error("unterminated string".to_string()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&b[start..*pos]).map_err(|_| Error("invalid number".to_string()))?;
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    } else {
+        text.parse::<i128>()
+            .map(Value::Int)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
 }
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -174,5 +352,43 @@ mod tests {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let v = json!({
+            "name": "a\"b",
+            "count": 3u32,
+            "rate": 1.5f64,
+            "flag": true,
+            "none": Value::Null,
+            "items": vec![1u8, 2, 3],
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(parse_value_str(&text).unwrap(), v);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(parse_value_str(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_value_str("{").is_err());
+        assert!(parse_value_str("[1,]").is_err());
+        assert!(parse_value_str("12 34").is_err());
+        assert!(parse_value_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(parse_value_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse_value_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse_value_str("1e3").unwrap(), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let v: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(from_str::<Vec<u64>>("[1, -2]").is_err());
     }
 }
