@@ -8,7 +8,7 @@
 //! full-enumeration time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lemur_bench::{build_problem, compiler_oracle};
+use lemur_bench::{build_problem, cached_compiler_oracle, compiler_oracle};
 use lemur_core::chains::CanonicalChain::{self, *};
 use lemur_placer::brute::BruteConfig;
 use lemur_placer::oracle::ModelOracle;
@@ -43,6 +43,32 @@ fn bench_brute(c: &mut Criterion) {
         let (p, _) = build_problem(&chains, 1.0, Topology::testbed());
         group.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
             b.iter(|| lemur_placer::brute::optimal(p, &oracle, BruteConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_cached(c: &mut Criterion) {
+    // The same ranked brute force with the memoized stage oracle: the
+    // search's repeated probes of identical switch programs (candidates
+    // differing only in server choice) hit the cache instead of
+    // re-running stage packing. Compare against `placer_brute_ranked`
+    // for the cache's end-to-end win; the warm variant keeps the cache
+    // across iterations (a δ-sweep's steady state), the cold variant
+    // clears it every iteration (a single search from scratch).
+    let mut group = c.benchmark_group("placer_brute_cached");
+    group.sample_size(10);
+    let oracle = cached_compiler_oracle();
+    for (label, chains) in sets() {
+        let (p, _) = build_problem(&chains, 1.0, Topology::testbed());
+        group.bench_with_input(BenchmarkId::new("warm", label), &p, |b, p| {
+            b.iter(|| lemur_placer::brute::optimal(p, &oracle, BruteConfig::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cold", label), &p, |b, p| {
+            b.iter(|| {
+                oracle.cache().clear();
+                lemur_placer::brute::optimal(p, &oracle, BruteConfig::default()).unwrap()
+            });
         });
     }
     group.finish();
@@ -89,6 +115,6 @@ fn quick_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = bench_heuristic, bench_brute, bench_stage_oracle, bench_lp
+    targets = bench_heuristic, bench_brute, bench_brute_cached, bench_stage_oracle, bench_lp
 }
 criterion_main!(benches);

@@ -18,7 +18,7 @@ use lemur_placer::corealloc::CoreStrategy;
 use lemur_placer::placement::PlacementProblem;
 use lemur_placer::profiles::{NfProfiles, Platform};
 use lemur_placer::topology::Topology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn problem() -> PlacementProblem {
     let mut p = PlacementProblem::new(
@@ -49,7 +49,7 @@ fn assignment(p: &PlacementProblem, acl_on_of: bool) -> lemur_placer::Assignment
             };
             (id, plat)
         })
-        .collect::<HashMap<_, _>>()]
+        .collect::<BTreeMap<_, _>>()]
 }
 
 fn main() {

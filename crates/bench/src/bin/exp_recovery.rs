@@ -17,9 +17,12 @@
 //! * `survivors_meet_tmin` — whether every kept chain still clears its
 //!   `t_min` on the repaired deployment.
 
-use lemur_bench::{build_problem, compiler_oracle, measure, measure_with_faults, write_json};
+use lemur_bench::{
+    build_problem, cached_compiler_oracle, measure, measure_with_faults, write_json,
+};
 use lemur_core::chains::CanonicalChain::{Chain1, Chain2, Chain3};
 use lemur_dataplane::{FaultKind, FaultPlan};
+use lemur_placer::parallel::{parallel_map, Workers};
 use lemur_placer::repair::{repair, RepairMode};
 use lemur_placer::topology::{ResourceMask, Topology};
 
@@ -109,7 +112,9 @@ fn busiest_servers(
 }
 
 fn main() {
-    let oracle = compiler_oracle();
+    // One memoized oracle across the healthy placement and every repair:
+    // repairs re-probe switch programs the initial search already packed.
+    let oracle = cached_compiler_oracle();
     let (mut problem, specs) =
         build_problem(&[Chain1, Chain2, Chain3], 0.5, Topology::with_servers(3));
     // Descending shedding priority by chain index: chain 0 survives longest.
@@ -130,9 +135,13 @@ fn main() {
     println!("baseline aggregate: {:.2} Gbps", baseline / 1e9);
 
     let ranked = busiest_servers(&placement, problem.topology.servers.len());
-    let mut rows: Vec<RecoveryRow> = Vec::new();
 
-    for sc in &SCENARIOS {
+    // Scenarios are independent (each builds its own faulted testbed), so
+    // they fan out over the worker pool; ordered reduction keeps the rows
+    // — and any repair-failure notes, printed afterwards — in scenario
+    // order at every worker count. `replan_us` is the only wall-clock
+    // field and is measured inside a single worker.
+    let outcomes = parallel_map(Workers::from_env(), &SCENARIOS, |_, sc| {
         // Build the plan: down the k busiest uplinks; fail the first
         // worker cores (core 0 is the demux) on the busiest survivor.
         let mut plan = FaultPlan::empty();
@@ -173,6 +182,7 @@ fn main() {
         let repaired = repair(&problem, &placement, mask, &oracle);
         let replan_us = t0.elapsed().as_secs_f64() * 1e6;
 
+        let mut note = None;
         let row = match repaired {
             Ok(r) => {
                 let kept_specs: Vec<_> = r.kept.iter().map(|&c| specs[c].clone()).collect();
@@ -205,7 +215,7 @@ fn main() {
                 }
             }
             Err(e) => {
-                println!("{}: repair failed: {e}", sc.name);
+                note = Some(format!("{}: repair failed: {e}", sc.name));
                 RecoveryRow {
                     scenario: sc.name,
                     servers_down: sc.servers_down,
@@ -222,6 +232,13 @@ fn main() {
                 }
             }
         };
+        (row, note)
+    });
+    let mut rows: Vec<RecoveryRow> = Vec::new();
+    for (row, note) in outcomes {
+        if let Some(note) = note {
+            println!("{note}");
+        }
         rows.push(row);
     }
 

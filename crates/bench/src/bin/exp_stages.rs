@@ -8,13 +8,20 @@
 //! * without the meta-compiler's dependency-elimination optimizations the
 //!   10-NAT program balloons (paper: 27 stages);
 //! * Lemur handles the 11-NAT chain by placing one NAT on the server.
+//!
+//! The four chain lengths are independent, so they fan out over the
+//! deterministic worker pool; each N's report lines are preformatted in
+//! the worker and printed in N order afterwards, so the output is
+//! identical at any `LEMUR_WORKERS` setting. The memoized compiler
+//! oracles are shared across the fan-out.
 
 use lemur_bench::write_json;
 use lemur_core::chains::extreme_nat_chain;
 use lemur_core::graph::ChainSpec;
 use lemur_core::Slo;
-use lemur_metacompiler::{p4gen, routing, CompilerOracle};
+use lemur_metacompiler::{p4gen, routing, CachedCompilerOracle};
 use lemur_placer::oracle::{StageOracle, StageVerdict};
+use lemur_placer::parallel::{parallel_map, Workers};
 use lemur_placer::placement::PlacementProblem;
 use lemur_placer::profiles::{NfProfiles, Platform};
 use lemur_placer::topology::Topology;
@@ -35,68 +42,89 @@ fn problem(n: usize) -> PlacementProblem {
     p
 }
 
-fn main() {
-    let mut summary = Vec::new();
-    println!("=== §5.2 extreme configuration: BPF -> N x NAT -> IPv4Fwd ===\n");
-    for n in [9usize, 10, 11, 12] {
-        let p = problem(n);
-        let hw = lemur_placer::baselines::hw_preferred_assignment(&p);
+/// Everything one chain length produces: the JSON summary tuple plus the
+/// two report lines, assembled inside the worker.
+struct NatRun {
+    summary: (usize, String, usize, usize),
+    lines: [String; 2],
+}
 
-        // Real compiler.
-        let compiled = CompilerOracle::new().check(&p, &hw);
-        // Conservative analytic estimate.
-        let plan = routing::plan(&p, &hw);
-        let estimate = p4gen::synthesize(&p, &hw, &plan, p4gen::P4GenOptions::default())
-            .map(|s| {
-                lemur_p4sim::compiler::estimate_conservative(&s.program, p.topology.pisa().unwrap())
-            })
-            .unwrap_or(0);
-        // Naive (no dependency elimination) generation.
-        let naive = match CompilerOracle::naive().check(&p, &hw) {
-            StageVerdict::Fits { stages } => stages,
-            StageVerdict::OutOfStages { required, .. } => required,
-        };
-        let compiled_str = match &compiled {
-            StageVerdict::Fits { stages } => format!("{stages} (fits)"),
-            StageVerdict::OutOfStages { required, .. } => format!("{required} (OVERFLOW)"),
-        };
-        println!(
-            "  {n:>2} NATs all-switch: compiled {compiled_str:>15}, analytic estimate {estimate:>2}, naive codegen {naive:>2}"
-        );
-        summary.push((n, compiled_str.clone(), estimate, naive));
+fn run_one(n: usize, oracle: &CachedCompilerOracle, naive: &CachedCompilerOracle) -> NatRun {
+    let p = problem(n);
+    let hw = lemur_placer::baselines::hw_preferred_assignment(&p);
 
-        // What the full placers do with this chain.
-        let oracle = CompilerOracle::new();
-        let lemur = lemur_placer::heuristic::place(&p, &oracle);
-        let hw_res = lemur_placer::baselines::hw_preferred(&p, &oracle);
-        let sw_res = lemur_placer::baselines::sw_preferred(&p, &oracle);
-        let nats_on_server = lemur
+    // Real compiler.
+    let compiled = oracle.check(&p, &hw);
+    // Conservative analytic estimate.
+    let plan = routing::plan(&p, &hw);
+    let estimate = p4gen::synthesize(&p, &hw, &plan, p4gen::P4GenOptions::default())
+        .map(|s| {
+            lemur_p4sim::compiler::estimate_conservative(&s.program, p.topology.pisa().unwrap())
+        })
+        .unwrap_or(0);
+    // Naive (no dependency elimination) generation.
+    let naive_stages = match naive.check(&p, &hw) {
+        StageVerdict::Fits { stages } => stages,
+        StageVerdict::OutOfStages { required, .. } => required,
+    };
+    let compiled_str = match &compiled {
+        StageVerdict::Fits { stages } => format!("{stages} (fits)"),
+        StageVerdict::OutOfStages { required, .. } => format!("{required} (OVERFLOW)"),
+    };
+    let line0 = format!(
+        "  {n:>2} NATs all-switch: compiled {compiled_str:>15}, analytic estimate {estimate:>2}, naive codegen {naive_stages:>2}"
+    );
+
+    // What the full placers do with this chain.
+    let lemur = lemur_placer::heuristic::place(&p, oracle);
+    let hw_res = lemur_placer::baselines::hw_preferred(&p, oracle);
+    let sw_res = lemur_placer::baselines::sw_preferred(&p, oracle);
+    let nats_on_server = lemur
+        .as_ref()
+        .map(|e| {
+            p.chains[0]
+                .graph
+                .nodes()
+                .filter(|(id, node)| {
+                    node.kind == lemur_nf::NfKind::Nat
+                        && matches!(e.assignment[0].get(id), Some(Platform::Server(_)))
+                })
+                .count()
+        })
+        .unwrap_or(0);
+    let line1 = format!(
+        "      Lemur: {} ({} NAT(s) moved to server) | HW Preferred: {} | SW Preferred: {}",
+        lemur
             .as_ref()
-            .map(|e| {
-                p.chains[0]
-                    .graph
-                    .nodes()
-                    .filter(|(id, node)| {
-                        node.kind == lemur_nf::NfKind::Nat
-                            && matches!(e.assignment[0].get(id), Some(Platform::Server(_)))
-                    })
-                    .count()
-            })
-            .unwrap_or(0);
-        println!(
-            "      Lemur: {} ({} NAT(s) moved to server) | HW Preferred: {} | SW Preferred: {}",
-            lemur
-                .as_ref()
-                .map(|e| format!("feasible, {:.1}G", e.aggregate_bps / 1e9))
-                .unwrap_or_else(|e| format!("infeasible ({e})")),
-            nats_on_server,
-            hw_res
-                .map(|_| "feasible".to_string())
-                .unwrap_or_else(|e| format!("infeasible ({e})")),
-            sw_res
-                .map(|_| "feasible".to_string())
-                .unwrap_or_else(|e| format!("infeasible ({e})")),
-        );
+            .map(|e| format!("feasible, {:.1}G", e.aggregate_bps / 1e9))
+            .unwrap_or_else(|e| format!("infeasible ({e})")),
+        nats_on_server,
+        hw_res
+            .map(|_| "feasible".to_string())
+            .unwrap_or_else(|e| format!("infeasible ({e})")),
+        sw_res
+            .map(|_| "feasible".to_string())
+            .unwrap_or_else(|e| format!("infeasible ({e})")),
+    );
+    NatRun {
+        summary: (n, compiled_str, estimate, naive_stages),
+        lines: [line0, line1],
+    }
+}
+
+fn main() {
+    println!("=== §5.2 extreme configuration: BPF -> N x NAT -> IPv4Fwd ===\n");
+    let oracle = CachedCompilerOracle::new();
+    let naive = CachedCompilerOracle::naive();
+    let ns = [9usize, 10, 11, 12];
+    let runs = parallel_map(Workers::from_env(), &ns, |_, &n| {
+        run_one(n, &oracle, &naive)
+    });
+    let mut summary = Vec::new();
+    for run in runs {
+        println!("{}", run.lines[0]);
+        println!("{}", run.lines[1]);
+        summary.push(run.summary);
     }
     write_json("stages", &summary);
     println!("\nPaper shape: 10 NATs fit (12 stages; conservative estimate 14; naive 27);");

@@ -13,8 +13,9 @@ use lemur_core::chains::{canonical_chain, CanonicalChain};
 use lemur_core::graph::ChainSpec;
 use lemur_core::Slo;
 use lemur_dataplane::{SimConfig, Testbed, TrafficSpec};
-use lemur_metacompiler::CompilerOracle;
+use lemur_metacompiler::{CachedCompilerOracle, CompilerOracle};
 use lemur_placer::oracle::StageOracle;
+use lemur_placer::parallel::{parallel_map, Workers};
 use lemur_placer::placement::{EvaluatedPlacement, PlacementError, PlacementProblem};
 use lemur_placer::profiles::NfProfiles;
 use lemur_placer::topology::Topology;
@@ -131,6 +132,14 @@ pub fn compiler_oracle() -> CompilerOracle {
     CompilerOracle::new()
 }
 
+/// The memoizing stage oracle: identical verdicts to [`compiler_oracle`],
+/// but repeated probes of the same synthesized switch program skip stage
+/// packing. Share one instance across a whole (set, δ, scheme) sweep so
+/// cells that re-derive the same program hit the cache.
+pub fn cached_compiler_oracle() -> CachedCompilerOracle {
+    CachedCompilerOracle::new()
+}
+
 /// Why a measurement run could not start: each stage of the
 /// placer → meta-compiler → dataplane pipeline surfaces its own typed
 /// error instead of a panic or a stringly-typed one.
@@ -226,6 +235,10 @@ pub struct Row {
     pub measured_gbps: f64,
     pub marginal_gbps: f64,
     pub stages_used: Option<usize>,
+    /// Stage-oracle invocations the search made for this cell (from
+    /// [`lemur_placer::placement::SearchTelemetry`]); `None` when the
+    /// placement failed. Deterministic — independent of worker count.
+    pub oracle_calls: Option<u64>,
 }
 
 impl serde::Serialize for Row {
@@ -242,6 +255,7 @@ impl serde::Serialize for Row {
             ("measured_gbps".to_string(), self.measured_gbps.to_value()),
             ("marginal_gbps".to_string(), self.marginal_gbps.to_value()),
             ("stages_used".to_string(), self.stages_used.to_value()),
+            ("oracle_calls".to_string(), self.oracle_calls.to_value()),
         ])
     }
 }
@@ -250,12 +264,12 @@ impl serde::Serialize for Row {
 pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     println!(
-        "{:>13} {:>5} {:>9} {:>10} {:>10} {:>10} {:>7}",
-        "scheme", "δ", "feasible", "Σt_min(G)", "pred(G)", "meas(G)", "stages"
+        "{:>13} {:>5} {:>9} {:>10} {:>10} {:>10} {:>7} {:>8}",
+        "scheme", "δ", "feasible", "Σt_min(G)", "pred(G)", "meas(G)", "stages", "oracle"
     );
     for r in rows {
         println!(
-            "{} {:>5.1} {:>9} {:>10.2} {:>10.2} {:>10.2} {:>7}",
+            "{} {:>5.1} {:>9} {:>10.2} {:>10.2} {:>10.2} {:>7} {:>8}",
             r.scheme,
             r.delta,
             if r.feasible { "yes" } else { "NO" },
@@ -271,6 +285,7 @@ pub fn print_rows(title: &str, rows: &[Row]) {
                 f64::NAN
             },
             r.stages_used.map(|s| s.to_string()).unwrap_or_default(),
+            r.oracle_calls.map(|c| c.to_string()).unwrap_or_default(),
         );
     }
 }
@@ -321,6 +336,7 @@ pub fn run_cell(
                 measured_gbps: measured / 1e9,
                 marginal_gbps: (measured - aggregate_tmin).max(0.0) / 1e9,
                 stages_used: placement.stages_used,
+                oracle_calls: placement.telemetry.map(|t| t.oracle_calls),
             }
         }
         Err(_) => Row {
@@ -332,8 +348,36 @@ pub fn run_cell(
             measured_gbps: 0.0,
             marginal_gbps: 0.0,
             stages_used: None,
+            oracle_calls: None,
         },
     }
+}
+
+/// Fan a whole (scheme, δ) sweep over the worker pool. Each cell is
+/// independent (it builds its own problem and testbed), so the sweep is
+/// embarrassingly parallel; ordered reduction in
+/// [`lemur_placer::parallel::parallel_map`] returns rows in exactly the
+/// order of `cells` — identical to the sequential nested loop regardless
+/// of worker count, which keeps the printed tables and JSON artifacts
+/// bit-comparable across `LEMUR_WORKERS` settings.
+pub fn run_cells(
+    cells: &[(Scheme, f64)],
+    which: &[CanonicalChain],
+    topology: &Topology,
+    oracle: &dyn StageOracle,
+    sim_duration_s: f64,
+    workers: Workers,
+) -> Vec<Row> {
+    parallel_map(workers, cells, |_, &(scheme, delta)| {
+        run_cell(
+            scheme,
+            which,
+            delta,
+            topology.clone(),
+            oracle,
+            sim_duration_s,
+        )
+    })
 }
 
 /// Chain-set definitions for Figure 2(a–e).

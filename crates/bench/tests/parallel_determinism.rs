@@ -1,0 +1,84 @@
+//! Parallel-determinism contract: the search engine must be a pure
+//! function of its inputs, independent of worker count.
+//!
+//! Brute force and the heuristic run on Figure-2 chain sets with 1, 2,
+//! and 8 workers; every run must produce a bit-identical
+//! `EvaluatedPlacement` (`Debug` repr, which covers the assignment,
+//! rates, core allocation, and the telemetry counters) and the bench
+//! sweep must serialize bit-identical JSON reports. This is what lets
+//! the supervisor treat a re-computed placement as the same last-known-
+//! good artifact regardless of the machine it was planned on.
+
+use lemur_bench::{build_problem, figure2_set, run_cells, Scheme};
+use lemur_metacompiler::CachedCompilerOracle;
+use lemur_placer::brute::{optimal_with_workers, BruteConfig};
+use lemur_placer::corealloc::CoreStrategy;
+use lemur_placer::heuristic::place_with_workers;
+use lemur_placer::parallel::Workers;
+use lemur_placer::topology::Topology;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Debug repr of a search outcome under a fresh memoized oracle. A fresh
+/// cache per run keeps the telemetry counters comparable: hits/misses
+/// are schedule-independent (compute-once per key) but depend on what
+/// was cached before the search started.
+fn search_repr(set: char, brute: bool, workers: usize) -> String {
+    let chains = figure2_set(set).expect("known set");
+    let (p, _) = build_problem(&chains, 1.0, Topology::testbed());
+    let oracle = CachedCompilerOracle::new();
+    let result = if brute {
+        optimal_with_workers(&p, &oracle, BruteConfig::default(), Workers::new(workers))
+    } else {
+        place_with_workers(&p, &oracle, CoreStrategy::WaterFill, Workers::new(workers))
+    };
+    format!("{result:?}")
+}
+
+#[test]
+fn heuristic_bit_identical_across_worker_counts() {
+    for set in ['b', 'e'] {
+        let baseline = search_repr(set, false, 1);
+        for w in WORKER_COUNTS {
+            assert_eq!(
+                search_repr(set, false, w),
+                baseline,
+                "heuristic diverged on set {set} with {w} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn brute_bit_identical_across_worker_counts() {
+    let baseline = search_repr('b', true, 1);
+    for w in WORKER_COUNTS {
+        assert_eq!(
+            search_repr('b', true, w),
+            baseline,
+            "brute force diverged with {w} workers"
+        );
+    }
+}
+
+#[test]
+fn serialized_reports_identical_across_worker_counts() {
+    let chains = figure2_set('b').expect("known set");
+    let cells: Vec<(Scheme, f64)> = Scheme::COMPARISON.iter().map(|&s| (s, 1.0)).collect();
+    let report = |workers: usize| {
+        let oracle = CachedCompilerOracle::new();
+        let rows = run_cells(
+            &cells,
+            &chains,
+            &Topology::testbed(),
+            &oracle,
+            0.002,
+            Workers::new(workers),
+        );
+        serde_json::to_string_pretty(&rows).expect("rows serialize")
+    };
+    let baseline = report(1);
+    for w in WORKER_COUNTS {
+        assert_eq!(report(w), baseline, "sweep JSON diverged with {w} workers");
+    }
+}

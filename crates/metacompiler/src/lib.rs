@@ -22,7 +22,9 @@
 //! * [`ofgen`] — OpenFlow rules using the 12-bit VLAN VID as SPI/SI.
 //! * [`oracle`] — [`oracle::CompilerOracle`]: the production
 //!   `lemur_placer::StageOracle` that synthesizes the unified P4 program
-//!   and invokes the `lemur-p4sim` stage-packing compiler.
+//!   and invokes the `lemur-p4sim` stage-packing compiler; and
+//!   [`oracle::CachedCompilerOracle`], the same oracle with a sharded
+//!   memoized verdict cache keyed by program fingerprint.
 //! * [`loc`] — generated-lines-of-code accounting for the §5.3
 //!   "meta-compiler benefits" experiment.
 
@@ -34,7 +36,7 @@ pub mod oracle;
 pub mod p4gen;
 pub mod routing;
 
-pub use oracle::CompilerOracle;
+pub use oracle::{CachedCompilerOracle, CompilerOracle};
 pub use p4gen::{P4GenOptions, SynthesizedP4};
 pub use routing::{Location, PathRoute, RoutingPlan, Segment};
 

@@ -343,6 +343,189 @@ impl P4Program {
         }
         out
     }
+
+    /// A stable 128-bit fingerprint of everything stage compilation reads:
+    /// every table's name, keys (field + match kind), action structure,
+    /// default action, and provisioned size, plus the control tree that
+    /// orders and groups them. Two programs with equal fingerprints compile
+    /// identically against the same hardware model (compilation is a pure
+    /// function of these features — runtime entries are irrelevant), which
+    /// is the contract the placer's memoized stage-oracle cache relies on.
+    ///
+    /// The encoding is a canonical byte stream hashed with FNV-1a/128:
+    /// purely structural, independent of `HashMap` iteration or allocation
+    /// order, and stable across processes and runs (no `DefaultHasher`
+    /// seeding).
+    pub fn fingerprint(&self) -> u128 {
+        let mut fp = Fingerprint::new();
+        fp.word(self.tables.len() as u64);
+        for t in &self.tables {
+            fp.bytes(t.name.as_bytes());
+            fp.word(t.keys.len() as u64);
+            for (f, k) in &t.keys {
+                fp.word(field_code(*f));
+                fp.word(*k as u64);
+            }
+            fp.word(t.actions.len() as u64);
+            for a in &t.actions {
+                fp.bytes(a.name.as_bytes());
+                fp.word(a.primitives.len() as u64);
+                for p in &a.primitives {
+                    primitive_code(p, &mut fp);
+                }
+            }
+            fp.word(t.default_action.map(|d| d as u64 + 1).unwrap_or(0));
+            fp.word(t.size as u64);
+        }
+        match &self.control {
+            Some(c) => control_code(c, &mut fp),
+            None => fp.word(0),
+        }
+        fp.finish()
+    }
+}
+
+/// Incremental FNV-1a/128 over a canonical byte stream.
+struct Fingerprint(u128);
+
+impl Fingerprint {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Fingerprint {
+        Fingerprint(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u128;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        // Length-prefix so concatenated fields cannot alias.
+        self.word(bs.len() as u64);
+        for b in bs {
+            self.byte(*b);
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(self) -> u128 {
+        self.0
+    }
+}
+
+/// Stable numeric code for a field (variant tag ×256 + payload).
+fn field_code(f: FieldRef) -> u64 {
+    match f {
+        FieldRef::EthSrc => 0,
+        FieldRef::EthDst => 1 << 8,
+        FieldRef::EtherType => 2 << 8,
+        FieldRef::VlanVid => 3 << 8,
+        FieldRef::Ipv4Src => 4 << 8,
+        FieldRef::Ipv4Dst => 5 << 8,
+        FieldRef::Ipv4Proto => 6 << 8,
+        FieldRef::Ipv4Ttl => 7 << 8,
+        FieldRef::L4Sport => 8 << 8,
+        FieldRef::L4Dport => 9 << 8,
+        FieldRef::NshSpi => 10 << 8,
+        FieldRef::NshSi => 11 << 8,
+        FieldRef::FlowHash(s) => (12 << 8) | s as u64,
+        FieldRef::Meta(n) => (13 << 8) | n as u64,
+    }
+}
+
+fn primitive_code(p: &Primitive, fp: &mut Fingerprint) {
+    match p {
+        Primitive::SetFieldConst(f, v) => {
+            fp.word(1);
+            fp.word(field_code(*f));
+            fp.word(*v);
+        }
+        Primitive::SetFieldFromData(f, n) => {
+            fp.word(2);
+            fp.word(field_code(*f));
+            fp.word(*n as u64);
+        }
+        Primitive::Drop => fp.word(3),
+        Primitive::SetEgressFromData(n) => {
+            fp.word(4);
+            fp.word(*n as u64);
+        }
+        Primitive::SetEgressConst(p) => {
+            fp.word(5);
+            fp.word(*p as u64);
+        }
+        Primitive::PushVlanFromData(n) => {
+            fp.word(6);
+            fp.word(*n as u64);
+        }
+        Primitive::PopVlan => fp.word(7),
+        Primitive::PushNshFromData(n) => {
+            fp.word(8);
+            fp.word(*n as u64);
+        }
+        Primitive::PopNsh => fp.word(9),
+        Primitive::DecNshSi => fp.word(10),
+        Primitive::NoOp => fp.word(11),
+    }
+}
+
+fn control_code(c: &Control, fp: &mut Fingerprint) {
+    match c {
+        Control::Nop => fp.word(1),
+        Control::Apply(t) => {
+            fp.word(2);
+            fp.word(t.0 as u64);
+        }
+        Control::Seq(items) => {
+            fp.word(3);
+            fp.word(items.len() as u64);
+            for i in items {
+                control_code(i, fp);
+            }
+        }
+        Control::Switch { on, cases, default } => {
+            fp.word(4);
+            fp.word(field_code(*on));
+            fp.word(cases.len() as u64);
+            for (v, c) in cases {
+                fp.word(*v);
+                control_code(c, fp);
+            }
+            match default {
+                Some(d) => {
+                    fp.word(1);
+                    control_code(d, fp);
+                }
+                None => fp.word(0),
+            }
+        }
+        Control::If {
+            field,
+            op,
+            value,
+            then_,
+        } => {
+            fp.word(5);
+            fp.word(field_code(*field));
+            fp.word(*op as u64);
+            fp.word(*value);
+            control_code(then_, fp);
+        }
+        Control::Exclusive(items) => {
+            fp.word(6);
+            fp.word(items.len() as u64);
+            for i in items {
+                control_code(i, fp);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -462,5 +645,45 @@ mod tests {
         assert!(CmpOp::Ne.eval(1, 2));
         assert!(CmpOp::Lt.eval(1, 2));
         assert!(CmpOp::Ge.eval(2, 2));
+    }
+
+    fn fp_program(size: usize, kind: MatchKind) -> P4Program {
+        let mut p = P4Program::new();
+        let t = p.add_table(Table {
+            name: "t".into(),
+            keys: vec![(FieldRef::Ipv4Src, kind)],
+            actions: vec![Action::new(
+                "set",
+                vec![Primitive::SetFieldConst(FieldRef::Meta(1), 7)],
+            )],
+            default_action: None,
+            size,
+        });
+        p.control = Some(Control::Seq(vec![Control::Apply(t)]));
+        p
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_equal_programs() {
+        let a = fp_program(100, MatchKind::Exact);
+        let b = fp_program(100, MatchKind::Exact);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // And stable across repeated calls on the same program.
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_compile_relevant_changes() {
+        let base = fp_program(100, MatchKind::Exact).fingerprint();
+        // Size drives SRAM blocks.
+        assert_ne!(base, fp_program(101, MatchKind::Exact).fingerprint());
+        // Match kind drives TCAM usage.
+        assert_ne!(base, fp_program(100, MatchKind::Ternary).fingerprint());
+        // Control structure drives dependency analysis.
+        let mut reordered = fp_program(100, MatchKind::Exact);
+        reordered.control = Some(Control::Exclusive(vec![Control::Apply(TableId(0))]));
+        assert_ne!(base, reordered.fingerprint());
+        // An empty program differs from everything above.
+        assert_ne!(base, P4Program::new().fingerprint());
     }
 }

@@ -70,6 +70,26 @@ impl PisaModel {
     pub fn pipeline_latency_ns(&self, stages: usize) -> f64 {
         stages as f64 * self.stage_latency_ns
     }
+
+    /// Stable hash of every model parameter stage packing reads. Mixed
+    /// into memoized stage-oracle cache keys so verdicts cached against
+    /// one pipeline shape are never served for another.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a/64
+        let mut mix = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.num_stages as u64);
+        mix(self.sram_blocks_per_stage as u64);
+        mix(self.tcam_blocks_per_stage as u64);
+        mix(self.tables_per_stage as u64);
+        mix(self.port_rate_bps.to_bits());
+        mix(self.stage_latency_ns.to_bits());
+        h
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use crate::corealloc::CoreStrategy;
 use crate::oracle::{StageOracle, StageVerdict};
 use crate::placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};
 use crate::profiles::{Platform, PlatformClass};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Pick a concrete server for each chain's server-class NFs: first-fit on
 /// the server with the most remaining (estimated) core headroom. Mirrors
@@ -76,7 +76,7 @@ pub fn hw_preferred_assignment(problem: &PlacementProblem) -> Assignment {
                     };
                     (id, plat)
                 })
-                .collect::<HashMap<_, _>>()
+                .collect::<BTreeMap<_, _>>()
         })
         .collect()
 }
@@ -120,7 +120,7 @@ pub fn sw_preferred_assignment(problem: &PlacementProblem) -> Assignment {
                     };
                     (id, plat)
                 })
-                .collect::<HashMap<_, _>>()
+                .collect::<BTreeMap<_, _>>()
         })
         .collect()
 }
@@ -192,7 +192,7 @@ pub fn min_bounce(
     let servers = choose_server_per_chain(problem, &server_nodes);
     let mut assignment: Assignment = Vec::new();
     for (ci, patterns) in per_chain.iter().enumerate() {
-        let mut best: Option<(f64, f64, HashMap<_, _>)> = None;
+        let mut best: Option<(f64, f64, BTreeMap<_, _>)> = None;
         for pat in patterns {
             let mapped = crate::brute::materialize(pat, servers[ci]);
             let single: Assignment = vec![mapped.clone()];

@@ -10,12 +10,15 @@
 //! is effectively exhaustive for ≤ 2 chains).
 
 use crate::corealloc::{self, CoreStrategy};
-use crate::oracle::{StageOracle, StageVerdict};
-use crate::placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};
+use crate::oracle::{CountingOracle, StageOracle, StageVerdict};
+use crate::parallel::{parallel_flat_map, parallel_map, Workers};
+use crate::placement::{
+    Assignment, EvaluatedPlacement, PlacementError, PlacementProblem, SearchTelemetry,
+};
 use crate::profiles::{Platform, PlatformClass};
 use crate::topology::Tor;
 use lemur_core::graph::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A platform choice before a concrete server is picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +112,7 @@ pub fn per_chain_patterns(problem: &PlacementProblem, cap: usize) -> Vec<Vec<Pat
 }
 
 /// Turn a pattern into a concrete per-node assignment on `server`.
-pub fn materialize(pattern: &Pattern, server: usize) -> HashMap<NodeId, Platform> {
+pub fn materialize(pattern: &Pattern, server: usize) -> BTreeMap<NodeId, Platform> {
     pattern
         .iter()
         .map(|(id, p)| {
@@ -133,14 +136,49 @@ fn quick_score(problem: &PlacementProblem, assignment: &Assignment) -> Option<f6
     Some(corealloc::quick_estimate(problem, &sgs))
 }
 
-/// Run brute-force placement.
+/// Run brute-force placement with the environment's worker count
+/// (`LEMUR_WORKERS` / available parallelism). Results are identical for
+/// every worker count — see [`optimal_with_workers`].
 pub fn optimal(
     problem: &PlacementProblem,
     oracle: &dyn StageOracle,
     config: BruteConfig,
 ) -> Result<EvaluatedPlacement, PlacementError> {
+    optimal_with_workers(problem, oracle, config, Workers::from_env())
+}
+
+/// Outcome of one candidate's full evaluation (LP + stage oracle), carried
+/// through the parallel fan-out so the sequential reduction can replicate
+/// the exact best-selection and last-error semantics of the serial loop.
+enum CandidateOutcome {
+    Fit(Box<EvaluatedPlacement>),
+    Rejected(PlacementError),
+}
+
+/// Run brute-force placement with an explicit worker count.
+///
+/// Both parallel phases reduce in item order, so the returned placement,
+/// its telemetry, and every error message are bit-identical to the
+/// sequential (`workers = 1`) path:
+///
+/// * beam expansion fans out over the current beam's partials; each worker
+///   produces that partial's successors in the sequential nested-loop
+///   order and the flat-map concatenates them in partial order (stable
+///   sort ⇒ ties keep that order);
+/// * candidate evaluation fans out over the ranked prefix; verdicts are
+///   folded sequentially in rank order, reproducing the serial loop's
+///   "last error wins" and "strictly better by 1e-6" rules.
+pub fn optimal_with_workers(
+    problem: &PlacementProblem,
+    oracle: &dyn StageOracle,
+    config: BruteConfig,
+    workers: Workers,
+) -> Result<EvaluatedPlacement, PlacementError> {
+    let oracle = CountingOracle::new(oracle);
+    let cache_before = oracle.cache_stats().unwrap_or_default();
     let per_chain = per_chain_patterns(problem, config.max_patterns_per_chain);
     let n_servers = problem.topology.servers.len().max(1);
+    let mut pruned: u64 = 0;
 
     // Beam over (chains so far) × (server choice per chain).
     #[derive(Clone)]
@@ -153,65 +191,93 @@ pub fn optimal(
         score: 0.0,
     }];
     for (ci, patterns) in per_chain.iter().enumerate() {
-        let mut next: Vec<Partial> = Vec::new();
-        for partial in &beam {
+        // Score successors against the partial problem (chains 0..=ci).
+        let sub = PlacementProblem::new(
+            problem.chains[..=ci].to_vec(),
+            problem.topology.clone(),
+            problem.profiles.clone(),
+        );
+        let generated = beam.len() as u64 * patterns.len() as u64 * n_servers as u64;
+        let mut next: Vec<Partial> = parallel_flat_map(workers, &beam, |_, partial| {
+            let mut successors = Vec::new();
             for pattern in patterns {
                 for server in 0..n_servers {
                     let mut assignment = partial.assignment.clone();
                     assignment.push(materialize(pattern, server));
-                    // Score the partial problem (chains 0..=ci).
-                    let sub = PlacementProblem::new(
-                        problem.chains[..=ci].to_vec(),
-                        problem.topology.clone(),
-                        problem.profiles.clone(),
-                    );
                     if let Some(score) = quick_score(&sub, &assignment) {
-                        next.push(Partial { assignment, score });
+                        successors.push(Partial { assignment, score });
                     }
                 }
             }
-        }
+            successors
+        });
         if next.is_empty() {
             return Err(PlacementError::Infeasible(format!(
                 "no feasible pattern prefix through chain {ci}"
             )));
         }
+        pruned += generated - next.len() as u64;
         next.sort_by(|a, b| b.score.total_cmp(&a.score));
+        pruned += next.len().saturating_sub(config.beam_width) as u64;
         next.truncate(config.beam_width);
         beam = next;
     }
 
     // Full evaluation + stage oracle on the ranked candidates.
-    let mut best: Option<EvaluatedPlacement> = None;
-    let mut last_err =
-        PlacementError::Infeasible("no candidate survived full evaluation".to_string());
-    for partial in beam.iter().take(config.candidates) {
+    pruned += beam.len().saturating_sub(config.candidates) as u64;
+    let ranked = &beam[..beam.len().min(config.candidates)];
+    let lp_evals = ranked.len() as u64;
+    let outcomes = parallel_map(workers, ranked, |_, partial| {
         match problem.evaluate(&partial.assignment, CoreStrategy::WaterFill) {
             Ok(mut out) => match oracle.check(problem, &partial.assignment) {
                 StageVerdict::Fits { stages } => {
                     out.stages_used = Some(stages);
-                    if best
-                        .as_ref()
-                        .map(|b| out.marginal_bps > b.marginal_bps + 1e-6)
-                        .unwrap_or(true)
-                    {
-                        best = Some(out);
-                    }
+                    CandidateOutcome::Fit(Box::new(out))
                 }
                 StageVerdict::OutOfStages {
                     required,
                     available,
-                } => {
-                    last_err = PlacementError::OutOfStages {
-                        required,
-                        available,
-                    };
-                }
+                } => CandidateOutcome::Rejected(PlacementError::OutOfStages {
+                    required,
+                    available,
+                }),
             },
-            Err(e) => last_err = e,
+            Err(e) => CandidateOutcome::Rejected(e),
+        }
+    });
+
+    let mut best: Option<EvaluatedPlacement> = None;
+    let mut last_err =
+        PlacementError::Infeasible("no candidate survived full evaluation".to_string());
+    for outcome in outcomes {
+        match outcome {
+            CandidateOutcome::Fit(out) => {
+                if best
+                    .as_ref()
+                    .map(|b| out.marginal_bps > b.marginal_bps + 1e-6)
+                    .unwrap_or(true)
+                {
+                    best = Some(*out);
+                }
+            }
+            CandidateOutcome::Rejected(e) => last_err = e,
         }
     }
-    best.ok_or(last_err)
+    let cache_after = oracle.cache_stats().unwrap_or_default();
+    let cache = cache_after.since(&cache_before);
+    match best {
+        Some(mut out) => {
+            out.telemetry = Some(SearchTelemetry {
+                oracle_calls: oracle.calls(),
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                lp_evals,
+                pruned_candidates: pruned,
+            });
+            Ok(out)
+        }
+        None => Err(last_err),
+    }
 }
 
 #[cfg(test)]

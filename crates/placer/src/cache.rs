@@ -1,0 +1,201 @@
+//! Sharded memoized stage-oracle cache.
+//!
+//! "Off-the-shelf solvers cannot determine if a set of NF chains respects
+//! hardware constraints, since that requires actually invoking the
+//! hardware-specific compiler" (§1) — so the compiler invocation is the
+//! search's hot path. Candidates that differ only in *server* choices
+//! synthesize the **same** switch program (the PISA side sees only which
+//! NFs live on the switch), and δ-sweeps, repeated repair passes, and the
+//! heuristic's demotion loop re-probe programs they have compiled before.
+//! The cache memoizes verdicts keyed by a canonical fingerprint of the
+//! synthesized program (see `lemur_p4sim::ir::P4Program::fingerprint`), so
+//! a repeated probe skips stage packing entirely.
+//!
+//! Correctness contract: the verdict stored for a fingerprint must equal
+//! what a fresh compile of the same program returns — guaranteed because
+//! the fingerprint covers every compile-relevant feature (table keys,
+//! match kinds, sizes, action writes, control structure, hardware model)
+//! and compilation is a pure function of those. A property test in
+//! `lemur-metacompiler` (`proptest_cache.rs`) checks the equivalence on
+//! random chains and placements.
+//!
+//! Determinism contract: a shard's value is computed at most once, while
+//! the shard lock is held. Total hits/misses over a search are therefore
+//! `accesses − distinct keys` / `distinct keys` — both schedule-independent
+//! — so telemetry is identical across worker counts.
+
+use crate::oracle::StageVerdict;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards. Compile calls under a shard
+/// lock serialize only on fingerprint-shard collisions.
+const SHARDS: usize = 16;
+
+/// Cache occupancy and effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that ran the compiler and populated the cache.
+    pub misses: u64,
+    /// Distinct programs currently cached.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in [0, 1]; 0 when the cache was never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference since an earlier snapshot (entries reported
+    /// from the later snapshot).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+/// A sharded fingerprint → [`StageVerdict`] map, safe to share across the
+/// search pool's workers.
+#[derive(Debug, Default)]
+pub struct StageCache {
+    shards: [Mutex<HashMap<u128, StageVerdict>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StageCache {
+    /// An empty cache.
+    pub fn new() -> StageCache {
+        StageCache::default()
+    }
+
+    /// Look up `key`, computing and inserting with `compute` on a miss.
+    /// `compute` runs at most once per key cache-wide: the shard lock is
+    /// held across the computation, so concurrent probes of the same
+    /// program never both invoke the compiler.
+    pub fn get_or_insert_with(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> StageVerdict,
+    ) -> StageVerdict {
+        let shard = &self.shards[(key % SHARDS as u128) as usize];
+        let mut map = shard.lock().expect("stage-cache shard poisoned");
+        if let Some(v) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        let v = compute();
+        map.insert(key, v.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("stage-cache shard poisoned").len() as u64)
+                .sum(),
+        }
+    }
+
+    /// Drop every entry and zero the counters (fresh-run isolation for
+    /// benchmarks and determinism tests).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("stage-cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{parallel_map, Workers};
+    use std::sync::atomic::AtomicU64;
+
+    fn fits(stages: usize) -> StageVerdict {
+        StageVerdict::Fits { stages }
+    }
+
+    #[test]
+    fn second_probe_hits() {
+        let cache = StageCache::new();
+        assert_eq!(cache.get_or_insert_with(42, || fits(5)), fits(5));
+        assert_eq!(
+            cache.get_or_insert_with(42, || unreachable!("must not recompute")),
+            fits(5)
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = StageCache::new();
+        for k in 0..100u128 {
+            cache.get_or_insert_with(k, || fits(k as usize));
+        }
+        for k in 0..100u128 {
+            assert_eq!(cache.get_or_insert_with(k, || fits(9999)), fits(k as usize));
+        }
+        assert_eq!(cache.stats().entries, 100);
+    }
+
+    #[test]
+    fn compute_runs_once_under_contention() {
+        let cache = StageCache::new();
+        let computes = AtomicU64::new(0);
+        let items: Vec<u128> = (0..400).map(|i| i % 10).collect();
+        parallel_map(Workers::new(8), &items, |_, &k| {
+            cache.get_or_insert_with(k, || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                fits(k as usize)
+            })
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 10);
+        let s = cache.stats();
+        assert_eq!(s.misses, 10);
+        assert_eq!(s.hits, 390);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = StageCache::new();
+        cache.get_or_insert_with(7, || fits(1));
+        cache.get_or_insert_with(7, || fits(1));
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn stats_delta_since_snapshot() {
+        let cache = StageCache::new();
+        cache.get_or_insert_with(1, || fits(1));
+        let snap = cache.stats();
+        cache.get_or_insert_with(1, || fits(1));
+        cache.get_or_insert_with(2, || fits(2));
+        let d = cache.stats().since(&snap);
+        assert_eq!((d.hits, d.misses), (1, 1));
+    }
+}

@@ -259,7 +259,7 @@ mod tests {
     use lemur_core::graph::ChainSpec;
     use lemur_core::Slo;
     use lemur_nf::NfKind;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn problem(t_mins: &[(CanonicalChain, f64)]) -> PlacementProblem {
         let chains = t_mins
@@ -290,7 +290,7 @@ mod tests {
                         };
                         (id, plat)
                     })
-                    .collect::<HashMap<_, _>>()
+                    .collect::<BTreeMap<_, _>>()
             })
             .collect()
     }
@@ -337,7 +337,7 @@ mod tests {
                         };
                         (id, plat)
                     })
-                    .collect::<HashMap<_, _>>()
+                    .collect::<BTreeMap<_, _>>()
             })
             .collect();
         let mut sgs = p.form_subgroups(&a);

@@ -18,8 +18,11 @@
 //!    for each candidate; keep the best.
 
 use crate::corealloc::CoreStrategy;
-use crate::oracle::{StageOracle, StageVerdict};
-use crate::placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};
+use crate::oracle::{CountingOracle, StageOracle, StageVerdict};
+use crate::parallel::{parallel_map, Workers};
+use crate::placement::{
+    Assignment, EvaluatedPlacement, PlacementError, PlacementProblem, SearchTelemetry,
+};
 use crate::profiles::{Platform, PlatformClass};
 use crate::{NSH_OVERHEAD_CYCLES, REPLICATION_OVERHEAD_CYCLES};
 use lemur_core::graph::NodeId;
@@ -46,6 +49,22 @@ pub fn place_with_strategy(
     oracle: &dyn StageOracle,
     strategy: CoreStrategy,
 ) -> Result<EvaluatedPlacement, PlacementError> {
+    place_with_workers(problem, oracle, strategy, Workers::from_env())
+}
+
+/// Heuristic with an explicit worker count for the LP fan-outs (the
+/// coalescing-candidate evaluation and each hill-climbing round). Both
+/// fan-outs reduce in item order, so the result is bit-identical to the
+/// sequential path for every worker count.
+pub fn place_with_workers(
+    problem: &PlacementProblem,
+    oracle: &dyn StageOracle,
+    strategy: CoreStrategy,
+    workers: Workers,
+) -> Result<EvaluatedPlacement, PlacementError> {
+    let oracle = CountingOracle::new(oracle);
+    let cache_before = oracle.cache_stats().unwrap_or_default();
+    let mut lp_evals: u64 = 0;
     // ---- Step 1: stage-constrained baseline. While the program overflows
     // the pipeline, move switch NFs down to the server, cheapest first —
     // but only demotions that actually reduce the required stages (a tiny
@@ -153,8 +172,12 @@ pub fn place_with_strategy(
 
     let mut best: Option<EvaluatedPlacement> = None;
     let mut last_err = PlacementError::Infeasible("no heuristic candidate feasible".into());
-    for cand in candidates {
-        match problem.evaluate(&cand, strategy) {
+    lp_evals += candidates.len() as u64;
+    let evaluated = parallel_map(workers, &candidates, |_, cand| {
+        problem.evaluate(cand, strategy)
+    });
+    for result in evaluated {
+        match result {
             Ok(out) => {
                 if best
                     .as_ref()
@@ -185,10 +208,16 @@ pub fn place_with_strategy(
             .map(|b| b.marginal_bps)
             .unwrap_or(f64::NEG_INFINITY);
         let mut round_best: Option<(Assignment, EvaluatedPlacement)> = None;
-        for (ci, id, server) in demotion_candidates(problem, &current) {
+        let demotions = demotion_candidates(problem, &current);
+        lp_evals += demotions.len() as u64;
+        let trials = parallel_map(workers, &demotions, |_, &(ci, id, server)| {
             let mut trial = current.clone();
             trial[ci].insert(id, Platform::Server(server));
-            if let Ok(out) = problem.evaluate(&trial, strategy) {
+            let result = problem.evaluate(&trial, strategy);
+            (trial, result)
+        });
+        for (trial, result) in trials {
+            if let Ok(out) = result {
                 let better_than_round = round_best
                     .as_ref()
                     .map(|(_, b)| out.marginal_bps > b.marginal_bps + 1e-6)
@@ -216,6 +245,19 @@ pub fn place_with_strategy(
                 stages = s;
             }
             out.stages_used = Some(stages);
+            let cache = oracle
+                .cache_stats()
+                .unwrap_or_default()
+                .since(&cache_before);
+            out.telemetry = Some(SearchTelemetry {
+                oracle_calls: oracle.calls(),
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                lp_evals,
+                // The heuristic fully evaluates every candidate it
+                // generates; nothing is dropped pre-evaluation.
+                pruned_candidates: 0,
+            });
             Ok(out)
         }
         None => Err(last_err),

@@ -29,19 +29,28 @@
 //!   core allocations × LP, ranked, first fit through the stage oracle).
 //! * [`baselines`] — HW Preferred, SW Preferred, Minimum Bounce, Greedy.
 //! * [`ablations`] — No Profiling and No Core Allocation (§5.3, Fig. 2f).
+//! * [`parallel`] — deterministic work-sharing thread pool (ordered
+//!   reduction: results are bit-identical to the sequential path
+//!   regardless of worker count).
+//! * [`cache`] — sharded memoized stage-oracle cache keyed by a canonical
+//!   fingerprint of the synthesized switch program.
 
 pub mod ablations;
 pub mod baselines;
 pub mod brute;
+pub mod cache;
 pub mod corealloc;
 pub mod heuristic;
 pub mod oracle;
+pub mod parallel;
 pub mod placement;
 pub mod profiles;
 pub mod repair;
 pub mod topology;
 
-pub use oracle::{ModelOracle, StageOracle};
+pub use cache::{CacheStats, StageCache};
+pub use oracle::{CountingOracle, ModelOracle, StageOracle};
+pub use parallel::{parallel_flat_map, parallel_map, Workers};
 pub use placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};
 pub use profiles::{NfProfiles, Platform, ProfileSource};
 pub use repair::{repair, repair_assignment, RepairMode, RepairResult};

@@ -9,9 +9,11 @@
 //! per-NF approximation used in unit tests and in the "analytic estimate"
 //! comparisons.
 
+use crate::cache::CacheStats;
 use crate::placement::{Assignment, PlacementProblem};
 use crate::profiles::Platform;
 use lemur_nf::NfKind;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Verdict of a stage-feasibility check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,9 +25,72 @@ pub enum StageVerdict {
 }
 
 /// A stage-feasibility oracle over switch-resident NFs.
-pub trait StageOracle {
+///
+/// `Sync` because the parallel search fans candidate checks out across the
+/// [`crate::parallel`] pool, sharing one oracle by reference.
+pub trait StageOracle: Sync {
     /// Check the PISA program implied by `assignment` for `problem`.
     fn check(&self, problem: &PlacementProblem, assignment: &Assignment) -> StageVerdict;
+
+    /// Memoization counters, if this oracle caches verdicts (see
+    /// `lemur-metacompiler`'s cached compiler oracle). `None` for
+    /// uncached oracles.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+/// References to oracles are oracles, so searches can wrap a borrowed
+/// `&dyn StageOracle` in adapters like [`CountingOracle`].
+impl<O: StageOracle + ?Sized> StageOracle for &O {
+    fn check(&self, problem: &PlacementProblem, assignment: &Assignment) -> StageVerdict {
+        (**self).check(problem, assignment)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
+}
+
+/// Wraps any oracle and counts invocations, so searches can report how
+/// often the (expensive) compiler was consulted — the accounting
+/// `placement.rs` promises ("algorithms call that themselves so they can
+/// control how often the compiler is invoked").
+#[derive(Debug, Default)]
+pub struct CountingOracle<O> {
+    inner: O,
+    calls: AtomicU64,
+}
+
+impl<O: StageOracle> CountingOracle<O> {
+    /// Wrap `inner`, starting the counter at zero.
+    pub fn new(inner: O) -> CountingOracle<O> {
+        CountingOracle {
+            inner,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of `check` calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: StageOracle> StageOracle for CountingOracle<O> {
+    fn check(&self, problem: &PlacementProblem, assignment: &Assignment) -> StageVerdict {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.check(problem, assignment)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache_stats()
+    }
 }
 
 /// A simple analytic model: each switch NF kind costs a fixed number of
@@ -115,7 +180,7 @@ mod tests {
     use lemur_core::chains::{canonical_chain, extreme_nat_chain, CanonicalChain};
     use lemur_core::graph::ChainSpec;
     use lemur_core::Slo;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn all_pisa_possible(problem: &PlacementProblem) -> Assignment {
         problem
@@ -134,7 +199,7 @@ mod tests {
                         };
                         (id, plat)
                     })
-                    .collect::<HashMap<_, _>>()
+                    .collect::<BTreeMap<_, _>>()
             })
             .collect()
     }

@@ -1,0 +1,196 @@
+//! Deterministic work-sharing thread pool for the placer search.
+//!
+//! The paper's Placer is compiler-in-the-loop (§3.2): every candidate may
+//! invoke the PISA stage-packing compiler, and exhaustive search took ~4
+//! hours on the authors' machine. Candidate evaluations are independent,
+//! so the search fans out — but the supervisor's last-known-good/rollback
+//! logic (and the chaos-soak reproducibility invariant) requires that a
+//! re-run of the placer over identical inputs yields a *bit-identical*
+//! placement. The pool therefore guarantees **ordered reduction**: workers
+//! pull items off a shared atomic counter (dynamic load balancing, no
+//! per-worker scheduling bias) and every result is keyed by its item
+//! index, so the caller observes exactly the sequential iteration order
+//! regardless of worker count or OS scheduling.
+//!
+//! `std::thread::scope` keeps the pool dependency-free (the vendored
+//! registry has no rayon) and lets closures borrow the problem, oracle,
+//! and candidate list without `Arc` plumbing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count configuration for a parallel search phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workers(usize);
+
+impl Workers {
+    /// Exactly `n` workers (clamped to ≥ 1). `Workers::new(1)` is the
+    /// sequential path: no threads are spawned at all.
+    pub fn new(n: usize) -> Workers {
+        Workers(n.max(1))
+    }
+
+    /// Worker count from the environment: `LEMUR_WORKERS` if set and
+    /// positive, else the machine's available parallelism.
+    pub fn from_env() -> Workers {
+        let n = std::env::var("LEMUR_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Workers::new(n)
+    }
+
+    /// The configured worker count (≥ 1).
+    pub fn get(&self) -> usize {
+        self.0
+    }
+
+    /// True when this configuration runs inline without spawning.
+    pub fn is_sequential(&self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Default for Workers {
+    fn default() -> Workers {
+        Workers::from_env()
+    }
+}
+
+/// Map `f` over `items` with up to `workers` threads, returning results in
+/// item order. `f(i, &items[i])` must be a pure function of its arguments
+/// (plus internally synchronized shared state such as the stage-oracle
+/// cache) for the output to be independent of the schedule; the pool
+/// guarantees only that the *reduction order* matches the sequential path.
+///
+/// A worker panic propagates to the caller after the scope joins.
+pub fn parallel_map<T, R, F>(workers: Workers, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n_threads = workers.get().min(items.len());
+    if n_threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("placer worker panicked"))
+            .collect()
+    });
+
+    // Ordered reduction: scatter results back to their item index.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for batch in collected.drain(..) {
+        for (i, r) in batch {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item produced a result"))
+        .collect()
+}
+
+/// Like [`parallel_map`], but flattens per-item result vectors in item
+/// order — the shape of a beam expansion, where each partial produces many
+/// successor candidates and the concatenation must match the sequential
+/// nested-loop order exactly.
+pub fn parallel_flat_map<T, R, F>(workers: Workers, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Vec<R> + Sync,
+{
+    parallel_map(workers, items, f)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_item_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for w in [1, 2, 3, 8, 64] {
+            let got = parallel_map(Workers::new(w), &items, |_, x| x * 3 + 1);
+            assert_eq!(got, expect, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d"];
+        let got = parallel_map(Workers::new(3), &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn flat_map_preserves_nested_loop_order() {
+        let items: Vec<usize> = (0..20).collect();
+        let sequential: Vec<(usize, usize)> = items
+            .iter()
+            .flat_map(|&i| (0..3).map(move |j| (i, j)))
+            .collect();
+        for w in [1, 2, 8] {
+            let got = parallel_flat_map(Workers::new(w), &items, |_, &i| {
+                (0..3).map(|j| (i, j)).collect()
+            });
+            assert_eq!(got, sequential, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(Workers::new(8), &items, |_, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_and_single_item_take_the_inline_path() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(Workers::new(8), &empty, |_, x| *x).is_empty());
+        assert_eq!(parallel_map(Workers::new(8), &[7u32], |_, x| *x), vec![7]);
+    }
+
+    #[test]
+    fn workers_clamp_and_env_fallback() {
+        assert_eq!(Workers::new(0).get(), 1);
+        assert!(Workers::new(0).is_sequential());
+        assert!(Workers::from_env().get() >= 1);
+    }
+}

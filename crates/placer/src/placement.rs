@@ -12,7 +12,7 @@ use crate::topology::{Topology, Tor};
 use crate::{NSH_OVERHEAD_CYCLES, PACKET_BITS, REPLICATION_OVERHEAD_CYCLES};
 use lemur_core::graph::{ChainSpec, NodeId};
 use lemur_lp::{Problem, Relation};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Per-bounce latency between the ToR and a server/NIC, in nanoseconds.
@@ -22,7 +22,12 @@ use std::fmt;
 pub const BOUNCE_LATENCY_NS: f64 = 8_000.0;
 
 /// Platform assignment for every node of every chain.
-pub type Assignment = Vec<HashMap<NodeId, Platform>>;
+///
+/// A `BTreeMap` (not `HashMap`) on purpose: candidate generation, ranking,
+/// and subsampling iterate assignments, and the parallel search asserts
+/// bit-identical results across worker counts — ordered iteration (and
+/// ordered `Debug` output) makes ties rank identically everywhere.
+pub type Assignment = Vec<BTreeMap<NodeId, Platform>>;
 
 /// Why a placement is infeasible.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +135,27 @@ pub struct NicNfPlan {
     pub fraction: f64,
 }
 
+/// Deterministic counters from a placement search. Every field is a pure
+/// function of the search inputs — *never* of wall time or scheduling — so
+/// telemetry compares bit-identically across worker counts (wall-clock
+/// timings live in the bench harness, not here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchTelemetry {
+    /// Stage-oracle invocations (compiler calls when the oracle is the
+    /// real metacompiler) made by the search.
+    pub oracle_calls: u64,
+    /// Memoized-oracle cache hits during the search (0 for uncached
+    /// oracles).
+    pub cache_hits: u64,
+    /// Memoized-oracle cache misses — actual compiles — during the search.
+    pub cache_misses: u64,
+    /// Full LP evaluations ([`PlacementProblem::evaluate`]) performed.
+    pub lp_evals: u64,
+    /// Candidates generated but dropped before full evaluation (beam
+    /// truncation, candidate-list caps, infeasible quick scores).
+    pub pruned_candidates: u64,
+}
+
 /// A fully evaluated placement.
 #[derive(Debug, Clone)]
 pub struct EvaluatedPlacement {
@@ -148,6 +174,9 @@ pub struct EvaluatedPlacement {
     pub latency_ns: Vec<f64>,
     /// Stage usage if the stage oracle ran.
     pub stages_used: Option<usize>,
+    /// Search accounting, if a search (not a bare `evaluate`) produced
+    /// this placement.
+    pub telemetry: Option<SearchTelemetry>,
 }
 
 /// The placement problem: chains + topology + profiles.
@@ -440,7 +469,9 @@ impl PlacementProblem {
     /// Evaluate an assignment: subgroup formation, core allocation with
     /// `strategy`, the rate LP, and the latency check. Does NOT run the
     /// stage oracle — algorithms call that themselves so they can control
-    /// how often the (expensive) compiler is invoked.
+    /// how often the (expensive) compiler is invoked; they account for
+    /// those calls via [`crate::oracle::CountingOracle`] and report them
+    /// in [`SearchTelemetry::oracle_calls`].
     pub fn evaluate(
         &self,
         assignment: &Assignment,
@@ -614,6 +645,7 @@ impl PlacementProblem {
             bounces: self.bounce_counts(assignment),
             latency_ns,
             stages_used: None,
+            telemetry: None,
         })
     }
 }

@@ -117,7 +117,7 @@ fn affected_chains(
 /// Re-home one chain's dead-platform NFs onto `replacement`.
 fn rehome(
     problem: &PlacementProblem,
-    nodes: &mut std::collections::HashMap<lemur_core::NodeId, Platform>,
+    nodes: &mut std::collections::BTreeMap<lemur_core::NodeId, Platform>,
     down: &BTreeSet<usize>,
     replacement: usize,
 ) {
