@@ -50,6 +50,9 @@ struct ChaosRow {
     drops_fault: u64,
     drops_queue: u64,
     shed_at_end: Vec<usize>,
+    migrations: usize,
+    migration_aborts: usize,
+    wal_consistent: bool,
     conservation_ok: bool,
     survivors_meet_tmin: bool,
     reproducible: bool,
@@ -75,6 +78,12 @@ impl serde::Serialize for ChaosRow {
             ("drops_fault".to_string(), self.drops_fault.to_value()),
             ("drops_queue".to_string(), self.drops_queue.to_value()),
             ("shed_at_end".to_string(), self.shed_at_end.to_value()),
+            ("migrations".to_string(), self.migrations.to_value()),
+            (
+                "migration_aborts".to_string(),
+                self.migration_aborts.to_value(),
+            ),
+            ("wal_consistent".to_string(), self.wal_consistent.to_value()),
             (
                 "conservation_ok".to_string(),
                 self.conservation_ok.to_value(),
@@ -89,11 +98,16 @@ impl serde::Serialize for ChaosRow {
 }
 
 /// One full soak: build, supervise, report. Deterministic per seed.
-fn soak(
-    seed: u64,
-    n_faults: usize,
-    duration_ms: u64,
-) -> (SimReport, Vec<SupervisorEvent>, String, Vec<usize>, bool) {
+type SoakOutcome = (
+    SimReport,
+    Vec<SupervisorEvent>,
+    String,
+    Vec<usize>,
+    bool,
+    bool,
+);
+
+fn soak(seed: u64, n_faults: usize, duration_ms: u64) -> SoakOutcome {
     let oracle = compiler_oracle();
     let (mut problem, mut specs) = build_problem(
         &[
@@ -145,6 +159,7 @@ fn soak(
         n_subgroups: placement.subgroups.len(),
         n_chains,
         max_core_fails_per_server: 2,
+        n_migration_faults: 2,
         hot_servers,
     };
     let plan = chaos_plan(&chaos);
@@ -195,12 +210,14 @@ fn soak(
         });
 
     let state = format!("{:?}", supervisor.state());
+    let wal_consistent = supervisor.wal().is_consistent();
     (
         report,
         supervisor.events().to_vec(),
         state,
         shed_at_end,
         survivors_ok,
+        wal_consistent,
     )
 }
 
@@ -212,7 +229,7 @@ fn main() {
     let duration_ms = arg_u64(&args, "--duration-ms", if quick { 24 } else { 36 });
 
     println!("chaos soak: seed={seed} faults>={n_faults} duration={duration_ms}ms");
-    let (report, events, final_state, shed_at_end, survivors_ok) =
+    let (report, events, final_state, shed_at_end, survivors_ok, wal_consistent) =
         soak(seed, n_faults, duration_ms);
     let (report2, events2, ..) = soak(seed, n_faults, duration_ms);
     let reproducible = report == report2 && events == events2;
@@ -237,6 +254,9 @@ fn main() {
         drops_fault: ledger.drops_fault,
         drops_queue: ledger.drops_queue,
         shed_at_end: shed_at_end.clone(),
+        migrations: report.migrations().count(),
+        migration_aborts: report.migration_aborts().count(),
+        wal_consistent,
         conservation_ok: ledger.balanced(),
         survivors_meet_tmin: survivors_ok,
         reproducible,
@@ -245,6 +265,10 @@ fn main() {
     println!(
         "final={final_state} commits={} rollbacks={rollbacks} update_time_loss={} pkts",
         row.commits, row.update_time_loss
+    );
+    println!(
+        "migrations={} migration_aborts={} wal_consistent={}",
+        row.migrations, row.migration_aborts, row.wal_consistent
     );
     println!(
         "ledger: injected={} delivered={} reconfig={} shed={} fault={} queue={} in_flight={}",
@@ -274,6 +298,9 @@ fn main() {
     }
     if !reproducible {
         failures.push("same seed produced a different report or decision log".to_string());
+    }
+    if !wal_consistent {
+        failures.push("decision log ended with a dangling intent".to_string());
     }
     if report.commits() == 0 && !events.is_empty() {
         // A storm this size should force at least one reconfiguration;

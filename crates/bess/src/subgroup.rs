@@ -6,7 +6,7 @@
 //! move between the subgroup's NFs by reference — no copies, no queues, no
 //! cross-core traffic.
 
-use lemur_nf::{NetworkFunction, NfCtx, Verdict};
+use lemur_nf::{NetworkFunction, NfCtx, NfKind, NfSnapshot, SnapshotError, Verdict};
 use lemur_packet::{Batch, PacketBuf};
 
 /// Output of processing a batch: surviving packets with the gate each one
@@ -120,6 +120,35 @@ impl Subgroup {
     /// Packets dropped so far.
     pub fn packets_dropped(&self) -> u64 {
         self.packets_dropped
+    }
+
+    /// The kind of the NF at `idx`, if in range.
+    pub fn nf_kind(&self, idx: usize) -> Option<NfKind> {
+        self.nfs.get(idx).map(|nf| nf.kind())
+    }
+
+    /// Snapshot the migratable state of the NF at `idx` (`None` if the NF
+    /// exports none or `idx` is out of range).
+    pub fn snapshot_nf(&self, idx: usize) -> Option<NfSnapshot> {
+        self.nfs.get(idx).and_then(|nf| nf.snapshot_state())
+    }
+
+    /// Restore a snapshot into the NF at `idx`. All-or-nothing: on `Err`
+    /// the NF is unchanged.
+    pub fn restore_nf(&mut self, idx: usize, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        match self.nfs.get_mut(idx) {
+            Some(nf) => nf.restore_state(snapshot),
+            None => Err(SnapshotError::Invalid("NF index out of range in subgroup")),
+        }
+    }
+
+    /// FNV-1a/128 state fingerprint of the NF at `idx` (0 when stateless
+    /// or out of range).
+    pub fn nf_state_fingerprint(&self, idx: usize) -> u128 {
+        self.nfs
+            .get(idx)
+            .map(|nf| nf.state_fingerprint())
+            .unwrap_or(0)
     }
 }
 

@@ -7,7 +7,7 @@
 //! bounded so at least one server stays intact. The same
 //! [`ChaosConfig`] always yields byte-identical plans.
 
-use lemur_dataplane::{FaultEvent, FaultKind, FaultPlan};
+use lemur_dataplane::{FaultEvent, FaultKind, FaultPlan, MigrationFaultKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,6 +31,10 @@ pub struct ChaosConfig {
     /// Per-server ceiling on permanent core failures (keeps the rack
     /// repairable).
     pub max_core_fails_per_server: usize,
+    /// Migration faults to arm (each aborts the next epoch swap, forcing
+    /// a state rollback and a retry). Bounded small — every one consumes
+    /// a supervisor repair attempt, and the storm must stay survivable.
+    pub n_migration_faults: usize,
     /// Servers ranked busiest-first (most hosted subgroups). Link faults
     /// are biased toward these so the storm actually displaces chains;
     /// empty means uniform.
@@ -50,6 +54,7 @@ impl ChaosConfig {
             n_subgroups,
             n_chains,
             max_core_fails_per_server: 2,
+            n_migration_faults: 2,
             hot_servers: Vec::new(),
         }
     }
@@ -135,6 +140,21 @@ pub fn chaos_plan(cfg: &ChaosConfig) -> FaultPlan {
             kind: FaultKind::LinkUp { server: victim },
         });
         link_free_at[victim] = up + FLAP_PERIOD_NS;
+    }
+
+    // Migration faults: armed at injection, they fire at the *next* epoch
+    // swap — aborting it and forcing the supervisor to retry from the old
+    // epoch's intact state. Spread through the window so different repair
+    // attempts get hit; kinds cycle deterministically so every seed
+    // exercises more than one failure mode.
+    for i in 0..cfg.n_migration_faults {
+        let slot = span * (i as u64 + 1) / (cfg.n_migration_faults as u64 + 1);
+        let jitter = rng.gen_range(0..FLAP_PERIOD_NS);
+        let fault = MigrationFaultKind::ALL[rng.gen_range(0..MigrationFaultKind::ALL.len())];
+        events.push(FaultEvent {
+            at_ns: (cfg.start_ns + slot + jitter).min(cfg.end_ns - 1),
+            kind: FaultKind::MigrationFault { fault },
+        });
     }
 
     while events.len() < cfg.n_faults {
@@ -273,6 +293,25 @@ mod tests {
             fast_flaps.values().any(|&n| n >= FLAP_COUNT),
             "no flap burst: {fast_flaps:?}"
         );
+    }
+
+    #[test]
+    fn includes_migration_faults() {
+        for seed in 0..10 {
+            let plan = chaos_plan(&cfg(seed));
+            let n = plan
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::MigrationFault { .. }))
+                .count();
+            assert_eq!(n, 2, "seed {seed}: expected 2 armed migration faults");
+        }
+        let mut none = cfg(1);
+        none.n_migration_faults = 0;
+        assert!(!chaos_plan(&none)
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::MigrationFault { .. })));
     }
 
     #[test]

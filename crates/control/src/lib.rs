@@ -49,12 +49,14 @@
 //!   back and forth.
 
 pub mod chaos;
+pub mod wal;
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use lemur_core::Slo;
 use lemur_dataplane::{
-    ControlAction, ControlHook, FaultKind, StagedConfig, TimelineEvent, WindowSample,
+    ControlAction, ControlHook, FaultKind, MigrationError, StagedConfig, TimelineEvent,
+    WindowSample,
 };
 use lemur_metacompiler::{compile_repair, Deployment};
 use lemur_placer::corealloc::CoreStrategy;
@@ -64,6 +66,7 @@ use lemur_placer::repair_assignment;
 use lemur_placer::topology::ResourceMask;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wal::{DecisionLog, WalRecord};
 
 /// Tunables for the online supervisor. Times are virtual nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,6 +159,16 @@ pub enum SupervisorEvent {
     LinkTrusted { at_ns: u64, server: usize },
     /// Attempts exhausted; parked.
     Degraded { at_ns: u64 },
+    /// The engine aborted a staged swap because state migration failed
+    /// verification; the previous epoch stayed live.
+    MigrationFailed { at_ns: u64, error: MigrationError },
+    /// The control plane recovered from an injected crash by replaying
+    /// its decision log. `committed_epoch` is what the replay concluded
+    /// is live.
+    Recovered {
+        at_ns: u64,
+        committed_epoch: Option<u64>,
+    },
 }
 
 impl SupervisorEvent {
@@ -167,7 +180,9 @@ impl SupervisorEvent {
             | SupervisorEvent::BackedOff { at_ns, .. }
             | SupervisorEvent::Promoted { at_ns }
             | SupervisorEvent::LinkTrusted { at_ns, .. }
-            | SupervisorEvent::Degraded { at_ns } => *at_ns,
+            | SupervisorEvent::Degraded { at_ns }
+            | SupervisorEvent::MigrationFailed { at_ns, .. }
+            | SupervisorEvent::Recovered { at_ns, .. } => *at_ns,
         }
     }
 }
@@ -223,6 +238,9 @@ pub struct Supervisor<'a> {
     pending: Option<PendingCommit>,
     rng: StdRng,
     events: Vec<SupervisorEvent>,
+    /// Write-ahead decision log: every intent precedes its commit, so a
+    /// crash at any point replays to a consistent state.
+    wal: DecisionLog,
 }
 
 impl<'a> Supervisor<'a> {
@@ -256,6 +274,7 @@ impl<'a> Supervisor<'a> {
             pending: None,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x5157_e501),
             events: Vec::new(),
+            wal: DecisionLog::new(),
         }
     }
 
@@ -284,6 +303,12 @@ impl<'a> Supervisor<'a> {
     /// The decision log, in virtual-time order.
     pub fn events(&self) -> &[SupervisorEvent] {
         &self.events
+    }
+
+    /// The write-ahead decision log (intents, commits, failures,
+    /// recoveries), in virtual-time order.
+    pub fn wal(&self) -> &DecisionLog {
+        &self.wal
     }
 
     /// The fault mask the supervisor currently distrusts.
@@ -417,6 +442,13 @@ impl<'a> Supervisor<'a> {
             admitted,
         });
         self.state = SupervisorState::Draining;
+        // WAL intent first: a crash after this point replays as "swap of
+        // unknown outcome", never as silent state loss.
+        self.wal.append(WalRecord::Intent {
+            at_ns: now,
+            rollback: false,
+            shed: r.shed.clone(),
+        });
         self.events.push(SupervisorEvent::Staged {
             at_ns: now,
             shed: r.shed.clone(),
@@ -473,6 +505,11 @@ impl<'a> Supervisor<'a> {
             admitted,
         });
         self.state = SupervisorState::Draining;
+        self.wal.append(WalRecord::Intent {
+            at_ns: now,
+            rollback: true,
+            shed: Vec::new(),
+        });
         self.events.push(SupervisorEvent::Staged {
             at_ns: now,
             shed: Vec::new(),
@@ -506,10 +543,13 @@ impl ControlHook for Supervisor<'_> {
             }
             // Crashes, drift, and surges don't map onto rack resources;
             // the guard decides whether they hurt enough to act on.
+            // Migration faults arm inside the engine and surface through
+            // `on_migration_failed` if a swap is actually attempted.
             FaultKind::NfCrash { .. }
             | FaultKind::NfRecover { .. }
             | FaultKind::ProfileDrift { .. }
-            | FaultKind::TrafficSurge { .. } => {}
+            | FaultKind::TrafficSurge { .. }
+            | FaultKind::MigrationFault { .. } => {}
         }
         if self.state == SupervisorState::Converged {
             self.state = SupervisorState::Monitoring;
@@ -608,6 +648,11 @@ impl ControlHook for Supervisor<'_> {
             self.current_assignment = pending.assignment;
             self.current_admitted = pending.admitted;
         }
+        self.wal.append(WalRecord::Committed {
+            at_ns,
+            epoch,
+            rollback,
+        });
         self.events.push(SupervisorEvent::Committed {
             at_ns,
             epoch,
@@ -629,6 +674,39 @@ impl ControlHook for Supervisor<'_> {
                 grace: true,
             }
         };
+    }
+
+    fn on_migration_failed(&mut self, at_ns: u64, error: &MigrationError) {
+        // The swap never happened: the engine kept the old epoch (and its
+        // NF state) live, so the staged assignment must be forgotten.
+        self.pending = None;
+        self.wal.append(WalRecord::MigrationFailed {
+            at_ns,
+            error: error.clone(),
+        });
+        self.events.push(SupervisorEvent::MigrationFailed {
+            at_ns,
+            error: error.clone(),
+        });
+        if *error == MigrationError::ControlCrash {
+            // Crash recovery: replay the decision log to re-learn the
+            // consistent state (last committed epoch; this attempt is a
+            // resolved failure, not a half-applied swap).
+            let replayed = self.wal.len();
+            let summary = self.wal.replay();
+            debug_assert!(
+                !summary.in_flight_intent,
+                "replay must resolve every intent"
+            );
+            self.wal.append(WalRecord::Recovered { at_ns, replayed });
+            self.events.push(SupervisorEvent::Recovered {
+                at_ns,
+                committed_epoch: summary.committed_epoch,
+            });
+        }
+        // Either way the episode consumed an attempt: back off before
+        // trying to reconfigure again (or park if attempts are spent).
+        let _ = self.backoff(at_ns);
     }
 }
 

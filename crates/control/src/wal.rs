@@ -1,0 +1,244 @@
+//! The supervisor's write-ahead decision log.
+//!
+//! Every reconfiguration decision is journaled *before* it is handed to
+//! the engine, and every outcome is journaled when it lands. If the
+//! control plane crashes between snapshot and restore (an injected
+//! [`lemur_dataplane::MigrationFaultKind::ControlCrash`]), replaying the
+//! log reconstructs a consistent view: either the last committed epoch is
+//! live with its NF state intact, or an intent is dangling and the swap is
+//! known to have aborted — never a half-applied state.
+//!
+//! The log is ordered, append-only, and in-memory (the simulation's
+//! stand-in for a durable journal): determinism of the run makes the
+//! replay itself reproducible bit-for-bit.
+
+use lemur_dataplane::MigrationError;
+
+/// One journaled decision or outcome, in virtual-time order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Written *before* a staged commit is handed to the engine: the
+    /// supervisor intends to swap. `shed` lists chains the new epoch
+    /// refuses (empty for rollbacks).
+    Intent {
+        at_ns: u64,
+        rollback: bool,
+        shed: Vec<usize>,
+    },
+    /// The engine committed the swap; `epoch` is now live.
+    Committed {
+        at_ns: u64,
+        epoch: u64,
+        rollback: bool,
+    },
+    /// The staged swap was aborted by a migration failure; the previous
+    /// epoch (and its state) stayed live.
+    MigrationFailed { at_ns: u64, error: MigrationError },
+    /// The control plane came back from a crash and replayed the log;
+    /// `replayed` is the number of records scanned.
+    Recovered { at_ns: u64, replayed: usize },
+}
+
+impl WalRecord {
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            WalRecord::Intent { at_ns, .. }
+            | WalRecord::Committed { at_ns, .. }
+            | WalRecord::MigrationFailed { at_ns, .. }
+            | WalRecord::Recovered { at_ns, .. } => *at_ns,
+        }
+    }
+}
+
+/// What a replay of the log concludes the world looks like.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalSummary {
+    /// The last epoch known to have committed (`None` = still epoch 0,
+    /// the boot configuration).
+    pub committed_epoch: Option<u64>,
+    /// True if an `Intent` has neither committed nor failed — the crash
+    /// hit mid-drain and the engine's swap outcome is still unknown.
+    pub in_flight_intent: bool,
+    /// Migration failures since the last successful commit.
+    pub failures_since_commit: usize,
+    /// The last committed swap was a rollback to last-known-good.
+    pub last_was_rollback: bool,
+}
+
+/// Append-only decision log with deterministic replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionLog {
+    records: Vec<WalRecord>,
+}
+
+impl DecisionLog {
+    pub fn new() -> DecisionLog {
+        DecisionLog::default()
+    }
+
+    pub fn append(&mut self, rec: WalRecord) {
+        self.records.push(rec);
+    }
+
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Replay the log front to back and report the consistent state it
+    /// lands on. A crashed control plane calls this to re-learn which
+    /// epoch is live before touching the dataplane again.
+    pub fn replay(&self) -> WalSummary {
+        let mut s = WalSummary::default();
+        for rec in &self.records {
+            match rec {
+                WalRecord::Intent { .. } => s.in_flight_intent = true,
+                WalRecord::Committed {
+                    epoch, rollback, ..
+                } => {
+                    s.committed_epoch = Some(*epoch);
+                    s.in_flight_intent = false;
+                    s.failures_since_commit = 0;
+                    s.last_was_rollback = *rollback;
+                }
+                WalRecord::MigrationFailed { .. } => {
+                    s.in_flight_intent = false;
+                    s.failures_since_commit += 1;
+                }
+                WalRecord::Recovered { .. } => s.in_flight_intent = false,
+            }
+        }
+        s
+    }
+
+    /// The consistency invariant the soak asserts after every storm: each
+    /// intent is resolved (committed, failed, or recovered past) — the
+    /// log never ends mid-swap.
+    pub fn is_consistent(&self) -> bool {
+        !self.replay().in_flight_intent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_is_boot_state() {
+        let log = DecisionLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.replay(), WalSummary::default());
+        assert!(log.is_consistent());
+    }
+
+    #[test]
+    fn intent_then_commit_resolves() {
+        let mut log = DecisionLog::new();
+        log.append(WalRecord::Intent {
+            at_ns: 100,
+            rollback: false,
+            shed: vec![1],
+        });
+        assert!(!log.is_consistent(), "dangling intent must be visible");
+        log.append(WalRecord::Committed {
+            at_ns: 300,
+            epoch: 1,
+            rollback: false,
+        });
+        let s = log.replay();
+        assert!(log.is_consistent());
+        assert_eq!(s.committed_epoch, Some(1));
+        assert_eq!(s.failures_since_commit, 0);
+    }
+
+    #[test]
+    fn failure_resolves_intent_without_advancing_epoch() {
+        let mut log = DecisionLog::new();
+        log.append(WalRecord::Intent {
+            at_ns: 100,
+            rollback: false,
+            shed: vec![],
+        });
+        log.append(WalRecord::MigrationFailed {
+            at_ns: 300,
+            error: MigrationError::RestoreTimeout,
+        });
+        let s = log.replay();
+        assert!(log.is_consistent());
+        assert_eq!(s.committed_epoch, None, "aborted swap must not commit");
+        assert_eq!(s.failures_since_commit, 1);
+    }
+
+    #[test]
+    fn crash_recovery_replays_to_last_commit() {
+        let mut log = DecisionLog::new();
+        log.append(WalRecord::Intent {
+            at_ns: 100,
+            rollback: false,
+            shed: vec![],
+        });
+        log.append(WalRecord::Committed {
+            at_ns: 300,
+            epoch: 1,
+            rollback: false,
+        });
+        log.append(WalRecord::Intent {
+            at_ns: 900,
+            rollback: false,
+            shed: vec![],
+        });
+        log.append(WalRecord::MigrationFailed {
+            at_ns: 1_100,
+            error: MigrationError::ControlCrash,
+        });
+        let replayed = log.len();
+        log.append(WalRecord::Recovered {
+            at_ns: 1_100,
+            replayed,
+        });
+        let s = log.replay();
+        assert!(log.is_consistent());
+        // The world the recovered control plane sees: epoch 1 live, one
+        // failed attempt since.
+        assert_eq!(s.committed_epoch, Some(1));
+        assert_eq!(s.failures_since_commit, 1);
+        assert_eq!(log.records().last().unwrap().at_ns(), 1_100);
+    }
+
+    #[test]
+    fn commit_clears_failure_count() {
+        let mut log = DecisionLog::new();
+        for at in [10, 20] {
+            log.append(WalRecord::Intent {
+                at_ns: at,
+                rollback: false,
+                shed: vec![],
+            });
+            log.append(WalRecord::MigrationFailed {
+                at_ns: at + 5,
+                error: MigrationError::RestoreTimeout,
+            });
+        }
+        assert_eq!(log.replay().failures_since_commit, 2);
+        log.append(WalRecord::Intent {
+            at_ns: 30,
+            rollback: true,
+            shed: vec![],
+        });
+        log.append(WalRecord::Committed {
+            at_ns: 35,
+            epoch: 1,
+            rollback: true,
+        });
+        let s = log.replay();
+        assert_eq!(s.failures_since_commit, 0);
+        assert!(s.last_was_rollback);
+    }
+}

@@ -1,6 +1,10 @@
 //! The discrete-event cross-platform execution engine.
 
-use crate::faults::{FaultKind, FaultPlan, FaultState};
+use crate::faults::{FaultKind, FaultPlan, FaultState, MigrationFaultKind};
+use crate::migrate::{
+    decode_record, nat_binding_entries, MigrationError, MigrationStats, NfLocator, StateRecord,
+    StateTransfer, TorNatTarget,
+};
 use crate::report::{
     ChainStats, ConservationLedger, DropReason, SimReport, TimelineEvent, ViolationKind,
     WindowSample,
@@ -155,6 +159,10 @@ pub struct StagedConfig {
     servers: Vec<Option<ServerSim>>,
     nics: Vec<Option<NicSim>>,
     subgroup_cycles: Vec<f64>,
+    /// Where each state-bearing NF lives in this configuration.
+    nf_index: Vec<NfLocator>,
+    /// NAT nodes whose tables live on the ToR in this configuration.
+    tor_nat: Vec<TorNatTarget>,
     /// Per *original* chain: is it admitted in the new epoch? Shed
     /// chains have their packets refused at inject ([`DropReason::Shed`]).
     admitted: Vec<bool>,
@@ -183,6 +191,8 @@ impl StagedConfig {
             servers: parts.servers,
             nics: parts.nics,
             subgroup_cycles: parts.subgroup_cycles,
+            nf_index: parts.nf_index,
+            tor_nat: parts.tor_nat,
             admitted,
             slos,
             rollback,
@@ -231,6 +241,12 @@ pub trait ControlHook {
 
     /// An epoch swap committed (`packets_lost` = update-time loss).
     fn on_commit(&mut self, _at_ns: u64, _epoch: u64, _packets_lost: u64, _rollback: bool) {}
+
+    /// The staged swap was aborted because state migration failed
+    /// verification. The old epoch is still live with its state intact;
+    /// the hook decides whether to retry, back off, or recover a crashed
+    /// control plane from its decision log.
+    fn on_migration_failed(&mut self, _at_ns: u64, _error: &MigrationError) {}
 }
 
 /// The do-nothing hook: [`Testbed::run_with_faults`] uses it, keeping
@@ -253,6 +269,10 @@ pub struct Testbed {
     link_bps: Vec<f64>,
     tor_rate_bps: f64,
     subgroup_cycles: Vec<f64>,
+    /// Where each state-bearing NF lives in the current epoch.
+    nf_index: Vec<NfLocator>,
+    /// NAT nodes whose tables live on the ToR in the current epoch.
+    tor_nat: Vec<TorNatTarget>,
 }
 
 impl Testbed {
@@ -281,6 +301,8 @@ impl Testbed {
             link_bps,
             tor_rate_bps: parts.pisa.port_rate_bps,
             subgroup_cycles: parts.subgroup_cycles,
+            nf_index: parts.nf_index,
+            tor_nat: parts.tor_nat,
         })
     }
 
@@ -509,6 +531,11 @@ impl Testbed {
                             if let Some(src) = sources.get_mut(chain) {
                                 src.set_rate_factor(factor);
                             }
+                        }
+                        FaultKind::MigrationFault { fault } => {
+                            // Arms the next epoch swap; nothing happens to
+                            // steady-state traffic now.
+                            fault_state.armed_migration_faults.push(fault);
                         }
                     }
                     timeline.push(TimelineEvent::Fault {
@@ -858,9 +885,41 @@ impl Testbed {
                     }
                 }
                 Hop::EpochSwap => {
-                    let Some(staged) = pending_swap.take().map(|b| *b) else {
+                    let Some(mut staged) = pending_swap.take().map(|b| *b) else {
                         continue;
                     };
+                    // State migration runs inside the drain window:
+                    // snapshot the old epoch, apply any armed migration
+                    // faults to the transfer, restore into the staged
+                    // configuration, and verify. A failure aborts the
+                    // whole swap — the old epoch stays live with its
+                    // state intact (the rollback to last-known-good).
+                    let mut transfer = capture_state(&self.servers, &self.nf_index);
+                    let snapshots = transfer.declared as u64;
+                    let armed = std::mem::take(&mut fault_state.armed_migration_faults);
+                    for fault in &armed {
+                        transfer.apply_fault(*fault);
+                    }
+                    let migration = if armed.contains(&MigrationFaultKind::ControlCrash) {
+                        Err(MigrationError::ControlCrash)
+                    } else if armed.contains(&MigrationFaultKind::RestoreTimeout) {
+                        Err(MigrationError::RestoreTimeout)
+                    } else {
+                        apply_transfer(&transfer, &mut staged)
+                    };
+                    let mut mig_stats = match migration {
+                        Ok(s) => s,
+                        Err(error) => {
+                            timeline.push(TimelineEvent::MigrationAborted {
+                                at_ns: now,
+                                epoch,
+                                error: error.clone(),
+                            });
+                            hook.on_migration_failed(now, &error);
+                            continue;
+                        }
+                    };
+                    mig_stats.snapshots = snapshots;
                     // Phase two of the commit: anything still in flight
                     // missed the drain window and is charged to the swap
                     // (update-time loss). Sorted id order keeps the drop
@@ -886,9 +945,16 @@ impl Testbed {
                     self.servers = staged.servers;
                     self.nics = staged.nics;
                     self.subgroup_cycles = staged.subgroup_cycles;
+                    self.nf_index = staged.nf_index;
+                    self.tor_nat = staged.tor_nat;
                     admitted = staged.admitted;
                     slos_live = staged.slos;
                     epoch += 1;
+                    timeline.push(TimelineEvent::Migration {
+                        at_ns: now,
+                        epoch,
+                        stats: mig_stats,
+                    });
                     timeline.push(TimelineEvent::EpochCommit {
                         at_ns: now,
                         epoch,
@@ -988,6 +1054,8 @@ struct BuiltParts {
     servers: Vec<Option<ServerSim>>,
     nics: Vec<Option<NicSim>>,
     subgroup_cycles: Vec<f64>,
+    nf_index: Vec<NfLocator>,
+    tor_nat: Vec<TorNatTarget>,
 }
 
 fn build_parts(
@@ -1006,6 +1074,20 @@ fn build_parts(
     let mut switch = Switch::new(deployment.p4.program.clone(), pisa)
         .map_err(|e| BuildError::SwitchLoad(e.to_string()))?;
     deployment.p4.install(&mut switch);
+    // NAT nodes synthesized onto the ToR are migration targets: their
+    // (lookup, rewrite) table pair receives restored bindings as entries.
+    let tor_nat: Vec<TorNatTarget> = deployment
+        .p4
+        .nf_tables
+        .iter()
+        .filter(|(_, _, kind, tables)| *kind == lemur_nf::NfKind::Nat && tables.len() == 2)
+        .map(|(chain, node, _, tables)| TorNatTarget {
+            chain: *chain,
+            node: *node,
+            lookup: tables[0],
+            rewrite: tables[1],
+        })
+        .collect();
 
     let n_servers = problem.topology.servers.len();
     let mut servers: Vec<Option<ServerSim>> = (0..n_servers).map(|_| None).collect();
@@ -1052,13 +1134,146 @@ fn build_parts(
             c
         })
         .collect();
+    // Index every NF instance by its placement-independent identity
+    // `(chain, node, replica)` so state captured from one epoch can be
+    // aimed at the matching instance of the next. Sorted order makes the
+    // capture (and thus the whole migration) deterministic.
+    let mut nf_index: Vec<NfLocator> = Vec::new();
+    for (s, srv) in servers.iter().enumerate() {
+        let Some(srv) = srv else { continue };
+        for (inst_idx, inst) in srv.pipeline.instances.iter().enumerate() {
+            let Some(sg) = placement.subgroups.get(inst.subgroup_idx) else {
+                continue;
+            };
+            for (nf_idx, node) in sg.nodes.iter().enumerate() {
+                let Some(kind) = inst.runtime.nf_kind(nf_idx) else {
+                    continue;
+                };
+                nf_index.push(NfLocator {
+                    chain: sg.chain,
+                    node: *node,
+                    replica: inst.replica,
+                    kind,
+                    server: s,
+                    inst_idx,
+                    nf_idx,
+                });
+            }
+        }
+    }
+    nf_index.sort_by_key(|l| (l.chain, l.node, l.replica));
     Ok(BuiltParts {
         switch,
         pisa,
         servers,
         nics,
         subgroup_cycles,
+        nf_index,
+        tor_nat,
     })
+}
+
+/// Snapshot every state-bearing NF of the live configuration, in the
+/// deterministic `(chain, node, replica)` order of the index. NFs that
+/// export no state (stateless kinds) are simply absent from the transfer.
+fn capture_state(servers: &[Option<ServerSim>], nf_index: &[NfLocator]) -> StateTransfer {
+    let mut records = Vec::new();
+    for loc in nf_index {
+        let Some(Some(srv)) = servers.get(loc.server) else {
+            continue;
+        };
+        let Some(inst) = srv.pipeline.instances.get(loc.inst_idx) else {
+            continue;
+        };
+        if let Some(snap) = inst.runtime.snapshot_nf(loc.nf_idx) {
+            records.push(StateRecord {
+                chain: loc.chain,
+                node: loc.node,
+                replica: loc.replica,
+                kind: loc.kind,
+                bytes: snap.encode(),
+            });
+        }
+    }
+    StateTransfer::new(records)
+}
+
+/// Restore a transfer into a staged configuration, verifying integrity at
+/// every step. Server-resident targets get a byte-exact restore checked
+/// by state fingerprint; NAT nodes that moved onto the ToR have their
+/// bindings re-expressed as P4 table entries; records whose node has no
+/// target in the new placement (e.g. a shed chain) are dropped
+/// deliberately. Errors leave the *live* configuration untouched — only
+/// `staged`, which the caller then discards.
+fn apply_transfer(
+    transfer: &StateTransfer,
+    staged: &mut StagedConfig,
+) -> Result<MigrationStats, MigrationError> {
+    if transfer.records.len() != transfer.declared {
+        return Err(MigrationError::Truncated {
+            expected: transfer.declared,
+            got: transfer.records.len(),
+        });
+    }
+    let mut stats = MigrationStats::default();
+    for rec in &transfer.records {
+        let snap = decode_record(rec)?;
+        let target = staged
+            .nf_index
+            .iter()
+            .find(|l| l.chain == rec.chain && l.node == rec.node && l.replica == rec.replica)
+            .copied();
+        if let Some(loc) = target {
+            let Some(Some(srv)) = staged.servers.get_mut(loc.server) else {
+                stats.dropped += 1;
+                continue;
+            };
+            let Some(inst) = srv.pipeline.instances.get_mut(loc.inst_idx) else {
+                stats.dropped += 1;
+                continue;
+            };
+            inst.runtime
+                .restore_nf(loc.nf_idx, &snap)
+                .map_err(|source| MigrationError::Decode {
+                    chain: rec.chain,
+                    node: rec.node,
+                    replica: rec.replica,
+                    source,
+                })?;
+            if inst.runtime.nf_state_fingerprint(loc.nf_idx) != snap.fingerprint() {
+                return Err(MigrationError::FingerprintMismatch {
+                    chain: rec.chain,
+                    node: rec.node,
+                    replica: rec.replica,
+                });
+            }
+            stats.restored += 1;
+        } else if let Some(tor) = staged
+            .tor_nat
+            .iter()
+            .find(|t| t.chain == rec.chain && t.node == rec.node)
+            .copied()
+        {
+            // Cross-platform move: the NAT now runs as ToR tables, so its
+            // bindings become match-action entries.
+            let (ext_ip, bindings) =
+                lemur_nf::nat::Nat::decode_bindings(&snap).map_err(|source| {
+                    MigrationError::Decode {
+                        chain: rec.chain,
+                        node: rec.node,
+                        replica: rec.replica,
+                        source,
+                    }
+                })?;
+            for (tid, entry) in nat_binding_entries(&tor, ext_ip, &bindings) {
+                staged.switch.add_entry(tid, entry);
+                stats.tor_entries += 1;
+            }
+        } else {
+            stats.dropped += 1;
+        }
+    }
+    Ok(stats)
 }
 
 /// Per-chain accumulator for one SLO-guard window.

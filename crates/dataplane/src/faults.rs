@@ -11,6 +11,56 @@ use std::collections::BTreeSet;
 use lemur_placer::Topology;
 use serde::{DeError, Deserialize, Serialize, Value};
 
+/// What an injected migration fault breaks inside the drain-window state
+/// migration. These arm at injection time and fire at the *next* epoch
+/// swap, modelling failures of the snapshot→transfer→restore pipeline
+/// itself rather than of the steady-state dataplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationFaultKind {
+    /// One snapshot's bytes are corrupted in transit (single byte flip);
+    /// the per-NF checksum must catch it and force a rollback.
+    SnapshotCorrupt,
+    /// The state transfer is cut short: the last record is lost while the
+    /// manifest still declares it, so the receiver sees a truncation.
+    TransferTruncate,
+    /// The control plane crashes between snapshot and restore; the
+    /// supervisor must replay its decision log to a consistent state.
+    ControlCrash,
+    /// The restore phase exceeds the drain window (modelled as a timeout);
+    /// the old epoch must stay live.
+    RestoreTimeout,
+}
+
+impl MigrationFaultKind {
+    /// Short human-readable tag used in reports and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MigrationFaultKind::SnapshotCorrupt => "snapshot_corrupt",
+            MigrationFaultKind::TransferTruncate => "transfer_truncate",
+            MigrationFaultKind::ControlCrash => "control_crash",
+            MigrationFaultKind::RestoreTimeout => "restore_timeout",
+        }
+    }
+
+    /// All kinds, for storm generation.
+    pub const ALL: [MigrationFaultKind; 4] = [
+        MigrationFaultKind::SnapshotCorrupt,
+        MigrationFaultKind::TransferTruncate,
+        MigrationFaultKind::ControlCrash,
+        MigrationFaultKind::RestoreTimeout,
+    ];
+
+    fn from_tag(tag: &str) -> Option<MigrationFaultKind> {
+        MigrationFaultKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for MigrationFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
 /// One kind of injected fault (or recovery).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
@@ -34,6 +84,10 @@ pub enum FaultKind {
     /// The chain's offered rate is multiplied by `factor` from this point
     /// on (> 1.0 is a surge, < 1.0 a lull).
     TrafficSurge { chain: usize, factor: f64 },
+    /// Arm a failure of the state-migration pipeline: it fires during the
+    /// *next* epoch swap after this event's injection time (a no-op if no
+    /// swap ever happens).
+    MigrationFault { fault: MigrationFaultKind },
 }
 
 impl FaultKind {
@@ -47,6 +101,7 @@ impl FaultKind {
             FaultKind::NfRecover { .. } => "nf_recover",
             FaultKind::ProfileDrift { .. } => "profile_drift",
             FaultKind::TrafficSurge { .. } => "traffic_surge",
+            FaultKind::MigrationFault { .. } => "migration_fault",
         }
     }
 }
@@ -72,6 +127,9 @@ impl Serialize for FaultKind {
             FaultKind::TrafficSurge { chain, factor } => {
                 entries.push(("chain".to_string(), chain.to_value()));
                 entries.push(("factor".to_string(), factor.to_value()));
+            }
+            FaultKind::MigrationFault { fault } => {
+                entries.push(("fault".to_string(), Value::Str(fault.tag().to_string())));
             }
         }
         Value::object(entries)
@@ -111,6 +169,12 @@ impl Deserialize for FaultKind {
                 chain: field(v, "chain")?,
                 factor: field(v, "factor")?,
             }),
+            "migration_fault" => {
+                let name: String = field(v, "fault")?;
+                let fault = MigrationFaultKind::from_tag(&name)
+                    .ok_or_else(|| DeError(format!("unknown migration fault `{name}`")))?;
+                Ok(FaultKind::MigrationFault { fault })
+            }
             other => Err(DeError(format!("unknown fault kind `{other}`"))),
         }
     }
@@ -421,6 +485,8 @@ impl FaultPlan {
                     }
                     check_factor(i, factor)?;
                 }
+                // Migration faults arm the next swap; nothing to range-check.
+                FaultKind::MigrationFault { .. } => {}
             }
         }
         Ok(())
@@ -448,6 +514,9 @@ pub(crate) struct FaultState {
     pub failed_cores: BTreeSet<(usize, usize)>,
     /// Global subgroup indices currently offline.
     pub crashed_subgroups: BTreeSet<usize>,
+    /// Migration faults armed for the next epoch swap, in injection order
+    /// (the swap drains the whole queue).
+    pub armed_migration_faults: Vec<MigrationFaultKind>,
 }
 
 impl FaultState {
@@ -456,6 +525,7 @@ impl FaultState {
             link_up: vec![true; n_servers],
             failed_cores: BTreeSet::new(),
             crashed_subgroups: BTreeSet::new(),
+            armed_migration_faults: Vec::new(),
         }
     }
 
@@ -521,6 +591,18 @@ mod tests {
                     chain: 0,
                     factor: 2.0,
                 },
+            )
+            .with(
+                950,
+                FaultKind::MigrationFault {
+                    fault: MigrationFaultKind::SnapshotCorrupt,
+                },
+            )
+            .with(
+                960,
+                FaultKind::MigrationFault {
+                    fault: MigrationFaultKind::ControlCrash,
+                },
             );
         let text = serde_json::to_string_pretty(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&text).unwrap();
@@ -533,6 +615,18 @@ mod tests {
         assert!(serde_json::from_str::<FaultPlan>(text).is_err());
         let missing = r#"{"events":[{"at_ns":1,"kind":{"type":"link_down"}}]}"#;
         assert!(serde_json::from_str::<FaultPlan>(missing).is_err());
+        let bad_mig =
+            r#"{"events":[{"at_ns":1,"kind":{"type":"migration_fault","fault":"gremlins"}}]}"#;
+        assert!(serde_json::from_str::<FaultPlan>(bad_mig).is_err());
+    }
+
+    #[test]
+    fn migration_fault_tags_are_distinct() {
+        let tags: BTreeSet<&str> = MigrationFaultKind::ALL.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), MigrationFaultKind::ALL.len());
+        for k in MigrationFaultKind::ALL {
+            assert_eq!(MigrationFaultKind::from_tag(k.tag()), Some(k));
+        }
     }
 
     #[test]

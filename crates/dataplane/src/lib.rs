@@ -22,13 +22,15 @@
 
 pub mod engine;
 pub mod faults;
+pub mod migrate;
 pub mod report;
 pub mod traffic;
 
 pub use engine::{
     BuildError, ControlAction, ControlHook, NoopHook, SimConfig, StagedConfig, Testbed,
 };
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, MigrationFaultKind};
+pub use migrate::{MigrationError, MigrationStats, StateRecord, StateTransfer};
 pub use report::{
     ChainStats, ConservationLedger, DropReason, SimReport, TimelineEvent, ViolationKind,
     WindowSample,

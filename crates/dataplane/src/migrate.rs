@@ -1,0 +1,337 @@
+//! Stateful NF migration across epoch swaps.
+//!
+//! When the supervisor commits a reconfiguration, per-NF state (NAT
+//! bindings, LB flow affinity, token buckets, ...) must survive the swap —
+//! a "hitless" update reprograms the dataplane without resetting the
+//! connections flowing through it. The engine runs a migration phase
+//! inside the drain window:
+//!
+//! 1. **Snapshot** every state-bearing NF of the old epoch into a
+//!    versioned, checksummed [`lemur_nf::NfSnapshot`] frame.
+//! 2. **Transfer** the frames as a [`StateTransfer`] whose manifest count
+//!    detects truncation; each frame's own FNV-1a/128 digest detects
+//!    corruption.
+//! 3. **Restore** into the staged configuration — back into the matching
+//!    server NF, or, when the node moved onto the ToR, re-expressed as P4
+//!    table entries via the metacompiler's table map
+//!    (`SynthesizedP4::nf_tables`).
+//!
+//! Any verification failure aborts the whole swap: the old epoch (and its
+//! intact state) stays live, which *is* the rollback to last-known-good.
+//! Injected [`crate::faults::MigrationFaultKind`] events break specific
+//! steps of this pipeline so the soak can prove each failure mode is
+//! contained.
+
+use crate::faults::MigrationFaultKind;
+use lemur_core::graph::NodeId;
+use lemur_nf::snapshot::SnapshotError;
+use lemur_nf::{NfKind, NfSnapshot};
+use lemur_p4sim::{MatchValue, TableEntry, TableId};
+use lemur_packet::ipv4;
+
+/// Where one state-bearing NF instance lives inside a built configuration.
+/// `(chain, node, replica)` is the placement-independent identity; the
+/// rest locates the runtime object in that epoch's server pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NfLocator {
+    pub chain: usize,
+    pub node: NodeId,
+    pub replica: usize,
+    pub kind: NfKind,
+    pub server: usize,
+    pub inst_idx: usize,
+    pub nf_idx: usize,
+}
+
+/// A NAT node whose tables live on the ToR in this epoch: restored
+/// bindings are installed as entries into `(lookup, rewrite)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TorNatTarget {
+    pub chain: usize,
+    pub node: NodeId,
+    pub lookup: TableId,
+    pub rewrite: TableId,
+}
+
+/// One NF's snapshot in transit, addressed by placement-independent
+/// identity. `bytes` is the full [`NfSnapshot::encode`] frame (magic,
+/// version, kind, payload, digest) so integrity is checked per record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateRecord {
+    pub chain: usize,
+    pub node: NodeId,
+    pub replica: usize,
+    pub kind: NfKind,
+    pub bytes: Vec<u8>,
+}
+
+/// The whole migration payload. `declared` is the sender-side manifest
+/// count; a receiver seeing fewer records knows the transfer was cut
+/// short even though every surviving frame still checksums.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateTransfer {
+    pub declared: usize,
+    pub records: Vec<StateRecord>,
+}
+
+impl StateTransfer {
+    pub fn new(records: Vec<StateRecord>) -> StateTransfer {
+        StateTransfer {
+            declared: records.len(),
+            records,
+        }
+    }
+
+    /// Break the transfer the way an injected fault dictates. Corruption
+    /// flips one payload byte of the first record (the per-frame digest
+    /// must catch it); truncation drops the last record while the
+    /// manifest still declares it. Crash/timeout faults don't touch the
+    /// bytes — the engine turns them into errors directly.
+    pub fn apply_fault(&mut self, fault: MigrationFaultKind) {
+        match fault {
+            MigrationFaultKind::SnapshotCorrupt => {
+                if let Some(rec) = self.records.first_mut() {
+                    let mid = rec.bytes.len() / 2;
+                    if let Some(b) = rec.bytes.get_mut(mid) {
+                        *b ^= 0x01;
+                    }
+                }
+            }
+            MigrationFaultKind::TransferTruncate => {
+                self.records.pop();
+            }
+            MigrationFaultKind::ControlCrash | MigrationFaultKind::RestoreTimeout => {}
+        }
+    }
+}
+
+/// Why a state migration failed (and the swap was aborted). Every variant
+/// leaves the old epoch live with its state untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// A record's frame failed to decode: bad magic/version, checksum
+    /// mismatch, or an NF-level invariant violation on restore.
+    Decode {
+        chain: usize,
+        node: NodeId,
+        replica: usize,
+        source: SnapshotError,
+    },
+    /// The restored NF's state fingerprint does not match the snapshot's —
+    /// the restore silently diverged.
+    FingerprintMismatch {
+        chain: usize,
+        node: NodeId,
+        replica: usize,
+    },
+    /// The transfer manifest declared more records than arrived.
+    Truncated { expected: usize, got: usize },
+    /// The control plane crashed between snapshot and restore.
+    ControlCrash,
+    /// The restore phase overran the drain window.
+    RestoreTimeout,
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::Decode {
+                chain,
+                node,
+                replica,
+                source,
+            } => write!(
+                f,
+                "state record chain {chain} node {} replica {replica}: {source}",
+                node.0
+            ),
+            MigrationError::FingerprintMismatch {
+                chain,
+                node,
+                replica,
+            } => write!(
+                f,
+                "restored state fingerprint mismatch at chain {chain} node {} replica {replica}",
+                node.0
+            ),
+            MigrationError::Truncated { expected, got } => {
+                write!(f, "state transfer truncated: {got} of {expected} records")
+            }
+            MigrationError::ControlCrash => {
+                write!(f, "control plane crashed between snapshot and restore")
+            }
+            MigrationError::RestoreTimeout => write!(f, "restore overran the drain window"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Exact-integer accounting of one successful migration phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Records captured from the old epoch.
+    pub snapshots: u64,
+    /// Records restored into server NFs of the new epoch.
+    pub restored: u64,
+    /// P4 table entries installed for NAT nodes that moved onto the ToR.
+    pub tor_entries: u64,
+    /// Records with no target in the new placement (e.g. a shed chain);
+    /// their state is discarded deliberately, not lost.
+    pub dropped: u64,
+}
+
+/// Turn decoded NAT bindings into the P4 entries the metacompiler's
+/// generated tables expect: `lookup (src_ip, sport) → binding id` and
+/// `rewrite id → external ip`. Ids start at 1 — id 0 is the generated
+/// default binding that rewrites misses to the carrier address.
+pub(crate) fn nat_binding_entries(
+    target: &TorNatTarget,
+    external_ip: ipv4::Address,
+    bindings: &[(ipv4::Address, u16, u16)],
+) -> Vec<(TableId, TableEntry)> {
+    let mut out = Vec::with_capacity(bindings.len() * 2);
+    for (i, (int_ip, int_port, _ext_port)) in bindings.iter().enumerate() {
+        let id = (i + 1) as u64;
+        out.push((
+            target.lookup,
+            TableEntry {
+                keys: vec![
+                    MatchValue::Exact(int_ip.to_u32() as u64),
+                    MatchValue::Exact(*int_port as u64),
+                ],
+                action: 0,
+                action_data: vec![id],
+                priority: 2,
+            },
+        ));
+        out.push((
+            target.rewrite,
+            TableEntry {
+                keys: vec![MatchValue::Exact(id)],
+                action: 0,
+                action_data: vec![external_ip.to_u32() as u64],
+                priority: 2,
+            },
+        ));
+    }
+    out
+}
+
+/// Decode one record's frame back into a verified snapshot.
+pub(crate) fn decode_record(rec: &StateRecord) -> Result<NfSnapshot, MigrationError> {
+    let snap = NfSnapshot::decode(&rec.bytes).map_err(|source| MigrationError::Decode {
+        chain: rec.chain,
+        node: rec.node,
+        replica: rec.replica,
+        source,
+    })?;
+    snap.expect_kind(rec.kind)
+        .map_err(|source| MigrationError::Decode {
+            chain: rec.chain,
+            node: rec.node,
+            replica: rec.replica,
+            source,
+        })?;
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_nf::snapshot::Encoder;
+
+    fn record(payload: &[u8]) -> StateRecord {
+        let mut e = Encoder::new();
+        for b in payload {
+            e.u8(*b);
+        }
+        let snap = NfSnapshot::new(NfKind::Monitor, e.finish());
+        StateRecord {
+            chain: 0,
+            node: NodeId(1),
+            replica: 0,
+            kind: NfKind::Monitor,
+            bytes: snap.encode(),
+        }
+    }
+
+    #[test]
+    fn clean_transfer_round_trips() {
+        let t = StateTransfer::new(vec![record(b"abc"), record(b"def")]);
+        assert_eq!(t.declared, 2);
+        for rec in &t.records {
+            decode_record(rec).expect("clean record decodes");
+        }
+    }
+
+    #[test]
+    fn corruption_fault_is_detected() {
+        let mut t = StateTransfer::new(vec![record(b"state bytes")]);
+        t.apply_fault(MigrationFaultKind::SnapshotCorrupt);
+        let err = decode_record(&t.records[0]).unwrap_err();
+        assert!(
+            matches!(err, MigrationError::Decode { .. }),
+            "corruption must surface as a decode error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_fault_breaks_manifest() {
+        let mut t = StateTransfer::new(vec![record(b"a"), record(b"b")]);
+        t.apply_fault(MigrationFaultKind::TransferTruncate);
+        assert_eq!(t.declared, 2);
+        assert_eq!(t.records.len(), 1);
+        // The surviving record is still intact — truncation is a manifest
+        // failure, not a corruption failure.
+        decode_record(&t.records[0]).expect("survivor decodes");
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_decode_error() {
+        let mut rec = record(b"x");
+        rec.kind = NfKind::Nat; // lie about the kind
+        assert!(matches!(
+            decode_record(&rec),
+            Err(MigrationError::Decode {
+                source: SnapshotError::KindMismatch { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn nat_entries_shape() {
+        let target = TorNatTarget {
+            chain: 0,
+            node: NodeId(2),
+            lookup: TableId(4),
+            rewrite: TableId(5),
+        };
+        let ext = ipv4::Address::new(198, 18, 0, 1);
+        let bindings = vec![
+            (ipv4::Address::new(10, 0, 0, 1), 1111, 5000),
+            (ipv4::Address::new(10, 0, 0, 2), 2222, 5001),
+        ];
+        let entries = nat_binding_entries(&target, ext, &bindings);
+        assert_eq!(entries.len(), 4);
+        // Binding ids start at 1 and pair lookup→rewrite.
+        assert_eq!(entries[0].0, TableId(4));
+        assert_eq!(entries[0].1.action_data, vec![1]);
+        assert_eq!(entries[1].0, TableId(5));
+        assert_eq!(entries[1].1.keys, vec![MatchValue::Exact(1)]);
+        assert_eq!(entries[3].1.action_data, vec![ext.to_u32() as u64]);
+        // Restored entries outrank the generated default (priority 1).
+        assert!(entries.iter().all(|(_, e)| e.priority == 2));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = MigrationError::Truncated {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("2 of 3"));
+        assert!(MigrationError::ControlCrash.to_string().contains("crashed"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Measurement results.
 
 use crate::faults::FaultKind;
+use crate::migrate::{MigrationError, MigrationStats};
 
 /// Why a packet was dropped — split out so overload, mis-programming, NF
 /// policy, and injected faults are distinguishable in reports.
@@ -158,6 +159,22 @@ pub enum TimelineEvent {
         packets_lost: u64,
         rollback: bool,
     },
+    /// Per-NF state was migrated into the committed epoch (emitted just
+    /// before the matching [`TimelineEvent::EpochCommit`]).
+    Migration {
+        at_ns: u64,
+        /// The epoch the state was restored into.
+        epoch: u64,
+        stats: MigrationStats,
+    },
+    /// State migration failed verification and the swap was aborted: the
+    /// old epoch (and its state) stays live — no `EpochCommit` follows.
+    MigrationAborted {
+        at_ns: u64,
+        /// The epoch that remains live.
+        epoch: u64,
+        error: MigrationError,
+    },
 }
 
 impl TimelineEvent {
@@ -167,6 +184,8 @@ impl TimelineEvent {
             TimelineEvent::SloViolation { at_ns, .. } => *at_ns,
             TimelineEvent::DrainStart { at_ns, .. } => *at_ns,
             TimelineEvent::EpochCommit { at_ns, .. } => *at_ns,
+            TimelineEvent::Migration { at_ns, .. } => *at_ns,
+            TimelineEvent::MigrationAborted { at_ns, .. } => *at_ns,
         }
     }
 }
@@ -256,6 +275,22 @@ impl SimReport {
             .iter()
             .filter(|e| matches!(e, TimelineEvent::EpochCommit { .. }))
             .count()
+    }
+
+    /// Successful state migrations, in commit order.
+    pub fn migrations(&self) -> impl Iterator<Item = &MigrationStats> {
+        self.timeline.iter().filter_map(|e| match e {
+            TimelineEvent::Migration { stats, .. } => Some(stats),
+            _ => None,
+        })
+    }
+
+    /// Aborted migrations (swap rolled back to the live epoch), in order.
+    pub fn migration_aborts(&self) -> impl Iterator<Item = &MigrationError> {
+        self.timeline.iter().filter_map(|e| match e {
+            TimelineEvent::MigrationAborted { error, .. } => Some(error),
+            _ => None,
+        })
     }
 }
 

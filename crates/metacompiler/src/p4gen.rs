@@ -95,6 +95,11 @@ pub struct SynthesizedP4 {
     /// Lines attributable to steering/coordination vs NF logic.
     pub steering_lines: usize,
     pub nf_lines: usize,
+    /// Which generated tables implement which switch-resident NF node:
+    /// `(chain, node, kind, tables)` in generation order. State migration
+    /// uses this to aim restored NF state (e.g. NAT bindings) at the right
+    /// tables when a node moves from a server onto the ToR.
+    pub nf_tables: Vec<(usize, NodeId, NfKind, Vec<TableId>)>,
 }
 
 impl SynthesizedP4 {
@@ -123,6 +128,7 @@ struct Gen<'a> {
     roles: Vec<TableRole>,
     next_reg: u8,
     parser: ParserTree,
+    nf_tables: Vec<(usize, NodeId, NfKind, Vec<TableId>)>,
 }
 
 /// One switch subgroup of a chain's switch sub-DAG.
@@ -163,6 +169,7 @@ pub fn synthesize(
         roles: Vec::new(),
         next_reg: 1,
         parser: well_known::base_tree(),
+        nf_tables: Vec::new(),
     };
     gen.merge_parsers()?;
     gen.build()
@@ -398,6 +405,7 @@ impl<'a> Gen<'a> {
             source,
             steering_lines,
             nf_lines,
+            nf_tables: self.nf_tables,
         })
     }
 
@@ -551,6 +559,7 @@ impl<'a> Gen<'a> {
                 None
             };
             let tables = self.gen_nf_tables(ci, *id, &node, reg)?;
+            self.nf_tables.push((ci, *id, node.kind, tables.clone()));
             seq.extend(tables.into_iter().map(Control::Apply));
             if self.opts.si_update_per_nf && self.chain_uses_nsh(ci) {
                 // Naive SI maintenance: one decrement table per NF,

@@ -8,11 +8,12 @@
 //! and the egress byte rate is lower than the ingress rate on redundant
 //! traffic.
 
-use crate::{NetworkFunction, NfCtx, NfKind, NfParams, Verdict};
+use crate::snapshot::{Decoder, Encoder};
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, NfSnapshot, SnapshotError, Verdict};
 use lemur_packet::ethernet::{self, EtherType};
 use lemur_packet::ipv4::Protocol;
 use lemur_packet::{ipv4, tcp, udp, vlan, PacketBuf};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rolling-hash window size (bytes).
 const WINDOW: usize = 16;
@@ -68,8 +69,9 @@ pub fn fingerprint(data: &[u8]) -> u64 {
 
 /// The Dedup NF.
 pub struct Dedup {
-    /// fingerprint → (insertion epoch). Bounded FIFO-ish store.
-    store: HashMap<u64, u64>,
+    /// fingerprint → (insertion epoch). Bounded FIFO-ish store, in key
+    /// order so snapshots are canonical.
+    store: BTreeMap<u64, u64>,
     capacity: usize,
     epoch: u64,
     bytes_in: u64,
@@ -80,7 +82,7 @@ impl Dedup {
     /// Create with a fingerprint-store capacity.
     pub fn new(capacity: usize) -> Dedup {
         Dedup {
-            store: HashMap::with_capacity(capacity.min(1 << 20)),
+            store: BTreeMap::new(),
             capacity: capacity.max(16),
             epoch: 0,
             bytes_in: 0,
@@ -242,6 +244,51 @@ impl NetworkFunction for Dedup {
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
         Box::new(Dedup::new(self.capacity))
+    }
+
+    fn snapshot_state(&self) -> Option<NfSnapshot> {
+        let mut e = Encoder::new();
+        e.u64(self.capacity as u64);
+        e.u64(self.epoch);
+        e.u64(self.bytes_in);
+        e.u64(self.bytes_out);
+        e.u32(self.store.len() as u32);
+        for (fp, epoch) in &self.store {
+            e.u64(*fp);
+            e.u64(*epoch);
+        }
+        Some(NfSnapshot::new(NfKind::Dedup, e.finish()))
+    }
+
+    fn restore_state(&mut self, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_kind(NfKind::Dedup)?;
+        let mut d = Decoder::new(&snapshot.payload);
+        let capacity = d.u64()? as usize;
+        if capacity < 16 {
+            return Err(SnapshotError::Invalid("Dedup capacity below minimum"));
+        }
+        let epoch = d.u64()?;
+        let bytes_in = d.u64()?;
+        let bytes_out = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut staged = BTreeMap::new();
+        for _ in 0..n {
+            let fp = d.u64()?;
+            let e = d.u64()?;
+            if e >= epoch {
+                return Err(SnapshotError::Invalid("Dedup entry from the future"));
+            }
+            if staged.insert(fp, e).is_some() {
+                return Err(SnapshotError::Invalid("duplicate Dedup fingerprint"));
+            }
+        }
+        d.done()?;
+        self.capacity = capacity;
+        self.epoch = epoch;
+        self.bytes_in = bytes_in;
+        self.bytes_out = bytes_out;
+        self.store = staged;
+        Ok(())
     }
 }
 

@@ -5,12 +5,15 @@
 //! common case; a small flow cache preserves stickiness if the backend set
 //! changes (the SilkRoad-style behaviour the paper's P4 LB emulates).
 
-use crate::{NetworkFunction, NfCtx, NfKind, NfParams, ParamValue, Verdict};
+use crate::snapshot::{Decoder, Encoder};
+use crate::{
+    NetworkFunction, NfCtx, NfKind, NfParams, NfSnapshot, ParamValue, SnapshotError, Verdict,
+};
 use lemur_packet::ethernet::{self, EtherType};
 use lemur_packet::flow::FiveTuple;
 use lemur_packet::ipv4::{self, Protocol};
 use lemur_packet::{tcp, udp, vlan, PacketBuf};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A backend server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,8 +25,9 @@ pub struct Backend {
 /// The load balancer NF.
 pub struct LoadBalancer {
     backends: Vec<Backend>,
-    /// Flow → backend index cache (bounded).
-    flow_cache: HashMap<FiveTuple, usize>,
+    /// Flow → backend index cache (bounded), in key order so snapshots
+    /// are canonical.
+    flow_cache: BTreeMap<FiveTuple, usize>,
     max_cache: usize,
 }
 
@@ -33,7 +37,7 @@ impl LoadBalancer {
         assert!(!backends.is_empty(), "LB needs at least one backend");
         LoadBalancer {
             backends,
-            flow_cache: HashMap::new(),
+            flow_cache: BTreeMap::new(),
             max_cache: 65_536,
         }
     }
@@ -58,6 +62,38 @@ impl LoadBalancer {
     /// Number of configured backends.
     pub fn num_backends(&self) -> usize {
         self.backends.len()
+    }
+
+    /// Number of flows currently pinned in the affinity cache.
+    pub fn cached_flows(&self) -> usize {
+        self.flow_cache.len()
+    }
+
+    /// The cached backend for a flow, if pinned.
+    pub fn cached_backend(&self, tuple: &FiveTuple) -> Option<Backend> {
+        self.flow_cache.get(tuple).map(|&i| self.backends[i])
+    }
+
+    fn encode_state(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u32(self.backends.len() as u32);
+        for b in &self.backends {
+            e.u32(b.ip.to_u32());
+            for byte in b.mac.0 {
+                e.u8(byte);
+            }
+        }
+        e.u64(self.max_cache as u64);
+        e.u32(self.flow_cache.len() as u32);
+        for (t, idx) in &self.flow_cache {
+            e.u32(t.src_ip.to_u32());
+            e.u32(t.dst_ip.to_u32());
+            e.u16(t.src_port);
+            e.u16(t.dst_port);
+            e.u8(t.protocol);
+            e.u32(*idx as u32);
+        }
+        e.finish()
     }
 
     fn pick(&mut self, tuple: &FiveTuple) -> usize {
@@ -124,6 +160,62 @@ impl NetworkFunction for LoadBalancer {
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
         Box::new(LoadBalancer::new(self.backends.clone()))
+    }
+
+    fn snapshot_state(&self) -> Option<NfSnapshot> {
+        Some(NfSnapshot::new(NfKind::Lb, self.encode_state()))
+    }
+
+    /// Restore the affinity cache. Entries are carried over for backends
+    /// that still exist in this instance's configuration (matched by
+    /// ip + mac and remapped to their new index); flows whose backend is
+    /// gone are dropped, which is exactly the "affinity preserved for
+    /// surviving backends" contract. With an identical backend set the
+    /// restore is bit-exact.
+    fn restore_state(&mut self, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_kind(NfKind::Lb)?;
+        let mut d = Decoder::new(&snapshot.payload);
+        let n_backends = d.u32()? as usize;
+        if n_backends == 0 {
+            return Err(SnapshotError::Invalid("LB snapshot has no backends"));
+        }
+        let mut old_backends = Vec::with_capacity(n_backends);
+        for _ in 0..n_backends {
+            let ip = ipv4::Address::from_u32(d.u32()?);
+            let mut mac = [0u8; 6];
+            for byte in &mut mac {
+                *byte = d.u8()?;
+            }
+            old_backends.push(Backend {
+                ip,
+                mac: ethernet::Address(mac),
+            });
+        }
+        let max_cache = d.u64()? as usize;
+        let n_flows = d.u32()? as usize;
+        let mut staged = BTreeMap::new();
+        for _ in 0..n_flows {
+            let t = FiveTuple {
+                src_ip: ipv4::Address::from_u32(d.u32()?),
+                dst_ip: ipv4::Address::from_u32(d.u32()?),
+                src_port: d.u16()?,
+                dst_port: d.u16()?,
+                protocol: d.u8()?,
+            };
+            let idx = d.u32()? as usize;
+            let Some(old) = old_backends.get(idx) else {
+                return Err(SnapshotError::Invalid("LB cache index out of range"));
+            };
+            if let Some(new_idx) = self.backends.iter().position(|b| b == old) {
+                if staged.insert(t, new_idx).is_some() {
+                    return Err(SnapshotError::Invalid("duplicate LB cache flow"));
+                }
+            }
+        }
+        d.done()?;
+        self.max_cache = max_cache;
+        self.flow_cache = staged;
+        Ok(())
     }
 }
 

@@ -34,10 +34,12 @@ pub mod matchnf;
 pub mod monitor;
 pub mod nat;
 pub mod params;
+pub mod snapshot;
 pub mod tunnel;
 pub mod urlfilter;
 
 pub use params::{NfParams, ParamValue};
+pub use snapshot::{NfSnapshot, SnapshotError, StateDigest, SNAPSHOT_VERSION};
 
 use lemur_packet::PacketBuf;
 use std::fmt;
@@ -83,6 +85,27 @@ pub trait NetworkFunction: Send {
     /// Create a fresh instance with the same configuration but empty state
     /// (used when a subgroup is replicated across cores).
     fn clone_fresh(&self) -> Box<dyn NetworkFunction>;
+
+    /// Export the NF's migratable cross-packet state as a versioned,
+    /// checksummed snapshot. `None` (the default) means the kind keeps no
+    /// state worth carrying across an epoch swap.
+    fn snapshot_state(&self) -> Option<NfSnapshot> {
+        None
+    }
+
+    /// Atomically replace this instance's state with a snapshot taken from
+    /// another instance of the same kind. The snapshot is fully validated
+    /// before any field is applied: on `Err` the instance is unchanged.
+    fn restore_state(&mut self, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        Err(SnapshotError::NoState(snapshot.kind))
+    }
+
+    /// FNV-1a/128 fingerprint of the current migratable state (0 when the
+    /// NF exports none). Two instances with equal fingerprints are
+    /// observationally identical on any future packet trace.
+    fn state_fingerprint(&self) -> u128 {
+        self.snapshot_state().map(|s| s.fingerprint()).unwrap_or(0)
+    }
 }
 
 /// The 14 NF kinds of Table 3.

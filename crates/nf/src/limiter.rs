@@ -4,7 +4,8 @@
 //! bucket is global state that cannot be split across cores without
 //! breaking the rate guarantee.
 
-use crate::{NetworkFunction, NfCtx, NfKind, NfParams, Verdict};
+use crate::snapshot::{Decoder, Encoder};
+use crate::{NetworkFunction, NfCtx, NfKind, NfParams, NfSnapshot, SnapshotError, Verdict};
 use lemur_packet::PacketBuf;
 
 /// Token bucket limiter: admits packets while tokens (bytes) are available,
@@ -73,6 +74,36 @@ impl NetworkFunction for Limiter {
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
         Box::new(Limiter::new(self.rate_bps, self.burst_bytes))
+    }
+
+    fn snapshot_state(&self) -> Option<NfSnapshot> {
+        let mut e = Encoder::new();
+        e.f64(self.rate_bps);
+        e.f64(self.burst_bytes);
+        e.f64(self.tokens);
+        e.u64(self.last_refill_ns);
+        Some(NfSnapshot::new(NfKind::Limiter, e.finish()))
+    }
+
+    fn restore_state(&mut self, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_kind(NfKind::Limiter)?;
+        let mut d = Decoder::new(&snapshot.payload);
+        let rate_bps = d.f64()?;
+        let burst_bytes = d.f64()?;
+        let tokens = d.f64()?;
+        let last_refill_ns = d.u64()?;
+        if !(rate_bps > 0.0 && burst_bytes > 0.0) {
+            return Err(SnapshotError::Invalid("Limiter rate/burst not positive"));
+        }
+        if !(0.0..=burst_bytes).contains(&tokens) {
+            return Err(SnapshotError::Invalid("Limiter tokens outside bucket"));
+        }
+        d.done()?;
+        self.rate_bps = rate_bps;
+        self.burst_bytes = burst_bytes;
+        self.tokens = tokens;
+        self.last_refill_ns = last_refill_ns;
+        Ok(())
     }
 }
 

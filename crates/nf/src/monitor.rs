@@ -1,9 +1,10 @@
 //! Monitor NF: per-flow statistics (Table 3).
 
-use crate::{NetworkFunction, NfCtx, NfKind, Verdict};
+use crate::snapshot::{Decoder, Encoder};
+use crate::{NetworkFunction, NfCtx, NfKind, NfSnapshot, SnapshotError, Verdict};
 use lemur_packet::flow::FiveTuple;
-use lemur_packet::PacketBuf;
-use std::collections::HashMap;
+use lemur_packet::{ipv4, PacketBuf};
+use std::collections::BTreeMap;
 
 /// Statistics kept per flow.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -17,7 +18,8 @@ pub struct FlowStats {
 /// Per-flow statistics collector. Unclassifiable packets are counted in an
 /// "other" bucket and forwarded — monitoring must never drop traffic.
 pub struct Monitor {
-    flows: HashMap<FiveTuple, FlowStats>,
+    /// Flow → stats, in key order so snapshots are canonical.
+    flows: BTreeMap<FiveTuple, FlowStats>,
     other_packets: u64,
     other_bytes: u64,
 }
@@ -26,7 +28,7 @@ impl Monitor {
     /// An empty monitor.
     pub fn new() -> Monitor {
         Monitor {
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             other_packets: 0,
             other_bytes: 0,
         }
@@ -99,6 +101,60 @@ impl NetworkFunction for Monitor {
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
         Box::new(Monitor::new())
+    }
+
+    fn snapshot_state(&self) -> Option<NfSnapshot> {
+        let mut e = Encoder::new();
+        e.u64(self.other_packets);
+        e.u64(self.other_bytes);
+        e.u32(self.flows.len() as u32);
+        for (t, s) in &self.flows {
+            e.u32(t.src_ip.to_u32());
+            e.u32(t.dst_ip.to_u32());
+            e.u16(t.src_port);
+            e.u16(t.dst_port);
+            e.u8(t.protocol);
+            e.u64(s.packets);
+            e.u64(s.bytes);
+            e.u64(s.first_seen_ns);
+            e.u64(s.last_seen_ns);
+        }
+        Some(NfSnapshot::new(NfKind::Monitor, e.finish()))
+    }
+
+    fn restore_state(&mut self, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_kind(NfKind::Monitor)?;
+        let mut d = Decoder::new(&snapshot.payload);
+        let other_packets = d.u64()?;
+        let other_bytes = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut staged = BTreeMap::new();
+        for _ in 0..n {
+            let t = FiveTuple {
+                src_ip: ipv4::Address::from_u32(d.u32()?),
+                dst_ip: ipv4::Address::from_u32(d.u32()?),
+                src_port: d.u16()?,
+                dst_port: d.u16()?,
+                protocol: d.u8()?,
+            };
+            let s = FlowStats {
+                packets: d.u64()?,
+                bytes: d.u64()?,
+                first_seen_ns: d.u64()?,
+                last_seen_ns: d.u64()?,
+            };
+            if s.last_seen_ns < s.first_seen_ns {
+                return Err(SnapshotError::Invalid("Monitor flow seen before it began"));
+            }
+            if staged.insert(t, s).is_some() {
+                return Err(SnapshotError::Invalid("duplicate Monitor flow"));
+            }
+        }
+        d.done()?;
+        self.other_packets = other_packets;
+        self.other_bytes = other_bytes;
+        self.flows = staged;
+        Ok(())
     }
 }
 

@@ -7,11 +7,14 @@
 //! meta-compiler does not generate that replication yet (§3.2) — neither do
 //! we.
 
-use crate::{NetworkFunction, NfCtx, NfKind, NfParams, ParamValue, Verdict};
+use crate::snapshot::{Decoder, Encoder};
+use crate::{
+    NetworkFunction, NfCtx, NfKind, NfParams, NfSnapshot, ParamValue, SnapshotError, Verdict,
+};
 use lemur_packet::ethernet::{self, EtherType};
 use lemur_packet::ipv4::{self, Protocol};
 use lemur_packet::{tcp, udp, vlan, PacketBuf};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Internal endpoint key.
 type Endpoint = (ipv4::Address, u16);
@@ -27,10 +30,11 @@ pub struct Nat {
     external_ip: ipv4::Address,
     port_base: u16,
     port_count: u16,
-    /// internal endpoint → binding
-    forward: HashMap<Endpoint, Binding>,
+    /// internal endpoint → binding, in key order so snapshots are canonical
+    /// and idle-eviction ties break deterministically.
+    forward: BTreeMap<Endpoint, Binding>,
     /// external port → internal endpoint
-    reverse: HashMap<u16, Endpoint>,
+    reverse: BTreeMap<u16, Endpoint>,
     next_port_hint: u16,
     /// Bindings idle longer than this are reclaimed when the pool is full.
     idle_timeout_ns: u64,
@@ -48,8 +52,8 @@ impl Nat {
             external_ip,
             port_base,
             port_count,
-            forward: HashMap::new(),
-            reverse: HashMap::new(),
+            forward: BTreeMap::new(),
+            reverse: BTreeMap::new(),
             next_port_hint: 0,
             idle_timeout_ns: 60_000_000_000, // 60 s
             translated: 0,
@@ -112,7 +116,59 @@ impl Nat {
             None
         }
     }
+
+    fn encode_state(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u32(self.external_ip.to_u32());
+        e.u16(self.port_base);
+        e.u16(self.port_count);
+        e.u16(self.next_port_hint);
+        e.u64(self.idle_timeout_ns);
+        e.u64(self.translated);
+        e.u64(self.dropped_no_ports);
+        e.u32(self.forward.len() as u32);
+        for ((ip, port), b) in &self.forward {
+            e.u32(ip.to_u32());
+            e.u16(*port);
+            e.u16(b.external_port);
+            e.u64(b.last_used_ns);
+        }
+        e.finish()
+    }
+
+    /// Decode a NAT snapshot's binding table without building a `Nat`:
+    /// `(external_ip, bindings)` in canonical key order. This is the
+    /// hand-off point for cross-platform migration — the dataplane turns
+    /// these rows into P4 table entries when a NAT node moves from a
+    /// server onto the ToR.
+    pub fn decode_bindings(
+        snapshot: &NfSnapshot,
+    ) -> Result<(ipv4::Address, Vec<NatBinding>), SnapshotError> {
+        snapshot.expect_kind(NfKind::Nat)?;
+        let mut d = Decoder::new(&snapshot.payload);
+        let external_ip = ipv4::Address::from_u32(d.u32()?);
+        let _port_base = d.u16()?;
+        let _port_count = d.u16()?;
+        let _hint = d.u16()?;
+        let _idle = d.u64()?;
+        let _translated = d.u64()?;
+        let _dropped = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut bindings = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ip = ipv4::Address::from_u32(d.u32()?);
+            let int_port = d.u16()?;
+            let ext_port = d.u16()?;
+            let _last_used = d.u64()?;
+            bindings.push((ip, int_port, ext_port));
+        }
+        d.done()?;
+        Ok((external_ip, bindings))
+    }
 }
+
+/// One decoded NAT binding: `(internal_ip, internal_port, external_port)`.
+pub type NatBinding = (ipv4::Address, u16, u16);
 
 /// Where the L3/L4 headers sit, shared with other rewriting NFs.
 fn l3_offset(frame: &[u8]) -> Option<usize> {
@@ -216,6 +272,68 @@ impl NetworkFunction for Nat {
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {
         Box::new(Nat::new(self.external_ip, self.port_base, self.port_count))
+    }
+
+    fn snapshot_state(&self) -> Option<NfSnapshot> {
+        Some(NfSnapshot::new(NfKind::Nat, self.encode_state()))
+    }
+
+    fn restore_state(&mut self, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_kind(NfKind::Nat)?;
+        let mut d = Decoder::new(&snapshot.payload);
+        let external_ip = ipv4::Address::from_u32(d.u32()?);
+        let port_base = d.u16()?;
+        let port_count = d.u16()?;
+        if port_count == 0 {
+            return Err(SnapshotError::Invalid("NAT port pool is empty"));
+        }
+        let next_port_hint = d.u16()?;
+        if next_port_hint >= port_count {
+            return Err(SnapshotError::Invalid("NAT port hint outside pool"));
+        }
+        let idle_timeout_ns = d.u64()?;
+        let translated = d.u64()?;
+        let dropped_no_ports = d.u64()?;
+        let n = d.u32()? as usize;
+        if n > port_count as usize {
+            return Err(SnapshotError::Invalid("NAT has more bindings than ports"));
+        }
+        // Stage into fresh maps; commit only after the whole payload
+        // validates so a corrupt snapshot can never be half-applied.
+        let mut forward = BTreeMap::new();
+        let mut reverse = BTreeMap::new();
+        for _ in 0..n {
+            let ip = ipv4::Address::from_u32(d.u32()?);
+            let int_port = d.u16()?;
+            let ext_port = d.u16()?;
+            let last_used_ns = d.u64()?;
+            let in_pool =
+                ext_port >= port_base && (ext_port as u32) < port_base as u32 + port_count as u32;
+            if !in_pool {
+                return Err(SnapshotError::Invalid("NAT binding outside port pool"));
+            }
+            if reverse.insert(ext_port, (ip, int_port)).is_some() {
+                return Err(SnapshotError::Invalid("duplicate NAT external port"));
+            }
+            let binding = Binding {
+                external_port: ext_port,
+                last_used_ns,
+            };
+            if forward.insert((ip, int_port), binding).is_some() {
+                return Err(SnapshotError::Invalid("duplicate NAT internal endpoint"));
+            }
+        }
+        d.done()?;
+        self.external_ip = external_ip;
+        self.port_base = port_base;
+        self.port_count = port_count;
+        self.next_port_hint = next_port_hint;
+        self.idle_timeout_ns = idle_timeout_ns;
+        self.translated = translated;
+        self.dropped_no_ports = dropped_no_ports;
+        self.forward = forward;
+        self.reverse = reverse;
+        Ok(())
     }
 }
 
