@@ -6,8 +6,15 @@
 //! subgroup outages are paired with recoveries, and permanent damage is
 //! bounded so at least one server stays intact. The same
 //! [`ChaosConfig`] always yields byte-identical plans.
+//!
+//! Fleet soaks add a second layer: [`fleet_storm`] generates seeded
+//! *control-plane* weather — channel blackouts, asymmetric partitions,
+//! brownouts, and coordinator crashes — that the multi-PoP coordinator
+//! must ride out on top of whatever per-PoP dataplane chaos is in play.
 
-use lemur_dataplane::{FaultEvent, FaultKind, FaultPlan, MigrationFaultKind};
+use lemur_dataplane::{
+    ChannelFault, ChannelFaultKind, FaultEvent, FaultKind, FaultPlan, MigrationFaultKind,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -239,6 +246,210 @@ pub fn chaos_plan(cfg: &ChaosConfig) -> FaultPlan {
     FaultPlan::new(events)
 }
 
+/// Shape of a generated fleet-level storm: control-channel weather against
+/// individual PoPs plus coordinator crash/replay events, layered on top of
+/// each PoP's local [`chaos_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetChaosConfig {
+    /// Seed; same seed → identical storm.
+    pub seed: u64,
+    /// PoPs in the fleet (channel faults target `0..n_pops`).
+    pub n_pops: usize,
+    /// Earliest fault window start.
+    pub start_ns: u64,
+    /// Latest fault window end — leave a tail before the horizon so the
+    /// coordinator can re-converge after the last fault clears.
+    pub end_ns: u64,
+    /// Minimum channel-fault windows to emit (the guaranteed blackout
+    /// counts toward this).
+    pub n_channel_faults: usize,
+    /// Duration of the guaranteed full blackout. Size it past the
+    /// coordinator's drain deadline so the victim PoP is provably
+    /// `Drained` and its chains fail over cross-site; the other generated
+    /// outages stay shorter so those PoPs only visit `Suspect`/
+    /// `Unreachable` and recover in place.
+    pub blackout_ns: u64,
+    /// Which PoP suffers the guaranteed blackout (`None` = seeded pick).
+    pub blackout_pop: Option<usize>,
+    /// Coordinator crash + WAL-replay events to schedule.
+    pub n_coordinator_crashes: usize,
+}
+
+impl FleetChaosConfig {
+    /// A storm sized for the fleet soak's default geometry.
+    pub fn soak(seed: u64, n_pops: usize) -> FleetChaosConfig {
+        FleetChaosConfig {
+            seed,
+            n_pops,
+            start_ns: 2_000_000,
+            end_ns: 9_000_000,
+            n_channel_faults: 8,
+            blackout_ns: 3_000_000,
+            blackout_pop: None,
+            n_coordinator_crashes: 1,
+        }
+    }
+}
+
+/// One fleet-storm event, in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetStormEvent {
+    /// A control-channel weather window against one PoP.
+    Channel(ChannelFault),
+    /// The coordinator crashes; it restarts by replaying its decision log
+    /// (grants, revokes, health rungs) from the durable image.
+    CoordinatorCrash { at_ns: u64 },
+}
+
+impl FleetStormEvent {
+    /// When the event begins.
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            FleetStormEvent::Channel(f) => f.from_ns,
+            FleetStormEvent::CoordinatorCrash { at_ns } => *at_ns,
+        }
+    }
+}
+
+/// A seeded fleet storm, events sorted by start time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStorm {
+    events: Vec<FleetStormEvent>,
+}
+
+impl FleetStorm {
+    pub fn events(&self) -> &[FleetStormEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Just the channel-weather windows, for feeding a lossy channel.
+    pub fn channel_faults(&self) -> Vec<ChannelFault> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FleetStormEvent::Channel(f) => Some(f.clone()),
+                FleetStormEvent::CoordinatorCrash { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Just the coordinator crash times, ascending.
+    pub fn coordinator_crashes(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FleetStormEvent::CoordinatorCrash { at_ns } => Some(*at_ns),
+                FleetStormEvent::Channel(_) => None,
+            })
+            .collect()
+    }
+
+    /// The PoP under the longest full blackout (the guaranteed drain
+    /// victim), if any blackout was generated.
+    pub fn blackout_victim(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FleetStormEvent::Channel(f) if f.kind == ChannelFaultKind::Blackout => {
+                    Some((f.to_ns - f.from_ns, f.site))
+                }
+                _ => None,
+            })
+            .max()
+            .map(|(_, site)| site)
+    }
+}
+
+/// Generate a seeded fleet storm. Panics if the window cannot hold the
+/// guaranteed blackout or the fleet is too small to fail over.
+pub fn fleet_storm(cfg: &FleetChaosConfig) -> FleetStorm {
+    assert!(cfg.n_pops >= 2, "failover needs at least two PoPs");
+    assert!(
+        cfg.end_ns > cfg.start_ns + 2 * cfg.blackout_ns,
+        "storm window too short for the guaranteed blackout"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf1ee_7057);
+    let span = cfg.end_ns - cfg.start_ns;
+    let mut events: Vec<FleetStormEvent> = Vec::new();
+
+    // The guaranteed drain-length blackout, early enough that the fleet's
+    // recovery (failover + re-join) is also exercised inside the window.
+    let victim = cfg
+        .blackout_pop
+        .unwrap_or_else(|| rng.gen_range(0..cfg.n_pops));
+    let latest_start = cfg.end_ns - cfg.blackout_ns;
+    let from_ns = cfg.start_ns + rng.gen_range(0..(latest_start - cfg.start_ns) / 2 + 1);
+    events.push(FleetStormEvent::Channel(ChannelFault {
+        site: victim,
+        kind: ChannelFaultKind::Blackout,
+        from_ns,
+        to_ns: from_ns + cfg.blackout_ns,
+    }));
+
+    // Short outages elsewhere: brownouts, asymmetric partitions, and
+    // sub-drain blackouts that visit Suspect/Unreachable and come back.
+    while events.len() < cfg.n_channel_faults {
+        let site = rng.gen_range(0..cfg.n_pops);
+        let from_ns = cfg.start_ns + rng.gen_range(0..span);
+        let (kind, dur) = match rng.gen_range(0..4u32) {
+            0 => (
+                ChannelFaultKind::Brownout {
+                    drop_permille: rng.gen_range(100..600),
+                },
+                rng.gen_range(1_000_000..4_000_000u64),
+            ),
+            1 => (
+                ChannelFaultKind::PartitionTo,
+                rng.gen_range(500_000..2_000_000u64),
+            ),
+            2 => (
+                ChannelFaultKind::PartitionFrom,
+                rng.gen_range(500_000..2_000_000u64),
+            ),
+            _ => (
+                ChannelFaultKind::Blackout,
+                rng.gen_range(300_000..1_200_000u64),
+            ),
+        };
+        let to_ns = from_ns + dur;
+        if to_ns >= cfg.end_ns {
+            continue;
+        }
+        // Keep extra weather off the drain victim: its fate is already
+        // sealed, and piling on would only mask the recovery phase.
+        if site == victim {
+            continue;
+        }
+        events.push(FleetStormEvent::Channel(ChannelFault {
+            site,
+            kind,
+            from_ns,
+            to_ns,
+        }));
+    }
+
+    // Coordinator crashes, spread through the window with jitter so some
+    // land mid-blackout (replay while a PoP is dark) and some in calm air.
+    for i in 0..cfg.n_coordinator_crashes {
+        let slot = span * (i as u64 + 1) / (cfg.n_coordinator_crashes as u64 + 1);
+        let jitter = rng.gen_range(0..span / 8 + 1);
+        events.push(FleetStormEvent::CoordinatorCrash {
+            at_ns: (cfg.start_ns + slot + jitter).min(cfg.end_ns - 1),
+        });
+    }
+
+    events.sort_by_key(|e| e.at_ns());
+    FleetStorm { events }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +550,75 @@ mod tests {
             for (s, n) in core_fails {
                 assert!(n <= 2, "seed {seed}: server {s} lost {n} cores");
             }
+        }
+    }
+
+    #[test]
+    fn fleet_storm_is_deterministic_per_seed() {
+        let cfg = FleetChaosConfig::soak(5, 3);
+        assert_eq!(fleet_storm(&cfg), fleet_storm(&cfg));
+        assert_ne!(
+            fleet_storm(&cfg),
+            fleet_storm(&FleetChaosConfig::soak(6, 3))
+        );
+    }
+
+    #[test]
+    fn fleet_storm_guarantees_a_drain_length_blackout() {
+        for seed in 0..20 {
+            let cfg = FleetChaosConfig::soak(seed, 3);
+            let storm = fleet_storm(&cfg);
+            let victim = storm.blackout_victim().expect("a blackout must exist");
+            let full = storm.channel_faults().into_iter().any(|f| {
+                f.site == victim
+                    && f.kind == ChannelFaultKind::Blackout
+                    && f.to_ns - f.from_ns >= cfg.blackout_ns
+            });
+            assert!(full, "seed {seed}: no drain-length blackout");
+        }
+    }
+
+    #[test]
+    fn fleet_storm_stays_inside_bounds_and_budget() {
+        for seed in 0..20 {
+            let cfg = FleetChaosConfig::soak(seed, 4);
+            let storm = fleet_storm(&cfg);
+            assert!(storm.len() >= cfg.n_channel_faults + cfg.n_coordinator_crashes);
+            assert_eq!(
+                storm.coordinator_crashes().len(),
+                cfg.n_coordinator_crashes,
+                "seed {seed}"
+            );
+            for f in storm.channel_faults() {
+                assert!(f.site < cfg.n_pops, "seed {seed}: site out of range");
+                assert!(
+                    f.from_ns >= cfg.start_ns && f.to_ns <= cfg.end_ns,
+                    "seed {seed}"
+                );
+                assert!(f.from_ns < f.to_ns, "seed {seed}: empty window");
+            }
+            for at in storm.coordinator_crashes() {
+                assert!(at >= cfg.start_ns && at < cfg.end_ns, "seed {seed}");
+            }
+            let sorted = storm
+                .events()
+                .windows(2)
+                .all(|w| w[0].at_ns() <= w[1].at_ns());
+            assert!(sorted, "seed {seed}: events not time-ordered");
+        }
+    }
+
+    #[test]
+    fn fleet_storm_spares_the_victim_from_extra_weather() {
+        for seed in 0..10 {
+            let storm = fleet_storm(&FleetChaosConfig::soak(seed, 3));
+            let victim = storm.blackout_victim().expect("a blackout must exist");
+            let on_victim = storm
+                .channel_faults()
+                .into_iter()
+                .filter(|f| f.site == victim)
+                .count();
+            assert_eq!(on_victim, 1, "seed {seed}: victim hit more than once");
         }
     }
 }

@@ -752,10 +752,10 @@ mod tests {
         (p, specs)
     }
 
-    fn deployed(p: &PlacementProblem) -> (EvaluatedPlacement, Deployment) {
-        let placement = place(p, &AlwaysFits).unwrap();
-        let deployment = compile(p, &placement).unwrap();
-        (placement, deployment)
+    fn deployed(p: &PlacementProblem) -> Result<(EvaluatedPlacement, Deployment), String> {
+        let placement = place(p, &AlwaysFits).map_err(|e| format!("place: {e:?}"))?;
+        let deployment = compile(p, &placement).map_err(|e| format!("compile: {e:?}"))?;
+        Ok((placement, deployment))
     }
 
     fn violation(at_ns: u64) -> TimelineEvent {
@@ -780,9 +780,9 @@ mod tests {
     }
 
     #[test]
-    fn hysteresis_delays_action() {
+    fn hysteresis_delays_action() -> Result<(), String> {
         let (p, _) = problem(3, 0.4);
-        let (placement, deployment) = deployed(&p);
+        let (placement, deployment) = deployed(&p)?;
         let cfg = SupervisorConfig {
             hysteresis_k: 3,
             ..Default::default()
@@ -818,12 +818,13 @@ mod tests {
             ControlAction::StageCommit { staged, .. } => assert!(!staged.is_rollback()),
             ControlAction::Continue => unreachable!(),
         }
+        Ok(())
     }
 
     #[test]
-    fn commit_probation_promotion_flow() {
+    fn commit_probation_promotion_flow() -> Result<(), String> {
         let (p, _) = problem(3, 0.4);
-        let (placement, deployment) = deployed(&p);
+        let (placement, deployment) = deployed(&p)?;
         let mut sup = Supervisor::new(
             &p,
             &placement,
@@ -860,12 +861,13 @@ mod tests {
             .any(|e| matches!(e, SupervisorEvent::Promoted { .. })));
         // The promoted placement is now last-known-good.
         assert_eq!(sup.lkg_assignment, sup.current_assignment);
+        Ok(())
     }
 
     #[test]
-    fn probation_violation_stages_rollback() {
+    fn probation_violation_stages_rollback() -> Result<(), String> {
         let (p, _) = problem(3, 0.4);
-        let (placement, deployment) = deployed(&p);
+        let (placement, deployment) = deployed(&p)?;
         let mut sup = Supervisor::new(
             &p,
             &placement,
@@ -901,12 +903,13 @@ mod tests {
         assert_eq!(sup.state(), SupervisorState::Monitoring);
         // All chains re-admitted by the rollback.
         assert!(sup.admitted().iter().all(|&a| a));
+        Ok(())
     }
 
     #[test]
-    fn unfixable_violation_backs_off_then_degrades() {
+    fn unfixable_violation_backs_off_then_degrades() -> Result<(), String> {
         let (p, _) = problem(3, 0.4);
-        let (placement, deployment) = deployed(&p);
+        let (placement, deployment) = deployed(&p)?;
         let cfg = SupervisorConfig {
             max_attempts: 2,
             ..Default::default()
@@ -938,12 +941,13 @@ mod tests {
             ControlAction::Continue
         ));
         assert_eq!(sup.state(), SupervisorState::GracefulDegraded);
+        Ok(())
     }
 
     #[test]
-    fn backoff_schedule_is_deterministic() {
+    fn backoff_schedule_is_deterministic() -> Result<(), String> {
         let (p, _) = problem(3, 0.4);
-        let (placement, deployment) = deployed(&p);
+        let (placement, deployment) = deployed(&p)?;
         let mk = || {
             Supervisor::new(
                 &p,
@@ -977,12 +981,13 @@ mod tests {
         violated_window(&mut c, 1);
         violated_window(&mut c, 2);
         assert_ne!(a.state(), c.state());
+        Ok(())
     }
 
     #[test]
-    fn flap_damping_holds_the_mask() {
+    fn flap_damping_holds_the_mask() -> Result<(), String> {
         let (p, _) = problem(3, 0.4);
-        let (placement, deployment) = deployed(&p);
+        let (placement, deployment) = deployed(&p)?;
         let cfg = SupervisorConfig {
             hold_down_ns: 5 * WIN,
             ..Default::default()
@@ -1013,14 +1018,15 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, SupervisorEvent::LinkTrusted { server: 1, .. })));
+        Ok(())
     }
 
     /// End-to-end: a link failure inside the simulation drives the full
     /// detect → repair → drain → commit → probation → promote loop.
     #[test]
-    fn supervised_run_commits_and_settles() {
+    fn supervised_run_commits_and_settles() -> Result<(), String> {
         let (p, mut specs) = problem(3, 0.3);
-        let (placement, deployment) = deployed(&p);
+        let (placement, deployment) = deployed(&p)?;
         let slos: Vec<Option<Slo>> = p.chains.iter().map(|c| c.slo).collect();
         for (i, s) in specs.iter_mut().enumerate() {
             s.offered_bps = (placement.chain_rates_bps[i] * 1.1).max(1e8);
@@ -1045,7 +1051,8 @@ mod tests {
             window_ns: WIN,
             ..Default::default()
         };
-        let mut testbed = Testbed::build(&p, &placement, deployment).unwrap();
+        let mut testbed =
+            Testbed::build(&p, &placement, deployment).map_err(|e| format!("build: {e:?}"))?;
         let report = testbed.run_supervised(&specs, config, &plan, &slos, &mut sup);
 
         assert!(report.commits() >= 1, "the repair must reach the dataplane");
@@ -1061,5 +1068,6 @@ mod tests {
             sup.events()
         );
         assert!(report.update_time_loss() > 0 || report.ledger.drops_reconfig == 0);
+        Ok(())
     }
 }

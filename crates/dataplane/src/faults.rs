@@ -505,6 +505,104 @@ impl FaultPlan {
     }
 }
 
+/// What a fleet-level fault does to the coordinator↔PoP control channel.
+/// These are *windowed* conditions (active between `from_ns` and `to_ns`
+/// of a [`ChannelFault`]), unlike the point events of [`FaultKind`] —
+/// control-plane failures are outages, not edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelFaultKind {
+    /// Total blackout: every message to *and* from the site is dropped
+    /// (the whole-PoP failure a fleet must survive).
+    Blackout,
+    /// Asymmetric partition: messages *to* the site are dropped, but the
+    /// site's own messages still get out — the coordinator hears a PoP it
+    /// cannot command.
+    PartitionTo,
+    /// Asymmetric partition the other way: the site hears everything but
+    /// its replies are lost — the coordinator sees silence from a PoP that
+    /// is obeying stale orders.
+    PartitionFrom,
+    /// Brownout: both directions limp along with an extra `drop_permille`
+    /// ‰ loss on top of the channel's baseline.
+    Brownout { drop_permille: u16 },
+}
+
+impl ChannelFaultKind {
+    /// Short human-readable tag used in reports and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ChannelFaultKind::Blackout => "blackout",
+            ChannelFaultKind::PartitionTo => "partition_to",
+            ChannelFaultKind::PartitionFrom => "partition_from",
+            ChannelFaultKind::Brownout { .. } => "brownout",
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelFaultKind::Brownout { drop_permille } => {
+                write!(f, "brownout({drop_permille}‰)")
+            }
+            other => f.write_str(other.tag()),
+        }
+    }
+}
+
+/// One windowed control-channel fault against a site (PoP). The window is
+/// half-open: active for `from_ns <= now < to_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelFault {
+    pub site: usize,
+    pub kind: ChannelFaultKind,
+    pub from_ns: u64,
+    pub to_ns: u64,
+}
+
+impl ChannelFault {
+    /// Is this fault active at `now` for traffic involving `site`?
+    pub fn active(&self, now_ns: u64, site: usize) -> bool {
+        self.site == site && self.from_ns <= now_ns && now_ns < self.to_ns
+    }
+}
+
+impl Serialize for ChannelFault {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("site".to_string(), self.site.to_value()),
+            ("kind".to_string(), Value::Str(self.kind.tag().to_string())),
+            ("from_ns".to_string(), self.from_ns.to_value()),
+            ("to_ns".to_string(), self.to_ns.to_value()),
+        ];
+        if let ChannelFaultKind::Brownout { drop_permille } = self.kind {
+            entries.push(("drop_permille".to_string(), drop_permille.to_value()));
+        }
+        Value::object(entries)
+    }
+}
+
+impl Deserialize for ChannelFault {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let tag: String = field(v, "kind")?;
+        let kind = match tag.as_str() {
+            "blackout" => ChannelFaultKind::Blackout,
+            "partition_to" => ChannelFaultKind::PartitionTo,
+            "partition_from" => ChannelFaultKind::PartitionFrom,
+            "brownout" => ChannelFaultKind::Brownout {
+                drop_permille: field(v, "drop_permille")?,
+            },
+            other => return Err(DeError(format!("unknown channel fault `{other}`"))),
+        };
+        Ok(ChannelFault {
+            site: field(v, "site")?,
+            kind,
+            from_ns: field(v, "from_ns")?,
+            to_ns: field(v, "to_ns")?,
+        })
+    }
+}
+
 /// Live fault state the engine consults on the per-packet fast path.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultState {

@@ -29,8 +29,11 @@ pub mod traffic;
 pub use engine::{
     BuildError, ControlAction, ControlHook, NoopHook, SimConfig, StagedConfig, Testbed,
 };
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, MigrationFaultKind};
-pub use migrate::{MigrationError, MigrationStats, StateRecord, StateTransfer};
+pub use faults::{
+    ChannelFault, ChannelFaultKind, FaultEvent, FaultKind, FaultPlan, FaultPlanError,
+    MigrationFaultKind,
+};
+pub use migrate::{CrossSiteTransfer, MigrationError, MigrationStats, StateRecord, StateTransfer};
 pub use report::{
     ChainStats, ConservationLedger, DropReason, SimReport, TimelineEvent, ViolationKind,
     WindowSample,

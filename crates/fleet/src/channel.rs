@@ -1,0 +1,336 @@
+//! A seeded lossy control channel between the coordinator and its PoPs.
+//!
+//! Every message faces four hazards, all drawn from one seeded generator
+//! so a run replays bit-identically: baseline drop, duplication, a
+//! uniformly-sampled delivery delay (which reorders messages naturally),
+//! and scheduled [`ChannelFault`] windows — blackouts, asymmetric
+//! partitions, and brownouts — applied at send time.
+//!
+//! The channel keeps an exact conservation ledger: every copy handed to
+//! `send` is eventually counted as delivered, dropped, or still in
+//! flight. [`ChannelStats::conserved`] is one of the fleet soak's hard
+//! invariants.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use lemur_dataplane::{ChannelFault, ChannelFaultKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::msg::{Endpoint, Envelope};
+
+/// Loss/latency model for the control channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    pub seed: u64,
+    /// Baseline per-message drop probability, in permille.
+    pub drop_permille: u16,
+    /// Probability a surviving message is delivered twice, in permille.
+    pub dup_permille: u16,
+    /// Delivery delay bounds (uniform). `delay_max_ns` also bounds how
+    /// long a pre-partition message can linger before arriving, which the
+    /// coordinator's drain-safety rule depends on.
+    pub delay_min_ns: u64,
+    pub delay_max_ns: u64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            seed: 0,
+            drop_permille: 20,
+            dup_permille: 15,
+            delay_min_ns: 10_000,
+            delay_max_ns: 80_000,
+        }
+    }
+}
+
+/// Exact copy accounting. `sent` counts messages handed to the channel;
+/// `duplicated` counts extra copies the channel minted; `delivered` and
+/// `dropped` count copies leaving the channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    pub sent: u64,
+    pub duplicated: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+}
+
+impl ChannelStats {
+    /// Every copy is accounted for: in = out + still queued.
+    pub fn conserved(&self, in_flight: usize) -> bool {
+        self.sent + self.duplicated == self.delivered + self.dropped + in_flight as u64
+    }
+}
+
+/// A queued copy, ordered by delivery time then send sequence so a
+/// same-instant tie breaks deterministically.
+#[derive(Debug)]
+struct InFlight {
+    deliver_at_ns: u64,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at_ns, self.seq) == (other.deliver_at_ns, other.seq)
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest copy surfaces.
+        (other.deliver_at_ns, other.seq).cmp(&(self.deliver_at_ns, self.seq))
+    }
+}
+
+/// The lossy channel itself.
+pub struct LossyChannel {
+    cfg: ChannelConfig,
+    rng: StdRng,
+    faults: Vec<ChannelFault>,
+    queue: BinaryHeap<InFlight>,
+    seq: u64,
+    stats: ChannelStats,
+}
+
+impl LossyChannel {
+    pub fn new(cfg: ChannelConfig, faults: Vec<ChannelFault>) -> LossyChannel {
+        LossyChannel {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xc4a7_7e1d),
+            cfg,
+            faults,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The PoP site a message involves, if any (coordinator↔coordinator
+    /// traffic does not exist in this protocol).
+    fn pop_site(env: &Envelope) -> Option<usize> {
+        match (env.from, env.to) {
+            (Endpoint::Pop(s), _) | (_, Endpoint::Pop(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Does an active fault window kill this message at send time?
+    fn faulted(&mut self, now_ns: u64, env: &Envelope) -> bool {
+        let Some(site) = Self::pop_site(env) else {
+            return false;
+        };
+        for i in 0..self.faults.len() {
+            let f = self.faults[i].clone();
+            if !f.active(now_ns, site) {
+                continue;
+            }
+            let hit = match f.kind {
+                ChannelFaultKind::Blackout => true,
+                ChannelFaultKind::PartitionTo => env.to == Endpoint::Pop(site),
+                ChannelFaultKind::PartitionFrom => env.from == Endpoint::Pop(site),
+                ChannelFaultKind::Brownout { drop_permille } => {
+                    u64::from(self.rng.gen_range(0u16..1000)) < u64::from(drop_permille)
+                }
+            };
+            if hit {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn schedule(&mut self, now_ns: u64, env: Envelope) {
+        let delay = self
+            .rng
+            .gen_range(self.cfg.delay_min_ns..=self.cfg.delay_max_ns);
+        self.queue.push(InFlight {
+            deliver_at_ns: now_ns + delay,
+            seq: self.seq,
+            env,
+        });
+        self.seq += 1;
+    }
+
+    /// Hand one message to the channel. Fault windows and the baseline
+    /// loss model decide its fate immediately; surviving copies are
+    /// queued with independent delays (so a duplicate can overtake the
+    /// original, and later sends can overtake earlier ones).
+    pub fn send(&mut self, now_ns: u64, env: Envelope) {
+        self.stats.sent += 1;
+        if self.faulted(now_ns, &env) || self.rng.gen_range(0u16..1000) < self.cfg.drop_permille {
+            self.stats.dropped += 1;
+            return;
+        }
+        let dup = self.rng.gen_range(0u16..1000) < self.cfg.dup_permille;
+        if dup {
+            self.stats.duplicated += 1;
+            self.schedule(now_ns, env.clone());
+        }
+        self.schedule(now_ns, env);
+    }
+
+    /// Drain every copy due at or before `now_ns`, in delivery order.
+    pub fn poll(&mut self, now_ns: u64) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while let Some(head) = self.queue.peek() {
+            if head.deliver_at_ns > now_ns {
+                break;
+            }
+            let copy = self.queue.pop().expect("peeked head exists");
+            self.stats.delivered += 1;
+            out.push(copy.env);
+        }
+        out
+    }
+
+    /// Copies queued but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::CtrlMsg;
+
+    fn hb(from: Endpoint, to: Endpoint, req_id: u64) -> Envelope {
+        Envelope {
+            req_id,
+            from,
+            to,
+            sent_ns: 0,
+            msg: CtrlMsg::Heartbeat { lease_ns: 1 },
+        }
+    }
+
+    fn drain_all(ch: &mut LossyChannel) -> Vec<Envelope> {
+        ch.poll(u64::MAX)
+    }
+
+    #[test]
+    fn conservation_holds_at_every_step() {
+        let cfg = ChannelConfig {
+            seed: 9,
+            drop_permille: 100,
+            dup_permille: 200,
+            ..ChannelConfig::default()
+        };
+        let mut ch = LossyChannel::new(cfg, Vec::new());
+        for i in 0..500 {
+            let site = (i % 4) as usize;
+            ch.send(i * 1_000, hb(Endpoint::Coordinator, Endpoint::Pop(site), i));
+            assert!(ch.stats().conserved(ch.in_flight()), "after send {i}");
+            if i % 7 == 0 {
+                ch.poll(i * 1_000);
+                assert!(ch.stats().conserved(ch.in_flight()), "after poll {i}");
+            }
+        }
+        drain_all(&mut ch);
+        assert!(ch.stats().conserved(ch.in_flight()));
+        assert_eq!(ch.in_flight(), 0);
+        let s = ch.stats();
+        assert!(s.dropped > 0, "loss model must fire at 10%");
+        assert!(s.duplicated > 0, "dup model must fire at 20%");
+        assert_eq!(s.sent + s.duplicated, s.delivered + s.dropped);
+    }
+
+    #[test]
+    fn same_seed_same_fate_for_every_copy() {
+        let cfg = ChannelConfig {
+            seed: 4,
+            ..ChannelConfig::default()
+        };
+        let run = |cfg: ChannelConfig| {
+            let mut ch = LossyChannel::new(cfg, Vec::new());
+            for i in 0..200 {
+                ch.send(i * 500, hb(Endpoint::Coordinator, Endpoint::Pop(0), i));
+            }
+            let got: Vec<u64> = drain_all(&mut ch).iter().map(|e| e.req_id).collect();
+            (got, ch.stats())
+        };
+        assert_eq!(run(cfg), run(cfg));
+        let other = run(ChannelConfig { seed: 5, ..cfg });
+        assert_ne!(run(cfg), other, "different seeds should diverge");
+    }
+
+    #[test]
+    fn blackout_kills_both_directions_partitions_only_one() {
+        let faults = vec![
+            ChannelFault {
+                site: 0,
+                kind: ChannelFaultKind::Blackout,
+                from_ns: 0,
+                to_ns: 1_000,
+            },
+            ChannelFault {
+                site: 1,
+                kind: ChannelFaultKind::PartitionTo,
+                from_ns: 0,
+                to_ns: 1_000,
+            },
+            ChannelFault {
+                site: 2,
+                kind: ChannelFaultKind::PartitionFrom,
+                from_ns: 0,
+                to_ns: 1_000,
+            },
+        ];
+        let cfg = ChannelConfig {
+            seed: 1,
+            drop_permille: 0,
+            dup_permille: 0,
+            ..ChannelConfig::default()
+        };
+        let mut ch = LossyChannel::new(cfg, faults);
+        // Site 0 blackout: both directions die.
+        ch.send(0, hb(Endpoint::Coordinator, Endpoint::Pop(0), 1));
+        ch.send(0, hb(Endpoint::Pop(0), Endpoint::Coordinator, 2));
+        // Site 1 partition-to: inbound dies, outbound lives.
+        ch.send(0, hb(Endpoint::Coordinator, Endpoint::Pop(1), 3));
+        ch.send(0, hb(Endpoint::Pop(1), Endpoint::Coordinator, 4));
+        // Site 2 partition-from: outbound dies, inbound lives.
+        ch.send(0, hb(Endpoint::Coordinator, Endpoint::Pop(2), 5));
+        ch.send(0, hb(Endpoint::Pop(2), Endpoint::Coordinator, 6));
+        // After the window everything flows again.
+        ch.send(2_000, hb(Endpoint::Coordinator, Endpoint::Pop(0), 7));
+        let mut ids: Vec<u64> = drain_all(&mut ch).iter().map(|e| e.req_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![4, 5, 7]);
+        assert!(ch.stats().conserved(0));
+    }
+
+    #[test]
+    fn duplicates_are_real_and_reordering_happens() {
+        let cfg = ChannelConfig {
+            seed: 2,
+            drop_permille: 0,
+            dup_permille: 1000,
+            delay_min_ns: 0,
+            delay_max_ns: 50_000,
+        };
+        let mut ch = LossyChannel::new(cfg, Vec::new());
+        for i in 0..50 {
+            ch.send(0, hb(Endpoint::Coordinator, Endpoint::Pop(0), i));
+        }
+        let got = drain_all(&mut ch);
+        assert_eq!(got.len(), 100, "every message doubled");
+        let order: Vec<u64> = got.iter().map(|e| e.req_id).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_ne!(order, sorted, "uniform delays must reorder");
+    }
+}

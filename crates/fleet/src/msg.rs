@@ -1,0 +1,158 @@
+//! The fleet control protocol: every byte that crosses the lossy channel.
+//!
+//! The protocol is deliberately small and entirely idempotent. Requests
+//! carry a `req_id` the receiver caches its answer under, so a duplicated
+//! or retried delivery replays the original answer instead of re-running
+//! the side effect. Ownership changes carry per-chain monotonic fencing
+//! tokens and the receiving PoP's incarnation number, so a stale or
+//! reordered grant can never resurrect ownership the coordinator has
+//! already moved elsewhere.
+
+use lemur_dataplane::{CrossSiteTransfer, StateTransfer};
+
+/// A party on the control channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// The global fleet coordinator.
+    Coordinator,
+    /// The PoP with this site index.
+    Pop(usize),
+}
+
+/// One message in flight: addressing plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Idempotency key, unique per *logical* request (retries reuse it,
+    /// new requests never do). Unsolicited messages get fresh ids too so
+    /// duplicates are still distinguishable in traces.
+    pub req_id: u64,
+    pub from: Endpoint,
+    pub to: Endpoint,
+    /// Channel-clock time at which this copy was handed to the channel.
+    pub sent_ns: u64,
+    pub msg: CtrlMsg,
+}
+
+/// A PoP's claim over one chain, as reported in [`CtrlMsg::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainClaim {
+    pub chain: usize,
+    /// The fencing token the claim was granted under.
+    pub token: u64,
+}
+
+/// One stateful chain's replicated state, piggybacked on a status report
+/// so the coordinator always holds a recent snapshot to hand to a
+/// failover target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateReport {
+    pub chain: usize,
+    /// FNV-1a/128 fingerprint of the state at snapshot time.
+    pub fingerprint: u128,
+    pub transfer: StateTransfer,
+}
+
+/// The control-plane message grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlMsg {
+    /// Coordinator → PoP: lease renewal. A PoP only serves chains while
+    /// its lease is unexpired, which is what makes draining a silent PoP
+    /// safe — once the coordinator stops heartbeating, the lease runs out
+    /// within a bounded delay no matter what is still in flight.
+    Heartbeat {
+        /// Lease duration from delivery time.
+        lease_ns: u64,
+    },
+    /// Coordinator → PoP: own this chain under this fencing token. For a
+    /// stateful chain failing over from another site, `transfer` carries
+    /// the last replicated snapshot; `None` means start fresh.
+    Grant {
+        chain: usize,
+        token: u64,
+        /// The incarnation this grant is addressed to. A PoP that has
+        /// been drained and welcomed back has a newer incarnation and
+        /// rejects grants minted for its past life.
+        incarnation: u64,
+        transfer: Option<CrossSiteTransfer>,
+    },
+    /// Coordinator → PoP: release this chain (only if still held under
+    /// exactly this token — a newer local grant wins over a stale revoke).
+    Revoke { chain: usize, token: u64 },
+    /// Coordinator → PoP: you have been drained and re-admitted. Adopt
+    /// this incarnation and discard all owned state; grants will follow.
+    Welcome { incarnation: u64 },
+    /// PoP → coordinator: the reply to a `Grant`/`Revoke`/`Welcome`,
+    /// replayed verbatim from the response cache on duplicate delivery.
+    Ack {
+        /// `req_id` of the request this answers.
+        of_req: u64,
+        /// The PoP's current incarnation when it answered.
+        incarnation: u64,
+        accepted: bool,
+    },
+    /// PoP → coordinator: unsolicited periodic report. Serves as
+    /// liveness signal, ownership anti-entropy, and asynchronous state
+    /// replication all at once.
+    Status {
+        incarnation: u64,
+        /// Whether the PoP's lease was valid when it reported.
+        lease_valid: bool,
+        owned: Vec<ChainClaim>,
+        state: Vec<StateReport>,
+    },
+}
+
+impl CtrlMsg {
+    /// Does this message expect an [`CtrlMsg::Ack`]? (Such messages are
+    /// retried by the sender until acknowledged or given up on.)
+    pub fn wants_ack(&self) -> bool {
+        matches!(
+            self,
+            CtrlMsg::Grant { .. } | CtrlMsg::Revoke { .. } | CtrlMsg::Welcome { .. }
+        )
+    }
+
+    /// A short tag for traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CtrlMsg::Heartbeat { .. } => "heartbeat",
+            CtrlMsg::Grant { .. } => "grant",
+            CtrlMsg::Revoke { .. } => "revoke",
+            CtrlMsg::Welcome { .. } => "welcome",
+            CtrlMsg::Ack { .. } => "ack",
+            CtrlMsg::Status { .. } => "status",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_commands_want_acks() {
+        assert!(CtrlMsg::Grant {
+            chain: 0,
+            token: 1,
+            incarnation: 1,
+            transfer: None
+        }
+        .wants_ack());
+        assert!(CtrlMsg::Revoke { chain: 0, token: 1 }.wants_ack());
+        assert!(CtrlMsg::Welcome { incarnation: 2 }.wants_ack());
+        assert!(!CtrlMsg::Heartbeat { lease_ns: 1 }.wants_ack());
+        assert!(!CtrlMsg::Status {
+            incarnation: 1,
+            lease_valid: true,
+            owned: vec![],
+            state: vec![]
+        }
+        .wants_ack());
+        assert!(!CtrlMsg::Ack {
+            of_req: 7,
+            incarnation: 1,
+            accepted: true
+        }
+        .wants_ack());
+    }
+}

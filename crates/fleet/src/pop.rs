@@ -1,0 +1,606 @@
+//! The per-PoP runtime: a sharded control agent that owns chains under
+//! fencing tokens and a lease, journals every ownership change to its own
+//! write-ahead [`DecisionLog`], and carries live NF state for stateful
+//! chains so a cross-site failover has something real to migrate.
+//!
+//! Safety properties enforced here:
+//!
+//! * **Self-fencing** — a PoP serves a chain only while its lease (renewed
+//!   exclusively by coordinator heartbeats) is unexpired. A PoP cut off by
+//!   a blackout stops serving on its own within `lease_ns`, before the
+//!   coordinator re-grants the chain elsewhere.
+//! * **Token fencing** — grants and revokes carry per-chain monotonic
+//!   tokens; anything older than the newest token seen for that chain is
+//!   rejected, so reordered or duplicated commands cannot resurrect
+//!   superseded ownership.
+//! * **Incarnation fencing** — a drained PoP re-admitted via `Welcome`
+//!   gets a new incarnation; commands minted for its previous life are
+//!   rejected wholesale.
+//! * **Idempotency** — answers are cached by `req_id` and replayed on
+//!   duplicate delivery, so a retried grant commits exactly once.
+
+use std::collections::BTreeMap;
+
+use lemur_control::wal::{DecisionLog, WalRecord};
+use lemur_core::graph::NodeId;
+use lemur_dataplane::StateRecord;
+use lemur_dataplane::StateTransfer;
+use lemur_nf::nat::Nat;
+use lemur_nf::{NetworkFunction, NfCtx, NfKind, Verdict};
+use lemur_packet::builder::udp_packet;
+use lemur_packet::{ethernet, ipv4};
+
+use crate::msg::{ChainClaim, CtrlMsg, Endpoint, Envelope, StateReport};
+
+/// NAT pool shared by every stateful chain replica: 64 external ports,
+/// while traffic cycles through 48 distinct flows, so the pool never
+/// exhausts but real per-flow bindings accumulate and must migrate.
+const NAT_EXTERNAL: ipv4::Address = ipv4::Address::new(198, 18, 0, 1);
+const NAT_PORT_BASE: u16 = 4000;
+const NAT_PORT_COUNT: u16 = 64;
+const FLOWS_PER_CHAIN: u64 = 48;
+
+/// Counters a soak aggregates into its report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopStats {
+    pub grants_accepted: u64,
+    pub grants_rejected_stale: u64,
+    pub grants_rejected_incarnation: u64,
+    pub grants_rejected_restore: u64,
+    pub revokes_accepted: u64,
+    pub revokes_rejected_stale: u64,
+    pub duplicate_replays: u64,
+    /// Grants that restored migrated state (fingerprint-verified).
+    pub state_restores: u64,
+    /// Stateful grants that had no snapshot to restore and started fresh.
+    pub fresh_starts: u64,
+    pub forwarded: u64,
+    pub nf_dropped: u64,
+}
+
+/// One PoP's control agent plus its live stateful NF instances.
+pub struct PopRuntime {
+    pub site: usize,
+    incarnation: u64,
+    lease_until_ns: u64,
+    /// chain → token currently held.
+    owned: BTreeMap<usize, u64>,
+    /// chain → newest token ever observed (survives revokes; cleared only
+    /// by a `Welcome`, whose incarnation bump re-fences instead).
+    newest_token: BTreeMap<usize, u64>,
+    /// Live NAT instance per owned stateful chain.
+    nats: BTreeMap<usize, Nat>,
+    /// Which global chains carry migratable state.
+    stateful: Vec<usize>,
+    /// req_id → (incarnation at answer time, accepted).
+    response_cache: BTreeMap<u64, (u64, bool)>,
+    wal: DecisionLog,
+    report_every_ns: u64,
+    next_report_ns: u64,
+    /// Per-chain synthetic flow cursor (drives deterministic NAT state).
+    flow_seq: BTreeMap<usize, u64>,
+    next_msg_id: u64,
+    pub stats: PopStats,
+}
+
+impl PopRuntime {
+    pub fn new(site: usize, stateful: &[usize], report_every_ns: u64) -> PopRuntime {
+        PopRuntime {
+            site,
+            incarnation: 1,
+            lease_until_ns: 0,
+            owned: BTreeMap::new(),
+            newest_token: BTreeMap::new(),
+            nats: BTreeMap::new(),
+            stateful: stateful.to_vec(),
+            response_cache: BTreeMap::new(),
+            wal: DecisionLog::new(),
+            report_every_ns,
+            // Stagger first reports by site so they don't all collide.
+            next_report_ns: (site as u64 + 1) * 20_000,
+            flow_seq: BTreeMap::new(),
+            next_msg_id: 0,
+            stats: PopStats::default(),
+        }
+    }
+
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    pub fn lease_valid(&self, now_ns: u64) -> bool {
+        now_ns < self.lease_until_ns
+    }
+
+    /// Chains this PoP would actually serve right now: owned *and* under
+    /// a live lease. This is the self-fencing gate.
+    pub fn live_chains(&self, now_ns: u64) -> Vec<usize> {
+        if !self.lease_valid(now_ns) {
+            return Vec::new();
+        }
+        self.owned.keys().copied().collect()
+    }
+
+    /// All held claims, lease or not (reported in `Status` for
+    /// anti-entropy; the coordinator knows the lease state separately).
+    pub fn claims(&self) -> Vec<ChainClaim> {
+        self.owned
+            .iter()
+            .map(|(&chain, &token)| ChainClaim { chain, token })
+            .collect()
+    }
+
+    pub fn wal(&self) -> &DecisionLog {
+        &self.wal
+    }
+
+    /// The per-PoP crash-consistency invariant: the local journal replays
+    /// to exactly the live owned set.
+    pub fn wal_matches_owned(&self) -> bool {
+        let expect: BTreeMap<usize, (usize, u64)> = self
+            .owned
+            .iter()
+            .map(|(&chain, &token)| (chain, (self.site, token)))
+            .collect();
+        self.wal.replay().owners == expect
+    }
+
+    fn is_stateful(&self, chain: usize) -> bool {
+        self.stateful.contains(&chain)
+    }
+
+    fn msg_id(&mut self) -> u64 {
+        self.next_msg_id += 1;
+        ((self.site as u64 + 1) << 48) | self.next_msg_id
+    }
+
+    fn ack(&self, of_req: u64, accepted: bool, sent_ns: u64) -> Envelope {
+        Envelope {
+            req_id: of_req,
+            from: Endpoint::Pop(self.site),
+            to: Endpoint::Coordinator,
+            sent_ns,
+            msg: CtrlMsg::Ack {
+                of_req,
+                incarnation: self.incarnation,
+                accepted,
+            },
+        }
+    }
+
+    /// Apply one delivered message; returns any replies to send.
+    pub fn handle(&mut self, now_ns: u64, env: &Envelope) -> Vec<Envelope> {
+        match &env.msg {
+            CtrlMsg::Heartbeat { lease_ns } => {
+                // The lease runs from *delivery* time, so a heartbeat sent
+                // at S can extend it to at most S + delay_max + lease_ns —
+                // the bound the coordinator's drain rule relies on.
+                self.lease_until_ns = self.lease_until_ns.max(now_ns + lease_ns);
+                Vec::new()
+            }
+            CtrlMsg::Grant {
+                chain,
+                token,
+                incarnation,
+                transfer,
+            } => {
+                if let Some(&(_, accepted)) = self.response_cache.get(&env.req_id) {
+                    self.stats.duplicate_replays += 1;
+                    return vec![self.ack(env.req_id, accepted, now_ns)];
+                }
+                let accepted = self.apply_grant(now_ns, *chain, *token, *incarnation, transfer);
+                self.response_cache
+                    .insert(env.req_id, (self.incarnation, accepted));
+                vec![self.ack(env.req_id, accepted, now_ns)]
+            }
+            CtrlMsg::Revoke { chain, token } => {
+                if let Some(&(_, accepted)) = self.response_cache.get(&env.req_id) {
+                    self.stats.duplicate_replays += 1;
+                    return vec![self.ack(env.req_id, accepted, now_ns)];
+                }
+                let accepted = self.apply_revoke(now_ns, *chain, *token);
+                self.response_cache
+                    .insert(env.req_id, (self.incarnation, accepted));
+                vec![self.ack(env.req_id, accepted, now_ns)]
+            }
+            CtrlMsg::Welcome { incarnation } => {
+                if let Some(&(_, accepted)) = self.response_cache.get(&env.req_id) {
+                    self.stats.duplicate_replays += 1;
+                    return vec![self.ack(env.req_id, accepted, now_ns)];
+                }
+                if *incarnation > self.incarnation {
+                    // A new life: discard everything owned; old-life
+                    // grants are fenced out by the incarnation check.
+                    // Journal the releases so the local log always
+                    // replays to the live owned set.
+                    self.incarnation = *incarnation;
+                    let dropped: Vec<(usize, u64)> =
+                        self.owned.iter().map(|(&c, &t)| (c, t)).collect();
+                    for (chain, token) in dropped {
+                        self.wal.append(WalRecord::FleetRevoke {
+                            at_ns: now_ns,
+                            pop: self.site,
+                            chain,
+                            token,
+                        });
+                    }
+                    self.owned.clear();
+                    self.nats.clear();
+                    self.newest_token.clear();
+                }
+                self.response_cache
+                    .insert(env.req_id, (self.incarnation, true));
+                vec![self.ack(env.req_id, true, now_ns)]
+            }
+            // PoPs never receive acks or status reports.
+            CtrlMsg::Ack { .. } | CtrlMsg::Status { .. } => Vec::new(),
+        }
+    }
+
+    fn apply_grant(
+        &mut self,
+        now_ns: u64,
+        chain: usize,
+        token: u64,
+        incarnation: u64,
+        transfer: &Option<lemur_dataplane::CrossSiteTransfer>,
+    ) -> bool {
+        if incarnation != self.incarnation {
+            self.stats.grants_rejected_incarnation += 1;
+            return false;
+        }
+        let newest = self.newest_token.get(&chain).copied().unwrap_or(0);
+        if token < newest {
+            self.stats.grants_rejected_stale += 1;
+            return false;
+        }
+        if self.owned.get(&chain) == Some(&token) {
+            // Reconciliation re-grant of what we already hold.
+            return true;
+        }
+        // Stateful chains need their state seated before ownership turns
+        // on; a failed restore rejects the whole grant atomically.
+        if self.is_stateful(chain) {
+            let mut nat = Nat::new(NAT_EXTERNAL, NAT_PORT_BASE, NAT_PORT_COUNT);
+            match transfer {
+                Some(cst) => {
+                    let snaps = match cst.verify(newest) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            self.stats.grants_rejected_restore += 1;
+                            return false;
+                        }
+                    };
+                    for snap in &snaps {
+                        if nat.restore_state(snap).is_err()
+                            || nat.state_fingerprint() != snap.fingerprint()
+                        {
+                            self.stats.grants_rejected_restore += 1;
+                            return false;
+                        }
+                    }
+                    if snaps.is_empty() {
+                        self.stats.fresh_starts += 1;
+                    } else {
+                        self.stats.state_restores += 1;
+                    }
+                }
+                None => self.stats.fresh_starts += 1,
+            }
+            self.nats.insert(chain, nat);
+        }
+        self.newest_token.insert(chain, token);
+        self.owned.insert(chain, token);
+        self.wal.append(WalRecord::FleetGrant {
+            at_ns: now_ns,
+            pop: self.site,
+            chain,
+            token,
+        });
+        self.stats.grants_accepted += 1;
+        true
+    }
+
+    fn apply_revoke(&mut self, now_ns: u64, chain: usize, token: u64) -> bool {
+        match self.owned.get(&chain).copied() {
+            Some(held) if held == token => {
+                self.owned.remove(&chain);
+                self.nats.remove(&chain);
+                self.wal.append(WalRecord::FleetRevoke {
+                    at_ns: now_ns,
+                    pop: self.site,
+                    chain,
+                    token,
+                });
+                self.stats.revokes_accepted += 1;
+                true
+            }
+            Some(_) => {
+                // Held under a different (necessarily newer) token: a
+                // stale revoke must not clear the newer grant.
+                self.stats.revokes_rejected_stale += 1;
+                false
+            }
+            // Nothing to revoke: idempotent success.
+            None => true,
+        }
+    }
+
+    /// Periodic work: emit a status report when one is due.
+    pub fn tick(&mut self, now_ns: u64) -> Vec<Envelope> {
+        if now_ns < self.next_report_ns {
+            return Vec::new();
+        }
+        while self.next_report_ns <= now_ns {
+            self.next_report_ns += self.report_every_ns;
+        }
+        let state = self
+            .owned
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|chain| {
+                let nat = self.nats.get(&chain)?;
+                let snap = nat.snapshot_state()?;
+                Some(StateReport {
+                    chain,
+                    fingerprint: snap.fingerprint(),
+                    transfer: StateTransfer::new(vec![StateRecord {
+                        chain,
+                        node: NodeId(0),
+                        replica: 0,
+                        kind: NfKind::Nat,
+                        bytes: snap.encode(),
+                    }]),
+                })
+            })
+            .collect();
+        let req_id = self.msg_id();
+        vec![Envelope {
+            req_id,
+            from: Endpoint::Pop(self.site),
+            to: Endpoint::Coordinator,
+            sent_ns: now_ns,
+            msg: CtrlMsg::Status {
+                incarnation: self.incarnation,
+                lease_valid: self.lease_valid(now_ns),
+                owned: self.claims(),
+                state,
+            },
+        }]
+    }
+
+    /// Push `count` synthetic packets for an owned chain through its live
+    /// NF state. Returns `(forwarded, dropped_by_nf)`; the caller holds
+    /// the fleet-wide conservation ledger.
+    pub fn process(&mut self, now_ns: u64, chain: usize, count: u32) -> (u64, u64) {
+        debug_assert!(self.owned.contains_key(&chain), "route only to owners");
+        let mut forwarded = 0u64;
+        let mut dropped = 0u64;
+        if let Some(nat) = self.nats.get_mut(&chain) {
+            let seq = self.flow_seq.entry(chain).or_insert(0);
+            let ctx = NfCtx { now_ns };
+            for _ in 0..count {
+                let flow = *seq % FLOWS_PER_CHAIN;
+                *seq += 1;
+                let mut pkt = udp_packet(
+                    ethernet::Address([2, 0, 0, 0, 0, 1]),
+                    ethernet::Address([2, 0, 0, 0, 0, 2]),
+                    ipv4::Address::new(10, chain as u8, 0, (flow % 250) as u8 + 1),
+                    ipv4::Address::new(8, 8, 8, 8),
+                    1000 + (flow / 250) as u16,
+                    53,
+                    b"fleet",
+                );
+                match nat.process(&ctx, &mut pkt) {
+                    Verdict::Forward | Verdict::Gate(_) => forwarded += 1,
+                    Verdict::Drop => dropped += 1,
+                }
+            }
+        } else {
+            // Stateless chains have no per-packet state to thread here.
+            forwarded += u64::from(count);
+        }
+        self.stats.forwarded += forwarded;
+        self.stats.nf_dropped += dropped;
+        (forwarded, dropped)
+    }
+
+    /// The current state fingerprint of an owned stateful chain (0 when
+    /// stateless or unowned). Lets tests prove migrated state arrived.
+    pub fn state_fingerprint(&self, chain: usize) -> u128 {
+        self.nats
+            .get(&chain)
+            .map(|n| n.state_fingerprint())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_dataplane::CrossSiteTransfer;
+
+    fn grant_env(req_id: u64, chain: usize, token: u64, incarnation: u64) -> Envelope {
+        Envelope {
+            req_id,
+            from: Endpoint::Coordinator,
+            to: Endpoint::Pop(0),
+            sent_ns: 0,
+            msg: CtrlMsg::Grant {
+                chain,
+                token,
+                incarnation,
+                transfer: None,
+            },
+        }
+    }
+
+    fn accepted(replies: &[Envelope]) -> bool {
+        match replies {
+            [Envelope {
+                msg: CtrlMsg::Ack { accepted, .. },
+                ..
+            }] => *accepted,
+            other => panic!("expected one ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_grant_delivery_commits_exactly_once() {
+        let mut pop = PopRuntime::new(0, &[], 1_000_000);
+        let env = grant_env(42, 3, 10, 1);
+        assert!(accepted(&pop.handle(0, &env)));
+        let wal_len = pop.wal().len();
+        // The same envelope again (channel duplicate / coordinator retry).
+        assert!(accepted(&pop.handle(500, &env)));
+        assert_eq!(pop.wal().len(), wal_len, "no double journal");
+        assert_eq!(pop.stats.grants_accepted, 1);
+        assert_eq!(pop.stats.duplicate_replays, 1);
+    }
+
+    #[test]
+    fn stale_token_and_wrong_incarnation_are_fenced() {
+        let mut pop = PopRuntime::new(0, &[], 1_000_000);
+        assert!(accepted(&pop.handle(0, &grant_env(1, 3, 10, 1))));
+        // An older token for the same chain arrives late: rejected.
+        assert!(!accepted(&pop.handle(10, &grant_env(2, 3, 9, 1))));
+        assert_eq!(pop.stats.grants_rejected_stale, 1);
+        // A grant for a different incarnation: rejected.
+        assert!(!accepted(&pop.handle(20, &grant_env(3, 4, 11, 99))));
+        assert_eq!(pop.stats.grants_rejected_incarnation, 1);
+    }
+
+    #[test]
+    fn stale_revoke_cannot_clear_a_newer_grant() {
+        let mut pop = PopRuntime::new(0, &[], 1_000_000);
+        assert!(accepted(&pop.handle(0, &grant_env(1, 3, 10, 1))));
+        assert!(accepted(&pop.handle(5, &grant_env(2, 3, 12, 1))));
+        // Revoke of the superseded token 10 must bounce.
+        let env = Envelope {
+            req_id: 9,
+            from: Endpoint::Coordinator,
+            to: Endpoint::Pop(0),
+            sent_ns: 0,
+            msg: CtrlMsg::Revoke {
+                chain: 3,
+                token: 10,
+            },
+        };
+        assert!(!accepted(&pop.handle(10, &env)));
+        assert_eq!(
+            pop.claims(),
+            vec![ChainClaim {
+                chain: 3,
+                token: 12
+            }]
+        );
+        // Revoke of the live token works.
+        let env = Envelope {
+            req_id: 10,
+            msg: CtrlMsg::Revoke {
+                chain: 3,
+                token: 12,
+            },
+            ..env
+        };
+        assert!(accepted(&pop.handle(20, &env)));
+        assert!(pop.claims().is_empty());
+    }
+
+    #[test]
+    fn lease_expiry_self_fences() {
+        let mut pop = PopRuntime::new(0, &[], 1_000_000);
+        assert!(accepted(&pop.handle(0, &grant_env(1, 0, 1, 1))));
+        let hb = Envelope {
+            req_id: 2,
+            from: Endpoint::Coordinator,
+            to: Endpoint::Pop(0),
+            sent_ns: 0,
+            msg: CtrlMsg::Heartbeat { lease_ns: 500 },
+        };
+        pop.handle(100, &hb);
+        assert_eq!(pop.live_chains(400), vec![0]);
+        assert!(pop.live_chains(600).is_empty(), "lease ran out");
+        assert_eq!(pop.claims().len(), 1, "claim persists; only serving stops");
+    }
+
+    #[test]
+    fn welcome_bumps_incarnation_and_clears_state() {
+        let mut pop = PopRuntime::new(0, &[7], 1_000_000);
+        assert!(accepted(&pop.handle(0, &grant_env(1, 7, 3, 1))));
+        pop.process(10, 7, 16);
+        assert_ne!(pop.state_fingerprint(7), 0);
+        let env = Envelope {
+            req_id: 5,
+            from: Endpoint::Coordinator,
+            to: Endpoint::Pop(0),
+            sent_ns: 0,
+            msg: CtrlMsg::Welcome { incarnation: 2 },
+        };
+        assert!(accepted(&pop.handle(20, &env)));
+        assert_eq!(pop.incarnation(), 2);
+        assert!(pop.claims().is_empty());
+        assert_eq!(pop.state_fingerprint(7), 0);
+        // Old-life grants now bounce; new-life grants land.
+        assert!(!accepted(&pop.handle(30, &grant_env(6, 7, 4, 1))));
+        assert!(accepted(&pop.handle(40, &grant_env(7, 7, 4, 2))));
+    }
+
+    #[test]
+    fn migrated_state_restores_bit_exact_or_not_at_all() {
+        // Build state on pop A.
+        let mut a = PopRuntime::new(0, &[2], 1_000_000);
+        assert!(accepted(&a.handle(0, &grant_env(1, 2, 5, 1))));
+        a.process(10, 2, 32);
+        let fp = a.state_fingerprint(2);
+        assert_ne!(fp, 0);
+        let report = a.tick(1_000_000).pop().expect("status due");
+        let CtrlMsg::Status { state, .. } = report.msg else {
+            panic!("expected status");
+        };
+        let good = CrossSiteTransfer {
+            src_site: 0,
+            dst_site: 1,
+            chain: 2,
+            token: 6,
+            transfer: state[0].transfer.clone(),
+        };
+
+        // A truncated copy is rejected atomically.
+        let mut cut = good.clone();
+        cut.transfer.records.clear();
+        let mut b = PopRuntime::new(1, &[2], 1_000_000);
+        let env = Envelope {
+            req_id: 8,
+            from: Endpoint::Coordinator,
+            to: Endpoint::Pop(1),
+            sent_ns: 0,
+            msg: CtrlMsg::Grant {
+                chain: 2,
+                token: 6,
+                incarnation: 1,
+                transfer: Some(cut),
+            },
+        };
+        assert!(!accepted(&b.handle(0, &env)));
+        assert_eq!(b.stats.grants_rejected_restore, 1);
+        assert!(b.claims().is_empty(), "failed restore leaves no ownership");
+
+        // The intact copy restores to the exact fingerprint.
+        let env = Envelope {
+            req_id: 9,
+            msg: CtrlMsg::Grant {
+                chain: 2,
+                token: 6,
+                incarnation: 1,
+                transfer: Some(good),
+            },
+            ..env
+        };
+        assert!(accepted(&b.handle(10, &env)));
+        assert_eq!(b.state_fingerprint(2), fp);
+        assert_eq!(b.stats.state_restores, 1);
+    }
+}

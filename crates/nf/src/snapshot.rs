@@ -161,6 +161,17 @@ impl Encoder {
         self.u64(v.to_bits());
     }
 
+    /// Length-prefixed byte string (u32 length, then the bytes verbatim).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
     /// Consume the encoder, yielding the payload bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -215,6 +226,18 @@ impl<'a> Decoder<'a> {
 
     pub fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Length-prefixed byte string written by [`Encoder::bytes`].
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Length-prefixed UTF-8 string written by [`Encoder::str`].
+    pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| SnapshotError::Invalid("string field is not UTF-8"))
     }
 
     /// Assert the payload was fully consumed (trailing garbage is a

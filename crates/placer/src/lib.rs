@@ -29,6 +29,9 @@
 //!   core allocations × LP, ranked, first fit through the stage oracle).
 //! * [`baselines`] — HW Preferred, SW Preferred, Minimum Bounce, Greedy.
 //! * [`ablations`] — No Profiling and No Core Allocation (§5.3, Fig. 2f).
+//! * [`hierarchy`] — hierarchical fleet placement: cross-PoP chain
+//!   assignment (greedy by priority, least-loaded PoP first, shed by
+//!   ascending priority) over per-PoP subproblems solved by [`heuristic`].
 //! * [`parallel`] — deterministic work-sharing thread pool (ordered
 //!   reduction: results are bit-identical to the sequential path
 //!   regardless of worker count).
@@ -41,6 +44,7 @@ pub mod brute;
 pub mod cache;
 pub mod corealloc;
 pub mod heuristic;
+pub mod hierarchy;
 pub mod oracle;
 pub mod parallel;
 pub mod placement;
@@ -49,6 +53,7 @@ pub mod repair;
 pub mod topology;
 
 pub use cache::{CacheStats, StageCache};
+pub use hierarchy::{assign_chains, place_fleet, FleetPlacement, PopPlan};
 pub use oracle::{CountingOracle, ModelOracle, StageOracle};
 pub use parallel::{parallel_flat_map, parallel_map, Workers};
 pub use placement::{Assignment, EvaluatedPlacement, PlacementError, PlacementProblem};

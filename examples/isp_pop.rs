@@ -1,11 +1,22 @@
-//! ISP point-of-presence scenario: the paper's intro use case.
+//! ISP point-of-presence scenario: the paper's intro use case, then the
+//! repo's multi-PoP extension of it.
 //!
-//! Four customer aggregates share one rack (PISA ToR + a 16-core server),
-//! each processed by one of the Table 2 canonical chains with a different
-//! Table 1 SLO class — a virtual pipe, two elastic pipes, and metered
-//! bulk. Lemur places all four, and the run shows where every NF landed,
-//! how cores were split, and that every contracted minimum held on the
-//! executed dataplane.
+//! **Act 1 — one PoP.** Four customer aggregates share one rack (PISA
+//! ToR + a 16-core server), each processed by one of the Table 2
+//! canonical chains with a different Table 1 SLO class — a virtual pipe,
+//! two elastic pipes, and metered bulk. Lemur places all four, and the
+//! run shows where every NF landed, how cores were split, and that every
+//! contracted minimum held on the executed dataplane.
+//!
+//! **Act 2 — two PoPs, one storm.** The same operator runs two such
+//! PoPs under a global coordinator talking over a lossy control channel.
+//! A scheduled blackout silences one PoP completely; the coordinator
+//! walks it down the Suspect → Unreachable → Drained ladder (waiting out
+//! the lease bound so no stale heartbeat can revive it), then fails its
+//! chains over to the survivor — stateful NATs restored from replicated
+//! snapshots under fresh fencing tokens, everything else re-placed or
+//! shed by SLO priority. The run ends settled, with exact packet and
+//! channel conservation and zero fencing violations.
 //!
 //! ```sh
 //! cargo run --release --example isp_pop
@@ -15,11 +26,18 @@ use lemur::core::chains::{canonical_chain, CanonicalChain};
 use lemur::core::graph::ChainSpec;
 use lemur::core::Slo;
 use lemur::dataplane::{SimConfig, Testbed, TrafficSpec};
+use lemur::fleet::sim::{FleetSim, FleetSimConfig, FleetSpec};
 use lemur::placer::placement::PlacementProblem;
 use lemur::placer::profiles::{NfProfiles, Platform};
 use lemur::placer::topology::Topology;
 
 fn main() {
+    one_pop_slo_book();
+    two_pop_drain_and_failover();
+}
+
+/// Act 1: the paper's single-rack scenario, end to end.
+fn one_pop_slo_book() {
     // Customer SLO book: (chain, SLO class).
     let customers: Vec<(CanonicalChain, &str)> = vec![
         (CanonicalChain::Chain1, "enterprise elastic pipe"),
@@ -125,5 +143,74 @@ fn main() {
         "\naggregate {:.2} G; every contracted minimum {}",
         report.aggregate_bps() / 1e9,
         if all_met { "held" } else { "DID NOT hold" }
+    );
+}
+
+/// Act 2: two PoPs under one coordinator; a blackout drains PoP 0 and
+/// its chains — stateful NAT tables included — fail over to PoP 1.
+fn two_pop_drain_and_failover() {
+    // Seed 3's storm schedule blacks out PoP 0 mid-run (and crashes the
+    // coordinator with a torn journal tail for good measure); the whole
+    // run is deterministic, so the narration below is reproducible.
+    let spec = FleetSpec::canonical(2);
+    let cfg = FleetSimConfig::soak(3, 2);
+    println!("\n=== two PoPs, one storm (seed {}) ===", cfg.seed);
+    println!(
+        "{} chains across 2 PoPs, {} ms of storm weather on the control channel",
+        spec.chains.len(),
+        cfg.duration_ns / 1_000_000
+    );
+
+    let oracle = lemur::metacompiler::CompilerOracle::new();
+    let report = FleetSim::new(spec, cfg).run(&oracle);
+
+    if let Some(victim) = report.blackout_victim {
+        println!(
+            "blackout silenced PoP {victim}: {} drain(s) after the lease bound expired, \
+             {} coordinator crash-recovery(ies) along the way",
+            report.drains, report.coordinator_recoveries
+        );
+    }
+    println!(
+        "failover: {} chain(s) re-homed ({} stateful, {} NAT table(s) restored \
+         from replicated snapshots), {} shed",
+        report.failovers, report.state_failovers, report.state_restores, report.sheds
+    );
+    for &(chain, pop, token) in &report.final_owners {
+        println!(
+            "  chain {chain} -> PoP {pop} (fencing token epoch {})",
+            token >> 40
+        );
+    }
+    println!(
+        "fencing violations: {}; packet ledger {}; channel copy ledger {}; \
+         journals replay to live state: {}",
+        report.fencing_events,
+        if report.conservation_ok {
+            "balanced"
+        } else {
+            "UNBALANCED"
+        },
+        if report.channel_conserved {
+            "balanced"
+        } else {
+            "UNBALANCED"
+        },
+        report.wal_consistent
+    );
+    for v in &report.validations {
+        println!(
+            "  PoP {} post-storm dataplane validation: ran={} settled={} balanced={}",
+            v.pop, v.ran, v.settled, v.balanced
+        );
+    }
+    assert!(report.invariants_hold(), "fleet invariants must hold");
+    println!(
+        "run {}; all four fleet invariants held",
+        if report.settled {
+            "settled"
+        } else {
+            "DID NOT settle"
+        }
     );
 }

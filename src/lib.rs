@@ -22,6 +22,8 @@
 //! * [`dataplane`] — the cross-platform execution engine.
 //! * [`control`] — the online supervisor: transactional hitless
 //!   reconfiguration, rollback, backoff, and chaos-plan generation.
+//! * [`fleet`] — multi-PoP fleet control: sharded supervisors under a
+//!   global coordinator, a lossy control channel, and cross-PoP failover.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use lemur_control as control;
 pub use lemur_core as core;
 pub use lemur_dataplane as dataplane;
 pub use lemur_ebpf as ebpf;
+pub use lemur_fleet as fleet;
 pub use lemur_lp as lp;
 pub use lemur_metacompiler as metacompiler;
 pub use lemur_nf as nf;
