@@ -37,6 +37,11 @@ pub enum ExecError {
         offset: usize,
         len: usize,
     },
+    /// A stack access was out of bounds (unverified programs only — the
+    /// verifier rejects these statically).
+    StackOutOfBounds { pc: usize, offset: usize },
+    /// A memory access wider than 8 bytes (unverified programs only).
+    BadAccessSize { pc: usize, size: u8 },
     /// The instruction budget was exhausted.
     StepLimit,
 }
@@ -50,12 +55,35 @@ impl fmt::Display for ExecError {
                     "packet access at pc {pc}: offset {offset} beyond {len}-byte packet"
                 )
             }
+            ExecError::StackOutOfBounds { pc, offset } => {
+                write!(
+                    f,
+                    "stack access at pc {pc}: offset {offset} beyond {STACK_SIZE}-byte stack"
+                )
+            }
+            ExecError::BadAccessSize { pc, size } => {
+                write!(f, "memory access at pc {pc} has invalid size {size}")
+            }
             ExecError::StepLimit => write!(f, "instruction budget exceeded"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Checked `[off, end)` for a `base + offset .. + size` access against
+/// `limit`. `u128` arithmetic so a register holding `u64::MAX` cannot wrap
+/// the bound check; the returned end saturates to `usize::MAX` on error so
+/// the diagnostics stay meaningful.
+fn checked_range(base: u64, offset: u16, size: u8, limit: usize) -> Result<(usize, usize), usize> {
+    let off = base as u128 + offset as u128;
+    let end = off + size as u128;
+    if end <= limit as u128 {
+        Ok((off as usize, end as usize))
+    } else {
+        Err(end.min(usize::MAX as u128) as usize)
+    }
+}
 
 /// Result of a successful run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,15 +135,18 @@ impl Vm {
                     offset,
                     size,
                 } => {
-                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0) + *offset as usize;
-                    let end = off + *size as usize;
-                    if end > packet.len() {
-                        return Err(ExecError::PacketOutOfBounds {
-                            pc,
-                            offset: end,
-                            len: packet.len(),
-                        });
+                    if *size > 8 {
+                        return Err(ExecError::BadAccessSize { pc, size: *size });
                     }
+                    let base_v = base.map(|b| regs[b.idx()]).unwrap_or(0);
+                    let (off, end) =
+                        checked_range(base_v, *offset, *size, packet.len()).map_err(|offset| {
+                            ExecError::PacketOutOfBounds {
+                                pc,
+                                offset,
+                                len: packet.len(),
+                            }
+                        })?;
                     let mut v = 0u64;
                     for &b in &packet[off..end] {
                         v = (v << 8) | b as u64;
@@ -128,21 +159,27 @@ impl Vm {
                     offset,
                     size,
                 } => {
-                    let off = base.map(|b| regs[b.idx()] as usize).unwrap_or(0) + *offset as usize;
-                    let end = off + *size as usize;
-                    if end > packet.len() {
-                        return Err(ExecError::PacketOutOfBounds {
-                            pc,
-                            offset: end,
-                            len: packet.len(),
-                        });
+                    if *size > 8 {
+                        return Err(ExecError::BadAccessSize { pc, size: *size });
                     }
+                    let base_v = base.map(|b| regs[b.idx()]).unwrap_or(0);
+                    let (off, end) =
+                        checked_range(base_v, *offset, *size, packet.len()).map_err(|offset| {
+                            ExecError::PacketOutOfBounds {
+                                pc,
+                                offset,
+                                len: packet.len(),
+                            }
+                        })?;
                     let bytes = regs[src.idx()].to_be_bytes();
                     packet[off..end].copy_from_slice(&bytes[8 - *size as usize..]);
                 }
                 Insn::LoadStack { dst, offset, size } => {
-                    let off = *offset as usize;
-                    let end = off + *size as usize;
+                    if *size > 8 {
+                        return Err(ExecError::BadAccessSize { pc, size: *size });
+                    }
+                    let (off, end) = checked_range(0, *offset, *size, STACK_SIZE)
+                        .map_err(|offset| ExecError::StackOutOfBounds { pc, offset })?;
                     let mut v = 0u64;
                     for &b in &stack[off..end] {
                         v = (v << 8) | b as u64;
@@ -150,8 +187,11 @@ impl Vm {
                     regs[dst.idx()] = v;
                 }
                 Insn::StoreStack { src, offset, size } => {
-                    let off = *offset as usize;
-                    let end = off + *size as usize;
+                    if *size > 8 {
+                        return Err(ExecError::BadAccessSize { pc, size: *size });
+                    }
+                    let (off, end) = checked_range(0, *offset, *size, STACK_SIZE)
+                        .map_err(|offset| ExecError::StackOutOfBounds { pc, offset })?;
                     let bytes = regs[src.idx()].to_be_bytes();
                     stack[off..end].copy_from_slice(&bytes[8 - *size as usize..]);
                 }
@@ -258,6 +298,69 @@ mod tests {
                 len: 50
             }
         );
+    }
+
+    #[test]
+    fn unverified_memory_bugs_error_instead_of_panicking() {
+        use crate::insn::Insn;
+        use crate::program::Program;
+        // Stack overrun (verifier would reject; interpreter must not panic).
+        let p = Program::new(
+            "stack_oob",
+            vec![
+                Insn::StoreStack {
+                    src: Reg::R1,
+                    offset: 65_535,
+                    size: 8,
+                },
+                Insn::Exit,
+            ],
+        );
+        assert_eq!(
+            Vm::run(&p, &mut [0u8; 16]).unwrap_err(),
+            ExecError::StackOutOfBounds {
+                pc: 0,
+                offset: 65_543
+            }
+        );
+        // Access width > 8 would underflow the to_be_bytes slice.
+        let p = Program::new(
+            "wide",
+            vec![
+                Insn::StorePkt {
+                    src: Reg::R1,
+                    base: None,
+                    offset: 0,
+                    size: 9,
+                },
+                Insn::Exit,
+            ],
+        );
+        assert_eq!(
+            Vm::run(&p, &mut [0u8; 16]).unwrap_err(),
+            ExecError::BadAccessSize { pc: 0, size: 9 }
+        );
+        // A base register holding u64::MAX must not wrap the bounds check.
+        let p = Program::new(
+            "wrap",
+            vec![
+                Insn::LoadImm {
+                    dst: Reg::R3,
+                    imm: -1,
+                },
+                Insn::LoadPkt {
+                    dst: Reg::R2,
+                    base: Some(Reg::R3),
+                    offset: 8,
+                    size: 4,
+                },
+                Insn::Exit,
+            ],
+        );
+        assert!(matches!(
+            Vm::run(&p, &mut [0u8; 16]).unwrap_err(),
+            ExecError::PacketOutOfBounds { pc: 1, .. }
+        ));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod verifier;
 
 pub use insn::{AluOp, Insn, JmpCond, Reg};
 pub use interp::{ExecError, ExecResult, Vm, XdpVerdict};
-pub use program::{Program, ProgramBuilder};
+pub use program::{BuildError, Program, ProgramBuilder};
 pub use verifier::{verify, VerifierError};
 
 /// Stack size available to a program (bytes).

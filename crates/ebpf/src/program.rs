@@ -2,6 +2,29 @@
 
 use crate::insn::{AluOp, Insn, JmpCond, Operand, Reg};
 use crate::verifier::{verify, VerifierError};
+use core::fmt;
+
+/// Why label resolution failed in [`ProgramBuilder::try_build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// A jump references a label that was never bound.
+    UnboundLabel(usize),
+    /// A bound label sits at or before the jump that targets it.
+    BackwardJump { at: usize, target: usize },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "unbound label {l}"),
+            BuildError::BackwardJump { at, target } => {
+                write!(f, "backward jump from {at} to {target} (loop?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// A verified-or-not sequence of instructions.
 #[derive(Debug, Clone, Default)]
@@ -213,19 +236,32 @@ impl ProgramBuilder {
 
     /// Resolve labels and produce the program. Panics on an unbound label or
     /// a backward jump — both are code-generator bugs, not runtime inputs.
-    pub fn build(mut self) -> Program {
+    /// Untrusted/generated assembly goes through [`ProgramBuilder::try_build`].
+    pub fn build(self) -> Program {
+        match self.try_build() {
+            Ok(p) => p,
+            Err(BuildError::UnboundLabel(_)) => panic!("unbound label"),
+            Err(BuildError::BackwardJump { .. }) => panic!("backward jump generated (loop?)"),
+        }
+    }
+
+    /// Resolve labels and produce the program, surfacing label bugs as
+    /// typed errors instead of panics.
+    pub fn try_build(mut self) -> Result<Program, BuildError> {
         for (at, label) in &self.fixups {
-            let target = self.labels[*label].expect("unbound label");
-            assert!(target > *at, "backward jump generated (loop?)");
+            let target = self.labels[*label].ok_or(BuildError::UnboundLabel(*label))?;
+            if target <= *at {
+                return Err(BuildError::BackwardJump { at: *at, target });
+            }
             let off = (target - *at - 1) as u16;
             if let Insn::Jmp { off: o, .. } = &mut self.insns[*at] {
                 *o = off;
             }
         }
-        Program {
+        Ok(Program {
             insns: self.insns,
             name: self.name,
-        }
+        })
     }
 }
 
@@ -278,6 +314,28 @@ mod tests {
         // Jump to an already-bound (earlier) label — a loop.
         b.jmp(l).exit();
         let _ = b.build();
+    }
+
+    #[test]
+    fn try_build_returns_typed_errors() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.jmp(l).exit();
+        assert!(matches!(b.try_build(), Err(BuildError::UnboundLabel(0))));
+
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.bind(l);
+        b.load_imm(Reg::R0, 0);
+        b.jmp(l).exit();
+        assert!(matches!(
+            b.try_build(),
+            Err(BuildError::BackwardJump { at: 1, target: 0 })
+        ));
+
+        let mut b = ProgramBuilder::new("t");
+        b.load_imm(Reg::R0, 2).exit();
+        assert!(b.try_build().is_ok());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property-based tests for the SmartNIC verifier and interpreter:
+//! *reject-or-run*. For arbitrary instruction streams — including invalid
+//! access widths, out-of-range offsets, and jumps past the end — the
+//! verifier must return a typed verdict without panicking, and every
+//! program it accepts must run to completion in the interpreter: a result
+//! or a packet-bounds error, never a panic, a stack error, or a blown
+//! step budget.
+
+use lemur_ebpf::insn::{AluOp, Insn, JmpCond, Operand, Reg};
+use lemur_ebpf::{verify, ExecError, Program, Vm};
+use proptest::prelude::*;
+
+fn reg(i: u8) -> Reg {
+    Reg::ALL[i as usize % Reg::ALL.len()]
+}
+
+fn alu_op(i: u8) -> AluOp {
+    match i % 10 {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Div,
+        4 => AluOp::Mod,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Lsh,
+        _ => AluOp::Rsh,
+    }
+}
+
+fn cond(i: u8) -> JmpCond {
+    match i % 7 {
+        0 => JmpCond::Always,
+        1 => JmpCond::Eq,
+        2 => JmpCond::Ne,
+        3 => JmpCond::Gt,
+        4 => JmpCond::Ge,
+        5 => JmpCond::Lt,
+        _ => JmpCond::Le,
+    }
+}
+
+/// One arbitrary instruction. Sizes range over 0..=10 (so invalid widths
+/// 0, 3, 5, 6, 7, 9, 10 appear), offsets over the full `u16` space with a
+/// bias toward small values, and jumps can overshoot the program end.
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    (
+        (
+            0u8..10,    // variant
+            0u8..10,    // dst register
+            0u8..10,    // src register / op selector
+            -3i64..300, // immediate
+        ),
+        (
+            0u16..700,       // offset (spans the 512-byte stack boundary)
+            0u8..11,         // access size, valid and invalid
+            0u16..20,        // jump distance
+            prop::bool::ANY, // imm-vs-reg operand / indirect base
+        ),
+    )
+        .prop_map(|((variant, d, s, imm), (offset, size, jmp, flag))| {
+            let dst = reg(d);
+            let src = if flag {
+                Operand::Imm(imm)
+            } else {
+                Operand::Reg(reg(s))
+            };
+            match variant {
+                0 => Insn::LoadImm { dst, imm },
+                1 => Insn::Mov { dst, src },
+                2 => Insn::Alu {
+                    op: alu_op(s),
+                    dst,
+                    src,
+                },
+                3 => Insn::LoadPkt {
+                    dst,
+                    base: flag.then_some(reg(s)),
+                    offset,
+                    size,
+                },
+                4 => Insn::StorePkt {
+                    src: dst,
+                    base: flag.then_some(reg(s)),
+                    offset,
+                    size,
+                },
+                5 => Insn::LoadStack { dst, offset, size },
+                6 => Insn::StoreStack {
+                    src: dst,
+                    offset,
+                    size,
+                },
+                7 => Insn::Jmp {
+                    cond: cond(s),
+                    dst,
+                    src,
+                    off: jmp,
+                },
+                8 => Insn::Call { func: imm as u32 },
+                _ => Insn::Exit,
+            }
+        })
+}
+
+proptest! {
+    /// The verifier is total: any instruction stream gets a typed verdict.
+    /// Accepted programs run to completion — Ok, or a packet-bounds error
+    /// (packet length is dynamic, so the verifier cannot rule those out).
+    /// Stack errors, bad-size errors, and the step limit are statically
+    /// excluded by verification, so seeing one from an accepted program is
+    /// a verifier soundness bug.
+    #[test]
+    fn verifier_rejects_or_program_runs(
+        insns in prop::collection::vec(arb_insn(), 0..40),
+        pkt_len in 0usize..96,
+    ) {
+        let program = Program::new("fuzz", insns);
+        let accepted = verify(&program).is_ok(); // must not panic
+        if accepted {
+            let mut packet = vec![0xabu8; pkt_len];
+            match Vm::run(&program, &mut packet) {
+                Ok(out) => {
+                    // Forward-only jumps: each instruction runs at most once.
+                    prop_assert!(out.steps as usize <= program.insns.len());
+                }
+                Err(ExecError::PacketOutOfBounds { len, .. }) => {
+                    prop_assert_eq!(len, pkt_len);
+                }
+                Err(e) => {
+                    return Err(TestCaseError::fail(format!(
+                        "verified program hit non-packet error: {e}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Straight-line programs made only of ALU/Mov/LoadImm plus a terminal
+    /// Exit are always accepted and always run: the arithmetic core is
+    /// total (wrapping add/mul, defined div-by-zero, masked shifts).
+    #[test]
+    fn arithmetic_core_is_total(
+        ops in prop::collection::vec((0u8..10, 0u8..10, any::<i64>()), 0..32),
+    ) {
+        let mut insns: Vec<Insn> = ops
+            .into_iter()
+            .map(|(op, d, imm)| Insn::Alu {
+                op: alu_op(op),
+                dst: reg(d),
+                src: Operand::Imm(imm),
+            })
+            .collect();
+        insns.push(Insn::Exit);
+        let program = Program::new("alu", insns);
+        prop_assert!(verify(&program).is_ok());
+        let out = Vm::run(&program, &mut []).expect("total arithmetic");
+        prop_assert_eq!(out.steps as usize, program.insns.len());
+    }
+}

@@ -1,0 +1,277 @@
+//! Axis 2: backend-differential execution (SmartNIC eBPF vs BESS server).
+//!
+//! For every NF kind with an eBPF implementation (Table 3), the harness
+//! synthesizes the NIC program for a random `(SPI, SI, kind)` dispatch
+//! list via the production generator, demands the verifier accept it, and
+//! runs random NSH frames through the VM. The same frames are pushed
+//! through the server path contract: NSH demux → decap → software NF
+//! ([`lemur_nf::build_nf`]) → re-encap with the SI decremented.
+//!
+//! The eBPF NF bodies are cost-faithful stand-ins, not byte-identical
+//! ports (the FastEncrypt keystream differs from server ChaCha by
+//! design, §A.3), so the diff compares the *observable steering
+//! projection* both backends must agree on for the service chain to
+//! function:
+//!
+//! * a frame the NIC claims (long enough, `(SPI, SI)` in the dispatch
+//!   list) must come back `XDP_TX` with the SPI preserved and the SI
+//!   decremented exactly once — matching the server mux contract — and
+//!   the server NF must agree the packet continues (forward/gate, not
+//!   drop);
+//! * a frame the NIC does not claim must come back `XDP_PASS` completely
+//!   untouched;
+//! * for header-only kinds the NIC must touch nothing but the SI byte.
+
+use lemur_ebpf::{ExecError, Vm, XdpVerdict};
+use lemur_metacompiler::ebpfgen::{
+    ebpf_capable, synthesize_nic_program, INNER_OFF, INNER_PAYLOAD_OFF, NSH_SI_OFF,
+};
+use lemur_nf::{build_nf, NfCtx, NfKind, NfParams, Verdict};
+use lemur_packet::builder::{nsh_encap, nsh_peek, udp_packet};
+use lemur_packet::{ethernet, ipv4, PacketBuf};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Minimum frame length the NIC dispatcher claims.
+const CLAIM_MIN: usize = INNER_OFF as usize + 34;
+/// FastEncrypt additionally requires its full cipher window.
+const CIPHER_MIN: usize = INNER_PAYLOAD_OFF as usize + 64;
+
+/// One backend divergence.
+#[derive(Debug, Clone)]
+pub struct BackendDivergence {
+    pub kind: NfKind,
+    pub frame: Vec<u8>,
+    pub detail: String,
+}
+
+/// Does the NIC program claim this frame? Mirrors the generated guard
+/// structure: overall length gate, `(spi, si)` dispatch match, and the
+/// per-body window gate for the cipher.
+fn nic_claims(handled: &[(u32, u8, NfKind)], frame: &[u8]) -> Option<NfKind> {
+    if frame.len() < CLAIM_MIN {
+        return None;
+    }
+    let (spi, si) = nsh_peek(frame)?;
+    let (_, _, kind) = handled.iter().find(|(s, i, _)| *s == spi && *i == si)?;
+    if *kind == NfKind::FastEncrypt && frame.len() < CIPHER_MIN {
+        return None;
+    }
+    Some(*kind)
+}
+
+/// Server-path projection for a claimed frame: decap, run the software
+/// NF, report whether the packet continues down the chain.
+fn server_forwards(kind: NfKind, frame: &[u8]) -> bool {
+    let mut pkt = PacketBuf::from_bytes(frame);
+    let Some(_) = lemur_packet::builder::nsh_decap(&mut pkt) else {
+        return false;
+    };
+    let mut nf = build_nf(kind, &NfParams::new());
+    match nf.process(&NfCtx::default(), &mut pkt) {
+        Verdict::Forward | Verdict::Gate(_) => true,
+        Verdict::Drop => false,
+    }
+}
+
+/// Run one backend trial: a random dispatch list over capable kinds plus
+/// a random frame mix; returns divergences found.
+pub fn backend_trial(rng: &mut StdRng) -> Result<Vec<BackendDivergence>, String> {
+    let capable: Vec<NfKind> = NfKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| ebpf_capable(*k))
+        .collect();
+    let n = rng.gen_range(1usize..=3);
+    let mut handled: Vec<(u32, u8, NfKind)> = Vec::new();
+    for _ in 0..n {
+        let spi = rng.gen_range(1u32..16);
+        let si = rng.gen_range(1u8..=255);
+        if !handled.iter().any(|(s, i, _)| (*s, *i) == (spi, si)) {
+            handled.push((spi, si, capable[rng.gen_range(0..capable.len())]));
+        }
+    }
+    let program = synthesize_nic_program(&handled)?;
+    program.verify().map_err(|e| e.to_string())?;
+
+    let mut divergences = Vec::new();
+    for _ in 0..8 {
+        let frame = gen_backend_frame(rng, &handled);
+        let mut nic_frame = frame.clone();
+        let result = Vm::run(&program, &mut nic_frame);
+        let verdict = match result {
+            Ok(out) => out.verdict,
+            // Verified programs may only fail on packet bounds (dynamic
+            // length); anything else is a verifier soundness bug.
+            Err(ExecError::PacketOutOfBounds { .. }) => {
+                divergences.push(BackendDivergence {
+                    kind: NfKind::Monitor,
+                    frame,
+                    detail: "verified program took a packet fault despite the length guard".into(),
+                });
+                continue;
+            }
+            Err(e) => {
+                divergences.push(BackendDivergence {
+                    kind: NfKind::Monitor,
+                    frame,
+                    detail: format!("verified program hit non-packet error: {e}"),
+                });
+                continue;
+            }
+        };
+
+        match nic_claims(&handled, &frame) {
+            Some(kind) => {
+                let (spi_in, si_in) = nsh_peek(&frame).expect("claimed frame has NSH");
+                if verdict != XdpVerdict::Tx {
+                    divergences.push(BackendDivergence {
+                        kind,
+                        frame,
+                        detail: format!("claimed frame not TXed (verdict {verdict:?})"),
+                    });
+                    continue;
+                }
+                let Some((spi_out, si_out)) = nsh_peek(&nic_frame) else {
+                    divergences.push(BackendDivergence {
+                        kind,
+                        frame,
+                        detail: "NSH header destroyed by NIC".into(),
+                    });
+                    continue;
+                };
+                if spi_out != spi_in || si_out != si_in.wrapping_sub(1) {
+                    divergences.push(BackendDivergence {
+                        kind,
+                        frame,
+                        detail: format!(
+                            "steering mismatch: ({spi_in},{si_in}) -> ({spi_out},{si_out}), \
+                             server mux would emit ({spi_in},{})",
+                            si_in.wrapping_sub(1)
+                        ),
+                    });
+                    continue;
+                }
+                // Header-only kinds must leave everything but the SI
+                // byte intact.
+                if kind != NfKind::FastEncrypt {
+                    let same_elsewhere = frame
+                        .iter()
+                        .zip(nic_frame.iter())
+                        .enumerate()
+                        .all(|(i, (a, b))| i == NSH_SI_OFF as usize || a == b);
+                    if frame.len() != nic_frame.len() || !same_elsewhere {
+                        divergences.push(BackendDivergence {
+                            kind,
+                            frame,
+                            detail: "header-only NF mutated payload bytes".into(),
+                        });
+                        continue;
+                    }
+                }
+                // The server NF must agree the packet continues.
+                if !server_forwards(kind, &frame) {
+                    divergences.push(BackendDivergence {
+                        kind,
+                        frame,
+                        detail: "NIC TXed a frame the server NF would drop".into(),
+                    });
+                }
+            }
+            None => {
+                if verdict != XdpVerdict::Pass || nic_frame != frame {
+                    divergences.push(BackendDivergence {
+                        kind: NfKind::Monitor,
+                        frame,
+                        detail: format!(
+                            "unclaimed frame not passed through untouched (verdict {verdict:?})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(divergences)
+}
+
+/// Frames for the backend axis: mostly claimed NSH traffic, plus near
+/// misses (wrong SI, unknown SPI), short frames below the claim window,
+/// and raw noise.
+fn gen_backend_frame(rng: &mut StdRng, handled: &[(u32, u8, NfKind)]) -> Vec<u8> {
+    let payload = vec![0xabu8; rng.gen_range(64usize..300)];
+    let mut pkt = udp_packet(
+        ethernet::Address([2, 0, 0, 0, 0, 1]),
+        ethernet::Address([2, 0, 0, 0, 0, 2]),
+        ipv4::Address::new(10, 0, rng.gen_range(0u8..4), 1),
+        ipv4::Address::new(10, 0, 0, 2),
+        1000,
+        2000,
+        &payload,
+    );
+    match rng.gen_range(0u8..6) {
+        // Claimed: a handled (spi, si).
+        0..=2 => {
+            let (spi, si, _) = handled[rng.gen_range(0..handled.len())];
+            nsh_encap(&mut pkt, spi, si);
+            pkt.as_slice().to_vec()
+        }
+        // Near miss: right SPI, SI off by one.
+        3 => {
+            let (spi, si, _) = handled[rng.gen_range(0..handled.len())];
+            nsh_encap(&mut pkt, spi, si.wrapping_add(1));
+            pkt.as_slice().to_vec()
+        }
+        // Unknown SPI.
+        4 => {
+            nsh_encap(
+                &mut pkt,
+                rng.gen_range(100u32..200),
+                rng.gen_range(0u8..=255),
+            );
+            pkt.as_slice().to_vec()
+        }
+        // Truncated below the claim threshold.
+        _ => {
+            let (spi, si, _) = handled[rng.gen_range(0..handled.len())];
+            nsh_encap(&mut pkt, spi, si);
+            let mut bytes = pkt.as_slice().to_vec();
+            bytes.truncate(rng.gen_range(1usize..CLAIM_MIN.min(bytes.len())));
+            bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backends_agree_on_random_dispatch_lists() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..100 {
+            let divs = backend_trial(&mut rng).expect("capable kinds must synthesize");
+            assert!(divs.is_empty(), "backend divergence: {:?}", divs[0]);
+        }
+    }
+
+    #[test]
+    fn claim_predicate_matches_guard() {
+        // A frame one byte below the claim threshold must not be claimed.
+        let handled = [(5u32, 200u8, NfKind::Acl)];
+        let mut pkt = udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(10, 0, 0, 1),
+            ipv4::Address::new(10, 0, 0, 2),
+            1,
+            2,
+            &[0u8; 64],
+        );
+        nsh_encap(&mut pkt, 5, 200);
+        let mut bytes = pkt.as_slice().to_vec();
+        assert!(nic_claims(&handled, &bytes).is_some());
+        bytes.truncate(CLAIM_MIN - 1);
+        assert!(nic_claims(&handled, &bytes).is_none());
+    }
+}

@@ -1,0 +1,623 @@
+//! Regression corpus: JSON round-trip for shrunk differential cases.
+//!
+//! Minimized failing cases are checked in under `crates/fuzz/corpus/` and
+//! replayed by `cargo test` (see `tests/corpus_replay.rs`), so every
+//! divergence the fuzzer ever found stays fixed. The vendored `serde`
+//! stand-in has no derive machinery, so encoding is written out by hand
+//! against its [`Value`] tree.
+
+use crate::gen::DiffCase;
+use lemur_p4sim::ir::{
+    Action, CmpOp, Control, FieldRef, MatchKind, MatchValue, P4Program, Primitive, Table,
+    TableEntry, TableId,
+};
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+/// One corpus file: a named, minimized case plus the expectation it
+/// encodes.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    pub name: String,
+    /// What the case regresses: `true` means "diverges iff the known
+    /// packing bug is injected" (a sentinel for shrinker+detector
+    /// health); `false` means "must agree under sound options".
+    pub expect_divergence_with_injected_bug: bool,
+    pub case: DiffCase,
+}
+
+// ---- encoding ----------------------------------------------------------
+
+fn int(v: u64) -> Value {
+    Value::Int(v as i128)
+}
+
+fn field_str(f: FieldRef) -> String {
+    match f {
+        FieldRef::EthSrc => "EthSrc".into(),
+        FieldRef::EthDst => "EthDst".into(),
+        FieldRef::EtherType => "EtherType".into(),
+        FieldRef::VlanVid => "VlanVid".into(),
+        FieldRef::Ipv4Src => "Ipv4Src".into(),
+        FieldRef::Ipv4Dst => "Ipv4Dst".into(),
+        FieldRef::Ipv4Proto => "Ipv4Proto".into(),
+        FieldRef::Ipv4Ttl => "Ipv4Ttl".into(),
+        FieldRef::L4Sport => "L4Sport".into(),
+        FieldRef::L4Dport => "L4Dport".into(),
+        FieldRef::NshSpi => "NshSpi".into(),
+        FieldRef::NshSi => "NshSi".into(),
+        FieldRef::FlowHash(n) => format!("FlowHash:{n}"),
+        FieldRef::Meta(n) => format!("Meta:{n}"),
+    }
+}
+
+fn match_kind_str(k: MatchKind) -> &'static str {
+    match k {
+        MatchKind::Exact => "exact",
+        MatchKind::Lpm => "lpm",
+        MatchKind::Ternary => "ternary",
+        MatchKind::Range => "range",
+    }
+}
+
+fn match_value(v: &MatchValue) -> Value {
+    match *v {
+        MatchValue::Any => Value::object(vec![("k".into(), Value::Str("any".into()))]),
+        MatchValue::Exact(x) => Value::object(vec![
+            ("k".into(), Value::Str("exact".into())),
+            ("v".into(), int(x)),
+        ]),
+        MatchValue::Lpm {
+            value,
+            prefix_len,
+            width,
+        } => Value::object(vec![
+            ("k".into(), Value::Str("lpm".into())),
+            ("v".into(), int(value)),
+            ("plen".into(), int(prefix_len as u64)),
+            ("width".into(), int(width as u64)),
+        ]),
+        MatchValue::Ternary { value, mask } => Value::object(vec![
+            ("k".into(), Value::Str("ternary".into())),
+            ("v".into(), int(value)),
+            ("mask".into(), int(mask)),
+        ]),
+        MatchValue::Range { lo, hi } => Value::object(vec![
+            ("k".into(), Value::Str("range".into())),
+            ("lo".into(), int(lo)),
+            ("hi".into(), int(hi)),
+        ]),
+    }
+}
+
+fn primitive(p: &Primitive) -> Value {
+    let tag = |t: &str, rest: Vec<(String, Value)>| {
+        let mut kv = vec![("p".into(), Value::Str(t.into()))];
+        kv.extend(rest);
+        Value::object(kv)
+    };
+    match *p {
+        Primitive::SetFieldConst(f, v) => tag(
+            "set_const",
+            vec![("f".into(), Value::Str(field_str(f))), ("v".into(), int(v))],
+        ),
+        Primitive::SetFieldFromData(f, n) => tag(
+            "set_data",
+            vec![
+                ("f".into(), Value::Str(field_str(f))),
+                ("n".into(), int(n as u64)),
+            ],
+        ),
+        Primitive::Drop => tag("drop", vec![]),
+        Primitive::SetEgressFromData(n) => tag("egress_data", vec![("n".into(), int(n as u64))]),
+        Primitive::SetEgressConst(p) => tag("egress_const", vec![("v".into(), int(p as u64))]),
+        Primitive::PushVlanFromData(n) => tag("push_vlan", vec![("n".into(), int(n as u64))]),
+        Primitive::PopVlan => tag("pop_vlan", vec![]),
+        Primitive::PushNshFromData(n) => tag("push_nsh", vec![("n".into(), int(n as u64))]),
+        Primitive::PopNsh => tag("pop_nsh", vec![]),
+        Primitive::DecNshSi => tag("dec_si", vec![]),
+        Primitive::NoOp => tag("nop", vec![]),
+    }
+}
+
+fn control(c: &Control) -> Value {
+    let tag = |t: &str, rest: Vec<(String, Value)>| {
+        let mut kv = vec![("c".into(), Value::Str(t.into()))];
+        kv.extend(rest);
+        Value::object(kv)
+    };
+    match c {
+        Control::Seq(xs) => tag(
+            "seq",
+            vec![("xs".into(), Value::Array(xs.iter().map(control).collect()))],
+        ),
+        Control::Apply(TableId(t)) => tag("apply", vec![("t".into(), int(*t as u64))]),
+        Control::Switch { on, cases, default } => tag(
+            "switch",
+            vec![
+                ("on".into(), Value::Str(field_str(*on))),
+                (
+                    "cases".into(),
+                    Value::Array(
+                        cases
+                            .iter()
+                            .map(|(v, b)| Value::Array(vec![int(*v), control(b)]))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "default".into(),
+                    default.as_ref().map(|d| control(d)).unwrap_or(Value::Null),
+                ),
+            ],
+        ),
+        Control::If {
+            field,
+            op,
+            value,
+            then_,
+        } => tag(
+            "if",
+            vec![
+                ("field".into(), Value::Str(field_str(*field))),
+                (
+                    "op".into(),
+                    Value::Str(
+                        match op {
+                            CmpOp::Eq => "eq",
+                            CmpOp::Ne => "ne",
+                            CmpOp::Lt => "lt",
+                            CmpOp::Ge => "ge",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("value".into(), int(*value)),
+                ("then".into(), control(then_)),
+            ],
+        ),
+        Control::Exclusive(xs) => tag(
+            "excl",
+            vec![("xs".into(), Value::Array(xs.iter().map(control).collect()))],
+        ),
+        Control::Nop => tag("nop", vec![]),
+    }
+}
+
+fn table(t: &Table) -> Value {
+    Value::object(vec![
+        ("name".into(), Value::Str(t.name.clone())),
+        (
+            "keys".into(),
+            Value::Array(
+                t.keys
+                    .iter()
+                    .map(|(f, k)| {
+                        Value::Array(vec![
+                            Value::Str(field_str(*f)),
+                            Value::Str(match_kind_str(*k).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "actions".into(),
+            Value::Array(
+                t.actions
+                    .iter()
+                    .map(|a| {
+                        Value::object(vec![
+                            ("name".into(), Value::Str(a.name.clone())),
+                            (
+                                "prims".into(),
+                                Value::Array(a.primitives.iter().map(primitive).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "default".into(),
+            t.default_action
+                .map(|d| int(d as u64))
+                .unwrap_or(Value::Null),
+        ),
+        ("size".into(), int(t.size as u64)),
+    ])
+}
+
+/// Encode a corpus entry to a JSON `Value`.
+pub fn encode(entry: &CorpusEntry) -> Value {
+    Value::object(vec![
+        ("name".into(), Value::Str(entry.name.clone())),
+        (
+            "expect_divergence_with_injected_bug".into(),
+            Value::Bool(entry.expect_divergence_with_injected_bug),
+        ),
+        (
+            "tables".into(),
+            Value::Array(entry.case.program.tables.iter().map(table).collect()),
+        ),
+        (
+            "control".into(),
+            entry
+                .case
+                .program
+                .control
+                .as_ref()
+                .map(control)
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "entries".into(),
+            Value::Array(
+                entry
+                    .case
+                    .entries
+                    .iter()
+                    .map(|(t, e)| {
+                        Value::object(vec![
+                            ("t".into(), int(*t as u64)),
+                            (
+                                "keys".into(),
+                                Value::Array(e.keys.iter().map(match_value).collect()),
+                            ),
+                            ("action".into(), int(e.action as u64)),
+                            (
+                                "data".into(),
+                                Value::Array(e.action_data.iter().map(|d| int(*d)).collect()),
+                            ),
+                            ("priority".into(), int(e.priority as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "packets".into(),
+            Value::Array(
+                entry
+                    .case
+                    .packets
+                    .iter()
+                    .map(|p| Value::Array(p.iter().map(|b| int(*b as u64)).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ---- decoding ----------------------------------------------------------
+
+fn err(msg: &str) -> String {
+    format!("corpus decode: {msg}")
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| err(&format!("missing key {key}")))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    get(v, key)?
+        .as_i128()
+        .map(|x| x as u64)
+        .ok_or_else(|| err(&format!("{key} not an int")))
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| err(&format!("{key} not a string")))
+}
+
+fn get_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    get(v, key)?
+        .as_array()
+        .ok_or_else(|| err(&format!("{key} not an array")))
+}
+
+fn parse_field(s: &str) -> Result<FieldRef, String> {
+    if let Some(n) = s.strip_prefix("Meta:") {
+        return Ok(FieldRef::Meta(
+            n.parse().map_err(|_| err("bad Meta index"))?,
+        ));
+    }
+    if let Some(n) = s.strip_prefix("FlowHash:") {
+        return Ok(FieldRef::FlowHash(
+            n.parse().map_err(|_| err("bad FlowHash index"))?,
+        ));
+    }
+    Ok(match s {
+        "EthSrc" => FieldRef::EthSrc,
+        "EthDst" => FieldRef::EthDst,
+        "EtherType" => FieldRef::EtherType,
+        "VlanVid" => FieldRef::VlanVid,
+        "Ipv4Src" => FieldRef::Ipv4Src,
+        "Ipv4Dst" => FieldRef::Ipv4Dst,
+        "Ipv4Proto" => FieldRef::Ipv4Proto,
+        "Ipv4Ttl" => FieldRef::Ipv4Ttl,
+        "L4Sport" => FieldRef::L4Sport,
+        "L4Dport" => FieldRef::L4Dport,
+        "NshSpi" => FieldRef::NshSpi,
+        "NshSi" => FieldRef::NshSi,
+        other => return Err(err(&format!("unknown field {other}"))),
+    })
+}
+
+fn parse_match_value(v: &Value) -> Result<MatchValue, String> {
+    Ok(match get_str(v, "k")? {
+        "any" => MatchValue::Any,
+        "exact" => MatchValue::Exact(get_u64(v, "v")?),
+        "lpm" => MatchValue::Lpm {
+            value: get_u64(v, "v")?,
+            prefix_len: get_u64(v, "plen")? as u8,
+            width: get_u64(v, "width")? as u8,
+        },
+        "ternary" => MatchValue::Ternary {
+            value: get_u64(v, "v")?,
+            mask: get_u64(v, "mask")?,
+        },
+        "range" => MatchValue::Range {
+            lo: get_u64(v, "lo")?,
+            hi: get_u64(v, "hi")?,
+        },
+        other => return Err(err(&format!("unknown match value {other}"))),
+    })
+}
+
+fn parse_primitive(v: &Value) -> Result<Primitive, String> {
+    Ok(match get_str(v, "p")? {
+        "set_const" => Primitive::SetFieldConst(parse_field(get_str(v, "f")?)?, get_u64(v, "v")?),
+        "set_data" => {
+            Primitive::SetFieldFromData(parse_field(get_str(v, "f")?)?, get_u64(v, "n")? as u8)
+        }
+        "drop" => Primitive::Drop,
+        "egress_data" => Primitive::SetEgressFromData(get_u64(v, "n")? as u8),
+        "egress_const" => Primitive::SetEgressConst(get_u64(v, "v")? as u16),
+        "push_vlan" => Primitive::PushVlanFromData(get_u64(v, "n")? as u8),
+        "pop_vlan" => Primitive::PopVlan,
+        "push_nsh" => Primitive::PushNshFromData(get_u64(v, "n")? as u8),
+        "pop_nsh" => Primitive::PopNsh,
+        "dec_si" => Primitive::DecNshSi,
+        "nop" => Primitive::NoOp,
+        other => return Err(err(&format!("unknown primitive {other}"))),
+    })
+}
+
+fn parse_control(v: &Value) -> Result<Control, String> {
+    Ok(match get_str(v, "c")? {
+        "seq" => Control::Seq(
+            get_arr(v, "xs")?
+                .iter()
+                .map(parse_control)
+                .collect::<Result<_, _>>()?,
+        ),
+        "apply" => Control::Apply(TableId(get_u64(v, "t")? as usize)),
+        "switch" => {
+            let cases = get_arr(v, "cases")?
+                .iter()
+                .map(|c| {
+                    let pair = c.as_array().ok_or_else(|| err("case not a pair"))?;
+                    if pair.len() != 2 {
+                        return Err(err("case pair arity"));
+                    }
+                    let val = pair[0].as_i128().ok_or_else(|| err("case value"))? as u64;
+                    Ok((val, parse_control(&pair[1])?))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let default = match get(v, "default")? {
+                Value::Null => None,
+                d => Some(Box::new(parse_control(d)?)),
+            };
+            Control::Switch {
+                on: parse_field(get_str(v, "on")?)?,
+                cases,
+                default,
+            }
+        }
+        "if" => Control::If {
+            field: parse_field(get_str(v, "field")?)?,
+            op: match get_str(v, "op")? {
+                "eq" => CmpOp::Eq,
+                "ne" => CmpOp::Ne,
+                "lt" => CmpOp::Lt,
+                "ge" => CmpOp::Ge,
+                other => return Err(err(&format!("unknown op {other}"))),
+            },
+            value: get_u64(v, "value")?,
+            then_: Box::new(parse_control(get(v, "then")?)?),
+        },
+        "excl" => Control::Exclusive(
+            get_arr(v, "xs")?
+                .iter()
+                .map(parse_control)
+                .collect::<Result<_, _>>()?,
+        ),
+        "nop" => Control::Nop,
+        other => return Err(err(&format!("unknown control {other}"))),
+    })
+}
+
+fn parse_table(v: &Value) -> Result<Table, String> {
+    let keys = get_arr(v, "keys")?
+        .iter()
+        .map(|k| {
+            let pair = k.as_array().ok_or_else(|| err("key not a pair"))?;
+            if pair.len() != 2 {
+                return Err(err("key pair arity"));
+            }
+            let f = parse_field(pair[0].as_str().ok_or_else(|| err("key field"))?)?;
+            let kind = match pair[1].as_str().ok_or_else(|| err("key kind"))? {
+                "exact" => MatchKind::Exact,
+                "lpm" => MatchKind::Lpm,
+                "ternary" => MatchKind::Ternary,
+                "range" => MatchKind::Range,
+                other => return Err(err(&format!("unknown match kind {other}"))),
+            };
+            Ok((f, kind))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let actions = get_arr(v, "actions")?
+        .iter()
+        .map(|a| {
+            let prims = get_arr(a, "prims")?
+                .iter()
+                .map(parse_primitive)
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Action::new(get_str(a, "name")?, prims))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let default_action = match get(v, "default")? {
+        Value::Null => None,
+        d => Some(d.as_i128().ok_or_else(|| err("default action"))? as usize),
+    };
+    Ok(Table {
+        name: get_str(v, "name")?.to_string(),
+        keys,
+        actions,
+        default_action,
+        size: get_u64(v, "size")? as usize,
+    })
+}
+
+/// Decode a corpus entry from a JSON `Value`.
+pub fn decode(v: &Value) -> Result<CorpusEntry, String> {
+    let mut program = P4Program::new();
+    for t in get_arr(v, "tables")? {
+        program.add_table(parse_table(t)?);
+    }
+    program.control = match get(v, "control")? {
+        Value::Null => None,
+        c => Some(parse_control(c)?),
+    };
+    program
+        .validate()
+        .map_err(|e| err(&format!("invalid program: {e:?}")))?;
+    let entries = get_arr(v, "entries")?
+        .iter()
+        .map(|e| {
+            let keys = get_arr(e, "keys")?
+                .iter()
+                .map(parse_match_value)
+                .collect::<Result<Vec<_>, String>>()?;
+            let data = get_arr(e, "data")?
+                .iter()
+                .map(|d| {
+                    d.as_i128()
+                        .map(|x| x as u64)
+                        .ok_or_else(|| err("data word"))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok((
+                get_u64(e, "t")? as usize,
+                TableEntry {
+                    keys,
+                    action: get_u64(e, "action")? as usize,
+                    action_data: data,
+                    priority: get_u64(e, "priority")? as u32,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let packets = get_arr(v, "packets")?
+        .iter()
+        .map(|p| {
+            p.as_array()
+                .ok_or_else(|| err("packet not an array"))?
+                .iter()
+                .map(|b| b.as_i128().map(|x| x as u8).ok_or_else(|| err("byte")))
+                .collect::<Result<Vec<u8>, String>>()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CorpusEntry {
+        name: get_str(v, "name")?.to_string(),
+        expect_divergence_with_injected_bug: matches!(
+            get(v, "expect_divergence_with_injected_bug")?,
+            Value::Bool(true)
+        ),
+        case: DiffCase {
+            program,
+            entries,
+            packets,
+        },
+    })
+}
+
+/// Serialize an entry to pretty JSON text.
+pub fn to_json(entry: &CorpusEntry) -> String {
+    serde_json::to_string_pretty(&encode(entry)).expect("Value serialization is infallible")
+}
+
+/// Parse an entry from JSON text.
+pub fn from_json(text: &str) -> Result<CorpusEntry, String> {
+    let v = serde_json::parse_value_str(text).map_err(|e| err(&format!("bad JSON: {e}")))?;
+    decode(&v)
+}
+
+/// The checked-in corpus directory.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Load every `*.json` entry from a corpus directory, sorted by file name
+/// for deterministic replay order.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| err(&format!("read_dir {}: {e}", dir.display())))?
+        .filter_map(|r| r.ok().map(|d| d.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| err(&format!("read {}: {e}", p.display())))?;
+            from_json(&text).map_err(|e| format!("{}: {e}", p.display()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for i in 0..50 {
+            let case = gen_case(&mut rng);
+            let entry = CorpusEntry {
+                name: format!("case{i}"),
+                expect_divergence_with_injected_bug: i % 2 == 0,
+                case,
+            };
+            let text = to_json(&entry);
+            let back = from_json(&text).unwrap();
+            assert_eq!(back.name, entry.name);
+            assert_eq!(
+                back.expect_divergence_with_injected_bug,
+                entry.expect_divergence_with_injected_bug
+            );
+            assert_eq!(
+                back.case.program.fingerprint(),
+                entry.case.program.fingerprint(),
+                "program fingerprint changed across JSON round-trip"
+            );
+            assert_eq!(back.case.packets, entry.case.packets);
+            assert_eq!(back.case.entries.len(), entry.case.entries.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"{"name":"x"}"#).is_err());
+    }
+}

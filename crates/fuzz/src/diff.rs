@@ -1,0 +1,224 @@
+//! Axis 1: compiler-differential execution.
+//!
+//! The same program runs three ways on identical packet batches:
+//!
+//! 1. **Tree** — `Switch::process`, the control-tree reference
+//!    interpreter (no stage packing at all);
+//! 2. **Packed** — `process_staged` over the optimizing stage-packing
+//!    compiler's assignment (effect-aware dependency analysis on);
+//! 3. **Naive** — `process_staged` over `compile_naive`, one table per
+//!    stage in control order.
+//!
+//! Any disagreement — per-packet verdict, per-packet output bytes, or
+//! final table counters — between any pair is a divergence: the packed
+//! schedule reordered something the dependency analysis should have
+//! pinned, or staged guard evaluation departed from tree semantics.
+
+use crate::gen::DiffCase;
+use lemur_p4sim::compiler::{CompileError, CompileOptions};
+use lemur_p4sim::ir::TableId;
+use lemur_p4sim::resources::PisaModel;
+use lemur_p4sim::runtime::{Switch, SwitchVerdict};
+use lemur_packet::PacketBuf;
+
+/// A reproducible description of one observed divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the first diverging packet, or `None` for a pure
+    /// counter divergence after an otherwise identical run.
+    pub packet: Option<usize>,
+    /// Which pair of executors disagreed and how.
+    pub detail: String,
+}
+
+/// Why a generated case was skipped rather than diffed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Skip {
+    /// The packed compiler rejected the program.
+    Packed(CompileError),
+    /// The naive compiler rejected the program (e.g. more tables than
+    /// stages).
+    Naive(CompileError),
+}
+
+/// Outcome of diffing one case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffOutcome {
+    Agree,
+    Diverged(Divergence),
+    Skipped(Skip),
+}
+
+impl DiffOutcome {
+    pub fn divergence(&self) -> Option<&Divergence> {
+        match self {
+            DiffOutcome::Diverged(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// The hardware model used for differential runs: deliberately roomy so
+/// almost every generated program compiles on both sides and skips stay
+/// rare (the point is executing programs, not rejecting them).
+pub fn diff_model() -> PisaModel {
+    PisaModel {
+        num_stages: 64,
+        ..PisaModel::default()
+    }
+}
+
+/// Compile options for the packed side. Effect-aware dependency analysis
+/// is on: generated actions drop, set egress, and restructure headers, so
+/// the field-only §4.2 rules are insufficient for a sound reorder.
+pub fn packed_options() -> CompileOptions {
+    CompileOptions {
+        effect_deps: true,
+        ..CompileOptions::default()
+    }
+}
+
+fn verdict_str(v: &SwitchVerdict) -> String {
+    format!(
+        "egress={:?} dropped={} cause={:?}",
+        v.egress_port, v.dropped, v.cause
+    )
+}
+
+/// Run one case through all three executors with the given packed-side
+/// options. Entries that fail installation (possible mid-shrink) are
+/// skipped identically on every side, so installation never diverges.
+pub fn diff_case_with(case: &DiffCase, packed_opts: CompileOptions) -> DiffOutcome {
+    let model = diff_model();
+    let mut packed = match Switch::new_with_options(case.program.clone(), model, packed_opts) {
+        Ok(s) => s,
+        Err(e) => return DiffOutcome::Skipped(Skip::Packed(e)),
+    };
+    let mut naive = match Switch::new_naive(case.program.clone(), model) {
+        Ok(s) => s,
+        Err(e) => return DiffOutcome::Skipped(Skip::Naive(e)),
+    };
+    // The tree executor ignores the stage assignment; reuse the naive
+    // compile so construction cannot fail differently.
+    let mut tree = match Switch::new_naive(case.program.clone(), model) {
+        Ok(s) => s,
+        Err(e) => return DiffOutcome::Skipped(Skip::Naive(e)),
+    };
+
+    for (t, e) in &case.entries {
+        let id = TableId(*t);
+        let a = packed.try_add_entry(id, e.clone());
+        let b = naive.try_add_entry(id, e.clone());
+        let c = tree.try_add_entry(id, e.clone());
+        debug_assert_eq!(a.is_ok(), b.is_ok());
+        debug_assert_eq!(a.is_ok(), c.is_ok());
+    }
+
+    for (i, bytes) in case.packets.iter().enumerate() {
+        let mut p_tree = PacketBuf::from_bytes(bytes);
+        let mut p_packed = PacketBuf::from_bytes(bytes);
+        let mut p_naive = PacketBuf::from_bytes(bytes);
+        let v_tree = tree.process(&mut p_tree);
+        let v_packed = packed.process_staged(&mut p_packed);
+        let v_naive = naive.process_staged(&mut p_naive);
+
+        let pairs = [
+            ("tree", &v_tree, &p_tree, "packed", &v_packed, &p_packed),
+            ("tree", &v_tree, &p_tree, "naive", &v_naive, &p_naive),
+            ("packed", &v_packed, &p_packed, "naive", &v_naive, &p_naive),
+        ];
+        for (an, av, ap, bn, bv, bp) in pairs {
+            if av != bv {
+                return DiffOutcome::Diverged(Divergence {
+                    packet: Some(i),
+                    detail: format!(
+                        "verdict {an}[{}] != {bn}[{}]",
+                        verdict_str(av),
+                        verdict_str(bv)
+                    ),
+                });
+            }
+            if ap.as_slice() != bp.as_slice() {
+                return DiffOutcome::Diverged(Divergence {
+                    packet: Some(i),
+                    detail: format!(
+                        "output bytes {an}({}B) != {bn}({}B)",
+                        ap.as_slice().len(),
+                        bp.as_slice().len()
+                    ),
+                });
+            }
+        }
+    }
+
+    // Counters: the tree executor and both staged executors must have
+    // applied/hit/missed identically per table.
+    let ct = tree.table_counters();
+    let cp = packed.table_counters();
+    let cn = naive.table_counters();
+    for t in 0..case.program.num_tables() {
+        if ct[t] != cp[t] || ct[t] != cn[t] {
+            return DiffOutcome::Diverged(Divergence {
+                packet: None,
+                detail: format!(
+                    "counters for table {t}: tree={:?} packed={:?} naive={:?}",
+                    ct[t], cp[t], cn[t]
+                ),
+            });
+        }
+    }
+    DiffOutcome::Agree
+}
+
+/// Diff under the default harness options.
+pub fn diff_case(case: &DiffCase) -> DiffOutcome {
+    diff_case_with(case, packed_options())
+}
+
+/// Diff with the compiler's deliberate packing bug injected (drops
+/// anti-dependency edges and prepends within stages). Used by the
+/// shrinker self-test and the `--inject-bug` harness mode.
+pub fn diff_case_injected(case: &DiffCase) -> DiffOutcome {
+    diff_case_with(
+        case,
+        CompileOptions {
+            inject_packing_bug: true,
+            ..packed_options()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_cases_agree_under_sound_options() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut executed = 0;
+        for _ in 0..150 {
+            let case = gen_case(&mut rng);
+            match diff_case(&case) {
+                DiffOutcome::Agree => executed += 1,
+                DiffOutcome::Diverged(d) => {
+                    panic!("sound compile diverged: {d:?} on {:?}", case.program)
+                }
+                DiffOutcome::Skipped(_) => {}
+            }
+        }
+        assert!(executed > 100, "only {executed}/150 cases executed");
+    }
+
+    #[test]
+    fn injected_bug_is_eventually_caught() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let caught = (0..400).any(|_| {
+            let case = gen_case(&mut rng);
+            matches!(diff_case_injected(&case), DiffOutcome::Diverged(_))
+        });
+        assert!(caught, "injected packing bug never produced a divergence");
+    }
+}

@@ -1,0 +1,413 @@
+//! Seeded generation of random P4 table programs, table entries, and
+//! packet workloads.
+//!
+//! Everything is driven by a [`StdRng`] seeded from a caller-supplied
+//! `u64`, so any failing trial is reproducible from `(seed, trial index)`
+//! alone.
+//!
+//! ## Generator discipline
+//!
+//! The staged executor re-evaluates branch guards per table at execution
+//! time, while the control-tree executor evaluates each selector once at
+//! the branch point. The two agree only if selector fields are stable for
+//! the lifetime of a packet's trip through the pipeline. The generator
+//! enforces the discipline the real code generator follows:
+//!
+//! * `Switch`/`If` selectors read only the reserved metadata registers
+//!   `Meta(0..=3)`;
+//! * those registers are written exclusively by a classifier table applied
+//!   before any branching;
+//! * body tables write packet fields, egress, and the scratch registers
+//!   `Meta(4..=7)` — never the reserved selectors.
+//!
+//! `Exclusive` blocks are deliberately never generated: the runtime
+//! executes every child of an `Exclusive` while the stage packer assumes
+//! mutual exclusion, so the IR contract makes the *author* responsible
+//! for exclusivity. Randomly generated children would violate that
+//! contract and report miscompilations that no conforming frontend can
+//! trigger. `Switch` expresses the same shape with checked exclusivity.
+
+use lemur_p4sim::ir::{
+    Action, Control, FieldRef, MatchKind, MatchValue, P4Program, Primitive, Table, TableEntry,
+    TableId,
+};
+use lemur_packet::builder::{nsh_encap, tcp_packet, udp_packet, vlan_push};
+use lemur_packet::{ethernet, ipv4, PacketBuf};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generated differential test case: one program, its entries, and a
+/// packet workload to push through it.
+#[derive(Debug, Clone)]
+pub struct DiffCase {
+    pub program: P4Program,
+    /// `(table index, entry)` pairs, installed in order.
+    pub entries: Vec<(usize, TableEntry)>,
+    /// Raw frames (valid, adversarial, and truncated).
+    pub packets: Vec<Vec<u8>>,
+}
+
+/// Fields body tables may match on. Reserved selector registers are
+/// excluded; scratch registers and every parseable header field are in.
+const KEY_FIELDS: &[FieldRef] = &[
+    FieldRef::EthSrc,
+    FieldRef::EthDst,
+    FieldRef::EtherType,
+    FieldRef::VlanVid,
+    FieldRef::Ipv4Src,
+    FieldRef::Ipv4Dst,
+    FieldRef::Ipv4Proto,
+    FieldRef::Ipv4Ttl,
+    FieldRef::L4Sport,
+    FieldRef::L4Dport,
+    FieldRef::NshSpi,
+    FieldRef::NshSi,
+    FieldRef::FlowHash(0),
+    FieldRef::FlowHash(1),
+    FieldRef::Meta(4),
+    FieldRef::Meta(5),
+    FieldRef::Meta(6),
+];
+
+/// Fields body tables may write. `Ipv4Proto`, `EtherType` and `FlowHash`
+/// are read-only in the runtime; the reserved selectors are off-limits by
+/// discipline.
+const WRITE_FIELDS: &[FieldRef] = &[
+    FieldRef::EthSrc,
+    FieldRef::EthDst,
+    FieldRef::Ipv4Src,
+    FieldRef::Ipv4Dst,
+    FieldRef::Ipv4Ttl,
+    FieldRef::L4Sport,
+    FieldRef::L4Dport,
+    FieldRef::NshSpi,
+    FieldRef::NshSi,
+    FieldRef::VlanVid,
+    FieldRef::Meta(4),
+    FieldRef::Meta(5),
+    FieldRef::Meta(6),
+    FieldRef::Meta(7),
+];
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+fn gen_match_kind(rng: &mut StdRng) -> MatchKind {
+    match rng.gen_range(0u8..4) {
+        0 => MatchKind::Exact,
+        1 => MatchKind::Lpm,
+        2 => MatchKind::Ternary,
+        _ => MatchKind::Range,
+    }
+}
+
+fn gen_primitive(rng: &mut StdRng) -> Primitive {
+    match rng.gen_range(0u8..20) {
+        0..=5 => Primitive::SetFieldConst(pick(rng, WRITE_FIELDS), rng.gen_range(0u64..4096)),
+        6..=9 => Primitive::SetFieldFromData(pick(rng, WRITE_FIELDS), rng.gen_range(0u8..3)),
+        10..=11 => Primitive::SetEgressConst(rng.gen_range(0u16..8)),
+        12 => Primitive::SetEgressFromData(rng.gen_range(0u8..3)),
+        13 => Primitive::Drop,
+        14 => Primitive::DecNshSi,
+        15 => Primitive::PushVlanFromData(rng.gen_range(0u8..2)),
+        16 => Primitive::PopVlan,
+        17 => Primitive::PushNshFromData(rng.gen_range(0u8..2)),
+        18 => Primitive::PopNsh,
+        _ => Primitive::NoOp,
+    }
+}
+
+fn gen_action(rng: &mut StdRng, i: usize) -> Action {
+    let n = rng.gen_range(1usize..=3);
+    Action::new(
+        &format!("act{i}"),
+        (0..n).map(|_| gen_primitive(rng)).collect(),
+    )
+}
+
+fn gen_body_table(rng: &mut StdRng, idx: usize) -> Table {
+    let nkeys = rng.gen_range(0usize..=2);
+    let nact = rng.gen_range(1usize..=3);
+    let actions: Vec<Action> = (0..nact).map(|i| gen_action(rng, i)).collect();
+    let default_action = if rng.gen_bool(0.7) {
+        Some(rng.gen_range(0..nact))
+    } else {
+        None
+    };
+    Table {
+        name: format!("t{idx}"),
+        keys: (0..nkeys)
+            .map(|_| (pick(rng, KEY_FIELDS), gen_match_kind(rng)))
+            .collect(),
+        actions,
+        default_action,
+        size: rng.gen_range(1usize..2000),
+    }
+}
+
+/// The classifier: matches the L4 destination port and writes the two
+/// selector registers branching reads. Applied first, before any branch.
+fn classifier_table(rng: &mut StdRng) -> Table {
+    Table {
+        name: "classify".into(),
+        keys: vec![(FieldRef::L4Dport, MatchKind::Exact)],
+        actions: vec![Action::new(
+            "set_class",
+            vec![
+                Primitive::SetFieldFromData(FieldRef::Meta(0), 0),
+                Primitive::SetFieldFromData(FieldRef::Meta(1), 1),
+            ],
+        )],
+        default_action: Some(0),
+        size: rng.gen_range(4usize..64),
+    }
+}
+
+/// Ports the packet generator samples; classifier entries key on the same
+/// pool so branches are actually taken.
+const PORT_POOL: &[u16] = &[22, 53, 80, 443, 8080, 1000, 2000, 65535];
+
+fn gen_match_value(rng: &mut StdRng) -> MatchValue {
+    match rng.gen_range(0u8..5) {
+        0 => MatchValue::Any,
+        1 => MatchValue::Exact(rng.gen_range(0u64..4096)),
+        2 => MatchValue::Lpm {
+            value: rng.gen_range(0u64..u32::MAX as u64),
+            prefix_len: rng.gen_range(0u8..=32),
+            width: 32,
+        },
+        3 => MatchValue::Ternary {
+            value: rng.gen_range(0u64..65536),
+            mask: rng.gen_range(0u64..65536),
+        },
+        _ => {
+            let lo = rng.gen_range(0u64..4096);
+            MatchValue::Range {
+                lo,
+                hi: lo + rng.gen_range(0u64..4096),
+            }
+        }
+    }
+}
+
+fn gen_entries(
+    rng: &mut StdRng,
+    table_idx: usize,
+    table: &Table,
+    out: &mut Vec<(usize, TableEntry)>,
+) {
+    let n = rng.gen_range(0usize..=3.min(table.size));
+    for _ in 0..n {
+        out.push((
+            table_idx,
+            TableEntry {
+                keys: table.keys.iter().map(|_| gen_match_value(rng)).collect(),
+                action: rng.gen_range(0..table.actions.len()),
+                action_data: (0..rng.gen_range(0usize..=3))
+                    .map(|_| rng.gen_range(0u64..4096))
+                    .collect(),
+                priority: rng.gen_range(0u32..16),
+            },
+        ));
+    }
+}
+
+/// Build a random control structure over the body tables (the classifier
+/// is applied first, outside). Consumes tables left-to-right so every
+/// table appears exactly once.
+fn gen_control(rng: &mut StdRng, tables: &[TableId], depth: usize) -> Control {
+    if tables.is_empty() {
+        return Control::Nop;
+    }
+    if tables.len() == 1 || depth >= 2 {
+        return Control::Seq(tables.iter().map(|t| Control::Apply(*t)).collect());
+    }
+    let mut blocks = Vec::new();
+    let mut rest = tables;
+    while !rest.is_empty() {
+        let take = rng.gen_range(1usize..=rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        rest = tail;
+        match rng.gen_range(0u8..4) {
+            // Plain sequence of applies.
+            0 | 1 => blocks.extend(chunk.iter().map(|t| Control::Apply(*t))),
+            // Switch on a reserved selector register.
+            2 => {
+                let mid = chunk.len() / 2;
+                let (a, b) = chunk.split_at(mid);
+                let cases = vec![
+                    (0u64, gen_control(rng, a, depth + 1)),
+                    (1u64, gen_control(rng, b, depth + 1)),
+                ];
+                let default = if rng.gen_bool(0.5) {
+                    Some(Box::new(Control::Nop))
+                } else {
+                    None
+                };
+                blocks.push(Control::Switch {
+                    on: FieldRef::Meta(0),
+                    cases,
+                    default,
+                });
+            }
+            // If on the other reserved selector.
+            _ => {
+                let op = match rng.gen_range(0u8..3) {
+                    0 => lemur_p4sim::ir::CmpOp::Eq,
+                    1 => lemur_p4sim::ir::CmpOp::Lt,
+                    _ => lemur_p4sim::ir::CmpOp::Ge,
+                };
+                blocks.push(Control::If {
+                    field: FieldRef::Meta(1),
+                    op,
+                    value: rng.gen_range(0u64..4),
+                    then_: Box::new(gen_control(rng, chunk, depth + 1)),
+                });
+            }
+        }
+    }
+    Control::Seq(blocks)
+}
+
+/// Generate one random program with entries.
+pub fn gen_program(rng: &mut StdRng) -> (P4Program, Vec<(usize, TableEntry)>) {
+    let mut program = P4Program::new();
+    let mut entries = Vec::new();
+
+    let classifier = program.add_table(classifier_table(rng));
+    // Classifier entries: map sampled ports to selector values 0..4.
+    for _ in 0..rng.gen_range(1usize..=3) {
+        entries.push((
+            classifier.0,
+            TableEntry {
+                keys: vec![MatchValue::Exact(pick(rng, PORT_POOL) as u64)],
+                action: 0,
+                action_data: vec![rng.gen_range(0u64..2), rng.gen_range(0u64..4)],
+                priority: 1,
+            },
+        ));
+    }
+
+    let nbody = rng.gen_range(1usize..=8);
+    let body: Vec<TableId> = (0..nbody)
+        .map(|i| {
+            let t = gen_body_table(rng, i);
+            gen_entries(rng, i + 1, &t, &mut entries);
+            program.add_table(t)
+        })
+        .collect();
+
+    let body_control = gen_control(rng, &body, 0);
+    program.control = Some(Control::Seq(vec![Control::Apply(classifier), body_control]));
+    debug_assert!(program.validate().is_ok());
+    (program, entries)
+}
+
+const MAC_A: ethernet::Address = ethernet::Address([2, 0, 0, 0, 0, 1]);
+const MAC_B: ethernet::Address = ethernet::Address([2, 0, 0, 0, 0, 2]);
+
+/// Set the IPv4 TTL of a built frame in place (the builders default it).
+fn set_ttl(pkt: &mut PacketBuf, ttl: u8) {
+    let mut ip = ipv4::Packet::new_unchecked(&mut pkt.as_mut_slice()[ethernet::HEADER_LEN..]);
+    ip.set_ttl(ttl);
+    ip.fill_checksum();
+}
+
+/// Generate one frame: mostly well-formed UDP/TCP, with NSH / VLAN
+/// encapsulation, boundary TTLs, and truncations mixed in.
+pub fn gen_packet(rng: &mut StdRng) -> Vec<u8> {
+    let src = ipv4::Address::new(10, rng.gen_range(0u8..4), 0, rng.gen_range(1u8..10));
+    let dst = ipv4::Address::new(192, 168, rng.gen_range(0u8..4), rng.gen_range(1u8..10));
+    let sport = pick(rng, PORT_POOL);
+    let dport = pick(rng, PORT_POOL);
+    let payload = vec![0x5au8; rng.gen_range(0usize..256)];
+    let mut pkt = if rng.gen_bool(0.7) {
+        udp_packet(MAC_A, MAC_B, src, dst, sport, dport, &payload)
+    } else {
+        let flags = if rng.gen_bool(0.5) {
+            lemur_packet::tcp::Flags::SYN
+        } else {
+            lemur_packet::tcp::Flags::ACK
+        };
+        tcp_packet(MAC_A, MAC_B, src, dst, sport, dport, flags, &payload)
+    };
+    // Boundary TTLs exercise range/exact matches on Ipv4Ttl.
+    if rng.gen_bool(0.25) {
+        set_ttl(&mut pkt, pick(rng, &[0u8, 1, 2, 255]));
+    }
+    // Encapsulations.
+    if rng.gen_bool(0.2) {
+        vlan_push(&mut pkt, rng.gen_range(1u16..4095));
+    }
+    if rng.gen_bool(0.25) {
+        let si = pick(rng, &[0u8, 1, 2, 254, 255]);
+        nsh_encap(&mut pkt, rng.gen_range(1u32..64), si);
+    }
+    let mut bytes = pkt.as_slice().to_vec();
+    // Adversarial truncation: chop mid-header so field reads fail.
+    if rng.gen_bool(0.15) {
+        let keep = rng.gen_range(1usize..=bytes.len());
+        bytes.truncate(keep);
+    }
+    bytes
+}
+
+/// Generate a packet workload.
+pub fn gen_packets(rng: &mut StdRng, n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|_| gen_packet(rng)).collect()
+}
+
+/// Generate a full differential case: program + entries + workload.
+pub fn gen_case(rng: &mut StdRng) -> DiffCase {
+    let (program, entries) = gen_program(rng);
+    let n = rng.gen_range(1usize..=12);
+    let packets = gen_packets(rng, n);
+    DiffCase {
+        program,
+        entries,
+        packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_programs_validate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let case = gen_case(&mut rng);
+            case.program.validate().unwrap();
+            assert!(!case.packets.is_empty());
+            for (t, e) in &case.entries {
+                assert!(*t < case.program.num_tables());
+                assert_eq!(e.keys.len(), case.program.tables[*t].keys.len());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_case(&mut StdRng::seed_from_u64(42));
+        let b = gen_case(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a.program.fingerprint(), b.program.fingerprint());
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.entries.len(), b.entries.len());
+    }
+
+    #[test]
+    fn workload_contains_adversarial_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pkts = gen_packets(&mut rng, 400);
+        let truncated = pkts.iter().filter(|p| p.len() < 42).count();
+        assert!(truncated > 0, "no truncated frames in 400 samples");
+        let nsh = pkts
+            .iter()
+            .filter(|p| lemur_packet::builder::nsh_peek(p).is_some())
+            .count();
+        assert!(nsh > 0, "no NSH frames in 400 samples");
+    }
+}

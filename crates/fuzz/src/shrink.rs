@@ -1,0 +1,326 @@
+//! Delta-debugging shrinker: minimize a diverging `(program, entries,
+//! packets)` case while preserving the divergence.
+//!
+//! Fully deterministic greedy reduction — candidate edits are tried in a
+//! fixed order and an edit is kept iff the supplied check still reports a
+//! divergence. Passes repeat to a fixpoint:
+//!
+//! 1. remove packets (one at a time, last first);
+//! 2. remove tables (renumbering `TableId`s and pruning the control tree
+//!    and the removed table's entries);
+//! 3. flatten branching control (`Switch`/`If`/`Exclusive` → `Seq`);
+//! 4. remove table entries;
+//! 5. remove action primitives;
+//! 6. truncate packet bytes (binary chop from the tail).
+//!
+//! The check is the *caller's* divergence predicate, so the same shrinker
+//! minimizes axis-1 compiler divergences and injected-bug self-tests.
+
+use crate::gen::DiffCase;
+use lemur_p4sim::ir::{Control, TableId};
+
+/// Shrink `case` while `still_failing` holds. Returns the minimized case
+/// and the number of successful reductions applied.
+pub fn shrink<F>(case: &DiffCase, still_failing: F) -> (DiffCase, usize)
+where
+    F: Fn(&DiffCase) -> bool,
+{
+    debug_assert!(still_failing(case), "shrink() called on a passing case");
+    let mut cur = case.clone();
+    let mut applied = 0usize;
+    loop {
+        let before = applied;
+        applied += pass_remove_packets(&mut cur, &still_failing);
+        applied += pass_remove_tables(&mut cur, &still_failing);
+        applied += pass_flatten_control(&mut cur, &still_failing);
+        applied += pass_remove_entries(&mut cur, &still_failing);
+        applied += pass_remove_primitives(&mut cur, &still_failing);
+        applied += pass_truncate_packets(&mut cur, &still_failing);
+        if applied == before {
+            return (cur, applied);
+        }
+    }
+}
+
+fn pass_remove_packets<F: Fn(&DiffCase) -> bool>(cur: &mut DiffCase, check: &F) -> usize {
+    let mut n = 0;
+    let mut i = cur.packets.len();
+    while i > 0 {
+        i -= 1;
+        if cur.packets.len() == 1 {
+            break;
+        }
+        let mut cand = cur.clone();
+        cand.packets.remove(i);
+        if check(&cand) {
+            *cur = cand;
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Rewrite a control tree after removing table `t`: applies of `t` become
+/// `Nop`, later ids shift down by one.
+fn renumber(c: &Control, t: usize) -> Control {
+    match c {
+        Control::Seq(xs) => Control::Seq(xs.iter().map(|x| renumber(x, t)).collect()),
+        Control::Apply(TableId(x)) => {
+            if *x == t {
+                Control::Nop
+            } else if *x > t {
+                Control::Apply(TableId(*x - 1))
+            } else {
+                Control::Apply(TableId(*x))
+            }
+        }
+        Control::Switch { on, cases, default } => Control::Switch {
+            on: *on,
+            cases: cases
+                .iter()
+                .map(|(v, body)| (*v, renumber(body, t)))
+                .collect(),
+            default: default.as_ref().map(|d| Box::new(renumber(d, t))),
+        },
+        Control::If {
+            field,
+            op,
+            value,
+            then_,
+        } => Control::If {
+            field: *field,
+            op: *op,
+            value: *value,
+            then_: Box::new(renumber(then_, t)),
+        },
+        Control::Exclusive(xs) => Control::Exclusive(xs.iter().map(|x| renumber(x, t)).collect()),
+        Control::Nop => Control::Nop,
+    }
+}
+
+fn remove_table(case: &DiffCase, t: usize) -> DiffCase {
+    let mut out = case.clone();
+    out.program.tables.remove(t);
+    out.program.control = out.program.control.as_ref().map(|c| renumber(c, t));
+    out.entries = case
+        .entries
+        .iter()
+        .filter(|(ti, _)| *ti != t)
+        .map(|(ti, e)| (if *ti > t { *ti - 1 } else { *ti }, e.clone()))
+        .collect();
+    out
+}
+
+fn pass_remove_tables<F: Fn(&DiffCase) -> bool>(cur: &mut DiffCase, check: &F) -> usize {
+    let mut n = 0;
+    let mut t = cur.program.num_tables();
+    while t > 0 {
+        t -= 1;
+        if cur.program.num_tables() == 1 {
+            break;
+        }
+        let cand = remove_table(cur, t);
+        if check(&cand) {
+            *cur = cand;
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Enumerate flattening candidates: each branch node, addressed by a
+/// preorder index, rewritten to a `Seq` of all its children.
+fn flatten_at(c: &Control, target: usize, next: &mut usize) -> Control {
+    let my = *next;
+    *next += 1;
+    let hit = my == target;
+    match c {
+        Control::Seq(xs) => Control::Seq(xs.iter().map(|x| flatten_at(x, target, next)).collect()),
+        Control::Switch { on, cases, default } => {
+            if hit {
+                let mut seq: Vec<Control> = cases.iter().map(|(_, b)| b.clone()).collect();
+                if let Some(d) = default {
+                    seq.push((**d).clone());
+                }
+                Control::Seq(seq)
+            } else {
+                Control::Switch {
+                    on: *on,
+                    cases: cases
+                        .iter()
+                        .map(|(v, b)| (*v, flatten_at(b, target, next)))
+                        .collect(),
+                    default: default
+                        .as_ref()
+                        .map(|d| Box::new(flatten_at(d, target, next))),
+                }
+            }
+        }
+        Control::If {
+            field,
+            op,
+            value,
+            then_,
+        } => {
+            if hit {
+                (**then_).clone()
+            } else {
+                Control::If {
+                    field: *field,
+                    op: *op,
+                    value: *value,
+                    then_: Box::new(flatten_at(then_, target, next)),
+                }
+            }
+        }
+        Control::Exclusive(xs) => {
+            if hit {
+                Control::Seq(xs.clone())
+            } else {
+                Control::Exclusive(xs.iter().map(|x| flatten_at(x, target, next)).collect())
+            }
+        }
+        Control::Apply(t) => Control::Apply(*t),
+        Control::Nop => Control::Nop,
+    }
+}
+
+fn count_nodes(c: &Control) -> usize {
+    1 + match c {
+        Control::Seq(xs) | Control::Exclusive(xs) => xs.iter().map(count_nodes).sum(),
+        Control::Switch { cases, default, .. } => {
+            cases.iter().map(|(_, b)| count_nodes(b)).sum::<usize>()
+                + default.as_ref().map(|d| count_nodes(d)).unwrap_or(0)
+        }
+        Control::If { then_, .. } => count_nodes(then_),
+        Control::Apply(_) | Control::Nop => 0,
+    }
+}
+
+fn pass_flatten_control<F: Fn(&DiffCase) -> bool>(cur: &mut DiffCase, check: &F) -> usize {
+    let mut n = 0;
+    let Some(control) = cur.program.control.clone() else {
+        return 0;
+    };
+    let total = count_nodes(&control);
+    for target in 0..total {
+        let Some(c) = cur.program.control.as_ref() else {
+            break;
+        };
+        let mut next = 0usize;
+        let flattened = flatten_at(c, target, &mut next);
+        if &flattened == c {
+            continue;
+        }
+        let mut cand = cur.clone();
+        cand.program.control = Some(flattened);
+        if cand.program.validate().is_ok() && check(&cand) {
+            *cur = cand;
+            n += 1;
+        }
+    }
+    n
+}
+
+fn pass_remove_entries<F: Fn(&DiffCase) -> bool>(cur: &mut DiffCase, check: &F) -> usize {
+    let mut n = 0;
+    let mut i = cur.entries.len();
+    while i > 0 {
+        i -= 1;
+        let mut cand = cur.clone();
+        cand.entries.remove(i);
+        if check(&cand) {
+            *cur = cand;
+            n += 1;
+        }
+    }
+    n
+}
+
+fn pass_remove_primitives<F: Fn(&DiffCase) -> bool>(cur: &mut DiffCase, check: &F) -> usize {
+    let mut n = 0;
+    for t in 0..cur.program.num_tables() {
+        for a in 0..cur.program.tables[t].actions.len() {
+            let mut p = cur.program.tables[t].actions[a].primitives.len();
+            while p > 0 {
+                p -= 1;
+                if cur.program.tables[t].actions[a].primitives.len() == 1 {
+                    break;
+                }
+                let mut cand = cur.clone();
+                cand.program.tables[t].actions[a].primitives.remove(p);
+                if check(&cand) {
+                    *cur = cand;
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+fn pass_truncate_packets<F: Fn(&DiffCase) -> bool>(cur: &mut DiffCase, check: &F) -> usize {
+    let mut n = 0;
+    for i in 0..cur.packets.len() {
+        // Binary chop from the tail: try halving the kept length.
+        loop {
+            let len = cur.packets[i].len();
+            if len <= 1 {
+                break;
+            }
+            let mut cand = cur.clone();
+            cand.packets[i].truncate(len / 2);
+            if check(&cand) {
+                *cur = cand;
+                n += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Shrinking against a trivially-true predicate collapses to the
+    /// structural minimum: one packet, one table.
+    #[test]
+    fn shrink_to_structural_minimum() {
+        let case = gen_case(&mut StdRng::seed_from_u64(3));
+        let (small, _) = shrink(&case, |_| true);
+        assert_eq!(small.packets.len(), 1);
+        assert_eq!(small.program.num_tables(), 1);
+        assert!(small.entries.is_empty());
+        assert_eq!(small.packets[0].len(), 1);
+        small.program.validate().unwrap();
+    }
+
+    /// A predicate pinned to a specific table keeps exactly that table.
+    #[test]
+    fn shrink_preserves_predicate() {
+        let case = gen_case(&mut StdRng::seed_from_u64(4));
+        assert!(case.program.num_tables() >= 2);
+        let name = case.program.tables[1].name.clone();
+        let (small, _) = shrink(&case, |c| c.program.tables.iter().any(|t| t.name == name));
+        assert_eq!(small.program.num_tables(), 1);
+        assert_eq!(small.program.tables[0].name, name);
+        small.program.validate().unwrap();
+    }
+
+    /// Deterministic: same input and predicate, same output.
+    #[test]
+    fn shrink_is_deterministic() {
+        let case = gen_case(&mut StdRng::seed_from_u64(5));
+        let (a, na) = shrink(&case, |c| c.program.num_tables() >= 2);
+        let (b, nb) = shrink(&case, |c| c.program.num_tables() >= 2);
+        assert_eq!(na, nb);
+        assert_eq!(a.program.fingerprint(), b.program.fingerprint());
+        assert_eq!(a.packets, b.packets);
+    }
+}

@@ -1,0 +1,115 @@
+//! Replay the checked-in regression corpus.
+//!
+//! Every corpus entry is a shrunk case a fuzzing run once flagged. Two
+//! kinds exist:
+//!
+//! * `expect_divergence_with_injected_bug = false`: a case that once
+//!   diverged for real. It must agree under sound options forever.
+//! * `expect_divergence_with_injected_bug = true`: a sentinel minimized
+//!   against the compiler's deliberate packing bug. It must agree under
+//!   sound options AND still diverge when the bug is injected — proving
+//!   the detector and the corpus format can actually catch a
+//!   miscompilation end to end.
+
+use lemur_fuzz::corpus::{corpus_dir, load_dir, to_json, CorpusEntry};
+use lemur_fuzz::diff::{diff_case, diff_case_injected, DiffOutcome};
+
+#[test]
+fn corpus_is_nonempty_and_replays() {
+    let entries = load_dir(&corpus_dir()).expect("corpus dir must load");
+    assert!(
+        entries.len() >= 2,
+        "expected at least two checked-in corpus entries"
+    );
+    for e in &entries {
+        match diff_case(&e.case) {
+            DiffOutcome::Agree => {}
+            DiffOutcome::Diverged(d) => {
+                panic!(
+                    "corpus entry {} diverges under sound options: {d:?}",
+                    e.name
+                )
+            }
+            DiffOutcome::Skipped(s) => {
+                panic!("corpus entry {} no longer compiles: {s:?}", e.name)
+            }
+        }
+        if e.expect_divergence_with_injected_bug {
+            assert!(
+                matches!(diff_case_injected(&e.case), DiffOutcome::Diverged(_)),
+                "corpus entry {} no longer trips the injected packing bug \
+                 (detector or bug changed?)",
+                e.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_entries_are_minimal() {
+    for e in load_dir(&corpus_dir()).expect("corpus dir must load") {
+        assert!(
+            e.case.program.num_tables() <= 3,
+            "corpus entry {} has {} tables; re-shrink it",
+            e.name,
+            e.case.program.num_tables()
+        );
+        assert!(
+            e.case.packets.len() <= 3,
+            "corpus entry {} has {} packets; re-shrink it",
+            e.name,
+            e.case.packets.len()
+        );
+    }
+}
+
+#[test]
+fn corpus_files_roundtrip_canonically() {
+    // Re-encoding a loaded entry must preserve semantics (fingerprint),
+    // so corpus files can be regenerated without churn.
+    for e in load_dir(&corpus_dir()).expect("corpus dir must load") {
+        let back = lemur_fuzz::corpus::from_json(&to_json(&e)).unwrap();
+        assert_eq!(
+            back.case.program.fingerprint(),
+            e.case.program.fingerprint()
+        );
+        assert_eq!(back.case.packets, e.case.packets);
+    }
+}
+
+/// Regenerate the corpus from fixed seeds. Run manually after a
+/// generator or IR change:
+///
+/// ```text
+/// cargo test -p lemur-fuzz --test corpus_replay -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes crates/fuzz/corpus/*.json; run explicitly to regenerate"]
+fn regenerate_corpus() {
+    use lemur_fuzz::{run_seed, RunOptions};
+    let opts = RunOptions {
+        inject_bug: true,
+        max_failures_per_seed: 1,
+    };
+    let mut written = 0usize;
+    for seed in 0u64..64 {
+        if written >= 3 {
+            break;
+        }
+        let report = run_seed(seed, 200, opts);
+        let Some(f) = report.failures.into_iter().next() else {
+            continue;
+        };
+        let entry = CorpusEntry {
+            name: format!("injected-bug-seed{seed}"),
+            expect_divergence_with_injected_bug: true,
+            case: f.case,
+        };
+        let path = corpus_dir().join(format!("injected_bug_seed{seed}.json"));
+        std::fs::create_dir_all(corpus_dir()).unwrap();
+        std::fs::write(&path, to_json(&entry)).unwrap();
+        written += 1;
+        println!("wrote {} ({})", path.display(), f.divergence.detail);
+    }
+    assert!(written >= 2, "not enough injected-bug cases found");
+}

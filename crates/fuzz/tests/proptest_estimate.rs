@@ -1,0 +1,58 @@
+//! Property: the conservative analytic stage estimator (§5.2) dominates
+//! the stage-packing compiler on random programs.
+//!
+//! The paper's motivation for calling a real compiler instead of the
+//! estimate is exactly this one-sided error: "such estimates were very
+//! conservative. For the 10 NAT placement, it estimated 14 stages, while
+//! the compiler could fit these into 12". Dominance (estimate >= packed)
+//! is what makes the estimator a safe admission filter; if packing ever
+//! exceeded the estimate, the placer's pre-screening would admit
+//! placements the switch cannot hold.
+
+use lemur_fuzz::gen::gen_program;
+use lemur_p4sim::compiler::{compile, estimate_conservative_with, CompileOptions};
+use lemur_p4sim::resources::PisaModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn roomy_model() -> PisaModel {
+    PisaModel {
+        num_stages: 64,
+        ..PisaModel::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn estimate_dominates_packed_stage_usage(seed in any::<u64>()) {
+        let (program, _entries) = gen_program(&mut StdRng::seed_from_u64(seed));
+        let model = roomy_model();
+        for opts in [
+            CompileOptions::default(),
+            CompileOptions { effect_deps: true, ..CompileOptions::default() },
+        ] {
+            let est = estimate_conservative_with(&program, &model, &opts);
+            if let Ok(packed) = compile(&program, &model, opts) {
+                prop_assert!(
+                    packed.num_stages_used <= est,
+                    "packed used {} stages but the conservative estimate was {} \
+                     (effect_deps={})",
+                    packed.num_stages_used,
+                    est,
+                    opts.effect_deps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_itself_never_panics_and_is_deterministic(seed in any::<u64>()) {
+        let (program, _entries) = gen_program(&mut StdRng::seed_from_u64(seed));
+        let model = roomy_model();
+        let opts = CompileOptions { effect_deps: true, ..CompileOptions::default() };
+        let a = estimate_conservative_with(&program, &model, &opts);
+        let b = estimate_conservative_with(&program, &model, &opts);
+        prop_assert_eq!(a, b);
+    }
+}

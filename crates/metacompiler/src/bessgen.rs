@@ -85,7 +85,7 @@ pub fn generate(
         let mut internal_next: HashMap<(usize, usize), usize> = HashMap::new();
         let mut replicas: HashMap<usize, usize> = HashMap::new();
         // node → subgroup index, for intra-server wiring.
-        let mut node_sg: HashMap<(usize, lemur_core::graph::NodeId), usize> = HashMap::new();
+        let mut node_sg: HashMap<(usize, NodeId), usize> = HashMap::new();
         for &si in &sg_indices {
             let sg = &placement.subgroups[si];
             for id in &sg.nodes {
@@ -112,8 +112,13 @@ pub fn generate(
         for &si in &sg_indices {
             let sg = &placement.subgroups[si];
             let chain = &problem.chains[sg.chain];
+            // Subgroups are non-empty by construction; an empty one has
+            // nothing to demux, schedule, or wire.
+            let (Some(&head), Some(&tail)) = (sg.nodes.first(), sg.nodes.last()) else {
+                continue;
+            };
             // Build the NF instances for replica 0, then clone fresh.
-            let name = format!("c{}_sg_{}", sg.chain, chain.graph.node(sg.nodes[0]).name);
+            let name = format!("c{}_sg_{}", sg.chain, chain.graph.node(head).name);
             let nfs: Vec<_> = sg
                 .nodes
                 .iter()
@@ -169,7 +174,6 @@ pub fn generate(
             }
 
             // Mux rule: branch rewrite if the tail node is a branch.
-            let tail: NodeId = *sg.nodes.last().unwrap();
             let mut gate_spi = HashMap::new();
             if chain.graph.is_branch(tail) {
                 for ((spi, node, gate), spi_after) in &routing.branch_map {

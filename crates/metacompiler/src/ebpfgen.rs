@@ -18,16 +18,19 @@ use lemur_ebpf::{AluOp, JmpCond, Program, ProgramBuilder, Reg, XdpVerdict};
 use lemur_nf::NfKind;
 use lemur_placer::placement::PlacementProblem;
 
-/// Byte offsets within an NSH-encapsulated frame.
-const NSH_SPI_OFF: u16 = 14 + 4; // outer eth (14) + nsh base (4) → spi[3]
-const NSH_SI_OFF: u16 = 14 + 7;
+/// Byte offsets within an NSH-encapsulated frame. Public so the
+/// differential fuzz harness can build frames and predict the observable
+/// effect of a generated program.
+pub const NSH_SPI_OFF: u16 = 14 + 4; // outer eth (14) + nsh base (4) → spi[3]
+/// Offset of the service index byte.
+pub const NSH_SI_OFF: u16 = 14 + 7;
 /// Start of the inner frame.
-const INNER_OFF: u16 = 14 + 8;
+pub const INNER_OFF: u16 = 14 + 8;
 /// Payload window the unrolled cipher covers.
-const CIPHER_WINDOW: u16 = 64;
+pub const CIPHER_WINDOW: u16 = 64;
 /// Offset of the inner L4 payload for the cipher (inner eth 14 + ipv4 20 +
 /// udp 8).
-const INNER_PAYLOAD_OFF: u16 = INNER_OFF + 14 + 20 + 8;
+pub const INNER_PAYLOAD_OFF: u16 = INNER_OFF + 14 + 20 + 8;
 
 /// A generated program bound to one SmartNIC.
 pub struct NicProgram {
@@ -64,7 +67,7 @@ pub fn generate(
         if handled.is_empty() {
             continue;
         }
-        let program = build_program(&handled)?;
+        let program = synthesize_nic_program(&handled)?;
         program
             .verify()
             .map_err(|e| format!("NIC {nic} program rejected: {e}"))?;
@@ -77,8 +80,24 @@ pub fn generate(
     Ok(out)
 }
 
-/// Build the straight-line dispatcher + unrolled NF bodies.
-fn build_program(handled: &[(u32, u8, NfKind)]) -> Result<Program, String> {
+/// True if `kind` has an eBPF (SmartNIC) implementation (Table 3).
+pub fn ebpf_capable(kind: NfKind) -> bool {
+    matches!(
+        kind,
+        NfKind::FastEncrypt
+            | NfKind::Acl
+            | NfKind::Match
+            | NfKind::Tunnel
+            | NfKind::Detunnel
+            | NfKind::Ipv4Fwd
+            | NfKind::Lb
+    )
+}
+
+/// Build the straight-line dispatcher + unrolled NF bodies for an explicit
+/// `(spi, si, kind)` dispatch list. Public entry point for the differential
+/// fuzz harness, which synthesizes programs without a full placement.
+pub fn synthesize_nic_program(handled: &[(u32, u8, NfKind)]) -> Result<Program, String> {
     let mut b = ProgramBuilder::new("lemur_nic");
     // Default: pass unknown traffic through untouched.
     let pass = b.label();
@@ -165,7 +184,7 @@ mod tests {
     use lemur_packet::{ethernet, ipv4};
 
     fn build_for(handled: &[(u32, u8, NfKind)]) -> Program {
-        let p = build_program(handled).unwrap();
+        let p = synthesize_nic_program(handled).unwrap();
         p.verify().unwrap();
         p
     }
@@ -246,6 +265,6 @@ mod tests {
 
     #[test]
     fn dedup_has_no_ebpf_impl() {
-        assert!(build_program(&[(1, 248, NfKind::Dedup)]).is_err());
+        assert!(synthesize_nic_program(&[(1, 248, NfKind::Dedup)]).is_err());
     }
 }

@@ -47,10 +47,14 @@ fn compile_verdict(program: &P4Program, model: &PisaModel) -> StageVerdict {
             required,
             available,
         },
-        Err(CompileError::TableTooLarge(_)) => StageVerdict::OutOfStages {
-            required: model.num_stages + 1,
-            available: model.num_stages,
-        },
+        // An oversized table or a structurally invalid program can never
+        // fit, whatever the stage budget: reject the placement.
+        Err(CompileError::TableTooLarge(_)) | Err(CompileError::Invalid(_)) => {
+            StageVerdict::OutOfStages {
+                required: model.num_stages + 1,
+                available: model.num_stages,
+            }
+        }
     }
 }
 

@@ -223,7 +223,7 @@ impl<'a> Gen<'a> {
         let mut chain_subs: Vec<Vec<SwSub>> = Vec::new();
         let mut node_to_sub: Vec<HashMap<NodeId, usize>> = Vec::new();
         for (ci, chain) in self.problem.chains.iter().enumerate() {
-            let (subs, map) = self.switch_subgroups(ci, chain);
+            let (subs, map) = self.switch_subgroups(ci, chain)?;
             chain_subs.push(subs);
             node_to_sub.push(map);
         }
@@ -415,7 +415,7 @@ impl<'a> Gen<'a> {
         &mut self,
         ci: usize,
         chain: &lemur_core::graph::ChainSpec,
-    ) -> (Vec<SwSub>, HashMap<NodeId, usize>) {
+    ) -> Result<(Vec<SwSub>, HashMap<NodeId, usize>), String> {
         let g = &chain.graph;
         let on_tor = |id: NodeId| {
             !matches!(
@@ -442,7 +442,9 @@ impl<'a> Gen<'a> {
                 parent[ra] = rb;
             }
         }
-        let order = g.topo_order().expect("validated");
+        let order = g
+            .topo_order()
+            .map_err(|e| format!("chain {ci}: cannot form switch subgroups: {e}"))?;
         let mut groups: Vec<Vec<NodeId>> = Vec::new();
         let mut root_to_idx: HashMap<usize, usize> = HashMap::new();
         let mut node_map: HashMap<NodeId, usize> = HashMap::new();
@@ -473,7 +475,10 @@ impl<'a> Gen<'a> {
         }
         // Inter-subgroup edges from the tail node of each subgroup.
         for i in 0..subs.len() {
-            let last = *subs[i].nodes.last().unwrap();
+            // Subgroups are created on first node insertion, so never empty.
+            let Some(&last) = subs[i].nodes.last() else {
+                continue;
+            };
             let mut outs = Vec::new();
             for e in g.out_edges(last) {
                 let target = if on_tor(e.to) {
@@ -498,7 +503,7 @@ impl<'a> Gen<'a> {
             }
             subs[i].outs = outs;
         }
-        (subs, node_map)
+        Ok((subs, node_map))
     }
 
     /// Generate one chain's control tree (§A.2.2 DAG→tree conversion).

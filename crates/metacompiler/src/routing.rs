@@ -133,12 +133,15 @@ pub fn plan_with_spi_bases(
                     Some(Platform::SmartNic(n)) => Location::Nic(*n),
                     _ => Location::Tor,
                 };
-                if segments.last().unwrap().location == loc {
-                    segments.last_mut().unwrap().nodes.push(*id);
+                let prev_loc = segments.last().map(|s| s.location);
+                if prev_loc == Some(loc) {
+                    if let Some(prev) = segments.last_mut() {
+                        prev.nodes.push(*id);
+                    }
                 } else {
                     // Between two off-switch segments, traffic transits the
                     // ToR: insert an explicit (possibly empty) ToR segment.
-                    if loc != Location::Tor && segments.last().unwrap().location != Location::Tor {
+                    if loc != Location::Tor && prev_loc != Some(Location::Tor) {
                         segments.push(Segment {
                             location: Location::Tor,
                             nodes: Vec::new(),
@@ -153,7 +156,7 @@ pub fn plan_with_spi_bases(
                 }
             }
             // Always end at the ToR (egress).
-            if segments.last().unwrap().location != Location::Tor {
+            if segments.last().map(|s| s.location) != Some(Location::Tor) {
                 segments.push(Segment {
                     location: Location::Tor,
                     nodes: Vec::new(),
@@ -216,7 +219,10 @@ pub fn plan_with_spi_bases(
                 }
             }
             for (_prefix, members) in groups {
-                let spi_here = base_spi + *members.iter().min().unwrap() as u32;
+                let Some(&first) = members.iter().min() else {
+                    continue;
+                };
+                let spi_here = base_spi + first as u32;
                 // Partition members by the gate they take at `bid`.
                 let mut by_gate: HashMap<usize, Vec<usize>> = HashMap::new();
                 for pi in members {
@@ -225,8 +231,10 @@ pub fn plan_with_spi_bases(
                     }
                 }
                 for (gate, group) in by_gate {
-                    let spi_after = base_spi + *group.iter().min().unwrap() as u32;
-                    branch_map.insert((spi_here, bid, gate), spi_after);
+                    let Some(&first) = group.iter().min() else {
+                        continue;
+                    };
+                    branch_map.insert((spi_here, bid, gate), base_spi + first as u32);
                 }
             }
         }

@@ -10,7 +10,7 @@
 //! first-fit packing place parallel branches into the same stages — the
 //! effect the meta-compiler's dependency-elimination optimizations unlock.
 
-use crate::ir::{Control, FieldRef, P4Program, TableId};
+use crate::ir::{CmpOp, Control, FieldRef, P4Program, ProgramError, Table, TableId};
 use crate::resources::PisaModel;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -23,6 +23,8 @@ pub enum CompileError {
     /// A single table exceeds per-stage resources and cannot be placed at
     /// all (e.g. wider than one stage's SRAM).
     TableTooLarge(String),
+    /// The program is structurally malformed (see [`ProgramError`]).
+    Invalid(ProgramError),
 }
 
 impl fmt::Display for CompileError {
@@ -37,6 +39,7 @@ impl fmt::Display for CompileError {
             CompileError::TableTooLarge(name) => {
                 write!(f, "table {name} exceeds per-stage resources")
             }
+            CompileError::Invalid(e) => write!(f, "invalid program: {e}"),
         }
     }
 }
@@ -50,6 +53,21 @@ pub struct CompileOptions {
     /// it does not fit one stage (real compilers do this for big exact
     /// tables). Enabled by default via `Default`? No — explicit.
     pub allow_table_splitting: bool,
+    /// Track the implicit per-packet effects field-level analysis cannot
+    /// see — egress-port writes, the drop flag, and header restructuring —
+    /// as dependency tokens. Off by default: the paper's §4.2 rules are
+    /// field-only, and the placer's stage counts are calibrated against
+    /// them. The differential fuzzer turns this on, because without it
+    /// stage-order execution can legally reorder e.g. two egress writers
+    /// whose *fields* don't conflict.
+    pub effect_deps: bool,
+    /// Test-only fault injection for the fuzz harness's self-test: drop
+    /// anti-dependency edges and prepend (rather than append) tables to
+    /// their stage. Either half alone is mostly masked by in-stage order;
+    /// together they let a writer overtake an earlier reader, which the
+    /// differential executor must detect and shrink. Never enable outside
+    /// tests.
+    pub inject_packing_bug: bool,
 }
 
 /// The result of a successful compilation.
@@ -73,14 +91,81 @@ struct DependencyGraph {
     order: Vec<TableId>,
 }
 
+/// A dependency token. `Field` carries the paper's §4.2 field-level rules;
+/// the other variants model per-packet effects that are invisible to
+/// field analysis and only tracked when [`CompileOptions::effect_deps`]
+/// is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Dep {
+    Field(FieldRef),
+    /// The egress-port intrinsic (last writer wins).
+    Egress,
+    /// The drop flag. Droppers write it; every table implicitly reads it
+    /// because execution is conditioned on the packet being alive, which
+    /// makes a potential dropper a barrier — exactly what short-circuit
+    /// drop semantics need under stage-order execution.
+    DropFlag,
+    /// Header structure. Push/pop primitives shift the offsets of every
+    /// packet-resident field behind the edit point.
+    Structure,
+}
+
+/// Metadata registers live in the PHV, not the packet; everything else is
+/// located by parsing the packet and moves when headers are pushed/popped.
+fn is_packet_field(f: FieldRef) -> bool {
+    !matches!(f, FieldRef::Meta(_))
+}
+
+/// The read/write dependency-token sets of one table (keys + guard fields,
+/// action writes, plus effect tokens when `effect_deps` is on).
+fn table_dep_sets(
+    table: &Table,
+    guards: &BTreeSet<FieldRef>,
+    effect_deps: bool,
+) -> (BTreeSet<Dep>, BTreeSet<Dep>) {
+    let key_fields = table.read_fields();
+    let written = table.written_fields();
+    let mut reads: BTreeSet<Dep> = key_fields.iter().map(|f| Dep::Field(*f)).collect();
+    reads.extend(guards.iter().map(|f| Dep::Field(*f)));
+    let mut writes: BTreeSet<Dep> = written.iter().map(|f| Dep::Field(*f)).collect();
+    if effect_deps {
+        reads.insert(Dep::DropFlag);
+        let touches_packet = key_fields
+            .iter()
+            .chain(written.iter())
+            .chain(guards.iter())
+            .any(|f| is_packet_field(*f));
+        if touches_packet {
+            reads.insert(Dep::Structure);
+        }
+        for action in &table.actions {
+            for p in &action.primitives {
+                if p.can_drop() {
+                    writes.insert(Dep::DropFlag);
+                }
+                if p.sets_egress() {
+                    writes.insert(Dep::Egress);
+                }
+                if p.restructures() {
+                    reads.insert(Dep::Structure);
+                    writes.insert(Dep::Structure);
+                }
+            }
+        }
+    }
+    (reads, writes)
+}
+
 /// Build the table dependency graph for a program.
-fn analyze(program: &P4Program) -> DependencyGraph {
+fn analyze(program: &P4Program, opts: &CompileOptions) -> DependencyGraph {
     struct Ctx<'a> {
         program: &'a P4Program,
         graph: DependencyGraph,
         /// Effective read set of each visited table (keys + guard fields).
-        reads: HashMap<TableId, BTreeSet<FieldRef>>,
-        writes: HashMap<TableId, BTreeSet<FieldRef>>,
+        reads: HashMap<TableId, BTreeSet<Dep>>,
+        writes: HashMap<TableId, BTreeSet<Dep>>,
+        effect_deps: bool,
+        ignore_anti_deps: bool,
     }
 
     impl Ctx<'_> {
@@ -97,9 +182,7 @@ fn analyze(program: &P4Program) -> DependencyGraph {
                 Control::Nop => Vec::new(),
                 Control::Apply(t) => {
                     let table = self.program.table(*t);
-                    let mut reads = table.read_fields();
-                    reads.extend(guards.iter().copied());
-                    let writes = table.written_fields();
+                    let (reads, writes) = table_dep_sets(table, guards, self.effect_deps);
                     let mut preds = BTreeSet::new();
                     for &a in before {
                         let a_writes = &self.writes[&a];
@@ -107,7 +190,7 @@ fn analyze(program: &P4Program) -> DependencyGraph {
                         let match_dep = a_writes.iter().any(|f| reads.contains(f));
                         let action_dep = a_writes.iter().any(|f| writes.contains(f));
                         let anti_dep = a_reads.iter().any(|f| writes.contains(f));
-                        if match_dep || action_dep || anti_dep {
+                        if match_dep || action_dep || (anti_dep && !self.ignore_anti_deps) {
                             preds.insert(a);
                         }
                     }
@@ -165,6 +248,8 @@ fn analyze(program: &P4Program) -> DependencyGraph {
         graph: DependencyGraph::default(),
         reads: HashMap::new(),
         writes: HashMap::new(),
+        effect_deps: opts.effect_deps,
+        ignore_anti_deps: opts.inject_packing_bug,
     };
     if let Some(control) = &program.control {
         ctx.visit(control, &[], &BTreeSet::new());
@@ -195,7 +280,8 @@ pub fn compile(
     model: &PisaModel,
     opts: CompileOptions,
 ) -> Result<StageAssignment, CompileError> {
-    let graph = analyze(program);
+    program.validate().map_err(CompileError::Invalid)?;
+    let graph = analyze(program, &opts);
 
     #[derive(Clone, Default)]
     struct StageUse {
@@ -243,7 +329,14 @@ pub fn compile(
             usage[s].sram += sram;
             usage[s].tcam += tcam;
             usage[s].tables += 1;
-            stages[s].push(t);
+            if opts.inject_packing_bug {
+                // Second half of the injected fault: reverse in-stage order
+                // so a writer that (wrongly) shares a reader's stage runs
+                // first under stage-order execution.
+                stages[s].insert(0, t);
+            } else {
+                stages[s].push(t);
+            }
             table_stage.insert(t, s);
         } else {
             // Split the table's blocks across consecutive stages starting
@@ -300,14 +393,159 @@ pub fn compile(
     })
 }
 
+/// The reference compiler for differential testing: one table per stage in
+/// control order, no parallel-branch packing, no exclusivity overlay, no
+/// splitting. Trivially correct under stage-order execution (stage order
+/// *is* control order), which is what makes it a useful oracle against the
+/// packing compiler — per Wong et al. (2005.02310), any observable
+/// divergence between the two on the same packets is a compiler bug.
+pub fn compile_naive(
+    program: &P4Program,
+    model: &PisaModel,
+) -> Result<StageAssignment, CompileError> {
+    program.validate().map_err(CompileError::Invalid)?;
+    let order = program.tables_in_order();
+    let mut stages: Vec<Vec<TableId>> = Vec::with_capacity(order.len());
+    let mut table_stage: HashMap<TableId, usize> = HashMap::new();
+    for (s, &t) in order.iter().enumerate() {
+        let table = program.table(t);
+        if model.sram_cost(table) > model.sram_blocks_per_stage
+            || model.tcam_cost(table) > model.tcam_blocks_per_stage
+        {
+            return Err(CompileError::TableTooLarge(table.name.clone()));
+        }
+        stages.push(vec![t]);
+        table_stage.insert(t, s);
+    }
+    let num_stages_used = stages.len();
+    if num_stages_used > model.num_stages {
+        return Err(CompileError::OutOfStages {
+            required: num_stages_used,
+            available: model.num_stages,
+        });
+    }
+    let latency_ns = model.pipeline_latency_ns(num_stages_used.max(1));
+    Ok(StageAssignment {
+        stages,
+        table_stage,
+        num_stages_used,
+        latency_ns,
+    })
+}
+
+/// One conjunct of a table's path condition: the control-tree tests that
+/// must hold for the table to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardAtom {
+    /// `Switch` case arm: the selector equals `value`.
+    Eq { field: FieldRef, value: u64 },
+    /// `Switch` default arm: the selector equals none of the case values.
+    NotIn { field: FieldRef, values: Vec<u64> },
+    /// `If` condition.
+    Cmp {
+        field: FieldRef,
+        op: CmpOp,
+        value: u64,
+    },
+}
+
+impl GuardAtom {
+    /// The field this guard tests.
+    pub fn field(&self) -> FieldRef {
+        match self {
+            GuardAtom::Eq { field, .. }
+            | GuardAtom::NotIn { field, .. }
+            | GuardAtom::Cmp { field, .. } => *field,
+        }
+    }
+
+    /// Evaluate against the field's current value.
+    pub fn eval(&self, v: u64) -> bool {
+        match self {
+            GuardAtom::Eq { value, .. } => v == *value,
+            GuardAtom::NotIn { values, .. } => !values.contains(&v),
+            GuardAtom::Cmp { op, value, .. } => op.eval(v, *value),
+        }
+    }
+}
+
+/// Each table's path condition as a conjunction of [`GuardAtom`]s, from a
+/// control-tree walk. Stage-order execution ([`crate::runtime::Switch::process_staged`])
+/// re-evaluates these per table, which matches the tree's evaluate-once
+/// semantics as long as no table writes a selector that guards itself or a
+/// same-or-later table — the discipline the fuzz generator maintains.
+pub fn table_guards(program: &P4Program) -> HashMap<TableId, Vec<GuardAtom>> {
+    fn walk(node: &Control, path: &mut Vec<GuardAtom>, out: &mut HashMap<TableId, Vec<GuardAtom>>) {
+        match node {
+            Control::Nop => {}
+            Control::Apply(t) => {
+                out.insert(*t, path.clone());
+            }
+            Control::Seq(items) | Control::Exclusive(items) => {
+                for item in items {
+                    walk(item, path, out);
+                }
+            }
+            Control::Switch { on, cases, default } => {
+                for (v, c) in cases {
+                    path.push(GuardAtom::Eq {
+                        field: *on,
+                        value: *v,
+                    });
+                    walk(c, path, out);
+                    path.pop();
+                }
+                if let Some(d) = default {
+                    path.push(GuardAtom::NotIn {
+                        field: *on,
+                        values: cases.iter().map(|(v, _)| *v).collect(),
+                    });
+                    walk(d, path, out);
+                    path.pop();
+                }
+            }
+            Control::If {
+                field,
+                op,
+                value,
+                then_,
+            } => {
+                path.push(GuardAtom::Cmp {
+                    field: *field,
+                    op: *op,
+                    value: *value,
+                });
+                walk(then_, path, out);
+                path.pop();
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    if let Some(c) = &program.control {
+        walk(c, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
 /// The conservative analytic stage estimator the paper compares against
 /// (§5.2): group tables by dependency level and provision whole stages per
 /// level with first-fit *within* the level but no cross-level sharing.
 /// Dominates the compiled stage count, which can interleave levels ("such
 /// estimates were very conservative. For the 10 NAT placement, it
 /// estimated 14 stages, while the compiler could fit these into 12").
+/// The program must be valid ([`P4Program::validate`]).
 pub fn estimate_conservative(program: &P4Program, model: &PisaModel) -> usize {
-    let graph = analyze(program);
+    estimate_conservative_with(program, model, &CompileOptions::default())
+}
+
+/// [`estimate_conservative`] under explicit [`CompileOptions`], so callers
+/// comparing against `compile(…, opts)` use the same dependency graph.
+pub fn estimate_conservative_with(
+    program: &P4Program,
+    model: &PisaModel,
+    opts: &CompileOptions,
+) -> usize {
+    let graph = analyze(program, opts);
     let lv = levels(&graph);
     let max_level = lv.values().copied().max().map(|m| m + 1).unwrap_or(0);
     let mut total = 0usize;
@@ -520,6 +758,7 @@ mod tests {
             &PisaModel::default(),
             CompileOptions {
                 allow_table_splitting: true,
+                ..CompileOptions::default()
             },
         )
         .unwrap();
@@ -574,5 +813,136 @@ mod tests {
         let p = P4Program::new();
         let out = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
         assert_eq!(out.num_stages_used, 0);
+    }
+
+    #[test]
+    fn invalid_program_rejected_with_typed_error() {
+        let mut p = P4Program::new();
+        p.control = Some(Control::Apply(TableId(9)));
+        let err = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::Invalid(_)));
+        assert!(matches!(
+            compile_naive(&p, &PisaModel::default()).unwrap_err(),
+            CompileError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn naive_compiler_uses_control_order_one_table_per_stage() {
+        let p = seq_program(vec![
+            table("a", &[FieldRef::Ipv4Src], &[FieldRef::Meta(1)], 10),
+            table("b", &[FieldRef::Ipv4Dst], &[FieldRef::Meta(2)], 10),
+            table("c", &[FieldRef::L4Sport], &[FieldRef::Meta(3)], 10),
+        ]);
+        let out = compile_naive(&p, &PisaModel::default()).unwrap();
+        assert_eq!(out.num_stages_used, 3);
+        assert_eq!(
+            out.stages,
+            vec![vec![TableId(0)], vec![TableId(1)], vec![TableId(2)]]
+        );
+        // The packed compiler fits the same program into one stage.
+        let packed = compile(&p, &PisaModel::default(), CompileOptions::default()).unwrap();
+        assert_eq!(packed.num_stages_used, 1);
+    }
+
+    #[test]
+    fn effect_deps_orders_invisible_effects() {
+        // Two egress writers with disjoint field sets: field-only analysis
+        // packs them together; effect tracking serializes them.
+        let mk = |n: &str| {
+            let mut t = table(n, &[], &[], 10);
+            t.actions = vec![Action::new("out", vec![Primitive::SetEgressConst(1)])];
+            t
+        };
+        let p = seq_program(vec![mk("e1"), mk("e2")]);
+        let model = PisaModel::default();
+        let plain = compile(&p, &model, CompileOptions::default()).unwrap();
+        assert_eq!(plain.num_stages_used, 1);
+        let strict = compile(
+            &p,
+            &model,
+            CompileOptions {
+                effect_deps: true,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(strict.num_stages_used, 2);
+    }
+
+    #[test]
+    fn injected_bug_lets_writer_overtake_reader() {
+        // a reads Ipv4Ttl, b writes it: an anti-dependency. The injected
+        // bug drops that edge and prepends b, so b lands *before* a in the
+        // shared stage — the divergence the fuzz self-test must catch.
+        let p = seq_program(vec![
+            table("a", &[FieldRef::Ipv4Ttl], &[], 10),
+            table("b", &[], &[FieldRef::Ipv4Ttl], 10),
+        ]);
+        let model = PisaModel::default();
+        let good = compile(&p, &model, CompileOptions::default()).unwrap();
+        assert_eq!(good.num_stages_used, 2);
+        let buggy = compile(
+            &p,
+            &model,
+            CompileOptions {
+                inject_packing_bug: true,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(buggy.num_stages_used, 1);
+        assert_eq!(buggy.stages[0], vec![TableId(1), TableId(0)]);
+    }
+
+    #[test]
+    fn table_guards_capture_path_conditions() {
+        let mut p = P4Program::new();
+        let sel = p.add_table(table("sel", &[], &[FieldRef::Meta(0)], 10));
+        let a = p.add_table(table("a", &[], &[], 1));
+        let b = p.add_table(table("b", &[], &[], 1));
+        let c = p.add_table(table("c", &[], &[], 1));
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(sel),
+            Control::Switch {
+                on: FieldRef::Meta(0),
+                cases: vec![(7, Control::Apply(a))],
+                default: Some(Box::new(Control::If {
+                    field: FieldRef::Ipv4Ttl,
+                    op: CmpOp::Lt,
+                    value: 2,
+                    then_: Box::new(Control::Apply(b)),
+                })),
+            },
+            Control::Apply(c),
+        ]));
+        let g = table_guards(&p);
+        assert!(g[&sel].is_empty());
+        assert_eq!(
+            g[&a],
+            vec![GuardAtom::Eq {
+                field: FieldRef::Meta(0),
+                value: 7
+            }]
+        );
+        assert_eq!(
+            g[&b],
+            vec![
+                GuardAtom::NotIn {
+                    field: FieldRef::Meta(0),
+                    values: vec![7]
+                },
+                GuardAtom::Cmp {
+                    field: FieldRef::Ipv4Ttl,
+                    op: CmpOp::Lt,
+                    value: 2
+                },
+            ]
+        );
+        assert!(g[&c].is_empty());
+        // Atom evaluation.
+        assert!(g[&a][0].eval(7) && !g[&a][0].eval(8));
+        assert!(g[&b][0].eval(8) && !g[&b][0].eval(7));
+        assert!(g[&b][1].eval(1) && !g[&b][1].eval(2));
     }
 }

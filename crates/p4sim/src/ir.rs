@@ -155,6 +155,32 @@ impl Primitive {
             _ => None,
         }
     }
+
+    /// True if executing this primitive can mark the packet dropped
+    /// (directly, or via SI underflow).
+    pub fn can_drop(&self) -> bool {
+        matches!(self, Primitive::Drop | Primitive::DecNshSi)
+    }
+
+    /// True if this primitive writes the egress-port intrinsic.
+    pub fn sets_egress(&self) -> bool {
+        matches!(
+            self,
+            Primitive::SetEgressFromData(_) | Primitive::SetEgressConst(_)
+        )
+    }
+
+    /// True if this primitive inserts or removes headers, shifting the
+    /// offsets of every packet-resident field behind the edit point.
+    pub fn restructures(&self) -> bool {
+        matches!(
+            self,
+            Primitive::PushVlanFromData(_)
+                | Primitive::PopVlan
+                | Primitive::PushNshFromData(_)
+                | Primitive::PopNsh
+        )
+    }
 }
 
 /// A named action: a list of primitives.
@@ -237,7 +263,7 @@ pub struct TableEntry {
 }
 
 /// Control flow of the pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Control {
     /// Apply tables/blocks in sequence.
     Seq(Vec<Control>),
@@ -291,6 +317,41 @@ impl CmpOp {
     }
 }
 
+/// Why a program is structurally invalid (rejected before compilation).
+///
+/// These are the malformations a *generated* program can plausibly carry
+/// (the fuzzer's attack surface); compilation and the runtime assume a
+/// validated program, so both entry points check this first instead of
+/// panicking on out-of-range indices deep inside analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The control tree applies a table id with no definition.
+    DanglingTable(TableId),
+    /// A table is applied more than once — the paper's §4.2 rule that "a
+    /// table cannot be revisited".
+    RevisitedTable(TableId),
+    /// A table's default action index is out of range for its action list.
+    BadDefaultAction { table: TableId, action: usize },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DanglingTable(t) => {
+                write!(f, "control applies undefined table {}", t.0)
+            }
+            ProgramError::RevisitedTable(t) => {
+                write!(f, "table {} applied more than once", t.0)
+            }
+            ProgramError::BadDefaultAction { table, action } => {
+                write!(f, "table {} default action {action} out of range", table.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
 /// A complete P4 program: tables plus a control tree.
 #[derive(Debug, Clone, Default)]
 pub struct P4Program {
@@ -342,6 +403,34 @@ impl P4Program {
             walk(c, &mut out);
         }
         out
+    }
+
+    /// Structural validation: every applied table exists, no table is
+    /// revisited, and default-action indices are in range. [`crate::compiler::compile`]
+    /// and friends run this before analysis so malformed (e.g. fuzz-generated)
+    /// programs surface a typed error instead of an index panic.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let mut seen = vec![false; self.tables.len()];
+        for t in self.tables_in_order() {
+            if t.0 >= self.tables.len() {
+                return Err(ProgramError::DanglingTable(t));
+            }
+            if seen[t.0] {
+                return Err(ProgramError::RevisitedTable(t));
+            }
+            seen[t.0] = true;
+        }
+        for (i, table) in self.tables.iter().enumerate() {
+            if let Some(d) = table.default_action {
+                if d >= table.actions.len() {
+                    return Err(ProgramError::BadDefaultAction {
+                        table: TableId(i),
+                        action: d,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// A stable 128-bit fingerprint of everything stage compilation reads:
@@ -670,6 +759,44 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         // And stable across repeated calls on the same program.
         assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn validate_catches_structural_malformations() {
+        let mk = |name: &str| Table {
+            name: name.into(),
+            keys: vec![],
+            actions: vec![Action::new("a", vec![Primitive::NoOp])],
+            default_action: None,
+            size: 1,
+        };
+        // Dangling table id.
+        let mut p = P4Program::new();
+        p.control = Some(Control::Apply(TableId(3)));
+        assert_eq!(p.validate(), Err(ProgramError::DanglingTable(TableId(3))));
+        // Revisited table.
+        let mut p = P4Program::new();
+        let t = p.add_table(mk("t"));
+        p.control = Some(Control::Seq(vec![Control::Apply(t), Control::Apply(t)]));
+        assert_eq!(p.validate(), Err(ProgramError::RevisitedTable(t)));
+        // Default action out of range.
+        let mut p = P4Program::new();
+        let mut bad = mk("bad");
+        bad.default_action = Some(5);
+        let t = p.add_table(bad);
+        p.control = Some(Control::Apply(t));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::BadDefaultAction {
+                table: t,
+                action: 5
+            })
+        );
+        // A well-formed program passes.
+        let mut p = P4Program::new();
+        let t = p.add_table(mk("ok"));
+        p.control = Some(Control::Apply(t));
+        assert_eq!(p.validate(), Ok(()));
     }
 
     #[test]

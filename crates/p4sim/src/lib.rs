@@ -30,11 +30,14 @@ pub mod parser;
 pub mod resources;
 pub mod runtime;
 
-pub use compiler::{compile, CompileError, CompileOptions, StageAssignment};
+pub use compiler::{
+    compile, compile_naive, estimate_conservative, estimate_conservative_with, table_guards,
+    CompileError, CompileOptions, GuardAtom, StageAssignment,
+};
 pub use ir::{
-    Action, CmpOp, Control, FieldRef, MatchKind, MatchValue, P4Program, Primitive, Table,
-    TableEntry, TableId,
+    Action, CmpOp, Control, FieldRef, MatchKind, MatchValue, P4Program, Primitive, ProgramError,
+    Table, TableEntry, TableId,
 };
 pub use parser::{MergeError, ParserTree};
 pub use resources::PisaModel;
-pub use runtime::{Switch, SwitchVerdict};
+pub use runtime::{DropCause, EntryError, Switch, SwitchVerdict, TableCounters};

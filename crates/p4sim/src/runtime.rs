@@ -6,7 +6,9 @@
 //! pipelines process at line rate, so the runtime charges no per-packet CPU
 //! cost — rate limits are enforced by port capacities in the dataplane.
 
-use crate::compiler::{compile, CompileOptions, StageAssignment};
+use crate::compiler::{
+    compile, compile_naive, table_guards, CompileOptions, GuardAtom, StageAssignment,
+};
 use crate::ir::*;
 use crate::resources::PisaModel;
 use lemur_packet::builder;
@@ -15,6 +17,17 @@ use lemur_packet::flow::FiveTuple;
 use lemur_packet::ipv4::Protocol;
 use lemur_packet::{ipv4, nsh, tcp, udp, vlan, PacketBuf};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a packet was dropped — part of the observable behavior the
+/// differential fuzzer diffs across compilers and backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// A table action executed [`Primitive::Drop`].
+    TableAction,
+    /// [`Primitive::DecNshSi`] underflowed the service index.
+    SiUnderflow,
+}
 
 /// Result of running one packet through the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +36,58 @@ pub struct SwitchVerdict {
     pub egress_port: Option<u16>,
     /// True if the packet was dropped.
     pub dropped: bool,
+    /// Why it was dropped (`None` when it survived).
+    pub cause: Option<DropCause>,
 }
+
+/// Per-table match/apply counters, exposed so differential execution can
+/// diff not just packet bytes but which tables actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCounters {
+    /// Times the table executed (guard passed, packet alive).
+    pub applied: u64,
+    /// Executions that matched an installed entry.
+    pub hits: u64,
+    /// Executions that fell through to the default action.
+    pub misses: u64,
+}
+
+/// Why a runtime entry was rejected by [`Switch::try_add_entry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryError {
+    /// The table id has no definition in the program.
+    NoSuchTable(TableId),
+    /// The entry's key count does not match the table's key count.
+    KeyArityMismatch {
+        table: TableId,
+        expected: usize,
+        got: usize,
+    },
+    /// The entry's action index is out of range for the table.
+    NoSuchAction { table: TableId, action: usize },
+}
+
+impl fmt::Display for EntryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryError::NoSuchTable(t) => write!(f, "no table {}", t.0),
+            EntryError::KeyArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "table {} expects {expected} keys, entry has {got}",
+                table.0
+            ),
+            EntryError::NoSuchAction { table, action } => {
+                write!(f, "table {} has no action {action}", table.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EntryError {}
 
 /// Per-packet execution state.
 #[derive(Debug, Default)]
@@ -31,6 +95,7 @@ struct ExecState {
     meta: HashMap<u8, u64>,
     egress: Option<u16>,
     dropped: bool,
+    cause: Option<DropCause>,
 }
 
 /// A running PISA switch: program + entries + counters.
@@ -39,6 +104,11 @@ pub struct Switch {
     /// Entries per table, kept sorted by descending priority.
     entries: Vec<Vec<TableEntry>>,
     assignment: StageAssignment,
+    /// Path condition of each table, for stage-order execution.
+    guards: HashMap<TableId, Vec<GuardAtom>>,
+    /// Tables in stage order (first slice only for split tables).
+    staged_order: Vec<TableId>,
+    counters: Vec<TableCounters>,
     model: PisaModel,
     packets_in: u64,
     packets_dropped: u64,
@@ -51,16 +121,60 @@ impl Switch {
         program: P4Program,
         model: PisaModel,
     ) -> Result<Switch, crate::compiler::CompileError> {
-        let assignment = compile(&program, &model, CompileOptions::default())?;
+        Switch::new_with_options(program, model, CompileOptions::default())
+    }
+
+    /// [`Switch::new`] with explicit compiler options (the differential
+    /// fuzzer compiles with `effect_deps` and, in its self-test, with the
+    /// injected packing bug).
+    pub fn new_with_options(
+        program: P4Program,
+        model: PisaModel,
+        opts: CompileOptions,
+    ) -> Result<Switch, crate::compiler::CompileError> {
+        let assignment = compile(&program, &model, opts)?;
+        Ok(Switch::from_assignment(program, model, assignment))
+    }
+
+    /// Instantiate a switch on the naive reference compilation (one table
+    /// per stage in control order) — the oracle side of axis-1 diffing.
+    pub fn new_naive(
+        program: P4Program,
+        model: PisaModel,
+    ) -> Result<Switch, crate::compiler::CompileError> {
+        let assignment = compile_naive(&program, &model)?;
+        Ok(Switch::from_assignment(program, model, assignment))
+    }
+
+    fn from_assignment(
+        program: P4Program,
+        model: PisaModel,
+        assignment: StageAssignment,
+    ) -> Switch {
+        let guards = table_guards(&program);
+        // Flatten stages into an execution order; a split table occupies
+        // several stages but executes once, at its first slice.
+        let mut staged_order = Vec::new();
+        for stage in &assignment.stages {
+            for &t in stage {
+                if !staged_order.contains(&t) {
+                    staged_order.push(t);
+                }
+            }
+        }
         let entries = vec![Vec::new(); program.num_tables()];
-        Ok(Switch {
+        let counters = vec![TableCounters::default(); program.num_tables()];
+        Switch {
             program,
             entries,
             assignment,
+            guards,
+            staged_order,
+            counters,
             model,
             packets_in: 0,
             packets_dropped: 0,
-        })
+        }
     }
 
     /// The stage assignment produced at compile time.
@@ -79,6 +193,10 @@ impl Switch {
     }
 
     /// Install an entry; entries are matched in priority order.
+    ///
+    /// Trusted-path API: panics on an unknown table id (a code-generator
+    /// bug, not a runtime input). Untrusted/generated entries go through
+    /// [`Switch::try_add_entry`].
     pub fn add_entry(&mut self, table: TableId, entry: TableEntry) {
         let list = &mut self.entries[table.0];
         let pos = list
@@ -86,6 +204,29 @@ impl Switch {
             .position(|e| e.priority < entry.priority)
             .unwrap_or(list.len());
         list.insert(pos, entry);
+    }
+
+    /// Validate and install an entry: the table must exist, the key arity
+    /// must match, and the action index must be in range.
+    pub fn try_add_entry(&mut self, table: TableId, entry: TableEntry) -> Result<(), EntryError> {
+        let Some(def) = self.program.tables.get(table.0) else {
+            return Err(EntryError::NoSuchTable(table));
+        };
+        if entry.keys.len() != def.keys.len() {
+            return Err(EntryError::KeyArityMismatch {
+                table,
+                expected: def.keys.len(),
+                got: entry.keys.len(),
+            });
+        }
+        if entry.action >= def.actions.len() {
+            return Err(EntryError::NoSuchAction {
+                table,
+                action: entry.action,
+            });
+        }
+        self.add_entry(table, entry);
+        Ok(())
     }
 
     /// Packets processed so far.
@@ -98,6 +239,17 @@ impl Switch {
         self.packets_dropped
     }
 
+    /// Per-table counters, indexed by `TableId`.
+    pub fn table_counters(&self) -> &[TableCounters] {
+        &self.counters
+    }
+
+    /// The table execution order stage packing produced (used by
+    /// stage-order execution).
+    pub fn staged_order(&self) -> &[TableId] {
+        &self.staged_order
+    }
+
     /// Run one packet through the pipeline.
     pub fn process(&mut self, pkt: &mut PacketBuf) -> SwitchVerdict {
         self.packets_in += 1;
@@ -105,16 +257,54 @@ impl Switch {
         if let Some(control) = self.program.control.clone() {
             self.exec(&control, pkt, &mut state);
         }
+        self.finish(state)
+    }
+
+    /// Run one packet in *stage order*: tables execute in the sequence the
+    /// stage packer assigned, each gated by its path condition (guards are
+    /// re-evaluated at execution time). This is how a physical pipeline
+    /// actually consumes a [`StageAssignment`] — and the execution mode
+    /// under which packed and naive compilations of the same program must
+    /// agree. [`Switch::process`] walks the control tree instead and never
+    /// looks at stages.
+    pub fn process_staged(&mut self, pkt: &mut PacketBuf) -> SwitchVerdict {
+        self.packets_in += 1;
+        let mut state = ExecState::default();
+        let order = self.staged_order.clone();
+        for t in order {
+            if state.dropped {
+                break;
+            }
+            if self.guard_passes(t, pkt, &state) {
+                self.apply_table(t, pkt, &mut state);
+            }
+        }
+        self.finish(state)
+    }
+
+    fn guard_passes(&self, t: TableId, pkt: &PacketBuf, state: &ExecState) -> bool {
+        match self.guards.get(&t) {
+            Some(gs) => gs.iter().all(|g| {
+                let v = read_field(pkt, g.field(), state).unwrap_or(0);
+                g.eval(v)
+            }),
+            None => true,
+        }
+    }
+
+    fn finish(&mut self, state: ExecState) -> SwitchVerdict {
         if state.dropped {
             self.packets_dropped += 1;
             SwitchVerdict {
                 egress_port: None,
                 dropped: true,
+                cause: state.cause.or(Some(DropCause::TableAction)),
             }
         } else {
             SwitchVerdict {
                 egress_port: state.egress,
                 dropped: false,
+                cause: None,
             }
         }
     }
@@ -170,6 +360,7 @@ impl Switch {
 
     fn apply_table(&mut self, id: TableId, pkt: &mut PacketBuf, state: &mut ExecState) {
         let table = &self.program.tables[id.0];
+        self.counters[id.0].applied += 1;
         let keys: Vec<u64> = table
             .keys
             .iter()
@@ -182,11 +373,22 @@ impl Switch {
             })
             .cloned();
         let (action_idx, data) = match hit {
-            Some(e) => (Some(e.action), e.action_data),
-            None => (table.default_action, Vec::new()),
+            Some(e) => {
+                self.counters[id.0].hits += 1;
+                (Some(e.action), e.action_data)
+            }
+            None => {
+                self.counters[id.0].misses += 1;
+                (table.default_action, Vec::new())
+            }
         };
         let Some(ai) = action_idx else { return };
-        let action = table.actions[ai].clone();
+        // Out-of-range indices are screened by `validate`/`try_add_entry`;
+        // treat any that slip through a trusted path as a no-op rather
+        // than panicking mid-pipeline.
+        let Some(action) = table.actions.get(ai).cloned() else {
+            return;
+        };
         for prim in &action.primitives {
             run_primitive(*prim, &data, pkt, state);
             if state.dropped {
@@ -200,7 +402,10 @@ fn run_primitive(p: Primitive, data: &[u64], pkt: &mut PacketBuf, state: &mut Ex
     let word = |n: u8| data.get(n as usize).copied().unwrap_or(0);
     match p {
         Primitive::NoOp => {}
-        Primitive::Drop => state.dropped = true,
+        Primitive::Drop => {
+            state.dropped = true;
+            state.cause = Some(DropCause::TableAction);
+        }
         Primitive::SetEgressConst(port) => state.egress = Some(port),
         Primitive::SetEgressFromData(n) => state.egress = Some(word(n) as u16),
         Primitive::SetFieldConst(f, v) => write_field(pkt, f, v, state),
@@ -222,12 +427,18 @@ fn run_primitive(p: Primitive, data: &[u64], pkt: &mut PacketBuf, state: &mut Ex
             let _ = builder::nsh_decap(pkt);
         }
         Primitive::DecNshSi => {
+            let whole_len = pkt.len();
             let frame = pkt.as_mut_slice();
             if let Ok(eth) = ethernet::Frame::new_checked(&frame[..]) {
-                if eth.ethertype() == EtherType::Nsh {
+                // The EtherType may promise NSH on a frame truncated
+                // mid-header; only a complete service header is writable.
+                if eth.ethertype() == EtherType::Nsh
+                    && whole_len >= ethernet::HEADER_LEN + nsh::HEADER_LEN
+                {
                     let mut h = nsh::Header::new_unchecked(&mut frame[ethernet::HEADER_LEN..]);
                     if h.decrement_si().is_err() {
                         state.dropped = true;
+                        state.cause = Some(DropCause::SiUnderflow);
                     }
                 }
             }
@@ -373,43 +584,53 @@ fn write_field(pkt: &mut PacketBuf, f: FieldRef, v: u64, state: &mut ExecState) 
         FieldRef::VlanVid => {
             if let Ok(eth) = ethernet::Frame::new_checked(&frame[..]) {
                 if eth.ethertype() == EtherType::Vlan {
-                    let mut tag = vlan::Tag::new_unchecked(&mut frame[ethernet::HEADER_LEN..]);
-                    tag.set_vid((v & 0x0fff) as u16);
+                    // The EtherType may promise a tag the truncation cut
+                    // off; only a complete tag is writable.
+                    if let Ok(mut tag) = vlan::Tag::new_checked(&mut frame[ethernet::HEADER_LEN..])
+                    {
+                        tag.set_vid((v & 0x0fff) as u16);
+                    }
                 }
             }
         }
         FieldRef::Ipv4Src | FieldRef::Ipv4Dst | FieldRef::Ipv4Ttl => {
             if let Some(l3) = l3_offset(frame) {
-                let mut ip = ipv4::Packet::new_unchecked(&mut frame[l3..]);
-                match f {
-                    FieldRef::Ipv4Src => ip.set_src(ipv4::Address::from_u32(v as u32)),
-                    FieldRef::Ipv4Dst => ip.set_dst(ipv4::Address::from_u32(v as u32)),
-                    _ => ip.set_ttl(v as u8),
+                // Checked: adversarial frames truncate mid-header, and a
+                // partial IPv4 header is unwritable (no room for the
+                // checksum rewrite).
+                if let Ok(mut ip) = ipv4::Packet::new_checked(&mut frame[l3..]) {
+                    match f {
+                        FieldRef::Ipv4Src => ip.set_src(ipv4::Address::from_u32(v as u32)),
+                        FieldRef::Ipv4Dst => ip.set_dst(ipv4::Address::from_u32(v as u32)),
+                        _ => ip.set_ttl(v as u8),
+                    }
+                    ip.fill_checksum();
                 }
-                ip.fill_checksum();
             }
         }
         FieldRef::L4Sport | FieldRef::L4Dport => {
             if let Some(l3) = l3_offset(frame) {
-                let (l4, protocol) = {
-                    let ip = ipv4::Packet::new_unchecked(&frame[l3..]);
-                    (l3 + ip.header_len() as usize, ip.protocol())
+                let Ok(ip) = ipv4::Packet::new_checked(&frame[l3..]) else {
+                    return;
                 };
+                let (l4, protocol) = (l3 + ip.header_len() as usize, ip.protocol());
                 match protocol {
                     Protocol::Udp => {
-                        let mut u = udp::Packet::new_unchecked(&mut frame[l4..]);
-                        if f == FieldRef::L4Sport {
-                            u.set_src_port(v as u16);
-                        } else {
-                            u.set_dst_port(v as u16);
+                        if let Ok(mut u) = udp::Packet::new_checked(&mut frame[l4..]) {
+                            if f == FieldRef::L4Sport {
+                                u.set_src_port(v as u16);
+                            } else {
+                                u.set_dst_port(v as u16);
+                            }
                         }
                     }
                     Protocol::Tcp => {
-                        let mut t = tcp::Packet::new_unchecked(&mut frame[l4..]);
-                        if f == FieldRef::L4Sport {
-                            t.set_src_port(v as u16);
-                        } else {
-                            t.set_dst_port(v as u16);
+                        if let Ok(mut t) = tcp::Packet::new_checked(&mut frame[l4..]) {
+                            if f == FieldRef::L4Sport {
+                                t.set_src_port(v as u16);
+                            } else {
+                                t.set_dst_port(v as u16);
+                            }
                         }
                     }
                     _ => {}
@@ -492,7 +713,8 @@ mod tests {
             sw.process(&mut hit),
             SwitchVerdict {
                 egress_port: Some(7),
-                dropped: false
+                dropped: false,
+                cause: None,
             }
         );
         let mut miss = sample_pkt(ipv4::Address::new(30, 0, 0, 1), 80);
@@ -500,11 +722,21 @@ mod tests {
             sw.process(&mut miss),
             SwitchVerdict {
                 egress_port: None,
-                dropped: true
+                dropped: true,
+                cause: Some(DropCause::TableAction),
             }
         );
         assert_eq!(sw.packets_in(), 2);
         assert_eq!(sw.packets_dropped(), 1);
+        // Counters saw one hit and one miss.
+        assert_eq!(
+            sw.table_counters()[t.0],
+            TableCounters {
+                applied: 2,
+                hits: 1,
+                misses: 1
+            }
+        );
     }
 
     #[test]
@@ -730,6 +962,165 @@ mod tests {
         let mut sw = Switch::new(p, PisaModel::default()).unwrap();
         let mut pkt = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 80);
         builder::nsh_encap(&mut pkt, 1, 0); // SI already 0: mis-programmed
-        assert!(sw.process(&mut pkt).dropped);
+        let v = sw.process(&mut pkt);
+        assert!(v.dropped);
+        assert_eq!(v.cause, Some(DropCause::SiUnderflow));
+    }
+
+    #[test]
+    fn try_add_entry_rejects_malformed_entries() {
+        let (p, t) = fwd_program();
+        let mut sw = Switch::new(p, PisaModel::default()).unwrap();
+        let entry = |keys: Vec<MatchValue>, action: usize| TableEntry {
+            keys,
+            action,
+            action_data: vec![],
+            priority: 1,
+        };
+        assert_eq!(
+            sw.try_add_entry(TableId(9), entry(vec![MatchValue::Any], 0)),
+            Err(EntryError::NoSuchTable(TableId(9)))
+        );
+        assert_eq!(
+            sw.try_add_entry(t, entry(vec![], 0)),
+            Err(EntryError::KeyArityMismatch {
+                table: t,
+                expected: 1,
+                got: 0
+            })
+        );
+        assert_eq!(
+            sw.try_add_entry(t, entry(vec![MatchValue::Any], 7)),
+            Err(EntryError::NoSuchAction {
+                table: t,
+                action: 7
+            })
+        );
+        assert_eq!(sw.try_add_entry(t, entry(vec![MatchValue::Any], 0)), Ok(()));
+    }
+
+    /// Branchy program used by the staged-execution tests: classify writes
+    /// Meta(0), a Switch dispatches to one of two egress markers.
+    fn branchy() -> (P4Program, TableId) {
+        let mut p = P4Program::new();
+        let classify = p.add_table(Table {
+            name: "classify".into(),
+            keys: vec![(FieldRef::L4Dport, MatchKind::Exact)],
+            actions: vec![Action::new(
+                "set_class",
+                vec![Primitive::SetFieldFromData(FieldRef::Meta(0), 0)],
+            )],
+            default_action: None,
+            size: 16,
+        });
+        let web = p.add_table(Table {
+            name: "web_path".into(),
+            keys: vec![],
+            actions: vec![Action::new("mark", vec![Primitive::SetEgressConst(1)])],
+            default_action: Some(0),
+            size: 1,
+        });
+        let other = p.add_table(Table {
+            name: "other_path".into(),
+            keys: vec![],
+            actions: vec![Action::new("mark", vec![Primitive::SetEgressConst(2)])],
+            default_action: Some(0),
+            size: 1,
+        });
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(classify),
+            Control::Switch {
+                on: FieldRef::Meta(0),
+                cases: vec![(1, Control::Apply(web))],
+                default: Some(Box::new(Control::Apply(other))),
+            },
+        ]));
+        (p, classify)
+    }
+
+    #[test]
+    fn staged_execution_matches_tree_execution() {
+        let install = |sw: &mut Switch, classify: TableId| {
+            sw.add_entry(
+                classify,
+                TableEntry {
+                    keys: vec![MatchValue::Exact(80)],
+                    action: 0,
+                    action_data: vec![1],
+                    priority: 1,
+                },
+            );
+        };
+        for (port, want) in [(80u16, Some(1u16)), (53, Some(2))] {
+            let (p, classify) = branchy();
+            let mut tree = Switch::new(p.clone(), PisaModel::default()).unwrap();
+            let mut staged = Switch::new(p.clone(), PisaModel::default()).unwrap();
+            let mut naive = Switch::new_naive(p, PisaModel::default()).unwrap();
+            install(&mut tree, classify);
+            install(&mut staged, classify);
+            install(&mut naive, classify);
+            let mut a = sample_pkt(ipv4::Address::new(1, 1, 1, 1), port);
+            let mut b = a.clone();
+            let mut c = a.clone();
+            let vt = tree.process(&mut a);
+            let vs = staged.process_staged(&mut b);
+            let vn = naive.process_staged(&mut c);
+            assert_eq!(vt.egress_port, want);
+            assert_eq!(vt, vs);
+            assert_eq!(vt, vn);
+            assert_eq!(a.as_slice(), b.as_slice());
+            assert_eq!(a.as_slice(), c.as_slice());
+            // Guard-skipped branch tables are not counted as applied.
+            assert_eq!(staged.table_counters(), tree.table_counters());
+            assert_eq!(staged.table_counters(), naive.table_counters());
+        }
+    }
+
+    #[test]
+    fn staged_execution_respects_drop_short_circuit() {
+        // dropper (effect-dep barrier) followed by an egress marker: once
+        // dropped, the marker must not fire — and not count as applied.
+        let mut p = P4Program::new();
+        let dropper = p.add_table(Table {
+            name: "deny".into(),
+            keys: vec![(FieldRef::L4Dport, MatchKind::Exact)],
+            actions: vec![Action::new("deny", vec![Primitive::Drop])],
+            default_action: None,
+            size: 4,
+        });
+        let mark = p.add_table(Table {
+            name: "mark".into(),
+            keys: vec![],
+            actions: vec![Action::new("out", vec![Primitive::SetEgressConst(3)])],
+            default_action: Some(0),
+            size: 1,
+        });
+        p.control = Some(Control::Seq(vec![
+            Control::Apply(dropper),
+            Control::Apply(mark),
+        ]));
+        let mut sw = Switch::new_with_options(
+            p,
+            PisaModel::default(),
+            crate::compiler::CompileOptions {
+                effect_deps: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sw.add_entry(
+            dropper,
+            TableEntry {
+                keys: vec![MatchValue::Exact(23)],
+                action: 0,
+                action_data: vec![],
+                priority: 1,
+            },
+        );
+        let mut pkt = sample_pkt(ipv4::Address::new(1, 1, 1, 1), 23);
+        let v = sw.process_staged(&mut pkt);
+        assert!(v.dropped);
+        assert_eq!(v.cause, Some(DropCause::TableAction));
+        assert_eq!(sw.table_counters()[mark.0].applied, 0);
     }
 }

@@ -99,11 +99,13 @@ pub fn tcp_packet(
 /// in front of an existing frame. This is what the generated `NSHencap`
 /// module does at the tail of a server subgroup (§A.1.2).
 pub fn nsh_encap(pkt: &mut PacketBuf, spi: u32, si: u8) {
-    // Copy the original Ethernet addresses to the new outer header.
-    let (dst, src) = {
-        let eth = ethernet::Frame::new_unchecked(pkt.as_slice());
-        (eth.dst(), eth.src())
+    // Copy the original Ethernet addresses to the new outer header. A
+    // frame too short to carry them cannot be service-chained: leave it
+    // alone rather than fabricate an outer header from garbage.
+    let Ok(eth) = ethernet::Frame::new_checked(pkt.as_slice()) else {
+        return;
     };
+    let (dst, src) = (eth.dst(), eth.src());
     let mut hdr = [0u8; ethernet::HEADER_LEN + nsh::HEADER_LEN];
     {
         let mut eth = ethernet::Frame::new_unchecked(&mut hdr[..]);
@@ -149,7 +151,9 @@ pub fn nsh_set_si(pkt: &mut PacketBuf, si: u8) -> bool {
         ethernet::Frame::new_checked(pkt.as_slice()).map(|e| e.ethertype()),
         Ok(EtherType::Nsh)
     );
-    if !is_nsh {
+    // The EtherType may promise NSH on a frame truncated mid-header;
+    // only a complete service header is writable.
+    if !is_nsh || pkt.len() < ethernet::HEADER_LEN + nsh::HEADER_LEN {
         return false;
     }
     let data = pkt.as_mut_slice();
@@ -167,10 +171,15 @@ pub fn vlan_push(pkt: &mut PacketBuf, vid: u16) {
 /// buffer — the form the PISA runtime uses on NSH-encapsulated packets
 /// (the tag belongs to the *inner* frame, not the service header).
 pub fn vlan_push_at(pkt: &mut PacketBuf, frame_off: usize, vid: u16) {
-    let inner_type = {
-        let eth = ethernet::Frame::new_unchecked(&pkt.as_slice()[frame_off..]);
-        eth.ethertype()
+    // An offset beyond the buffer or a frame too short for an Ethernet
+    // header has no EtherType to splice behind: no-op.
+    let Some(frame) = pkt.as_slice().get(frame_off..) else {
+        return;
     };
+    let Ok(eth) = ethernet::Frame::new_checked(frame) else {
+        return;
+    };
+    let inner_type = eth.ethertype();
     let mut tag = [0u8; vlan::TAG_LEN];
     {
         let mut t = vlan::Tag::new_unchecked(&mut tag[..]);
@@ -194,7 +203,7 @@ pub fn vlan_pop(pkt: &mut PacketBuf) -> Option<u16> {
 /// [`vlan_pop`] on an Ethernet frame starting at `frame_off`.
 pub fn vlan_pop_at(pkt: &mut PacketBuf, frame_off: usize) -> Option<u16> {
     let (vid, inner) = {
-        let eth = ethernet::Frame::new_checked(&pkt.as_slice()[frame_off..]).ok()?;
+        let eth = ethernet::Frame::new_checked(pkt.as_slice().get(frame_off..)?).ok()?;
         if eth.ethertype() != EtherType::Vlan {
             return None;
         }
