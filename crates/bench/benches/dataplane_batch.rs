@@ -1,0 +1,78 @@
+//! Criterion benches for the fused batch dataplane: single-NF sweeps over
+//! a whole batch, fused static dispatch vs the boxed trait-object
+//! reference, for the NFs whose per-packet cost the fusion work targets
+//! (NAT's translation table, ACL's rule scan, Monitor's flow table).
+//!
+//! These isolate the per-NF dispatch + parse cost that
+//! `exp_dataplane_throughput` measures end-to-end per chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lemur_bess::profiler::{generate_traffic, TrafficPattern};
+use lemur_metacompiler::FusedSegment;
+use lemur_nf::fused::FusedNf;
+use lemur_nf::{build_nf, NfCtx, NfKind, NfParams, ParamValue};
+use lemur_packet::batch::Batch;
+
+const BATCH: usize = 32;
+
+fn nf_params(kind: NfKind) -> NfParams {
+    let mut params = NfParams::new();
+    if kind == NfKind::Acl {
+        params.set("num_rules", ParamValue::Int(256));
+    }
+    params
+}
+
+fn bench_single_nf_sweeps(c: &mut Criterion) {
+    let traffic = generate_traffic(TrafficPattern::LongLived, BATCH, 64);
+    let mut group = c.benchmark_group("dataplane_batch");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for kind in [NfKind::Nat, NfKind::Acl, NfKind::Monitor] {
+        let params = nf_params(kind);
+        group.bench_with_input(BenchmarkId::new("boxed", kind.name()), &kind, |b, &k| {
+            b.iter_batched(
+                || (build_nf(k, &params), traffic.clone()),
+                |(mut nf, mut pkts)| {
+                    let ctx = NfCtx { now_ns: 0 };
+                    for pkt in pkts.iter_mut() {
+                        let _ = nf.process(&ctx, pkt);
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("fused", kind.name()), &kind, |b, &k| {
+            b.iter_batched(
+                || {
+                    (
+                        FusedSegment::new("bench", vec![FusedNf::build(k, &params)]),
+                        Batch::from_packets(traffic.clone()),
+                        Vec::new(),
+                    )
+                },
+                |(mut seg, mut batch, mut gates)| {
+                    let ctx = NfCtx { now_ns: 0 };
+                    let _ = seg.process_batch_inplace(&ctx, &mut batch, &mut gates);
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist as regression tripwires
+/// for the fused sweep, not to chase nanosecond precision.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_single_nf_sweeps
+}
+criterion_main!(benches);

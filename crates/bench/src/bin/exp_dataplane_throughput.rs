@@ -1,0 +1,473 @@
+//! Fused-chain batch dataplane throughput: the reference per-NF
+//! trait-object runtime ([`Subgroup`]) vs the fused batch-sweep runtime
+//! ([`FusedSegment`]) compiled from the same chain specs.
+//!
+//! Usage: `exp_dataplane_throughput [--quick]`
+//!
+//! Part 1 — **segment sweep**: for each server-side chain and each batch
+//! size in {1, 8, 32, 64}, recycle a fixed ring of packet buffers through
+//! the steady-state processing loop and time only that loop (no batch
+//! construction inside the timed region). Each cell is the best of
+//! several runs (minimum wall time — the standard micro-bench guard
+//! against scheduler noise). Reports pkts/sec/core (single thread == one
+//! core), ns/packet, and cycles-equivalent/packet at a nominal 3.0 GHz
+//! clock.
+//!
+//! The headline chain carries production-shaped configs — a 256-rule ACL
+//! (the paper's Table 4 profiles rule-bearing ACLs) and a hash-guard BPF
+//! ahead of Monitor and Limiter — with the traffic pool's 256 flows
+//! spread uniformly across the rule prefixes, so the reference path pays
+//! the table's average linear-scan depth on every packet while the fused
+//! path folds the whole classifier run into one per-flow memo probe. A
+//! bare-config variant of the same shape is also swept so the speedup
+//! attributable to fusion alone (static dispatch + parse-once) is
+//! reported separately from the classifier memo.
+//!
+//! Part 2 — **overload drop curve**: drive the simulated testbed at
+//! offered loads from 0.5× to 3× the predicted rate under both runtime
+//! modes. Virtual-time results (delivered rate, drop fraction) must be
+//! bit-identical between modes — the differential test's invariant — so
+//! the curve doubles as an end-to-end equivalence check; the wall-clock
+//! time to simulate the same window is recorded per mode.
+//!
+//! Results land in `target/experiments/BENCH_dataplane.json`; a snapshot
+//! is checked in at the repo root. Exit is non-zero if the fused runtime
+//! is slower than the reference on any cell (>10% regression tolerance),
+//! or if the headline 4-NF chain misses the 2× speedup floor at batch 32,
+//! or if any overload cell's reports diverge between modes.
+
+use lemur_bench::{build_problem, write_json};
+use lemur_bess::subgroup::Subgroup;
+use lemur_core::chains::CanonicalChain;
+use lemur_dataplane::{RuntimeMode, SimConfig, Testbed};
+use lemur_metacompiler::FusedSegment;
+use lemur_nf::fused::FusedNf;
+use lemur_nf::{build_nf, NfCtx, NfKind, NfParams, ParamValue};
+use lemur_packet::batch::Batch;
+use lemur_packet::builder::udp_packet;
+use lemur_packet::{ethernet, ipv4, PacketBuf};
+use lemur_placer::corealloc::CoreStrategy;
+use std::time::Instant;
+
+/// Nominal clock for the cycles-equivalent metric: ns/packet × 3.0.
+const NOMINAL_GHZ: f64 = 3.0;
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 64];
+/// The acceptance chain: four server-side NFs with production-shaped
+/// configs (256-rule ACL, hash-guard BPF, Monitor, Limiter).
+const HEADLINE: &str = "acl256-bpf-monitor-limiter";
+
+struct SweepRow {
+    chain: String,
+    nfs: usize,
+    batch_size: usize,
+    mode: &'static str,
+    packets: u64,
+    wall_s: f64,
+    pkts_per_sec_per_core: f64,
+    ns_per_pkt: f64,
+    cycles_eq_per_pkt: f64,
+    /// reference ns/pkt ÷ fused ns/pkt (1.0 on reference rows).
+    speedup: f64,
+}
+
+impl serde::Serialize for SweepRow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("chain".to_string(), self.chain.to_value()),
+            ("nfs".to_string(), self.nfs.to_value()),
+            ("batch_size".to_string(), self.batch_size.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            ("packets".to_string(), self.packets.to_value()),
+            ("wall_s".to_string(), self.wall_s.to_value()),
+            (
+                "pkts_per_sec_per_core".to_string(),
+                self.pkts_per_sec_per_core.to_value(),
+            ),
+            ("ns_per_pkt".to_string(), self.ns_per_pkt.to_value()),
+            (
+                "cycles_eq_per_pkt".to_string(),
+                self.cycles_eq_per_pkt.to_value(),
+            ),
+            ("speedup".to_string(), self.speedup.to_value()),
+        ])
+    }
+}
+
+struct OverloadRow {
+    offered_multiplier: f64,
+    offered_gbps: f64,
+    delivered_gbps: f64,
+    drop_frac: f64,
+    reference_wall_s: f64,
+    fused_wall_s: f64,
+    reports_identical: bool,
+}
+
+impl serde::Serialize for OverloadRow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "offered_multiplier".to_string(),
+                self.offered_multiplier.to_value(),
+            ),
+            ("offered_gbps".to_string(), self.offered_gbps.to_value()),
+            ("delivered_gbps".to_string(), self.delivered_gbps.to_value()),
+            ("drop_frac".to_string(), self.drop_frac.to_value()),
+            (
+                "reference_wall_s".to_string(),
+                self.reference_wall_s.to_value(),
+            ),
+            ("fused_wall_s".to_string(), self.fused_wall_s.to_value()),
+            (
+                "reports_identical".to_string(),
+                self.reports_identical.to_value(),
+            ),
+        ])
+    }
+}
+
+/// Server-side chains under test, each NF with its spec parameters. The
+/// headline chain is the rule-bearing variant; the bare variant of the
+/// same shape isolates the fusion-only gains.
+fn chains() -> Vec<(String, Vec<(NfKind, NfParams)>)> {
+    let bare = NfParams::new;
+    let mut acl256 = NfParams::new();
+    acl256.set("num_rules", ParamValue::Int(256));
+    let mut bpf = NfParams::new();
+    bpf.set("split", ParamValue::Int(1));
+    bpf.set("salt", ParamValue::Int(7));
+    vec![
+        (
+            HEADLINE.to_string(),
+            vec![
+                (NfKind::Acl, acl256),
+                (NfKind::Match, bpf),
+                (NfKind::Monitor, bare()),
+                (NfKind::Limiter, bare()),
+            ],
+        ),
+        (
+            "bare-acl-match-monitor-limiter".to_string(),
+            vec![
+                (NfKind::Acl, bare()),
+                (NfKind::Match, bare()),
+                (NfKind::Monitor, bare()),
+                (NfKind::Limiter, bare()),
+            ],
+        ),
+        (
+            "nat-monitor".to_string(),
+            vec![(NfKind::Nat, bare()), (NfKind::Monitor, bare())],
+        ),
+        (
+            "lb-acl-monitor".to_string(),
+            vec![
+                (NfKind::Lb, bare()),
+                (NfKind::Acl, bare()),
+                (NfKind::Monitor, bare()),
+            ],
+        ),
+        (
+            "encrypt-limiter".to_string(),
+            vec![(NfKind::FastEncrypt, bare()), (NfKind::Limiter, bare())],
+        ),
+    ]
+}
+
+/// 256 distinct flows in 64-byte frames. Destination addresses land one
+/// per `10.0.x.0/24` — the headline ACL's synthetic rule prefixes — so
+/// rule indices (and therefore the reference path's linear-scan depth)
+/// are uniform over the table.
+fn template_pool() -> Vec<PacketBuf> {
+    (0..256u16)
+        .map(|i| {
+            udp_packet(
+                ethernet::Address([2, 0, 0, 0, 0, 1]),
+                ethernet::Address([2, 0, 0, 0, 0, 2]),
+                ipv4::Address::new(198, 51, 100, (i % 251) as u8),
+                ipv4::Address::new(10, 0, i as u8, 9),
+                1000 + i,
+                80,
+                b"fused dataplane sweep!",
+            )
+        })
+        .collect()
+}
+
+/// Both timed loops recycle a fixed ring of `batch_size` buffers — the
+/// NIC-ring working set of a steady-state dataplane. Each iteration
+/// refreshes every buffer's frame from the template pool (an in-place
+/// memcpy reusing the allocation, paid identically by both modes), then
+/// runs one subgroup invocation. Dropped packets are replaced from the
+/// pool; with these chain configs the sweeps drop nothing, so the steady
+/// state allocates nothing.
+fn time_reference(
+    nfs: &[(NfKind, NfParams)],
+    pool: &[PacketBuf],
+    batch_size: usize,
+    iters: usize,
+) -> f64 {
+    let mut sg = Subgroup::new("bench", nfs.iter().map(|(k, p)| build_nf(*k, p)).collect());
+    let mask = pool.len() - 1;
+    debug_assert!(pool.len().is_power_of_two());
+    let mut ring: Vec<PacketBuf> = (0..batch_size).map(|i| pool[i & mask].clone()).collect();
+    let mut cursor = 0usize;
+    let mut now_ns = 0u64;
+    let mut sink = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        while ring.len() < batch_size {
+            ring.push(pool[cursor & mask].clone());
+        }
+        for buf in ring.iter_mut() {
+            buf.copy_frame_from(&pool[cursor & mask]);
+            cursor += 1;
+        }
+        let ctx = NfCtx { now_ns };
+        let out = sg.process_batch(&ctx, Batch::from_packets(std::mem::take(&mut ring)));
+        sink += out.dropped as u64;
+        ring.extend(out.packets.into_iter().map(|(p, gate)| {
+            sink += gate as u64;
+            p
+        }));
+        now_ns += 10_000;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    wall
+}
+
+fn time_fused(
+    nfs: &[(NfKind, NfParams)],
+    pool: &[PacketBuf],
+    batch_size: usize,
+    iters: usize,
+) -> f64 {
+    let mut fs = FusedSegment::new(
+        "bench",
+        nfs.iter().map(|(k, p)| FusedNf::build(*k, p)).collect(),
+    );
+    let mask = pool.len() - 1;
+    debug_assert!(pool.len().is_power_of_two());
+    let mut batch = Batch::from_packets((0..batch_size).map(|i| pool[i & mask].clone()).collect());
+    let mut gates = Vec::new();
+    let mut cursor = 0usize;
+    let mut now_ns = 0u64;
+    let mut sink = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        while batch.len() < batch_size {
+            batch.push(pool[cursor & mask].clone());
+        }
+        for buf in batch.iter_mut() {
+            buf.copy_frame_from(&pool[cursor & mask]);
+            cursor += 1;
+        }
+        let ctx = NfCtx { now_ns };
+        let dropped = fs.process_batch_inplace(&ctx, &mut batch, &mut gates);
+        sink += dropped as u64 + gates.iter().sum::<usize>() as u64;
+        now_ns += 10_000;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    wall
+}
+
+fn sweep(quick: bool) -> Vec<SweepRow> {
+    let total_pkts: usize = if quick { 400_000 } else { 2_000_000 };
+    let runs = if quick { 2 } else { 3 };
+    let pool = template_pool();
+    let mut rows = Vec::new();
+    for (name, nfs) in chains() {
+        for &bs in &BATCH_SIZES {
+            let iters = total_pkts / bs;
+            let warmup = (iters / 10).max(1);
+            // Warm both runtimes' caches and the allocator.
+            let _ = time_reference(&nfs, &pool, bs, warmup);
+            let _ = time_fused(&nfs, &pool, bs, warmup);
+            // Interleave the modes' runs and keep each mode's minimum, so
+            // clock/thermal drift on a busy host cannot systematically
+            // penalize whichever mode runs later.
+            let mut ref_wall = f64::INFINITY;
+            let mut fused_wall = f64::INFINITY;
+            for _ in 0..runs {
+                ref_wall = ref_wall.min(time_reference(&nfs, &pool, bs, iters));
+                fused_wall = fused_wall.min(time_fused(&nfs, &pool, bs, iters));
+            }
+            let pkts = (iters * bs) as u64;
+            let ref_ns = ref_wall * 1e9 / pkts as f64;
+            let fused_ns = fused_wall * 1e9 / pkts as f64;
+            for (mode, wall, ns, speedup) in [
+                ("reference", ref_wall, ref_ns, 1.0),
+                ("fused", fused_wall, fused_ns, ref_ns / fused_ns),
+            ] {
+                rows.push(SweepRow {
+                    chain: name.clone(),
+                    nfs: nfs.len(),
+                    batch_size: bs,
+                    mode,
+                    packets: pkts,
+                    wall_s: wall,
+                    pkts_per_sec_per_core: pkts as f64 / wall,
+                    ns_per_pkt: ns,
+                    cycles_eq_per_pkt: ns * NOMINAL_GHZ,
+                    speedup,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn overload_curve(quick: bool) -> Vec<OverloadRow> {
+    // All-software placement of a canonical chain: every NF runs in the
+    // server runtime under test. The relaxed SLO floor keeps the
+    // placement feasible without hardware offload.
+    let (p, mut specs) = build_problem(
+        &[CanonicalChain::Chain3],
+        0.25,
+        lemur_placer::topology::Topology::testbed(),
+    );
+    let a = lemur_placer::baselines::sw_preferred_assignment(&p);
+    let e = p.evaluate(&a, CoreStrategy::WaterFill).unwrap();
+    let config = SimConfig {
+        duration_s: if quick { 0.004 } else { 0.02 },
+        warmup_s: if quick { 0.001 } else { 0.004 },
+        ..SimConfig::default()
+    };
+    let mut rows = Vec::new();
+    for mult in [0.5, 1.0, 1.5, 2.0, 3.0] {
+        specs[0].offered_bps = e.chain_rates_bps[0] * mult;
+        let mut reference = Testbed::build_with_mode(&p, &e, RuntimeMode::Reference).unwrap();
+        let t0 = Instant::now();
+        let ref_report = reference.run(&specs, config);
+        let ref_wall = t0.elapsed().as_secs_f64();
+        let mut fused = Testbed::build_with_mode(&p, &e, RuntimeMode::Fused).unwrap();
+        let t1 = Instant::now();
+        let fused_report = fused.run(&specs, config);
+        let fused_wall = t1.elapsed().as_secs_f64();
+        let delivered = fused_report.per_chain[0].delivered_bps;
+        rows.push(OverloadRow {
+            offered_multiplier: mult,
+            offered_gbps: specs[0].offered_bps / 1e9,
+            delivered_gbps: delivered / 1e9,
+            drop_frac: (1.0 - delivered / specs[0].offered_bps).max(0.0),
+            reference_wall_s: ref_wall,
+            fused_wall_s: fused_wall,
+            reports_identical: ref_report == fused_report,
+        });
+    }
+    rows
+}
+
+struct Artifact {
+    nominal_ghz: f64,
+    quick: bool,
+    sweep: Vec<SweepRow>,
+    overload: Vec<OverloadRow>,
+}
+
+impl serde::Serialize for Artifact {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nominal_ghz".to_string(), self.nominal_ghz.to_value()),
+            ("quick".to_string(), self.quick.to_value()),
+            ("sweep".to_string(), self.sweep.to_value()),
+            ("overload".to_string(), self.overload.to_value()),
+        ])
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    println!("=== Fused vs reference segment sweep ===\n");
+    println!(
+        "{:<31} {:>3} {:>6} {:>10} {:>12} {:>10} {:>10} {:>8}",
+        "chain", "nfs", "batch", "mode", "Mpps/core", "ns/pkt", "cyc-eq", "speedup"
+    );
+    let sweep_rows = sweep(quick);
+    for r in &sweep_rows {
+        println!(
+            "{:<31} {:>3} {:>6} {:>10} {:>12.3} {:>10.1} {:>10.0} {:>7.2}x",
+            r.chain,
+            r.nfs,
+            r.batch_size,
+            r.mode,
+            r.pkts_per_sec_per_core / 1e6,
+            r.ns_per_pkt,
+            r.cycles_eq_per_pkt,
+            r.speedup,
+        );
+    }
+
+    println!("\n=== Overload drop curve (Chain3, all-software placement) ===\n");
+    println!(
+        "{:>5} {:>12} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "mult", "offered(G)", "delivered(G)", "drop%", "ref_s", "fused_s", "identical"
+    );
+    let overload_rows = overload_curve(quick);
+    for r in &overload_rows {
+        println!(
+            "{:>5.1} {:>12.2} {:>14.2} {:>9.1}% {:>10.3} {:>10.3} {:>10}",
+            r.offered_multiplier,
+            r.offered_gbps,
+            r.delivered_gbps,
+            r.drop_frac * 100.0,
+            r.reference_wall_s,
+            r.fused_wall_s,
+            if r.reports_identical { "yes" } else { "NO" },
+        );
+    }
+
+    let artifact = Artifact {
+        nominal_ghz: NOMINAL_GHZ,
+        quick,
+        sweep: sweep_rows,
+        overload: overload_rows,
+    };
+    write_json("BENCH_dataplane", &artifact);
+
+    // ---- Gates -----------------------------------------------------------
+    let mut failures = Vec::new();
+    for r in artifact.sweep.iter().filter(|r| r.mode == "fused") {
+        if r.speedup < 0.9 {
+            failures.push(format!(
+                "fused slower than reference: {} batch={} speedup {:.2}x",
+                r.chain, r.batch_size, r.speedup
+            ));
+        }
+        if r.chain == HEADLINE && r.batch_size == 32 && r.speedup < 2.0 {
+            failures.push(format!(
+                "headline chain {} at batch 32: {:.2}x < 2.0x floor",
+                r.chain, r.speedup
+            ));
+        }
+    }
+    for r in &artifact.overload {
+        if !r.reports_identical {
+            failures.push(format!(
+                "overload curve diverged between modes at {}x offered",
+                r.offered_multiplier
+            ));
+        }
+    }
+    if failures.is_empty() {
+        let headline = artifact
+            .sweep
+            .iter()
+            .find(|r| r.mode == "fused" && r.chain == HEADLINE && r.batch_size == 32)
+            .expect("headline cell present");
+        println!(
+            "\nPASS: {} at batch 32 → {:.2}x fused speedup ({:.2} Mpps/core vs reference), all cells >= 0.9x, overload curves identical.",
+            HEADLINE,
+            headline.speedup,
+            headline.pkts_per_sec_per_core / 1e6
+        );
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,7 @@ use lemur_bess::CoreId;
 use lemur_core::Slo;
 use lemur_ebpf::{Vm, XdpVerdict};
 use lemur_metacompiler::Deployment;
+pub use lemur_metacompiler::RuntimeMode;
 use lemur_nf::NfCtx;
 use lemur_p4sim::{PisaModel, Switch};
 use lemur_packet::PacketBuf;
@@ -39,6 +40,8 @@ pub enum BuildError {
     UnsupportedTor(String),
     /// The generated P4 program failed to compile/load on the switch.
     SwitchLoad(String),
+    /// Meta-compilation failed inside [`Testbed::build_with_mode`].
+    Compile(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -46,6 +49,7 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::UnsupportedTor(msg) => write!(f, "unsupported ToR: {msg}"),
             BuildError::SwitchLoad(msg) => write!(f, "switch load: {msg}"),
+            BuildError::Compile(msg) => write!(f, "meta-compile: {msg}"),
         }
     }
 }
@@ -304,6 +308,43 @@ impl Testbed {
             nf_index: parts.nf_index,
             tor_nat: parts.tor_nat,
         })
+    }
+
+    /// Build from a placement, compiling the deployment internally with an
+    /// explicit server runtime mode: `RuntimeMode::Reference` keeps the
+    /// per-NF trait-object path (the reference semantics), while
+    /// `RuntimeMode::Fused` compiles each server subgroup into a fused
+    /// batch-sweep segment. Both modes are bit-identical in observable
+    /// behaviour (enforced by `tests/fused_equivalence.rs`); fused trades
+    /// vtable dispatch and repeated header parses for a static-dispatch
+    /// sweep.
+    pub fn build_with_mode(
+        problem: &PlacementProblem,
+        placement: &EvaluatedPlacement,
+        mode: RuntimeMode,
+    ) -> Result<Testbed, BuildError> {
+        let deployment = match mode {
+            RuntimeMode::Reference => lemur_metacompiler::compile(problem, placement),
+            RuntimeMode::Fused => lemur_metacompiler::compile_fused(problem, placement),
+        }
+        .map_err(|e| BuildError::Compile(e.to_string()))?;
+        Testbed::build(problem, placement, deployment)
+    }
+
+    /// `(fused replicas, total replicas)` across all servers — lets tests
+    /// and benches assert which runtime a testbed actually executes.
+    pub fn runtime_census(&self) -> (usize, usize) {
+        let mut fused = 0;
+        let mut total = 0;
+        for server in self.servers.iter().flatten() {
+            for inst in &server.pipeline.instances {
+                total += 1;
+                if inst.runtime.is_fused() {
+                    fused += 1;
+                }
+            }
+        }
+        (fused, total)
     }
 
     /// Run the workload. `specs` must be index-aligned with the problem's

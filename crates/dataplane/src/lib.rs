@@ -27,7 +27,7 @@ pub mod report;
 pub mod traffic;
 
 pub use engine::{
-    BuildError, ControlAction, ControlHook, NoopHook, SimConfig, StagedConfig, Testbed,
+    BuildError, ControlAction, ControlHook, NoopHook, RuntimeMode, SimConfig, StagedConfig, Testbed,
 };
 pub use faults::{
     ChannelFault, ChannelFaultKind, FaultEvent, FaultKind, FaultPlan, FaultPlanError,

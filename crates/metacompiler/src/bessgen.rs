@@ -13,12 +13,14 @@
 //!   enforcement);
 //! * a textual BESS script for the LoC accounting.
 
+use crate::fuse::{FusedSegment, NfRuntime, RuntimeMode};
 use crate::routing::{Location, RoutingPlan};
 use lemur_bess::demux::{Demux, DemuxKey};
 use lemur_bess::scheduler::{SchedulerTree, TaskId};
 use lemur_bess::subgroup::Subgroup;
 use lemur_core::graph::NodeId;
 use lemur_nf::build_nf;
+use lemur_nf::fused::FusedNf;
 use lemur_placer::placement::{EvaluatedPlacement, PlacementProblem};
 use std::collections::HashMap;
 
@@ -27,7 +29,7 @@ pub struct SubgroupInstance {
     pub subgroup_idx: usize,
     pub replica: usize,
     pub core: usize,
-    pub runtime: Subgroup,
+    pub runtime: NfRuntime,
 }
 
 /// How a packet leaves a subgroup.
@@ -60,11 +62,24 @@ pub struct ServerPipeline {
     pub script: String,
 }
 
-/// Generate pipelines for every server with placed work.
+/// Generate pipelines for every server with placed work, using the
+/// reference per-NF runtime.
 pub fn generate(
     problem: &PlacementProblem,
     placement: &EvaluatedPlacement,
     routing: &RoutingPlan,
+) -> Vec<ServerPipeline> {
+    generate_with_mode(problem, placement, routing, RuntimeMode::Reference)
+}
+
+/// Generate pipelines with an explicit runtime mode: `Reference` emits
+/// per-NF `Subgroup` runtimes, `Fused` compiles each subgroup into a
+/// [`FusedSegment`] sweep (see [`crate::fuse`]).
+pub fn generate_with_mode(
+    problem: &PlacementProblem,
+    placement: &EvaluatedPlacement,
+    routing: &RoutingPlan,
+    mode: RuntimeMode,
 ) -> Vec<ServerPipeline> {
     let mut pipelines = Vec::new();
     for server in 0..problem.topology.servers.len() {
@@ -117,21 +132,36 @@ pub fn generate(
             let (Some(&head), Some(&tail)) = (sg.nodes.first(), sg.nodes.last()) else {
                 continue;
             };
-            // Build the NF instances for replica 0, then clone fresh.
+            // Each replica gets a fresh-state runtime built from the same
+            // node specs (equivalent to building a prototype and calling
+            // `clone_fresh`, for either runtime mode).
             let name = format!("c{}_sg_{}", sg.chain, chain.graph.node(head).name);
-            let nfs: Vec<_> = sg
-                .nodes
-                .iter()
-                .map(|id| {
-                    let n = chain.graph.node(*id);
-                    build_nf(n.kind, &n.params)
-                })
-                .collect();
-            let proto = Subgroup::new(&name, nfs);
+            let make_runtime = || match mode {
+                RuntimeMode::Reference => NfRuntime::Boxed(Subgroup::new(
+                    &name,
+                    sg.nodes
+                        .iter()
+                        .map(|id| {
+                            let n = chain.graph.node(*id);
+                            build_nf(n.kind, &n.params)
+                        })
+                        .collect(),
+                )),
+                RuntimeMode::Fused => NfRuntime::Fused(FusedSegment::new(
+                    &name,
+                    sg.nodes
+                        .iter()
+                        .map(|id| {
+                            let n = chain.graph.node(*id);
+                            FusedNf::build(n.kind, &n.params)
+                        })
+                        .collect(),
+                )),
+            };
             for r in 0..sg.cores {
                 let core = 1 + (next_core % worker_cores.max(1));
                 next_core += 1;
-                let runtime = proto.clone_fresh();
+                let runtime = make_runtime();
                 let inst_idx = instances.len();
                 instances.push(SubgroupInstance {
                     subgroup_idx: si,

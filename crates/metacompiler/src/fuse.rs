@@ -1,0 +1,648 @@
+//! Chain fusion: compile a placed server-side segment into one sweep.
+//!
+//! The reference runtime ([`lemur_bess::subgroup::Subgroup`]) walks each
+//! packet through `Box<dyn NetworkFunction>` hops — an indirect call per
+//! NF per packet, a fresh header parse inside every classifying NF, and
+//! per-packet counter updates. [`FusedSegment`] is what the meta-compiler
+//! emits instead when fusion is enabled: the same NF list enumerated into
+//! the static-dispatch [`FusedNf`] enum, processed NF-major over a whole
+//! [`Batch`] with scratch-backed state (per-slot [`FlowCache`], gate/drop
+//! marks) that is reused across batches, so the steady state performs no
+//! allocation, no vtable dispatch, at most one header parse per packet,
+//! and two counter updates per *batch* rather than two per packet.
+//!
+//! ## Semantic equivalence with the reference path
+//!
+//! The NF-major sweep is observationally identical to the packet-major
+//! reference loop: every NF sees exactly the packets that survived the
+//! NFs before it, in the same relative order, under the same `NfCtx`, so
+//! each NF's state trajectory and every per-packet verdict match
+//! bit-for-bit. (Packets in one batch share a context; the engine's
+//! per-packet timing path uses [`FusedSegment::process_packet`], which is
+//! the same code at batch size 1.) Mid-segment `Gate(g != 0)` verdicts
+//! drop the packet exactly as the reference runtime does; a terminal
+//! `Gate` selects the exit gate. `crates/dataplane/tests/fused_equivalence.rs`
+//! enforces all of this differentially.
+//!
+//! Fusion boundaries fall exactly where subgroup boundaries fall: at
+//! platform crossings (ToR P4, SmartNIC eBPF, OpenFlow) and at branch
+//! points, both of which bounce through NSH re-encapsulation. A fused
+//! segment therefore never spans a platform crossing — it *is* the
+//! maximal server-side run between crossings, which is also why the
+//! engine can swap either runtime per subgroup without touching routing.
+
+use lemur_bess::subgroup::{Subgroup, SubgroupOutput};
+use lemur_nf::flowmap::FlowMap;
+use lemur_nf::fused::{FlowCache, FusedNf};
+use lemur_nf::{NfCtx, NfKind, NfSnapshot, SnapshotError, Verdict};
+use lemur_packet::Batch;
+
+/// Which runtime the meta-compiler emits for server subgroups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeMode {
+    /// Per-NF trait objects (`Subgroup`) — the reference semantics.
+    #[default]
+    Reference,
+    /// Fused static-dispatch segments (`FusedSegment`).
+    Fused,
+}
+
+/// Sentinel gate meaning "dropped" during a sweep.
+const DROPPED: usize = usize::MAX;
+
+/// Classifier-memo capacity bound: when the per-flow table reaches this
+/// many entries it is cleared wholesale (the next packets repopulate it).
+/// A blunt policy, but correct for pure functions — re-running the
+/// classifiers reproduces the evicted outcomes exactly.
+const MEMO_CAP: usize = 65_536;
+
+/// The folded verdict of a run of tuple-pure classifiers for one flow —
+/// the fused dataplane's megaflow-style cache line. Because every NF in
+/// the memoized run is a pure function of the 5-tuple (stateless, never
+/// writes the frame), replaying the outcome for later packets of the same
+/// flow is observationally identical to re-running the NFs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemoOutcome {
+    /// Every NF forwarded (mid-run `Gate(0)` counts as forward).
+    Proceed,
+    /// Some NF dropped, or gated mid-run onto a non-zero gate.
+    Drop,
+    /// The run ends the segment and its final NF chose this exit gate.
+    Exit(usize),
+}
+
+/// The longest contiguous run of tuple-pure NFs, as `(start, end)`.
+/// Runs shorter than 2 are not worth the memo probe.
+fn longest_pure_run(nfs: &[FusedNf]) -> Option<(usize, usize)> {
+    let (mut best_s, mut best_e) = (0usize, 0usize);
+    let mut run_start = None;
+    for i in 0..=nfs.len() {
+        let pure = i < nfs.len() && nfs[i].tuple_pure();
+        match (pure, run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(s)) => {
+                if i - s > best_e - best_s {
+                    best_s = s;
+                    best_e = i;
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    (best_e - best_s >= 2).then_some((best_s, best_e))
+}
+
+/// A contiguous server-side chain segment compiled into a single
+/// batch-sweep unit. See the module docs.
+pub struct FusedSegment {
+    name: String,
+    nfs: Vec<FusedNf>,
+    packets_in: u64,
+    packets_dropped: u64,
+    /// Per-slot parse caches, reused across batches (allocation-free
+    /// steady state).
+    caches: Vec<FlowCache>,
+    /// `(start, end)` of the longest contiguous run of tuple-pure
+    /// classifiers, when ≥ 2 NFs long — the memoized span.
+    memo_run: Option<(usize, usize)>,
+    /// Per-flow folded outcome of the memoized span (megaflow cache).
+    memo: FlowMap<MemoOutcome>,
+}
+
+impl FusedSegment {
+    /// Build from fused NF instances (must be non-empty).
+    pub fn new(name: &str, nfs: Vec<FusedNf>) -> FusedSegment {
+        assert!(!nfs.is_empty(), "fused segment needs at least one NF");
+        let memo_run = longest_pure_run(&nfs);
+        FusedSegment {
+            name: name.to_string(),
+            nfs,
+            packets_in: 0,
+            packets_dropped: 0,
+            caches: Vec::with_capacity(lemur_packet::batch::BATCH_SIZE),
+            memo_run,
+            memo: FlowMap::new(),
+        }
+    }
+
+    /// Run the memoized classifier span for one packet: probe the per-flow
+    /// memo, on miss execute the span's NFs and memoize the folded
+    /// outcome. Unparseable frames bypass the memo entirely (their
+    /// verdicts may depend on bytes the tuple key cannot represent).
+    ///
+    /// An associated function over disjoint fields so the batch sweep can
+    /// hold `caches[slot]` mutably at the same time.
+    #[inline]
+    fn memo_span(
+        nfs: &mut [FusedNf],
+        memo: &mut FlowMap<MemoOutcome>,
+        (start, end): (usize, usize),
+        last: usize,
+        ctx: &NfCtx,
+        pkt: &mut lemur_packet::PacketBuf,
+        cache: &mut FlowCache,
+    ) -> MemoOutcome {
+        let key = cache.tuple_hashed(pkt);
+        if let Some((t, h)) = key {
+            if let Some(o) = memo.get_hashed(h, &t) {
+                return *o;
+            }
+        }
+        let mut outcome = MemoOutcome::Proceed;
+        for (off, nf) in nfs[start..end].iter_mut().enumerate() {
+            match nf.process_cached(ctx, pkt, cache) {
+                Verdict::Forward => {}
+                Verdict::Drop => {
+                    outcome = MemoOutcome::Drop;
+                    break;
+                }
+                Verdict::Gate(g) => {
+                    if start + off == last {
+                        outcome = MemoOutcome::Exit(g);
+                    } else if g != 0 {
+                        outcome = MemoOutcome::Drop;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((t, h)) = key {
+            if memo.len() >= MEMO_CAP {
+                memo.clear();
+            }
+            *memo.get_mut_or_insert_with_hashed(h, &t, || outcome) = outcome;
+        }
+        outcome
+    }
+
+    /// The segment's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of NFs fused into this segment.
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// True if the segment has no NFs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+
+    /// True if any member NF is stateful (non-replicable, §3.2).
+    pub fn is_stateful(&self) -> bool {
+        self.nfs.iter().any(|nf| nf.as_nf().is_stateful())
+    }
+
+    /// Process one packet through the whole segment. Returns the exit gate
+    /// or `None` if dropped. Identical semantics to
+    /// [`Subgroup::process_packet`], minus the vtable and re-parses.
+    #[inline]
+    pub fn process_packet(
+        &mut self,
+        ctx: &NfCtx,
+        pkt: &mut lemur_packet::PacketBuf,
+    ) -> Option<usize> {
+        self.packets_in += 1;
+        let mut cache = FlowCache::default();
+        let last = self.nfs.len() - 1;
+        let mut i = 0;
+        while i <= last {
+            if self.memo_run.is_some_and(|(start, _)| i == start) {
+                let span = self.memo_run.unwrap();
+                match Self::memo_span(
+                    &mut self.nfs,
+                    &mut self.memo,
+                    span,
+                    last,
+                    ctx,
+                    pkt,
+                    &mut cache,
+                ) {
+                    MemoOutcome::Proceed => {
+                        i = span.1;
+                        continue;
+                    }
+                    MemoOutcome::Drop => {
+                        self.packets_dropped += 1;
+                        return None;
+                    }
+                    MemoOutcome::Exit(g) => return Some(g),
+                }
+            }
+            match self.nfs[i].process_cached(ctx, pkt, &mut cache) {
+                Verdict::Forward => {}
+                Verdict::Drop => {
+                    self.packets_dropped += 1;
+                    return None;
+                }
+                Verdict::Gate(g) => {
+                    if i == last {
+                        return Some(g);
+                    }
+                    if g != 0 {
+                        self.packets_dropped += 1;
+                        return None;
+                    }
+                }
+            }
+            i += 1;
+        }
+        Some(0)
+    }
+
+    /// The fused hot path: sweep a whole batch NF-major, in place.
+    ///
+    /// On return the batch holds the surviving packets in their original
+    /// order and `gates_out[i]` is the exit gate of the i-th survivor;
+    /// the number of dropped packets is returned. Ledger updates are per
+    /// batch, and all working state (parse caches, gate marks) lives in
+    /// reused scratch buffers — the steady state allocates nothing.
+    pub fn process_batch_inplace(
+        &mut self,
+        ctx: &NfCtx,
+        batch: &mut Batch,
+        gates_out: &mut Vec<usize>,
+    ) -> usize {
+        let n = batch.len();
+        self.packets_in += n as u64;
+        self.caches.clear();
+        self.caches.resize(n, FlowCache::default());
+        gates_out.clear();
+        gates_out.resize(n, 0);
+        let mut dropped = 0usize;
+        let last = self.nfs.len() - 1;
+        let mut i = 0;
+        while i < self.nfs.len() {
+            // At the memoized span, switch to a per-packet probe: a flow
+            // already in the memo replays its folded outcome and skips the
+            // span's NFs entirely (the megaflow fast path).
+            if self.memo_run.is_some_and(|(start, _)| i == start) {
+                let span = self.memo_run.unwrap();
+                let pkts = batch.as_mut_slice();
+                for slot in 0..n {
+                    if gates_out[slot] == DROPPED {
+                        continue;
+                    }
+                    match Self::memo_span(
+                        &mut self.nfs,
+                        &mut self.memo,
+                        span,
+                        last,
+                        ctx,
+                        &mut pkts[slot],
+                        &mut self.caches[slot],
+                    ) {
+                        MemoOutcome::Proceed => {}
+                        MemoOutcome::Drop => {
+                            gates_out[slot] = DROPPED;
+                            dropped += 1;
+                        }
+                        MemoOutcome::Exit(g) => {
+                            gates_out[slot] = g;
+                        }
+                    }
+                }
+                i = span.1;
+                continue;
+            }
+            let pkts = batch.as_mut_slice();
+            let nf = &mut self.nfs[i];
+            for slot in 0..n {
+                if gates_out[slot] == DROPPED {
+                    continue;
+                }
+                match nf.process_cached(ctx, &mut pkts[slot], &mut self.caches[slot]) {
+                    Verdict::Forward => {}
+                    Verdict::Drop => {
+                        gates_out[slot] = DROPPED;
+                        dropped += 1;
+                    }
+                    Verdict::Gate(g) => {
+                        if i == last {
+                            gates_out[slot] = g;
+                        } else if g != 0 {
+                            gates_out[slot] = DROPPED;
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        self.packets_dropped += dropped as u64;
+        // Compact survivors in order (gate marks drive the packet retain);
+        // a clean batch — the steady state — skips the pass entirely.
+        if dropped > 0 {
+            let mut slot = 0;
+            batch.retain(|_| {
+                let keep = gates_out[slot] != DROPPED;
+                slot += 1;
+                keep
+            });
+            gates_out.retain(|g| *g != DROPPED);
+        }
+        debug_assert_eq!(batch.len(), gates_out.len());
+        dropped
+    }
+
+    /// Batch processing with the reference output shape (used by the
+    /// differential tests to diff against [`Subgroup::process_batch`]).
+    pub fn process_batch(&mut self, ctx: &NfCtx, mut batch: Batch) -> SubgroupOutput {
+        let mut gates = Vec::with_capacity(batch.len());
+        let dropped = self.process_batch_inplace(ctx, &mut batch, &mut gates);
+        SubgroupOutput {
+            packets: batch.into_iter().zip(gates).collect(),
+            dropped,
+        }
+    }
+
+    /// Packets seen so far.
+    pub fn packets_in(&self) -> u64 {
+        self.packets_in
+    }
+
+    /// Packets dropped so far.
+    pub fn packets_dropped(&self) -> u64 {
+        self.packets_dropped
+    }
+
+    /// The kind of the NF at `idx`, if in range.
+    pub fn nf_kind(&self, idx: usize) -> Option<NfKind> {
+        self.nfs.get(idx).map(|nf| nf.kind())
+    }
+
+    /// Snapshot the migratable state of the NF at `idx`.
+    pub fn snapshot_nf(&self, idx: usize) -> Option<NfSnapshot> {
+        self.nfs.get(idx).and_then(|nf| nf.as_nf().snapshot_state())
+    }
+
+    /// Restore a snapshot into the NF at `idx`. All-or-nothing. Drops the
+    /// classifier memo — the memoized NFs are stateless, so this is purely
+    /// defensive, but it keeps "memo matches current NF config" trivially
+    /// invariant.
+    pub fn restore_nf(&mut self, idx: usize, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        match self.nfs.get_mut(idx) {
+            Some(nf) => {
+                let r = nf.as_nf_mut().restore_state(snapshot);
+                if r.is_ok() {
+                    self.memo.clear();
+                }
+                r
+            }
+            None => Err(SnapshotError::Invalid("NF index out of range in segment")),
+        }
+    }
+
+    /// FNV-1a/128 state fingerprint of the NF at `idx` (0 when stateless
+    /// or out of range).
+    pub fn nf_state_fingerprint(&self, idx: usize) -> u128 {
+        self.nfs
+            .get(idx)
+            .map(|nf| nf.as_nf().state_fingerprint())
+            .unwrap_or(0)
+    }
+}
+
+/// The runtime emitted for one subgroup replica: either the per-NF
+/// reference path or the fused sweep. The engine calls through this enum,
+/// so both runtimes are interchangeable mid-deployment (an epoch swap may
+/// stage one mode while the live epoch runs the other).
+pub enum NfRuntime {
+    Boxed(Subgroup),
+    Fused(FusedSegment),
+}
+
+impl NfRuntime {
+    /// True when this replica runs the fused sweep.
+    pub fn is_fused(&self) -> bool {
+        matches!(self, NfRuntime::Fused(_))
+    }
+
+    /// The subgroup's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            NfRuntime::Boxed(s) => s.name(),
+            NfRuntime::Fused(s) => s.name(),
+        }
+    }
+
+    /// Number of NFs in the subgroup.
+    pub fn len(&self) -> usize {
+        match self {
+            NfRuntime::Boxed(s) => s.len(),
+            NfRuntime::Fused(s) => s.len(),
+        }
+    }
+
+    /// True if the subgroup has no NFs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if any member NF is stateful.
+    pub fn is_stateful(&self) -> bool {
+        match self {
+            NfRuntime::Boxed(s) => s.is_stateful(),
+            NfRuntime::Fused(s) => s.is_stateful(),
+        }
+    }
+
+    /// Process one packet; returns the exit gate or `None` if dropped.
+    #[inline]
+    pub fn process_packet(
+        &mut self,
+        ctx: &NfCtx,
+        pkt: &mut lemur_packet::PacketBuf,
+    ) -> Option<usize> {
+        match self {
+            NfRuntime::Boxed(s) => s.process_packet(ctx, pkt),
+            NfRuntime::Fused(s) => s.process_packet(ctx, pkt),
+        }
+    }
+
+    /// Run a batch to completion, collecting survivors per exit gate.
+    pub fn process_batch(&mut self, ctx: &NfCtx, batch: Batch) -> SubgroupOutput {
+        match self {
+            NfRuntime::Boxed(s) => s.process_batch(ctx, batch),
+            NfRuntime::Fused(s) => s.process_batch(ctx, batch),
+        }
+    }
+
+    /// Packets seen so far.
+    pub fn packets_in(&self) -> u64 {
+        match self {
+            NfRuntime::Boxed(s) => s.packets_in(),
+            NfRuntime::Fused(s) => s.packets_in(),
+        }
+    }
+
+    /// Packets dropped so far.
+    pub fn packets_dropped(&self) -> u64 {
+        match self {
+            NfRuntime::Boxed(s) => s.packets_dropped(),
+            NfRuntime::Fused(s) => s.packets_dropped(),
+        }
+    }
+
+    /// The kind of the NF at `idx`, if in range.
+    pub fn nf_kind(&self, idx: usize) -> Option<NfKind> {
+        match self {
+            NfRuntime::Boxed(s) => s.nf_kind(idx),
+            NfRuntime::Fused(s) => s.nf_kind(idx),
+        }
+    }
+
+    /// Snapshot the migratable state of the NF at `idx`.
+    pub fn snapshot_nf(&self, idx: usize) -> Option<NfSnapshot> {
+        match self {
+            NfRuntime::Boxed(s) => s.snapshot_nf(idx),
+            NfRuntime::Fused(s) => s.snapshot_nf(idx),
+        }
+    }
+
+    /// Restore a snapshot into the NF at `idx`. All-or-nothing.
+    pub fn restore_nf(&mut self, idx: usize, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
+        match self {
+            NfRuntime::Boxed(s) => s.restore_nf(idx, snapshot),
+            NfRuntime::Fused(s) => s.restore_nf(idx, snapshot),
+        }
+    }
+
+    /// FNV-1a/128 state fingerprint of the NF at `idx`.
+    pub fn nf_state_fingerprint(&self, idx: usize) -> u128 {
+        match self {
+            NfRuntime::Boxed(s) => s.nf_state_fingerprint(idx),
+            NfRuntime::Fused(s) => s.nf_state_fingerprint(idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemur_nf::{build_nf, NfParams, ParamValue};
+    use lemur_packet::builder::udp_packet;
+    use lemur_packet::{ethernet, ipv4, PacketBuf};
+
+    fn pkt(dst: ipv4::Address, port: u16) -> PacketBuf {
+        udp_packet(
+            ethernet::Address([2, 0, 0, 0, 0, 1]),
+            ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ipv4::Address::new(203, 0, 113, 1),
+            dst,
+            port,
+            80,
+            b"fused segment payload",
+        )
+    }
+
+    fn acl_params(prefix: &str) -> NfParams {
+        let mut params = NfParams::new();
+        let mut d = std::collections::BTreeMap::new();
+        d.insert("dst_ip".to_string(), ParamValue::Str(prefix.into()));
+        d.insert("drop".to_string(), ParamValue::Bool(false));
+        params.set("rules", ParamValue::List(vec![ParamValue::Dict(d)]));
+        params
+    }
+
+    fn both_runtimes(specs: &[(lemur_nf::NfKind, NfParams)]) -> (Subgroup, FusedSegment) {
+        let boxed = Subgroup::new("ref", specs.iter().map(|(k, p)| build_nf(*k, p)).collect());
+        let fused = FusedSegment::new(
+            "fused",
+            specs.iter().map(|(k, p)| FusedNf::build(*k, p)).collect(),
+        );
+        (boxed, fused)
+    }
+
+    #[test]
+    fn sweep_matches_reference_on_mixed_batch() {
+        use lemur_nf::NfKind;
+        let specs = vec![
+            (NfKind::Acl, acl_params("10.0.0.0/8")),
+            (NfKind::Match, NfParams::new()),
+            (NfKind::Monitor, NfParams::new()),
+            (NfKind::Limiter, NfParams::new()),
+        ];
+        let (mut sg, mut fs) = both_runtimes(&specs);
+        let ctx = NfCtx { now_ns: 5_000 };
+        let mut batch_a = Batch::new();
+        let mut batch_b = Batch::new();
+        for i in 0..8u16 {
+            // Half in-prefix (survive the ACL), half out (dropped).
+            let dst = if i % 2 == 0 {
+                ipv4::Address::new(10, 0, 0, (i + 1) as u8)
+            } else {
+                ipv4::Address::new(99, 0, 0, (i + 1) as u8)
+            };
+            batch_a.push(pkt(dst, 2000 + i));
+            batch_b.push(pkt(dst, 2000 + i));
+        }
+        let ref_out = sg.process_batch(&ctx, batch_a);
+        let fused_out = fs.process_batch(&ctx, batch_b);
+        assert_eq!(ref_out.dropped, fused_out.dropped);
+        assert_eq!(ref_out.packets, fused_out.packets);
+        assert_eq!(sg.packets_in(), fs.packets_in());
+        assert_eq!(sg.packets_dropped(), fs.packets_dropped());
+        for idx in 0..specs.len() {
+            assert_eq!(
+                sg.nf_state_fingerprint(idx),
+                fs.nf_state_fingerprint(idx),
+                "NF {idx} state diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn inplace_sweep_reuses_scratch_and_compacts_in_order() {
+        use lemur_nf::NfKind;
+        let specs = vec![(NfKind::Acl, acl_params("10.0.0.0/8"))];
+        let (_, mut fs) = both_runtimes(&specs);
+        let ctx = NfCtx::default();
+        let mut gates = Vec::new();
+        for round in 0..3 {
+            let mut batch = Batch::new();
+            batch.push(pkt(ipv4::Address::new(10, 0, 0, 1), 1000));
+            batch.push(pkt(ipv4::Address::new(99, 0, 0, 1), 1001));
+            batch.push(pkt(ipv4::Address::new(10, 0, 0, 2), 1002));
+            let dropped = fs.process_batch_inplace(&ctx, &mut batch, &mut gates);
+            assert_eq!(dropped, 1, "round {round}");
+            assert_eq!(batch.len(), 2);
+            assert_eq!(gates, vec![0, 0]);
+            // Survivors keep their original relative order.
+            let ports: Vec<u16> = batch
+                .iter()
+                .map(|p| {
+                    lemur_packet::flow::FiveTuple::parse(p.as_slice())
+                        .unwrap()
+                        .src_port
+                })
+                .collect();
+            assert_eq!(ports, vec![1000, 1002]);
+        }
+        assert_eq!(fs.packets_in(), 9);
+        assert_eq!(fs.packets_dropped(), 3);
+    }
+
+    #[test]
+    fn terminal_branch_gates_match_reference() {
+        use lemur_nf::NfKind;
+        let mut split = NfParams::new();
+        split.set("split", ParamValue::Int(3));
+        let specs = vec![(NfKind::Monitor, NfParams::new()), (NfKind::Match, split)];
+        let (mut sg, mut fs) = both_runtimes(&specs);
+        let ctx = NfCtx::default();
+        for port in 3000..3050u16 {
+            let mut a = pkt(ipv4::Address::new(10, 0, 0, 7), port);
+            let mut b = a.clone();
+            assert_eq!(
+                sg.process_packet(&ctx, &mut a),
+                fs.process_packet(&ctx, &mut b),
+                "gate diverged for port {port}"
+            );
+            assert_eq!(a, b);
+        }
+    }
+}

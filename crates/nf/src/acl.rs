@@ -77,6 +77,30 @@ impl Acl {
         self.rules.len()
     }
 
+    /// The verdict for an already-parsed 5-tuple (`None` = unclassifiable
+    /// traffic, which the ACL drops). Shared by [`NetworkFunction::process`]
+    /// and the fused dataplane's parse-once path, so the two agree by
+    /// construction.
+    pub(crate) fn verdict_for(&self, tuple: Option<&FiveTuple>) -> Verdict {
+        let Some(tuple) = tuple else {
+            return Verdict::Drop;
+        };
+        for rule in &self.rules {
+            if rule.matches(tuple) {
+                return if rule.drop {
+                    Verdict::Drop
+                } else {
+                    Verdict::Forward
+                };
+            }
+        }
+        if self.default_drop {
+            Verdict::Drop
+        } else {
+            Verdict::Forward
+        }
+    }
+
     /// Build from spec parameters. Recognized forms:
     /// `rules=[{'src_ip': CIDR, 'dst_ip': CIDR, 'proto': int, 'drop': bool}]`,
     /// plus `num_rules=N` to synthesize a table of N distinct allow rules
@@ -145,24 +169,7 @@ impl NetworkFunction for Acl {
     }
 
     fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
-        let Ok(tuple) = FiveTuple::parse(pkt.as_slice()) else {
-            // Unclassifiable traffic is dropped by the ACL.
-            return Verdict::Drop;
-        };
-        for rule in &self.rules {
-            if rule.matches(&tuple) {
-                return if rule.drop {
-                    Verdict::Drop
-                } else {
-                    Verdict::Forward
-                };
-            }
-        }
-        if self.default_drop {
-            Verdict::Drop
-        } else {
-            Verdict::Forward
-        }
+        self.verdict_for(FiveTuple::parse(pkt.as_slice()).ok().as_ref())
     }
 
     fn clone_fresh(&self) -> Box<dyn NetworkFunction> {

@@ -106,18 +106,16 @@ impl LoadBalancer {
         }
         idx
     }
-}
 
-impl NetworkFunction for LoadBalancer {
-    fn kind(&self) -> NfKind {
-        NfKind::Lb
-    }
-
-    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
-        let Ok(tuple) = FiveTuple::parse(pkt.as_slice()) else {
+    /// Steer a packet whose 5-tuple was already parsed (`None` =
+    /// unclassifiable, dropped). Shared by [`NetworkFunction::process`] and
+    /// the fused parse-once path. Rewrites the destination IP/MAC and
+    /// checksums, so it invalidates any cached parse of `pkt`.
+    pub(crate) fn steer(&mut self, pkt: &mut PacketBuf, tuple: Option<&FiveTuple>) -> Verdict {
+        let Some(tuple) = tuple else {
             return Verdict::Drop;
         };
-        let idx = self.pick(&tuple);
+        let idx = self.pick(tuple);
         let backend = self.backends[idx];
         // Locate the IP header (possibly behind a VLAN tag).
         let l3 = {
@@ -150,6 +148,17 @@ impl NetworkFunction for LoadBalancer {
             _ => {}
         }
         Verdict::Forward
+    }
+}
+
+impl NetworkFunction for LoadBalancer {
+    fn kind(&self) -> NfKind {
+        NfKind::Lb
+    }
+
+    fn process(&mut self, _ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
+        let tuple = FiveTuple::parse(pkt.as_slice()).ok();
+        self.steer(pkt, tuple.as_ref())
     }
 
     /// The LB's flow cache shards cleanly by flow (the demux hashes flows to

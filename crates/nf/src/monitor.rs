@@ -1,10 +1,10 @@
 //! Monitor NF: per-flow statistics (Table 3).
 
+use crate::flowmap::{tuple_hash, FlowMap};
 use crate::snapshot::{Decoder, Encoder};
 use crate::{NetworkFunction, NfCtx, NfKind, NfSnapshot, SnapshotError, Verdict};
 use lemur_packet::flow::FiveTuple;
 use lemur_packet::{ipv4, PacketBuf};
-use std::collections::BTreeMap;
 
 /// Statistics kept per flow.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,8 +18,9 @@ pub struct FlowStats {
 /// Per-flow statistics collector. Unclassifiable packets are counted in an
 /// "other" bucket and forwarded — monitoring must never drop traffic.
 pub struct Monitor {
-    /// Flow → stats, in key order so snapshots are canonical.
-    flows: BTreeMap<FiveTuple, FlowStats>,
+    /// Flow → stats. Hash-table iteration order is arbitrary; snapshots
+    /// and fingerprints sort entries so they stay canonical.
+    flows: FlowMap<FlowStats>,
     other_packets: u64,
     other_bytes: u64,
 }
@@ -28,7 +29,7 @@ impl Monitor {
     /// An empty monitor.
     pub fn new() -> Monitor {
         Monitor {
-            flows: BTreeMap::new(),
+            flows: FlowMap::new(),
             other_packets: 0,
             other_bytes: 0,
         }
@@ -46,12 +47,12 @@ impl Monitor {
 
     /// Total packets seen (classified + other).
     pub fn total_packets(&self) -> u64 {
-        self.flows.values().map(|s| s.packets).sum::<u64>() + self.other_packets
+        self.flows.iter().map(|(_, s)| s.packets).sum::<u64>() + self.other_packets
     }
 
     /// Total bytes seen (classified + other).
     pub fn total_bytes(&self) -> u64 {
-        self.flows.values().map(|s| s.bytes).sum::<u64>() + self.other_bytes
+        self.flows.iter().map(|(_, s)| s.bytes).sum::<u64>() + self.other_bytes
     }
 
     /// Drop flow records idle since before `cutoff_ns` (periodic GC).
@@ -59,6 +60,33 @@ impl Monitor {
         let before = self.flows.len();
         self.flows.retain(|_, s| s.last_seen_ns >= cutoff_ns);
         before - self.flows.len()
+    }
+
+    /// Account one packet against an already-parsed 5-tuple (`None` goes to
+    /// the "other" bucket). Shared by [`NetworkFunction::process`] and the
+    /// fused parse-once path.
+    pub(crate) fn record(&mut self, now_ns: u64, len: u64, tuple: Option<&FiveTuple>) {
+        match tuple {
+            Some(tuple) => self.record_hashed(now_ns, len, tuple, tuple_hash(tuple)),
+            None => {
+                self.other_packets += 1;
+                self.other_bytes += len;
+            }
+        }
+    }
+
+    /// [`Monitor::record`] with a precomputed [`tuple_hash`] — the fused
+    /// dataplane hashes each packet's tuple once and reuses it here.
+    pub(crate) fn record_hashed(&mut self, now_ns: u64, len: u64, tuple: &FiveTuple, hash: u64) {
+        let s = self
+            .flows
+            .get_mut_or_insert_with_hashed(hash, tuple, || FlowStats {
+                first_seen_ns: now_ns,
+                ..FlowStats::default()
+            });
+        s.packets += 1;
+        s.bytes += len;
+        s.last_seen_ns = now_ns;
     }
 }
 
@@ -75,21 +103,11 @@ impl NetworkFunction for Monitor {
 
     fn process(&mut self, ctx: &NfCtx, pkt: &mut PacketBuf) -> Verdict {
         let len = pkt.len() as u64;
-        match FiveTuple::parse(pkt.as_slice()) {
-            Ok(tuple) => {
-                let s = self.flows.entry(tuple).or_insert(FlowStats {
-                    first_seen_ns: ctx.now_ns,
-                    ..FlowStats::default()
-                });
-                s.packets += 1;
-                s.bytes += len;
-                s.last_seen_ns = ctx.now_ns;
-            }
-            Err(_) => {
-                self.other_packets += 1;
-                self.other_bytes += len;
-            }
-        }
+        self.record(
+            ctx.now_ns,
+            len,
+            FiveTuple::parse(pkt.as_slice()).ok().as_ref(),
+        );
         Verdict::Forward
     }
 
@@ -108,7 +126,7 @@ impl NetworkFunction for Monitor {
         e.u64(self.other_packets);
         e.u64(self.other_bytes);
         e.u32(self.flows.len() as u32);
-        for (t, s) in &self.flows {
+        for (t, s) in self.flows.sorted_entries() {
             e.u32(t.src_ip.to_u32());
             e.u32(t.dst_ip.to_u32());
             e.u16(t.src_port);
@@ -128,7 +146,7 @@ impl NetworkFunction for Monitor {
         let other_packets = d.u64()?;
         let other_bytes = d.u64()?;
         let n = d.u32()? as usize;
-        let mut staged = BTreeMap::new();
+        let mut staged: FlowMap<FlowStats> = FlowMap::new();
         for _ in 0..n {
             let t = FiveTuple {
                 src_ip: ipv4::Address::from_u32(d.u32()?),
@@ -146,9 +164,10 @@ impl NetworkFunction for Monitor {
             if s.last_seen_ns < s.first_seen_ns {
                 return Err(SnapshotError::Invalid("Monitor flow seen before it began"));
             }
-            if staged.insert(t, s).is_some() {
+            if staged.get(&t).is_some() {
                 return Err(SnapshotError::Invalid("duplicate Monitor flow"));
             }
+            *staged.get_mut_or_insert_with(&t, FlowStats::default) = s;
         }
         d.done()?;
         self.other_packets = other_packets;

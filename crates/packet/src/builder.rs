@@ -130,7 +130,7 @@ pub fn nsh_decap(pkt: &mut PacketBuf) -> Option<(u32, u8)> {
     }
     let n = nsh::Header::new_checked(eth.payload()).ok()?;
     let out = (n.spi(), n.si());
-    pkt.pull_front(ethernet::HEADER_LEN + nsh::HEADER_LEN);
+    pkt.advance_front(ethernet::HEADER_LEN + nsh::HEADER_LEN);
     Some(out)
 }
 
@@ -210,7 +210,7 @@ pub fn vlan_pop_at(pkt: &mut PacketBuf, frame_off: usize) -> Option<u16> {
         let tag = vlan::Tag::new_checked(eth.payload()).ok()?;
         (tag.vid(), tag.inner_ethertype())
     };
-    pkt.remove_at(frame_off + 12, vlan::TAG_LEN);
+    pkt.remove_at_discard(frame_off + 12, vlan::TAG_LEN);
     let data = &mut pkt.as_mut_slice()[frame_off..];
     data[12..14].copy_from_slice(&u16::from(inner).to_be_bytes());
     Some(vid)
