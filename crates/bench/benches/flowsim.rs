@@ -1,0 +1,83 @@
+//! Criterion benches for the flow-level fast path: the per-window costs
+//! the hybrid engine pays that the packet-level engine does not —
+//! scenario materialization (inverse-CDF sampling + arrival scheduling),
+//! analytic tail-plan aggregation, and heavy-hitter packet replay.
+//!
+//! `exp_scale` measures the same machinery end-to-end at million-flow
+//! scale; these isolate the flowsim stages so regressions are
+//! attributable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lemur_dataplane::{
+    ChainLoad, Diurnal, FlowPacketSource, FlowSizeDist, ScenarioSpec, Surge, SurgeKind, TrafficSpec,
+};
+
+const FLOWS: usize = 20_000;
+const HORIZON_NS: u64 = 10_000_000;
+const THETA: u64 = 256;
+const WINDOW_NS: u64 = 1_000_000;
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        seed: 42,
+        horizon_ns: HORIZON_NS,
+        chains: vec![ChainLoad {
+            flows: FLOWS,
+            flow_rate_pps: 400_000.0,
+            size: FlowSizeDist {
+                alpha: 1.1,
+                min_packets: 1,
+                max_packets: 2_048,
+            },
+            diurnal: Some(Diurnal {
+                period_ns: HORIZON_NS,
+                amplitude: 0.3,
+            }),
+            surges: vec![Surge {
+                kind: SurgeKind::FlashCrowd,
+                start_ns: HORIZON_NS / 2,
+                duration_ns: HORIZON_NS / 8,
+                factor: 3.0,
+            }],
+        }],
+    }
+}
+
+fn bench_flowsim_window(c: &mut Criterion) {
+    let s = spec();
+    let scenario = s.materialize();
+    let traffic = TrafficSpec::for_chain(1, 1e9).expect("chain 1 in range");
+    let frame_len = vec![(traffic.payload_len + 42) as u64];
+
+    let mut group = c.benchmark_group("flowsim_window");
+    group.throughput(Throughput::Elements(FLOWS as u64));
+    group.bench_function("materialize_20k", |b| {
+        b.iter(|| criterion::black_box(&s).materialize());
+    });
+    group.bench_function("tail_plan_20k", |b| {
+        b.iter(|| {
+            criterion::black_box(&scenario).tail_plan(THETA, WINDOW_NS, WINDOW_NS, &frame_len)
+        });
+    });
+    group.bench_function("heavy_replay_20k", |b| {
+        b.iter(|| {
+            let mut src = FlowPacketSource::new(
+                criterion::black_box(&scenario),
+                0,
+                |f| f.size_packets >= THETA,
+                traffic.src_prefix,
+                traffic.payload_len,
+            );
+            let mut n = 0u64;
+            while let Some((_t, buf)) = src.next_packet() {
+                criterion::black_box(&buf);
+                n += 1;
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flowsim_window);
+criterion_main!(benches);

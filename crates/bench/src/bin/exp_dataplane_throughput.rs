@@ -36,6 +36,7 @@
 //! or if the headline 4-NF chain misses the 2× speedup floor at batch 32,
 //! or if any overload cell's reports diverge between modes.
 
+use lemur_bench::table::{cell, fnum, json_row, Table};
 use lemur_bench::{build_problem, write_json};
 use lemur_bess::subgroup::Subgroup;
 use lemur_core::chains::CanonicalChain;
@@ -72,23 +73,20 @@ struct SweepRow {
 
 impl serde::Serialize for SweepRow {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
-            ("chain".to_string(), self.chain.to_value()),
-            ("nfs".to_string(), self.nfs.to_value()),
-            ("batch_size".to_string(), self.batch_size.to_value()),
-            ("mode".to_string(), self.mode.to_value()),
-            ("packets".to_string(), self.packets.to_value()),
-            ("wall_s".to_string(), self.wall_s.to_value()),
+        json_row(vec![
+            ("chain", self.chain.to_value()),
+            ("nfs", self.nfs.to_value()),
+            ("batch_size", self.batch_size.to_value()),
+            ("mode", self.mode.to_value()),
+            ("packets", self.packets.to_value()),
+            ("wall_s", self.wall_s.to_value()),
             (
-                "pkts_per_sec_per_core".to_string(),
+                "pkts_per_sec_per_core",
                 self.pkts_per_sec_per_core.to_value(),
             ),
-            ("ns_per_pkt".to_string(), self.ns_per_pkt.to_value()),
-            (
-                "cycles_eq_per_pkt".to_string(),
-                self.cycles_eq_per_pkt.to_value(),
-            ),
-            ("speedup".to_string(), self.speedup.to_value()),
+            ("ns_per_pkt", self.ns_per_pkt.to_value()),
+            ("cycles_eq_per_pkt", self.cycles_eq_per_pkt.to_value()),
+            ("speedup", self.speedup.to_value()),
         ])
     }
 }
@@ -105,23 +103,14 @@ struct OverloadRow {
 
 impl serde::Serialize for OverloadRow {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
-            (
-                "offered_multiplier".to_string(),
-                self.offered_multiplier.to_value(),
-            ),
-            ("offered_gbps".to_string(), self.offered_gbps.to_value()),
-            ("delivered_gbps".to_string(), self.delivered_gbps.to_value()),
-            ("drop_frac".to_string(), self.drop_frac.to_value()),
-            (
-                "reference_wall_s".to_string(),
-                self.reference_wall_s.to_value(),
-            ),
-            ("fused_wall_s".to_string(), self.fused_wall_s.to_value()),
-            (
-                "reports_identical".to_string(),
-                self.reports_identical.to_value(),
-            ),
+        json_row(vec![
+            ("offered_multiplier", self.offered_multiplier.to_value()),
+            ("offered_gbps", self.offered_gbps.to_value()),
+            ("delivered_gbps", self.delivered_gbps.to_value()),
+            ("drop_frac", self.drop_frac.to_value()),
+            ("reference_wall_s", self.reference_wall_s.to_value()),
+            ("fused_wall_s", self.fused_wall_s.to_value()),
+            ("reports_identical", self.reports_identical.to_value()),
         ])
     }
 }
@@ -369,11 +358,11 @@ struct Artifact {
 
 impl serde::Serialize for Artifact {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
-            ("nominal_ghz".to_string(), self.nominal_ghz.to_value()),
-            ("quick".to_string(), self.quick.to_value()),
-            ("sweep".to_string(), self.sweep.to_value()),
-            ("overload".to_string(), self.overload.to_value()),
+        json_row(vec![
+            ("nominal_ghz", self.nominal_ghz.to_value()),
+            ("quick", self.quick.to_value()),
+            ("sweep", self.sweep.to_value()),
+            ("overload", self.overload.to_value()),
         ])
     }
 }
@@ -382,42 +371,51 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
 
     println!("=== Fused vs reference segment sweep ===\n");
-    println!(
-        "{:<31} {:>3} {:>6} {:>10} {:>12} {:>10} {:>10} {:>8}",
-        "chain", "nfs", "batch", "mode", "Mpps/core", "ns/pkt", "cyc-eq", "speedup"
-    );
+    let sweep_table = Table::new()
+        .left("chain", 31)
+        .right("nfs", 3)
+        .right("batch", 6)
+        .right("mode", 10)
+        .right("Mpps/core", 12)
+        .right("ns/pkt", 10)
+        .right("cyc-eq", 10)
+        .right("speedup", 8);
+    sweep_table.print_header();
     let sweep_rows = sweep(quick);
     for r in &sweep_rows {
-        println!(
-            "{:<31} {:>3} {:>6} {:>10} {:>12.3} {:>10.1} {:>10.0} {:>7.2}x",
-            r.chain,
-            r.nfs,
-            r.batch_size,
-            r.mode,
-            r.pkts_per_sec_per_core / 1e6,
-            r.ns_per_pkt,
-            r.cycles_eq_per_pkt,
-            r.speedup,
-        );
+        sweep_table.print_row(&[
+            cell(&r.chain),
+            cell(r.nfs),
+            cell(r.batch_size),
+            cell(r.mode),
+            fnum(r.pkts_per_sec_per_core / 1e6, 3),
+            fnum(r.ns_per_pkt, 1),
+            fnum(r.cycles_eq_per_pkt, 0),
+            format!("{:.2}x", r.speedup),
+        ]);
     }
 
     println!("\n=== Overload drop curve (Chain3, all-software placement) ===\n");
-    println!(
-        "{:>5} {:>12} {:>14} {:>10} {:>10} {:>10} {:>10}",
-        "mult", "offered(G)", "delivered(G)", "drop%", "ref_s", "fused_s", "identical"
-    );
+    let overload_table = Table::new()
+        .right("mult", 5)
+        .right("offered(G)", 12)
+        .right("delivered(G)", 14)
+        .right("drop%", 10)
+        .right("ref_s", 10)
+        .right("fused_s", 10)
+        .right("identical", 10);
+    overload_table.print_header();
     let overload_rows = overload_curve(quick);
     for r in &overload_rows {
-        println!(
-            "{:>5.1} {:>12.2} {:>14.2} {:>9.1}% {:>10.3} {:>10.3} {:>10}",
-            r.offered_multiplier,
-            r.offered_gbps,
-            r.delivered_gbps,
-            r.drop_frac * 100.0,
-            r.reference_wall_s,
-            r.fused_wall_s,
-            if r.reports_identical { "yes" } else { "NO" },
-        );
+        overload_table.print_row(&[
+            fnum(r.offered_multiplier, 1),
+            fnum(r.offered_gbps, 2),
+            fnum(r.delivered_gbps, 2),
+            format!("{:.1}%", r.drop_frac * 100.0),
+            fnum(r.reference_wall_s, 3),
+            fnum(r.fused_wall_s, 3),
+            cell(if r.reports_identical { "yes" } else { "NO" }),
+        ]);
     }
 
     let artifact = Artifact {

@@ -9,6 +9,8 @@
 //! and — *only when the placement is feasible* — execute the chains on the
 //! simulated testbed and measure aggregate throughput.
 
+pub mod table;
+
 use lemur_core::chains::{canonical_chain, CanonicalChain};
 use lemur_core::graph::ChainSpec;
 use lemur_core::Slo;
@@ -85,7 +87,7 @@ pub fn build_problem(
         .iter()
         .enumerate()
         .map(|(i, w)| {
-            let spec = TrafficSpec::for_chain(i + 1, 1e9);
+            let spec = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
             let agg = spec.aggregate();
             specs.push(spec);
             ChainSpec {

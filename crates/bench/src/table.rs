@@ -1,0 +1,147 @@
+//! Console-table and JSON-row emission shared by the `exp_*` binaries.
+//!
+//! Every experiment prints an aligned table to stdout and serializes the
+//! same rows into a `target/experiments/*.json` artifact. Before this
+//! module each binary hand-rolled both — column widths in one format
+//! string, headers in another, and a field-by-field [`serde::Serialize`]
+//! impl that had to repeat every name. [`Table`] keeps header and row
+//! alignment in one place, and [`json_row`] builds the artifact object
+//! from the same `(name, value)` pairs.
+
+use std::fmt::Display;
+
+/// Column alignment within its fixed width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// An aligned console table: declare the columns once, then print the
+/// header and any number of rows with matching alignment.
+#[derive(Debug, Default)]
+pub struct Table {
+    cols: Vec<(String, usize, Align)>,
+}
+
+impl Table {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a left-aligned column of the given width.
+    pub fn left(mut self, header: &str, width: usize) -> Self {
+        self.cols.push((header.to_string(), width, Align::Left));
+        self
+    }
+
+    /// Append a right-aligned column of the given width.
+    pub fn right(mut self, header: &str, width: usize) -> Self {
+        self.cols.push((header.to_string(), width, Align::Right));
+        self
+    }
+
+    fn format_cells(&self, cells: &[String]) -> String {
+        assert_eq!(
+            cells.len(),
+            self.cols.len(),
+            "row arity {} != column count {}",
+            cells.len(),
+            self.cols.len()
+        );
+        let mut line = String::new();
+        for (cell, (_, width, align)) in cells.iter().zip(&self.cols) {
+            if !line.is_empty() {
+                line.push(' ');
+            }
+            match align {
+                Align::Left => line.push_str(&format!("{cell:<width$}")),
+                Align::Right => line.push_str(&format!("{cell:>width$}")),
+            }
+        }
+        // Trailing pad spaces from a final left column are noise.
+        line.trim_end().to_string()
+    }
+
+    /// The header line (column names in their declared widths).
+    pub fn header(&self) -> String {
+        let names: Vec<String> = self.cols.iter().map(|(h, _, _)| h.clone()).collect();
+        self.format_cells(&names)
+    }
+
+    /// One data row; panics if the cell count does not match the columns.
+    pub fn row(&self, cells: &[String]) -> String {
+        self.format_cells(cells)
+    }
+
+    pub fn print_header(&self) {
+        println!("{}", self.header());
+    }
+
+    pub fn print_row(&self, cells: &[String]) {
+        println!("{}", self.row(cells));
+    }
+}
+
+/// Shorthand for building a row: stringify anything displayable.
+pub fn cell(v: impl Display) -> String {
+    v.to_string()
+}
+
+/// A float cell with fixed precision.
+pub fn fnum(v: f64, precision: usize) -> String {
+    format!("{v:.precision$}")
+}
+
+/// Build a JSON object row from `(name, value)` pairs — the serialization
+/// twin of [`Table::row`], so experiment structs can implement
+/// [`serde::Serialize`] without repeating `.to_string()` per field.
+pub fn json_row(fields: Vec<(&str, serde::Value)>) -> serde::Value {
+    serde::Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[test]
+    fn header_and_rows_align() {
+        let t = Table::new().left("chain", 8).right("pps", 10);
+        assert_eq!(t.header(), "chain           pps");
+        assert_eq!(
+            t.row(&[cell("nat-mon"), fnum(1.25, 2)]),
+            "nat-mon        1.25"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let t = Table::new().left("a", 3);
+        t.row(&[cell(1), cell(2)]);
+    }
+
+    #[test]
+    fn json_row_preserves_order_and_types() {
+        let v = json_row(vec![
+            ("name", "x".to_value()),
+            ("count", 3u64.to_value()),
+            ("rate", 0.5f64.to_value()),
+        ]);
+        assert_eq!(v.get("name").and_then(|v| v.as_str()), Some("x"));
+        assert_eq!(v.get("count").and_then(|v| v.as_f64()), Some(3.0));
+        match &v {
+            serde::Value::Object(entries) => {
+                let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["name", "count", "rate"]);
+            }
+            other => panic!("not an object: {other:?}"),
+        }
+    }
+}

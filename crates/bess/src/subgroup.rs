@@ -6,7 +6,10 @@
 //! move between the subgroup's NFs by reference — no copies, no queues, no
 //! cross-core traffic.
 
-use lemur_nf::{NetworkFunction, NfCtx, NfKind, NfSnapshot, SnapshotError, Verdict};
+use lemur_nf::{
+    AggregateObservables, AggregateOutcome, AggregateUpdate, NetworkFunction, NfCtx, NfKind,
+    NfSnapshot, SnapshotError, Verdict,
+};
 use lemur_packet::{Batch, PacketBuf};
 
 /// Output of processing a batch: surviving packets with the gate each one
@@ -149,6 +152,21 @@ impl Subgroup {
             .get(idx)
             .map(|nf| nf.state_fingerprint())
             .unwrap_or(0)
+    }
+
+    /// Apply one SLO window's analytic-tail mass to the NF at `idx`
+    /// (hybrid engine). `None` when `idx` is out of range.
+    pub fn apply_aggregate_nf(
+        &mut self,
+        idx: usize,
+        update: &AggregateUpdate,
+    ) -> Option<AggregateOutcome> {
+        self.nfs.get_mut(idx).map(|nf| nf.apply_aggregate(update))
+    }
+
+    /// Combined exact + tail observables of the NF at `idx`.
+    pub fn nf_observables(&self, idx: usize) -> Option<AggregateObservables> {
+        self.nfs.get(idx).map(|nf| nf.observables())
     }
 }
 

@@ -728,7 +728,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, w)| {
-                let spec = TrafficSpec::for_chain(i + 1, 1e9);
+                let spec = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
                 let agg = spec.aggregate();
                 specs.push(spec);
                 ChainSpec {
@@ -1068,6 +1068,133 @@ mod tests {
             sup.events()
         );
         assert!(report.update_time_loss() > 0 || report.ledger.drops_reconfig == 0);
+        Ok(())
+    }
+
+    /// The SLO guard consumes *hybrid* windows: window samples include
+    /// analytic-tail mass, so a `t_min` sitting between the heavy-only
+    /// rate and the tail-inclusive rate stays clean, while a `t_min`
+    /// above the tail-inclusive rate still violates every window.
+    #[test]
+    fn guard_consumes_tail_inclusive_hybrid_windows() -> Result<(), String> {
+        use lemur_dataplane::{ChainLoad, FlowSizeDist, HybridConfig, HybridMode, ScenarioSpec};
+
+        let (p, specs) = problem(3, 0.3);
+        let (placement, deployment) = deployed(&p)?;
+        let config = SimConfig {
+            duration_s: 0.004,
+            warmup_s: 0.001,
+            seed: 5,
+            window_ns: WIN,
+            ..Default::default()
+        };
+        let horizon_ns = ((config.warmup_s + config.duration_s) * 1e9) as u64;
+        // Short mice with a few modest elephants: at θ = 6 roughly 90% of
+        // the packet mass is analytic tail.
+        let theta = 6u64;
+        let load = || ChainLoad {
+            flows: 400,
+            flow_rate_pps: 400_000.0,
+            size: FlowSizeDist {
+                alpha: 1.3,
+                min_packets: 1,
+                max_packets: 8,
+            },
+            diurnal: None,
+            surges: vec![],
+        };
+        let scenario = ScenarioSpec {
+            seed: 23,
+            horizon_ns,
+            chains: vec![load(), load()],
+        }
+        .materialize();
+        let horizon_s = horizon_ns as f64 / 1e9;
+        let frame_bits = (specs[0].payload_len + 42) as f64 * 8.0;
+        let rate_of = |chain: usize, heavy_only: bool| -> f64 {
+            scenario
+                .flows
+                .iter()
+                .filter(|f| f.chain == chain && (!heavy_only || f.size_packets >= theta))
+                .map(|f| f.packets)
+                .sum::<u64>() as f64
+                * frame_bits
+                / horizon_s
+        };
+        let heavy0 = rate_of(0, true);
+        let total0 = rate_of(0, false);
+        let t_min0 = 0.5 * total0;
+        assert!(
+            heavy0 < t_min0,
+            "split too heavy-skewed ({heavy0:.0} vs {t_min0:.0}): the test would be vacuous"
+        );
+        // Chain 1's floor is unreachable even with the tail included.
+        let t_min1 = 3.0 * rate_of(1, false);
+        let slos = vec![
+            Some(Slo::elastic_pipe(t_min0, 100e9)),
+            Some(Slo::elastic_pipe(t_min1, 100e9)),
+        ];
+
+        // A supervisor that observes but never replans: hybrid windows
+        // drive its violation streaks, nothing else.
+        let cfg = SupervisorConfig {
+            hysteresis_k: 1_000,
+            ..Default::default()
+        };
+        let mut sup = Supervisor::new(&p, &placement, &deployment, &AlwaysFits, cfg);
+        let mut testbed =
+            Testbed::build(&p, &placement, deployment).map_err(|e| format!("build: {e:?}"))?;
+        let report = testbed.run_scenario_supervised(
+            &scenario,
+            &specs,
+            config,
+            &lemur_dataplane::FaultPlan::empty(),
+            &slos,
+            &HybridMode::Hybrid(HybridConfig {
+                heavy_min_packets: theta,
+                capacity_bps: vec![],
+            }),
+            &mut sup,
+        );
+
+        assert!(report.ledger.balanced(), "ledger: {:?}", report.ledger);
+        let violated_chains: Vec<usize> = report
+            .timeline
+            .iter()
+            .filter_map(|e| match e {
+                TimelineEvent::SloViolation { chain, .. } => Some(*chain),
+                _ => None,
+            })
+            .collect();
+        // Chain 0 clears its floor only because tail mass is counted.
+        assert!(
+            !violated_chains.contains(&0),
+            "chain 0 violated: the guard is not seeing tail mass ({violated_chains:?})"
+        );
+        // Chain 1's floor is unreachable: every closed window violates.
+        assert!(
+            violated_chains.iter().filter(|&&c| c == 1).count() >= 3,
+            "chain 1 should violate nearly every window, got {violated_chains:?}"
+        );
+        // The supervisor consumed those windows (violation streak active).
+        assert_eq!(sup.state(), SupervisorState::Monitoring);
+        // And the samples themselves carry more than the heavy packets.
+        let heavy_pkts: u64 = scenario
+            .flows
+            .iter()
+            .filter(|f| f.chain == 0 && f.size_packets >= theta)
+            .map(|f| f.packets)
+            .sum();
+        let windowed0: u64 = report
+            .windows
+            .iter()
+            .filter(|w| w.chain == 0)
+            .map(|w| w.delivered_packets)
+            .sum();
+        assert!(
+            windowed0 > heavy_pkts,
+            "windows carry {windowed0} ≤ heavy-only {heavy_pkts}: tail mass missing"
+        );
         Ok(())
     }
 }

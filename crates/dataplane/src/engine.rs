@@ -1,6 +1,7 @@
 //! The discrete-event cross-platform execution engine.
 
 use crate::faults::{FaultKind, FaultPlan, FaultState, MigrationFaultKind};
+use crate::flowsim::{FlowPacketSource, Scenario, TailCell, TailPlan};
 use crate::migrate::{
     decode_record, nat_binding_entries, MigrationError, MigrationStats, NfLocator, StateRecord,
     StateTransfer, TorNatTarget,
@@ -15,7 +16,7 @@ use lemur_core::Slo;
 use lemur_ebpf::{Vm, XdpVerdict};
 use lemur_metacompiler::Deployment;
 pub use lemur_metacompiler::RuntimeMode;
-use lemur_nf::NfCtx;
+use lemur_nf::{AggregateObservables, AggregateUpdate, NfCtx, NfKind};
 use lemur_p4sim::{PisaModel, Switch};
 use lemur_packet::PacketBuf;
 use lemur_placer::placement::{EvaluatedPlacement, PlacementProblem};
@@ -82,6 +83,72 @@ impl Default for SimConfig {
             window_ns: 1_000_000,    // 1 ms
         }
     }
+}
+
+/// How [`Testbed::run_scenario`] advances a flow-level [`Scenario`].
+#[derive(Debug, Clone)]
+pub enum HybridMode {
+    /// Materialize every flow packet-by-packet — exact but O(total
+    /// packets); the reference the hybrid engine is validated against.
+    PacketLevel,
+    /// Heavy hitters packet-by-packet, long tail analytically per SLO
+    /// window.
+    Hybrid(HybridConfig),
+}
+
+/// Parameters of the hybrid fast path.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Flows whose *drawn* size is at least this many packets are
+    /// materialized; smaller flows join the analytic tail.
+    pub heavy_min_packets: u64,
+    /// Per-chain delivery capacity (bits/s) charged against tail mass
+    /// each window: tail packets beyond what the heavy path left of the
+    /// budget drop as [`DropReason::QueueOverflow`]. Empty disables the
+    /// constraint (the tail is assumed deliverable).
+    pub capacity_bps: Vec<f64>,
+}
+
+/// Uniform packet feed: the classic steady-rate generator or a
+/// materialized flow schedule (the hybrid engine's heavy-hitter set).
+enum PacketSource {
+    Steady(ChainSource),
+    Flows(FlowPacketSource),
+}
+
+impl PacketSource {
+    fn peek_time(&self) -> u64 {
+        match self {
+            PacketSource::Steady(s) => s.peek_time(),
+            PacketSource::Flows(s) => s.peek_time(),
+        }
+    }
+
+    fn next_packet(&mut self) -> Option<(u64, PacketBuf)> {
+        match self {
+            PacketSource::Steady(s) => Some(s.next_packet()),
+            PacketSource::Flows(s) => s.next_packet(),
+        }
+    }
+
+    fn set_rate_factor(&mut self, factor: f64) {
+        match self {
+            PacketSource::Steady(s) => s.set_rate_factor(factor),
+            PacketSource::Flows(s) => s.set_rate_factor(factor),
+        }
+    }
+}
+
+/// Run-time cursor over a [`TailPlan`]: which cells have been charged.
+struct TailState {
+    plan: TailPlan,
+    /// Wire bytes per packet, per chain.
+    frame_bytes: Vec<u64>,
+    /// Per-chain capacity (empty = unconstrained).
+    capacity_bps: Vec<f64>,
+    /// Next full-window row of `plan.windows` to apply.
+    next_window: usize,
+    warmup_applied: bool,
 }
 
 /// A FIFO station with a single server.
@@ -389,6 +456,149 @@ impl Testbed {
         hook: &mut dyn ControlHook,
     ) -> SimReport {
         assert_eq!(specs.len(), self.n_chains, "one spec per chain");
+        let sources: Vec<PacketSource> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                PacketSource::Steady(ChainSource::new(
+                    s.clone(),
+                    config.seed.wrapping_add(i as u64),
+                ))
+            })
+            .collect();
+        let offered: Vec<f64> = specs.iter().map(|s| s.offered_bps).collect();
+        self.run_internal(sources, None, &offered, config, plan, slos, hook)
+    }
+
+    /// Run a flow-level [`Scenario`] instead of steady-rate sources.
+    /// `specs` supplies each chain's classifier prefix and frame size
+    /// (flow packets are built inside the chain's `src_prefix`); the
+    /// scenario's horizon must equal `config.warmup_s + config.duration_s`
+    /// so the analytic tail's window grid lines up with the SLO guard's.
+    ///
+    /// [`HybridMode::PacketLevel`] materializes every flow — the exact
+    /// reference. [`HybridMode::Hybrid`] materializes heavy hitters and
+    /// charges the long tail analytically per guard window (see the
+    /// module docs of [`crate::flowsim`]).
+    pub fn run_scenario(
+        &mut self,
+        scenario: &Scenario,
+        specs: &[TrafficSpec],
+        config: SimConfig,
+        mode: &HybridMode,
+    ) -> SimReport {
+        self.run_scenario_supervised(
+            scenario,
+            specs,
+            config,
+            &FaultPlan::empty(),
+            &[],
+            mode,
+            &mut NoopHook,
+        )
+    }
+
+    /// [`Testbed::run_scenario`] with faults, SLOs, and a control hook —
+    /// the hybrid counterpart of [`Testbed::run_supervised`]. Guard
+    /// windows close on the same grid in both modes; in hybrid mode each
+    /// closing window has its analytic-tail cell applied first, so the
+    /// [`WindowSample`]s the hook sees (and any SLO violations) include
+    /// tail mass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_scenario_supervised(
+        &mut self,
+        scenario: &Scenario,
+        specs: &[TrafficSpec],
+        config: SimConfig,
+        plan: &FaultPlan,
+        slos: &[Option<Slo>],
+        mode: &HybridMode,
+        hook: &mut dyn ControlHook,
+    ) -> SimReport {
+        assert_eq!(scenario.n_chains, self.n_chains, "one chain load per chain");
+        assert_eq!(specs.len(), self.n_chains, "one spec per chain");
+        let horizon_ns = ((config.warmup_s + config.duration_s) * 1e9) as u64;
+        assert_eq!(
+            scenario.horizon_ns, horizon_ns,
+            "scenario horizon must equal warmup_s + duration_s"
+        );
+        let warmup_ns = (config.warmup_s * 1e9) as u64;
+        let frame_bytes: Vec<u64> = specs.iter().map(|s| (s.payload_len + 42) as u64).collect();
+        // Report the *realized* offered load, not a nominal rate.
+        let horizon_s = scenario.horizon_ns as f64 / 1e9;
+        let mut offered = vec![0f64; self.n_chains];
+        for f in &scenario.flows {
+            offered[f.chain] += (f.packets * frame_bytes[f.chain] * 8) as f64 / horizon_s;
+        }
+        let theta = match mode {
+            HybridMode::PacketLevel => 0,
+            HybridMode::Hybrid(hc) => hc.heavy_min_packets,
+        };
+        let sources: Vec<PacketSource> = specs
+            .iter()
+            .enumerate()
+            .map(|(ci, s)| {
+                PacketSource::Flows(FlowPacketSource::new(
+                    scenario,
+                    ci,
+                    |f| f.size_packets >= theta,
+                    s.src_prefix,
+                    s.payload_len,
+                ))
+            })
+            .collect();
+        let tail = match mode {
+            HybridMode::PacketLevel => None,
+            HybridMode::Hybrid(hc) => Some(TailState {
+                plan: scenario.tail_plan(
+                    hc.heavy_min_packets,
+                    warmup_ns,
+                    config.window_ns.max(1),
+                    &frame_bytes,
+                ),
+                frame_bytes,
+                capacity_bps: hc.capacity_bps.clone(),
+                next_window: 0,
+                warmup_applied: false,
+            }),
+        };
+        self.run_internal(sources, tail, &offered, config, plan, slos, hook)
+    }
+
+    /// Aggregate observables of every server-resident NF instance as
+    /// `(chain, node, replica, kind, observables)` in deterministic
+    /// `(chain, node, replica)` order — packet-path state and applied
+    /// tail aggregates combined. NAT tables offloaded to the ToR are not
+    /// included (the tail sweep doesn't reach them either, so the two
+    /// views stay comparable).
+    pub fn nf_observables(&self) -> Vec<(usize, usize, usize, NfKind, AggregateObservables)> {
+        let mut out = Vec::with_capacity(self.nf_index.len());
+        for loc in &self.nf_index {
+            let Some(Some(srv)) = self.servers.get(loc.server) else {
+                continue;
+            };
+            let Some(inst) = srv.pipeline.instances.get(loc.inst_idx) else {
+                continue;
+            };
+            if let Some(obs) = inst.runtime.nf_observables(loc.nf_idx) {
+                out.push((loc.chain, loc.node.0, loc.replica, loc.kind, obs));
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_internal(
+        &mut self,
+        mut sources: Vec<PacketSource>,
+        mut tail: Option<TailState>,
+        offered_bps: &[f64],
+        config: SimConfig,
+        plan: &FaultPlan,
+        slos: &[Option<Slo>],
+        hook: &mut dyn ControlHook,
+    ) -> SimReport {
+        assert_eq!(sources.len(), self.n_chains, "one source per chain");
         assert!(
             slos.is_empty() || slos.len() == self.n_chains,
             "SLO guard needs one (optional) SLO per chain"
@@ -396,12 +606,6 @@ impl Testbed {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1e307);
         let horizon_ns = ((config.warmup_s + config.duration_s) * 1e9) as u64;
         let warmup_ns = (config.warmup_s * 1e9) as u64;
-
-        let mut sources: Vec<ChainSource> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| ChainSource::new(s.clone(), config.seed.wrapping_add(i as u64)))
-            .collect();
         let mut heap: BinaryHeap<Reverse<(u64, u64, Hop)>> = BinaryHeap::new();
         let mut packets: HashMap<u64, SimPacket> = HashMap::new();
         // Packet ids start at 1: id 0 is reserved for fault events so a
@@ -427,14 +631,18 @@ impl Testbed {
         let mut timeline: Vec<TimelineEvent> = Vec::new();
         let mut ledger = ConservationLedger::default();
 
-        let mut stats: Vec<ChainStats> = specs
+        let mut stats: Vec<ChainStats> = offered_bps
             .iter()
-            .map(|s| ChainStats {
-                offered_bps: s.offered_bps,
+            .map(|&o| ChainStats {
+                offered_bps: o,
                 ..Default::default()
             })
             .collect();
         let mut latency_sum = vec![0f64; self.n_chains];
+        // Latency denominators are tracked separately from delivered
+        // counts: analytic-tail deliveries add packets but no latency
+        // samples, and must not dilute the mean.
+        let mut latency_packets = vec![0u64; self.n_chains];
 
         // Epoch state for live reconfiguration.
         let mut epoch: u64 = 0;
@@ -444,8 +652,11 @@ impl Testbed {
         // chains stop being flagged), so keep a local copy.
         let mut slos_live: Vec<Option<Slo>> = slos.to_vec();
 
-        // SLO-guard window state.
+        // SLO-guard window state. Windows also close (without SLO checks)
+        // when an analytic tail is attached: its cells are applied at
+        // window boundaries, so the grid must advance.
         let guard_on = !slos.is_empty();
+        let windows_on = guard_on || tail.is_some();
         let window_ns = config.window_ns.max(1);
         let mut window_acc: Vec<WindowAcc> = vec![WindowAcc::default(); self.n_chains];
         let mut window_start = warmup_ns;
@@ -461,8 +672,8 @@ impl Testbed {
             let span_s = (end_ns - start_ns) as f64 / 1e9;
             for (ci, a) in acc.iter_mut().enumerate() {
                 let delivered_bps = if span_s > 0.0 { a.bits / span_s } else { 0.0 };
-                let mean_latency_ns = if a.packets > 0 {
-                    a.lat_sum / a.packets as f64
+                let mean_latency_ns = if a.lat_packets > 0 {
+                    a.lat_sum / a.lat_packets as f64
                 } else {
                     0.0
                 };
@@ -486,7 +697,7 @@ impl Testbed {
                         });
                     }
                     if let Some(d_max) = slo.d_max_ns {
-                        if a.packets > 0 && mean_latency_ns > d_max {
+                        if a.lat_packets > 0 && mean_latency_ns > d_max {
                             timeline.push(TimelineEvent::SloViolation {
                                 at_ns: end_ns,
                                 chain: ci,
@@ -522,11 +733,26 @@ impl Testbed {
 
         while let Some(Reverse((now, id, hop))) = heap.pop() {
             // Close any SLO-guard windows that ended before this event.
-            if guard_on {
+            if windows_on {
                 while window_start + window_ns <= now && window_start + window_ns <= horizon_ns {
                     let end = window_start + window_ns;
                     let w0 = windows.len();
                     let t0 = timeline.len();
+                    // The closing window's analytic-tail cell lands first
+                    // so the sample (and the hook) sees heavy + tail mass.
+                    if let Some(ts) = tail.as_mut() {
+                        advance_tail(
+                            ts,
+                            window_start,
+                            end,
+                            &mut self.servers,
+                            &self.nf_index,
+                            &admitted,
+                            &mut stats,
+                            &mut window_acc,
+                            &mut ledger,
+                        );
+                    }
                     close_window(
                         end,
                         window_start,
@@ -587,7 +813,9 @@ impl Testbed {
                     handle_action!(action, now);
                 }
                 Hop::Inject(ci) => {
-                    let (t, buf) = sources[ci].next_packet();
+                    let Some((t, buf)) = sources[ci].next_packet() else {
+                        continue;
+                    };
                     debug_assert_eq!(t, now);
                     ledger.injected += 1;
                     if !admitted[ci] {
@@ -641,11 +869,13 @@ impl Testbed {
                         s.delivered_bps += p.ingress_bits as f64; // finalized below
                         let lat = (now - p.t_in) as f64;
                         latency_sum[p.chain] += lat;
+                        latency_packets[p.chain] += 1;
                         s.max_latency_ns = s.max_latency_ns.max(lat);
                         let w = &mut window_acc[p.chain];
                         w.bits += p.ingress_bits as f64;
                         w.packets += 1;
                         w.lat_sum += lat;
+                        w.lat_packets += 1;
                     }
                 }
                 Hop::AtTor => {
@@ -1009,9 +1239,22 @@ impl Testbed {
 
         // Flush any windows still open at the horizon. (No hook calls:
         // the run is over, nothing can be staged anymore.)
-        if guard_on {
+        if windows_on {
             while window_start + window_ns <= horizon_ns {
                 let end = window_start + window_ns;
+                if let Some(ts) = tail.as_mut() {
+                    advance_tail(
+                        ts,
+                        window_start,
+                        end,
+                        &mut self.servers,
+                        &self.nf_index,
+                        &admitted,
+                        &mut stats,
+                        &mut window_acc,
+                        &mut ledger,
+                    );
+                }
                 close_window(
                     end,
                     window_start,
@@ -1022,6 +1265,19 @@ impl Testbed {
                 );
                 window_start = end;
             }
+        }
+        // Any tail mass past the last full window (the partial `rest`
+        // span) is still owed to the ledger and the chain totals.
+        if let Some(ts) = tail.as_mut() {
+            finish_tail(
+                ts,
+                &mut self.servers,
+                &self.nf_index,
+                &admitted,
+                &mut stats,
+                &mut window_acc,
+                &mut ledger,
+            );
         }
         ledger.in_flight_at_end = packets.len() as u64;
 
@@ -1070,11 +1326,13 @@ impl Testbed {
                 }
             }
         }
-        // Finalize rates.
+        // Finalize rates. The latency mean divides by the count of
+        // *latency-carrying* deliveries (identical to delivered_packets
+        // in pure packet-level runs).
         for (ci, s) in stats.iter_mut().enumerate() {
             s.delivered_bps /= config.duration_s;
-            if s.delivered_packets > 0 {
-                s.mean_latency_ns = latency_sum[ci] / s.delivered_packets as f64;
+            if latency_packets[ci] > 0 {
+                s.mean_latency_ns = latency_sum[ci] / latency_packets[ci] as f64;
             }
         }
         SimReport {
@@ -1324,6 +1582,269 @@ struct WindowAcc {
     packets: u64,
     drops: u64,
     lat_sum: f64,
+    /// Deliveries that contributed to `lat_sum` — strictly the packet
+    /// path; analytic-tail deliveries bump `packets` only.
+    lat_packets: u64,
+}
+
+/// Apply the tail cells owed before the guard window ending at
+/// `window_end_ns` closes: the warm-up cell first (exactly once), then
+/// the window's own row.
+#[allow(clippy::too_many_arguments)]
+fn advance_tail(
+    ts: &mut TailState,
+    window_start_ns: u64,
+    window_end_ns: u64,
+    servers: &mut [Option<ServerSim>],
+    nf_index: &[NfLocator],
+    admitted: &[bool],
+    stats: &mut [ChainStats],
+    window_acc: &mut [WindowAcc],
+    ledger: &mut ConservationLedger,
+) {
+    let TailState {
+        plan,
+        frame_bytes,
+        capacity_bps,
+        next_window,
+        warmup_applied,
+    } = ts;
+    if !*warmup_applied {
+        *warmup_applied = true;
+        apply_tail_cells(
+            &plan.warmup,
+            0,
+            plan.warmup_ns,
+            false,
+            false,
+            frame_bytes,
+            capacity_bps,
+            servers,
+            nf_index,
+            admitted,
+            stats,
+            window_acc,
+            ledger,
+        );
+    }
+    if let Some(row) = plan.windows.get(*next_window) {
+        *next_window += 1;
+        apply_tail_cells(
+            row,
+            window_start_ns,
+            window_end_ns,
+            true,
+            true,
+            frame_bytes,
+            capacity_bps,
+            servers,
+            nf_index,
+            admitted,
+            stats,
+            window_acc,
+            ledger,
+        );
+    }
+}
+
+/// Charge whatever tail mass is still owed at the horizon: a never-applied
+/// warm-up cell, any unreached window rows, and the final partial-window
+/// `rest` span (measured, but not capacity-constrained — it is not a full
+/// guard window).
+fn finish_tail(
+    ts: &mut TailState,
+    servers: &mut [Option<ServerSim>],
+    nf_index: &[NfLocator],
+    admitted: &[bool],
+    stats: &mut [ChainStats],
+    window_acc: &mut [WindowAcc],
+    ledger: &mut ConservationLedger,
+) {
+    let TailState {
+        plan,
+        frame_bytes,
+        capacity_bps,
+        next_window,
+        warmup_applied,
+    } = ts;
+    if !*warmup_applied {
+        *warmup_applied = true;
+        apply_tail_cells(
+            &plan.warmup,
+            0,
+            plan.warmup_ns,
+            false,
+            false,
+            frame_bytes,
+            capacity_bps,
+            servers,
+            nf_index,
+            admitted,
+            stats,
+            window_acc,
+            ledger,
+        );
+    }
+    while let Some(row) = plan.windows.get(*next_window) {
+        let start = plan.warmup_ns + *next_window as u64 * plan.window_ns;
+        *next_window += 1;
+        apply_tail_cells(
+            row,
+            start,
+            start + plan.window_ns,
+            true,
+            true,
+            frame_bytes,
+            capacity_bps,
+            servers,
+            nf_index,
+            admitted,
+            stats,
+            window_acc,
+            ledger,
+        );
+    }
+    let rest_start = plan.warmup_ns + plan.windows.len() as u64 * plan.window_ns;
+    if rest_start < plan.horizon_ns {
+        apply_tail_cells(
+            &plan.rest,
+            rest_start,
+            plan.horizon_ns,
+            true,
+            false,
+            frame_bytes,
+            capacity_bps,
+            servers,
+            nf_index,
+            admitted,
+            stats,
+            window_acc,
+            ledger,
+        );
+    }
+}
+
+/// Charge one span's tail cells: conservation ledger, shed/capacity
+/// drops, batched NF aggregates down the chain, and delivered mass.
+/// `measured` spans (inside `[warmup, horizon)`) also count toward chain
+/// stats and the open guard window; `constrain` spans are charged
+/// against the per-chain capacity left over by the heavy path. Latency
+/// accumulators are untouched — analytic flows carry no per-packet
+/// latency samples.
+#[allow(clippy::too_many_arguments)]
+fn apply_tail_cells(
+    cells: &[TailCell],
+    span_start_ns: u64,
+    span_end_ns: u64,
+    measured: bool,
+    constrain: bool,
+    frame_bytes: &[u64],
+    capacity_bps: &[f64],
+    servers: &mut [Option<ServerSim>],
+    nf_index: &[NfLocator],
+    admitted: &[bool],
+    stats: &mut [ChainStats],
+    window_acc: &mut [WindowAcc],
+    ledger: &mut ConservationLedger,
+) {
+    for (ci, cell) in cells.iter().enumerate() {
+        if cell.is_empty() {
+            // Zero-mass cells leave no trace, so a hybrid run whose tail
+            // is empty stays bit-identical to its packet-level twin.
+            continue;
+        }
+        ledger.injected += cell.packets;
+        if !admitted[ci] {
+            ledger.record_drops(DropReason::Shed, cell.packets);
+            if measured {
+                stats[ci].record_drops(DropReason::Shed, cell.packets);
+                window_acc[ci].drops += cell.packets;
+            }
+            continue;
+        }
+        let mut pkts = cell.packets;
+        let frame = frame_bytes[ci].max(1);
+        if constrain {
+            if let Some(&cap) = capacity_bps.get(ci) {
+                if cap > 0.0 {
+                    let span_s = (span_end_ns - span_start_ns) as f64 / 1e9;
+                    // Whatever the heavy path already delivered this
+                    // window has consumed its share of the budget.
+                    let budget = ((cap * span_s / (frame * 8) as f64) as u64)
+                        .saturating_sub(window_acc[ci].packets);
+                    if pkts > budget {
+                        let excess = pkts - budget;
+                        pkts = budget;
+                        ledger.record_drops(DropReason::QueueOverflow, excess);
+                        if measured {
+                            stats[ci].record_drops(DropReason::QueueOverflow, excess);
+                            window_acc[ci].drops += excess;
+                        }
+                    }
+                }
+            }
+        }
+        // Sweep the chain's server NFs in (node, replica) order, splitting
+        // each aggregate across replicas (remainder to the earliest) and
+        // attenuating packet mass by each node's admitted outcome. Flow
+        // pressure propagates unattenuated — refused packets don't
+        // un-arrive their flows — which keeps binding counts conservative.
+        let mut i = 0;
+        while i < nf_index.len() {
+            if nf_index[i].chain != ci {
+                i += 1;
+                continue;
+            }
+            let node = nf_index[i].node;
+            let mut j = i;
+            while j < nf_index.len() && nf_index[j].chain == ci && nf_index[j].node == node {
+                j += 1;
+            }
+            let replicas = (j - i) as u64;
+            let mut passed = 0u64;
+            for (r, loc) in nf_index[i..j].iter().enumerate() {
+                let r = r as u64;
+                let share_p = pkts / replicas + u64::from(r < pkts % replicas);
+                let share_f = cell.new_flows / replicas + u64::from(r < cell.new_flows % replicas);
+                if share_p == 0 && share_f == 0 {
+                    continue;
+                }
+                let update = AggregateUpdate {
+                    packets: share_p,
+                    bytes: share_p * frame,
+                    new_flows: share_f,
+                    window_start_ns: span_start_ns,
+                    window_end_ns: span_end_ns,
+                };
+                let out = servers
+                    .get_mut(loc.server)
+                    .and_then(|s| s.as_mut())
+                    .and_then(|srv| srv.pipeline.instances.get_mut(loc.inst_idx))
+                    .and_then(|inst| inst.runtime.apply_aggregate_nf(loc.nf_idx, &update));
+                passed += out.map(|o| o.packets.min(share_p)).unwrap_or(share_p);
+            }
+            if passed < pkts {
+                let refused = pkts - passed;
+                ledger.record_drops(DropReason::Verdict, refused);
+                if measured {
+                    stats[ci].record_drops(DropReason::Verdict, refused);
+                    window_acc[ci].drops += refused;
+                }
+                pkts = passed;
+            }
+            i = j;
+        }
+        ledger.delivered += pkts;
+        if measured && pkts > 0 {
+            let bits = (pkts * frame * 8) as f64;
+            let s = &mut stats[ci];
+            s.delivered_packets += pkts;
+            s.delivered_bps += bits;
+            let w = &mut window_acc[ci];
+            w.bits += bits;
+            w.packets += pkts;
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1495,7 +2016,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, w)| {
-                let spec = TrafficSpec::for_chain(i + 1, 1e9);
+                let spec = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
                 let agg = spec.aggregate();
                 specs.push(spec);
                 ChainSpec {

@@ -1,0 +1,664 @@
+//! Flow-level scenario generation for the hybrid simulation engine.
+//!
+//! The paper's experiments drive tens of long-lived CBR flows per chain;
+//! fleet-scale evaluation needs *millions* of flows with realistic
+//! heavy-tailed sizes, diurnal load curves, and surge events. Simulating
+//! every packet of every flow caps the engine at toy scale, so the hybrid
+//! engine splits a [`Scenario`] in two:
+//!
+//! - **Heavy hitters** (`size_packets >= heavy_min_packets`) are
+//!   materialized and run packet-by-packet through the full dataplane —
+//!   exact NF semantics, exact queueing, exact latency.
+//! - **The long tail** (everything else) is advanced analytically once
+//!   per SLO window as a [`TailPlan`]: exact-integer packet/flow counts
+//!   per `(window, chain)` cell, charged to the same ledgers and applied
+//!   to stateful NFs as batched [`lemur_nf::AggregateUpdate`]s.
+//!
+//! Everything is seeded and deterministic: materializing the same
+//! [`ScenarioSpec`] twice yields byte-identical flow tables, so hybrid
+//! runs replay bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Heavy-tailed (bounded-Pareto) flow-size distribution, in packets.
+///
+/// `P(S > x) ∝ x^-alpha` on `[min_packets, max_packets]` — the classic
+/// mice-and-elephants shape: most flows are a few packets, a small
+/// fraction carry most of the volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSizeDist {
+    /// Tail index (Internet flow sizes are typically 1.05–1.3).
+    pub alpha: f64,
+    pub min_packets: u64,
+    pub max_packets: u64,
+}
+
+impl FlowSizeDist {
+    /// Inverse-CDF sample from one uniform draw `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> u64 {
+        let l = self.min_packets.max(1) as f64;
+        let h = (self.max_packets.max(self.min_packets.max(1))) as f64;
+        if l >= h {
+            return l as u64;
+        }
+        // Bounded Pareto inverse CDF:
+        //   x = (-(u·(H^-α − L^-α) − L^-α))^(-1/α)
+        let la = l.powf(-self.alpha);
+        let ha = h.powf(-self.alpha);
+        let x = (la - u * (la - ha)).powf(-1.0 / self.alpha);
+        (x as u64).clamp(self.min_packets.max(1), self.max_packets)
+    }
+}
+
+/// Sinusoidal diurnal load curve: arrival intensity scales by
+/// `1 + amplitude·sin(2πt/period)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diurnal {
+    pub period_ns: u64,
+    /// In `[0, 1)`: 0.3 means ±30% around the mean rate.
+    pub amplitude: f64,
+}
+
+impl Diurnal {
+    fn factor(&self, t_ns: u64) -> f64 {
+        let phase = t_ns as f64 / self.period_ns.max(1) as f64;
+        1.0 + self.amplitude * (phase * std::f64::consts::TAU).sin()
+    }
+}
+
+/// What kind of surge a [`Surge`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurgeKind {
+    /// Legitimate flash crowd: flow arrivals intensify by `factor` but
+    /// flows keep their normal size distribution.
+    FlashCrowd,
+    /// Volumetric DDoS: `factor − 1` times the nominal arrival mass of
+    /// *minimum-size* junk flows is added on top of normal traffic.
+    Ddos,
+}
+
+/// A load surge over `[start_ns, start_ns + duration_ns)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Surge {
+    pub kind: SurgeKind,
+    pub start_ns: u64,
+    pub duration_ns: u64,
+    /// Intensity multiplier (> 1) while the surge is active.
+    pub factor: f64,
+}
+
+impl Surge {
+    fn active(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns - self.start_ns < self.duration_ns
+    }
+}
+
+/// Flow-level load for one chain.
+#[derive(Debug, Clone)]
+pub struct ChainLoad {
+    /// Flows arriving over the horizon at nominal intensity (flash crowds
+    /// reshape *when* they arrive; DDoS surges add flows on top).
+    pub flows: usize,
+    /// Per-flow packet rate (CBR within a flow).
+    pub flow_rate_pps: f64,
+    pub size: FlowSizeDist,
+    pub diurnal: Option<Diurnal>,
+    pub surges: Vec<Surge>,
+}
+
+/// A seeded, fully-specified flow-level scenario for every chain.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    pub seed: u64,
+    pub horizon_ns: u64,
+    /// Index-aligned with the placement problem's chains.
+    pub chains: Vec<ChainLoad>,
+}
+
+/// One generated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    pub chain: usize,
+    /// Dense per-chain id; drives the flow's five-tuple when materialized.
+    pub flow_id: u64,
+    pub start_ns: u64,
+    /// Inter-packet gap (CBR).
+    pub interval_ns: u64,
+    /// Packets this flow emits *before the horizon* — the mass the
+    /// simulation actually carries.
+    pub packets: u64,
+    /// The flow's drawn size, untruncated by the horizon. Heavy-hitter
+    /// selection and tail-index estimation use this, so the split is a
+    /// property of the workload, not of the simulated window.
+    pub size_packets: u64,
+    /// True for junk flows added by a [`SurgeKind::Ddos`] surge.
+    pub ddos: bool,
+}
+
+impl FlowRecord {
+    /// Exact number of this flow's packet arrivals strictly before
+    /// `t_ns` (arrivals happen at `start + k·interval`, `k < packets`).
+    pub fn arrivals_before(&self, t_ns: u64) -> u64 {
+        if t_ns <= self.start_ns {
+            return 0;
+        }
+        let elapsed = t_ns - 1 - self.start_ns;
+        self.packets.min(1 + elapsed / self.interval_ns.max(1))
+    }
+}
+
+/// A materialized scenario: every flow, with deterministic start times,
+/// sizes, and schedules. `flows` is sorted by `(chain, start_ns, flow_id)`.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub horizon_ns: u64,
+    pub n_chains: usize,
+    pub flows: Vec<FlowRecord>,
+}
+
+impl ScenarioSpec {
+    /// Generate the concrete flow table. Deterministic in `seed`: flow
+    /// start times are drawn by rejection sampling against the chain's
+    /// diurnal × flash-crowd intensity curve, sizes by inverse CDF, and
+    /// DDoS junk flows are appended inside their surge windows.
+    pub fn materialize(&self) -> Scenario {
+        let mut flows = Vec::new();
+        for (ci, load) in self.chains.iter().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(self.seed ^ (ci as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let interval_ns = (1e9 / load.flow_rate_pps).max(1.0) as u64;
+            // Peak intensity bounds the rejection-sampling envelope.
+            let peak = {
+                let d = 1.0 + load.diurnal.map(|d| d.amplitude).unwrap_or(0.0);
+                let s = load
+                    .surges
+                    .iter()
+                    .filter(|s| s.kind == SurgeKind::FlashCrowd)
+                    .map(|s| s.factor)
+                    .fold(1.0, f64::max);
+                d * s
+            };
+            let intensity = |t: u64| -> f64 {
+                let mut f = load.diurnal.map(|d| d.factor(t)).unwrap_or(1.0);
+                for s in &load.surges {
+                    if s.kind == SurgeKind::FlashCrowd && s.active(t) {
+                        f *= s.factor;
+                    }
+                }
+                f
+            };
+            let mut starts: Vec<u64> = Vec::with_capacity(load.flows);
+            while starts.len() < load.flows {
+                let t = rng.gen_range(0..self.horizon_ns.max(1));
+                if rng.gen::<f64>() * peak <= intensity(t) {
+                    starts.push(t);
+                }
+            }
+            starts.sort_unstable();
+            let mut push = |start_ns: u64, size_packets: u64, ddos: bool, id: &mut u64| {
+                let horizon_cap = {
+                    // Arrivals strictly before the horizon.
+                    let span = self.horizon_ns.saturating_sub(start_ns);
+                    if span == 0 {
+                        0
+                    } else {
+                        1 + (span - 1) / interval_ns
+                    }
+                };
+                flows.push(FlowRecord {
+                    chain: ci,
+                    flow_id: *id,
+                    start_ns,
+                    interval_ns,
+                    packets: size_packets.min(horizon_cap),
+                    size_packets,
+                    ddos,
+                });
+                *id += 1;
+            };
+            let mut id = 0u64;
+            for start in starts {
+                let size = load.size.sample(rng.gen::<f64>());
+                push(start, size, false, &mut id);
+            }
+            // DDoS junk: (factor−1) × the nominal arrival mass of the
+            // surge window, all minimum-size flows.
+            for s in &load.surges {
+                if s.kind != SurgeKind::Ddos {
+                    continue;
+                }
+                let share = s.duration_ns as f64 / self.horizon_ns.max(1) as f64;
+                let extra = ((s.factor - 1.0).max(0.0) * load.flows as f64 * share) as usize;
+                for _ in 0..extra {
+                    let t = s.start_ns + rng.gen_range(0..s.duration_ns.max(1));
+                    push(
+                        t.min(self.horizon_ns.saturating_sub(1)),
+                        load.size.min_packets,
+                        true,
+                        &mut id,
+                    );
+                }
+            }
+        }
+        flows.sort_by_key(|f| (f.chain, f.start_ns, f.flow_id));
+        Scenario {
+            horizon_ns: self.horizon_ns,
+            n_chains: self.chains.len(),
+            flows,
+        }
+    }
+}
+
+/// One `(window, chain)` cell of analytic-tail mass. All counts are exact
+/// integers, so charging a cell keeps the conservation ledger balanced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailCell {
+    pub packets: u64,
+    pub bytes: u64,
+    pub new_flows: u64,
+}
+
+impl TailCell {
+    pub fn is_empty(&self) -> bool {
+        self.packets == 0 && self.new_flows == 0
+    }
+}
+
+/// The analytic tail, pre-binned onto the engine's SLO-window grid.
+///
+/// The grid mirrors the engine's lazy window closes exactly: `warmup`
+/// covers `[0, warmup_ns)`, `windows[w]` covers the w-th full guard
+/// window, and `rest` covers the partial span between the last full
+/// window and the horizon (empty cells when the horizon is aligned).
+#[derive(Debug, Clone)]
+pub struct TailPlan {
+    pub warmup_ns: u64,
+    pub window_ns: u64,
+    pub horizon_ns: u64,
+    /// Per chain: arrivals before measurement starts.
+    pub warmup: Vec<TailCell>,
+    /// `[window][chain]` cells over the full guard windows.
+    pub windows: Vec<Vec<TailCell>>,
+    /// Per chain: arrivals in the final partial window.
+    pub rest: Vec<TailCell>,
+    /// Tail flows per chain (for observability and validation).
+    pub tail_flows: Vec<u64>,
+    /// Tail packets per chain before the horizon.
+    pub tail_packets: Vec<u64>,
+}
+
+impl Scenario {
+    /// Split point: flows at least this large (by *drawn* size) are
+    /// materialized; the rest go to the analytic tail. Returns the
+    /// indices of heavy flows.
+    pub fn heavy_indices(&self, heavy_min_packets: u64) -> Vec<usize> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.size_packets >= heavy_min_packets)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Bin every non-heavy flow's arrivals onto the window grid.
+    /// `frame_len` is the per-chain wire bytes per packet.
+    pub fn tail_plan(
+        &self,
+        heavy_min_packets: u64,
+        warmup_ns: u64,
+        window_ns: u64,
+        frame_len: &[u64],
+    ) -> TailPlan {
+        assert_eq!(frame_len.len(), self.n_chains, "one frame length per chain");
+        let window_ns = window_ns.max(1);
+        let n_windows = (self.horizon_ns.saturating_sub(warmup_ns) / window_ns) as usize;
+        let mut plan = TailPlan {
+            warmup_ns,
+            window_ns,
+            horizon_ns: self.horizon_ns,
+            warmup: vec![TailCell::default(); self.n_chains],
+            windows: vec![vec![TailCell::default(); self.n_chains]; n_windows],
+            rest: vec![TailCell::default(); self.n_chains],
+            tail_flows: vec![0; self.n_chains],
+            tail_packets: vec![0; self.n_chains],
+        };
+        // Cell edges: warmup end, then each full window end, then horizon.
+        let edge = |i: usize| -> u64 {
+            if i == 0 {
+                0
+            } else if i <= n_windows + 1 {
+                (warmup_ns + (i as u64 - 1) * window_ns).min(self.horizon_ns)
+            } else {
+                self.horizon_ns
+            }
+        };
+        let cell_of_start = |start: u64| -> usize {
+            if start < warmup_ns {
+                0
+            } else {
+                (1 + ((start - warmup_ns) / window_ns) as usize).min(n_windows + 1)
+            }
+        };
+        for f in &self.flows {
+            if f.size_packets >= heavy_min_packets || f.packets == 0 {
+                continue;
+            }
+            plan.tail_flows[f.chain] += 1;
+            plan.tail_packets[f.chain] += f.packets;
+            // Walk only the cells the flow's schedule overlaps.
+            let first = cell_of_start(f.start_ns);
+            let mut before_prev = f.arrivals_before(edge(first));
+            debug_assert_eq!(before_prev, 0);
+            for i in first..n_windows + 2 {
+                let before_end = f.arrivals_before(edge(i + 1));
+                let n = before_end - before_prev;
+                before_prev = before_end;
+                if n > 0 {
+                    let cell = if i == 0 {
+                        &mut plan.warmup[f.chain]
+                    } else if i <= n_windows {
+                        &mut plan.windows[i - 1][f.chain]
+                    } else {
+                        &mut plan.rest[f.chain]
+                    };
+                    cell.packets += n;
+                    cell.bytes += n * frame_len[f.chain];
+                    if i == first {
+                        cell.new_flows += 1;
+                    }
+                }
+                if before_end == f.packets {
+                    break;
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Packet-by-packet source over a set of materialized flows of one chain
+/// — the heavy-hitter counterpart of [`crate::ChainSource`], driven by a
+/// min-heap over per-flow CBR schedules.
+pub struct FlowPacketSource {
+    /// `(chain-relative) flow table`, only this chain's heavy flows.
+    flows: Vec<FlowRecord>,
+    /// Packets already emitted per flow.
+    emitted: Vec<u64>,
+    /// `(next_arrival_ns, flow_idx)` min-heap.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Source prefix base (the chain's classifier `/24`).
+    prefix_base: u32,
+    payload_len: usize,
+    /// Surge-fault rate multiplier (1.0 nominally); scales the *gaps*
+    /// of future arrivals, mirroring `ChainSource::set_rate_factor`.
+    rate_factor: f64,
+    horizon_ns: u64,
+}
+
+impl FlowPacketSource {
+    /// Build from the scenario's flows for `chain`, keeping only the
+    /// given indices (the heavy set; pass all indices for a full
+    /// packet-level run).
+    pub fn new(
+        scenario: &Scenario,
+        chain: usize,
+        keep: impl Fn(&FlowRecord) -> bool,
+        prefix: lemur_packet::ipv4::Cidr,
+        payload_len: usize,
+    ) -> FlowPacketSource {
+        let flows: Vec<FlowRecord> = scenario
+            .flows
+            .iter()
+            .filter(|f| f.chain == chain && f.packets > 0 && keep(f))
+            .copied()
+            .collect();
+        let mut heap = BinaryHeap::with_capacity(flows.len());
+        for (i, f) in flows.iter().enumerate() {
+            heap.push(Reverse((f.start_ns, i)));
+        }
+        FlowPacketSource {
+            emitted: vec![0; flows.len()],
+            flows,
+            heap,
+            prefix_base: prefix.address().to_u32(),
+            payload_len,
+            rate_factor: 1.0,
+            horizon_ns: scenario.horizon_ns,
+        }
+    }
+
+    /// Timestamp of the next packet (`u64::MAX` when exhausted).
+    pub fn peek_time(&self) -> u64 {
+        self.heap
+            .peek()
+            .map(|Reverse((t, _))| *t)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Total packets this source will emit (for sizing checks).
+    pub fn total_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.packets).sum()
+    }
+
+    /// Mirror of [`crate::ChainSource::set_rate_factor`]: future
+    /// inter-packet gaps divide by `factor`.
+    pub fn set_rate_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "rate factor must be positive");
+        self.rate_factor = factor;
+    }
+
+    /// Produce the next packet; `None` when every flow is exhausted.
+    pub fn next_packet(&mut self) -> Option<(u64, lemur_packet::PacketBuf)> {
+        let Reverse((t, idx)) = self.heap.pop()?;
+        let f = self.flows[idx];
+        self.emitted[idx] += 1;
+        if self.emitted[idx] < f.packets {
+            let gap = ((f.interval_ns as f64 / self.rate_factor) as u64).max(1);
+            let next = t + gap;
+            if next < self.horizon_ns {
+                self.heap.push(Reverse((next, idx)));
+            }
+        }
+        // Five-tuple mirrors ChainSource: host octet inside the /24,
+        // flows beyond 254 stay distinct via the source port.
+        let src = lemur_packet::ipv4::Address::from_u32(
+            self.prefix_base | ((f.flow_id as u32 % 254) + 1),
+        );
+        let sport = 10_000 + (f.flow_id % 40_000) as u16;
+        let payload = vec![f.flow_id as u8; self.payload_len];
+        let pkt = lemur_packet::builder::udp_packet(
+            lemur_packet::ethernet::Address([2, 0, 0, 0, 0, 0x10]),
+            lemur_packet::ethernet::Address([2, 0, 0, 0, 0, 0x20]),
+            src,
+            lemur_packet::ipv4::Address::new(10, 200, (f.flow_id % 250) as u8, 1),
+            sport,
+            80,
+            &payload,
+        );
+        Some((t, pkt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            seed: 7,
+            horizon_ns: 10_000_000,
+            chains: vec![ChainLoad {
+                flows: 200,
+                flow_rate_pps: 100_000.0,
+                size: FlowSizeDist {
+                    alpha: 1.1,
+                    min_packets: 2,
+                    max_packets: 10_000,
+                },
+                diurnal: Some(Diurnal {
+                    period_ns: 10_000_000,
+                    amplitude: 0.3,
+                }),
+                surges: vec![Surge {
+                    kind: SurgeKind::FlashCrowd,
+                    start_ns: 4_000_000,
+                    duration_ns: 2_000_000,
+                    factor: 3.0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let a = spec().materialize();
+        let b = spec().materialize();
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.flows.len(), 200);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_and_bounded() {
+        let s = spec().materialize();
+        let sizes: Vec<u64> = s.flows.iter().map(|f| f.size_packets).collect();
+        assert!(sizes.iter().all(|&x| (2..=10_000).contains(&x)));
+        // Mice dominate by count…
+        let small = sizes.iter().filter(|&&x| x <= 10).count();
+        assert!(
+            small * 2 > sizes.len(),
+            "only {small} mice of {}",
+            sizes.len()
+        );
+        // …while a few elephants exist.
+        assert!(sizes.iter().any(|&x| x >= 100));
+    }
+
+    #[test]
+    fn flash_crowd_skews_start_times() {
+        let s = spec().materialize();
+        let in_surge = s
+            .flows
+            .iter()
+            .filter(|f| (4_000_000..6_000_000).contains(&f.start_ns))
+            .count();
+        // The surge window is 20% of the horizon but at 3× intensity it
+        // should attract well over 20% of the flows.
+        assert!(
+            in_surge as f64 > 0.3 * s.flows.len() as f64,
+            "{in_surge} of {} flows in surge window",
+            s.flows.len()
+        );
+    }
+
+    #[test]
+    fn ddos_adds_min_size_flows() {
+        let mut sp = spec();
+        sp.chains[0].surges = vec![Surge {
+            kind: SurgeKind::Ddos,
+            start_ns: 2_000_000,
+            duration_ns: 5_000_000,
+            factor: 3.0,
+        }];
+        let s = sp.materialize();
+        let junk: Vec<_> = s.flows.iter().filter(|f| f.ddos).collect();
+        assert_eq!(junk.len(), 200); // (3−1) × 200 × 0.5
+        assert!(junk.iter().all(|f| f.size_packets == 2));
+        assert!(junk
+            .iter()
+            .all(|f| (2_000_000..7_000_000).contains(&f.start_ns)));
+    }
+
+    #[test]
+    fn arrivals_before_is_exact() {
+        let f = FlowRecord {
+            chain: 0,
+            flow_id: 0,
+            start_ns: 100,
+            interval_ns: 10,
+            packets: 5,
+            size_packets: 5,
+            ddos: false,
+        };
+        // Arrivals at 100, 110, 120, 130, 140.
+        assert_eq!(f.arrivals_before(100), 0);
+        assert_eq!(f.arrivals_before(101), 1);
+        assert_eq!(f.arrivals_before(110), 1);
+        assert_eq!(f.arrivals_before(111), 2);
+        assert_eq!(f.arrivals_before(1_000), 5);
+    }
+
+    #[test]
+    fn tail_plan_conserves_mass() {
+        let s = spec().materialize();
+        let total: u64 = s.flows.iter().map(|f| f.packets).sum();
+        let plan = s.tail_plan(u64::MAX, 1_000_000, 1_000_000, &[100]);
+        // θ = MAX: everything is tail. Every packet lands in exactly one
+        // cell, and every flow registers exactly one new_flows increment.
+        let binned: u64 = plan.warmup.iter().map(|c| c.packets).sum::<u64>()
+            + plan
+                .windows
+                .iter()
+                .flat_map(|w| w.iter())
+                .map(|c| c.packets)
+                .sum::<u64>()
+            + plan.rest.iter().map(|c| c.packets).sum::<u64>();
+        assert_eq!(binned, total);
+        assert_eq!(plan.tail_packets[0], total);
+        let flows_binned: u64 = plan.warmup.iter().map(|c| c.new_flows).sum::<u64>()
+            + plan
+                .windows
+                .iter()
+                .flat_map(|w| w.iter())
+                .map(|c| c.new_flows)
+                .sum::<u64>()
+            + plan.rest.iter().map(|c| c.new_flows).sum::<u64>();
+        assert_eq!(flows_binned, plan.tail_flows[0]);
+        // Bytes are packets × frame everywhere.
+        for c in plan.windows.iter().flat_map(|w| w.iter()) {
+            assert_eq!(c.bytes, c.packets * 100);
+        }
+    }
+
+    #[test]
+    fn heavy_split_partitions_packets() {
+        let s = spec().materialize();
+        let theta = 50;
+        let heavy: u64 = s
+            .flows
+            .iter()
+            .filter(|f| f.size_packets >= theta)
+            .map(|f| f.packets)
+            .sum();
+        let plan = s.tail_plan(theta, 1_000_000, 1_000_000, &[100]);
+        let total: u64 = s.flows.iter().map(|f| f.packets).sum();
+        assert_eq!(heavy + plan.tail_packets[0], total);
+    }
+
+    #[test]
+    fn flow_source_replays_schedule_exactly() {
+        let s = spec().materialize();
+        let prefix =
+            lemur_packet::ipv4::Cidr::new(lemur_packet::ipv4::Address::new(10, 0, 1, 0), 24)
+                .unwrap();
+        let mut src = FlowPacketSource::new(&s, 0, |_| true, prefix, 100);
+        let total: u64 = s.flows.iter().map(|f| f.packets).sum();
+        assert_eq!(src.total_packets(), total);
+        let mut n = 0u64;
+        let mut last = 0u64;
+        while let Some((t, pkt)) = src.next_packet() {
+            assert!(t >= last, "time went backwards");
+            assert!(t < s.horizon_ns);
+            last = t;
+            n += 1;
+            if n == 1 {
+                let tuple = lemur_packet::flow::FiveTuple::parse(pkt.as_slice()).unwrap();
+                assert!(prefix.contains(tuple.src_ip), "src outside chain prefix");
+            }
+        }
+        assert_eq!(n, total);
+        assert_eq!(src.peek_time(), u64::MAX);
+    }
+}

@@ -22,20 +22,28 @@
 
 pub mod engine;
 pub mod faults;
+pub mod flowsim;
 pub mod migrate;
 pub mod report;
 pub mod traffic;
+pub mod validate;
 
 pub use engine::{
-    BuildError, ControlAction, ControlHook, NoopHook, RuntimeMode, SimConfig, StagedConfig, Testbed,
+    BuildError, ControlAction, ControlHook, HybridConfig, HybridMode, NoopHook, RuntimeMode,
+    SimConfig, StagedConfig, Testbed,
 };
 pub use faults::{
     ChannelFault, ChannelFaultKind, FaultEvent, FaultKind, FaultPlan, FaultPlanError,
     MigrationFaultKind,
+};
+pub use flowsim::{
+    ChainLoad, Diurnal, FlowPacketSource, FlowRecord, FlowSizeDist, Scenario, ScenarioSpec, Surge,
+    SurgeKind, TailCell, TailPlan,
 };
 pub use migrate::{CrossSiteTransfer, MigrationError, MigrationStats, StateRecord, StateTransfer};
 pub use report::{
     ChainStats, ConservationLedger, DropReason, SimReport, TimelineEvent, ViolationKind,
     WindowSample,
 };
-pub use traffic::TrafficSpec;
+pub use traffic::{ChainIndexOutOfRange, TrafficSpec};
+pub use validate::{validate_scenario, TrafficProfile, TrafficTolerance, TrafficValidationError};

@@ -55,14 +55,20 @@ pub struct ChainStats {
 impl ChainStats {
     /// Record one drop under its reason (also bumps the total).
     pub fn record_drop(&mut self, reason: DropReason) {
-        self.dropped_packets += 1;
+        self.record_drops(reason, 1);
+    }
+
+    /// Record `n` drops of one reason in a single call — the hybrid
+    /// engine charges a whole window of analytic-tail mass at once.
+    pub fn record_drops(&mut self, reason: DropReason, n: u64) {
+        self.dropped_packets += n;
         match reason {
-            DropReason::QueueOverflow => self.drops_queue += 1,
-            DropReason::MaxHops => self.drops_hops += 1,
-            DropReason::Verdict => self.drops_verdict += 1,
-            DropReason::Fault => self.drops_fault += 1,
-            DropReason::Reconfig => self.drops_reconfig += 1,
-            DropReason::Shed => self.drops_shed += 1,
+            DropReason::QueueOverflow => self.drops_queue += n,
+            DropReason::MaxHops => self.drops_hops += n,
+            DropReason::Verdict => self.drops_verdict += n,
+            DropReason::Fault => self.drops_fault += n,
+            DropReason::Reconfig => self.drops_reconfig += n,
+            DropReason::Shed => self.drops_shed += n,
         }
     }
 }
@@ -90,13 +96,19 @@ pub struct ConservationLedger {
 
 impl ConservationLedger {
     pub fn record_drop(&mut self, reason: DropReason) {
+        self.record_drops(reason, 1);
+    }
+
+    /// Record `n` drops of one reason in a single call (aggregate tail
+    /// mass stays exact-integer, so `balanced` still holds in hybrid runs).
+    pub fn record_drops(&mut self, reason: DropReason, n: u64) {
         match reason {
-            DropReason::QueueOverflow => self.drops_queue += 1,
-            DropReason::MaxHops => self.drops_hops += 1,
-            DropReason::Verdict => self.drops_verdict += 1,
-            DropReason::Fault => self.drops_fault += 1,
-            DropReason::Reconfig => self.drops_reconfig += 1,
-            DropReason::Shed => self.drops_shed += 1,
+            DropReason::QueueOverflow => self.drops_queue += n,
+            DropReason::MaxHops => self.drops_hops += n,
+            DropReason::Verdict => self.drops_verdict += n,
+            DropReason::Fault => self.drops_fault += n,
+            DropReason::Reconfig => self.drops_reconfig += n,
+            DropReason::Shed => self.drops_shed += n,
         }
     }
 

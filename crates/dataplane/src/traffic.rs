@@ -5,6 +5,25 @@ use lemur_packet::{ethernet, ipv4, PacketBuf};
 use lemur_placer::PACKET_BYTES;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Error for chain indices whose classifier prefix cannot be derived:
+/// `10.hi.lo.0/24` encodes the index in two octets, so only
+/// `0..=65535` are representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainIndexOutOfRange(pub usize);
+
+impl fmt::Display for ChainIndexOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chain index {} exceeds 65535: classifier prefixes derive both middle octets from the index",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ChainIndexOutOfRange {}
 
 /// Offered load for one chain.
 #[derive(Debug, Clone)]
@@ -24,20 +43,28 @@ pub struct TrafficSpec {
 
 impl TrafficSpec {
     /// A default spec for a chain index: long-lived flows from
-    /// `10.(idx).0.0/16`. The flow count is high enough that hashing over
-    /// many subgroup replicas stays balanced (40-flow profiling traffic
-    /// per footnote 6 is available via [`TrafficSpec::flows`]).
-    pub fn for_chain(idx: usize, offered_bps: f64) -> TrafficSpec {
-        TrafficSpec {
+    /// `10.(idx >> 8).(idx & 0xff).0/24`. Both middle octets derive from
+    /// the index, so every chain in `0..=65535` gets a disjoint classifier
+    /// prefix (a plain `10.(idx).0.0/16` would silently wrap at 256 and
+    /// alias chains 0 and 256 onto one aggregate). The flow count is high
+    /// enough that hashing over many subgroup replicas stays balanced
+    /// (40-flow profiling traffic per footnote 6 is available via
+    /// [`TrafficSpec::flows`]).
+    pub fn for_chain(idx: usize, offered_bps: f64) -> Result<TrafficSpec, ChainIndexOutOfRange> {
+        if idx > u16::MAX as usize {
+            return Err(ChainIndexOutOfRange(idx));
+        }
+        Ok(TrafficSpec {
             offered_bps,
-            // Invariant: a /16 prefix length is always valid (0..=32), so
-            // `Cidr::new` cannot fail here for any `idx`.
-            src_prefix: ipv4::Cidr::new(ipv4::Address::new(10, idx as u8, 0, 0), 16)
-                .expect("/16 is a valid prefix length"),
+            src_prefix: ipv4::Cidr::new(
+                ipv4::Address::new(10, (idx >> 8) as u8, (idx & 0xff) as u8, 0),
+                24,
+            )
+            .expect("/24 is a valid prefix length"),
             flows: 512,
             payload_len: PACKET_BYTES as usize - 42, // eth+ip+udp headers
             redundancy: 0.5,
-        }
+        })
     }
 
     /// The chain's traffic aggregate matching this spec.
@@ -110,7 +137,9 @@ impl ChainSource {
         let flow = (self.seq % self.spec.flows as u64) as u32;
         self.seq += 1;
         let base = self.spec.src_prefix.address().to_u32();
-        let src = ipv4::Address::from_u32(base | (flow + 1));
+        // Host octet stays inside the /24; flows beyond 254 remain
+        // distinct five-tuples via the source port.
+        let src = ipv4::Address::from_u32(base | ((flow % 254) + 1));
         let sport = 10_000 + (flow as u16 % 40_000);
         let payload: Vec<u8> = if self.rng.gen_bool(self.spec.redundancy) {
             self.redundant_payload.clone()
@@ -138,8 +167,24 @@ mod tests {
     use lemur_packet::flow::FiveTuple;
 
     #[test]
+    fn chain_prefixes_are_disjoint_and_bounded() {
+        // The /16 scheme aliased chains 0 and 256; the two-octet /24
+        // derivation keeps every index distinct.
+        let a = TrafficSpec::for_chain(0, 1e9).unwrap();
+        let b = TrafficSpec::for_chain(256, 1e9).unwrap();
+        assert_ne!(a.src_prefix, b.src_prefix);
+        assert_eq!(b.src_prefix.address(), ipv4::Address::new(10, 1, 0, 0));
+        assert_eq!(
+            TrafficSpec::for_chain(65_536, 1e9).unwrap_err(),
+            ChainIndexOutOfRange(65_536)
+        );
+        let err = ChainIndexOutOfRange(70_000).to_string();
+        assert!(err.contains("70000"), "{err}");
+    }
+
+    #[test]
     fn rate_is_honored() {
-        let spec = TrafficSpec::for_chain(1, 1e9); // 1 Gbps
+        let spec = TrafficSpec::for_chain(1, 1e9).unwrap(); // 1 Gbps
         let mut src = ChainSource::new(spec, 7);
         let mut last = 0;
         let mut bits = 0u64;
@@ -154,7 +199,7 @@ mod tests {
 
     #[test]
     fn flows_are_bounded_and_in_prefix() {
-        let spec = TrafficSpec::for_chain(3, 1e9);
+        let spec = TrafficSpec::for_chain(3, 1e9).unwrap();
         let agg = spec.aggregate();
         let mut src = ChainSource::new(spec, 7);
         let mut flows = std::collections::HashSet::new();
@@ -170,13 +215,13 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let a: Vec<_> = {
-            let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9), 42);
+            let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9).unwrap(), 42);
             (0..50)
                 .map(|_| s.next_packet().1.as_slice().to_vec())
                 .collect()
         };
         let b: Vec<_> = {
-            let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9), 42);
+            let mut s = ChainSource::new(TrafficSpec::for_chain(1, 5e9).unwrap(), 42);
             (0..50)
                 .map(|_| s.next_packet().1.as_slice().to_vec())
                 .collect()
@@ -186,7 +231,7 @@ mod tests {
 
     #[test]
     fn redundancy_mix() {
-        let mut spec = TrafficSpec::for_chain(1, 1e9);
+        let mut spec = TrafficSpec::for_chain(1, 1e9).unwrap();
         spec.redundancy = 1.0;
         let mut s = ChainSource::new(spec, 1);
         let (_, p1) = s.next_packet();

@@ -54,7 +54,7 @@ fn setup(
         .iter()
         .enumerate()
         .map(|(i, w)| {
-            let spec = TrafficSpec::for_chain(i + 1, 1e9);
+            let spec = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
             let agg = spec.aggregate();
             specs.push(spec);
             ChainSpec {

@@ -63,7 +63,7 @@ impl FleetSpec {
             if graph.nodes().any(|(_, n)| n.kind == NfKind::Nat) {
                 stateful.push(i);
             }
-            let spec = TrafficSpec::for_chain(i + 1, 1e9);
+            let spec = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
             chains.push(ChainSpec {
                 name: format!("fleet{i}"),
                 aggregate: Some(spec.aggregate()),

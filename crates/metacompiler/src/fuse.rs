@@ -34,7 +34,10 @@
 use lemur_bess::subgroup::{Subgroup, SubgroupOutput};
 use lemur_nf::flowmap::FlowMap;
 use lemur_nf::fused::{FlowCache, FusedNf};
-use lemur_nf::{NfCtx, NfKind, NfSnapshot, SnapshotError, Verdict};
+use lemur_nf::{
+    AggregateObservables, AggregateOutcome, AggregateUpdate, NfCtx, NfKind, NfSnapshot,
+    SnapshotError, Verdict,
+};
 use lemur_packet::Batch;
 
 /// Which runtime the meta-compiler emits for server subgroups.
@@ -404,6 +407,24 @@ impl FusedSegment {
             .map(|nf| nf.as_nf().state_fingerprint())
             .unwrap_or(0)
     }
+
+    /// Apply one SLO window's analytic-tail mass to the NF at `idx`
+    /// (hybrid engine). The memo is untouched: memoized spans cover only
+    /// tuple-pure NFs, which ignore aggregates by construction.
+    pub fn apply_aggregate_nf(
+        &mut self,
+        idx: usize,
+        update: &AggregateUpdate,
+    ) -> Option<AggregateOutcome> {
+        self.nfs
+            .get_mut(idx)
+            .map(|nf| nf.as_nf_mut().apply_aggregate(update))
+    }
+
+    /// Combined exact + tail observables of the NF at `idx`.
+    pub fn nf_observables(&self, idx: usize) -> Option<AggregateObservables> {
+        self.nfs.get(idx).map(|nf| nf.as_nf().observables())
+    }
 }
 
 /// The runtime emitted for one subgroup replica: either the per-NF
@@ -516,6 +537,26 @@ impl NfRuntime {
         match self {
             NfRuntime::Boxed(s) => s.nf_state_fingerprint(idx),
             NfRuntime::Fused(s) => s.nf_state_fingerprint(idx),
+        }
+    }
+
+    /// Apply one SLO window's analytic-tail mass to the NF at `idx`.
+    pub fn apply_aggregate_nf(
+        &mut self,
+        idx: usize,
+        update: &AggregateUpdate,
+    ) -> Option<AggregateOutcome> {
+        match self {
+            NfRuntime::Boxed(s) => s.apply_aggregate_nf(idx, update),
+            NfRuntime::Fused(s) => s.apply_aggregate_nf(idx, update),
+        }
+    }
+
+    /// Combined exact + tail observables of the NF at `idx`.
+    pub fn nf_observables(&self, idx: usize) -> Option<AggregateObservables> {
+        match self {
+            NfRuntime::Boxed(s) => s.nf_observables(idx),
+            NfRuntime::Fused(s) => s.nf_observables(idx),
         }
     }
 }

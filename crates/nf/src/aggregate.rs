@@ -1,0 +1,115 @@
+//! Batched aggregate updates for the hybrid flow/packet engine.
+//!
+//! The hybrid dataplane (`lemur-dataplane`'s `flowsim` module) advances
+//! its long-tail flows analytically once per SLO window instead of
+//! packet-by-packet. The tail still has *state effects* on the stateful
+//! NFs it notionally traverses — Monitor counters grow, the Limiter's
+//! token bucket drains, NAT binds ports, the LB pins flow affinity — so
+//! every [`crate::NetworkFunction`] accepts an [`AggregateUpdate`]: "this
+//! many packets/bytes/new flows crossed you during the window
+//! `[window_start_ns, window_end_ns)`".
+//!
+//! Two contracts keep hybrid runs conservation-checkable:
+//!
+//! 1. **Exact-integer admission**: [`AggregateOutcome`] returns whole
+//!    packets (and the matching bytes) admitted downstream; the engine
+//!    charges the difference to its drop ledger, so
+//!    `injected == delivered + drops + in_flight` stays an integer
+//!    identity even with analytic traffic.
+//! 2. **Side-band accounting**: aggregate mass is tracked in dedicated
+//!    counters *outside* the migratable snapshot wire format
+//!    ([`crate::snapshot`]) — an epoch swap carries the exact per-packet
+//!    state and resets the analytic tail, which the engine re-applies on
+//!    the next window. [`AggregateObservables`] exposes the combined view
+//!    (exact + tail) for equivalence checks against full packet-level runs.
+
+/// One window's worth of analytic tail traffic crossing an NF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateUpdate {
+    /// Packets arriving at the NF during the window.
+    pub packets: u64,
+    /// Bytes arriving (`packets × frame length` — the tail is CBR-framed).
+    pub bytes: u64,
+    /// Flows whose first packet falls inside this window.
+    pub new_flows: u64,
+    /// Window bounds (virtual ns). `window_end_ns` drives time-based
+    /// state evolution (token refill, idle timers).
+    pub window_start_ns: u64,
+    pub window_end_ns: u64,
+}
+
+impl AggregateUpdate {
+    /// Per-packet frame length implied by the update (0 when empty).
+    pub fn frame_len(&self) -> u64 {
+        self.bytes.checked_div(self.packets).unwrap_or(0)
+    }
+}
+
+/// What an NF lets through of an [`AggregateUpdate`]: whole packets and
+/// the matching bytes. The difference from the input is the NF's verdict
+/// drop mass for the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateOutcome {
+    pub packets: u64,
+    pub bytes: u64,
+}
+
+impl AggregateOutcome {
+    /// Pass the whole update through unchanged (the default for NFs whose
+    /// semantics never drop on state).
+    pub fn pass(update: &AggregateUpdate) -> AggregateOutcome {
+        AggregateOutcome {
+            packets: update.packets,
+            bytes: update.bytes,
+        }
+    }
+}
+
+/// A state summary combining exact per-packet counters with accumulated
+/// aggregate (tail) mass — the quantity the hybrid/packet equivalence
+/// suite compares across engine modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AggregateObservables {
+    /// Packets the NF has accounted for (exact + tail).
+    pub packets: u64,
+    /// Bytes the NF has accounted for (exact + tail).
+    pub bytes: u64,
+    /// Flow-grained state entries (Monitor flows, NAT bindings, LB
+    /// affinity pins), exact + tail mass.
+    pub flows: u64,
+    /// Kind-specific scalar (the Limiter exports its token level; 0
+    /// elsewhere).
+    pub scalar: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_len_and_pass() {
+        let u = AggregateUpdate {
+            packets: 10,
+            bytes: 640,
+            new_flows: 3,
+            window_start_ns: 0,
+            window_end_ns: 1_000_000,
+        };
+        assert_eq!(u.frame_len(), 64);
+        assert_eq!(
+            AggregateOutcome::pass(&u),
+            AggregateOutcome {
+                packets: 10,
+                bytes: 640
+            }
+        );
+        let empty = AggregateUpdate {
+            packets: 0,
+            bytes: 0,
+            new_flows: 0,
+            window_start_ns: 0,
+            window_end_ns: 1,
+        };
+        assert_eq!(empty.frame_len(), 0);
+    }
+}

@@ -7,7 +7,8 @@
 
 use crate::snapshot::{Decoder, Encoder};
 use crate::{
-    NetworkFunction, NfCtx, NfKind, NfParams, NfSnapshot, ParamValue, SnapshotError, Verdict,
+    AggregateObservables, AggregateOutcome, AggregateUpdate, NetworkFunction, NfCtx, NfKind,
+    NfParams, NfSnapshot, ParamValue, SnapshotError, Verdict,
 };
 use lemur_packet::ethernet::{self, EtherType};
 use lemur_packet::flow::FiveTuple;
@@ -29,6 +30,11 @@ pub struct LoadBalancer {
     /// are canonical.
     flow_cache: BTreeMap<FiveTuple, usize>,
     max_cache: usize,
+    /// Affinity-cache mass pinned by analytic-tail flows
+    /// ([`NetworkFunction::apply_aggregate`]): competes with exact flows
+    /// for `max_cache` slots but is not snapshotted (tail flows are
+    /// steered statelessly by hash, so losing the pins costs nothing).
+    tail_flows: u64,
 }
 
 impl LoadBalancer {
@@ -39,6 +45,7 @@ impl LoadBalancer {
             backends,
             flow_cache: BTreeMap::new(),
             max_cache: 65_536,
+            tail_flows: 0,
         }
     }
 
@@ -101,7 +108,7 @@ impl LoadBalancer {
             return idx;
         }
         let idx = (tuple.symmetric_hash() % self.backends.len() as u64) as usize;
-        if self.flow_cache.len() < self.max_cache {
+        if self.flow_cache.len() as u64 + self.tail_flows < self.max_cache as u64 {
             self.flow_cache.insert(*tuple, idx);
         }
         idx
@@ -226,6 +233,25 @@ impl NetworkFunction for LoadBalancer {
         self.flow_cache = staged;
         Ok(())
     }
+
+    /// Pin tail flows into the remaining affinity slots; overflowing flows
+    /// are still steered (hash without a pin), so everything passes.
+    fn apply_aggregate(&mut self, update: &AggregateUpdate) -> AggregateOutcome {
+        let free = (self.max_cache as u64)
+            .saturating_sub(self.flow_cache.len() as u64)
+            .saturating_sub(self.tail_flows);
+        self.tail_flows += update.new_flows.min(free);
+        AggregateOutcome::pass(update)
+    }
+
+    fn observables(&self) -> AggregateObservables {
+        AggregateObservables {
+            packets: 0,
+            bytes: 0,
+            flows: self.flow_cache.len() as u64 + self.tail_flows,
+            scalar: 0.0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +329,24 @@ mod tests {
     #[should_panic(expected = "at least one backend")]
     fn empty_backends_panics() {
         LoadBalancer::new(vec![]);
+    }
+
+    #[test]
+    fn aggregate_pins_until_cache_full() {
+        let mut lb = LoadBalancer::from_params(&NfParams::new());
+        let u = AggregateUpdate {
+            packets: 100,
+            bytes: 10_000,
+            new_flows: 60_000,
+            window_start_ns: 0,
+            window_end_ns: 1_000_000,
+        };
+        assert_eq!(lb.apply_aggregate(&u).packets, 100);
+        assert_eq!(lb.observables().flows, 60_000);
+        // A second wave hits the 65_536-slot ceiling; everything still
+        // passes (steering is stateless beyond the pin).
+        assert_eq!(lb.apply_aggregate(&u).packets, 100);
+        assert_eq!(lb.observables().flows, 65_536);
     }
 
     #[test]

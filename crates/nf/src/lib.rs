@@ -24,6 +24,7 @@
 //! | ACL | src/dst field ACL | [`acl`] |
 
 pub mod acl;
+pub mod aggregate;
 pub mod crypto;
 pub mod dedup;
 pub mod encrypt;
@@ -40,6 +41,7 @@ pub mod snapshot;
 pub mod tunnel;
 pub mod urlfilter;
 
+pub use aggregate::{AggregateObservables, AggregateOutcome, AggregateUpdate};
 pub use params::{NfParams, ParamValue};
 pub use snapshot::{NfSnapshot, SnapshotError, StateDigest, SNAPSHOT_VERSION};
 
@@ -107,6 +109,25 @@ pub trait NetworkFunction: Send {
     /// observationally identical on any future packet trace.
     fn state_fingerprint(&self) -> u128 {
         self.snapshot_state().map(|s| s.fingerprint()).unwrap_or(0)
+    }
+
+    /// Apply one SLO window's analytic tail traffic as a batched state
+    /// update (hybrid flow/packet engine). The default passes the whole
+    /// update through untouched — correct for every NF whose verdict
+    /// never depends on cross-packet state. Stateful NFs override this to
+    /// evolve their state (token drain, binding mass, affinity pins) and
+    /// may admit fewer packets; the engine charges the difference to its
+    /// drop ledger. Aggregate mass lives *outside* the snapshot wire
+    /// format, so migration fidelity is unaffected.
+    fn apply_aggregate(&mut self, update: &AggregateUpdate) -> AggregateOutcome {
+        AggregateOutcome::pass(update)
+    }
+
+    /// Combined exact + aggregate state summary for cross-mode
+    /// equivalence checks. The default (all zeros) means the NF tracks
+    /// nothing the hybrid engine needs to compare.
+    fn observables(&self) -> AggregateObservables {
+        AggregateObservables::default()
     }
 }
 

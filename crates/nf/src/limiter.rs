@@ -5,7 +5,10 @@
 //! breaking the rate guarantee.
 
 use crate::snapshot::{Decoder, Encoder};
-use crate::{NetworkFunction, NfCtx, NfKind, NfParams, NfSnapshot, SnapshotError, Verdict};
+use crate::{
+    AggregateObservables, AggregateOutcome, AggregateUpdate, NetworkFunction, NfCtx, NfKind,
+    NfParams, NfSnapshot, SnapshotError, Verdict,
+};
 use lemur_packet::PacketBuf;
 
 /// Token bucket limiter: admits packets while tokens (bytes) are available,
@@ -105,6 +108,32 @@ impl NetworkFunction for Limiter {
         self.last_refill_ns = last_refill_ns;
         Ok(())
     }
+
+    /// Drain the bucket by the tail's byte mass: refill to the window end,
+    /// then admit whole frames while tokens last. The admitted count is
+    /// exact-integer so the engine's ledger closes.
+    fn apply_aggregate(&mut self, update: &AggregateUpdate) -> AggregateOutcome {
+        self.refill(update.window_end_ns);
+        let frame = update.frame_len();
+        let admitted = match (self.tokens as u64).checked_div(frame) {
+            Some(whole_frames) => update.packets.min(whole_frames),
+            None => update.packets,
+        };
+        self.tokens -= (admitted * frame) as f64;
+        AggregateOutcome {
+            packets: admitted,
+            bytes: admitted * frame,
+        }
+    }
+
+    fn observables(&self) -> AggregateObservables {
+        AggregateObservables {
+            packets: 0,
+            bytes: 0,
+            flows: 0,
+            scalar: self.tokens,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +200,32 @@ mod tests {
     #[test]
     fn is_stateful() {
         assert!(Limiter::new(1e9, 1e6).is_stateful());
+    }
+
+    #[test]
+    fn aggregate_drains_and_caps() {
+        // 8 kbps = 1000 B/s; burst 2000 B. A window of 30 × 100-byte
+        // frames wants 3000 B but only 2000 B of tokens exist at t=0.
+        let mut l = Limiter::new(8_000.0, 2_000.0);
+        let out = l.apply_aggregate(&AggregateUpdate {
+            packets: 30,
+            bytes: 3_000,
+            new_flows: 5,
+            window_start_ns: 0,
+            window_end_ns: 0,
+        });
+        assert_eq!(out.packets, 20);
+        assert_eq!(out.bytes, 2_000);
+        assert!(l.observables().scalar < 1.0);
+        // One second later the bucket refilled 1000 B: 10 more frames fit.
+        let out = l.apply_aggregate(&AggregateUpdate {
+            packets: 30,
+            bytes: 3_000,
+            new_flows: 0,
+            window_start_ns: 0,
+            window_end_ns: 1_000_000_000,
+        });
+        assert_eq!(out.packets, 10);
     }
 
     #[test]

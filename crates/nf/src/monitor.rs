@@ -2,7 +2,10 @@
 
 use crate::flowmap::{tuple_hash, FlowMap};
 use crate::snapshot::{Decoder, Encoder};
-use crate::{NetworkFunction, NfCtx, NfKind, NfSnapshot, SnapshotError, Verdict};
+use crate::{
+    AggregateObservables, AggregateOutcome, AggregateUpdate, NetworkFunction, NfCtx, NfKind,
+    NfSnapshot, SnapshotError, Verdict,
+};
 use lemur_packet::flow::FiveTuple;
 use lemur_packet::{ipv4, PacketBuf};
 
@@ -23,6 +26,12 @@ pub struct Monitor {
     flows: FlowMap<FlowStats>,
     other_packets: u64,
     other_bytes: u64,
+    /// Analytic-tail mass from [`NetworkFunction::apply_aggregate`]:
+    /// per-epoch observability, deliberately outside the snapshot wire
+    /// format (migration carries exact state only).
+    tail_packets: u64,
+    tail_bytes: u64,
+    tail_flows: u64,
 }
 
 impl Monitor {
@@ -32,6 +41,9 @@ impl Monitor {
             flows: FlowMap::new(),
             other_packets: 0,
             other_bytes: 0,
+            tail_packets: 0,
+            tail_bytes: 0,
+            tail_flows: 0,
         }
     }
 
@@ -175,6 +187,24 @@ impl NetworkFunction for Monitor {
         self.flows = staged;
         Ok(())
     }
+
+    /// The tail crossed this monitor: count it — monitoring never drops,
+    /// so the whole update passes through.
+    fn apply_aggregate(&mut self, update: &AggregateUpdate) -> AggregateOutcome {
+        self.tail_packets += update.packets;
+        self.tail_bytes += update.bytes;
+        self.tail_flows += update.new_flows;
+        AggregateOutcome::pass(update)
+    }
+
+    fn observables(&self) -> AggregateObservables {
+        AggregateObservables {
+            packets: self.total_packets() + self.tail_packets,
+            bytes: self.total_bytes() + self.tail_bytes,
+            flows: self.num_flows() as u64 + self.tail_flows,
+            scalar: 0.0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +261,26 @@ mod tests {
         assert_eq!(m.process(&ctx, &mut garbage), Verdict::Forward);
         assert_eq!(m.num_flows(), 0);
         assert_eq!(m.total_packets(), 1);
+    }
+
+    #[test]
+    fn aggregate_adds_tail_mass_outside_snapshot() {
+        let mut m = Monitor::new();
+        m.process(&NfCtx::default(), &mut pkt(1, 10));
+        let before = m.snapshot_state().unwrap();
+        let out = m.apply_aggregate(&AggregateUpdate {
+            packets: 1000,
+            bytes: 64_000,
+            new_flows: 50,
+            window_start_ns: 0,
+            window_end_ns: 1_000_000,
+        });
+        assert_eq!(out.packets, 1000);
+        let obs = m.observables();
+        assert_eq!(obs.packets, 1001);
+        assert_eq!(obs.flows, 51);
+        // Tail mass never leaks into the migration wire format.
+        assert_eq!(m.snapshot_state().unwrap().payload, before.payload);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::snapshot::{Decoder, Encoder};
 use crate::{
-    NetworkFunction, NfCtx, NfKind, NfParams, NfSnapshot, ParamValue, SnapshotError, Verdict,
+    AggregateObservables, AggregateOutcome, AggregateUpdate, NetworkFunction, NfCtx, NfKind,
+    NfParams, NfSnapshot, ParamValue, SnapshotError, Verdict,
 };
 use lemur_packet::ethernet::{self, EtherType};
 use lemur_packet::ipv4::{self, Protocol};
@@ -42,6 +43,10 @@ pub struct Nat {
     /// as return traffic.
     translated: u64,
     dropped_no_ports: u64,
+    /// Port-pool mass claimed by analytic-tail flows
+    /// ([`NetworkFunction::apply_aggregate`]): consumes pool capacity but
+    /// stays outside the snapshot wire format.
+    tail_flows: u64,
 }
 
 impl Nat {
@@ -58,6 +63,7 @@ impl Nat {
             idle_timeout_ns: 60_000_000_000, // 60 s
             translated: 0,
             dropped_no_ports: 0,
+            tail_flows: 0,
         }
     }
 
@@ -276,6 +282,41 @@ impl NetworkFunction for Nat {
 
     fn snapshot_state(&self) -> Option<NfSnapshot> {
         Some(NfSnapshot::new(NfKind::Nat, self.encode_state()))
+    }
+
+    /// Tail flows claim ports from the same finite pool the exact bindings
+    /// draw on; packets of flows that cannot bind are dropped. Bound tail
+    /// flows pass, so the per-packet mass scales by the bound fraction.
+    fn apply_aggregate(&mut self, update: &AggregateUpdate) -> AggregateOutcome {
+        let free = (self.port_count as u64)
+            .saturating_sub(self.forward.len() as u64)
+            .saturating_sub(self.tail_flows);
+        let bound = update.new_flows.min(free);
+        let refused = update.new_flows - bound;
+        self.tail_flows += bound;
+        if refused == 0 || update.new_flows == 0 {
+            self.translated += update.packets;
+            return AggregateOutcome::pass(update);
+        }
+        // Unbindable flows lose their whole window share (integer split;
+        // the remainder stays with admitted traffic so mass is conserved).
+        let lost_packets = update.packets * refused / update.new_flows;
+        let admitted = update.packets - lost_packets;
+        self.dropped_no_ports += lost_packets;
+        self.translated += admitted;
+        AggregateOutcome {
+            packets: admitted,
+            bytes: admitted * update.frame_len(),
+        }
+    }
+
+    fn observables(&self) -> AggregateObservables {
+        AggregateObservables {
+            packets: self.translated,
+            bytes: 0,
+            flows: self.forward.len() as u64 + self.tail_flows,
+            scalar: 0.0,
+        }
     }
 
     fn restore_state(&mut self, snapshot: &NfSnapshot) -> Result<(), SnapshotError> {
@@ -512,6 +553,36 @@ mod tests {
         assert!(ip.verify_checksum());
         let u = udp::Packet::new_checked(ip.payload()).unwrap();
         assert!(u.verify_checksum(ip.src(), ip.dst()));
+    }
+
+    #[test]
+    fn aggregate_flows_respect_port_pool() {
+        let mut nat = Nat::new(EXT, 5000, 10);
+        // Two exact bindings occupy part of the pool.
+        let ctx = NfCtx::default();
+        nat.process(&ctx, &mut outbound(1));
+        nat.process(&ctx, &mut outbound(2));
+        // 12 tail flows want ports but only 8 remain: 4 flows (and their
+        // third of the packets) are refused.
+        let out = nat.apply_aggregate(&AggregateUpdate {
+            packets: 120,
+            bytes: 12_000,
+            new_flows: 12,
+            window_start_ns: 0,
+            window_end_ns: 1_000_000,
+        });
+        assert_eq!(out.packets, 80);
+        assert_eq!(nat.dropped_no_ports(), 40);
+        assert_eq!(nat.observables().flows, 10);
+        // The pool is saturated: a later pure-packet window binds nothing.
+        let out = nat.apply_aggregate(&AggregateUpdate {
+            packets: 10,
+            bytes: 1_000,
+            new_flows: 5,
+            window_start_ns: 1_000_000,
+            window_end_ns: 2_000_000,
+        });
+        assert_eq!(out.packets, 0);
     }
 
     #[test]

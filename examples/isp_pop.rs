@@ -51,7 +51,7 @@ fn one_pop_slo_book() {
         .iter()
         .enumerate()
         .map(|(i, (which, _))| {
-            let traffic = TrafficSpec::for_chain(i + 1, 1e9);
+            let traffic = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
             let aggregate = traffic.aggregate();
             specs.push(traffic);
             ChainSpec {

@@ -70,7 +70,8 @@ fn main() {
 
     // 5. Execute on the simulated testbed and check the SLO held.
     let mut testbed = Testbed::build(&problem, &placement, deployment).expect("testbed");
-    let mut traffic = TrafficSpec::for_chain(1, placement.chain_rates_bps[0] * 1.1);
+    let mut traffic = TrafficSpec::for_chain(1, placement.chain_rates_bps[0] * 1.1)
+        .expect("chain index in range");
     traffic.src_prefix = "10.1.0.0/16".parse().unwrap();
     let report = testbed.run(&[traffic], SimConfig::default());
     let c = &report.per_chain[0];

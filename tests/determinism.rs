@@ -25,7 +25,7 @@ const DURATION_S: f64 = 0.003;
 /// `run()` entry point, `Some(plan)` goes through `run_with_faults` (with
 /// the SLO guard armed iff `guard`).
 fn run_once(seed: u64, plan: Option<&FaultPlan>, guard: bool) -> SimReport {
-    let spec = TrafficSpec::for_chain(1, 1e9);
+    let spec = TrafficSpec::for_chain(1, 1e9).expect("chain index in range");
     let agg = spec.aggregate();
     let chains = vec![ChainSpec {
         name: "chain3".to_string(),

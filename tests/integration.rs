@@ -19,7 +19,7 @@ fn delta_problem(which: &[CanonicalChain], delta: f64) -> (PlacementProblem, Vec
         .iter()
         .enumerate()
         .map(|(i, w)| {
-            let t = TrafficSpec::for_chain(i + 1, 1e9);
+            let t = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
             let agg = t.aggregate();
             specs.push(t);
             ChainSpec {
@@ -57,7 +57,8 @@ fn spec_to_measured_slo() {
     );
     let deployment = lemur::metacompiler::compile(&problem, &placement).unwrap();
     let mut testbed = Testbed::build(&problem, &placement, deployment).unwrap();
-    let mut traffic = TrafficSpec::for_chain(1, placement.chain_rates_bps[0] * 1.05);
+    let mut traffic = TrafficSpec::for_chain(1, placement.chain_rates_bps[0] * 1.05)
+        .expect("chain index in range");
     traffic.src_prefix = "10.1.0.0/16".parse().unwrap();
     let report = testbed.run(
         &[traffic],
@@ -204,7 +205,7 @@ fn multi_server_scaling() {
             .iter()
             .enumerate()
             .map(|(i, w)| {
-                let t = TrafficSpec::for_chain(i + 1, 1e9);
+                let t = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
                 let agg = t.aggregate();
                 specs.push(t);
                 ChainSpec {
@@ -256,7 +257,7 @@ fn latency_bounds_trade_throughput() {
                 .iter()
                 .enumerate()
                 .map(|(i, w)| {
-                    let t = TrafficSpec::for_chain(i + 1, 1e9);
+                    let t = TrafficSpec::for_chain(i + 1, 1e9).expect("chain index in range");
                     let agg = t.aggregate();
                     specs.push(t);
                     ChainSpec {
