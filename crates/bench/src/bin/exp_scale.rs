@@ -232,10 +232,12 @@ fn run_cell(
     let mut tb = testbed(p, e);
     let mode = HybridMode::Hybrid(HybridConfig {
         heavy_min_packets: THETA,
-        capacity_bps: vec![],
+        ..HybridConfig::default()
     });
     let t1 = Instant::now();
-    let report = tb.run_scenario(&scenario, specs, config, &mode);
+    let report = tb
+        .run_scenario(&scenario, specs, config, &mode)
+        .expect("valid hybrid config");
     let run_s = t1.elapsed().as_secs_f64();
 
     if !report.ledger.balanced() {
@@ -289,11 +291,15 @@ fn equivalence_check(
             .collect(),
     };
     let scenario: Scenario = spec.materialize();
-    let run = |mode: &HybridMode| testbed(p, e).run_scenario(&scenario, specs, config, mode);
+    let run = |mode: &HybridMode| {
+        testbed(p, e)
+            .run_scenario(&scenario, specs, config, mode)
+            .expect("valid hybrid config")
+    };
     let packet = run(&HybridMode::PacketLevel);
     let hybrid = run(&HybridMode::Hybrid(HybridConfig {
         heavy_min_packets: THETA,
-        capacity_bps: vec![],
+        ..HybridConfig::default()
     }));
     let bound = packet.ledger.in_flight_at_end
         + hybrid.ledger.in_flight_at_end

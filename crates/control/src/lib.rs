@@ -49,6 +49,7 @@
 //!   back and forth.
 
 pub mod chaos;
+pub mod surge;
 pub mod wal;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -66,6 +67,7 @@ use lemur_placer::repair_assignment;
 use lemur_placer::topology::ResourceMask;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use surge::{SurgeClass, SurgeDetector};
 use wal::{DecisionLog, WalRecord};
 
 /// Tunables for the online supervisor. Times are virtual nanoseconds.
@@ -88,6 +90,13 @@ pub struct SupervisorConfig {
     /// Fractional slack when validating a candidate's predicted rates
     /// against `t_min` (0.05 = accept 95% of the guarantee).
     pub validation_tol: f64,
+    /// Consecutive overload-classified violated windows before the
+    /// degradation ladder climbs one rung (only with a surge detector).
+    pub ladder_patience: u32,
+    /// Consecutive calm windows before the ladder steps back down one
+    /// rung. Larger than `ladder_patience` by default so recovery is
+    /// more cautious than escalation.
+    pub unwind_patience: u32,
     /// Seed for backoff jitter. Same seed → bit-identical decisions.
     pub seed: u64,
 }
@@ -102,6 +111,8 @@ impl Default for SupervisorConfig {
             max_attempts: 6,
             probation_windows: 2,
             validation_tol: 0.05,
+            ladder_patience: 3,
+            unwind_patience: 4,
             seed: 0,
         }
     }
@@ -169,6 +180,21 @@ pub enum SupervisorEvent {
         at_ns: u64,
         committed_epoch: Option<u64>,
     },
+    /// The degradation ladder climbed one rung under classified overload
+    /// (1 = admission control, 2 = shed `chain`, 3 = replica scale-out,
+    /// 4 = parked in [`SupervisorState::GracefulDegraded`]).
+    LadderEscalated {
+        at_ns: u64,
+        rung: u8,
+        chain: Option<usize>,
+    },
+    /// The ladder stepped back down one rung after a calm stretch
+    /// (same rung numbering; 2 restores `chain`).
+    LadderUnwound {
+        at_ns: u64,
+        rung: u8,
+        chain: Option<usize>,
+    },
 }
 
 impl SupervisorEvent {
@@ -182,7 +208,9 @@ impl SupervisorEvent {
             | SupervisorEvent::LinkTrusted { at_ns, .. }
             | SupervisorEvent::Degraded { at_ns }
             | SupervisorEvent::MigrationFailed { at_ns, .. }
-            | SupervisorEvent::Recovered { at_ns, .. } => *at_ns,
+            | SupervisorEvent::Recovered { at_ns, .. }
+            | SupervisorEvent::LadderEscalated { at_ns, .. }
+            | SupervisorEvent::LadderUnwound { at_ns, .. } => *at_ns,
         }
     }
 }
@@ -198,12 +226,27 @@ enum ReplanReason {
     Improve,
 }
 
+/// What a commit means for the degradation ladder's bookkeeping. The
+/// delta is applied at commit time, not stage time, so an aborted
+/// migration never records a rung that was not actually climbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LadderDelta {
+    /// The staged epoch sheds `chain` under overload.
+    Shed(usize),
+    /// The staged epoch re-admits previously-shed `chain`.
+    Restore(usize),
+    /// The staged epoch is a scale-out re-placement of the survivors.
+    ScaleOut,
+}
+
 /// Bookkeeping for a staged-but-not-yet-committed configuration.
 struct PendingCommit {
     /// Original-chain-indexed assignment after the swap (shed chains keep
     /// their stale entry as a re-admission hint).
     assignment: Assignment,
     admitted: Vec<bool>,
+    /// Ladder rung this commit climbs or unwinds, if any.
+    ladder: Option<LadderDelta>,
 }
 
 /// The online control plane. Implements [`ControlHook`]; hand it to
@@ -241,6 +284,29 @@ pub struct Supervisor<'a> {
     /// Write-ahead decision log: every intent precedes its commit, so a
     /// crash at any point replays to a consistent state.
     wal: DecisionLog,
+
+    /// Overload classifier; without one every violation is degradation
+    /// and the ladder never engages (the pre-surge-aware behavior).
+    surge: Option<SurgeDetector>,
+    /// Consecutive overload-classified violated windows toward the next
+    /// ladder escalation.
+    overload_windows: u32,
+    /// Consecutive calm windows toward the next ladder unwind.
+    calm_windows: u32,
+    /// Rung 1: the dataplane is currently denying DDoS-flagged tail mass.
+    admission_on: bool,
+    /// Rung 2: chains shed by the ladder, in shed order (unwound LIFO).
+    overload_shed: Vec<usize>,
+    /// Rung 3: the survivors were re-placed with scale-out.
+    scaled_out: bool,
+    /// Rung 4: `GracefulDegraded` was entered by the ladder (recoverable
+    /// on calm), not by exhausting repair attempts (terminal).
+    ladder_parked: bool,
+    /// Violation-triggered replans actually attempted.
+    repair_attempts: u64,
+    /// Violated windows where overload classification suppressed the
+    /// repair loop.
+    suppressed_replans: u64,
 }
 
 impl<'a> Supervisor<'a> {
@@ -275,7 +341,24 @@ impl<'a> Supervisor<'a> {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x5157_e501),
             events: Vec::new(),
             wal: DecisionLog::new(),
+            surge: None,
+            overload_windows: 0,
+            calm_windows: 0,
+            admission_on: false,
+            overload_shed: Vec::new(),
+            scaled_out: false,
+            ladder_parked: false,
+            repair_attempts: 0,
+            suppressed_replans: 0,
         }
+    }
+
+    /// Attach an overload classifier. With one installed, violated
+    /// windows classified [`SurgeClass::Overload`] suppress the repair
+    /// loop and drive the graceful-degradation ladder instead.
+    pub fn with_surge_detector(mut self, detector: SurgeDetector) -> Supervisor<'a> {
+        self.surge = Some(detector);
+        self
     }
 
     pub fn state(&self) -> SupervisorState {
@@ -298,6 +381,33 @@ impl<'a> Supervisor<'a> {
     /// Failed replan attempts since the last promotion.
     pub fn attempts(&self) -> u32 {
         self.attempts
+    }
+
+    /// Violation-triggered replans actually attempted over the run.
+    pub fn repair_attempts(&self) -> u64 {
+        self.repair_attempts
+    }
+
+    /// Violated windows where overload classification held the repair
+    /// loop back.
+    pub fn suppressed_replans(&self) -> u64 {
+        self.suppressed_replans
+    }
+
+    /// True while any ladder rung is active (admission denial, an
+    /// overload shed, or a scale-out placement).
+    pub fn ladder_engaged(&self) -> bool {
+        self.admission_on || !self.overload_shed.is_empty() || self.scaled_out
+    }
+
+    /// Chains currently shed by the ladder, in shed order.
+    pub fn overload_shed(&self) -> &[usize] {
+        &self.overload_shed
+    }
+
+    /// The surge detector's current classification, if one is attached.
+    pub fn is_overload(&self) -> bool {
+        self.surge.as_ref().is_some_and(|d| d.is_overload())
     }
 
     /// The decision log, in virtual-time order.
@@ -382,6 +492,9 @@ impl<'a> Supervisor<'a> {
     fn try_replan(&mut self, now: u64, reason: ReplanReason) -> ControlAction {
         self.streak = 0;
         self.improve_pending = false;
+        if reason == ReplanReason::Violation {
+            self.repair_attempts += 1;
+        }
         let fail = |s: &mut Self| match reason {
             ReplanReason::Violation => s.backoff(now),
             ReplanReason::Improve => ControlAction::Continue,
@@ -440,6 +553,7 @@ impl<'a> Supervisor<'a> {
         self.pending = Some(PendingCommit {
             assignment,
             admitted,
+            ladder: None,
         });
         self.state = SupervisorState::Draining;
         // WAL intent first: a crash after this point replays as "swap of
@@ -503,6 +617,7 @@ impl<'a> Supervisor<'a> {
         self.pending = Some(PendingCommit {
             assignment,
             admitted,
+            ladder: None,
         });
         self.state = SupervisorState::Draining;
         self.wal.append(WalRecord::Intent {
@@ -520,6 +635,288 @@ impl<'a> Supervisor<'a> {
             staged: Box::new(staged),
             drain_ns: self.cfg.drain_ns,
         }
+    }
+
+    /// Shed-priority of a chain (higher survives longer).
+    fn chain_priority(&self, c: usize) -> u8 {
+        self.problem.chains[c].slo.map_or(0, |s| s.priority)
+    }
+
+    /// The next chain the ladder would shed: lowest [`Slo::priority`]
+    /// among the admitted, but never the single most important chain —
+    /// something must keep serving all the way to `GracefulDegraded`.
+    fn shed_victim(&self) -> Option<usize> {
+        let admitted: Vec<usize> = (0..self.problem.chains.len())
+            .filter(|&c| self.current_admitted[c])
+            .collect();
+        let top = admitted
+            .iter()
+            .copied()
+            .max_by_key(|&c| (self.chain_priority(c), std::cmp::Reverse(c)))?;
+        admitted
+            .iter()
+            .copied()
+            .filter(|&c| c != top)
+            .min_by_key(|&c| (self.chain_priority(c), c))
+    }
+
+    /// Flip the dataplane's per-chain junk-admission denial (rung 1).
+    /// Takes effect immediately — no epoch swap, no drain loss.
+    fn set_admission(&mut self, now: u64, deny: bool) -> ControlAction {
+        self.admission_on = deny;
+        self.wal
+            .append(WalRecord::AdmissionControl { at_ns: now, deny });
+        let event = if deny {
+            SupervisorEvent::LadderEscalated {
+                at_ns: now,
+                rung: 1,
+                chain: None,
+            }
+        } else {
+            SupervisorEvent::LadderUnwound {
+                at_ns: now,
+                rung: 1,
+                chain: None,
+            }
+        };
+        self.events.push(event);
+        ControlAction::SetTailAdmission {
+            deny_junk: vec![deny; self.problem.chains.len()],
+        }
+    }
+
+    /// Stage a two-phase commit whose only change is admission: shed
+    /// `victim` (rung 2 up) or re-admit `restore` (rung 2 down). The
+    /// survivors keep their placements; the shed chain keeps its stale
+    /// assignment entry as the re-admission hint.
+    fn stage_ladder_swap(
+        &mut self,
+        now: u64,
+        victim: Option<usize>,
+        restore: Option<usize>,
+    ) -> ControlAction {
+        let kept: Vec<usize> = (0..self.problem.chains.len())
+            .filter(|&c| (self.current_admitted[c] || Some(c) == restore) && Some(c) != victim)
+            .collect();
+        let sub = PlacementProblem {
+            chains: kept
+                .iter()
+                .map(|&c| self.problem.chains[c].clone())
+                .collect(),
+            topology: self.problem.topology.degraded(self.mask()),
+            profiles: self.problem.profiles.clone(),
+        };
+        let sub_assignment: Assignment = kept
+            .iter()
+            .map(|&c| self.current_assignment[c].clone())
+            .collect();
+        let evaluated = match sub.evaluate(&sub_assignment, CoreStrategy::WaterFill) {
+            Ok(ev) => ev,
+            // Infeasible (e.g. the restored chain no longer fits the
+            // degraded rack): leave the rung as it is and retry on the
+            // next patience expiry.
+            Err(_) => return ControlAction::Continue,
+        };
+        let bases: Vec<u32> = kept.iter().map(|&c| self.entry_spi[c]).collect();
+        let deployment = match compile_repair(&sub, &evaluated, &bases) {
+            Ok(d) => d,
+            Err(_) => return ControlAction::Continue,
+        };
+        let (admitted, slos) = self.admission_vectors(&kept);
+        let staged = match StagedConfig::build(
+            &sub,
+            &evaluated,
+            deployment,
+            admitted.clone(),
+            slos,
+            false,
+        ) {
+            Ok(s) => s,
+            Err(_) => return ControlAction::Continue,
+        };
+
+        let delta = match (victim, restore) {
+            (Some(c), _) => LadderDelta::Shed(c),
+            (_, Some(c)) => LadderDelta::Restore(c),
+            _ => unreachable!("ladder swap needs a victim or a restore"),
+        };
+        self.pending = Some(PendingCommit {
+            assignment: self.current_assignment.clone(),
+            admitted,
+            ladder: Some(delta),
+        });
+        self.state = SupervisorState::Draining;
+        let shed: Vec<usize> = victim.into_iter().collect();
+        self.wal.append(WalRecord::Intent {
+            at_ns: now,
+            rollback: false,
+            shed: shed.clone(),
+        });
+        let event = match delta {
+            LadderDelta::Shed(c) => SupervisorEvent::LadderEscalated {
+                at_ns: now,
+                rung: 2,
+                chain: Some(c),
+            },
+            LadderDelta::Restore(c) => SupervisorEvent::LadderUnwound {
+                at_ns: now,
+                rung: 2,
+                chain: Some(c),
+            },
+            LadderDelta::ScaleOut => unreachable!(),
+        };
+        self.events.push(event);
+        self.events.push(SupervisorEvent::Staged {
+            at_ns: now,
+            shed,
+            moved_nodes: 0,
+            rollback: false,
+        });
+        ControlAction::StageCommit {
+            staged: Box::new(staged),
+            drain_ns: self.cfg.drain_ns,
+        }
+    }
+
+    /// Rung 3: ask the placer for a fresh scale-out placement of the
+    /// surviving chains on the fault-masked topology.
+    fn stage_scaleout(&mut self, now: u64) -> ControlAction {
+        let kept: Vec<usize> = (0..self.problem.chains.len())
+            .filter(|&c| self.current_admitted[c])
+            .collect();
+        let sub = PlacementProblem {
+            chains: kept
+                .iter()
+                .map(|&c| self.problem.chains[c].clone())
+                .collect(),
+            topology: self.problem.topology.degraded(self.mask()),
+            profiles: self.problem.profiles.clone(),
+        };
+        let evaluated = match lemur_placer::heuristic::place(&sub, self.oracle) {
+            Ok(ev) => ev,
+            Err(_) => {
+                // No scale-out exists: spend the rung so the ladder can
+                // move on to parking rather than retrying forever.
+                self.scaled_out = true;
+                return ControlAction::Continue;
+            }
+        };
+        let unchanged = kept
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| evaluated.assignment[i] == self.current_assignment[c]);
+        if unchanged {
+            self.scaled_out = true;
+            return ControlAction::Continue;
+        }
+        let bases: Vec<u32> = kept.iter().map(|&c| self.entry_spi[c]).collect();
+        let deployment = match compile_repair(&sub, &evaluated, &bases) {
+            Ok(d) => d,
+            Err(_) => {
+                self.scaled_out = true;
+                return ControlAction::Continue;
+            }
+        };
+        let (admitted, slos) = self.admission_vectors(&kept);
+        let staged = match StagedConfig::build(
+            &sub,
+            &evaluated,
+            deployment,
+            admitted.clone(),
+            slos,
+            false,
+        ) {
+            Ok(s) => s,
+            Err(_) => {
+                self.scaled_out = true;
+                return ControlAction::Continue;
+            }
+        };
+
+        let moved = kept
+            .iter()
+            .enumerate()
+            .filter(|&(i, &c)| evaluated.assignment[i] != self.current_assignment[c])
+            .count();
+        let mut assignment = self.current_assignment.clone();
+        for (i, &c) in kept.iter().enumerate() {
+            assignment[c] = evaluated.assignment[i].clone();
+        }
+        self.pending = Some(PendingCommit {
+            assignment,
+            admitted,
+            ladder: Some(LadderDelta::ScaleOut),
+        });
+        self.state = SupervisorState::Draining;
+        self.wal.append(WalRecord::Intent {
+            at_ns: now,
+            rollback: false,
+            shed: Vec::new(),
+        });
+        self.events.push(SupervisorEvent::LadderEscalated {
+            at_ns: now,
+            rung: 3,
+            chain: None,
+        });
+        self.events.push(SupervisorEvent::Staged {
+            at_ns: now,
+            shed: Vec::new(),
+            moved_nodes: moved,
+            rollback: false,
+        });
+        ControlAction::StageCommit {
+            staged: Box::new(staged),
+            drain_ns: self.cfg.drain_ns,
+        }
+    }
+
+    /// Climb one rung: admission denial → shed (ascending priority) →
+    /// scale-out → park. Each step is the cheapest remaining lever.
+    fn escalate_ladder(&mut self, now: u64) -> ControlAction {
+        if !self.admission_on {
+            return self.set_admission(now, true);
+        }
+        if let Some(victim) = self.shed_victim() {
+            return self.stage_ladder_swap(now, Some(victim), None);
+        }
+        if !self.scaled_out {
+            return self.stage_scaleout(now);
+        }
+        if self.state != SupervisorState::GracefulDegraded {
+            self.ladder_parked = true;
+            self.state = SupervisorState::GracefulDegraded;
+            self.events.push(SupervisorEvent::LadderEscalated {
+                at_ns: now,
+                rung: 4,
+                chain: None,
+            });
+            self.events.push(SupervisorEvent::Degraded { at_ns: now });
+        }
+        ControlAction::Continue
+    }
+
+    /// Step one rung back down, in reverse order of escalation.
+    fn unwind_ladder(&mut self, now: u64) -> ControlAction {
+        if self.scaled_out {
+            // The scale-out placement is not harmful on a calm rack;
+            // fold it back through the normal improve path instead of a
+            // dedicated swap.
+            self.scaled_out = false;
+            self.improve_pending = true;
+            self.events.push(SupervisorEvent::LadderUnwound {
+                at_ns: now,
+                rung: 3,
+                chain: None,
+            });
+            return ControlAction::Continue;
+        }
+        if let Some(&chain) = self.overload_shed.last() {
+            return self.stage_ladder_swap(now, None, Some(chain));
+        }
+        if self.admission_on {
+            return self.set_admission(now, false);
+        }
+        ControlAction::Continue
     }
 }
 
@@ -560,23 +957,81 @@ impl ControlHook for Supervisor<'_> {
     fn on_window(
         &mut self,
         end_ns: u64,
-        _samples: &[WindowSample],
+        samples: &[WindowSample],
         violations: &[TimelineEvent],
     ) -> ControlAction {
+        // Keep the classifier's hysteresis current in every state, even
+        // the ones that take no action this window.
+        let overload = match self.surge.as_mut() {
+            Some(det) => det.observe(samples) == SurgeClass::Overload,
+            None => false,
+        };
+        let violated = !violations.is_empty();
+
         if self.state == SupervisorState::GracefulDegraded {
+            if !self.ladder_parked {
+                // Parked by exhausted repair attempts: terminal.
+                return ControlAction::Continue;
+            }
+            // Parked by the ladder: a calm stretch un-parks it.
+            if violated || overload {
+                self.calm_windows = 0;
+                return ControlAction::Continue;
+            }
+            self.calm_windows += 1;
+            if self.calm_windows >= self.cfg.unwind_patience {
+                self.calm_windows = 0;
+                self.ladder_parked = false;
+                self.attempts = 0;
+                self.streak = 0;
+                self.state = SupervisorState::Monitoring;
+                self.events.push(SupervisorEvent::LadderUnwound {
+                    at_ns: end_ns,
+                    rung: 4,
+                    chain: None,
+                });
+            }
             return ControlAction::Continue;
         }
         self.expire_hold_downs(end_ns);
-        let violated = !violations.is_empty();
 
         match self.state {
             SupervisorState::Monitoring | SupervisorState::Converged => {
+                if violated && overload {
+                    // Pure surge: a replan cannot manufacture capacity
+                    // that was never provisioned, and churning the
+                    // dataplane now maximizes update-time loss. Suppress
+                    // the repair loop; climb the ladder instead.
+                    self.suppressed_replans += 1;
+                    self.streak = 0;
+                    self.calm_windows = 0;
+                    self.state = SupervisorState::Monitoring;
+                    self.overload_windows += 1;
+                    if self.overload_windows >= self.cfg.ladder_patience {
+                        self.overload_windows = 0;
+                        return self.escalate_ladder(end_ns);
+                    }
+                    return ControlAction::Continue;
+                }
+                self.overload_windows = 0;
                 if violated {
                     self.streak += 1;
+                    self.calm_windows = 0;
                     self.state = SupervisorState::Monitoring;
                 } else {
                     self.streak = 0;
                     self.state = SupervisorState::Converged;
+                    if self.ladder_engaged() {
+                        if overload {
+                            self.calm_windows = 0;
+                        } else {
+                            self.calm_windows += 1;
+                        }
+                        if self.calm_windows >= self.cfg.unwind_patience {
+                            self.calm_windows = 0;
+                            return self.unwind_ladder(end_ns);
+                        }
+                    }
                 }
                 if self.streak >= self.cfg.hysteresis_k {
                     self.events.push(SupervisorEvent::Detected {
@@ -585,13 +1040,21 @@ impl ControlHook for Supervisor<'_> {
                     });
                     return self.try_replan(end_ns, ReplanReason::Violation);
                 }
-                if self.improve_pending {
+                if self.improve_pending && !overload {
                     return self.try_replan(end_ns, ReplanReason::Improve);
                 }
                 ControlAction::Continue
             }
             SupervisorState::Backoff { until_ns } => {
                 if end_ns < until_ns {
+                    return ControlAction::Continue;
+                }
+                if violated && overload {
+                    // The episode is (or became) overload: stop charging
+                    // repair attempts and let the ladder logic see it.
+                    self.suppressed_replans += 1;
+                    self.streak = 0;
+                    self.state = SupervisorState::Monitoring;
                     return ControlAction::Continue;
                 }
                 if violated {
@@ -601,7 +1064,7 @@ impl ControlHook for Supervisor<'_> {
                 self.attempts = 0;
                 self.streak = 0;
                 self.state = SupervisorState::Monitoring;
-                if self.improve_pending {
+                if self.improve_pending && !overload {
                     return self.try_replan(end_ns, ReplanReason::Improve);
                 }
                 ControlAction::Continue
@@ -619,7 +1082,7 @@ impl ControlHook for Supervisor<'_> {
                     };
                     return ControlAction::Continue;
                 }
-                if violated {
+                if violated && !overload {
                     return self.stage_rollback(end_ns);
                 }
                 let left = windows_left.saturating_sub(1);
@@ -647,6 +1110,16 @@ impl ControlHook for Supervisor<'_> {
         if let Some(pending) = self.pending.take() {
             self.current_assignment = pending.assignment;
             self.current_admitted = pending.admitted;
+            match pending.ladder {
+                Some(LadderDelta::Shed(c)) => self.overload_shed.push(c),
+                Some(LadderDelta::Restore(c)) => self.overload_shed.retain(|&x| x != c),
+                Some(LadderDelta::ScaleOut) => self.scaled_out = true,
+                None => {}
+            }
+            // A non-ladder commit (repair or rollback) may re-admit
+            // chains the ladder had shed; reconcile so the unwind never
+            // tries to restore an already-admitted chain.
+            self.overload_shed.retain(|&c| !self.current_admitted[c]);
         }
         self.wal.append(WalRecord::Committed {
             at_ns,
@@ -779,6 +1252,224 @@ mod tests {
         sup.on_window(w * WIN, &[], &[])
     }
 
+    use surge::SurgeConfig;
+
+    /// A detector declaring 1000 legitimate packets per window per chain,
+    /// with single-window hysteresis so tests stay short.
+    fn detector() -> SurgeDetector {
+        SurgeDetector::new(
+            vec![1000.0 / WIN as f64; 2],
+            SurgeConfig {
+                k_up: 1,
+                k_down: 1,
+                ..SurgeConfig::default()
+            },
+        )
+    }
+
+    fn sample(chain: usize, w: u64, arrived: u64, junk: u64) -> WindowSample {
+        WindowSample {
+            start_ns: (w - 1) * WIN,
+            end_ns: w * WIN,
+            chain,
+            delivered_bps: 0.0,
+            delivered_packets: arrived,
+            dropped_packets: 0,
+            mean_latency_ns: 0.0,
+            arrived_packets: arrived,
+            junk_packets: junk,
+            backlog_packets: 0,
+        }
+    }
+
+    /// A violated window whose samples scream overload (5× declared,
+    /// mostly junk).
+    fn surge_window(sup: &mut Supervisor<'_>, w: u64) -> ControlAction {
+        let samples = [sample(0, w, 5000, 2000), sample(1, w, 5000, 2000)];
+        sup.on_window(w * WIN, &samples, &[violation(w * WIN)])
+    }
+
+    /// A clean window at exactly the declared intensity.
+    fn calm_window(sup: &mut Supervisor<'_>, w: u64) -> ControlAction {
+        let samples = [sample(0, w, 1000, 0), sample(1, w, 1000, 0)];
+        sup.on_window(w * WIN, &samples, &[])
+    }
+
+    /// The whole arc: suppression → admission → shed → scale-out → park
+    /// under sustained overload, then a full reverse unwind on calm.
+    #[test]
+    fn ladder_climbs_under_overload_and_fully_unwinds() -> Result<(), String> {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p)?;
+        let cfg = SupervisorConfig {
+            ladder_patience: 2,
+            unwind_patience: 2,
+            ..Default::default()
+        };
+        let mut sup = Supervisor::new(&p, &placement, &deployment, &AlwaysFits, cfg)
+            .with_surge_detector(detector());
+
+        // Two overload windows: the repair loop stays silent, then the
+        // ladder's first rung flips admission control on.
+        assert!(matches!(surge_window(&mut sup, 1), ControlAction::Continue));
+        let action = surge_window(&mut sup, 2);
+        match action {
+            ControlAction::SetTailAdmission { deny_junk } => {
+                assert!(deny_junk.iter().all(|&d| d))
+            }
+            _ => panic!("expected admission denial"),
+        }
+        assert_eq!(sup.repair_attempts(), 0, "no replans under pure surge");
+        assert_eq!(sup.suppressed_replans(), 2);
+        assert!(sup.ladder_engaged());
+
+        // Still overloaded: rung 2 sheds the *lowest-priority* chain
+        // (chain 1; chain 0 has the higher priority and is untouchable).
+        surge_window(&mut sup, 3);
+        let action = surge_window(&mut sup, 4);
+        assert!(matches!(action, ControlAction::StageCommit { .. }));
+        sup.on_commit(4 * WIN + 200_000, 1, 5, false);
+        assert_eq!(sup.overload_shed(), &[1]);
+        assert_eq!(sup.admitted(), &[true, false]);
+
+        // Probation rides through surge-violated windows as if clean:
+        // the fresh epoch is not at fault for the overload.
+        surge_window(&mut sup, 5); // grace
+        surge_window(&mut sup, 6);
+        surge_window(&mut sup, 7);
+        assert_eq!(sup.state(), SupervisorState::Converged);
+        assert_eq!(sup.lkg_admitted, vec![true, false]);
+
+        // Rung 3: scale out the survivor on the (unmasked) topology. A
+        // fresh placement may be identical to the running one, in which
+        // case the rung is spent without a swap.
+        surge_window(&mut sup, 8);
+        let action = surge_window(&mut sup, 9);
+        let mut w = 10;
+        if matches!(action, ControlAction::StageCommit { .. }) {
+            sup.on_commit(9 * WIN + 200_000, 2, 0, false);
+            for _ in 0..3 {
+                surge_window(&mut sup, w);
+                w += 1;
+            }
+            assert_eq!(sup.state(), SupervisorState::Converged);
+        }
+        assert!(sup.scaled_out, "rung 3 must be spent");
+
+        // Rung 4: nothing left — park, recoverably.
+        surge_window(&mut sup, w);
+        surge_window(&mut sup, w + 1);
+        assert_eq!(sup.state(), SupervisorState::GracefulDegraded);
+        assert!(sup.ladder_parked);
+        w += 2;
+
+        // Calm returns: drive clean windows and commit whatever the
+        // unwind stages until every rung has stepped back down.
+        let mut epoch = 3;
+        for i in 0..60 {
+            let action = calm_window(&mut sup, w + i);
+            match action {
+                ControlAction::StageCommit { staged, .. } => {
+                    let rb = staged.is_rollback();
+                    sup.on_commit((w + i) * WIN + 200_000, epoch, 0, rb);
+                    epoch += 1;
+                }
+                ControlAction::SetTailAdmission { deny_junk } => {
+                    assert!(
+                        deny_junk.iter().all(|&d| !d),
+                        "unwind must clear the denial, not re-arm it"
+                    );
+                }
+                ControlAction::Continue => {}
+            }
+            if !sup.ladder_engaged() && sup.admitted().iter().all(|&a| a) && sup.is_settled() {
+                break;
+            }
+        }
+        assert!(!sup.ladder_engaged(), "residual ladder state after calm");
+        assert!(
+            sup.admitted().iter().all(|&a| a),
+            "shed chains must be restored: {:?}",
+            sup.admitted()
+        );
+        assert!(!sup.admission_on);
+        assert_eq!(sup.repair_attempts(), 0, "the whole arc was pure surge");
+        assert!(sup
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::LadderUnwound { rung: 4, .. })));
+        // The WAL journaled both admission flips.
+        assert!(sup
+            .wal()
+            .records()
+            .iter()
+            .any(|r| matches!(r, WalRecord::AdmissionControl { deny: true, .. })));
+        assert!(!sup.wal().replay().admission_deny);
+        Ok(())
+    }
+
+    /// Overload arriving at backoff expiry must neither charge another
+    /// repair attempt nor keep the supervisor pinned in backoff.
+    #[test]
+    fn overload_at_backoff_expiry_suppresses_instead_of_replanning() -> Result<(), String> {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p)?;
+        let mut sup = Supervisor::new(
+            &p,
+            &placement,
+            &deployment,
+            &AlwaysFits,
+            SupervisorConfig::default(),
+        )
+        .with_surge_detector(detector());
+
+        // A non-overload violation episode with nothing to repair lands
+        // in backoff, charging one attempt.
+        violated_window(&mut sup, 1);
+        violated_window(&mut sup, 2);
+        let SupervisorState::Backoff { until_ns } = sup.state() else {
+            panic!("expected backoff, got {:?}", sup.state());
+        };
+        assert_eq!(sup.repair_attempts(), 1);
+
+        // At expiry the violation persists but is now classified
+        // overload: no replan, no attempt, back to monitoring.
+        let w = until_ns / WIN + 1;
+        let action = surge_window(&mut sup, w);
+        assert!(matches!(action, ControlAction::Continue));
+        assert_eq!(sup.state(), SupervisorState::Monitoring);
+        assert_eq!(sup.repair_attempts(), 1, "suppression must not replan");
+        assert_eq!(sup.attempts(), 1, "surge must not clear the episode");
+        assert!(sup.suppressed_replans() >= 1);
+        Ok(())
+    }
+
+    /// Without a detector the new machinery is inert: violated windows
+    /// drive the repair loop exactly as before.
+    #[test]
+    fn no_detector_means_every_violation_is_degradation() -> Result<(), String> {
+        let (p, _) = problem(3, 0.4);
+        let (placement, deployment) = deployed(&p)?;
+        let mut sup = Supervisor::new(
+            &p,
+            &placement,
+            &deployment,
+            &AlwaysFits,
+            SupervisorConfig::default(),
+        );
+        let dead = placement.subgroups[0].server;
+        sup.on_fault(100, &FaultKind::LinkDown { server: dead });
+        // Even surge-shaped samples cannot suppress anything.
+        let samples = [sample(0, 1, 5000, 2000), sample(1, 1, 5000, 2000)];
+        sup.on_window(WIN, &samples, &[violation(WIN)]);
+        let samples = [sample(0, 2, 5000, 2000), sample(1, 2, 5000, 2000)];
+        let action = sup.on_window(2 * WIN, &samples, &[violation(2 * WIN)]);
+        assert!(matches!(action, ControlAction::StageCommit { .. }));
+        assert_eq!(sup.repair_attempts(), 1);
+        assert_eq!(sup.suppressed_replans(), 0);
+        Ok(())
+    }
+
     #[test]
     fn hysteresis_delays_action() -> Result<(), String> {
         let (p, _) = problem(3, 0.4);
@@ -816,7 +1507,7 @@ mod tests {
         assert_eq!(sup.state(), SupervisorState::Draining);
         match action {
             ControlAction::StageCommit { staged, .. } => assert!(!staged.is_rollback()),
-            ControlAction::Continue => unreachable!(),
+            _ => unreachable!(),
         }
         Ok(())
     }
@@ -897,7 +1588,7 @@ mod tests {
                     "probation violation must stage a rollback"
                 )
             }
-            ControlAction::Continue => panic!("expected a rollback commit"),
+            _ => panic!("expected a rollback commit"),
         }
         sup.on_commit(9 * WIN + 200_000, 2, 3, true);
         assert_eq!(sup.state(), SupervisorState::Monitoring);
@@ -1144,18 +1835,20 @@ mod tests {
         let mut sup = Supervisor::new(&p, &placement, &deployment, &AlwaysFits, cfg);
         let mut testbed =
             Testbed::build(&p, &placement, deployment).map_err(|e| format!("build: {e:?}"))?;
-        let report = testbed.run_scenario_supervised(
-            &scenario,
-            &specs,
-            config,
-            &lemur_dataplane::FaultPlan::empty(),
-            &slos,
-            &HybridMode::Hybrid(HybridConfig {
-                heavy_min_packets: theta,
-                capacity_bps: vec![],
-            }),
-            &mut sup,
-        );
+        let report = testbed
+            .run_scenario_supervised(
+                &scenario,
+                &specs,
+                config,
+                &lemur_dataplane::FaultPlan::empty(),
+                &slos,
+                &HybridMode::Hybrid(HybridConfig {
+                    heavy_min_packets: theta,
+                    ..HybridConfig::default()
+                }),
+                &mut sup,
+            )
+            .map_err(|e| format!("scenario: {e}"))?;
 
         assert!(report.ledger.balanced(), "ledger: {:?}", report.ledger);
         let violated_chains: Vec<usize> = report

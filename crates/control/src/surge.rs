@@ -1,0 +1,294 @@
+//! Surge detection: telling *overload* apart from *degradation*.
+//!
+//! The supervisor's repair loop assumes a violated guard window means
+//! the rack got worse — a dead link, a failed core, a drifted profile.
+//! Under a DDoS or flash crowd that assumption inverts: the rack is
+//! fine, the *offered load* is the anomaly, and replanning placements
+//! cannot manufacture capacity that was never provisioned. Worse, a
+//! replan under overload churns the dataplane exactly when it can least
+//! afford update-time loss.
+//!
+//! The [`SurgeDetector`] classifies each guard window from three
+//! tail-inclusive signals the dataplane already measures per
+//! [`WindowSample`]:
+//!
+//! * **rate residual** — arrivals exceed the workload's *declared*
+//!   intensity (the scenario's non-junk packet rate) by more than
+//!   `residual_frac`;
+//! * **junk fraction** — DDoS-flagged arrivals exceed `junk_frac` of
+//!   the window's arrivals;
+//! * **backlog level** — the fluid queue holds at least `backlog_min`
+//!   packets at window close. This is a *level*, not a growth rate, so
+//!   the drain windows after a burst stay classified as overload
+//!   instead of triggering a spurious repair while the queue empties.
+//!
+//! Classification is hysteretic in both directions (`k_up` surging
+//! windows to enter [`SurgeClass::Overload`], `k_down` calm windows to
+//! leave), mirroring the supervisor's own violation hysteresis so the
+//! two state machines cannot chatter against each other.
+
+use lemur_dataplane::{Scenario, WindowSample};
+
+/// What a violation burst looks like to the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurgeClass {
+    /// The offered load is anomalous (flash crowd, DDoS, or residual
+    /// queue drain): repair cannot help; the degradation ladder can.
+    Overload,
+    /// No load anomaly: violations mean something actually broke, and
+    /// the normal detect → repair → commit loop applies.
+    Degradation,
+}
+
+/// Detector thresholds. Times are virtual; rates are packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgeConfig {
+    /// Fractional headroom over the declared per-window arrival mass
+    /// before arrivals alone mark the window surging (0.5 = 50% over).
+    pub residual_frac: f64,
+    /// Junk fraction of arrivals above which the window is surging.
+    pub junk_frac: f64,
+    /// Fluid-queue backlog (packets, at window close) at or above which
+    /// the window is surging. A level, not a growth rate — see module
+    /// docs for why drain windows must stay classified as overload.
+    pub backlog_min: u64,
+    /// Consecutive surging windows before the class flips to Overload.
+    pub k_up: u32,
+    /// Consecutive calm windows before it flips back to Degradation.
+    pub k_down: u32,
+}
+
+impl Default for SurgeConfig {
+    fn default() -> SurgeConfig {
+        SurgeConfig {
+            residual_frac: 0.5,
+            junk_frac: 0.1,
+            backlog_min: 1,
+            k_up: 2,
+            k_down: 2,
+        }
+    }
+}
+
+/// Windowed overload classifier; feed it every guard-window batch.
+#[derive(Debug, Clone)]
+pub struct SurgeDetector {
+    cfg: SurgeConfig,
+    /// Declared legitimate intensity per chain, packets per nanosecond.
+    declared_ppns: Vec<f64>,
+    up_streak: u32,
+    down_streak: u32,
+    overload: bool,
+}
+
+impl SurgeDetector {
+    /// Build from explicit per-chain declared intensities (packets/ns).
+    pub fn new(declared_ppns: Vec<f64>, cfg: SurgeConfig) -> SurgeDetector {
+        SurgeDetector {
+            cfg,
+            declared_ppns,
+            up_streak: 0,
+            down_streak: 0,
+            overload: false,
+        }
+    }
+
+    /// Derive declared intensities from a materialized scenario: each
+    /// chain's *non-junk* packet mass averaged over the horizon. Junk
+    /// flows are excluded by construction — they are the anomaly the
+    /// detector exists to notice.
+    pub fn for_scenario(scenario: &Scenario, cfg: SurgeConfig) -> SurgeDetector {
+        let horizon = scenario.horizon_ns.max(1) as f64;
+        let mut packets = vec![0u64; scenario.n_chains];
+        for f in &scenario.flows {
+            if !f.ddos {
+                if let Some(p) = packets.get_mut(f.chain) {
+                    *p += f.packets;
+                }
+            }
+        }
+        let declared = packets.iter().map(|&p| p as f64 / horizon).collect();
+        SurgeDetector::new(declared, cfg)
+    }
+
+    /// Current classification without observing anything new.
+    pub fn class(&self) -> SurgeClass {
+        if self.overload {
+            SurgeClass::Overload
+        } else {
+            SurgeClass::Degradation
+        }
+    }
+
+    /// True while the detector classifies the episode as overload.
+    pub fn is_overload(&self) -> bool {
+        self.overload
+    }
+
+    /// Feed one guard-window close (all chains' samples for the window)
+    /// and return the updated classification.
+    pub fn observe(&mut self, samples: &[WindowSample]) -> SurgeClass {
+        let surging = samples.iter().any(|w| self.window_is_surging(w));
+        if surging {
+            self.up_streak += 1;
+            self.down_streak = 0;
+            if self.up_streak >= self.cfg.k_up {
+                self.overload = true;
+            }
+        } else {
+            self.down_streak += 1;
+            self.up_streak = 0;
+            if self.down_streak >= self.cfg.k_down {
+                self.overload = false;
+            }
+        }
+        self.class()
+    }
+
+    fn window_is_surging(&self, w: &WindowSample) -> bool {
+        let span_ns = w.end_ns.saturating_sub(w.start_ns) as f64;
+        let declared = self.declared_ppns.get(w.chain).copied().unwrap_or(0.0) * span_ns;
+        let rate_hot = span_ns > 0.0
+            && declared > 0.0
+            && w.arrived_packets as f64 > declared * (1.0 + self.cfg.residual_frac);
+        let junk_hot = w.arrived_packets > 0
+            && w.junk_packets as f64 > self.cfg.junk_frac * w.arrived_packets as f64;
+        let backlog_hot = w.backlog_packets >= self.cfg.backlog_min.max(1);
+        rate_hot || junk_hot || backlog_hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(chain: usize, start_ns: u64, arrived: u64, junk: u64, backlog: u64) -> WindowSample {
+        WindowSample {
+            start_ns,
+            end_ns: start_ns + 1_000_000,
+            chain,
+            delivered_bps: 0.0,
+            delivered_packets: arrived,
+            dropped_packets: 0,
+            mean_latency_ns: 0.0,
+            arrived_packets: arrived,
+            junk_packets: junk,
+            backlog_packets: backlog,
+        }
+    }
+
+    /// 1000 packets per 1 ms window declared on chain 0.
+    fn detector(cfg: SurgeConfig) -> SurgeDetector {
+        SurgeDetector::new(vec![1000.0 / 1_000_000.0], cfg)
+    }
+
+    #[test]
+    fn calm_traffic_stays_degradation() {
+        let mut d = detector(SurgeConfig::default());
+        for w in 0..10 {
+            let class = d.observe(&[window(0, w * 1_000_000, 1000, 0, 0)]);
+            assert_eq!(class, SurgeClass::Degradation, "window {w}");
+        }
+    }
+
+    #[test]
+    fn rate_residual_flips_after_k_up() {
+        let mut d = detector(SurgeConfig::default());
+        // 3× declared arrivals: first window is not yet enough (k_up = 2).
+        assert_eq!(
+            d.observe(&[window(0, 0, 3000, 0, 0)]),
+            SurgeClass::Degradation
+        );
+        assert_eq!(
+            d.observe(&[window(0, 1_000_000, 3000, 0, 0)]),
+            SurgeClass::Overload
+        );
+    }
+
+    #[test]
+    fn junk_fraction_alone_is_enough() {
+        let mut d = detector(SurgeConfig::default());
+        // Arrival mass within declared bounds, but 40% of it is junk.
+        for w in 0..2 {
+            d.observe(&[window(0, w * 1_000_000, 1000, 400, 0)]);
+        }
+        assert!(d.is_overload());
+    }
+
+    #[test]
+    fn backlog_level_keeps_drain_windows_overloaded() {
+        let mut d = detector(SurgeConfig::default());
+        for w in 0..2 {
+            d.observe(&[window(0, w * 1_000_000, 3000, 0, 500)]);
+        }
+        assert!(d.is_overload());
+        // Burst over: arrivals back to declared, but the queue is still
+        // draining. The backlog *level* holds the classification.
+        for w in 2..6 {
+            let class = d.observe(&[window(0, w * 1_000_000, 1000, 0, 100 - w * 10)]);
+            assert_eq!(class, SurgeClass::Overload, "drain window {w}");
+        }
+        // Queue empty: k_down calm windows flip it back.
+        d.observe(&[window(0, 6_000_000, 1000, 0, 0)]);
+        assert_eq!(
+            d.observe(&[window(0, 7_000_000, 1000, 0, 0)]),
+            SurgeClass::Degradation
+        );
+    }
+
+    #[test]
+    fn single_calm_window_does_not_reset_an_episode() {
+        let mut d = detector(SurgeConfig::default());
+        for w in 0..2 {
+            d.observe(&[window(0, w * 1_000_000, 3000, 0, 0)]);
+        }
+        assert!(d.is_overload());
+        // One calm window (k_down = 2): still overload.
+        d.observe(&[window(0, 2_000_000, 1000, 0, 0)]);
+        assert!(d.is_overload(), "hysteresis must ride through one lull");
+        d.observe(&[window(0, 3_000_000, 1000, 0, 0)]);
+        assert!(!d.is_overload());
+    }
+
+    #[test]
+    fn for_scenario_excludes_junk_from_declared() {
+        use lemur_dataplane::{ChainLoad, FlowSizeDist, ScenarioSpec, Surge, SurgeKind};
+        let spec = ScenarioSpec {
+            seed: 9,
+            horizon_ns: 10_000_000,
+            chains: vec![ChainLoad {
+                flows: 200,
+                flow_rate_pps: 200_000.0,
+                size: FlowSizeDist {
+                    alpha: 1.3,
+                    min_packets: 1,
+                    max_packets: 64,
+                },
+                diurnal: None,
+                surges: vec![Surge {
+                    kind: SurgeKind::Ddos,
+                    start_ns: 2_000_000,
+                    duration_ns: 5_000_000,
+                    factor: 4.0,
+                }],
+            }],
+        };
+        let scenario = spec.materialize();
+        let junk: u64 = scenario
+            .flows
+            .iter()
+            .filter(|f| f.ddos)
+            .map(|f| f.packets)
+            .sum();
+        assert!(junk > 0, "the surge must generate junk flows");
+        let legit: u64 = scenario
+            .flows
+            .iter()
+            .filter(|f| !f.ddos)
+            .map(|f| f.packets)
+            .sum();
+        let d = SurgeDetector::for_scenario(&scenario, SurgeConfig::default());
+        let expected = legit as f64 / scenario.horizon_ns as f64;
+        assert!((d.declared_ppns[0] - expected).abs() < 1e-12);
+    }
+}

@@ -131,6 +131,11 @@ pub enum WalRecord {
     /// `chain` was shed fleet-wide: no surviving PoP could satisfy its
     /// SLO, and by policy the lowest-priority chains go first.
     FleetShed { at_ns: u64, chain: usize },
+    /// The supervisor flipped DDoS-junk admission control (the first
+    /// rung of the graceful-degradation ladder). Journaled like a swap
+    /// intent so a recovered control plane knows whether the dataplane
+    /// is still denying junk.
+    AdmissionControl { at_ns: u64, deny: bool },
 }
 
 impl WalRecord {
@@ -143,7 +148,8 @@ impl WalRecord {
             | WalRecord::FleetGrant { at_ns, .. }
             | WalRecord::FleetRevoke { at_ns, .. }
             | WalRecord::FleetPopHealth { at_ns, .. }
-            | WalRecord::FleetShed { at_ns, .. } => *at_ns,
+            | WalRecord::FleetShed { at_ns, .. }
+            | WalRecord::AdmissionControl { at_ns, .. } => *at_ns,
         }
     }
 
@@ -233,6 +239,11 @@ impl WalRecord {
                 e.u64(*at_ns);
                 e.u64(*chain as u64);
             }
+            WalRecord::AdmissionControl { at_ns, deny } => {
+                e.u8(8);
+                e.u64(*at_ns);
+                e.u8(u8::from(*deny));
+            }
         }
         e.finish()
     }
@@ -287,6 +298,10 @@ impl WalRecord {
             7 => WalRecord::FleetShed {
                 at_ns: d.u64()?,
                 chain: d.u64()? as usize,
+            },
+            8 => WalRecord::AdmissionControl {
+                at_ns: d.u64()?,
+                deny: d.u8()? != 0,
             },
             _ => return Err(SnapshotError::Invalid("unknown WAL record tag")),
         };
@@ -523,6 +538,9 @@ pub struct WalSummary {
     /// Fleet view: chains shed fleet-wide and not since re-granted,
     /// ascending.
     pub fleet_shed: Vec<usize>,
+    /// True if the last journaled admission-control flip left the
+    /// dataplane denying DDoS-junk tail mass.
+    pub admission_deny: bool,
 }
 
 /// The outcome of replaying a possibly-torn durable journal image.
@@ -672,6 +690,7 @@ impl DecisionLog {
                         s.fleet_shed.insert(at, *chain);
                     }
                 }
+                WalRecord::AdmissionControl { deny, .. } => s.admission_deny = *deny,
             }
         }
         s
@@ -985,6 +1004,13 @@ impl Serialize for WalRecord {
                     ("chain".to_string(), chain.to_value()),
                 ],
             ),
+            WalRecord::AdmissionControl { at_ns, deny } => tagged(
+                "admission_control",
+                vec![
+                    ("at_ns".to_string(), at_ns.to_value()),
+                    ("deny".to_string(), deny.to_value()),
+                ],
+            ),
         }
     }
 }
@@ -1033,6 +1059,10 @@ impl Deserialize for WalRecord {
             "fleet_shed" => Ok(WalRecord::FleetShed {
                 at_ns: de_field(v, "at_ns")?,
                 chain: de_field(v, "chain")?,
+            }),
+            "admission_control" => Ok(WalRecord::AdmissionControl {
+                at_ns: de_field(v, "at_ns")?,
+                deny: de_field(v, "deny")?,
             }),
             _ => Err(DeError::expected("WAL record tag", v)),
         }
@@ -1295,7 +1325,27 @@ mod tests {
                 health: PopHealth::Suspect,
             },
             WalRecord::FleetShed { at_ns: 8, chain: 4 },
+            WalRecord::AdmissionControl {
+                at_ns: 9,
+                deny: true,
+            },
         ]
+    }
+
+    #[test]
+    fn admission_control_replays_to_last_flip() {
+        let mut log = DecisionLog::new();
+        log.append(WalRecord::AdmissionControl {
+            at_ns: 10,
+            deny: true,
+        });
+        assert!(log.replay().admission_deny);
+        log.append(WalRecord::AdmissionControl {
+            at_ns: 20,
+            deny: false,
+        });
+        assert!(!log.replay().admission_deny);
+        assert!(log.is_consistent(), "admission flips are not intents");
     }
 
     #[test]

@@ -103,11 +103,64 @@ pub struct HybridConfig {
     /// materialized; smaller flows join the analytic tail.
     pub heavy_min_packets: u64,
     /// Per-chain delivery capacity (bits/s) charged against tail mass
-    /// each window: tail packets beyond what the heavy path left of the
-    /// budget drop as [`DropReason::QueueOverflow`]. Empty disables the
-    /// constraint (the tail is assumed deliverable).
+    /// each window. Tail packets beyond what the heavy path left of the
+    /// budget queue in a fluid M/D/1-style backlog that drains at
+    /// capacity and contributes waiting time to the window's latency;
+    /// only mass past `queue_buffer_packets` drops as
+    /// [`DropReason::QueueOverflow`]. Empty disables the constraint
+    /// (the tail is assumed deliverable).
     pub capacity_bps: Vec<f64>,
+    /// Bound on the per-chain fluid-queue backlog (packets). Mass
+    /// arriving when the backlog is full overflows to
+    /// [`DropReason::QueueOverflow`]; `0` restores the drop-only
+    /// capacity budget (no queueing, no added waiting time).
+    pub queue_buffer_packets: u64,
 }
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            heavy_min_packets: 0,
+            capacity_bps: vec![],
+            queue_buffer_packets: 4096,
+        }
+    }
+}
+
+impl HybridConfig {
+    /// Reject silently-misbehaving capacity entries (zero, negative,
+    /// NaN, infinite) before a run starts.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        for (chain, &cap) in self.capacity_bps.iter().enumerate() {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(ScenarioError::InvalidCapacity { chain, value: cap });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a scenario run was refused before it started.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// `HybridConfig::capacity_bps[chain]` is zero, negative, NaN, or
+    /// infinite — each of which would silently disable or corrupt the
+    /// capacity budget instead of modelling a real link.
+    InvalidCapacity { chain: usize, value: f64 },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::InvalidCapacity { chain, value } => write!(
+                f,
+                "capacity_bps[{chain}] = {value} is not a positive finite rate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Uniform packet feed: the classic steady-rate generator or a
 /// materialized flow schedule (the hybrid engine's heavy-hitter set).
@@ -146,6 +199,12 @@ struct TailState {
     frame_bytes: Vec<u64>,
     /// Per-chain capacity (empty = unconstrained).
     capacity_bps: Vec<f64>,
+    /// Per-chain fluid-queue backlog (packets queued above capacity,
+    /// draining at capacity across subsequent windows).
+    backlog: Vec<u64>,
+    /// Backlog bound: mass past this overflows to
+    /// [`DropReason::QueueOverflow`].
+    buffer_packets: u64,
     /// Next full-window row of `plan.windows` to apply.
     next_window: usize,
     warmup_applied: bool,
@@ -205,6 +264,14 @@ enum Hop {
     /// Apply fault-plan event `i`. Declared first so that at equal
     /// `(time, id)` a fault applies before any packet hop.
     Fault(usize),
+    /// Pacemaker for the SLO-guard / tail window grid. Windows close
+    /// lazily as events pop, so without this a run whose heap holds no
+    /// packet events (e.g. a pure analytic-tail scenario) would close
+    /// every window in one catch-up burst at the first pop — handing the
+    /// control hook a garbage `now` and scheduling any staged swap after
+    /// the whole run. The tick pins each window boundary to a real heap
+    /// event; its handler is otherwise a no-op.
+    WindowTick,
     Inject(usize),
     AtTor,
     AtServer(usize),
@@ -286,6 +353,14 @@ pub enum ControlAction {
         staged: Box<StagedConfig>,
         drain_ns: u64,
     },
+    /// Flip per-chain tail admission control (the first, cheapest rung of
+    /// the graceful-degradation ladder): chains with `deny_junk[chain]`
+    /// set have their DDoS-flagged analytic-tail arrivals refused as
+    /// [`DropReason::Admission`] from this instant on. No epoch swap, no
+    /// drain window — it takes effect at the next tail application.
+    /// Only meaningful in hybrid runs (packet-level runs carry no junk
+    /// marking); a no-op there.
+    SetTailAdmission { deny_junk: Vec<bool> },
 }
 
 /// Control-plane logic running *inside* the simulation. The engine calls
@@ -486,7 +561,7 @@ impl Testbed {
         specs: &[TrafficSpec],
         config: SimConfig,
         mode: &HybridMode,
-    ) -> SimReport {
+    ) -> Result<SimReport, ScenarioError> {
         self.run_scenario_supervised(
             scenario,
             specs,
@@ -514,7 +589,10 @@ impl Testbed {
         slos: &[Option<Slo>],
         mode: &HybridMode,
         hook: &mut dyn ControlHook,
-    ) -> SimReport {
+    ) -> Result<SimReport, ScenarioError> {
+        if let HybridMode::Hybrid(hc) = mode {
+            hc.validate()?;
+        }
         assert_eq!(scenario.n_chains, self.n_chains, "one chain load per chain");
         assert_eq!(specs.len(), self.n_chains, "one spec per chain");
         let horizon_ns = ((config.warmup_s + config.duration_s) * 1e9) as u64;
@@ -558,11 +636,13 @@ impl Testbed {
                 ),
                 frame_bytes,
                 capacity_bps: hc.capacity_bps.clone(),
+                backlog: vec![0; self.n_chains],
+                buffer_packets: hc.queue_buffer_packets,
                 next_window: 0,
                 warmup_applied: false,
             }),
         };
-        self.run_internal(sources, tail, &offered, config, plan, slos, hook)
+        Ok(self.run_internal(sources, tail, &offered, config, plan, slos, hook))
     }
 
     /// Aggregate observables of every server-resident NF instance as
@@ -627,6 +707,15 @@ impl Testbed {
                 heap.push(Reverse((ev.at_ns, 0, Hop::Fault(fi))));
             }
         }
+        // One pacemaker tick per guard window (chained as they pop), so
+        // window closes — and the control hook's view of `now` — never
+        // depend on packet traffic existing. Window accounting is
+        // span-based, so runs that already had packet events are
+        // unchanged by the extra no-op pops.
+        let first_tick = warmup_ns + config.window_ns.max(1);
+        if (!slos.is_empty() || tail.is_some()) && first_tick <= horizon_ns {
+            heap.push(Reverse((first_tick, 0, Hop::WindowTick)));
+        }
         let mut fault_state = FaultState::healthy(self.servers.len());
         let mut timeline: Vec<TimelineEvent> = Vec::new();
         let mut ledger = ConservationLedger::default();
@@ -648,6 +737,9 @@ impl Testbed {
         let mut epoch: u64 = 0;
         let mut pending_swap: Option<Box<StagedConfig>> = None;
         let mut admitted: Vec<bool> = vec![true; self.n_chains];
+        // Tail admission control (ladder rung 1): per-chain junk denial,
+        // flipped by ControlAction::SetTailAdmission without an epoch swap.
+        let mut deny_junk: Vec<bool> = vec![false; self.n_chains];
         // The guard bounds are swappable (a commit replaces them so shed
         // chains stop being flagged), so keep a local copy.
         let mut slos_live: Vec<Option<Slo>> = slos.to_vec();
@@ -665,6 +757,7 @@ impl Testbed {
             end_ns: u64,
             start_ns: u64,
             acc: &mut [WindowAcc],
+            backlog: &[u64],
             windows: &mut Vec<WindowSample>,
             timeline: &mut Vec<TimelineEvent>,
             slos: &[Option<Slo>],
@@ -685,6 +778,9 @@ impl Testbed {
                     delivered_packets: a.packets,
                     dropped_packets: a.drops,
                     mean_latency_ns,
+                    arrived_packets: a.arrivals,
+                    junk_packets: a.junk,
+                    backlog_packets: backlog.get(ci).copied().unwrap_or(0),
                 });
                 if let Some(Some(slo)) = slos.get(ci) {
                     if delivered_bps < slo.t_min_bps {
@@ -712,20 +808,32 @@ impl Testbed {
             }
         }
 
-        // Apply a hook's verdict: stage at most one pending swap.
+        // Apply a hook's verdict: stage at most one pending swap, or flip
+        // tail admission control in place.
         macro_rules! handle_action {
             ($action:expr, $now:expr) => {
-                if let ControlAction::StageCommit { staged, drain_ns } = $action {
-                    if pending_swap.is_none() {
-                        debug_assert_eq!(staged.admitted.len(), self.n_chains);
-                        debug_assert_eq!(staged.slos.len(), self.n_chains);
-                        timeline.push(TimelineEvent::DrainStart {
+                match $action {
+                    ControlAction::Continue => {}
+                    ControlAction::SetTailAdmission { deny_junk: dj } => {
+                        debug_assert_eq!(dj.len(), self.n_chains);
+                        timeline.push(TimelineEvent::AdmissionChange {
                             at_ns: $now,
-                            epoch,
-                            rollback: staged.rollback,
+                            deny_junk: dj.clone(),
                         });
-                        heap.push(Reverse(($now + drain_ns, 0, Hop::EpochSwap)));
-                        pending_swap = Some(staged);
+                        deny_junk = dj;
+                    }
+                    ControlAction::StageCommit { staged, drain_ns } => {
+                        if pending_swap.is_none() {
+                            debug_assert_eq!(staged.admitted.len(), self.n_chains);
+                            debug_assert_eq!(staged.slos.len(), self.n_chains);
+                            timeline.push(TimelineEvent::DrainStart {
+                                at_ns: $now,
+                                epoch,
+                                rollback: staged.rollback,
+                            });
+                            heap.push(Reverse(($now + drain_ns, 0, Hop::EpochSwap)));
+                            pending_swap = Some(staged);
+                        }
                     }
                 }
             };
@@ -748,6 +856,7 @@ impl Testbed {
                             &mut self.servers,
                             &self.nf_index,
                             &admitted,
+                            &deny_junk,
                             &mut stats,
                             &mut window_acc,
                             &mut ledger,
@@ -757,6 +866,7 @@ impl Testbed {
                         end,
                         window_start,
                         &mut window_acc,
+                        tail.as_ref().map(|t| t.backlog.as_slice()).unwrap_or(&[]),
                         &mut windows,
                         &mut timeline,
                         &slos_live,
@@ -818,6 +928,12 @@ impl Testbed {
                     };
                     debug_assert_eq!(t, now);
                     ledger.injected += 1;
+                    if now >= warmup_ns && now < horizon_ns {
+                        // Arrival accounting happens before any admission
+                        // decision — identically in packet-level and hybrid
+                        // runs, so θ=0 equivalence holds field-for-field.
+                        window_acc[ci].arrivals += 1;
+                    }
                     if !admitted[ci] {
                         // The chain is shed in the current epoch: refuse
                         // admission. The source still advances so the
@@ -1155,6 +1271,14 @@ impl Testbed {
                         ),
                     }
                 }
+                Hop::WindowTick => {
+                    // The catch-up loop above already closed the window
+                    // this tick paces; just chain the next one.
+                    let next = now + window_ns;
+                    if next <= horizon_ns {
+                        heap.push(Reverse((next, 0, Hop::WindowTick)));
+                    }
+                }
                 Hop::EpochSwap => {
                     let Some(mut staged) = pending_swap.take().map(|b| *b) else {
                         continue;
@@ -1250,6 +1374,7 @@ impl Testbed {
                         &mut self.servers,
                         &self.nf_index,
                         &admitted,
+                        &deny_junk,
                         &mut stats,
                         &mut window_acc,
                         &mut ledger,
@@ -1259,6 +1384,7 @@ impl Testbed {
                     end,
                     window_start,
                     &mut window_acc,
+                    tail.as_ref().map(|t| t.backlog.as_slice()).unwrap_or(&[]),
                     &mut windows,
                     &mut timeline,
                     &slos_live,
@@ -1274,12 +1400,20 @@ impl Testbed {
                 &mut self.servers,
                 &self.nf_index,
                 &admitted,
+                &deny_junk,
                 &mut stats,
                 &mut window_acc,
                 &mut ledger,
             );
         }
-        ledger.in_flight_at_end = packets.len() as u64;
+        // Undrained fluid-queue backlog at the horizon is in flight, not
+        // lost: it balances the ledger exactly like packets still on the
+        // wire.
+        ledger.in_flight_at_end = packets.len() as u64
+            + tail
+                .as_ref()
+                .map(|t| t.backlog.iter().sum::<u64>())
+                .unwrap_or(0);
 
         if std::env::var("LEMUR_DBG").is_ok() {
             eprintln!(
@@ -1582,9 +1716,15 @@ struct WindowAcc {
     packets: u64,
     drops: u64,
     lat_sum: f64,
-    /// Deliveries that contributed to `lat_sum` — strictly the packet
-    /// path; analytic-tail deliveries bump `packets` only.
+    /// Deliveries that contributed to `lat_sum` — the packet path plus,
+    /// when the fluid queue is active, analytic-tail mass served through
+    /// it (its Little's-law waiting time lands in `lat_sum`).
     lat_packets: u64,
+    /// Arrivals before any shed/admission/capacity decision: heavy-path
+    /// injects plus analytic-tail mass.
+    arrivals: u64,
+    /// DDoS-flagged analytic-tail arrivals (0 in packet-level runs).
+    junk: u64,
 }
 
 /// Apply the tail cells owed before the guard window ending at
@@ -1598,6 +1738,7 @@ fn advance_tail(
     servers: &mut [Option<ServerSim>],
     nf_index: &[NfLocator],
     admitted: &[bool],
+    deny_junk: &[bool],
     stats: &mut [ChainStats],
     window_acc: &mut [WindowAcc],
     ledger: &mut ConservationLedger,
@@ -1606,6 +1747,8 @@ fn advance_tail(
         plan,
         frame_bytes,
         capacity_bps,
+        backlog,
+        buffer_packets,
         next_window,
         warmup_applied,
     } = ts;
@@ -1619,9 +1762,12 @@ fn advance_tail(
             false,
             frame_bytes,
             capacity_bps,
+            backlog,
+            *buffer_packets,
             servers,
             nf_index,
             admitted,
+            deny_junk,
             stats,
             window_acc,
             ledger,
@@ -1637,9 +1783,12 @@ fn advance_tail(
             true,
             frame_bytes,
             capacity_bps,
+            backlog,
+            *buffer_packets,
             servers,
             nf_index,
             admitted,
+            deny_junk,
             stats,
             window_acc,
             ledger,
@@ -1651,11 +1800,13 @@ fn advance_tail(
 /// warm-up cell, any unreached window rows, and the final partial-window
 /// `rest` span (measured, but not capacity-constrained — it is not a full
 /// guard window).
+#[allow(clippy::too_many_arguments)]
 fn finish_tail(
     ts: &mut TailState,
     servers: &mut [Option<ServerSim>],
     nf_index: &[NfLocator],
     admitted: &[bool],
+    deny_junk: &[bool],
     stats: &mut [ChainStats],
     window_acc: &mut [WindowAcc],
     ledger: &mut ConservationLedger,
@@ -1664,6 +1815,8 @@ fn finish_tail(
         plan,
         frame_bytes,
         capacity_bps,
+        backlog,
+        buffer_packets,
         next_window,
         warmup_applied,
     } = ts;
@@ -1677,9 +1830,12 @@ fn finish_tail(
             false,
             frame_bytes,
             capacity_bps,
+            backlog,
+            *buffer_packets,
             servers,
             nf_index,
             admitted,
+            deny_junk,
             stats,
             window_acc,
             ledger,
@@ -1696,9 +1852,12 @@ fn finish_tail(
             true,
             frame_bytes,
             capacity_bps,
+            backlog,
+            *buffer_packets,
             servers,
             nf_index,
             admitted,
+            deny_junk,
             stats,
             window_acc,
             ledger,
@@ -1714,9 +1873,12 @@ fn finish_tail(
             false,
             frame_bytes,
             capacity_bps,
+            backlog,
+            *buffer_packets,
             servers,
             nf_index,
             admitted,
+            deny_junk,
             stats,
             window_acc,
             ledger,
@@ -1724,13 +1886,16 @@ fn finish_tail(
     }
 }
 
-/// Charge one span's tail cells: conservation ledger, shed/capacity
-/// drops, batched NF aggregates down the chain, and delivered mass.
-/// `measured` spans (inside `[warmup, horizon)`) also count toward chain
-/// stats and the open guard window; `constrain` spans are charged
-/// against the per-chain capacity left over by the heavy path. Latency
-/// accumulators are untouched — analytic flows carry no per-packet
-/// latency samples.
+/// Charge one span's tail cells: conservation ledger, shed, admission
+/// control, the fluid queue's backlog and overflow, batched NF
+/// aggregates down the chain, and delivered mass. `measured` spans
+/// (inside `[warmup, horizon)`) also count toward chain stats and the
+/// open guard window; `constrain` spans are charged against the
+/// per-chain capacity left over by the heavy path. Tail mass above
+/// capacity queues in `backlog` (bounded by `buffer_packets`, overflow
+/// drops as [`DropReason::QueueOverflow`]) and its Little's-law waiting
+/// time lands in the window's latency accumulators, so the SLO guard
+/// sees surge-induced latency, not just loss.
 #[allow(clippy::too_many_arguments)]
 fn apply_tail_cells(
     cells: &[TailCell],
@@ -1740,47 +1905,113 @@ fn apply_tail_cells(
     constrain: bool,
     frame_bytes: &[u64],
     capacity_bps: &[f64],
+    backlog: &mut [u64],
+    buffer_packets: u64,
     servers: &mut [Option<ServerSim>],
     nf_index: &[NfLocator],
     admitted: &[bool],
+    deny_junk: &[bool],
     stats: &mut [ChainStats],
     window_acc: &mut [WindowAcc],
     ledger: &mut ConservationLedger,
 ) {
     for (ci, cell) in cells.iter().enumerate() {
-        if cell.is_empty() {
-            // Zero-mass cells leave no trace, so a hybrid run whose tail
-            // is empty stays bit-identical to its packet-level twin.
+        if cell.is_empty() && (!constrain || backlog[ci] == 0) {
+            // Zero-mass cells (with no queued carry-over) leave no
+            // trace, so a hybrid run whose tail is empty stays
+            // bit-identical to its packet-level twin.
             continue;
         }
         ledger.injected += cell.packets;
+        if measured {
+            window_acc[ci].arrivals += cell.packets;
+            window_acc[ci].junk += cell.junk_packets;
+        }
         if !admitted[ci] {
-            ledger.record_drops(DropReason::Shed, cell.packets);
+            // A shed chain refuses new arrivals *and* flushes whatever
+            // its queue still holds — shed mass must not strand in the
+            // backlog where it would read as in-flight forever.
+            let shed = cell.packets + backlog[ci];
+            backlog[ci] = 0;
+            ledger.record_drops(DropReason::Shed, shed);
             if measured {
-                stats[ci].record_drops(DropReason::Shed, cell.packets);
-                window_acc[ci].drops += cell.packets;
+                stats[ci].record_drops(DropReason::Shed, shed);
+                window_acc[ci].drops += shed;
             }
             continue;
         }
+        // Ladder rung 1: admission control denies the DDoS-flagged junk
+        // slice before it can queue (typed, exact in the ledger).
         let mut pkts = cell.packets;
+        let mut new_flows = cell.new_flows;
+        if deny_junk.get(ci).copied().unwrap_or(false) && cell.junk_packets > 0 {
+            pkts -= cell.junk_packets;
+            new_flows -= cell.junk_flows;
+            ledger.record_drops(DropReason::Admission, cell.junk_packets);
+            if measured {
+                stats[ci].record_drops(DropReason::Admission, cell.junk_packets);
+                window_acc[ci].drops += cell.junk_packets;
+            }
+        }
         let frame = frame_bytes[ci].max(1);
         if constrain {
             if let Some(&cap) = capacity_bps.get(ci) {
                 if cap > 0.0 {
-                    let span_s = (span_end_ns - span_start_ns) as f64 / 1e9;
+                    let span_ns = span_end_ns - span_start_ns;
+                    let span_s = span_ns as f64 / 1e9;
                     // Whatever the heavy path already delivered this
                     // window has consumed its share of the budget.
                     let budget = ((cap * span_s / (frame * 8) as f64) as u64)
                         .saturating_sub(window_acc[ci].packets);
-                    if pkts > budget {
-                        let excess = pkts - budget;
-                        pkts = budget;
-                        ledger.record_drops(DropReason::QueueOverflow, excess);
+                    // Fluid M/D/1 step: last window's backlog plus this
+                    // window's arrivals drain at the leftover capacity;
+                    // what doesn't fit queues up to the buffer bound and
+                    // overflows past it.
+                    let b0 = backlog[ci];
+                    let demand = b0 + pkts;
+                    let served = demand.min(budget);
+                    let queued_after = demand - served;
+                    let over = queued_after.saturating_sub(buffer_packets);
+                    if over > 0 {
+                        ledger.record_drops(DropReason::QueueOverflow, over);
                         if measured {
-                            stats[ci].record_drops(DropReason::QueueOverflow, excess);
-                            window_acc[ci].drops += excess;
+                            stats[ci].record_drops(DropReason::QueueOverflow, over);
+                            window_acc[ci].drops += over;
                         }
                     }
+                    backlog[ci] = queued_after - over;
+                    if measured && buffer_packets > 0 && span_ns > 0 {
+                        // Little's law: total waiting time equals the
+                        // integral of the queue length over the span.
+                        // Q(t) is piecewise linear from b0 at slope
+                        // g = λ − μ, clamped at the buffer going up and
+                        // at zero going down.
+                        let span = span_ns as f64;
+                        let lam = pkts as f64 / span;
+                        let mu = budget as f64 / span;
+                        let g = lam - mu;
+                        let b0f = b0 as f64;
+                        let buf = buffer_packets as f64;
+                        let wait = if g > 0.0 {
+                            if b0f >= buf {
+                                buf * span
+                            } else {
+                                let t_b = ((buf - b0f) / g).min(span);
+                                b0f * t_b + 0.5 * g * t_b * t_b + buf * (span - t_b)
+                            }
+                        } else if g < 0.0 {
+                            let t_e = (b0f / -g).min(span);
+                            b0f * t_e - 0.5 * -g * t_e * t_e
+                        } else {
+                            b0f * span
+                        };
+                        if wait > 0.0 {
+                            let w = &mut window_acc[ci];
+                            w.lat_sum += wait;
+                            w.lat_packets += served;
+                        }
+                    }
+                    pkts = served;
                 }
             }
         }
@@ -1805,7 +2036,7 @@ fn apply_tail_cells(
             for (r, loc) in nf_index[i..j].iter().enumerate() {
                 let r = r as u64;
                 let share_p = pkts / replicas + u64::from(r < pkts % replicas);
-                let share_f = cell.new_flows / replicas + u64::from(r < cell.new_flows % replicas);
+                let share_f = new_flows / replicas + u64::from(r < new_flows % replicas);
                 if share_p == 0 && share_f == 0 {
                     continue;
                 }

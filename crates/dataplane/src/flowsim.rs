@@ -259,6 +259,11 @@ pub struct TailCell {
     pub packets: u64,
     pub bytes: u64,
     pub new_flows: u64,
+    /// The subset of `packets` carried by [`SurgeKind::Ddos`] junk flows
+    /// — the mass overload admission control may deny.
+    pub junk_packets: u64,
+    /// The subset of `new_flows` that are junk flows.
+    pub junk_flows: u64,
 }
 
 impl TailCell {
@@ -366,8 +371,14 @@ impl Scenario {
                     };
                     cell.packets += n;
                     cell.bytes += n * frame_len[f.chain];
+                    if f.ddos {
+                        cell.junk_packets += n;
+                    }
                     if i == first {
                         cell.new_flows += 1;
+                        if f.ddos {
+                            cell.junk_flows += 1;
+                        }
                     }
                 }
                 if before_end == f.packets {
@@ -620,6 +631,36 @@ mod tests {
         for c in plan.windows.iter().flat_map(|w| w.iter()) {
             assert_eq!(c.bytes, c.packets * 100);
         }
+    }
+
+    #[test]
+    fn tail_plan_splits_junk_mass_exactly() {
+        let mut sp = spec();
+        sp.chains[0].surges = vec![Surge {
+            kind: SurgeKind::Ddos,
+            start_ns: 2_000_000,
+            duration_ns: 5_000_000,
+            factor: 3.0,
+        }];
+        let s = sp.materialize();
+        let junk_total: u64 = s.flows.iter().filter(|f| f.ddos).map(|f| f.packets).sum();
+        let junk_flows = s.flows.iter().filter(|f| f.ddos).count() as u64;
+        let plan = s.tail_plan(u64::MAX, 1_000_000, 1_000_000, &[100]);
+        let cells = plan
+            .warmup
+            .iter()
+            .chain(plan.windows.iter().flat_map(|w| w.iter()))
+            .chain(plan.rest.iter());
+        let (mut jp, mut jf) = (0u64, 0u64);
+        for c in cells {
+            assert!(c.junk_packets <= c.packets, "junk is a subset of packets");
+            assert!(c.junk_flows <= c.new_flows, "junk flows subset");
+            jp += c.junk_packets;
+            jf += c.junk_flows;
+        }
+        assert!(junk_total > 0, "vacuous: no junk generated");
+        assert_eq!(jp, junk_total);
+        assert_eq!(jf, junk_flows);
     }
 
     #[test]

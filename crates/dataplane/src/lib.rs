@@ -30,7 +30,7 @@ pub mod validate;
 
 pub use engine::{
     BuildError, ControlAction, ControlHook, HybridConfig, HybridMode, NoopHook, RuntimeMode,
-    SimConfig, StagedConfig, Testbed,
+    ScenarioError, SimConfig, StagedConfig, Testbed,
 };
 pub use faults::{
     ChannelFault, ChannelFaultKind, FaultEvent, FaultKind, FaultPlan, FaultPlanError,

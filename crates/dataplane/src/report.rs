@@ -22,6 +22,10 @@ pub enum DropReason {
     Reconfig,
     /// The chain was shed by the supervisor (admission denied at inject).
     Shed,
+    /// Admission control: the supervisor's overload ladder denied the
+    /// junk/low-priority tail before it could queue (distinct from
+    /// [`DropReason::Shed`], which refuses a whole chain).
+    Admission,
 }
 
 /// Per-chain measurements.
@@ -46,6 +50,8 @@ pub struct ChainStats {
     pub drops_reconfig: u64,
     /// Packets refused at inject because the chain was shed.
     pub drops_shed: u64,
+    /// Junk tail packets denied by overload admission control.
+    pub drops_admission: u64,
     /// Mean end-to-end latency of delivered packets (ns).
     pub mean_latency_ns: f64,
     /// Maximum observed latency (ns).
@@ -69,6 +75,7 @@ impl ChainStats {
             DropReason::Fault => self.drops_fault += n,
             DropReason::Reconfig => self.drops_reconfig += n,
             DropReason::Shed => self.drops_shed += n,
+            DropReason::Admission => self.drops_admission += n,
         }
     }
 }
@@ -90,7 +97,9 @@ pub struct ConservationLedger {
     pub drops_fault: u64,
     pub drops_reconfig: u64,
     pub drops_shed: u64,
-    /// Packets still in flight when the simulation horizon was reached.
+    pub drops_admission: u64,
+    /// Packets still in flight when the simulation horizon was reached
+    /// (packet-path in-flight plus any undrained analytic-tail backlog).
     pub in_flight_at_end: u64,
 }
 
@@ -109,6 +118,7 @@ impl ConservationLedger {
             DropReason::Fault => self.drops_fault += n,
             DropReason::Reconfig => self.drops_reconfig += n,
             DropReason::Shed => self.drops_shed += n,
+            DropReason::Admission => self.drops_admission += n,
         }
     }
 
@@ -119,6 +129,7 @@ impl ConservationLedger {
             + self.drops_fault
             + self.drops_reconfig
             + self.drops_shed
+            + self.drops_admission
     }
 
     /// Exact conservation: injected = delivered + drops + in-flight.
@@ -187,6 +198,11 @@ pub enum TimelineEvent {
         epoch: u64,
         error: MigrationError,
     },
+    /// The control hook flipped per-chain tail admission control (the
+    /// first rung of the graceful-degradation ladder): chains with
+    /// `deny_junk[chain]` set have their DDoS-flagged tail arrivals
+    /// refused as [`DropReason::Admission`] from this instant on.
+    AdmissionChange { at_ns: u64, deny_junk: Vec<bool> },
 }
 
 impl TimelineEvent {
@@ -198,6 +214,7 @@ impl TimelineEvent {
             TimelineEvent::EpochCommit { at_ns, .. } => *at_ns,
             TimelineEvent::Migration { at_ns, .. } => *at_ns,
             TimelineEvent::MigrationAborted { at_ns, .. } => *at_ns,
+            TimelineEvent::AdmissionChange { at_ns, .. } => *at_ns,
         }
     }
 }
@@ -213,7 +230,19 @@ pub struct WindowSample {
     pub delivered_packets: u64,
     pub dropped_packets: u64,
     /// Mean latency of packets delivered in the window (0 if none).
+    /// Includes analytic-tail queueing delay when the fluid queue is
+    /// active, so surge-induced latency reaches the SLO guard.
     pub mean_latency_ns: f64,
+    /// Arrivals charged to this window (heavy-path injects plus
+    /// analytic-tail mass), before any shed/admission/capacity decision —
+    /// the offered-load signal a surge detector compares against the
+    /// declared intensity.
+    pub arrived_packets: u64,
+    /// Arrivals flagged as DDoS junk (analytic tail only; the packet
+    /// path carries no junk marking, so this is 0 in packet-level runs).
+    pub junk_packets: u64,
+    /// Fluid-queue backlog at window close (0 when the queue is off).
+    pub backlog_packets: u64,
 }
 
 /// A full simulation report.
@@ -341,30 +370,34 @@ mod tests {
         s.record_drop(DropReason::Verdict);
         s.record_drop(DropReason::Reconfig);
         s.record_drop(DropReason::Shed);
-        assert_eq!(s.dropped_packets, 6);
+        s.record_drops(DropReason::Admission, 2);
+        assert_eq!(s.dropped_packets, 8);
         assert_eq!(
             s.drops_queue
                 + s.drops_hops
                 + s.drops_verdict
                 + s.drops_fault
                 + s.drops_reconfig
-                + s.drops_shed,
+                + s.drops_shed
+                + s.drops_admission,
             s.dropped_packets
         );
         assert_eq!(s.drops_fault, 2);
         assert_eq!(s.drops_reconfig, 1);
         assert_eq!(s.drops_shed, 1);
+        assert_eq!(s.drops_admission, 2);
     }
 
     #[test]
     fn ledger_balances() {
         let mut l = ConservationLedger {
-            injected: 10,
+            injected: 11,
             delivered: 6,
             ..Default::default()
         };
         l.record_drop(DropReason::Reconfig);
         l.record_drop(DropReason::Fault);
+        l.record_drop(DropReason::Admission);
         l.in_flight_at_end = 2;
         assert!(l.balanced());
         l.injected += 1;

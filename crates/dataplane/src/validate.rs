@@ -456,6 +456,105 @@ mod tests {
         );
     }
 
+    mod degenerate {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A spec strategy that leans into the validator's edge cases:
+        /// tiny (possibly zero) flow counts, point-mass size
+        /// distributions (`min == max`), tail indices straddling the
+        /// α = 1 limit of the capped-mean integral, and windows as large
+        /// as (or larger than) the whole horizon.
+        fn degenerate_spec() -> impl Strategy<Value = ScenarioSpec> {
+            (
+                (any::<u64>(), 0usize..60, 1_000.0f64..1e6),
+                (0.5f64..3.0, 1u64..10, 0u64..400, 1_000_000u64..20_000_000),
+            )
+                .prop_map(
+                    |((seed, flows, rate), (alpha, min_packets, extra, horizon_ns))| ScenarioSpec {
+                        seed,
+                        horizon_ns,
+                        chains: vec![ChainLoad {
+                            flows,
+                            flow_rate_pps: rate,
+                            size: FlowSizeDist {
+                                alpha,
+                                min_packets,
+                                max_packets: min_packets + extra,
+                            },
+                            diurnal: None,
+                            surges: vec![],
+                        }],
+                    },
+                )
+        }
+
+        fn finite(p: &TrafficProfile) -> bool {
+            p.mean_rate_pps.is_finite()
+                && p.window_cv.is_finite()
+                && p.burst_factor.is_finite()
+                && p.tail_alpha.map(f64::is_finite).unwrap_or(true)
+        }
+
+        proptest! {
+            /// The Hill estimator must answer every input with `None` or
+            /// a finite positive estimate — never a panic, NaN, or ±∞.
+            /// The generator covers the degenerate shapes directly:
+            /// empty input, fewer samples than the order-statistic floor,
+            /// and all-equal sizes (whose log-spacings sum to zero).
+            #[test]
+            fn hill_estimator_total_on_arbitrary_sizes(
+                mut sizes in prop::collection::vec(any::<u64>(), 0..200),
+            ) {
+                if let Some(est) = hill_estimator(&mut sizes) {
+                    prop_assert!(est.is_finite() && est > 0.0, "estimate {est}");
+                }
+            }
+
+            /// All-equal sizes have no measurable tail: the estimator
+            /// must decline (its log-sum is exactly zero) rather than
+            /// divide by it.
+            #[test]
+            fn hill_estimator_declines_point_mass(
+                n in 0usize..100,
+                v in 1u64..1_000_000,
+            ) {
+                prop_assert_eq!(hill_estimator(&mut vec![v; n]), None);
+            }
+
+            /// Below 20 samples there are not enough order statistics:
+            /// always `None`, even for perfectly heavy-tailed data.
+            #[test]
+            fn hill_estimator_declines_short_input(
+                mut sizes in prop::collection::vec(1u64..1_000_000, 0..20),
+            ) {
+                prop_assert_eq!(hill_estimator(&mut sizes), None);
+            }
+
+            /// Degenerate specs — zero flows, point-mass sizes, α at the
+            /// integral's removable singularity, a window spanning the
+            /// whole horizon — must produce finite profiles and either
+            /// validate or fail with a *typed* error whose display
+            /// formats. No panic, no NaN, anywhere in the pipeline.
+            #[test]
+            fn validation_pipeline_total_on_degenerate_specs(
+                spec in degenerate_spec(),
+                window_ns in 500_000u64..30_000_000,
+            ) {
+                let scenario = spec.materialize();
+                let declared = TrafficProfile::declared(&spec, 0, window_ns);
+                let observed =
+                    TrafficProfile::observed(&scenario, 0, window_ns, rate_trim(&spec, 0));
+                prop_assert!(finite(&declared), "declared {declared:?}");
+                prop_assert!(finite(&observed), "observed {observed:?}");
+                match validate_scenario(&spec, &scenario, window_ns, &TrafficTolerance::default()) {
+                    Ok(profiles) => prop_assert!(profiles.iter().all(finite)),
+                    Err(err) => prop_assert!(!err.to_string().is_empty()),
+                }
+            }
+        }
+    }
+
     #[test]
     fn surge_raises_burstiness_and_cv() {
         let mut spec = base_spec();

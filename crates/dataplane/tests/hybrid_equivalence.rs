@@ -121,15 +121,17 @@ fn run_mode(
 ) -> (SimReport, NodeObservables) {
     let mut tb = Testbed::build_with_mode(p, e, RuntimeMode::Fused).unwrap();
     let slos = vec![None; specs.len()];
-    let report = tb.run_scenario_supervised(
-        scenario,
-        specs,
-        quick(),
-        &lemur_dataplane::FaultPlan::empty(),
-        &slos,
-        mode,
-        &mut lemur_dataplane::NoopHook,
-    );
+    let report = tb
+        .run_scenario_supervised(
+            scenario,
+            specs,
+            quick(),
+            &lemur_dataplane::FaultPlan::empty(),
+            &slos,
+            mode,
+            &mut lemur_dataplane::NoopHook,
+        )
+        .expect("valid hybrid config");
     let obs = obs_by_node(&tb);
     (report, obs)
 }
@@ -147,6 +149,7 @@ fn theta_zero_hybrid_is_bit_identical_to_packet_level() {
         &HybridMode::Hybrid(HybridConfig {
             heavy_min_packets: 0,
             capacity_bps: vec![],
+            queue_buffer_packets: 4096,
         }),
     );
     assert!(
@@ -158,6 +161,21 @@ fn theta_zero_hybrid_is_bit_identical_to_packet_level() {
     // NF state observables are bit-identical.
     assert_eq!(packet, hybrid);
     assert_eq!(obs_p, obs_h);
+    // The same must hold with the fluid queue armed: capacity budgets
+    // and buffers only ever touch tail mass, and at θ=0 there is none.
+    let (queued, obs_q) = run_mode(
+        &p,
+        &e,
+        &specs,
+        &scenario,
+        &HybridMode::Hybrid(HybridConfig {
+            heavy_min_packets: 0,
+            capacity_bps: vec![10e9, 10e9],
+            queue_buffer_packets: 64,
+        }),
+    );
+    assert_eq!(packet, queued, "θ=0 with queueing enabled diverged");
+    assert_eq!(obs_p, obs_q);
 }
 
 #[test]
@@ -188,7 +206,10 @@ fn hybrid_ledger_balances_with_surges_and_capacity() {
             heavy_min_packets: 8,
             // Tight capacity: the surge windows must shed tail packets
             // and the ledger must still balance to the exact packet.
+            // A small buffer keeps the queue from absorbing the whole
+            // surge, so overflow drops still engage.
             capacity_bps: vec![20e6],
+            queue_buffer_packets: 16,
         }),
     );
     assert!(
@@ -200,6 +221,90 @@ fn hybrid_ledger_balances_with_surges_and_capacity() {
         hybrid.ledger.drops_queue > 0,
         "capacity constraint never engaged — test is vacuous"
     );
+}
+
+#[test]
+fn fluid_queue_delays_and_surfaces_latency_instead_of_dropping() {
+    let (p, e, specs) = setup(&[CanonicalChain::Chain1]);
+    let mut spec = small_scenario(1, 3, 60, 200);
+    spec.chains[0].surges = vec![Surge {
+        kind: SurgeKind::FlashCrowd,
+        start_ns: 2_000_000,
+        duration_ns: 1_000_000,
+        factor: 3.0,
+    }];
+    let scenario = spec.materialize();
+    let run = |buffer: u64| {
+        run_mode(
+            &p,
+            &e,
+            &specs,
+            &scenario,
+            &HybridMode::Hybrid(HybridConfig {
+                heavy_min_packets: 8,
+                capacity_bps: vec![20e6],
+                queue_buffer_packets: buffer,
+            }),
+        )
+        .0
+    };
+    // Drop-only baseline (buffer = 0) vs a deep queue.
+    let droponly = run(0);
+    let queued = run(1_000_000);
+    assert!(droponly.ledger.drops_queue > 0, "vacuous: no overload");
+    assert!(queued.ledger.balanced(), "queued ledger unbalanced");
+    assert!(
+        queued.ledger.drops_queue < droponly.ledger.drops_queue,
+        "a deep buffer must absorb mass the drop-only budget discards"
+    );
+    // The backlog is visible at window closes and is charged as
+    // in-flight if the run ends before it drains.
+    let peak_backlog = queued
+        .windows
+        .iter()
+        .map(|w| w.backlog_packets)
+        .max()
+        .unwrap_or(0);
+    assert!(peak_backlog > 0, "queue never formed");
+    // Queueing produces a latency signal the drop-only budget hides:
+    // some window's mean latency must exceed the drop-only run's.
+    let max_lat = |r: &SimReport| {
+        r.windows
+            .iter()
+            .map(|w| w.mean_latency_ns)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        max_lat(&queued) > max_lat(&droponly),
+        "fluid queue added no waiting time to any window"
+    );
+    // Arrival accounting is identical either way — the queue only moves
+    // mass between delivered/dropped/in-flight buckets.
+    assert_eq!(droponly.ledger.injected, queued.ledger.injected);
+}
+
+#[test]
+fn invalid_capacity_is_a_typed_error() {
+    let (p, e, specs) = setup(&[CanonicalChain::Chain1]);
+    let scenario = small_scenario(1, 5, 10, 16).materialize();
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        let mut tb = Testbed::build_with_mode(&p, &e, RuntimeMode::Fused).unwrap();
+        let err = tb
+            .run_scenario(
+                &scenario,
+                &specs,
+                quick(),
+                &HybridMode::Hybrid(HybridConfig {
+                    heavy_min_packets: 4,
+                    capacity_bps: vec![bad],
+                    queue_buffer_packets: 0,
+                }),
+            )
+            .expect_err("bad capacity must be refused");
+        let lemur_dataplane::ScenarioError::InvalidCapacity { chain, value } = err;
+        assert_eq!(chain, 0);
+        assert!(value == bad || (value.is_nan() && bad.is_nan()));
+    }
 }
 
 proptest! {
@@ -225,7 +330,7 @@ proptest! {
             &e,
             &specs,
             &scenario,
-            &HybridMode::Hybrid(HybridConfig { heavy_min_packets: theta, capacity_bps: vec![] }),
+            &HybridMode::Hybrid(HybridConfig { heavy_min_packets: theta, ..HybridConfig::default() }),
         );
         // Arrival accounting is exact in both modes.
         prop_assert_eq!(packet.ledger.injected, hybrid.ledger.injected);
@@ -271,7 +376,7 @@ fn hybrid_reports_are_bit_identical_across_worker_counts() {
     let scenario = small_scenario(1, 41, 48, 64).materialize();
     let mode = HybridMode::Hybrid(HybridConfig {
         heavy_min_packets: 12,
-        capacity_bps: vec![],
+        ..HybridConfig::default()
     });
     let oracle = CompilerOracle::new();
     let mut baseline: Option<SimReport> = None;

@@ -34,6 +34,21 @@
 //! recovered coordinator must never reuse an id a previous incarnation
 //! already spent — a cached pre-crash answer would silently swallow the
 //! new command and be mistaken for its acknowledgement.
+//!
+//! ## Overload propagation
+//!
+//! Each PoP piggybacks its local degradation-ladder level on every
+//! status report. After [`FleetConfig::overload_streak`] consecutive
+//! [`OverloadLevel::Shedding`] reports the coordinator fences the PoP
+//! out of refugee placement and moves its lowest-priority chain to a
+//! calm PoP — *before* the local ladder has to shed it outright. Because
+//! the source is alive (unlike a drain), the move is two-phase: a
+//! tracked `Revoke` first, and the replacement `Grant` only after the
+//! owner's acknowledgement, so no tick ever has two leased owners. The
+//! same streak of `Calm` reports unfences the PoP and sends its
+//! displaced chains home the same way. Fences and displacement history
+//! are deliberately volatile: a coordinator crash forgets them, and the
+//! next rounds of status reports rebuild whatever still matters.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -46,7 +61,7 @@ use lemur_placer::parallel::Workers;
 use lemur_placer::profiles::NfProfiles;
 use lemur_placer::topology::Topology;
 
-use crate::msg::{ChainClaim, CtrlMsg, Endpoint, Envelope, StateReport};
+use crate::msg::{ChainClaim, CtrlMsg, Endpoint, Envelope, OverloadLevel, StateReport};
 use crate::retry::{Backoff, BackoffPolicy};
 
 /// Bits of a fencing token below the epoch.
@@ -77,6 +92,10 @@ pub struct FleetConfig {
     pub delay_max_ns: u64,
     /// Extra slack on top of the provable lease-expiry bound.
     pub drain_margin_ns: u64,
+    /// Consecutive [`OverloadLevel::Shedding`] status reports before the
+    /// coordinator moves load off a PoP (and the same count of `Calm`
+    /// reports before it unfences the PoP and restores displaced chains).
+    pub overload_streak: u32,
     pub backoff: BackoffPolicy,
 }
 
@@ -91,6 +110,7 @@ impl Default for FleetConfig {
             drain_after_ns: 1_300_000,
             delay_max_ns: 80_000,
             drain_margin_ns: 100_000,
+            overload_streak: 3,
             backoff: BackoffPolicy::default(),
         }
     }
@@ -113,6 +133,10 @@ pub struct CoordStats {
     pub rejected_acks: u64,
     /// Requests abandoned after the retry budget (anti-entropy takes over).
     pub gave_up: u64,
+    /// Chains moved off a PoP whose ladder reported sustained shedding.
+    pub overload_rebalances: u64,
+    /// Displaced chains sent home after the PoP reported calm again.
+    pub overload_restores: u64,
 }
 
 /// What the coordinator believes about one PoP.
@@ -123,6 +147,16 @@ struct PopView {
     last_heard_ns: u64,
     last_hb_sent_ns: u64,
     next_hb_ns: u64,
+    /// The ladder level the PoP last self-reported.
+    overload: OverloadLevel,
+    /// Consecutive `Shedding` reports (toward a rebalance trigger).
+    shedding_streak: u32,
+    /// Consecutive `Calm` reports (toward unfencing).
+    calm_streak: u32,
+    /// Fenced out of refugee placement until it reports calm again.
+    /// Volatile by design: a coordinator crash forgets fences, and the
+    /// next round of status reports rebuilds them.
+    overload_fenced: bool,
 }
 
 /// An unacknowledged request being retried.
@@ -156,6 +190,23 @@ pub struct FleetCoordinator {
     /// coordinator re-places chains the torn journal left assigned to a
     /// drained PoP or tracked nowhere at all.
     repair_at_ns: Option<u64>,
+    /// PoPs whose shedding streak just crossed the threshold; a chain is
+    /// moved off each at the next tick.
+    overload_pending: BTreeSet<usize>,
+    /// PoPs just unfenced; their displaced chains head home next tick.
+    restore_pending: BTreeSet<usize>,
+    /// Chains mid two-phase migration off a *live* owner: the Revoke is
+    /// in flight or acknowledged but the new grant not yet issued. Claim
+    /// anti-entropy ignores these so a stale status cannot resurrect the
+    /// old ownership between release and re-seat.
+    migrating: BTreeSet<usize>,
+    /// chain → origin PoP, for chains moved away by an overload
+    /// rebalance. Consumed when the origin calms and the chain is sent
+    /// home. Volatile, like the fences.
+    displaced: BTreeMap<usize, usize>,
+    /// Migration victims whose owners acknowledged release this tick;
+    /// seated via `replace_chains` once the oracle is in hand.
+    ready_place: Vec<(usize, Option<(usize, u64)>)>,
     wal: DecisionLog,
     /// The append-only durable image (what a crash leaves behind,
     /// possibly with a torn tail).
@@ -187,6 +238,10 @@ impl FleetCoordinator {
                     last_heard_ns: 0,
                     last_hb_sent_ns: 0,
                     next_hb_ns: 0,
+                    overload: OverloadLevel::Calm,
+                    shedding_streak: 0,
+                    calm_streak: 0,
+                    overload_fenced: false,
                 };
                 n_pops
             ],
@@ -198,6 +253,11 @@ impl FleetCoordinator {
             token_epoch: 1,
             token_ctr: 0,
             repair_at_ns: None,
+            overload_pending: BTreeSet::new(),
+            restore_pending: BTreeSet::new(),
+            migrating: BTreeSet::new(),
+            displaced: BTreeMap::new(),
+            ready_place: Vec::new(),
             wal: DecisionLog::new(),
             wal_image: Vec::new(),
             stats: CoordStats::default(),
@@ -395,6 +455,7 @@ impl FleetCoordinator {
                 self.repair(now_ns, oracle, &mut out);
             }
         }
+        self.overload_moves(now_ns, oracle, &mut out);
         self.heartbeats(now_ns, &mut out);
         self.retries(now_ns, &mut out);
         out
@@ -413,7 +474,8 @@ impl FleetCoordinator {
                 lease_valid: _,
                 owned,
                 state,
-            } => self.handle_status(now_ns, pop, incarnation, owned, state, out),
+                overload,
+            } => self.handle_status(now_ns, pop, incarnation, owned, state, overload, out),
             CtrlMsg::Ack {
                 of_req,
                 incarnation,
@@ -427,14 +489,35 @@ impl FleetCoordinator {
                     return; // duplicate ack; already resolved
                 };
                 if accepted {
-                    if matches!(p.env.msg, CtrlMsg::Welcome { .. }) {
-                        // The PoP adopted its new life: re-admit it empty.
-                        self.set_health(now_ns, pop, PopHealth::Healthy);
-                        self.pops[pop].last_heard_ns = now_ns;
-                        self.pops[pop].next_hb_ns = now_ns;
-                        self.stats.welcomes += 1;
+                    match p.env.msg {
+                        CtrlMsg::Welcome { .. } => {
+                            // The PoP adopted its new life: re-admit it
+                            // empty, with a clean overload record.
+                            self.set_health(now_ns, pop, PopHealth::Healthy);
+                            self.pops[pop].last_heard_ns = now_ns;
+                            self.pops[pop].next_hb_ns = now_ns;
+                            self.pops[pop].overload = OverloadLevel::Calm;
+                            self.pops[pop].shedding_streak = 0;
+                            self.pops[pop].calm_streak = 0;
+                            self.pops[pop].overload_fenced = false;
+                            self.stats.welcomes += 1;
+                        }
+                        CtrlMsg::Revoke { chain, .. } if self.migrating.contains(&chain) => {
+                            // The live owner released a migrating chain:
+                            // only now is it safe to seat it elsewhere.
+                            let prior = self.assignment.get(&chain).copied();
+                            self.ready_place.push((chain, prior));
+                        }
+                        _ => {}
                     }
                 } else {
+                    if let CtrlMsg::Revoke { chain, .. } = p.env.msg {
+                        // A refused release aborts the migration; the
+                        // chain stays where it is.
+                        if self.migrating.remove(&chain) {
+                            self.displaced.remove(&chain);
+                        }
+                    }
                     // Rejected (incarnation skew or a failed restore):
                     // drop it — status-report anti-entropy re-derives the
                     // right command with fresh knowledge.
@@ -445,6 +528,7 @@ impl FleetCoordinator {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_status(
         &mut self,
         now_ns: u64,
@@ -452,6 +536,7 @@ impl FleetCoordinator {
         incarnation: u64,
         owned: Vec<ChainClaim>,
         state: Vec<StateReport>,
+        overload: OverloadLevel,
         out: &mut Vec<Envelope>,
     ) {
         self.pops[pop].incarnation = self.pops[pop].incarnation.max(incarnation);
@@ -476,6 +561,7 @@ impl FleetCoordinator {
         if self.pops[pop].health != PopHealth::Healthy {
             self.set_health(now_ns, pop, PopHealth::Healthy);
         }
+        self.observe_overload(pop, overload);
 
         // Claim anti-entropy: fence stale claims, adopt journal-lost ones.
         for claim in &owned {
@@ -491,7 +577,7 @@ impl FleetCoordinator {
             .map(|(&chain, &(_, token))| (chain, token))
             .collect();
         for (chain, token) in missing {
-            if self.chain_pending(chain) {
+            if self.chain_pending(chain) || self.migrating.contains(&chain) {
                 continue;
             }
             let transfer = self.failover_state(chain, pop, token);
@@ -525,6 +611,12 @@ impl FleetCoordinator {
         claim: ChainClaim,
         out: &mut Vec<Envelope>,
     ) {
+        if self.migrating.contains(&claim.chain) {
+            // Mid two-phase migration: a stale claim (a status composed
+            // before the owner applied the Revoke) must neither be
+            // adopted back nor fenced — the migration resolves it.
+            return;
+        }
         match self.assignment.get(&claim.chain).copied() {
             None => {
                 if self.shed.contains(&claim.chain) {
@@ -677,6 +769,139 @@ impl FleetCoordinator {
         self.replace_chains(now_ns, victims, oracle, out);
     }
 
+    /// Track a PoP's self-reported ladder level. `overload_streak`
+    /// consecutive `Shedding` reports fence the PoP out of refugee
+    /// placement and queue a rebalance that moves its lowest-priority
+    /// chain to a calm PoP; the same count of consecutive `Calm` reports
+    /// unfences it and queues the displaced chains' homecoming.
+    fn observe_overload(&mut self, pop: usize, overload: OverloadLevel) {
+        let streak = self.cfg.overload_streak.max(1);
+        let view = &mut self.pops[pop];
+        view.overload = overload;
+        if overload == OverloadLevel::Shedding {
+            view.shedding_streak += 1;
+        } else {
+            view.shedding_streak = 0;
+        }
+        if overload == OverloadLevel::Calm {
+            view.calm_streak += 1;
+        } else {
+            view.calm_streak = 0;
+        }
+        if view.shedding_streak >= streak {
+            view.shedding_streak = 0;
+            view.overload_fenced = true;
+            self.overload_pending.insert(pop);
+        }
+        if view.overload_fenced && view.calm_streak >= streak {
+            view.calm_streak = 0;
+            view.overload_fenced = false;
+            self.restore_pending.insert(pop);
+        }
+    }
+
+    /// The chain to move off an overloaded PoP: its lowest-priority
+    /// chain, never its top-priority one (mirroring the local ladder's
+    /// shed rule), and never a chain already mid-migration. `None` when
+    /// the PoP serves at most one chain — moving the last chain is just
+    /// a failover wearing a different hat, and shedding the top-priority
+    /// chain is exactly what the rebalance exists to prevent.
+    fn rebalance_victim(&self, pop: usize) -> Option<usize> {
+        let owned: Vec<usize> = self
+            .assignment
+            .iter()
+            .filter(|&(_, &(p, _))| p == pop)
+            .map(|(&chain, _)| chain)
+            .collect();
+        if owned.len() <= 1 {
+            return None;
+        }
+        let prio = |c: usize| {
+            self.chains
+                .get(c)
+                .and_then(|ch| ch.slo)
+                .map_or(0, |s| s.priority)
+        };
+        let top = owned
+            .iter()
+            .copied()
+            .max_by_key(|&c| (prio(c), std::cmp::Reverse(c)))?;
+        owned
+            .into_iter()
+            .filter(|&c| c != top && !self.migrating.contains(&c))
+            .min_by_key(|&c| (prio(c), c))
+    }
+
+    /// Cross-PoP overload response, run once per tick: start two-phase
+    /// migrations off PoPs with sustained shedding reports, start
+    /// homecomings for PoPs that calmed down, and seat every chain whose
+    /// live owner has acknowledged release. Moving a chain off a *live*
+    /// PoP is revoke-then-grant — the new grant is issued only after the
+    /// old owner's Ack — so no tick ever has two leased owners.
+    fn overload_moves(&mut self, now_ns: u64, oracle: &dyn StageOracle, out: &mut Vec<Envelope>) {
+        let surging: Vec<usize> = std::mem::take(&mut self.overload_pending)
+            .into_iter()
+            .collect();
+        for pop in surging {
+            if self.pops[pop].health != PopHealth::Healthy {
+                continue;
+            }
+            let Some(victim) = self.rebalance_victim(pop) else {
+                continue;
+            };
+            let token = self.assignment[&victim].1;
+            self.migrating.insert(victim);
+            self.displaced.insert(victim, pop);
+            self.stats.overload_rebalances += 1;
+            self.send_tracked(
+                now_ns,
+                pop,
+                CtrlMsg::Revoke {
+                    chain: victim,
+                    token,
+                },
+                Some(victim),
+                out,
+            );
+        }
+        let calmed: Vec<usize> = std::mem::take(&mut self.restore_pending)
+            .into_iter()
+            .collect();
+        for pop in calmed {
+            let home: Vec<usize> = self
+                .displaced
+                .iter()
+                .filter(|&(_, &origin)| origin == pop)
+                .map(|(&chain, _)| chain)
+                .collect();
+            for chain in home {
+                self.displaced.remove(&chain);
+                let Some(&(owner, token)) = self.assignment.get(&chain) else {
+                    continue; // shed in the meantime
+                };
+                if owner == pop
+                    || self.migrating.contains(&chain)
+                    || self.pops[owner].health != PopHealth::Healthy
+                {
+                    continue;
+                }
+                self.migrating.insert(chain);
+                self.stats.overload_restores += 1;
+                self.send_tracked(
+                    now_ns,
+                    owner,
+                    CtrlMsg::Revoke { chain, token },
+                    Some(chain),
+                    out,
+                );
+            }
+        }
+        let ready = std::mem::take(&mut self.ready_place);
+        if !ready.is_empty() {
+            self.replace_chains(now_ns, ready, oracle, out);
+        }
+    }
+
     /// Re-place a set of chains onto PoPs that can currently hear us,
     /// revoking their prior grants (if any), shipping replicated state
     /// for stateful chains, and shedding what fits nowhere.
@@ -705,10 +930,16 @@ impl FleetCoordinator {
         for (&chain, &(p, _)) in &self.assignment {
             locked[p].push(chain);
         }
-        // Only PoPs that can currently hear us may receive refugees.
+        // Only PoPs that can currently hear us — and are not themselves
+        // overloaded — may receive refugees. Piling load onto a surging
+        // PoP would just move the collapse; if nowhere calm fits, the
+        // chain sheds instead (degrade before collapse).
         let mut topos = self.topologies.clone();
         for (i, view) in self.pops.iter().enumerate() {
-            if matches!(view.health, PopHealth::Unreachable | PopHealth::Drained) {
+            if matches!(view.health, PopHealth::Unreachable | PopHealth::Drained)
+                || view.overload_fenced
+                || view.overload != OverloadLevel::Calm
+            {
                 topos[i] = Topology::with_servers(0);
             }
         }
@@ -723,6 +954,7 @@ impl FleetCoordinator {
             self.workers,
         );
         for (chain, prior) in victims {
+            self.migrating.remove(&chain);
             match fp.home_of(chain) {
                 Some(new_home) => {
                     let token = self.mint_token();
@@ -837,7 +1069,17 @@ impl FleetCoordinator {
                     p.due_ns = now_ns + delay;
                     self.pending.insert(id, p);
                 }
-                None => self.stats.gave_up += 1,
+                None => {
+                    if let CtrlMsg::Revoke { chain, .. } = p.env.msg {
+                        // An unanswerable migration Revoke: abort; the
+                        // chain stays journaled at its origin and claim
+                        // anti-entropy keeps the two views consistent.
+                        if self.migrating.remove(&chain) {
+                            self.displaced.remove(&chain);
+                        }
+                    }
+                    self.stats.gave_up += 1;
+                }
             }
         }
     }
@@ -919,7 +1161,12 @@ mod tests {
         )
     }
 
-    fn status_from(pop: usize, incarnation: u64, owned: Vec<ChainClaim>) -> Envelope {
+    fn status_with(
+        pop: usize,
+        incarnation: u64,
+        owned: Vec<ChainClaim>,
+        overload: OverloadLevel,
+    ) -> Envelope {
         Envelope {
             req_id: 0,
             from: Endpoint::Pop(pop),
@@ -930,8 +1177,43 @@ mod tests {
                 lease_valid: true,
                 owned,
                 state: Vec::new(),
+                overload,
             },
         }
+    }
+
+    fn status_from(pop: usize, incarnation: u64, owned: Vec<ChainClaim>) -> Envelope {
+        status_with(pop, incarnation, owned, OverloadLevel::Calm)
+    }
+
+    /// The claims a PoP would report for its journaled assignment.
+    fn claims_of(c: &FleetCoordinator, pop: usize) -> Vec<ChainClaim> {
+        c.assignment()
+            .iter()
+            .filter(|&(_, &(p, _))| p == pop)
+            .map(|(&chain, &(_, token))| ChainClaim { chain, token })
+            .collect()
+    }
+
+    /// Ack every tracked command in `envs` as its target PoP, accepted.
+    fn acks_for(envs: &[Envelope], incarnation: u64) -> Vec<Envelope> {
+        envs.iter()
+            .filter(|e| e.msg.wants_ack())
+            .filter_map(|e| match e.to {
+                Endpoint::Pop(p) => Some(Envelope {
+                    req_id: 0,
+                    from: Endpoint::Pop(p),
+                    to: Endpoint::Coordinator,
+                    sent_ns: e.sent_ns,
+                    msg: CtrlMsg::Ack {
+                        of_req: e.req_id,
+                        incarnation,
+                        accepted: true,
+                    },
+                }),
+                Endpoint::Coordinator => None,
+            })
+            .collect()
     }
 
     #[test]
@@ -1251,5 +1533,133 @@ mod tests {
         assert_eq!(c.health()[0], PopHealth::Healthy);
         assert_eq!(c.incarnations()[0], 2);
         assert_eq!(c.stats.welcomes, 1);
+    }
+
+    #[test]
+    fn sustained_shedding_moves_the_lowest_priority_chain_then_calm_restores_it() {
+        let mut c = coordinator(4, 2);
+        let boot = c.boot(0, &AlwaysFits);
+        c.tick(50_000, acks_for(&boot, 1), &AlwaysFits);
+        assert_eq!(c.pending_len(), 0);
+        let pop0_chains: Vec<usize> = claims_of(&c, 0).iter().map(|cl| cl.chain).collect();
+        assert!(pop0_chains.len() >= 2, "boot must spread chains");
+        // catalog() priorities descend with the index, so pop 0's
+        // highest-index chain is its lowest-priority one.
+        let expect_victim = *pop0_chains.iter().max().unwrap();
+        let expect_top = *pop0_chains.iter().min().unwrap();
+
+        // Three consecutive Shedding reports trigger the rebalance.
+        let mut out = Vec::new();
+        for step in 1..=3u64 {
+            out = c.tick(
+                50_000 + step * 100_000,
+                vec![
+                    status_with(0, 1, claims_of(&c, 0), OverloadLevel::Shedding),
+                    status_from(1, 1, claims_of(&c, 1)),
+                ],
+                &AlwaysFits,
+            );
+        }
+        let revoke = out
+            .iter()
+            .find(|e| matches!(e.msg, CtrlMsg::Revoke { .. }) && e.to == Endpoint::Pop(0))
+            .expect("three shedding reports must start a migration");
+        let CtrlMsg::Revoke { chain: victim, .. } = revoke.msg else {
+            unreachable!()
+        };
+        assert_eq!(victim, expect_victim, "move the lowest-priority chain");
+        assert_ne!(victim, expect_top, "never the top-priority chain");
+        assert_eq!(c.stats.overload_rebalances, 1);
+
+        // The owner acks the release; only then is the chain re-seated —
+        // on pop 1, because pop 0 is fenced while overloaded.
+        let out = c.tick(450_000, acks_for(&out, 1), &AlwaysFits);
+        let grant = out
+            .iter()
+            .find(|e| matches!(e.msg, CtrlMsg::Grant { chain, .. } if chain == victim))
+            .expect("an acked release must be followed by a grant");
+        assert_eq!(grant.to, Endpoint::Pop(1), "refugees avoid the fenced pop");
+        c.tick(550_000, acks_for(&out, 1), &AlwaysFits);
+        assert_eq!(c.assignment()[&victim].0, 1);
+        assert_eq!(c.stats.failovers, 1, "the move is a fenced failover");
+
+        // Three Calm reports unfence pop 0 and send the chain home.
+        let mut out = Vec::new();
+        for step in 1..=3u64 {
+            out = c.tick(
+                550_000 + step * 100_000,
+                vec![
+                    status_from(0, 1, claims_of(&c, 0)),
+                    status_from(1, 1, claims_of(&c, 1)),
+                ],
+                &AlwaysFits,
+            );
+        }
+        assert!(
+            out.iter().any(
+                |e| matches!(e.msg, CtrlMsg::Revoke { chain, .. } if chain == victim)
+                    && e.to == Endpoint::Pop(1)
+            ),
+            "calm must start the homecoming migration"
+        );
+        assert_eq!(c.stats.overload_restores, 1);
+        let out = c.tick(950_000, acks_for(&out, 1), &AlwaysFits);
+        let grant = out
+            .iter()
+            .find(|e| matches!(e.msg, CtrlMsg::Grant { chain, .. } if chain == victim))
+            .expect("the released chain must be re-granted");
+        assert_eq!(grant.to, Endpoint::Pop(0), "displaced chains head home");
+        c.tick(1_050_000, acks_for(&out, 1), &AlwaysFits);
+        assert_eq!(c.assignment()[&victim].0, 0);
+        assert_eq!(c.pending_len(), 0);
+        // The journal replays to exactly the round-tripped state.
+        assert_eq!(&c.wal().replay().owners, c.assignment());
+    }
+
+    #[test]
+    fn failover_refugees_avoid_surging_pops() {
+        let mut c = coordinator(6, 3);
+        let boot = c.boot(0, &AlwaysFits);
+        c.tick(50_000, acks_for(&boot, 1), &AlwaysFits);
+        let pop0_chains: Vec<usize> = claims_of(&c, 0).iter().map(|cl| cl.chain).collect();
+        let pop2_chains: Vec<usize> = claims_of(&c, 2).iter().map(|cl| cl.chain).collect();
+        assert!(!pop0_chains.is_empty() && !pop2_chains.is_empty());
+
+        // Pop 0 goes silent; pop 2 keeps reporting but is Surging the
+        // whole time. When pop 0 drains, its chains must all land on the
+        // only calm survivor, pop 1 — never on the surging pop 2.
+        let mut now = 50_000;
+        let mut granted_to_2 = false;
+        while c.health()[0] != PopHealth::Drained {
+            now += 100_000;
+            assert!(now < 10_000_000, "must drain eventually");
+            let out = c.tick(
+                now,
+                vec![
+                    status_from(1, 1, claims_of(&c, 1)),
+                    status_with(2, 1, claims_of(&c, 2), OverloadLevel::Surging),
+                ],
+                &AlwaysFits,
+            );
+            granted_to_2 |= out
+                .iter()
+                .any(|e| matches!(e.msg, CtrlMsg::Grant { .. }) && e.to == Endpoint::Pop(2));
+        }
+        assert!(!granted_to_2, "a surging pop must receive no refugees");
+        for &chain in &pop0_chains {
+            assert_eq!(
+                c.assignment()[&chain].0,
+                1,
+                "chain {chain} must fail over to the calm pop"
+            );
+        }
+        for &chain in &pop2_chains {
+            assert_eq!(c.assignment()[&chain].0, 2, "pop 2 keeps its own chains");
+        }
+        assert_eq!(c.stats.sheds, 0);
+        assert_eq!(
+            c.stats.overload_rebalances, 0,
+            "Surging alone moves nothing"
+        );
     }
 }

@@ -52,6 +52,33 @@ pub struct StateReport {
     pub transfer: StateTransfer,
 }
 
+/// How hard a PoP's local control plane is leaning on its graceful-
+/// degradation ladder, as self-reported in [`CtrlMsg::Status`]. The
+/// coordinator reacts to sustained [`OverloadLevel::Shedding`] by moving
+/// load *off* the PoP before it collapses into fleet-visible SLO misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OverloadLevel {
+    /// No overload classified; the ladder is fully unwound.
+    Calm,
+    /// Overload classified (or low ladder rungs active): the PoP is
+    /// absorbing the surge with admission control and queueing.
+    Surging,
+    /// The ladder is shedding chains or parked degraded: the PoP
+    /// provably cannot hold its granted load.
+    Shedding,
+}
+
+impl OverloadLevel {
+    /// A short tag for traces and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OverloadLevel::Calm => "calm",
+            OverloadLevel::Surging => "surging",
+            OverloadLevel::Shedding => "shedding",
+        }
+    }
+}
+
 /// The control-plane message grammar.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CtrlMsg {
@@ -99,6 +126,8 @@ pub enum CtrlMsg {
         lease_valid: bool,
         owned: Vec<ChainClaim>,
         state: Vec<StateReport>,
+        /// Where the PoP's local degradation ladder currently sits.
+        overload: OverloadLevel,
     },
 }
 
@@ -145,7 +174,8 @@ mod tests {
             incarnation: 1,
             lease_valid: true,
             owned: vec![],
-            state: vec![]
+            state: vec![],
+            overload: OverloadLevel::Calm
         }
         .wants_ack());
         assert!(!CtrlMsg::Ack {

@@ -30,7 +30,7 @@ use lemur_nf::{NetworkFunction, NfCtx, NfKind, Verdict};
 use lemur_packet::builder::udp_packet;
 use lemur_packet::{ethernet, ipv4};
 
-use crate::msg::{ChainClaim, CtrlMsg, Endpoint, Envelope, StateReport};
+use crate::msg::{ChainClaim, CtrlMsg, Endpoint, Envelope, OverloadLevel, StateReport};
 
 /// NAT pool shared by every stateful chain replica: 64 external ports,
 /// while traffic cycles through 48 distinct flows, so the pool never
@@ -80,6 +80,9 @@ pub struct PopRuntime {
     /// Per-chain synthetic flow cursor (drives deterministic NAT state).
     flow_seq: BTreeMap<usize, u64>,
     next_msg_id: u64,
+    /// What the local supervisor's ladder reports (set by the soak from
+    /// its per-PoP overload signal; piggybacked on every `Status`).
+    overload: OverloadLevel,
     pub stats: PopStats,
 }
 
@@ -100,8 +103,20 @@ impl PopRuntime {
             next_report_ns: (site as u64 + 1) * 20_000,
             flow_seq: BTreeMap::new(),
             next_msg_id: 0,
+            overload: OverloadLevel::Calm,
             stats: PopStats::default(),
         }
+    }
+
+    /// Record where the local degradation ladder sits; the next `Status`
+    /// report carries it to the coordinator.
+    pub fn set_overload(&mut self, level: OverloadLevel) {
+        self.overload = level;
+    }
+
+    /// The overload level the next `Status` will report.
+    pub fn overload(&self) -> OverloadLevel {
+        self.overload
     }
 
     pub fn incarnation(&self) -> u64 {
@@ -367,6 +382,7 @@ impl PopRuntime {
                 lease_valid: self.lease_valid(now_ns),
                 owned: self.claims(),
                 state,
+                overload: self.overload,
             },
         }]
     }

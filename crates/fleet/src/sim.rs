@@ -29,7 +29,7 @@ use serde::Serialize;
 
 use crate::channel::{ChannelConfig, LossyChannel};
 use crate::coordinator::{FleetConfig, FleetCoordinator};
-use crate::msg::{Endpoint, Envelope};
+use crate::msg::{Endpoint, Envelope, OverloadLevel};
 use crate::pop::PopRuntime;
 
 /// The workload: a chain catalog spread over a PoP fleet.
@@ -103,6 +103,11 @@ pub struct FleetSimConfig {
     pub validate: bool,
     /// Virtual duration of each validation sim.
     pub validation_s: f64,
+    /// Overload storm: `(victim PoP, start_ns, end_ns)`. Inside the
+    /// window the victim's local ladder reports `Shedding` on every
+    /// status; everyone else reports `Calm`. `None` leaves all PoPs calm
+    /// (and keeps pre-overload soak reports bit-identical).
+    pub overload_storm: Option<(usize, u64, u64)>,
 }
 
 impl FleetSimConfig {
@@ -126,6 +131,7 @@ impl FleetSimConfig {
             workers: Workers::new(1),
             validate: true,
             validation_s: 0.012,
+            overload_storm: None,
         }
     }
 }
@@ -189,6 +195,11 @@ pub struct FleetReport {
     pub regrants: u64,
     pub adopted: u64,
     pub gave_up: u64,
+    /// Chains the coordinator moved off a PoP reporting sustained
+    /// overload, before its ladder had to shed them.
+    pub overload_rebalances: u64,
+    /// Displaced chains sent home after their origin PoP calmed down.
+    pub overload_restores: u64,
     pub state_restores: u64,
     pub fresh_starts: u64,
     pub duplicate_replays: u64,
@@ -286,6 +297,14 @@ impl Serialize for FleetReport {
             ("regrants".to_string(), self.regrants.to_value()),
             ("adopted".to_string(), self.adopted.to_value()),
             ("gave_up".to_string(), self.gave_up.to_value()),
+            (
+                "overload_rebalances".to_string(),
+                self.overload_rebalances.to_value(),
+            ),
+            (
+                "overload_restores".to_string(),
+                self.overload_restores.to_value(),
+            ),
             ("state_restores".to_string(), self.state_restores.to_value()),
             ("fresh_starts".to_string(), self.fresh_starts.to_value()),
             (
@@ -400,6 +419,18 @@ impl FleetSim {
             for env in coordinator.tick(now, coord_inbox, oracle) {
                 channel.send(now, env);
             }
+            // Drive each PoP's self-reported ladder level from the
+            // configured overload storm before its status can fire.
+            if let Some((victim, from_ns, until_ns)) = cfg.overload_storm {
+                for (i, pop) in pops.iter_mut().enumerate() {
+                    let level = if i == victim && now >= from_ns && now < until_ns {
+                        OverloadLevel::Shedding
+                    } else {
+                        OverloadLevel::Calm
+                    };
+                    pop.set_overload(level);
+                }
+            }
             for (i, inbox) in pop_inboxes.into_iter().enumerate() {
                 let mut replies = Vec::new();
                 for env in inbox {
@@ -498,6 +529,8 @@ impl FleetSim {
             regrants: cstats.regrants,
             adopted: cstats.adopted,
             gave_up: cstats.gave_up,
+            overload_rebalances: cstats.overload_rebalances,
+            overload_restores: cstats.overload_restores,
             state_restores: pop_stats.iter().map(|s| s.state_restores).sum(),
             fresh_starts: pop_stats.iter().map(|s| s.fresh_starts).sum(),
             duplicate_replays: pop_stats.iter().map(|s| s.duplicate_replays).sum(),
@@ -620,6 +653,8 @@ fn accumulate(into: &mut crate::coordinator::CoordStats, from: &crate::coordinat
     into.welcomes += from.welcomes;
     into.rejected_acks += from.rejected_acks;
     into.gave_up += from.gave_up;
+    into.overload_rebalances += from.overload_rebalances;
+    into.overload_restores += from.overload_restores;
 }
 
 #[cfg(test)]
@@ -644,6 +679,39 @@ mod tests {
         assert!(report.wal_consistent, "{report:?}");
         assert_eq!(report.drains, 1, "the guaranteed blackout must drain");
         assert!(report.failovers + report.sheds >= 1);
+    }
+
+    /// A sustained overload storm on one PoP makes the coordinator move
+    /// load off it cross-PoP, through the lossy channel, without ever
+    /// double-owning a chain — and the soak still settles and conserves.
+    #[test]
+    fn overload_storm_moves_load_off_the_surging_pop() {
+        // The chaos schedule (and thus the blackout victim) is a pure
+        // function of the chaos config, so a probe run tells us which
+        // PoP dies — the overload storm then targets a different one.
+        let probe = {
+            let mut cfg = FleetSimConfig::soak(3, 3);
+            cfg.validate = false;
+            FleetSim::new(FleetSpec::canonical(3), cfg).run(&AlwaysFits)
+        };
+        let blackout = probe.blackout_victim.unwrap_or(0);
+        let storm_pop = (blackout + 1) % 3;
+
+        let mut cfg = FleetSimConfig::soak(3, 3);
+        cfg.validate = false;
+        cfg.overload_storm = Some((storm_pop, 1_000_000, 5_000_000));
+        let report = FleetSim::new(FleetSpec::canonical(3), cfg).run(&AlwaysFits);
+        assert!(
+            report.overload_rebalances >= 1,
+            "sustained shedding must move load: {report:?}"
+        );
+        // The two-phase migration must never create a second leased
+        // owner, and the fleet must still settle after the storm.
+        assert_eq!(report.fencing_events, 0, "{report:?}");
+        assert!(report.conservation_ok, "{report:?}");
+        assert!(report.channel_conserved, "{report:?}");
+        assert!(report.settled, "{report:?}");
+        assert!(report.wal_consistent, "{report:?}");
     }
 
     #[test]

@@ -260,7 +260,9 @@ pub fn cbc_decrypt(key: &Aes128, iv: &[u8; 16], data: &[u8]) -> Option<Vec<u8>> 
     let mut out = data.to_vec();
     let mut prev = *iv;
     for chunk in out.chunks_exact_mut(16) {
-        let cipher: [u8; 16] = chunk.try_into().unwrap();
+        let Ok(cipher) = <[u8; 16]>::try_from(&*chunk) else {
+            return None;
+        };
         let mut block = cipher;
         key.decrypt_block(&mut block);
         for (b, p) in block.iter_mut().zip(&prev) {

@@ -30,12 +30,12 @@ impl ChaCha20 {
     /// Create a cipher from a 32-byte key and a 12-byte nonce.
     pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> ChaCha20 {
         let mut k = [0u32; 8];
-        for (i, w) in k.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+        for (w, c) in k.iter_mut().zip(key.chunks_exact(4)) {
+            *w = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
         }
         let mut n = [0u32; 3];
-        for (i, w) in n.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+        for (w, c) in n.iter_mut().zip(nonce.chunks_exact(4)) {
+            *w = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
         }
         ChaCha20 { key: k, nonce: n }
     }

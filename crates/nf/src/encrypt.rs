@@ -204,7 +204,9 @@ impl NetworkFunction for Decrypt {
         if payload.len() < 16 {
             return Verdict::Drop;
         }
-        let iv: [u8; 16] = payload[..16].try_into().unwrap();
+        let Ok(iv) = <[u8; 16]>::try_from(&payload[..16]) else {
+            return Verdict::Drop;
+        };
         let Some(plain) = cbc_decrypt(&self.key, &iv, &payload[16..]) else {
             return Verdict::Drop;
         };

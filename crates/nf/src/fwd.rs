@@ -135,13 +135,17 @@ impl Ipv4Fwd {
             }
         }
         if routes.is_empty() {
-            routes.push((
-                Cidr::new(ipv4::Address::new(0, 0, 0, 0), 0).unwrap(),
-                NextHop {
-                    mac: ethernet::Address([2, 0, 0, 0, 0, 0]),
-                    port: 0,
-                },
-            ));
+            // Prefix length 0 is always valid; an empty table (which
+            // drops everything) is the fallback rather than a panic.
+            if let Ok(all) = Cidr::new(ipv4::Address::new(0, 0, 0, 0), 0) {
+                routes.push((
+                    all,
+                    NextHop {
+                        mac: ethernet::Address([2, 0, 0, 0, 0, 0]),
+                        port: 0,
+                    },
+                ));
+            }
         }
         Ipv4Fwd::new(routes)
     }
